@@ -1,0 +1,190 @@
+// Benchmark harness: one testing.B benchmark per paper table/figure,
+// plus engine micro-benchmarks and ablation benchmarks for the design
+// choices the engines embody. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The figure benchmarks use aggressive iteration scaling so a full
+// pass completes in minutes; use the cmd/ tools with smaller -scale
+// values for higher-fidelity runs.
+package simbench
+
+import (
+	"io"
+	"testing"
+
+	"simbench/internal/arch"
+	"simbench/internal/core"
+	"simbench/internal/engine/dbt"
+)
+
+// figOpts returns options small enough for go test -bench.
+func figOpts() Options {
+	return Options{Out: io.Discard, Scale: 100_000, SpecScale: 3000, MinIters: 16}
+}
+
+func BenchmarkFig2SPECSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := Fig2(figOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig3OperationDensity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := Fig3(figOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4FeatureMatrix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := Fig4(figOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5PlatformTable(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := Fig5(figOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6CategorySweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := Fig6(figOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7FullMatrix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := Fig7(figOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8GeomeanSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := Fig8(figOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- engine micro-benchmarks: guest instructions per second on a
+// standard compute kernel (the per-engine speed the paper's analysis
+// reasons about).
+
+func benchmarkEngine(b *testing.B, engineName string, benchName string, iters int64) {
+	b.Helper()
+	eng, err := NewEngine(engineName)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bm := MustBenchmark(benchName)
+	r := NewRunner(eng, ARM())
+	var insns uint64
+	for i := 0; i < b.N; i++ {
+		res, err := r.Run(bm, iters)
+		if err != nil {
+			b.Fatal(err)
+		}
+		insns += res.Stats.Instructions
+	}
+	b.ReportMetric(float64(insns)/b.Elapsed().Seconds()/1e6, "Mips")
+}
+
+func BenchmarkEngineInterpHotLoop(b *testing.B)   { benchmarkEngine(b, "interp", "mem.hot", 20_000) }
+func BenchmarkEngineDBTHotLoop(b *testing.B)      { benchmarkEngine(b, "dbt", "mem.hot", 20_000) }
+func BenchmarkEngineDetailedHotLoop(b *testing.B) { benchmarkEngine(b, "detailed", "mem.hot", 20_000) }
+func BenchmarkEngineVirtHotLoop(b *testing.B)     { benchmarkEngine(b, "virt", "mem.hot", 20_000) }
+func BenchmarkEngineNativeHotLoop(b *testing.B)   { benchmarkEngine(b, "native", "mem.hot", 20_000) }
+
+// --- ablation benchmarks: each isolates one DBT design choice from
+// DESIGN.md by measuring the same workload under configs differing in
+// exactly that choice.
+
+func benchmarkDBTConfig(b *testing.B, cfg dbt.Config, benchName string, iters int64) {
+	b.Helper()
+	bm := MustBenchmark(benchName)
+	r := core.NewRunner(dbt.New(cfg), arch.ARM{})
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Run(bm, iters); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationChainingOn(b *testing.B) {
+	cfg := dbt.DefaultConfig()
+	cfg.Chain = dbt.ChainDirect
+	benchmarkDBTConfig(b, cfg, "ctrl.intrapage-direct", 100_000)
+}
+
+func BenchmarkAblationChainingChecked(b *testing.B) {
+	cfg := dbt.DefaultConfig()
+	cfg.Chain = dbt.ChainChecked
+	benchmarkDBTConfig(b, cfg, "ctrl.intrapage-direct", 100_000)
+}
+
+func BenchmarkAblationChainingOff(b *testing.B) {
+	cfg := dbt.DefaultConfig()
+	cfg.Chain = dbt.ChainNone
+	benchmarkDBTConfig(b, cfg, "ctrl.intrapage-direct", 100_000)
+}
+
+func BenchmarkAblationOptLevel0(b *testing.B) {
+	cfg := dbt.DefaultConfig()
+	cfg.OptLevel = 0
+	benchmarkDBTConfig(b, cfg, "spec.sjeng", 2_000)
+}
+
+func BenchmarkAblationOptLevel2(b *testing.B) {
+	cfg := dbt.DefaultConfig()
+	cfg.OptLevel = 2
+	benchmarkDBTConfig(b, cfg, "spec.sjeng", 2_000)
+}
+
+func BenchmarkAblationVictimTLBOn(b *testing.B) {
+	cfg := dbt.DefaultConfig()
+	cfg.VictimTLB = true
+	benchmarkDBTConfig(b, cfg, "mem.cold", 20_000)
+}
+
+func BenchmarkAblationVictimTLBOff(b *testing.B) {
+	cfg := dbt.DefaultConfig()
+	cfg.VictimTLB = false
+	benchmarkDBTConfig(b, cfg, "mem.cold", 20_000)
+}
+
+func BenchmarkAblationLazyFlushOn(b *testing.B) {
+	cfg := dbt.DefaultConfig()
+	cfg.LazyFlush = true
+	benchmarkDBTConfig(b, cfg, "mem.tlb-flush", 5_000)
+}
+
+func BenchmarkAblationLazyFlushOff(b *testing.B) {
+	cfg := dbt.DefaultConfig()
+	cfg.LazyFlush = false
+	benchmarkDBTConfig(b, cfg, "mem.tlb-flush", 5_000)
+}
+
+func BenchmarkAblationDataFaultFastPathOn(b *testing.B) {
+	cfg := dbt.DefaultConfig()
+	cfg.DataFaultFastPath = true
+	benchmarkDBTConfig(b, cfg, "exc.data-fault", 20_000)
+}
+
+func BenchmarkAblationDataFaultFastPathOff(b *testing.B) {
+	cfg := dbt.DefaultConfig()
+	cfg.DataFaultFastPath = false
+	benchmarkDBTConfig(b, cfg, "exc.data-fault", 20_000)
+}

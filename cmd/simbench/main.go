@@ -1,0 +1,131 @@
+// Command simbench runs the SimBench suite — the paper's Fig. 7
+// experiment — or any subset of benchmarks, engines and guest
+// architectures.
+//
+// Usage:
+//
+//	simbench                         # full Fig. 7 matrix at default scale
+//	simbench -scale 500              # longer runs (paper iters / 500)
+//	simbench -bench exc.syscall -engines dbt,interp -arch arm
+//	simbench -engines v2.2.0,v2.5.0-rc2 -bench ctrl.intrapage-direct
+//	simbench -list                   # list benchmarks and engines
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"simbench/internal/arch"
+	"simbench/internal/bench"
+	"simbench/internal/core"
+	"simbench/internal/figures"
+	"simbench/internal/report"
+	"simbench/internal/versions"
+)
+
+func main() {
+	var (
+		scale    = flag.Int64("scale", 2000, "divide paper iteration counts by this")
+		minIters = flag.Int64("min-iters", 32, "minimum iterations after scaling")
+		benchSel = flag.String("bench", "", "comma-separated benchmark names (default: all)")
+		engSel   = flag.String("engines", "", "comma-separated engines: dbt, interp, detailed, virt, native, or a release tag (default: all five platforms)")
+		archSel  = flag.String("arch", "", "guest architecture: arm or x86 (default: both)")
+		list     = flag.Bool("list", false, "list benchmarks, engines and releases, then exit")
+		verbose  = flag.Bool("v", false, "per-run progress output")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("Benchmarks:")
+		for _, b := range bench.Suite() {
+			fmt.Printf("  %-26s %-12s %s\n", b.Name, b.Category, b.Description)
+		}
+		fmt.Println("Extensions:")
+		for _, b := range bench.ExtSuite() {
+			fmt.Printf("  %-26s %-12s %s\n", b.Name, b.Category, b.Description)
+		}
+		fmt.Println("Engines: dbt interp detailed virt native")
+		fmt.Println("Releases:", strings.Join(versions.Names(), " "))
+		return
+	}
+
+	opts := figures.Options{Out: os.Stdout, Scale: *scale, MinIters: *minIters}
+	if *verbose {
+		opts.Progress = os.Stderr
+	}
+
+	// Default invocation: the whole Fig. 7 matrix.
+	if *benchSel == "" && *engSel == "" && *archSel == "" {
+		if err := figures.Fig7(opts); err != nil {
+			fail(err)
+		}
+		return
+	}
+
+	benches := bench.Suite()
+	if *benchSel != "" {
+		benches = benches[:0]
+		for _, name := range strings.Split(*benchSel, ",") {
+			b, err := bench.ByName(strings.TrimSpace(name))
+			if err != nil {
+				fail(err)
+			}
+			benches = append(benches, b)
+		}
+	}
+	engNames := []string{"dbt", "interp", "detailed", "virt", "native"}
+	if *engSel != "" {
+		engNames = strings.Split(*engSel, ",")
+	}
+	sups := arch.All()
+	if *archSel != "" {
+		sups = nil
+		for _, name := range strings.Split(*archSel, ",") {
+			found := false
+			for _, s := range arch.All() {
+				if s.Name() == strings.TrimSpace(name) {
+					sups = append(sups, s)
+					found = true
+				}
+			}
+			if !found {
+				fail(fmt.Errorf("unknown architecture %q (want arm or x86)", name))
+			}
+		}
+	}
+
+	for _, sup := range sups {
+		t := report.Table{
+			Title:   fmt.Sprintf("SimBench, %s guest (kernel seconds; scale 1/%d)", sup.Name(), *scale),
+			Columns: append([]string{"benchmark", "iters"}, engNames...),
+		}
+		for _, b := range benches {
+			iters := opts.Iters(b)
+			row := []string{b.Name, fmt.Sprint(iters)}
+			for _, engName := range engNames {
+				eng, err := figures.EngineByName(strings.TrimSpace(engName))
+				if err != nil {
+					fail(err)
+				}
+				res, err := core.NewRunner(eng, sup).Run(b, iters)
+				if err != nil {
+					fail(err)
+				}
+				row = append(row, report.Seconds(res.Kernel))
+				if *verbose {
+					fmt.Fprintf(os.Stderr, "%s %s %s: %s (%d insns)\n",
+						sup.Name(), b.Name, engName, res.Kernel, res.Stats.Instructions)
+				}
+			}
+			t.AddRow(row...)
+		}
+		t.Fprint(os.Stdout)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "simbench:", err)
+	os.Exit(1)
+}

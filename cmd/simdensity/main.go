@@ -1,0 +1,37 @@
+// Command simdensity regenerates the paper's Fig. 3: the SimBench
+// benchmark table with per-benchmark operation densities, measured on
+// the profiling interpreter, against both the benchmark itself and the
+// aggregated SPEC-like application suite.
+//
+// Usage:
+//
+//	simdensity
+//	simdensity -scale 500 -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"simbench/internal/figures"
+)
+
+func main() {
+	var (
+		scale     = flag.Int64("scale", 2000, "divide SimBench paper iteration counts by this")
+		specScale = flag.Int64("spec-scale", 20, "divide SPEC-like workload iteration counts by this")
+		minIters  = flag.Int64("min-iters", 2000, "minimum iterations after scaling")
+		verbose   = flag.Bool("v", false, "per-run progress output")
+	)
+	flag.Parse()
+
+	opts := figures.Options{Out: os.Stdout, Scale: *scale, SpecScale: *specScale, MinIters: *minIters}
+	if *verbose {
+		opts.Progress = os.Stderr
+	}
+	if err := figures.Fig3(opts); err != nil {
+		fmt.Fprintln(os.Stderr, "simdensity:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,46 @@
+// Command simreport prints the static evaluation tables: the paper's
+// Fig. 4 (how each platform implements each mechanism, from live
+// engine metadata) and Fig. 5 (evaluation platform details). With
+// -all it regenerates every figure in sequence — the full paper
+// evaluation.
+//
+// Usage:
+//
+//	simreport           # Fig. 4 + Fig. 5
+//	simreport -all      # Figs. 4, 5, 3, 7, 2, 6, 8 (long)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"simbench/internal/figures"
+)
+
+func main() {
+	var (
+		all       = flag.Bool("all", false, "regenerate every figure (long)")
+		scale     = flag.Int64("scale", 2000, "divide SimBench paper iteration counts by this")
+		specScale = flag.Int64("spec-scale", 20, "divide SPEC-like workload iteration counts by this")
+		minIters  = flag.Int64("min-iters", 2000, "minimum iterations after scaling")
+		verbose   = flag.Bool("v", false, "per-run progress output")
+	)
+	flag.Parse()
+
+	opts := figures.Options{Out: os.Stdout, Scale: *scale, SpecScale: *specScale, MinIters: *minIters}
+	if *verbose {
+		opts.Progress = os.Stderr
+	}
+
+	steps := []func(figures.Options) error{figures.Fig4, figures.Fig5}
+	if *all {
+		steps = append(steps, figures.Fig3, figures.Fig7, figures.Fig2, figures.Fig6, figures.Fig8)
+	}
+	for _, step := range steps {
+		if err := step(opts); err != nil {
+			fmt.Fprintln(os.Stderr, "simreport:", err)
+			os.Exit(1)
+		}
+	}
+}

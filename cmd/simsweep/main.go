@@ -1,0 +1,56 @@
+// Command simsweep runs the QEMU-version sweep experiments: the
+// paper's Fig. 2 (SPEC-like speedups per release), Fig. 6 (per-category
+// SimBench speedups per release, both guests) and Fig. 8 (geomean of
+// SPEC vs SimBench per release).
+//
+// Usage:
+//
+//	simsweep -fig 2
+//	simsweep -fig 6 -scale 5000
+//	simsweep -fig 8 -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"simbench/internal/figures"
+)
+
+func main() {
+	var (
+		fig       = flag.Int("fig", 8, "figure to regenerate: 2, 6 or 8")
+		scale     = flag.Int64("scale", 4000, "divide SimBench paper iteration counts by this")
+		specScale = flag.Int64("spec-scale", 40, "divide SPEC-like workload iteration counts by this")
+		minIters  = flag.Int64("min-iters", 2000, "minimum iterations after scaling")
+		verbose   = flag.Bool("v", false, "per-run progress output")
+	)
+	flag.Parse()
+
+	opts := figures.Options{
+		Out:       os.Stdout,
+		Scale:     *scale,
+		SpecScale: *specScale,
+		MinIters:  *minIters,
+	}
+	if *verbose {
+		opts.Progress = os.Stderr
+	}
+
+	var err error
+	switch *fig {
+	case 2:
+		err = figures.Fig2(opts)
+	case 6:
+		err = figures.Fig6(opts)
+	case 8:
+		err = figures.Fig8(opts)
+	default:
+		err = fmt.Errorf("unknown figure %d (want 2, 6 or 8)", *fig)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simsweep:", err)
+		os.Exit(1)
+	}
+}

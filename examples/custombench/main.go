@@ -1,0 +1,94 @@
+// Custombench extends the SimBench suite with a user-defined
+// micro-benchmark, written entirely against the public API: an
+// "exception storm" that alternates system calls and undefined
+// instructions in one kernel, measuring how a simulator handles
+// *mixed* exception traffic rather than a single class. This is the
+// paper's extensibility claim in action: a new benchmark is a build
+// function plus metadata; the protocol, timing, validation, engines
+// and reporting all come from the framework.
+//
+//	go run ./examples/custombench
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"simbench"
+)
+
+// excStorm builds the benchmark: per iteration, one SVC and one UD,
+// each resuming through its own handler.
+func excStorm() *simbench.Benchmark {
+	return &simbench.Benchmark{
+		Name:        "custom.exc-storm",
+		Title:       "Exception Storm",
+		Category:    simbench.CatException,
+		Description: "alternating syscall and undefined-instruction traps",
+		PaperIters:  10_000_000,
+		TestedOps: func(r *simbench.Result) uint64 {
+			return r.Exc[2] + r.Exc[1] // syscalls + undefs
+		},
+		Validate: func(r *simbench.Result) error {
+			want := uint64(r.Iters)
+			if r.Exc[2] != want || r.Exc[1] != want {
+				return fmt.Errorf("expected %d of each trap, got svc=%d undef=%d",
+					want, r.Exc[2], r.Exc[1])
+			}
+			return nil
+		},
+		Build: func(env *simbench.Env) error {
+			a := env.A
+			simbench.EmitPreamble(env)
+			simbench.EmitLoadIters(env, simbench.R11)
+			a.MOVI(simbench.R8, 0)
+			simbench.EmitBegin(env, simbench.R0)
+
+			a.Label("kloop")
+			env.Arch.EmitSyscall(a) // architecture-specific trap
+			env.Arch.EmitUndef(a)
+			a.SUBI(simbench.R11, simbench.R11, 1)
+			a.CMPI(simbench.R11, 0)
+			a.B(simbench.CondNE, "kloop")
+
+			simbench.EmitEnd(env, simbench.R0)
+			simbench.EmitResult(env, simbench.R8, simbench.R0)
+			simbench.EmitHalt(env)
+			simbench.EmitVectors(env, simbench.Handlers{
+				Syscall: "svc_handler",
+				Undef:   "undef_handler",
+			})
+			a.Label("svc_handler")
+			a.ADDI(simbench.R8, simbench.R8, 1)
+			a.ERET()
+			a.Label("undef_handler")
+			a.ADDI(simbench.R8, simbench.R8, 2)
+			a.ERET()
+			return nil
+		},
+	}
+}
+
+func main() {
+	bench := excStorm()
+	const iters = 100_000
+
+	fmt.Printf("%s — %s\n\n", bench.Title, bench.Description)
+	fmt.Printf("%-10s %-6s %-12s %-10s\n", "engine", "arch", "kernel", "ns/trap")
+	for _, sup := range simbench.Architectures() {
+		for _, name := range []string{"dbt", "interp", "detailed", "virt", "native"} {
+			eng, err := simbench.NewEngine(name)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := simbench.NewRunner(eng, sup).Run(bench, iters)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-10s %-6s %-12s %-10.1f\n", name, sup.Name(), res.Kernel,
+				float64(res.Kernel.Nanoseconds())/float64(2*iters))
+		}
+	}
+	fmt.Println("\nThe same build function ran bare-metal on five engines and two")
+	fmt.Println("guest architectures, with validation that every trap was taken.")
+}

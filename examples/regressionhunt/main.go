@@ -1,0 +1,67 @@
+// Regressionhunt reproduces the paper's §III-B3 workflow: SPEC-style
+// application results show QEMU getting slower release by release, but
+// cannot say why. Sweeping one targeted SimBench benchmark across the
+// modelled releases pinpoints the release that introduced the control
+// flow regression — and the release notes name the design change.
+//
+//	go run ./examples/regressionhunt
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"simbench"
+)
+
+func main() {
+	bench := simbench.MustBenchmark("ctrl.intrapage-direct")
+	const iters = 300_000
+
+	fmt.Println("Sweeping", bench.Name, "across QEMU releases...")
+	fmt.Printf("%-12s %-12s %s\n", "release", "kernel", "vs previous")
+
+	type point struct {
+		rel    simbench.Release
+		kernel float64
+	}
+	var history []point
+	worst := 0
+	worstDrop := 0.0
+
+	for _, rel := range simbench.Releases() {
+		runner := simbench.NewRunner(rel.Engine(), simbench.ARM())
+		// Two runs, best-of, to suppress host noise.
+		best := 0.0
+		for rep := 0; rep < 2; rep++ {
+			res, err := runner.Run(bench, iters)
+			if err != nil {
+				log.Fatal(err)
+			}
+			s := res.Kernel.Seconds()
+			if rep == 0 || s < best {
+				best = s
+			}
+		}
+		history = append(history, point{rel, best})
+		n := len(history)
+		delta := "-"
+		if n > 1 {
+			change := history[n-1].kernel/history[n-2].kernel - 1
+			delta = fmt.Sprintf("%+.1f%%", change*100)
+			if change > worstDrop {
+				worstDrop = change
+				worst = n - 1
+			}
+		}
+		fmt.Printf("%-12s %-12.4fs %s\n", rel.Name, best, delta)
+	}
+
+	culprit := history[worst]
+	fmt.Printf("\nLargest regression introduced by %s (%.1f%% slower).\n",
+		culprit.rel.Name, worstDrop*100)
+	fmt.Printf("Release notes: %s\n", culprit.rel.Notes)
+	fmt.Println("\nThis is the paper's point: application benchmarks can show THAT")
+	fmt.Println("a simulator regressed; the targeted micro-benchmark shows WHERE,")
+	fmt.Println("and the per-release configuration deltas show WHY.")
+}

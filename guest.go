@@ -1,0 +1,82 @@
+package simbench
+
+import (
+	"simbench/internal/asm"
+	"simbench/internal/core"
+	"simbench/internal/isa"
+)
+
+// Guest-programming surface: everything needed to write a new
+// benchmark against the methodology — an assembler handle (through
+// Env.A), the register and condition names, and the protocol emitters
+// (preamble, vector table, iteration load, kernel begin/end, result
+// report). See examples/custombench for a complete user-defined
+// benchmark.
+
+// Assembler builds SV32 guest code; benchmarks receive one via Env.A.
+type Assembler = asm.Assembler
+
+// Label names a position in guest code.
+type Label = asm.Label
+
+// Reg is an SV32 general-purpose register.
+type Reg = isa.Reg
+
+// Cond is an SV32 branch condition.
+type Cond = isa.Cond
+
+// Handlers names benchmark-provided exception handler labels.
+type Handlers = core.Handlers
+
+// General-purpose registers. By the suite's conventions R11 is the
+// iteration counter, R8 the checksum accumulator, R0-R3 scratch.
+const (
+	R0  = isa.R0
+	R1  = isa.R1
+	R2  = isa.R2
+	R3  = isa.R3
+	R4  = isa.R4
+	R5  = isa.R5
+	R6  = isa.R6
+	R7  = isa.R7
+	R8  = isa.R8
+	R9  = isa.R9
+	R10 = isa.R10
+	R11 = isa.R11
+	R12 = isa.R12
+	SP  = isa.SP
+	LR  = isa.LR
+)
+
+// Branch conditions.
+const (
+	CondAL = isa.CondAL
+	CondEQ = isa.CondEQ
+	CondNE = isa.CondNE
+	CondLT = isa.CondLT
+	CondGE = isa.CondGE
+	CondGT = isa.CondGT
+	CondLE = isa.CondLE
+	CondLO = isa.CondLO
+	CondHS = isa.CondHS
+	CondHI = isa.CondHI
+	CondLS = isa.CondLS
+)
+
+// Protocol emitters (the three-phase benchmark skeleton).
+var (
+	// EmitPreamble emits _start: stack, vectors, optional MMU enable.
+	EmitPreamble = core.EmitPreamble
+	// EmitVectors emits the vector table and default abort handler.
+	EmitVectors = core.EmitVectors
+	// EmitLoadIters loads the configured iteration count into a register.
+	EmitLoadIters = core.EmitLoadIters
+	// EmitBegin starts the timed kernel phase.
+	EmitBegin = core.EmitBegin
+	// EmitEnd ends the timed kernel phase.
+	EmitEnd = core.EmitEnd
+	// EmitResult reports a checksum word to the harness.
+	EmitResult = core.EmitResult
+	// EmitHalt stops the machine.
+	EmitHalt = core.EmitHalt
+)

@@ -1,0 +1,172 @@
+// Package arch provides the architecture support packages of the
+// SimBench porting structure: the benchmarks themselves contain no
+// architecture-specific code; everything that differs between the
+// arm-like and x86-like profiles — how to issue a system call, execute
+// an undefined instruction, access the safe coprocessor, perform
+// non-privileged accesses, and how the faulting-call/stack-unwind pair
+// works — is emitted through this interface. Porting SimBench to a new
+// profile means implementing Support, exactly as the paper describes
+// porting to a new architecture.
+package arch
+
+import (
+	"fmt"
+
+	"simbench/internal/asm"
+	"simbench/internal/device"
+	"simbench/internal/isa"
+	"simbench/internal/machine"
+)
+
+// Support is an architecture support package.
+type Support interface {
+	// Name identifies the architecture profile ("arm" or "x86").
+	Name() string
+	// Profile returns the machine profile to instantiate.
+	Profile() machine.Profile
+
+	// EmitSyscall emits one system-call instruction.
+	EmitSyscall(a *asm.Assembler)
+	// EmitUndef emits the architecturally undefined instruction.
+	EmitUndef(a *asm.Assembler)
+	// EmitCoprocAccess emits the profile's "safe" coprocessor access
+	// (ARM: read the DACR-style register; x86: reset the maths
+	// coprocessor). May clobber rd.
+	EmitCoprocAccess(a *asm.Assembler, rd isa.Reg)
+
+	// NonPrivSupported reports whether the profile has non-privileged
+	// access instructions (the paper: ARM yes, x86 no).
+	NonPrivSupported() bool
+	// EmitNonPrivLoad emits a non-privileged load when supported, and
+	// nothing otherwise (the benchmark becomes a no-op, as the paper's
+	// x86 port does).
+	EmitNonPrivLoad(a *asm.Assembler, rd, ra isa.Reg, off int32)
+	// EmitNonPrivStore is the store counterpart.
+	EmitNonPrivStore(a *asm.Assembler, rd, ra isa.Reg, off int32)
+
+	// EmitFaultingCall emits the profile's call sequence for a call
+	// through a register that is expected to fault, such that
+	// EmitInstFaultReturn can recover. Execution resumes at ret.
+	EmitFaultingCall(a *asm.Assembler, target isa.Reg, ret asm.Label)
+	// EmitInstFaultReturn emits the instruction-fault handler epilogue
+	// that returns to the call site: ARM reads the link register, x86
+	// unwinds the return address from the stack.
+	EmitInstFaultReturn(a *asm.Assembler, tmp isa.Reg)
+}
+
+// For returns the support package for a profile.
+func For(p machine.Profile) Support {
+	switch p {
+	case machine.ProfileARM:
+		return ARM{}
+	case machine.ProfileX86:
+		return X86{}
+	}
+	panic(fmt.Sprintf("arch: unknown profile %v", p))
+}
+
+// All returns support packages for every profile.
+func All() []Support { return []Support{ARM{}, X86{}} }
+
+// ARM is the arm-like architecture support package: format-A page
+// tables, LDT/STT non-privileged accesses, link-register call
+// convention, DACR-style safe coprocessor register.
+type ARM struct{}
+
+// Name implements Support.
+func (ARM) Name() string { return "arm" }
+
+// Profile implements Support.
+func (ARM) Profile() machine.Profile { return machine.ProfileARM }
+
+// EmitSyscall implements Support.
+func (ARM) EmitSyscall(a *asm.Assembler) { a.SVC(0) }
+
+// EmitUndef implements Support.
+func (ARM) EmitUndef(a *asm.Assembler) { a.UD() }
+
+// EmitCoprocAccess implements Support: read the domain-access-control
+// register of the safe coprocessor.
+func (ARM) EmitCoprocAccess(a *asm.Assembler, rd isa.Reg) {
+	a.CPRD(rd, isa.CPSafe, device.CPRegDACR)
+}
+
+// NonPrivSupported implements Support.
+func (ARM) NonPrivSupported() bool { return true }
+
+// EmitNonPrivLoad implements Support.
+func (ARM) EmitNonPrivLoad(a *asm.Assembler, rd, ra isa.Reg, off int32) {
+	a.LDT(rd, ra, off)
+}
+
+// EmitNonPrivStore implements Support.
+func (ARM) EmitNonPrivStore(a *asm.Assembler, rd, ra isa.Reg, off int32) {
+	a.STT(rd, ra, off)
+}
+
+// EmitFaultingCall implements Support: a plain link-register call; the
+// return label must directly follow the call.
+func (ARM) EmitFaultingCall(a *asm.Assembler, target isa.Reg, ret asm.Label) {
+	a.BLR(target)
+	a.Label(ret)
+}
+
+// EmitInstFaultReturn implements Support: the return address is in the
+// link register.
+func (ARM) EmitInstFaultReturn(a *asm.Assembler, tmp isa.Reg) {
+	a.MSR(isa.CtrlEPC, isa.LR)
+	a.ERET()
+}
+
+// X86 is the x86-like architecture support package: format-B page
+// tables, no non-privileged accesses, stack-based call convention for
+// the faulting call (the handler performs stack unwinding, as the
+// paper notes), maths-coprocessor reset as the safe coprocessor op.
+type X86 struct{}
+
+// Name implements Support.
+func (X86) Name() string { return "x86" }
+
+// Profile implements Support.
+func (X86) Profile() machine.Profile { return machine.ProfileX86 }
+
+// EmitSyscall implements Support.
+func (X86) EmitSyscall(a *asm.Assembler) { a.SVC(0x80) }
+
+// EmitUndef implements Support.
+func (X86) EmitUndef(a *asm.Assembler) { a.UD() }
+
+// EmitCoprocAccess implements Support: reset the maths coprocessor
+// (a write, like x86 FNINIT).
+func (X86) EmitCoprocAccess(a *asm.Assembler, rd isa.Reg) {
+	a.CPWR(isa.CPSafe, device.CPRegReset, rd)
+}
+
+// NonPrivSupported implements Support.
+func (X86) NonPrivSupported() bool { return false }
+
+// EmitNonPrivLoad implements Support: no equivalent exists; emit
+// nothing so the benchmark kernel degenerates to its loop skeleton.
+func (X86) EmitNonPrivLoad(a *asm.Assembler, rd, ra isa.Reg, off int32) {}
+
+// EmitNonPrivStore implements Support.
+func (X86) EmitNonPrivStore(a *asm.Assembler, rd, ra isa.Reg, off int32) {}
+
+// EmitFaultingCall implements Support: push the return address onto
+// the stack CISC-style, then jump.
+func (X86) EmitFaultingCall(a *asm.Assembler, target isa.Reg, ret asm.Label) {
+	a.SUBI(isa.SP, isa.SP, 4)
+	a.LA(isa.LR, ret)
+	a.STW(isa.LR, isa.SP, 0)
+	a.BR(target)
+	a.Label(ret)
+	a.ADDI(isa.SP, isa.SP, 4)
+}
+
+// EmitInstFaultReturn implements Support: unwind the return address
+// from the guest stack.
+func (X86) EmitInstFaultReturn(a *asm.Assembler, tmp isa.Reg) {
+	a.LDW(tmp, isa.SP, 0)
+	a.MSR(isa.CtrlEPC, tmp)
+	a.ERET()
+}

@@ -1,0 +1,187 @@
+package arch
+
+import (
+	"testing"
+
+	"simbench/internal/asm"
+	"simbench/internal/engine/interp"
+	"simbench/internal/isa"
+	"simbench/internal/machine"
+	"simbench/internal/platform"
+)
+
+func TestForAndAll(t *testing.T) {
+	if For(machine.ProfileARM).Name() != "arm" {
+		t.Error("arm lookup")
+	}
+	if For(machine.ProfileX86).Name() != "x86" {
+		t.Error("x86 lookup")
+	}
+	if len(All()) != 2 {
+		t.Error("two profiles")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown profile must panic")
+		}
+	}()
+	For(machine.Profile(99))
+}
+
+func TestNonPrivEmission(t *testing.T) {
+	a := asm.New()
+	ARM{}.EmitNonPrivLoad(a, isa.R1, isa.R2, 4)
+	ARM{}.EmitNonPrivStore(a, isa.R1, isa.R2, 8)
+	p, err := a.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Segments[0].Data) != 8 {
+		t.Error("arm nonpriv should emit LDT+STT")
+	}
+
+	a2 := asm.New()
+	X86{}.EmitNonPrivLoad(a2, isa.R1, isa.R2, 4)
+	X86{}.EmitNonPrivStore(a2, isa.R1, isa.R2, 8)
+	a2.NOP() // so the program is non-empty
+	p2, err := a2.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p2.Segments[0].Data) != 4 {
+		t.Error("x86 nonpriv must emit nothing (no-op benchmark)")
+	}
+	if !(ARM{}).NonPrivSupported() || (X86{}).NonPrivSupported() {
+		t.Error("NonPrivSupported flags")
+	}
+}
+
+// TestFaultingCallConventions runs the full faulting-call/handler
+// round trip for both architectures on the reference interpreter:
+// call into unmapped memory, take the prefetch abort, and return to
+// the call site through the architecture's convention.
+func TestFaultingCallConventions(t *testing.T) {
+	for _, sup := range All() {
+		t.Run(sup.Name(), func(t *testing.T) {
+			p := platform.New(sup.Profile(), 4<<20)
+			a := asm.New()
+			a.Label("_start")
+			a.LoadImm32(isa.SP, 0x70000)
+			a.LA(isa.R1, "vectors")
+			a.MSR(isa.CtrlVBAR, isa.R1)
+			// MMU on via the identity section/pages built below.
+			a.LoadImm32(isa.R1, 0x100000)
+			a.MSR(isa.CtrlTTBR, isa.R1)
+			ctl := int32(isa.MMUEnable)
+			if sup.Profile().FormatB() {
+				ctl |= int32(isa.MMUFormatB)
+			}
+			a.MOVI(isa.R2, ctl)
+			a.MSR(isa.CtrlMMU, isa.R2)
+
+			a.LoadImm32(isa.R9, 0x00500000) // unmapped target
+			a.MOVI(isa.R8, 0)
+			a.MOVI(isa.R10, 3) // three faulting calls
+			a.Label("loop")
+			sup.EmitFaultingCall(a, isa.R9, asm.Label("ret_"+sup.Name()))
+			a.ADDI(isa.R8, isa.R8, 1)
+			a.SUBI(isa.R10, isa.R10, 1)
+			a.CMPI(isa.R10, 0)
+			a.B(isa.CondNE, "loop")
+			a.HALT()
+
+			a.Org(0x800)
+			a.Label("vectors")
+			a.HALT()
+			a.HALT()
+			a.HALT()
+			a.B(isa.CondAL, "ifh")
+			a.HALT()
+			a.HALT()
+			a.Label("ifh")
+			sup.EmitInstFaultReturn(a, isa.R1)
+
+			prog, err := a.Assemble()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := p.M.LoadProgram(prog); err != nil {
+				t.Fatal(err)
+			}
+			// Bootloader: identity map low memory only.
+			if err := boot(p, sup.Profile().FormatB()); err != nil {
+				t.Fatal(err)
+			}
+			p.M.Reset()
+			if _, err := interp.New().Run(p.M, 100_000); err != nil {
+				t.Fatalf("%v (pc=%#x)", err, p.M.CPU.PC)
+			}
+			if got := p.M.CPU.Regs[isa.R8]; got != 3 {
+				t.Errorf("resumed %d times, want 3", got)
+			}
+			if p.M.ExcCount[isa.ExcInstFault] != 3 {
+				t.Errorf("inst faults %d", p.M.ExcCount[isa.ExcInstFault])
+			}
+		})
+	}
+}
+
+func TestCoprocStyles(t *testing.T) {
+	// ARM reads (DACR); x86 writes (FPU reset). Both must count as
+	// coprocessor accesses and leave the machine consistent.
+	for _, sup := range All() {
+		p := platform.New(sup.Profile(), 1<<20)
+		a := asm.New()
+		sup.EmitCoprocAccess(a, isa.R3)
+		a.HALT()
+		prog, err := a.Assemble()
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.M.LoadProgram(prog)
+		p.M.Reset()
+		st, err := interp.New().Run(p.M, 1000)
+		if err != nil {
+			t.Fatalf("%s: %v", sup.Name(), err)
+		}
+		if st.CoprocAccesses != 1 {
+			t.Errorf("%s: coproc accesses %d", sup.Name(), st.CoprocAccesses)
+		}
+		if p.Coproc.Accesses() != 1 {
+			t.Errorf("%s: device-side count %d", sup.Name(), p.Coproc.Accesses())
+		}
+	}
+}
+
+func TestSyscallNumbersDiffer(t *testing.T) {
+	// Cosmetic but deliberate: the two ports use their conventional
+	// trap numbers (ARM svc #0, x86 int 0x80).
+	armProg := asm.New()
+	ARM{}.EmitSyscall(armProg)
+	x86Prog := asm.New()
+	X86{}.EmitSyscall(x86Prog)
+	pa, _ := armProg.Assemble()
+	px, _ := x86Prog.Assemble()
+	word := func(d []byte) uint32 {
+		return uint32(d[0]) | uint32(d[1])<<8 | uint32(d[2])<<16 | uint32(d[3])<<24
+	}
+	ia := isa.Decode(word(pa.Segments[0].Data))
+	ix := isa.Decode(word(px.Segments[0].Data))
+	if ia.Op != isa.OpSVC || ix.Op != isa.OpSVC {
+		t.Fatalf("not SVC: %v %v", ia.Op, ix.Op)
+	}
+	if ia.Imm == ix.Imm {
+		t.Error("expected distinct syscall numbers per profile")
+	}
+}
+
+func boot(p *platform.Platform, formatB bool) error {
+	tb, err := newBuilder(p, formatB)
+	if err != nil {
+		return err
+	}
+	if formatB {
+		return tb.MapRange(0, 0, 0x80000, true, false)
+	}
+	return tb.MapSection(0, 0, true, false)
+}

@@ -1,0 +1,10 @@
+package arch
+
+import (
+	"simbench/internal/mmu"
+	"simbench/internal/platform"
+)
+
+func newBuilder(p *platform.Platform, formatB bool) (*mmu.Builder, error) {
+	return mmu.NewBuilder(p.M.Bus, 0x100000, 0x200000, formatB)
+}

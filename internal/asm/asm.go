@@ -1,0 +1,323 @@
+// Package asm implements a small two-pass assembler for the SV32 ISA.
+// It stands in for the GCC cross-compiler used by the SimBench paper:
+// benchmarks, the SPEC-like workloads and the architecture support
+// packages all emit guest code through this package.
+//
+// The assembler is a builder: code and data are appended to the current
+// section, sections are placed at explicit physical addresses with Org
+// (the inter-page benchmarks rely on exact page placement), and labels
+// plus relocations are resolved by Assemble.
+package asm
+
+import (
+	"fmt"
+	"sort"
+
+	"simbench/internal/isa"
+)
+
+// Label names a position in the program. Forward references are allowed
+// everywhere a Label is accepted.
+type Label string
+
+type relocKind uint8
+
+const (
+	relBranch relocKind = iota // 22-bit signed word offset from pc+4
+	relLo16                    // absolute address low half (MOVI)
+	relHi16                    // absolute address high half (MOVT)
+	relWord                    // absolute 32-bit address in a data word
+)
+
+type reloc struct {
+	section int
+	offset  uint32 // within section
+	target  Label
+	kind    relocKind
+}
+
+type section struct {
+	base uint32
+	data []byte
+}
+
+func (s *section) pc() uint32 { return s.base + uint32(len(s.data)) }
+
+// Assembler accumulates sections of code/data and resolves them into a
+// Program. Methods record errors internally; the first error is
+// returned by Assemble so emission code can stay unconditional.
+type Assembler struct {
+	sections []*section
+	labels   map[Label]uint32
+	relocs   []reloc
+	errs     []error
+}
+
+// New returns an assembler with a single section based at addr 0.
+func New() *Assembler {
+	a := &Assembler{labels: make(map[Label]uint32)}
+	a.sections = append(a.sections, &section{base: 0})
+	return a
+}
+
+func (a *Assembler) errorf(format string, args ...any) {
+	a.errs = append(a.errs, fmt.Errorf(format, args...))
+}
+
+func (a *Assembler) cur() *section { return a.sections[len(a.sections)-1] }
+
+// PC returns the address that the next emitted byte will occupy.
+func (a *Assembler) PC() uint32 { return a.cur().pc() }
+
+// Org starts a new section at the given physical address. Sections may
+// be created in any order but must not overlap once assembled.
+func (a *Assembler) Org(addr uint32) {
+	if addr%isa.WordBytes != 0 {
+		a.errorf("org %#x: not word aligned", addr)
+	}
+	a.sections = append(a.sections, &section{base: addr})
+}
+
+// Label defines name at the current position.
+func (a *Assembler) Label(name Label) {
+	if _, dup := a.labels[name]; dup {
+		a.errorf("label %q redefined", name)
+	}
+	a.labels[name] = a.PC()
+}
+
+// Align pads with NOP-encoding zero words until the pc is a multiple of n.
+func (a *Assembler) Align(n uint32) {
+	if n == 0 || n%isa.WordBytes != 0 {
+		a.errorf("align %d: must be a positive multiple of 4", n)
+		return
+	}
+	for a.PC()%n != 0 {
+		a.Word(0)
+	}
+}
+
+// Word appends a raw 32-bit little-endian word.
+func (a *Assembler) Word(w uint32) {
+	s := a.cur()
+	s.data = append(s.data, byte(w), byte(w>>8), byte(w>>16), byte(w>>24))
+}
+
+// WordAddr appends a 32-bit data word holding the address of target.
+func (a *Assembler) WordAddr(target Label) {
+	a.relocs = append(a.relocs, reloc{len(a.sections) - 1, uint32(len(a.cur().data)), target, relWord})
+	a.Word(0)
+}
+
+// Bytes appends raw bytes (padded to keep the pc word-aligned).
+func (a *Assembler) Bytes(b []byte) {
+	s := a.cur()
+	s.data = append(s.data, b...)
+	for len(s.data)%isa.WordBytes != 0 {
+		s.data = append(s.data, 0)
+	}
+}
+
+// Space appends n zero bytes (n must be a multiple of 4).
+func (a *Assembler) Space(n uint32) {
+	if n%isa.WordBytes != 0 {
+		a.errorf("space %d: must be a multiple of 4", n)
+		return
+	}
+	s := a.cur()
+	s.data = append(s.data, make([]byte, n)...)
+}
+
+// Inst appends an encoded instruction.
+func (a *Assembler) Inst(i isa.Inst) { a.Word(isa.Encode(i)) }
+
+func (a *Assembler) rtype(op isa.Op, rd, ra, rb isa.Reg) {
+	a.Inst(isa.Inst{Op: op, Rd: rd, Ra: ra, Rb: rb})
+}
+
+func (a *Assembler) itype(op isa.Op, rd, ra isa.Reg, imm int32) {
+	if isa.SignedImm(op) {
+		if imm < -32768 || imm > 32767 {
+			a.errorf("%v: immediate %d out of signed 16-bit range", op, imm)
+		}
+	} else if imm < 0 || imm > 0xFFFF {
+		a.errorf("%v: immediate %d out of unsigned 16-bit range", op, imm)
+	}
+	a.Inst(isa.Inst{Op: op, Rd: rd, Ra: ra, Imm: imm})
+}
+
+// --- mnemonics ---
+
+func (a *Assembler) NOP()                           { a.Inst(isa.Inst{Op: isa.OpNOP}) }
+func (a *Assembler) HALT()                          { a.Inst(isa.Inst{Op: isa.OpHALT}) }
+func (a *Assembler) ADD(rd, ra, rb isa.Reg)         { a.rtype(isa.OpADD, rd, ra, rb) }
+func (a *Assembler) SUB(rd, ra, rb isa.Reg)         { a.rtype(isa.OpSUB, rd, ra, rb) }
+func (a *Assembler) AND(rd, ra, rb isa.Reg)         { a.rtype(isa.OpAND, rd, ra, rb) }
+func (a *Assembler) OR(rd, ra, rb isa.Reg)          { a.rtype(isa.OpOR, rd, ra, rb) }
+func (a *Assembler) XOR(rd, ra, rb isa.Reg)         { a.rtype(isa.OpXOR, rd, ra, rb) }
+func (a *Assembler) SHL(rd, ra, rb isa.Reg)         { a.rtype(isa.OpSHL, rd, ra, rb) }
+func (a *Assembler) SHR(rd, ra, rb isa.Reg)         { a.rtype(isa.OpSHR, rd, ra, rb) }
+func (a *Assembler) SRA(rd, ra, rb isa.Reg)         { a.rtype(isa.OpSRA, rd, ra, rb) }
+func (a *Assembler) MUL(rd, ra, rb isa.Reg)         { a.rtype(isa.OpMUL, rd, ra, rb) }
+func (a *Assembler) CMP(ra, rb isa.Reg)             { a.rtype(isa.OpCMP, 0, ra, rb) }
+func (a *Assembler) MOV(rd, ra isa.Reg)             { a.rtype(isa.OpMOV, rd, ra, 0) }
+func (a *Assembler) NOT(rd, ra isa.Reg)             { a.rtype(isa.OpNOT, rd, ra, 0) }
+func (a *Assembler) ADDI(rd, ra isa.Reg, imm int32) { a.itype(isa.OpADDI, rd, ra, imm) }
+func (a *Assembler) SUBI(rd, ra isa.Reg, imm int32) { a.itype(isa.OpSUBI, rd, ra, imm) }
+func (a *Assembler) ANDI(rd, ra isa.Reg, imm int32) { a.itype(isa.OpANDI, rd, ra, imm) }
+func (a *Assembler) ORI(rd, ra isa.Reg, imm int32)  { a.itype(isa.OpORI, rd, ra, imm) }
+func (a *Assembler) XORI(rd, ra isa.Reg, imm int32) { a.itype(isa.OpXORI, rd, ra, imm) }
+func (a *Assembler) SHLI(rd, ra isa.Reg, imm int32) { a.itype(isa.OpSHLI, rd, ra, imm) }
+func (a *Assembler) SHRI(rd, ra isa.Reg, imm int32) { a.itype(isa.OpSHRI, rd, ra, imm) }
+func (a *Assembler) SRAI(rd, ra isa.Reg, imm int32) { a.itype(isa.OpSRAI, rd, ra, imm) }
+func (a *Assembler) MULI(rd, ra isa.Reg, imm int32) { a.itype(isa.OpMULI, rd, ra, imm) }
+func (a *Assembler) CMPI(ra isa.Reg, imm int32)     { a.itype(isa.OpCMPI, 0, ra, imm) }
+func (a *Assembler) MOVI(rd isa.Reg, imm int32)     { a.itype(isa.OpMOVI, rd, 0, imm) }
+func (a *Assembler) MOVT(rd isa.Reg, imm int32)     { a.itype(isa.OpMOVT, rd, 0, imm) }
+func (a *Assembler) LDW(rd, ra isa.Reg, off int32)  { a.itype(isa.OpLDW, rd, ra, off) }
+func (a *Assembler) STW(rd, ra isa.Reg, off int32)  { a.itype(isa.OpSTW, rd, ra, off) }
+func (a *Assembler) LDB(rd, ra isa.Reg, off int32)  { a.itype(isa.OpLDB, rd, ra, off) }
+func (a *Assembler) STB(rd, ra isa.Reg, off int32)  { a.itype(isa.OpSTB, rd, ra, off) }
+func (a *Assembler) LDT(rd, ra isa.Reg, off int32)  { a.itype(isa.OpLDT, rd, ra, off) }
+func (a *Assembler) STT(rd, ra isa.Reg, off int32)  { a.itype(isa.OpSTT, rd, ra, off) }
+func (a *Assembler) BR(ra isa.Reg)                  { a.rtype(isa.OpBR, 0, ra, 0) }
+func (a *Assembler) BLR(ra isa.Reg)                 { a.rtype(isa.OpBLR, 0, ra, 0) }
+func (a *Assembler) SVC(code int32)                 { a.itype(isa.OpSVC, 0, 0, code) }
+func (a *Assembler) ERET()                          { a.Inst(isa.Inst{Op: isa.OpERET}) }
+func (a *Assembler) MRS(rd isa.Reg, c isa.CtrlReg)  { a.itype(isa.OpMRS, rd, 0, int32(c)) }
+func (a *Assembler) MSR(c isa.CtrlReg, rd isa.Reg)  { a.itype(isa.OpMSR, rd, 0, int32(c)) }
+func (a *Assembler) CPRD(rd isa.Reg, cp, reg int32) { a.itype(isa.OpCPRD, rd, 0, cp<<8|reg) }
+func (a *Assembler) CPWR(cp, reg int32, rd isa.Reg) { a.itype(isa.OpCPWR, rd, 0, cp<<8|reg) }
+func (a *Assembler) TLBI(ra isa.Reg)                { a.rtype(isa.OpTLBI, 0, ra, 0) }
+func (a *Assembler) TLBIA()                         { a.Inst(isa.Inst{Op: isa.OpTLBIA}) }
+func (a *Assembler) UD()                            { a.Inst(isa.Inst{Op: isa.OpUD}) }
+
+// B emits a conditional branch to a label.
+func (a *Assembler) B(cond isa.Cond, target Label) {
+	a.relocs = append(a.relocs, reloc{len(a.sections) - 1, uint32(len(a.cur().data)), target, relBranch})
+	a.Inst(isa.Inst{Op: isa.OpB, Cond: cond})
+}
+
+// BL emits a conditional call (LR = pc+4) to a label.
+func (a *Assembler) BL(target Label) {
+	a.relocs = append(a.relocs, reloc{len(a.sections) - 1, uint32(len(a.cur().data)), target, relBranch})
+	a.Inst(isa.Inst{Op: isa.OpBL, Cond: isa.CondAL})
+}
+
+// RET returns via the link register.
+func (a *Assembler) RET() { a.BR(isa.LR) }
+
+// LoadImm32 materialises an arbitrary 32-bit constant in rd.
+func (a *Assembler) LoadImm32(rd isa.Reg, v uint32) {
+	a.MOVI(rd, int32(v&0xFFFF))
+	if v>>16 != 0 {
+		a.MOVT(rd, int32(v>>16))
+	}
+}
+
+// LA loads the address of a label into rd (always two instructions, so
+// layout is independent of the final address).
+func (a *Assembler) LA(rd isa.Reg, target Label) {
+	a.relocs = append(a.relocs, reloc{len(a.sections) - 1, uint32(len(a.cur().data)), target, relLo16})
+	a.MOVI(rd, 0)
+	a.relocs = append(a.relocs, reloc{len(a.sections) - 1, uint32(len(a.cur().data)), target, relHi16})
+	a.MOVT(rd, 0)
+}
+
+// Program is the assembled image: a set of placed segments plus the
+// resolved symbol table. Entry is the address of the `_start` symbol if
+// defined, else the base of the lowest segment.
+type Program struct {
+	Segments []Segment
+	Symbols  map[Label]uint32
+	Entry    uint32
+}
+
+// Segment is a contiguous run of bytes at a fixed physical address.
+type Segment struct {
+	Addr uint32
+	Data []byte
+}
+
+// Symbol returns the address of a label, which must exist.
+func (p *Program) Symbol(name Label) uint32 {
+	v, ok := p.Symbols[name]
+	if !ok {
+		panic(fmt.Sprintf("asm: unknown symbol %q", name))
+	}
+	return v
+}
+
+// Assemble resolves labels and relocations and returns the final image.
+func (a *Assembler) Assemble() (*Program, error) {
+	if len(a.errs) > 0 {
+		return nil, a.errs[0]
+	}
+	for _, r := range a.relocs {
+		target, ok := a.labels[r.target]
+		if !ok {
+			return nil, fmt.Errorf("asm: undefined label %q", r.target)
+		}
+		s := a.sections[r.section]
+		at := s.base + r.offset
+		w := leRead(s.data, r.offset)
+		switch r.kind {
+		case relBranch:
+			delta := int64(target) - int64(at) - isa.WordBytes
+			if delta%isa.WordBytes != 0 {
+				return nil, fmt.Errorf("asm: branch to %q: misaligned target", r.target)
+			}
+			words := delta / isa.WordBytes
+			if words < -(1<<21) || words >= 1<<21 {
+				return nil, fmt.Errorf("asm: branch to %q out of range (%d bytes)", r.target, delta)
+			}
+			w |= uint32(words) & 0x3FFFFF
+		case relLo16:
+			w = w&0xFFFF0000 | target&0xFFFF
+		case relHi16:
+			w = w&0xFFFF0000 | target>>16
+		case relWord:
+			w = target
+		}
+		leWrite(s.data, r.offset, w)
+	}
+
+	var segs []Segment
+	for _, s := range a.sections {
+		if len(s.data) == 0 {
+			continue
+		}
+		segs = append(segs, Segment{Addr: s.base, Data: s.data})
+	}
+	if len(segs) == 0 {
+		return nil, fmt.Errorf("asm: empty program")
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].Addr < segs[j].Addr })
+	for i := 1; i < len(segs); i++ {
+		prevEnd := uint64(segs[i-1].Addr) + uint64(len(segs[i-1].Data))
+		if uint64(segs[i].Addr) < prevEnd {
+			return nil, fmt.Errorf("asm: segments overlap at %#x", segs[i].Addr)
+		}
+	}
+
+	entry := segs[0].Addr
+	if start, ok := a.labels["_start"]; ok {
+		entry = start
+	}
+	syms := make(map[Label]uint32, len(a.labels))
+	for k, v := range a.labels {
+		syms[k] = v
+	}
+	return &Program{Segments: segs, Symbols: syms, Entry: entry}, nil
+}
+
+func leRead(b []byte, off uint32) uint32 {
+	return uint32(b[off]) | uint32(b[off+1])<<8 | uint32(b[off+2])<<16 | uint32(b[off+3])<<24
+}
+
+func leWrite(b []byte, off uint32, w uint32) {
+	b[off] = byte(w)
+	b[off+1] = byte(w >> 8)
+	b[off+2] = byte(w >> 16)
+	b[off+3] = byte(w >> 24)
+}

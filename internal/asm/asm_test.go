@@ -1,0 +1,207 @@
+package asm
+
+import (
+	"testing"
+
+	"simbench/internal/isa"
+)
+
+func mustAssemble(t *testing.T, a *Assembler) *Program {
+	t.Helper()
+	p, err := a.Assemble()
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return p
+}
+
+func word(p *Program, addr uint32) uint32 {
+	for _, s := range p.Segments {
+		if addr >= s.Addr && addr+4 <= s.Addr+uint32(len(s.Data)) {
+			return leRead(s.Data, addr-s.Addr)
+		}
+	}
+	return 0xDEADBEEF
+}
+
+func TestForwardAndBackwardBranch(t *testing.T) {
+	a := New()
+	a.Label("back")
+	a.NOP()                // 0x0
+	a.B(isa.CondAL, "fwd") // 0x4
+	a.NOP()                // 0x8
+	a.Label("fwd")
+	a.B(isa.CondNE, "back") // 0xC
+	p := mustAssemble(t, a)
+
+	fwd := isa.Decode(word(p, 4))
+	if fwd.Op != isa.OpB || fwd.Off != 4 { // 0xC - (0x4+4)
+		t.Errorf("forward branch decoded to %+v", fwd)
+	}
+	back := isa.Decode(word(p, 0xC))
+	if back.Off != -16 { // 0x0 - (0xC+4)
+		t.Errorf("backward branch offset = %d, want -16", back.Off)
+	}
+}
+
+func TestOrgPlacesSections(t *testing.T) {
+	a := New()
+	a.NOP()
+	a.Org(0x2000)
+	a.Label("hi")
+	a.MOVI(isa.R1, 7)
+	p := mustAssemble(t, a)
+	if got := p.Symbol("hi"); got != 0x2000 {
+		t.Fatalf("hi = %#x, want 0x2000", got)
+	}
+	if len(p.Segments) != 2 {
+		t.Fatalf("want 2 segments, got %d", len(p.Segments))
+	}
+	i := isa.Decode(word(p, 0x2000))
+	if i.Op != isa.OpMOVI || i.Rd != isa.R1 || i.Imm != 7 {
+		t.Errorf("movi decoded to %+v", i)
+	}
+}
+
+func TestLAResolvesAddress(t *testing.T) {
+	a := New()
+	a.LA(isa.R2, "data")
+	a.HALT()
+	a.Org(0x12345678 & 0xFFFFFF00) // within 32 bits, aligned
+	a.Label("data")
+	a.Word(42)
+	p := mustAssemble(t, a)
+	lo := isa.Decode(word(p, 0))
+	hi := isa.Decode(word(p, 4))
+	addr := p.Symbol("data")
+	if uint32(lo.Imm) != addr&0xFFFF {
+		t.Errorf("LA low half = %#x, want %#x", lo.Imm, addr&0xFFFF)
+	}
+	if uint32(hi.Imm) != addr>>16 {
+		t.Errorf("LA high half = %#x, want %#x", hi.Imm, addr>>16)
+	}
+}
+
+func TestWordAddr(t *testing.T) {
+	a := New()
+	a.Label("_start")
+	a.WordAddr("tbl")
+	a.Org(0x4000)
+	a.Label("tbl")
+	a.Word(1)
+	p := mustAssemble(t, a)
+	if got := word(p, 0); got != 0x4000 {
+		t.Errorf("word reloc = %#x, want 0x4000", got)
+	}
+	if p.Entry != 0 {
+		t.Errorf("entry = %#x, want 0 (start label)", p.Entry)
+	}
+}
+
+func TestUndefinedLabel(t *testing.T) {
+	a := New()
+	a.B(isa.CondAL, "nowhere")
+	if _, err := a.Assemble(); err == nil {
+		t.Fatal("expected undefined label error")
+	}
+}
+
+func TestDuplicateLabel(t *testing.T) {
+	a := New()
+	a.Label("x")
+	a.NOP()
+	a.Label("x")
+	if _, err := a.Assemble(); err == nil {
+		t.Fatal("expected duplicate label error")
+	}
+}
+
+func TestOverlapDetected(t *testing.T) {
+	a := New()
+	a.NOP()
+	a.NOP()
+	a.Org(0x4)
+	a.NOP()
+	if _, err := a.Assemble(); err == nil {
+		t.Fatal("expected overlap error")
+	}
+}
+
+func TestImmediateRangeChecked(t *testing.T) {
+	a := New()
+	a.ADDI(isa.R1, isa.R1, 40000) // out of signed 16-bit range
+	if _, err := a.Assemble(); err == nil {
+		t.Fatal("expected immediate range error")
+	}
+	a = New()
+	a.ANDI(isa.R1, isa.R1, -1) // out of unsigned range
+	if _, err := a.Assemble(); err == nil {
+		t.Fatal("expected unsigned immediate error")
+	}
+}
+
+func TestAlign(t *testing.T) {
+	a := New()
+	a.NOP()
+	a.Align(16)
+	a.Label("aligned")
+	a.NOP()
+	p := mustAssemble(t, a)
+	if got := p.Symbol("aligned"); got != 16 {
+		t.Errorf("aligned at %#x, want 0x10", got)
+	}
+}
+
+func TestLoadImm32(t *testing.T) {
+	a := New()
+	a.LoadImm32(isa.R3, 0xCAFE0001)
+	a.LoadImm32(isa.R4, 0x7FFF) // single-instruction case
+	p := mustAssemble(t, a)
+	i0 := isa.Decode(word(p, 0))
+	i1 := isa.Decode(word(p, 4))
+	if i0.Op != isa.OpMOVI || uint32(i0.Imm) != 1 {
+		t.Errorf("movi low: %+v", i0)
+	}
+	if i1.Op != isa.OpMOVT || uint32(i1.Imm) != 0xCAFE {
+		t.Errorf("movt high: %+v", i1)
+	}
+	i2 := isa.Decode(word(p, 8))
+	if i2.Op != isa.OpMOVI || i2.Imm != 0x7FFF {
+		t.Errorf("single movi: %+v", i2)
+	}
+	// 0x7FFF fits: next word must not be a MOVT for R4
+	if len(p.Segments[0].Data) != 12 {
+		t.Errorf("expected 3 instructions, got %d bytes", len(p.Segments[0].Data))
+	}
+}
+
+func TestEntryDefaultsToLowestSegment(t *testing.T) {
+	a := New()
+	a.Org(0x8000)
+	a.NOP()
+	p := mustAssemble(t, a)
+	if p.Entry != 0x8000 {
+		t.Errorf("entry = %#x", p.Entry)
+	}
+}
+
+func TestBytesPadsToWord(t *testing.T) {
+	a := New()
+	a.Bytes([]byte{1, 2, 3})
+	a.Label("after")
+	p := mustAssemble(t, a)
+	if p.Symbol("after") != 4 {
+		t.Errorf("after = %#x, want 4", p.Symbol("after"))
+	}
+}
+
+func TestBranchOutOfRange(t *testing.T) {
+	a := New()
+	a.B(isa.CondAL, "far")
+	a.Org(0x1000000) // 16 MB away, beyond ±8 MB
+	a.Label("far")
+	a.NOP()
+	if _, err := a.Assemble(); err == nil {
+		t.Fatal("expected out-of-range branch error")
+	}
+}

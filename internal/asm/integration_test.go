@@ -1,0 +1,123 @@
+package asm
+
+import (
+	"math/rand"
+	"testing"
+
+	"simbench/internal/isa"
+)
+
+// TestEmitDecodeAgree cross-checks the assembler against the decoder:
+// every mnemonic emitted through the builder must decode back to the
+// instruction it names, for randomized operands.
+func TestEmitDecodeAgree(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	reg := func() isa.Reg { return isa.Reg(r.Intn(isa.NumRegs)) }
+	simm := func() int32 { return int32(r.Intn(65536) - 32768) }
+	uimm := func() int32 { return int32(r.Intn(65536)) }
+
+	type want struct {
+		op isa.Op
+		ck func(i isa.Inst) bool
+	}
+	for trial := 0; trial < 300; trial++ {
+		a := New()
+		var wants []want
+		emit := func(op isa.Op, ck func(i isa.Inst) bool) {
+			wants = append(wants, want{op, ck})
+		}
+
+		for n := 0; n < 20; n++ {
+			switch r.Intn(12) {
+			case 0:
+				rd, ra, rb := reg(), reg(), reg()
+				a.ADD(rd, ra, rb)
+				emit(isa.OpADD, func(i isa.Inst) bool { return i.Rd == rd && i.Ra == ra && i.Rb == rb })
+			case 1:
+				rd, ra := reg(), reg()
+				v := simm()
+				a.ADDI(rd, ra, v)
+				emit(isa.OpADDI, func(i isa.Inst) bool { return i.Rd == rd && i.Ra == ra && i.Imm == v })
+			case 2:
+				rd := reg()
+				v := uimm()
+				a.MOVI(rd, v)
+				emit(isa.OpMOVI, func(i isa.Inst) bool { return i.Rd == rd && i.Imm == v })
+			case 3:
+				rd, ra := reg(), reg()
+				v := simm()
+				a.LDW(rd, ra, v)
+				emit(isa.OpLDW, func(i isa.Inst) bool { return i.Rd == rd && i.Ra == ra && i.Imm == v })
+			case 4:
+				rd, ra := reg(), reg()
+				v := simm()
+				a.STB(rd, ra, v)
+				emit(isa.OpSTB, func(i isa.Inst) bool { return i.Rd == rd && i.Ra == ra && i.Imm == v })
+			case 5:
+				ra := reg()
+				a.CMPI(ra, 100)
+				emit(isa.OpCMPI, func(i isa.Inst) bool { return i.Ra == ra && i.Imm == 100 })
+			case 6:
+				ra := reg()
+				a.BR(ra)
+				emit(isa.OpBR, func(i isa.Inst) bool { return i.Ra == ra })
+			case 7:
+				v := uimm()
+				a.SVC(v)
+				emit(isa.OpSVC, func(i isa.Inst) bool { return i.Imm == v })
+			case 8:
+				rd := reg()
+				a.MRS(rd, isa.CtrlFAR)
+				emit(isa.OpMRS, func(i isa.Inst) bool { return i.Rd == rd && isa.CtrlReg(i.Imm) == isa.CtrlFAR })
+			case 9:
+				rd := reg()
+				a.CPRD(rd, isa.CPSafe, 2)
+				emit(isa.OpCPRD, func(i isa.Inst) bool { return i.Rd == rd && i.Imm>>8 == isa.CPSafe && i.Imm&0xFF == 2 })
+			case 10:
+				a.TLBIA()
+				emit(isa.OpTLBIA, func(i isa.Inst) bool { return true })
+			case 11:
+				ra := reg()
+				v := simm()
+				rd := reg()
+				a.LDT(rd, ra, v)
+				emit(isa.OpLDT, func(i isa.Inst) bool { return i.Rd == rd && i.Ra == ra && i.Imm == v })
+			}
+		}
+		prog, err := a.Assemble()
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := prog.Segments[0].Data
+		if len(data) != 4*len(wants) {
+			t.Fatalf("trial %d: %d bytes for %d instructions", trial, len(data), len(wants))
+		}
+		for k, w := range wants {
+			word := uint32(data[k*4]) | uint32(data[k*4+1])<<8 |
+				uint32(data[k*4+2])<<16 | uint32(data[k*4+3])<<24
+			in := isa.Decode(word)
+			if in.Op != w.op {
+				t.Fatalf("trial %d insn %d: decoded %v, want %v", trial, k, in.Op, w.op)
+			}
+			if !w.ck(in) {
+				t.Fatalf("trial %d insn %d (%v): operands wrong: %+v", trial, k, w.op, in)
+			}
+		}
+	}
+}
+
+// TestProgramSymbolPanicsOnUnknown documents the Symbol contract.
+func TestProgramSymbolPanicsOnUnknown(t *testing.T) {
+	a := New()
+	a.NOP()
+	p, err := a.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	p.Symbol("missing")
+}

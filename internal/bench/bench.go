@@ -1,0 +1,119 @@
+// Package bench contains the SimBench suite: the paper's 18
+// micro-benchmarks in five categories (Fig. 3), written as portable
+// guest programs against the core build environment and the
+// architecture support packages. No benchmark contains
+// profile-specific code — everything architecture-dependent goes
+// through arch.Support, mirroring the paper's porting structure.
+//
+// Guest register conventions used throughout the suite:
+//
+//	R11  iteration counter (counts down to zero)
+//	R8   accumulator / checksum, reported through the control port
+//	R9, R10, R12  benchmark base pointers
+//	R4-R7 preloaded constants
+//	R0-R3 scratch (exception handlers may clobber R1 and R2)
+package bench
+
+import (
+	"fmt"
+
+	"simbench/internal/asm"
+	"simbench/internal/core"
+	"simbench/internal/isa"
+)
+
+// fnLabel names the i-th function of a chain.
+func fnLabel(i int) asm.Label { return asm.Label(fmt.Sprintf("f%d", i)) }
+
+// Suite returns the full SimBench benchmark suite in Fig. 3 order.
+func Suite() []*core.Benchmark {
+	return []*core.Benchmark{
+		SmallBlocks(),
+		LargeBlocks(),
+		InterPageDirect(),
+		InterPageIndirect(),
+		IntraPageDirect(),
+		IntraPageIndirect(),
+		DataFault(),
+		InstFault(),
+		Undef(),
+		Syscall(),
+		SWI(),
+		DeviceAccess(),
+		CoprocAccess(),
+		ColdMemory(),
+		HotMemory(),
+		NonPrivAccess(),
+		TLBEvict(),
+		TLBFlush(),
+	}
+}
+
+// ByName returns the named benchmark (core suite or extensions) or an
+// error listing valid names.
+func ByName(name string) (*core.Benchmark, error) {
+	all := append(Suite(), ExtSuite()...)
+	for _, b := range all {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	var names []string
+	for _, b := range all {
+		names = append(names, b.Name)
+	}
+	return nil, fmt.Errorf("bench: unknown benchmark %q (have %v)", name, names)
+}
+
+// emitCountdownHead emits the top of the standard iteration loop:
+// label "kloop", with R11 pre-loaded by the caller.
+func emitCountdownHead(env *core.Env) {
+	env.A.Label("kloop")
+}
+
+// emitCountdownTail emits the bottom of the standard iteration loop:
+// decrement R11 and branch back while non-zero.
+func emitCountdownTail(env *core.Env) {
+	a := env.A
+	a.SUBI(isa.R11, isa.R11, 1)
+	a.CMPI(isa.R11, 0)
+	a.B(isa.CondNE, "kloop")
+}
+
+// expectExact returns a validator requiring counter(r) == iters.
+func expectExact(what string, counter func(*core.Result) uint64) func(*core.Result) error {
+	return func(r *core.Result) error {
+		got := counter(r)
+		if got != uint64(r.Iters) {
+			return fmt.Errorf("%s: got %d, want %d (one per iteration)", what, got, r.Iters)
+		}
+		return nil
+	}
+}
+
+// expectAtLeast returns a validator requiring counter(r) >= iters.
+func expectAtLeast(what string, counter func(*core.Result) uint64) func(*core.Result) error {
+	return func(r *core.Result) error {
+		got := counter(r)
+		if got < uint64(r.Iters) {
+			return fmt.Errorf("%s: got %d, want >= %d", what, got, r.Iters)
+		}
+		return nil
+	}
+}
+
+// expectChecksum returns a validator requiring the guest-reported
+// result word to equal f(iters).
+func expectChecksum(f func(iters int64) uint32) func(*core.Result) error {
+	return func(r *core.Result) error {
+		if len(r.GuestResults) == 0 {
+			return fmt.Errorf("guest reported no result word")
+		}
+		got := r.GuestResults[len(r.GuestResults)-1]
+		want := f(r.Iters)
+		if got != want {
+			return fmt.Errorf("guest checksum %#x, want %#x", got, want)
+		}
+		return nil
+	}
+}

@@ -1,0 +1,131 @@
+package bench
+
+import (
+	"testing"
+
+	"simbench/internal/arch"
+	"simbench/internal/core"
+	"simbench/internal/engine"
+	"simbench/internal/engine/dbt"
+	"simbench/internal/engine/detailed"
+	"simbench/internal/engine/direct"
+	"simbench/internal/engine/interp"
+)
+
+func engines() []engine.Engine {
+	return []engine.Engine{
+		interp.New(),
+		dbt.NewDefault(),
+		detailed.New(),
+		direct.New(direct.ModeVirt),
+		direct.New(direct.ModeNative),
+	}
+}
+
+// TestSuiteAllEnginesAllProfiles runs every benchmark on every engine
+// and both architecture profiles with a small iteration count; the
+// runner enforces the protocol and each benchmark's validator checks
+// its tested-operation counters.
+func TestSuiteAllEnginesAllProfiles(t *testing.T) {
+	const iters = 50
+	for _, sup := range arch.All() {
+		for _, eng := range engines() {
+			for _, b := range Suite() {
+				t.Run(b.Name+"/"+eng.Name()+"/"+sup.Name(), func(t *testing.T) {
+					r := core.NewRunner(eng, sup)
+					res, err := r.Run(b, iters)
+					if err != nil {
+						t.Fatalf("%v", err)
+					}
+					if res.Kernel <= 0 {
+						t.Errorf("kernel time = %v", res.Kernel)
+					}
+					if res.Stats.Instructions == 0 {
+						t.Error("no instructions retired")
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestSuiteNamesUnique ensures names and paper iteration counts are
+// sane and unique.
+func TestSuiteNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, b := range Suite() {
+		if seen[b.Name] {
+			t.Errorf("duplicate name %s", b.Name)
+		}
+		seen[b.Name] = true
+		if b.PaperIters <= 0 {
+			t.Errorf("%s: no paper iteration count", b.Name)
+		}
+		if b.Category == "" || b.Title == "" || b.Build == nil || b.TestedOps == nil {
+			t.Errorf("%s: incomplete definition", b.Name)
+		}
+	}
+	if len(seen) != 18 {
+		t.Errorf("suite has %d benchmarks, want 18", len(seen))
+	}
+}
+
+// TestCategoriesMatchPaper checks the Fig. 3 grouping.
+func TestCategoriesMatchPaper(t *testing.T) {
+	count := map[core.Category]int{}
+	for _, b := range Suite() {
+		count[b.Category]++
+	}
+	want := map[core.Category]int{
+		core.CatCodeGen:     2,
+		core.CatControlFlow: 4,
+		core.CatException:   5,
+		core.CatIO:          2,
+		core.CatMemory:      5,
+	}
+	for cat, n := range want {
+		if count[cat] != n {
+			t.Errorf("%s: %d benchmarks, want %d", cat, count[cat], n)
+		}
+	}
+}
+
+// TestByName exercises the lookup helper.
+func TestByName(t *testing.T) {
+	if _, err := ByName("exc.syscall"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("expected error for unknown name")
+	}
+}
+
+// TestTestedOpsScaleWithIters verifies that doubling iterations
+// doubles the tested-operation count (on the profiling interpreter) —
+// the property that makes the operation-density metric meaningful.
+func TestTestedOpsScaleWithIters(t *testing.T) {
+	sup := arch.ARM{}
+	for _, b := range Suite() {
+		if b.Name == "mem.hot" || b.Name == "mem.cold" {
+			continue // warm-up effects make these only asymptotically linear
+		}
+		r := core.NewRunner(interp.NewProfiling(), sup)
+		res1, err := r.Run(b, 40)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		res2, err := r.Run(b, 80)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		o1, o2 := res1.TestedOps(), res2.TestedOps()
+		if o1 == 0 {
+			t.Errorf("%s: zero tested ops", b.Name)
+			continue
+		}
+		ratio := float64(o2) / float64(o1)
+		if ratio < 1.7 || ratio > 2.3 {
+			t.Errorf("%s: ops ratio %f (o1=%d o2=%d), want ~2", b.Name, ratio, o1, o2)
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package bench
+
+import (
+	"simbench/internal/core"
+	"simbench/internal/isa"
+)
+
+// Code Generation benchmarks (paper §II-B1): measure DBT code
+// generation speed — not generated-code quality — by rewriting guest
+// code between executions so translations (and any cached decode
+// structures) are invalidated every iteration. They simultaneously
+// measure self-modifying-code handling.
+
+const (
+	smallBlockCount  = 16
+	smallBlockStride = 16 // bytes between function entry points
+	largeBlockALUOps = 300
+)
+
+// SmallBlocks is codegen.small-blocks: many short tail-calling
+// functions whose first words are rewritten at the start of every
+// iteration, forcing per-iteration retranslation of each small block.
+func SmallBlocks() *core.Benchmark {
+	return &core.Benchmark{
+		Name:        "codegen.small-blocks",
+		Title:       "Small Blocks",
+		Category:    core.CatCodeGen,
+		Description: "rewrite + re-execute many short tail-calling functions",
+		PaperIters:  100_000,
+		TestedOps:   func(r *core.Result) uint64 { return r.Stats.SMCInvalidations },
+		Validate: expectChecksum(func(iters int64) uint32 {
+			return uint32(iters) * smallBlockCount
+		}),
+		Build: func(env *core.Env) error {
+			a := env.A
+			core.EmitPreamble(env)
+			core.EmitLoadIters(env, isa.R11)
+			a.MOVI(isa.R8, 0)     // accumulator
+			a.LA(isa.R9, "funcs") // patch base
+			nop := isa.Encode(isa.Inst{Op: isa.OpNOP})
+			a.LoadImm32(isa.R4, nop) // patch word
+			core.EmitBegin(env, isa.R0)
+
+			emitCountdownHead(env)
+			// Patch phase: rewrite the first word of every function.
+			a.MOV(isa.R2, isa.R9)
+			a.MOVI(isa.R3, smallBlockCount)
+			a.Label("patch")
+			a.STW(isa.R4, isa.R2, 0)
+			a.ADDI(isa.R2, isa.R2, smallBlockStride)
+			a.SUBI(isa.R3, isa.R3, 1)
+			a.CMPI(isa.R3, 0)
+			a.B(isa.CondNE, "patch")
+			// Execute phase: run the freshly invalidated chain.
+			a.BL("f0")
+			emitCountdownTail(env)
+
+			core.EmitEnd(env, isa.R0)
+			core.EmitResult(env, isa.R8, isa.R0)
+			core.EmitHalt(env)
+			core.EmitVectors(env, core.Handlers{})
+
+			// The function chain lives on its own page so patching does
+			// not invalidate the harness loop.
+			a.Org(0x4000)
+			a.Label("funcs")
+			for i := 0; i < smallBlockCount; i++ {
+				a.Label(fnLabel(i))
+				a.NOP() // the patched word
+				a.ADDI(isa.R8, isa.R8, 1)
+				if i == smallBlockCount-1 {
+					a.RET()
+				} else {
+					a.B(isa.CondAL, fnLabel(i+1))
+				}
+				a.Align(smallBlockStride)
+			}
+			return nil
+		},
+	}
+}
+
+// LargeBlocks is codegen.large-blocks: one very large basic block of
+// arithmetic whose first word is rewritten before every execution; the
+// inputs are read from memory cells (the volatile variables of the C
+// original) and results written back, so nothing can be folded away.
+func LargeBlocks() *core.Benchmark {
+	return &core.Benchmark{
+		Name:        "codegen.large-blocks",
+		Title:       "Large Blocks",
+		Category:    core.CatCodeGen,
+		Description: "rewrite + re-execute one very large straight-line block",
+		PaperIters:  500_000,
+		TestedOps:   func(r *core.Result) uint64 { return r.Stats.SMCInvalidations },
+		Validate:    expectChecksum(largeBlockChecksum),
+		Build: func(env *core.Env) error {
+			a := env.A
+			core.EmitPreamble(env)
+			core.EmitLoadIters(env, isa.R11)
+			a.LA(isa.R9, "bigblock")
+			a.LA(isa.R10, "cells")
+			nop := isa.Encode(isa.Inst{Op: isa.OpNOP})
+			a.LoadImm32(isa.R4, nop)
+			core.EmitBegin(env, isa.R0)
+
+			emitCountdownHead(env)
+			a.STW(isa.R4, isa.R9, 0) // invalidate the block
+			a.BL("bigblock")
+			emitCountdownTail(env)
+
+			core.EmitEnd(env, isa.R0)
+			core.EmitResult(env, isa.R8, isa.R0)
+			core.EmitHalt(env)
+			core.EmitVectors(env, core.Handlers{})
+
+			a.Org(0x4000)
+			a.Label("bigblock")
+			a.NOP() // the patched word
+			// Load "volatile" inputs.
+			a.LDW(isa.R0, isa.R10, 0)
+			a.LDW(isa.R1, isa.R10, 4)
+			a.LDW(isa.R2, isa.R10, 8)
+			a.LDW(isa.R3, isa.R10, 12)
+			// A long deterministic arithmetic sequence (mirrored by
+			// largeBlockChecksum for validation).
+			seed := uint32(0x9E3779B9)
+			for i := 0; i < largeBlockALUOps; i++ {
+				seed = seed*1664525 + 1013904223
+				rd := isa.Reg(seed % 4)
+				ra := isa.Reg((seed >> 8) % 4)
+				rb := isa.Reg((seed >> 16) % 4)
+				switch (seed >> 24) % 5 {
+				case 0:
+					a.ADD(rd, ra, rb)
+				case 1:
+					a.SUB(rd, ra, rb)
+				case 2:
+					a.XOR(rd, ra, rb)
+				case 3:
+					a.ADDI(rd, ra, int32(seed&0x7FF))
+				case 4:
+					a.OR(rd, ra, rb)
+				}
+			}
+			// Write results back and fold into the accumulator.
+			a.STW(isa.R0, isa.R10, 0)
+			a.STW(isa.R1, isa.R10, 4)
+			a.XOR(isa.R8, isa.R0, isa.R1)
+			a.RET()
+
+			a.Org(0x6000)
+			a.Label("cells")
+			a.Word(0x1234)
+			a.Word(0x5678)
+			a.Word(0x9ABC)
+			a.Word(0xDEF0)
+			return nil
+		},
+	}
+}
+
+// largeBlockChecksum mirrors the generated large block in Go: it
+// replays the same deterministic ALU sequence over the same memory
+// cells for the given number of iterations and returns the value the
+// guest reports. Any engine that mis-executes the block fails this.
+func largeBlockChecksum(iters int64) uint32 {
+	cells := [4]uint32{0x1234, 0x5678, 0x9ABC, 0xDEF0}
+	var r [4]uint32
+	for it := int64(0); it < iters; it++ {
+		r = cells
+		seed := uint32(0x9E3779B9)
+		for i := 0; i < largeBlockALUOps; i++ {
+			seed = seed*1664525 + 1013904223
+			rd := seed % 4
+			ra := (seed >> 8) % 4
+			rb := (seed >> 16) % 4
+			switch (seed >> 24) % 5 {
+			case 0:
+				r[rd] = r[ra] + r[rb]
+			case 1:
+				r[rd] = r[ra] - r[rb]
+			case 2:
+				r[rd] = r[ra] ^ r[rb]
+			case 3:
+				r[rd] = r[ra] + seed&0x7FF
+			case 4:
+				r[rd] = r[ra] | r[rb]
+			}
+		}
+		cells[0], cells[1] = r[0], r[1]
+	}
+	return r[0] ^ r[1]
+}

@@ -1,0 +1,134 @@
+package bench
+
+import (
+	"simbench/internal/core"
+	"simbench/internal/isa"
+)
+
+// Control Flow benchmarks (paper §II-B2): the four combinations of
+// {intra-page, inter-page} × {direct, indirect} transfers. Intra-page
+// transfers need no address translation as long as mappings are
+// stable, and direct transfers have statically known targets — so the
+// four cases stress translation lookup, block chaining and indirect
+// target prediction very differently.
+
+const ctrlChainLen = 8
+
+// ctrlValidate checks the accumulator: each of the chainLen functions
+// adds its (index+1) to R8 every iteration.
+func ctrlValidate() func(*core.Result) error {
+	per := uint32(0)
+	for i := 1; i <= ctrlChainLen; i++ {
+		per += uint32(i)
+	}
+	return expectChecksum(func(iters int64) uint32 { return uint32(iters) * per })
+}
+
+// buildChain emits the common harness and a chain of functions that
+// tail-call each other, then return to the loop. Placement and call
+// style are controlled by the two flags.
+func buildChain(env *core.Env, interPage, indirect bool) error {
+	a := env.A
+	core.EmitPreamble(env)
+	core.EmitLoadIters(env, isa.R11)
+	a.MOVI(isa.R8, 0)
+	if indirect {
+		a.LA(isa.R10, "ptrs") // function-pointer table base
+	}
+	core.EmitBegin(env, isa.R0)
+
+	emitCountdownHead(env)
+	if indirect {
+		// Call through a pointer loaded from the table: the target is
+		// unknowable at translation time.
+		a.LDW(isa.R2, isa.R10, 0)
+		a.BLR(isa.R2)
+	} else {
+		a.BL(fnLabel(0))
+	}
+	emitCountdownTail(env)
+
+	core.EmitEnd(env, isa.R0)
+	core.EmitResult(env, isa.R8, isa.R0)
+	core.EmitHalt(env)
+	core.EmitVectors(env, core.Handlers{})
+
+	// Function bodies. Inter-page places each on its own page;
+	// intra-page packs them all on one page.
+	base := uint32(0x8000)
+	for i := 0; i < ctrlChainLen; i++ {
+		if interPage {
+			a.Org(base + uint32(i)*isa.PageSize)
+		} else if i == 0 {
+			a.Org(base)
+		}
+		a.Label(fnLabel(i))
+		a.ADDI(isa.R8, isa.R8, int32(i+1))
+		a.XORI(isa.R3, isa.R8, 0x55) // filler work, defeats trivial folding
+		last := i == ctrlChainLen-1
+		switch {
+		case last:
+			a.RET()
+		case indirect:
+			// Tail call through the next table slot.
+			a.LDW(isa.R2, isa.R10, int32(i+1)*4)
+			a.BR(isa.R2)
+		default:
+			a.B(isa.CondAL, fnLabel(i+1))
+		}
+	}
+
+	if indirect {
+		// The pointer table lives on its own page.
+		a.Org(base + (ctrlChainLen+1)*isa.PageSize)
+		a.Label("ptrs")
+		for i := 0; i < ctrlChainLen; i++ {
+			a.WordAddr(fnLabel(i))
+		}
+	}
+	return nil
+}
+
+func ctrlBenchmark(name, title, desc string, iters int64, interPage, indirect bool,
+	tested func(*core.Result) uint64) *core.Benchmark {
+	return &core.Benchmark{
+		Name:        name,
+		Title:       title,
+		Category:    core.CatControlFlow,
+		Description: desc,
+		PaperIters:  iters,
+		TestedOps:   tested,
+		Validate:    ctrlValidate(),
+		Build: func(env *core.Env) error {
+			return buildChain(env, interPage, indirect)
+		},
+	}
+}
+
+// InterPageDirect is ctrl.interpage-direct.
+func InterPageDirect() *core.Benchmark {
+	return ctrlBenchmark("ctrl.interpage-direct", "Inter-Page Direct",
+		"direct tail calls across page boundaries", 100_000_000, true, false,
+		func(r *core.Result) uint64 { return r.Stats.BranchDirectInter })
+}
+
+// InterPageIndirect is ctrl.interpage-indirect.
+func InterPageIndirect() *core.Benchmark {
+	return ctrlBenchmark("ctrl.interpage-indirect", "Inter-Page Indirect",
+		"function-pointer tail calls across page boundaries", 250_000, true, true,
+		func(r *core.Result) uint64 { return r.Stats.BranchIndirectInter })
+}
+
+// IntraPageDirect is ctrl.intrapage-direct.
+func IntraPageDirect() *core.Benchmark {
+	return ctrlBenchmark("ctrl.intrapage-direct", "Intra-Page Direct",
+		"direct tail calls within one page", 500_000_000, false, false,
+		func(r *core.Result) uint64 { return r.Stats.BranchDirectIntra })
+}
+
+// IntraPageIndirect is ctrl.intrapage-indirect.
+func IntraPageIndirect() *core.Benchmark {
+	return ctrlBenchmark("ctrl.intrapage-indirect", "Intra-Page Indirect",
+		"function-pointer tail calls within one page", 200_000, false, true,
+		func(r *core.Result) uint64 { return r.Stats.BranchIndirectIntra })
+}

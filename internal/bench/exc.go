@@ -1,0 +1,203 @@
+package bench
+
+import (
+	"simbench/internal/core"
+	"simbench/internal/device"
+	"simbench/internal/isa"
+	"simbench/internal/platform"
+)
+
+// Exception Handling benchmarks (paper §II-B3): each raises one
+// exception per iteration and the handler immediately resumes,
+// isolating the cost of exception entry, handler dispatch and return.
+
+// unmappedVA is a virtual address no benchmark ever maps.
+const unmappedVA = 0x00500000
+
+// DataFault is exc.data-fault: load from an unmapped page; the handler
+// skips the faulting instruction.
+func DataFault() *core.Benchmark {
+	return &core.Benchmark{
+		Name:        "exc.data-fault",
+		Title:       "Data Access Fault",
+		Category:    core.CatException,
+		Description: "per-iteration data abort from an unmapped page",
+		PaperIters:  25_000_000,
+		TestedOps:   func(r *core.Result) uint64 { return r.Exc[isa.ExcDataFault] },
+		Validate: expectExact("data faults",
+			func(r *core.Result) uint64 { return r.Exc[isa.ExcDataFault] }),
+		Build: func(env *core.Env) error {
+			a := env.A
+			env.MMU = true
+			core.EmitPreamble(env)
+			core.EmitLoadIters(env, isa.R11)
+			a.LoadImm32(isa.R9, unmappedVA)
+			core.EmitBegin(env, isa.R0)
+
+			emitCountdownHead(env)
+			a.LDW(isa.R0, isa.R9, 0) // faults every iteration
+			emitCountdownTail(env)
+
+			core.EmitEnd(env, isa.R0)
+			core.EmitResult(env, isa.R11, isa.R0)
+			core.EmitHalt(env)
+			core.EmitVectors(env, core.Handlers{DataFault: "dfh"})
+			// Skip the faulting instruction: EPC += 4.
+			a.Label("dfh")
+			a.MRS(isa.R1, isa.CtrlEPC)
+			a.ADDI(isa.R1, isa.R1, 4)
+			a.MSR(isa.CtrlEPC, isa.R1)
+			a.ERET()
+			return nil
+		},
+	}
+}
+
+// InstFault is exc.inst-fault: call into an unmapped page; the handler
+// returns to the call site using the architecture's convention (link
+// register on arm, stack unwind on x86).
+func InstFault() *core.Benchmark {
+	return &core.Benchmark{
+		Name:        "exc.inst-fault",
+		Title:       "Instruction Access Fault",
+		Category:    core.CatException,
+		Description: "per-iteration prefetch abort from a call into unmapped memory",
+		PaperIters:  25_000_000,
+		TestedOps:   func(r *core.Result) uint64 { return r.Exc[isa.ExcInstFault] },
+		Validate: expectExact("instruction faults",
+			func(r *core.Result) uint64 { return r.Exc[isa.ExcInstFault] }),
+		Build: func(env *core.Env) error {
+			a := env.A
+			env.MMU = true
+			core.EmitPreamble(env)
+			core.EmitLoadIters(env, isa.R11)
+			a.LoadImm32(isa.R9, unmappedVA)
+			core.EmitBegin(env, isa.R0)
+
+			emitCountdownHead(env)
+			env.Arch.EmitFaultingCall(a, isa.R9, "ret_site")
+			emitCountdownTail(env)
+
+			core.EmitEnd(env, isa.R0)
+			core.EmitResult(env, isa.R11, isa.R0)
+			core.EmitHalt(env)
+			core.EmitVectors(env, core.Handlers{InstFault: "ifh"})
+			a.Label("ifh")
+			env.Arch.EmitInstFaultReturn(a, isa.R1)
+			return nil
+		},
+	}
+}
+
+// Undef is exc.undef: execute the architecturally undefined
+// instruction; the handler resumes at the following instruction.
+func Undef() *core.Benchmark {
+	return &core.Benchmark{
+		Name:        "exc.undef",
+		Title:       "Undefined Instruction",
+		Category:    core.CatException,
+		Description: "per-iteration undefined-instruction exception",
+		PaperIters:  50_000_000,
+		TestedOps:   func(r *core.Result) uint64 { return r.Exc[isa.ExcUndef] },
+		Validate: expectExact("undef exceptions",
+			func(r *core.Result) uint64 { return r.Exc[isa.ExcUndef] }),
+		Build: func(env *core.Env) error {
+			a := env.A
+			core.EmitPreamble(env)
+			core.EmitLoadIters(env, isa.R11)
+			core.EmitBegin(env, isa.R0)
+
+			emitCountdownHead(env)
+			env.Arch.EmitUndef(a)
+			emitCountdownTail(env)
+
+			core.EmitEnd(env, isa.R0)
+			core.EmitResult(env, isa.R11, isa.R0)
+			core.EmitHalt(env)
+			core.EmitVectors(env, core.Handlers{Undef: "uh"})
+			a.Label("uh")
+			a.ERET() // EPC already points past the undefined instruction
+			return nil
+		},
+	}
+}
+
+// Syscall is exc.syscall: execute a system-call instruction; the
+// handler returns immediately.
+func Syscall() *core.Benchmark {
+	return &core.Benchmark{
+		Name:        "exc.syscall",
+		Title:       "System Call",
+		Category:    core.CatException,
+		Description: "per-iteration system call with an empty handler",
+		PaperIters:  50_000_000,
+		TestedOps:   func(r *core.Result) uint64 { return r.Exc[isa.ExcSyscall] },
+		Validate: expectExact("syscalls",
+			func(r *core.Result) uint64 { return r.Exc[isa.ExcSyscall] }),
+		Build: func(env *core.Env) error {
+			a := env.A
+			core.EmitPreamble(env)
+			core.EmitLoadIters(env, isa.R11)
+			core.EmitBegin(env, isa.R0)
+
+			emitCountdownHead(env)
+			env.Arch.EmitSyscall(a)
+			emitCountdownTail(env)
+
+			core.EmitEnd(env, isa.R0)
+			core.EmitResult(env, isa.R11, isa.R0)
+			core.EmitHalt(env)
+			core.EmitVectors(env, core.Handlers{Syscall: "sh"})
+			a.Label("sh")
+			a.ERET()
+			return nil
+		},
+	}
+}
+
+// SWI is exc.swi: raise an external software interrupt through the
+// interrupt controller (a platform operation), take the IRQ, ack it.
+func SWI() *core.Benchmark {
+	return &core.Benchmark{
+		Name:        "exc.swi",
+		Title:       "External Software Interrupt",
+		Category:    core.CatException,
+		Description: "per-iteration software-generated interrupt via the interrupt controller",
+		PaperIters:  20_000_000,
+		TestedOps:   func(r *core.Result) uint64 { return r.Exc[isa.ExcIRQ] },
+		Validate: func(r *core.Result) error {
+			if err := expectExact("IRQs taken",
+				func(r *core.Result) uint64 { return r.Exc[isa.ExcIRQ] })(r); err != nil {
+				return err
+			}
+			return expectExact("SWIs raised",
+				func(r *core.Result) uint64 { return r.SWIRaised })(r)
+		},
+		Build: func(env *core.Env) error {
+			a := env.A
+			core.EmitPreamble(env)
+			core.EmitLoadIters(env, isa.R11)
+			a.LoadImm32(isa.R7, platform.ICBase)
+			a.MOVI(isa.R6, 0) // line number (and ack value)
+			// Enable line 0 in the controller, then IRQs in the PSR.
+			a.MOVI(isa.R0, 1)
+			a.STW(isa.R0, isa.R7, device.ICEnable)
+			a.MOVI(isa.R0, int32(isa.PSRKernel|isa.PSRIRQOn))
+			a.MSR(isa.CtrlPSR, isa.R0)
+			core.EmitBegin(env, isa.R0)
+
+			emitCountdownHead(env)
+			a.STW(isa.R6, isa.R7, device.ICRaise) // raise the SWI
+			emitCountdownTail(env)
+
+			core.EmitEnd(env, isa.R0)
+			core.EmitResult(env, isa.R11, isa.R0)
+			core.EmitHalt(env)
+			core.EmitVectors(env, core.Handlers{IRQ: "irqh"})
+			a.Label("irqh")
+			a.STW(isa.R6, isa.R7, device.ICClear) // ack line 0
+			a.ERET()
+			return nil
+		},
+	}
+}

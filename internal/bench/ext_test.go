@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"testing"
+
+	"simbench/internal/arch"
+	"simbench/internal/core"
+	"simbench/internal/engine/dbt"
+	"simbench/internal/engine/interp"
+)
+
+func TestExtSuiteRunsEverywhere(t *testing.T) {
+	for _, sup := range arch.All() {
+		for _, eng := range engines() {
+			for _, b := range ExtSuite() {
+				t.Run(b.Name+"/"+eng.Name()+"/"+sup.Name(), func(t *testing.T) {
+					r := core.NewRunner(eng, sup)
+					if _, err := r.Run(b, 64); err != nil {
+						t.Fatal(err)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestIRQLatencyObservesDeliveryGranularity is the paper's Fig. 4
+// "Interrupts" row made measurable: the fast interpreter (instruction
+// boundaries) must deliver interrupts with lower guest-instruction
+// latency than the DBT (block boundaries).
+func TestIRQLatencyObservesDeliveryGranularity(t *testing.T) {
+	b := IRQLatency()
+	const iters = 300
+
+	avg := func(r *core.Result) float64 {
+		return float64(r.GuestResults[len(r.GuestResults)-1]) / float64(r.Iters)
+	}
+	ri, err := core.NewRunner(interp.New(), arch.ARM{}).Run(b, iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := core.NewRunner(dbt.NewDefault(), arch.ARM{}).Run(b, iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	li, ld := avg(ri), avg(rd)
+	if li >= ld {
+		t.Errorf("interp latency %.1f should be below dbt latency %.1f (insn vs block boundaries)", li, ld)
+	}
+	// Interp delivers before the next instruction completes.
+	if li > 1 {
+		t.Errorf("interp latency %.1f, want <= 1 instruction", li)
+	}
+	// DBT lets the current block retire: several instructions.
+	if ld < 2 {
+		t.Errorf("dbt latency %.1f, want >= 2 (block boundary delivery)", ld)
+	}
+}
+
+// TestSectionVsPageWalkLevels verifies the walk-depth asymmetry the
+// benchmark targets: on the arm profile, half the cold accesses use
+// 1-level section walks, so mean walk depth sits strictly between 1
+// and 2; on x86 everything is 2-level.
+func TestSectionVsPageWalkLevels(t *testing.T) {
+	b := SectionVsPage()
+	run := func(sup arch.Support) float64 {
+		r, err := core.NewRunner(interp.New(), sup).Run(b, 200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(r.Stats.WalkLevels) / float64(r.Stats.PageWalks)
+	}
+	arm := run(arch.ARM{})
+	x86 := run(arch.X86{})
+	if !(arm > 1.2 && arm < 1.9) {
+		t.Errorf("arm mean walk depth %.2f, want within (1.2, 1.9)", arm)
+	}
+	if x86 < 1.95 {
+		t.Errorf("x86 mean walk depth %.2f, want ~2", x86)
+	}
+}
+
+func TestExtNamesDisjointFromCore(t *testing.T) {
+	seen := map[string]bool{}
+	for _, b := range Suite() {
+		seen[b.Name] = true
+	}
+	for _, b := range ExtSuite() {
+		if seen[b.Name] {
+			t.Errorf("extension %s collides with the core suite", b.Name)
+		}
+	}
+	if len(ExtSuite()) != 3 {
+		t.Error("three extensions")
+	}
+}

@@ -1,0 +1,84 @@
+package bench
+
+import (
+	"simbench/internal/core"
+	"simbench/internal/device"
+	"simbench/internal/isa"
+	"simbench/internal/platform"
+)
+
+// I/O benchmarks (paper §II-B4): measure the base cost of reaching a
+// device, not any particular I/O operation, by repeatedly touching
+// side-effect-free registers — a memory-mapped device ID register and
+// the architecture's "safe" coprocessor register.
+
+// DeviceAccess is io.device: read the safe device's ID register.
+func DeviceAccess() *core.Benchmark {
+	return &core.Benchmark{
+		Name:        "io.device",
+		Title:       "Memory Mapped Device",
+		Category:    core.CatIO,
+		Description: "per-iteration read of a side-effect-free MMIO register",
+		PaperIters:  400_000_000,
+		TestedOps:   func(r *core.Result) uint64 { return r.SafeDevAccesses },
+		Validate: func(r *core.Result) error {
+			if err := expectAtLeast("device accesses",
+				func(r *core.Result) uint64 { return r.SafeDevAccesses })(r); err != nil {
+				return err
+			}
+			// Every read must observe the device ID.
+			return expectChecksum(func(int64) uint32 { return device.SafeIDValue })(r)
+		},
+		Build: func(env *core.Env) error {
+			a := env.A
+			core.EmitPreamble(env)
+			core.EmitLoadIters(env, isa.R11)
+			a.LoadImm32(isa.R9, platform.SafeBase)
+			core.EmitBegin(env, isa.R0)
+
+			emitCountdownHead(env)
+			a.LDW(isa.R8, isa.R9, device.SafeID)
+			emitCountdownTail(env)
+
+			core.EmitEnd(env, isa.R0)
+			core.EmitResult(env, isa.R8, isa.R0)
+			core.EmitHalt(env)
+			core.EmitVectors(env, core.Handlers{})
+			return nil
+		},
+	}
+}
+
+// CoprocAccess is io.coproc: the architecture-specific safe
+// coprocessor access (arm: DACR-style read; x86: maths-coprocessor
+// reset).
+func CoprocAccess() *core.Benchmark {
+	return &core.Benchmark{
+		Name:        "io.coproc",
+		Title:       "Coprocessor Access",
+		Category:    core.CatIO,
+		Description: "per-iteration safe coprocessor access",
+		PaperIters:  250_000_000,
+		TestedOps:   func(r *core.Result) uint64 { return r.CoprocDevAccesses },
+		Validate: expectExact("coprocessor accesses",
+			func(r *core.Result) uint64 { return r.CoprocDevAccesses }),
+		Build: func(env *core.Env) error {
+			a := env.A
+			core.EmitPreamble(env)
+			core.EmitLoadIters(env, isa.R11)
+			a.MOVI(isa.R8, 0)
+			core.EmitBegin(env, isa.R0)
+
+			emitCountdownHead(env)
+			env.Arch.EmitCoprocAccess(a, isa.R8)
+			a.XORI(isa.R3, isa.R3, 1) // filler, keeps the loop body honest
+			emitCountdownTail(env)
+
+			core.EmitEnd(env, isa.R0)
+			core.EmitResult(env, isa.R8, isa.R0)
+			core.EmitHalt(env)
+			core.EmitVectors(env, core.Handlers{})
+			return nil
+		},
+	}
+}

@@ -1,0 +1,229 @@
+package bench
+
+import (
+	"fmt"
+
+	"simbench/internal/core"
+	"simbench/internal/isa"
+)
+
+// Memory System benchmarks (paper §II-B5): hot-path (TLB hit) and
+// cold-path (TLB miss) accesses, non-privileged accesses, and the two
+// TLB-maintenance operations.
+
+const (
+	// memRegionVA is the virtual base of the benchmark memory region.
+	memRegionVA = 0x01000000
+	// coldPages exceeds every translation-cache capacity in the tree
+	// (interp 256, dbt 256+victim, detailed 64, hardware model 512),
+	// so each cold access misses on every engine.
+	coldPages = 2048
+	// evictPages is the smaller region used by the TLB-maintenance
+	// benchmarks (misses are forced by the maintenance op itself).
+	evictPages = 256
+	// hotCopyCells is the number of copy pairs in the hot loop.
+	hotCopyCells = 12
+)
+
+// ColdMemory is mem.cold: one read at the top of each page of a large
+// region, so every access takes the cold path (a page-table walk).
+func ColdMemory() *core.Benchmark {
+	return &core.Benchmark{
+		Name:        "mem.cold",
+		Title:       "Cold Memory Access",
+		Category:    core.CatMemory,
+		Description: "per-iteration TLB-missing read over a large region",
+		PaperIters:  50_000_000,
+		TestedOps:   func(r *core.Result) uint64 { return r.Stats.TLBMisses },
+		Validate: expectAtLeast("TLB misses",
+			func(r *core.Result) uint64 { return r.Stats.TLBMisses }),
+		Build: func(env *core.Env) error {
+			a := env.A
+			env.MMU = true
+			env.Map(memRegionVA, core.BenchPhysBase, coldPages*isa.PageSize, true, false)
+			core.EmitPreamble(env)
+			core.EmitLoadIters(env, isa.R11)
+			a.LoadImm32(isa.R10, memRegionVA)                        // base
+			a.LoadImm32(isa.R12, memRegionVA+coldPages*isa.PageSize) // end
+			a.MOV(isa.R9, isa.R10)                                   // cursor
+			core.EmitBegin(env, isa.R0)
+
+			emitCountdownHead(env)
+			a.LDW(isa.R0, isa.R9, 0)
+			a.LoadImm32(isa.R3, isa.PageSize)
+			a.ADD(isa.R9, isa.R9, isa.R3)
+			a.CMP(isa.R9, isa.R12)
+			a.B(isa.CondLO, "nowrap")
+			a.MOV(isa.R9, isa.R10)
+			a.Label("nowrap")
+			emitCountdownTail(env)
+
+			core.EmitEnd(env, isa.R0)
+			core.EmitResult(env, isa.R11, isa.R0)
+			core.EmitHalt(env)
+			core.EmitVectors(env, core.Handlers{})
+			return nil
+		},
+	}
+}
+
+// HotMemory is mem.hot: load/store traffic against a single page — the
+// common case every simulator must make fast. The loop is manually
+// unrolled, as in the paper.
+func HotMemory() *core.Benchmark {
+	return &core.Benchmark{
+		Name:        "mem.hot",
+		Title:       "Hot Memory Access",
+		Category:    core.CatMemory,
+		Description: "unrolled same-page load/store traffic (TLB hit path)",
+		PaperIters:  500_000_000,
+		TestedOps: func(r *core.Result) uint64 {
+			return r.Stats.MemReads + r.Stats.MemWrites
+		},
+		// The copy chain propagates the incremented counter through
+		// every cell, so the final cell equals the iteration count.
+		Validate: expectChecksum(func(iters int64) uint32 { return uint32(iters) }),
+		Build: func(env *core.Env) error {
+			a := env.A
+			env.MMU = true
+			env.Map(memRegionVA, core.BenchPhysBase, isa.PageSize, true, false)
+			core.EmitPreamble(env)
+			core.EmitLoadIters(env, isa.R11)
+			a.LoadImm32(isa.R9, memRegionVA)
+			core.EmitBegin(env, isa.R0)
+
+			emitCountdownHead(env)
+			// Increment the head cell...
+			a.LDW(isa.R0, isa.R9, 0)
+			a.ADDI(isa.R0, isa.R0, 1)
+			a.STW(isa.R0, isa.R9, 0)
+			// ...and copy it down the chain, unrolled.
+			for k := 0; k < hotCopyCells; k++ {
+				a.LDW(isa.R1, isa.R9, int32(k)*4)
+				a.STW(isa.R1, isa.R9, int32(k+1)*4)
+			}
+			emitCountdownTail(env)
+
+			core.EmitEnd(env, isa.R0)
+			a.LDW(isa.R8, isa.R9, hotCopyCells*4)
+			core.EmitResult(env, isa.R8, isa.R0)
+			core.EmitHalt(env)
+			core.EmitVectors(env, core.Handlers{})
+			return nil
+		},
+	}
+}
+
+// NonPrivAccess is mem.nonpriv: kernel-mode accesses performed with
+// user privilege (ARM LDRT-style). The x86 profile has no equivalent,
+// so its kernel degenerates to the loop skeleton — a no-op benchmark,
+// exactly as the paper's x86 port handles it.
+func NonPrivAccess() *core.Benchmark {
+	return &core.Benchmark{
+		Name:        "mem.nonpriv",
+		Title:       "Nonprivileged Access",
+		Category:    core.CatMemory,
+		Description: "kernel-mode access checked with user permissions",
+		PaperIters:  300_000_000,
+		TestedOps:   func(r *core.Result) uint64 { return r.Stats.NonPrivAccesses },
+		Validate: func(r *core.Result) error {
+			want := uint64(r.Iters)
+			if r.Arch != "arm" {
+				want = 0
+			}
+			if r.Stats.NonPrivAccesses != want {
+				return fmt.Errorf("nonpriv accesses: got %d, want %d", r.Stats.NonPrivAccesses, want)
+			}
+			return nil
+		},
+		Build: func(env *core.Env) error {
+			a := env.A
+			env.MMU = true
+			// The target page must be user-accessible for LDT to succeed.
+			env.Map(memRegionVA, core.BenchPhysBase, isa.PageSize, true, true)
+			core.EmitPreamble(env)
+			core.EmitLoadIters(env, isa.R11)
+			a.LoadImm32(isa.R9, memRegionVA)
+			core.EmitBegin(env, isa.R0)
+
+			emitCountdownHead(env)
+			env.Arch.EmitNonPrivLoad(a, isa.R0, isa.R9, 0)
+			a.ADDI(isa.R3, isa.R3, 1) // filler keeps the loop body non-empty
+			a.XORI(isa.R4, isa.R3, 0x33)
+			emitCountdownTail(env)
+
+			core.EmitEnd(env, isa.R0)
+			core.EmitResult(env, isa.R3, isa.R0)
+			core.EmitHalt(env)
+			core.EmitVectors(env, core.Handlers{})
+			return nil
+		},
+	}
+}
+
+func tlbMaintBuild(flushAll bool) func(env *core.Env) error {
+	return func(env *core.Env) error {
+		a := env.A
+		env.MMU = true
+		env.Map(memRegionVA, core.BenchPhysBase, evictPages*isa.PageSize, true, false)
+		core.EmitPreamble(env)
+		core.EmitLoadIters(env, isa.R11)
+		a.LoadImm32(isa.R10, memRegionVA)
+		a.LoadImm32(isa.R12, memRegionVA+evictPages*isa.PageSize)
+		a.MOV(isa.R9, isa.R10)
+		a.LoadImm32(isa.R4, isa.PageSize)
+		core.EmitBegin(env, isa.R0)
+
+		emitCountdownHead(env)
+		a.LDW(isa.R0, isa.R9, 0) // touch the page (fills the TLB)
+		if flushAll {
+			a.TLBIA()
+		} else {
+			a.TLBI(isa.R9)
+		}
+		a.ADD(isa.R9, isa.R9, isa.R4)
+		a.CMP(isa.R9, isa.R12)
+		a.B(isa.CondLO, "nowrap")
+		a.MOV(isa.R9, isa.R10)
+		a.Label("nowrap")
+		emitCountdownTail(env)
+
+		core.EmitEnd(env, isa.R0)
+		core.EmitResult(env, isa.R11, isa.R0)
+		core.EmitHalt(env)
+		core.EmitVectors(env, core.Handlers{})
+		return nil
+	}
+}
+
+// TLBEvict is mem.tlb-evict: a cold-style access followed by eviction
+// of exactly the touched page.
+func TLBEvict() *core.Benchmark {
+	return &core.Benchmark{
+		Name:        "mem.tlb-evict",
+		Title:       "TLB Eviction",
+		Category:    core.CatMemory,
+		Description: "per-iteration single-page TLB invalidation",
+		PaperIters:  4_000_000,
+		TestedOps:   func(r *core.Result) uint64 { return r.Stats.TLBInvalidates },
+		Validate: expectExact("TLB invalidates",
+			func(r *core.Result) uint64 { return r.Stats.TLBInvalidates }),
+		Build: tlbMaintBuild(false),
+	}
+}
+
+// TLBFlush is mem.tlb-flush: the same access pattern with a full TLB
+// flush each iteration.
+func TLBFlush() *core.Benchmark {
+	return &core.Benchmark{
+		Name:        "mem.tlb-flush",
+		Title:       "TLB Flush",
+		Category:    core.CatMemory,
+		Description: "per-iteration full TLB flush",
+		PaperIters:  4_000_000,
+		TestedOps:   func(r *core.Result) uint64 { return r.Stats.TLBFlushes },
+		Validate: expectExact("TLB flushes",
+			func(r *core.Result) uint64 { return r.Stats.TLBFlushes }),
+		Build: tlbMaintBuild(true),
+	}
+}

@@ -1,0 +1,166 @@
+// Package core implements the SimBench methodology itself — the
+// paper's primary contribution: a benchmark model with the three-phase
+// protocol (untimed guest-side setup, timed kernel bracketed by
+// benchmark-control writes, untimed cleanup), a portable build
+// environment through which benchmarks emit guest code via the
+// architecture support packages, a runner that boots the benchmark
+// bare-metal on any execution engine, and a validated result model
+// that reports both run time and iteration count, as the methodology
+// requires.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"simbench/internal/arch"
+	"simbench/internal/asm"
+	"simbench/internal/engine"
+	"simbench/internal/isa"
+	"simbench/internal/machine"
+)
+
+// Category groups benchmarks as in the paper's Fig. 3.
+type Category string
+
+// The five SimBench categories.
+const (
+	CatCodeGen     Category = "Code Generation"
+	CatControlFlow Category = "Control Flow"
+	CatException   Category = "Exception Handling"
+	CatIO          Category = "I/O"
+	CatMemory      Category = "Memory System"
+)
+
+// Categories lists all categories in paper order.
+func Categories() []Category {
+	return []Category{CatCodeGen, CatControlFlow, CatException, CatIO, CatMemory}
+}
+
+// Benchmark is one SimBench micro-benchmark.
+type Benchmark struct {
+	// Name is the canonical identifier, e.g. "ctrl.interpage-direct".
+	Name string
+	// Title is the paper's display name, e.g. "Inter-Page Direct".
+	Title string
+	// Category is the Fig. 3 group.
+	Category Category
+	// Description says what mechanism the benchmark isolates.
+	Description string
+	// PaperIters is the default iteration count from Fig. 3; runs are
+	// scaled down from it.
+	PaperIters int64
+	// Build emits the guest program for one run.
+	Build func(*Env) error
+	// TestedOps extracts the tested-operation count from a result (the
+	// numerator of the paper's operation density).
+	TestedOps func(*Result) uint64
+	// Validate checks that a run exercised what it was meant to; nil
+	// means only the generic protocol checks apply.
+	Validate func(*Result) error
+}
+
+// Mapping is a virtual-to-physical range a benchmark wants established
+// by the bootloader before it boots.
+type Mapping struct {
+	VA, PA, Size uint32
+	W, U         bool
+}
+
+// Env is the build environment handed to Benchmark.Build: an assembler
+// for emitting guest code, the architecture support package, and the
+// address-space requests that the host-side bootloader will honour.
+type Env struct {
+	A     *asm.Assembler
+	Arch  arch.Support
+	Iters int64
+
+	// MMU requests that translation be enabled at boot (the preamble
+	// emits the enable sequence; the bootloader builds the tables).
+	MMU      bool
+	mappings []Mapping
+}
+
+// Map requests a page-granular mapping.
+func (e *Env) Map(va, pa, size uint32, w, u bool) {
+	e.mappings = append(e.mappings, Mapping{va, pa, size, w, u})
+}
+
+// Mappings returns the requested mappings.
+func (e *Env) Mappings() []Mapping { return e.mappings }
+
+// Result is the outcome of one benchmark run. Both the kernel time and
+// the iteration count are recorded, as the methodology requires.
+type Result struct {
+	Benchmark *Benchmark
+	Engine    string
+	Arch      string
+	Iters     int64
+
+	// Kernel is the timed-kernel duration (between the guest's BEGIN
+	// and END writes); Total is the whole run including setup,
+	// cleanup, boot and translation warm-up.
+	Kernel time.Duration
+	Total  time.Duration
+
+	Stats engine.Stats
+	Exc   [isa.NumExcs]uint64
+
+	// Device-side counters (architectural, engine-independent).
+	SafeDevAccesses   uint64
+	CoprocDevAccesses uint64
+	SWIRaised         uint64
+
+	GuestResults []uint32
+	Console      string
+}
+
+// TestedOps returns the benchmark's tested-operation count for this run.
+func (r *Result) TestedOps() uint64 {
+	if r.Benchmark == nil || r.Benchmark.TestedOps == nil {
+		return 0
+	}
+	return r.Benchmark.TestedOps(r)
+}
+
+// OpDensity is the paper's operation density: tested operations per
+// retired instruction.
+func (r *Result) OpDensity() float64 {
+	if r.Stats.Instructions == 0 {
+		return 0
+	}
+	return float64(r.TestedOps()) / float64(r.Stats.Instructions)
+}
+
+// PerIter returns the kernel time per iteration.
+func (r *Result) PerIter() time.Duration {
+	if r.Iters == 0 {
+		return 0
+	}
+	return r.Kernel / time.Duration(r.Iters)
+}
+
+func (r *Result) String() string {
+	return fmt.Sprintf("%-24s %-8s %-4s iters=%-10d kernel=%-12s ops=%d",
+		r.Benchmark.Name, r.Engine, r.Arch, r.Iters, r.Kernel, r.TestedOps())
+}
+
+// validateProtocol checks the generic three-phase protocol outcomes.
+func validateProtocol(r *Result, began, ended bool, abort *uint32) error {
+	if abort != nil {
+		return fmt.Errorf("%s: guest aborted with code %d", r.Benchmark.Name, *abort)
+	}
+	if !began || !ended {
+		return fmt.Errorf("%s: kernel phase not bracketed (begin=%v end=%v)",
+			r.Benchmark.Name, began, ended)
+	}
+	if r.Kernel < 0 {
+		return fmt.Errorf("%s: negative kernel time", r.Benchmark.Name)
+	}
+	return nil
+}
+
+// engineProfileMismatch reports benchmarks that cannot run on a profile
+// (none currently: the nonpriv benchmark degenerates to its loop
+// skeleton on x86, as in the paper, rather than being skipped).
+var _ = machine.ProfileARM

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"simbench/internal/asm"
+	"simbench/internal/device"
+	"simbench/internal/isa"
+	"simbench/internal/platform"
+)
+
+// Guest memory-layout conventions shared by every benchmark image.
+const (
+	// StackTop is the initial stack pointer.
+	StackTop = 0x00070000
+	// TableBase..TableLimit is the physical region the bootloader uses
+	// for page tables. The root lands exactly at TableBase (it is
+	// 16 KiB aligned), so guest code can load it as a constant.
+	TableBase  = 0x00100000
+	TableLimit = 0x00200000
+	// BenchPhysBase is where benchmark-specific physical backing
+	// starts.
+	BenchPhysBase = 0x00400000
+	// IdentityLimit is the extent of the identity mapping the
+	// bootloader always establishes for code, data and stack.
+	IdentityLimit = 0x00080000
+)
+
+// Guest-code emission helpers. These are the runtime library that the
+// paper's benchmarks get from their support packages: preamble, vector
+// table, benchmark-control access. They deliberately clobber only the
+// registers they name.
+
+// Handlers names the labels of benchmark-provided exception handlers;
+// empty labels fall back to the abort handler.
+type Handlers struct {
+	Undef     asm.Label
+	Syscall   asm.Label
+	InstFault asm.Label
+	DataFault asm.Label
+	IRQ       asm.Label
+}
+
+func orAbort(l asm.Label) asm.Label {
+	if l == "" {
+		return "vec_abort"
+	}
+	return l
+}
+
+// EmitPreamble emits _start: stack setup, vector installation and —
+// when the environment requests it — MMU enablement. Clobbers R0/R1.
+func EmitPreamble(env *Env) {
+	a := env.A
+	a.Label("_start")
+	a.LoadImm32(isa.SP, StackTop)
+	a.LA(isa.R0, "vectors")
+	a.MSR(isa.CtrlVBAR, isa.R0)
+	if env.MMU {
+		a.LoadImm32(isa.R0, TableBase)
+		a.MSR(isa.CtrlTTBR, isa.R0)
+		ctl := int32(isa.MMUEnable)
+		if env.Arch.Profile().FormatB() {
+			ctl |= int32(isa.MMUFormatB)
+		}
+		a.MOVI(isa.R1, ctl)
+		a.MSR(isa.CtrlMMU, isa.R1)
+	}
+}
+
+// EmitVectors emits the exception vector table and the default abort
+// handler. Call it once per program, anywhere after the preamble.
+func EmitVectors(env *Env, h Handlers) {
+	a := env.A
+	a.Align(32)
+	a.Label("vectors")
+	a.B(isa.CondAL, "vec_abort") // reset re-entry is always a bug
+	a.B(isa.CondAL, orAbort(h.Undef))
+	a.B(isa.CondAL, orAbort(h.Syscall))
+	a.B(isa.CondAL, orAbort(h.InstFault))
+	a.B(isa.CondAL, orAbort(h.DataFault))
+	a.B(isa.CondAL, orAbort(h.IRQ))
+	a.Label("vec_abort")
+	a.LoadImm32(isa.R0, platform.CtlBase)
+	a.MOVI(isa.R1, 0xDEAD)
+	a.STW(isa.R1, isa.R0, device.CtlAbort)
+	a.HALT()
+}
+
+// EmitLoadIters loads the configured iteration count into rd (the low
+// word; scaled counts always fit). Clobbers rd only.
+func EmitLoadIters(env *Env, rd isa.Reg) {
+	a := env.A
+	a.LoadImm32(rd, platform.CtlBase)
+	a.LDW(rd, rd, device.CtlIterLo)
+}
+
+// EmitBegin marks the start of the timed kernel. Clobbers tmp.
+func EmitBegin(env *Env, tmp isa.Reg) {
+	a := env.A
+	a.LoadImm32(tmp, platform.CtlBase)
+	a.STW(tmp, tmp, device.CtlBegin)
+}
+
+// EmitEnd marks the end of the timed kernel. Clobbers tmp.
+func EmitEnd(env *Env, tmp isa.Reg) {
+	a := env.A
+	a.LoadImm32(tmp, platform.CtlBase)
+	a.STW(tmp, tmp, device.CtlEnd)
+}
+
+// EmitResult reports a checksum word to the harness. Clobbers tmp.
+func EmitResult(env *Env, val, tmp isa.Reg) {
+	a := env.A
+	a.LoadImm32(tmp, platform.CtlBase)
+	a.STW(val, tmp, device.CtlResult)
+}
+
+// EmitHalt ends the run.
+func EmitHalt(env *Env) { env.A.HALT() }

@@ -1,0 +1,405 @@
+// Package device implements the simulated platform devices: a UART, an
+// interrupt controller with software-raisable lines, a timer, the
+// side-effect-free "safe" device that the I/O benchmark reads, the
+// benchmark-control port through which guest code talks to the host
+// harness, and the safe coprocessor used by the coprocessor benchmark.
+//
+// These are the uncore components that distinguish full-system from
+// user-mode simulation (paper Fig. 1): every one of them is reachable
+// only through guest physical addresses or coprocessor instructions.
+package device
+
+import (
+	"io"
+	"time"
+)
+
+// --- UART -----------------------------------------------------------------
+
+// UART register offsets.
+const (
+	UARTTx     = 0x00 // write: transmit byte
+	UARTStatus = 0x04 // read: bit0 = tx ready (always set)
+)
+
+// UART is a write-only serial port backed by an io.Writer; the guest's
+// console output lands there. Reads of the status register always
+// report ready, so guests never need to spin.
+type UART struct {
+	W io.Writer
+	n int
+}
+
+func (u *UART) Name() string { return "uart" }
+
+// Read implements mem.Device.
+func (u *UART) Read(off uint32, size int) (uint32, bool) {
+	switch off {
+	case UARTStatus:
+		return 1, true
+	case UARTTx:
+		return 0, true
+	}
+	return 0, false
+}
+
+// Write implements mem.Device.
+func (u *UART) Write(off uint32, size int, v uint32) bool {
+	switch off {
+	case UARTTx:
+		if u.W != nil {
+			u.W.Write([]byte{byte(v)})
+		}
+		u.n++
+		return true
+	case UARTStatus:
+		return true
+	}
+	return false
+}
+
+// BytesWritten reports how many bytes the guest transmitted.
+func (u *UART) BytesWritten() int { return u.n }
+
+// --- Interrupt controller ---------------------------------------------------
+
+// Interrupt controller register offsets.
+const (
+	ICStatus = 0x00 // read: pending & enabled
+	ICRaw    = 0x04 // read: pending
+	ICEnable = 0x08 // read/write: enable mask
+	ICRaise  = 0x0C // write: raise line (value = line number), the SWI mechanism
+	ICClear  = 0x10 // write: clear line (value = line number)
+)
+
+// Lines on the interrupt controller.
+const (
+	LineSoftware = 0 // software-generated interrupt (SimBench exc.swi)
+	LineTimer    = 1
+	NumLines     = 32
+)
+
+// IntController is a simple 32-line interrupt controller. Software can
+// raise any line by writing its number to ICRaise — the mechanism the
+// External Software Interrupt benchmark uses. The controller drives a
+// single IRQ output computed as (pending & enabled) != 0.
+type IntController struct {
+	pending uint32
+	enabled uint32
+	out     func(bool) // IRQ line to the CPU
+	raised  uint64
+}
+
+// NewIntController creates a controller that drives the given IRQ line.
+func NewIntController(out func(bool)) *IntController {
+	return &IntController{out: out}
+}
+
+func (ic *IntController) Name() string { return "intc" }
+
+func (ic *IntController) update() {
+	if ic.out != nil {
+		ic.out(ic.pending&ic.enabled != 0)
+	}
+}
+
+// Raise asserts a line from the host side (e.g. the timer).
+func (ic *IntController) Raise(line uint32) {
+	ic.pending |= 1 << (line % NumLines)
+	ic.raised++
+	ic.update()
+}
+
+// RaisedCount reports how many raises have occurred (tested-op counter).
+func (ic *IntController) RaisedCount() uint64 { return ic.raised }
+
+// Pending returns the raw pending mask.
+func (ic *IntController) Pending() uint32 { return ic.pending }
+
+// Read implements mem.Device.
+func (ic *IntController) Read(off uint32, size int) (uint32, bool) {
+	switch off {
+	case ICStatus:
+		return ic.pending & ic.enabled, true
+	case ICRaw:
+		return ic.pending, true
+	case ICEnable:
+		return ic.enabled, true
+	}
+	return 0, false
+}
+
+// Write implements mem.Device.
+func (ic *IntController) Write(off uint32, size int, v uint32) bool {
+	switch off {
+	case ICEnable:
+		ic.enabled = v
+		ic.update()
+	case ICRaise:
+		ic.Raise(v)
+	case ICClear:
+		ic.pending &^= 1 << (v % NumLines)
+		ic.update()
+	default:
+		return false
+	}
+	return true
+}
+
+// --- Timer ------------------------------------------------------------------
+
+// Timer register offsets.
+const (
+	TimerCount   = 0x00 // read/write: current count
+	TimerCompare = 0x04 // read/write: raise IRQ when count reaches this
+	TimerCtrl    = 0x08 // bit0: enable
+)
+
+// Timer is an instruction-clocked count/compare timer that raises
+// LineTimer on the interrupt controller when it fires. Engines call
+// Tick with retired-instruction deltas.
+type Timer struct {
+	count   uint32
+	compare uint32
+	enabled bool
+	ic      *IntController
+}
+
+// NewTimer wires a timer to an interrupt controller.
+func NewTimer(ic *IntController) *Timer { return &Timer{ic: ic} }
+
+func (t *Timer) Name() string { return "timer" }
+
+// Tick advances the count by n and fires if the compare value is crossed.
+func (t *Timer) Tick(n uint32) {
+	if !t.enabled {
+		return
+	}
+	before := t.count
+	t.count += n
+	if before < t.compare && t.count >= t.compare {
+		t.ic.Raise(LineTimer)
+	}
+}
+
+// Read implements mem.Device.
+func (t *Timer) Read(off uint32, size int) (uint32, bool) {
+	switch off {
+	case TimerCount:
+		return t.count, true
+	case TimerCompare:
+		return t.compare, true
+	case TimerCtrl:
+		if t.enabled {
+			return 1, true
+		}
+		return 0, true
+	}
+	return 0, false
+}
+
+// Write implements mem.Device.
+func (t *Timer) Write(off uint32, size int, v uint32) bool {
+	switch off {
+	case TimerCount:
+		t.count = v
+	case TimerCompare:
+		t.compare = v
+	case TimerCtrl:
+		t.enabled = v&1 != 0
+	default:
+		return false
+	}
+	return true
+}
+
+// --- Safe device --------------------------------------------------------------
+
+// SafeDev register offsets.
+const (
+	SafeID      = 0x00 // read: constant device ID
+	SafeScratch = 0x04 // read/write: no side effects
+	SafeLED     = 0x08 // write: toggles a virtual LED
+)
+
+// SafeIDValue is the constant the ID register returns.
+const SafeIDValue = 0x51AFEDE5
+
+// SafeDev is the paper's "safe" memory-mapped device: reading its ID
+// register has no side effects and requires no processing, so accesses
+// measure pure MMIO dispatch cost.
+type SafeDev struct {
+	scratch  uint32
+	led      uint32
+	accesses uint64
+}
+
+func (s *SafeDev) Name() string { return "safedev" }
+
+// Accesses reports the tested-op counter for the I/O benchmark.
+func (s *SafeDev) Accesses() uint64 { return s.accesses }
+
+// Read implements mem.Device.
+func (s *SafeDev) Read(off uint32, size int) (uint32, bool) {
+	s.accesses++
+	switch off {
+	case SafeID:
+		return SafeIDValue, true
+	case SafeScratch:
+		return s.scratch, true
+	case SafeLED:
+		return s.led, true
+	}
+	return 0, false
+}
+
+// Write implements mem.Device.
+func (s *SafeDev) Write(off uint32, size int, v uint32) bool {
+	s.accesses++
+	switch off {
+	case SafeScratch:
+		s.scratch = v
+	case SafeLED:
+		s.led = v & 1
+	default:
+		return false
+	}
+	return true
+}
+
+// --- Benchmark control port ---------------------------------------------------
+
+// BenchCtl register offsets.
+const (
+	CtlIterLo = 0x00 // read: configured iteration count, low word
+	CtlIterHi = 0x04 // read: high word
+	CtlBegin  = 0x08 // write: start the timed kernel phase
+	CtlEnd    = 0x0C // write: end the timed kernel phase
+	CtlPhase  = 0x10 // write: phase progress marker
+	CtlResult = 0x14 // write: report a checksum / result word
+	CtlAbort  = 0x18 // write: guest-detected failure, value = code
+	CtlMagic  = 0x1C // read: constant, lets guests probe for the port
+)
+
+// CtlMagicValue identifies the benchmark-control device.
+const CtlMagicValue = 0x5B3C0DE5
+
+// BenchCtl is the benchmark-control port: the channel through which a
+// bare-metal SimBench guest reports phase transitions to the harness.
+// The host timestamps the Begin/End writes, which implements the
+// paper's "only the benchmark kernel itself is timed" rule without any
+// guest-visible clock.
+type BenchCtl struct {
+	Iters       uint64
+	BeginAt     time.Time
+	EndAt       time.Time
+	Began       bool
+	Ended       bool
+	Phase       uint32
+	Results     []uint32
+	AbortedWith *uint32
+
+	// Now is the clock used for timestamps; it defaults to time.Now
+	// and is replaceable for tests.
+	Now func() time.Time
+}
+
+func (c *BenchCtl) Name() string { return "benchctl" }
+
+func (c *BenchCtl) now() time.Time {
+	if c.Now != nil {
+		return c.Now()
+	}
+	return time.Now()
+}
+
+// KernelTime returns the timed-kernel duration, valid once Ended.
+func (c *BenchCtl) KernelTime() time.Duration { return c.EndAt.Sub(c.BeginAt) }
+
+// Read implements mem.Device.
+func (c *BenchCtl) Read(off uint32, size int) (uint32, bool) {
+	switch off {
+	case CtlIterLo:
+		return uint32(c.Iters), true
+	case CtlIterHi:
+		return uint32(c.Iters >> 32), true
+	case CtlMagic:
+		return CtlMagicValue, true
+	case CtlPhase:
+		return c.Phase, true
+	}
+	return 0, false
+}
+
+// Write implements mem.Device.
+func (c *BenchCtl) Write(off uint32, size int, v uint32) bool {
+	switch off {
+	case CtlBegin:
+		c.BeginAt = c.now()
+		c.Began = true
+	case CtlEnd:
+		c.EndAt = c.now()
+		c.Ended = true
+	case CtlPhase:
+		c.Phase = v
+	case CtlResult:
+		c.Results = append(c.Results, v)
+	case CtlAbort:
+		code := v
+		c.AbortedWith = &code
+	default:
+		return false
+	}
+	return true
+}
+
+// --- Safe coprocessor -----------------------------------------------------------
+
+// Safe coprocessor register numbers.
+const (
+	CPRegDACR  = 0 // arm profile: domain-access-control style register
+	CPRegReset = 1 // x86 profile: maths-coprocessor reset
+	CPRegState = 2
+)
+
+// SafeCoproc is the benchmark coprocessor (CP1). The arm profile reads
+// a DACR-like register; the x86 profile "resets the maths coprocessor",
+// which clears a small state block — slightly more work, as on real
+// hardware. Both are side-effect-free from the guest's point of view.
+type SafeCoproc struct {
+	dacr     uint32
+	state    [8]uint32
+	accesses uint64
+}
+
+// Accesses reports the tested-op counter for the coprocessor benchmark.
+func (c *SafeCoproc) Accesses() uint64 { return c.accesses }
+
+// Read implements machine.Coprocessor.
+func (c *SafeCoproc) Read(reg uint32) (uint32, bool) {
+	c.accesses++
+	switch reg {
+	case CPRegDACR:
+		return c.dacr, true
+	case CPRegState:
+		return c.state[0], true
+	}
+	return 0, false
+}
+
+// Write implements machine.Coprocessor.
+func (c *SafeCoproc) Write(reg uint32, v uint32) bool {
+	c.accesses++
+	switch reg {
+	case CPRegDACR:
+		c.dacr = v
+		return true
+	case CPRegReset:
+		for i := range c.state {
+			c.state[i] = 0
+		}
+		c.state[0] = v
+		return true
+	}
+	return false
+}

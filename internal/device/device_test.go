@@ -1,0 +1,210 @@
+package device
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func TestUARTTransmit(t *testing.T) {
+	var buf bytes.Buffer
+	u := &UART{W: &buf}
+	for _, c := range []byte("ok!") {
+		if !u.Write(UARTTx, 4, uint32(c)) {
+			t.Fatal("tx rejected")
+		}
+	}
+	if buf.String() != "ok!" {
+		t.Errorf("console %q", buf.String())
+	}
+	if u.BytesWritten() != 3 {
+		t.Errorf("count %d", u.BytesWritten())
+	}
+	if v, ok := u.Read(UARTStatus, 4); !ok || v&1 != 1 {
+		t.Error("status should always report ready")
+	}
+	if _, ok := u.Read(0x40, 4); ok {
+		t.Error("unknown register must reject")
+	}
+}
+
+func TestUARTNilWriter(t *testing.T) {
+	u := &UART{}
+	if !u.Write(UARTTx, 4, 'x') {
+		t.Error("tx to nil writer should still accept")
+	}
+}
+
+func TestIntControllerRaiseEnableClear(t *testing.T) {
+	var line bool
+	ic := NewIntController(func(l bool) { line = l })
+
+	// Raising a disabled line must not assert the output.
+	ic.Write(ICRaise, 4, LineSoftware)
+	if line {
+		t.Error("disabled line asserted IRQ")
+	}
+	if v, _ := ic.Read(ICRaw, 4); v != 1<<LineSoftware {
+		t.Errorf("raw %#x", v)
+	}
+	if v, _ := ic.Read(ICStatus, 4); v != 0 {
+		t.Errorf("status %#x with enable clear", v)
+	}
+
+	// Enable it: output asserts immediately (already pending).
+	ic.Write(ICEnable, 4, 1<<LineSoftware)
+	if !line {
+		t.Error("enable did not assert pending line")
+	}
+	if v, _ := ic.Read(ICStatus, 4); v != 1<<LineSoftware {
+		t.Errorf("status %#x", v)
+	}
+
+	// Clear: output drops.
+	ic.Write(ICClear, 4, LineSoftware)
+	if line {
+		t.Error("clear did not deassert")
+	}
+	if ic.RaisedCount() != 1 {
+		t.Errorf("raised count %d", ic.RaisedCount())
+	}
+}
+
+func TestIntControllerMultipleLines(t *testing.T) {
+	var line bool
+	ic := NewIntController(func(l bool) { line = l })
+	ic.Write(ICEnable, 4, 0xFFFFFFFF)
+	ic.Raise(3)
+	ic.Raise(7)
+	if v, _ := ic.Read(ICRaw, 4); v != (1<<3)|(1<<7) {
+		t.Errorf("raw %#x", v)
+	}
+	ic.Write(ICClear, 4, 3)
+	if !line {
+		t.Error("line must stay asserted while any enabled line pending")
+	}
+	ic.Write(ICClear, 4, 7)
+	if line {
+		t.Error("line must drop when all cleared")
+	}
+}
+
+func TestTimerFiresOnCompare(t *testing.T) {
+	var line bool
+	ic := NewIntController(func(l bool) { line = l })
+	ic.Write(ICEnable, 4, 1<<LineTimer)
+	tm := NewTimer(ic)
+	tm.Write(TimerCompare, 4, 100)
+	tm.Write(TimerCtrl, 4, 1)
+	tm.Tick(50)
+	if line {
+		t.Error("fired early")
+	}
+	tm.Tick(50)
+	if !line {
+		t.Error("did not fire on crossing")
+	}
+	if v, _ := tm.Read(TimerCount, 4); v != 100 {
+		t.Errorf("count %d", v)
+	}
+	// Re-arming above the count and ticking past fires again.
+	ic.Write(ICClear, 4, LineTimer)
+	tm.Write(TimerCompare, 4, 150)
+	tm.Tick(60)
+	if !line {
+		t.Error("did not fire after rearm")
+	}
+}
+
+func TestTimerDisabled(t *testing.T) {
+	ic := NewIntController(nil)
+	tm := NewTimer(ic)
+	tm.Write(TimerCompare, 4, 10)
+	tm.Tick(100) // disabled: no count, no fire
+	if v, _ := tm.Read(TimerCount, 4); v != 0 {
+		t.Errorf("disabled timer counted to %d", v)
+	}
+	if ic.Pending() != 0 {
+		t.Error("disabled timer raised")
+	}
+}
+
+func TestSafeDev(t *testing.T) {
+	d := &SafeDev{}
+	if v, ok := d.Read(SafeID, 4); !ok || v != SafeIDValue {
+		t.Errorf("id %#x", v)
+	}
+	d.Write(SafeScratch, 4, 99)
+	if v, _ := d.Read(SafeScratch, 4); v != 99 {
+		t.Errorf("scratch %d", v)
+	}
+	d.Write(SafeLED, 4, 1)
+	if v, _ := d.Read(SafeLED, 4); v != 1 {
+		t.Errorf("led %d", v)
+	}
+	if d.Accesses() != 5 {
+		t.Errorf("accesses %d", d.Accesses())
+	}
+	if _, ok := d.Read(0x100, 4); ok {
+		t.Error("unknown register accepted")
+	}
+}
+
+func TestBenchCtlProtocol(t *testing.T) {
+	now := time.Unix(0, 0)
+	c := &BenchCtl{Iters: 0x1_0000_0002, Now: func() time.Time {
+		now = now.Add(time.Second)
+		return now
+	}}
+	if v, _ := c.Read(CtlIterLo, 4); v != 2 {
+		t.Errorf("iter lo %d", v)
+	}
+	if v, _ := c.Read(CtlIterHi, 4); v != 1 {
+		t.Errorf("iter hi %d", v)
+	}
+	if v, _ := c.Read(CtlMagic, 4); v != CtlMagicValue {
+		t.Errorf("magic %#x", v)
+	}
+	c.Write(CtlBegin, 4, 0)
+	c.Write(CtlEnd, 4, 0)
+	if !c.Began || !c.Ended {
+		t.Error("begin/end not recorded")
+	}
+	if c.KernelTime() != time.Second {
+		t.Errorf("kernel time %v", c.KernelTime())
+	}
+	c.Write(CtlResult, 4, 42)
+	c.Write(CtlResult, 4, 43)
+	if len(c.Results) != 2 || c.Results[1] != 43 {
+		t.Errorf("results %v", c.Results)
+	}
+	c.Write(CtlPhase, 4, 2)
+	if v, _ := c.Read(CtlPhase, 4); v != 2 {
+		t.Errorf("phase %d", v)
+	}
+	c.Write(CtlAbort, 4, 7)
+	if c.AbortedWith == nil || *c.AbortedWith != 7 {
+		t.Error("abort not recorded")
+	}
+}
+
+func TestSafeCoproc(t *testing.T) {
+	c := &SafeCoproc{}
+	c.Write(CPRegDACR, 0x55)
+	if v, ok := c.Read(CPRegDACR); !ok || v != 0x55 {
+		t.Errorf("dacr %#x ok=%v", v, ok)
+	}
+	// Reset clears the state block and stores the written value.
+	if !c.Write(CPRegReset, 9) {
+		t.Error("reset rejected")
+	}
+	if v, _ := c.Read(CPRegState); v != 9 {
+		t.Errorf("state %d", v)
+	}
+	if _, ok := c.Read(99); ok {
+		t.Error("unknown coproc register accepted")
+	}
+	if c.Accesses() != 5 {
+		t.Errorf("accesses %d", c.Accesses())
+	}
+}

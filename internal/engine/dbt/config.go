@@ -1,0 +1,125 @@
+package dbt
+
+// ChainPolicy selects how translated blocks are linked to their
+// successors.
+type ChainPolicy uint8
+
+// Chaining policies.
+const (
+	// ChainNone performs a full lookup for every block transition.
+	ChainNone ChainPolicy = iota
+	// ChainDirect links same-page direct successors with a raw pointer.
+	ChainDirect
+	// ChainChecked links but revalidates the target block's page
+	// generation and virtual address on every traversal — the safer,
+	// slower scheme later QEMU versions adopted.
+	ChainChecked
+)
+
+func (c ChainPolicy) String() string {
+	switch c {
+	case ChainNone:
+		return "none"
+	case ChainDirect:
+		return "direct"
+	case ChainChecked:
+		return "checked"
+	}
+	return "?"
+}
+
+// Config selects the implementation trade-offs of the DBT engine. Every
+// field toggles or scales a real code path, so two configs differ in
+// measured wall-clock exactly the way two QEMU releases do. The
+// internal/versions package defines one Config per modelled QEMU
+// release.
+type Config struct {
+	// Name identifies the configuration (e.g. a QEMU version string).
+	Name string
+
+	// OptLevel selects translator optimisation passes:
+	//   0: straight lowering;
+	//   1: + constant folding of MOVI/MOVT pairs and NOP elimination;
+	//   2: + compare/branch fusion.
+	// Higher levels spend more time translating and produce faster
+	// code ("Improvements to the TCG optimiser", QEMU v2.0 changelog).
+	OptLevel int
+
+	// Chain is the block-chaining policy for same-page direct
+	// successors.
+	Chain ChainPolicy
+
+	// LookupDepth is the number of hashed probe layers tried before
+	// falling back to the authoritative translation-cache map: 1
+	// models the classic direct-mapped jump cache, 2 adds a second
+	// probe layer (more bookkeeping per miss), and 3 additionally
+	// deep-validates every probe hit against the emitted host code.
+	LookupDepth int
+
+	// LazyFlush switches full-flush handling of the jump caches from
+	// eagerly zeroing them (32 KiB of memory traffic per flush) to an
+	// epoch bump with per-slot validation — the flush-path optimisation
+	// modelled after QEMU's 2.4-era TLB/jump-cache rework.
+	LazyFlush bool
+
+	// TLBBits sizes the L1 softMMU page cache (1<<TLBBits entries per
+	// MMU index and access type).
+	TLBBits int
+
+	// VictimTLB enables the 8-entry fully associative victim cache
+	// behind the L1, QEMU's multi-level page-cache design.
+	VictimTLB bool
+
+	// DataFaultFastPath skips the translate-back state recovery on
+	// data aborts (the v2.5.0-rc0 improvement the paper spotlights:
+	// ~8x on ARM, ~4x on x86 for the Data Access Fault benchmark).
+	DataFaultFastPath bool
+
+	// ExcSyncWords is the amount of auxiliary CPU state (in words)
+	// serialised on every exception entry; it grew release by release.
+	ExcSyncWords int
+
+	// HelperSaveWords is the CPU state (in words) saved and restored
+	// around every helper call (device or coprocessor access).
+	HelperSaveWords int
+
+	// WalkExtraChecks models the growing complexity of QEMU's ARM MMU
+	// code (more architecture variants and attributes evaluated per
+	// translation-table walk).
+	WalkExtraChecks int
+
+	// BlockCap is the maximum guest instructions per translated block.
+	BlockCap int
+}
+
+// DefaultConfig is a modern, fully featured configuration, matching the
+// v2.5.0-rc2 setup used for the paper's Fig. 7 measurements.
+func DefaultConfig() Config {
+	return Config{
+		Name:              "default",
+		OptLevel:          2,
+		Chain:             ChainChecked,
+		LookupDepth:       3,
+		LazyFlush:         true,
+		TLBBits:           7,
+		VictimTLB:         true,
+		DataFaultFastPath: true,
+		ExcSyncWords:      64,
+		HelperSaveWords:   48,
+		WalkExtraChecks:   88,
+		BlockCap:          64,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	if c.BlockCap <= 0 {
+		c.BlockCap = 64
+	}
+	if c.TLBBits <= 0 {
+		c.TLBBits = 8
+	}
+	if c.LookupDepth <= 0 {
+		c.LookupDepth = 1
+	}
+	return c
+}

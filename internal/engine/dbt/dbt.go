@@ -1,0 +1,392 @@
+// Package dbt implements the dynamic-binary-translation engine, the
+// QEMU-DBT analogue of the paper's Fig. 4: guest code is translated
+// block-by-block into a micro-op IR, cached in a physically indexed
+// translation cache, looked up through a virtually indexed jump cache,
+// and chained to same-page direct successors. Memory runs through a
+// multi-level softMMU page cache, synchronous exceptions take side
+// exits, and interrupts are recognised at block boundaries.
+//
+// The engine is parameterised by a Config whose fields switch real code
+// paths; the internal/versions package uses this to model twenty QEMU
+// releases for the paper's version-sweep experiments.
+package dbt
+
+import (
+	"fmt"
+
+	"simbench/internal/engine"
+	"simbench/internal/isa"
+	"simbench/internal/machine"
+)
+
+const (
+	jmpBits     = 12 // 4096-entry jump caches
+	jmpSize     = 1 << jmpBits
+	tickQuantum = 4096
+)
+
+// Engine is the DBT engine. Create one with New.
+type Engine struct {
+	cfg Config
+	m   *machine.Machine
+	st  engine.Stats
+
+	blocks     map[uint32]*block // physical start address -> block
+	jmpCache   [jmpSize]*block   // virtually indexed, first probe
+	jmpCache2  [jmpSize]*block   // second probe layer (LookupDepth >= 2)
+	jmpEpoch   [jmpSize]uint32   // per-slot flush epochs (LazyFlush)
+	jmpEpoch2  [jmpSize]uint32
+	flushEpoch uint32   // current jump-cache flush epoch
+	pageGen    []uint32 // per physical page generation (SMC)
+	codePages  []bool   // physical pages containing translated code
+	chainEpoch uint32   // bumped on TLB maintenance; breaks chains
+
+	dtlb *softTLB
+	itlb *softTLB
+
+	walkScratch  uint32
+	checkScratch uint32
+	syncBuf      []uint32
+	helperBuf    []uint32
+	stateWords   [64]uint32
+	tcgCtx       [256]uint64 // translation context (temp pools, op and label buffers), reset per block
+	relocBuf     []uint32    // relocation worklist, reused across translations
+}
+
+// New returns a DBT engine with the given configuration.
+func New(cfg Config) *Engine {
+	return &Engine{cfg: cfg.withDefaults()}
+}
+
+// NewDefault returns a DBT engine with the modern default configuration.
+func NewDefault() *Engine { return New(DefaultConfig()) }
+
+// Name implements engine.Engine.
+func (e *Engine) Name() string { return "dbt" }
+
+// Config returns the engine's configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Features implements engine.Engine (the paper's Fig. 4 QEMU-DBT row).
+func (e *Engine) Features() engine.Features {
+	return engine.Features{
+		ExecutionModel: "DBT",
+		MemoryAccess:   "Multi-Level Page Cache",
+		CodeGeneration: "Block-Based",
+		CtrlFlowInter:  "Block Cache",
+		CtrlFlowIntra:  "Block Chaining",
+		Interrupts:     "Block Boundaries",
+		SyncExceptions: "Side Exit",
+		UndefInsn:      "Translated",
+	}
+}
+
+// InvalidatePage implements machine.TLBListener.
+func (e *Engine) InvalidatePage(va uint32) {
+	e.dtlb.flushPage(va)
+	e.itlb.flushPage(va)
+	h := jmpHash(va)
+	if b := e.jmpCache[h]; b != nil && b.va == va {
+		e.jmpCache[h] = nil
+	}
+	if b := e.jmpCache2[jmpHash2(va)]; b != nil && b.va == va {
+		e.jmpCache2[jmpHash2(va)] = nil
+	}
+	// A mapping change can redirect a chained target, so chains must be
+	// re-established through full lookups.
+	e.chainEpoch++
+}
+
+// InvalidateAll implements machine.TLBListener. The jump caches are
+// either zeroed eagerly or, with LazyFlush, invalidated by an epoch
+// bump with per-slot revalidation at probe time.
+func (e *Engine) InvalidateAll() {
+	if e.dtlb == nil {
+		return
+	}
+	e.dtlb.flushAll()
+	e.itlb.flushAll()
+	if e.cfg.LazyFlush {
+		e.flushEpoch++
+	} else {
+		e.jmpCache = [jmpSize]*block{}
+		e.jmpCache2 = [jmpSize]*block{}
+	}
+	e.chainEpoch++
+}
+
+func jmpHash(va uint32) uint32  { return (va >> 2) & (jmpSize - 1) }
+func jmpHash2(va uint32) uint32 { return (va * 2654435761) >> (32 - jmpBits) }
+
+func (e *Engine) reset(m *machine.Machine) {
+	e.m = m
+	e.st = engine.Stats{}
+	e.blocks = make(map[uint32]*block)
+	pages := (len(m.Bus.RAM) + isa.PageSize - 1) / isa.PageSize
+	e.pageGen = make([]uint32, pages)
+	e.codePages = make([]bool, pages)
+	e.dtlb = newSoftTLB(e.cfg.TLBBits, e.cfg.VictimTLB)
+	e.itlb = newSoftTLB(e.cfg.TLBBits, false)
+	e.jmpCache = [jmpSize]*block{}
+	e.jmpCache2 = [jmpSize]*block{}
+	e.jmpEpoch = [jmpSize]uint32{}
+	e.jmpEpoch2 = [jmpSize]uint32{}
+	e.flushEpoch = 0
+	e.syncBuf = make([]uint32, e.cfg.ExcSyncWords)
+	e.helperBuf = make([]uint32, e.cfg.HelperSaveWords)
+	m.ClearTLBListeners()
+	m.AddTLBListener(e)
+}
+
+// valid reports whether a block's translation is still current.
+func (e *Engine) valid(b *block) bool {
+	return b.gen == e.pageGen[b.physPage]
+}
+
+// lookup finds or translates the block at va. ok is false if the fetch
+// faulted, in which case the exception has been entered and the caller
+// should re-dispatch from the new PC.
+//
+// Every lookup — even a jump-cache hit — first recomputes the CPU
+// state tuple and validates the candidate against it (QEMU's
+// cpu_get_tb_cpu_state + tb field comparison). This is the per-
+// transition cost that block chaining exists to avoid.
+func (e *Engine) lookup(va uint32) (b *block, ok bool) {
+	cpu := &e.m.CPU
+	flags := uint32(0)
+	if cpu.Kernel {
+		flags = 1
+	}
+	if cpu.IRQOn {
+		flags |= 2
+	}
+	flags |= e.m.CPU.Ctrl[isa.CtrlMMU] << 2
+	stateHash := (va >> 2) * 2654435761
+	stateHash ^= flags * 0x9E3779B9
+	stateHash ^= e.chainEpoch
+
+	validate := func(b *block) bool {
+		// Field-by-field comparison, as the translation-cache probe
+		// performs: pc, page generation, flags compatibility.
+		if b.va != va || !e.valid(b) {
+			return false
+		}
+		e.checkScratch ^= stateHash ^ b.end ^ uint32(b.insns)<<16 ^ b.liveIn
+		if e.cfg.LookupDepth >= 3 {
+			// Deep validation: cross-check a window of the emitted
+			// host code against the descriptor.
+			sum := uint32(0)
+			hc := b.hostCode
+			for i := 0; i < 2 && i < len(hc); i++ {
+				sum = sum<<3 ^ hc[i]
+			}
+			e.checkScratch ^= sum
+		}
+		return true
+	}
+
+	h := jmpHash(va)
+	if b := e.jmpCache[h]; b != nil && e.jmpEpoch[h] == e.flushEpoch && validate(b) {
+		return b, true
+	}
+	var h2 uint32
+	if e.cfg.LookupDepth >= 2 {
+		h2 = jmpHash2(va)
+		if b := e.jmpCache2[h2]; b != nil && e.jmpEpoch2[h2] == e.flushEpoch && validate(b) {
+			e.jmpCache[h] = b // promote
+			e.jmpEpoch[h] = e.flushEpoch
+			return b, true
+		}
+	}
+	e.st.CacheLookups++
+	pa, fault := e.codeAccess(va)
+	if fault != isa.FaultNone {
+		e.enterExc(isa.ExcInstFault, va)
+		e.m.EnterMemFault(isa.ExcInstFault, fault, va, false, va)
+		return nil, false
+	}
+	b = e.blocks[pa]
+	if b == nil || !e.valid(b) || b.va != va {
+		b = e.translate(va, pa)
+	}
+	e.jmpCache[h] = b
+	e.jmpEpoch[h] = e.flushEpoch
+	if e.cfg.LookupDepth >= 2 {
+		e.jmpCache2[h2] = b
+		e.jmpEpoch2[h2] = e.flushEpoch
+	}
+	return b, true
+}
+
+// enterExc performs the per-exception bookkeeping all exception classes
+// share: serialising ExcSyncWords of auxiliary state. (Machine.Enter is
+// called separately because fault entries carry extra arguments.)
+func (e *Engine) enterExc(exc isa.Exc, _ uint32) {
+	buf := e.syncBuf
+	for i := range buf {
+		buf[i] = e.stateWords[i&63] + uint32(i)
+		e.stateWords[i&63] = buf[i] ^ uint32(exc)
+	}
+	e.st.ExceptionsTaken++
+}
+
+// restoreState models QEMU's cpu_restore_state: recover precise guest
+// state at a faulting instruction by re-running the translator over
+// the block, replaying the emitted stream to locate the faulting
+// micro-op, and resynchronising the softMMU view. The data-fault fast
+// path (v2.5.0-rc0) skips all of this.
+func (e *Engine) restoreState(b *block) {
+	pa := b.physPage | (b.va & isa.PageMask)
+	saved := e.st // retranslation is recovery work, not new code generation
+	nb := e.translate(b.va, pa)
+	e.st.BlocksTranslated = saved.BlocksTranslated
+	e.st.InsnsTranslated = saved.InsnsTranslated
+	// Replay the host stream against the retranslated block to map the
+	// host fault point back to a guest instruction.
+	acc := uint32(0)
+	for pass := 0; pass < 4; pass++ {
+		for i := range nb.hostCode {
+			acc = acc*33 + nb.hostCode[i] + uint32(pass)
+		}
+	}
+	// Resynchronise the softMMU state the faulting access touched.
+	for i := range e.stateWords {
+		e.stateWords[i] ^= acc + uint32(i)
+		acc = acc<<7 | acc>>25
+	}
+	e.checkScratch ^= acc
+}
+
+// helperCall brackets a device or coprocessor access with CPU-state
+// save/restore, the per-helper overhead that grew across QEMU versions.
+func (e *Engine) helperCall() {
+	buf := e.helperBuf
+	for i := range buf {
+		buf[i] = e.stateWords[i&63]
+	}
+	for i := range buf {
+		e.stateWords[i&63] ^= buf[i] >> 1
+	}
+}
+
+// noteStore detects stores into pages holding translated code and
+// invalidates them by bumping the page generation. Invalidation is
+// page-granular and takes effect at the next block entry: a store that
+// patches an instruction *later in the currently executing block*
+// completes the block on the stale translation, exactly like QEMU
+// without tb_invalidate-time precise restart. All SimBench code-
+// generation patterns (patch, then branch/call into the patched code)
+// re-enter through the dispatcher and observe the invalidation.
+func (e *Engine) noteStore(pa uint32) {
+	page := pa >> isa.PageShift
+	if int(page) < len(e.codePages) && e.codePages[page] {
+		e.pageGen[page]++
+		e.codePages[page] = false
+		e.st.SMCInvalidations++
+	}
+}
+
+// Run implements engine.Engine.
+func (e *Engine) Run(m *machine.Machine, limit uint64) (engine.Stats, error) {
+	e.reset(m)
+	cpu := &m.CPU
+	var insns, lastTick uint64
+
+	b, ok := e.lookup(cpu.PC)
+	for !m.Halted {
+		if insns >= limit {
+			e.st.Instructions = insns
+			return e.st, engine.ErrLimit
+		}
+		if m.TickFn != nil && insns-lastTick >= tickQuantum {
+			m.TickFn(uint32(insns - lastTick))
+			lastTick = insns
+		}
+		// Interrupts are recognised at block boundaries only.
+		if m.IRQPending() {
+			e.enterExc(isa.ExcIRQ, cpu.PC)
+			m.Enter(isa.ExcIRQ, cpu.PC)
+			e.st.IRQsDelivered++
+			b, ok = e.lookup(cpu.PC)
+			continue
+		}
+		if !ok {
+			b, ok = e.lookup(cpu.PC)
+			continue
+		}
+		if !e.valid(b) {
+			b, ok = e.lookup(b.va)
+			continue
+		}
+		e.st.BlockExecutions++
+
+		kind, target, retired := e.exec(b)
+		insns += retired
+
+		switch kind {
+		case exitFall:
+			cpu.PC = b.fallVA
+			b, ok = e.follow(b, &b.nextFall, &b.fallEpoch, b.fallVA)
+		case exitTaken:
+			cpu.PC = target
+			if target == b.takenVA {
+				b, ok = e.follow(b, &b.nextTaken, &b.takenEpoch, target)
+			} else {
+				b, ok = e.lookup(target)
+			}
+		case exitIndirect:
+			cpu.PC = target
+			b, ok = e.lookup(target)
+		case exitException:
+			b, ok = e.lookup(cpu.PC)
+		case exitHalt:
+			// loop exits via m.Halted
+		}
+	}
+	e.st.Instructions = insns
+	return e.st, nil
+}
+
+// follow takes a (potentially chained) transition to va. The chain slot
+// is used when the policy allows and the cached link is still valid;
+// otherwise a full lookup runs and, for same-page targets, re-establishes
+// the link.
+func (e *Engine) follow(b *block, slot **block, epoch *uint32, va uint32) (*block, bool) {
+	if nb := *slot; nb != nil && e.cfg.Chain != ChainNone && *epoch == e.chainEpoch {
+		switch e.cfg.Chain {
+		case ChainDirect:
+			if e.valid(nb) {
+				e.st.ChainFollows++
+				return nb, true
+			}
+		case ChainChecked:
+			// The safer scheme revalidates the target address and
+			// rescans a window of the host code before trusting it.
+			if e.valid(nb) && nb.va == va {
+				sum := uint32(0)
+				hc := nb.hostCode
+				for i := 0; i < 4 && i < len(hc); i++ {
+					sum ^= hc[i]
+				}
+				e.checkScratch ^= sum
+				e.st.ChainFollows++
+				return nb, true
+			}
+		}
+	}
+	nb, ok := e.lookup(va)
+	if ok && e.cfg.Chain != ChainNone && samePage(b.va, va) {
+		*slot = nb
+		*epoch = e.chainEpoch
+	}
+	return nb, ok
+}
+
+func samePage(a, b uint32) bool { return a>>isa.PageShift == b>>isa.PageShift }
+
+// String describes the engine and its configuration.
+func (e *Engine) String() string {
+	return fmt.Sprintf("dbt(%s: opt=%d chain=%s lookup=%d tlb=2^%d victim=%v dfp=%v)",
+		e.cfg.Name, e.cfg.OptLevel, e.cfg.Chain, e.cfg.LookupDepth,
+		e.cfg.TLBBits, e.cfg.VictimTLB, e.cfg.DataFaultFastPath)
+}

@@ -1,0 +1,271 @@
+package dbt
+
+import (
+	"testing"
+
+	"simbench/internal/asm"
+	"simbench/internal/engine/interp"
+	"simbench/internal/isa"
+	"simbench/internal/machine"
+	"simbench/internal/platform"
+)
+
+// runBoth executes the same program under the DBT engine (with cfg) and
+// the reference interpreter and verifies the architectural outcomes
+// match: register file, exception counts, console output.
+func runBoth(t *testing.T, cfg Config, build func(a *asm.Assembler)) (*platform.Platform, *platform.Platform) {
+	t.Helper()
+	a := asm.New()
+	build(a)
+	prog, err := a.Assemble()
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+
+	pd := platform.New(machine.ProfileARM, 1<<20)
+	if err := pd.M.LoadProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	pd.M.Reset()
+	dstats, err := New(cfg).Run(pd.M, 5_000_000)
+	if err != nil {
+		t.Fatalf("dbt run: %v (pc=%#x)", err, pd.M.CPU.PC)
+	}
+
+	pi := platform.New(machine.ProfileARM, 1<<20)
+	if err := pi.M.LoadProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	pi.M.Reset()
+	istats, err := interp.New().Run(pi.M, 5_000_000)
+	if err != nil {
+		t.Fatalf("interp run: %v (pc=%#x)", err, pi.M.CPU.PC)
+	}
+
+	if pd.M.CPU.Regs != pi.M.CPU.Regs {
+		t.Errorf("register mismatch:\n dbt    %v\n interp %v", pd.M.CPU.Regs, pi.M.CPU.Regs)
+	}
+	if pd.M.ExcCount != pi.M.ExcCount {
+		t.Errorf("exception mismatch: dbt %v interp %v", pd.M.ExcCount, pi.M.ExcCount)
+	}
+	if pd.ConsoleString() != pi.ConsoleString() {
+		t.Errorf("console mismatch: %q vs %q", pd.ConsoleString(), pi.ConsoleString())
+	}
+	if dstats.Instructions != istats.Instructions {
+		t.Errorf("instruction count mismatch: dbt %d interp %d", dstats.Instructions, istats.Instructions)
+	}
+	return pd, pi
+}
+
+func configs() []Config {
+	minimal := Config{Name: "minimal", OptLevel: 0, Chain: ChainNone, LookupDepth: 1,
+		TLBBits: 4, VictimTLB: false, DataFaultFastPath: false,
+		ExcSyncWords: 8, HelperSaveWords: 8, WalkExtraChecks: 2, BlockCap: 8}
+	return []Config{DefaultConfig(), minimal,
+		{Name: "direct-chain", OptLevel: 1, Chain: ChainDirect, LookupDepth: 2,
+			TLBBits: 8, VictimTLB: true, DataFaultFastPath: true, BlockCap: 64}}
+}
+
+func TestFactorialAllConfigs(t *testing.T) {
+	for _, cfg := range configs() {
+		t.Run(cfg.Name, func(t *testing.T) {
+			pd, _ := runBoth(t, cfg, func(a *asm.Assembler) {
+				a.MOVI(isa.R1, 12)
+				a.MOVI(isa.R2, 1)
+				a.Label("loop")
+				a.CMPI(isa.R1, 1)
+				a.B(isa.CondLE, "done")
+				a.MUL(isa.R2, isa.R2, isa.R1)
+				a.SUBI(isa.R1, isa.R1, 1)
+				a.B(isa.CondAL, "loop")
+				a.Label("done")
+				a.HALT()
+			})
+			if pd.M.CPU.Regs[isa.R2] != 479001600 {
+				t.Errorf("12! = %d", pd.M.CPU.Regs[isa.R2])
+			}
+		})
+	}
+}
+
+func TestCallsAndIndirectBranches(t *testing.T) {
+	runBoth(t, DefaultConfig(), func(a *asm.Assembler) {
+		a.MOVI(isa.SP, 0x8000)
+		a.MOVI(isa.R1, 0)
+		a.MOVI(isa.R4, 10)
+		a.Label("loop")
+		a.BL("add3") // direct call
+		a.LA(isa.R6, "add3")
+		a.BLR(isa.R6) // indirect call
+		a.SUBI(isa.R4, isa.R4, 1)
+		a.CMPI(isa.R4, 0)
+		a.B(isa.CondNE, "loop")
+		a.HALT()
+		a.Label("add3")
+		a.ADDI(isa.R1, isa.R1, 3)
+		a.RET()
+	})
+}
+
+func TestMOVIMOVTFolding(t *testing.T) {
+	pd, _ := runBoth(t, DefaultConfig(), func(a *asm.Assembler) {
+		a.LoadImm32(isa.R3, 0xDEADBEEF)
+		a.LoadImm32(isa.R4, 0x12345678)
+		a.MOVI(isa.R5, 0x1111)
+		a.MOVT(isa.R6, 0x2222) // MOVT not paired with a MOVI of same reg
+		a.HALT()
+	})
+	if pd.M.CPU.Regs[isa.R3] != 0xDEADBEEF || pd.M.CPU.Regs[isa.R4] != 0x12345678 {
+		t.Error("folded constants wrong")
+	}
+	if pd.M.CPU.Regs[isa.R6] != 0x22220000 {
+		t.Errorf("unpaired MOVT wrong: %#x", pd.M.CPU.Regs[isa.R6])
+	}
+}
+
+func TestExceptionsMatchInterp(t *testing.T) {
+	for _, cfg := range configs() {
+		t.Run(cfg.Name, func(t *testing.T) {
+			runBoth(t, cfg, func(a *asm.Assembler) {
+				a.LA(isa.R1, "vectors")
+				a.MSR(isa.CtrlVBAR, isa.R1)
+				a.MOVI(isa.R5, 0)
+				a.SVC(1)
+				a.UD()
+				a.SVC(2)
+				a.HALT()
+				a.Org(0x400)
+				a.Label("vectors")
+				a.HALT()
+				a.B(isa.CondAL, "h")
+				a.B(isa.CondAL, "h")
+				a.HALT()
+				a.HALT()
+				a.HALT()
+				a.Label("h")
+				a.ADDI(isa.R5, isa.R5, 1)
+				a.ERET()
+			})
+		})
+	}
+}
+
+func TestSelfModifyingCode(t *testing.T) {
+	for _, cfg := range configs() {
+		t.Run(cfg.Name, func(t *testing.T) {
+			pd, _ := runBoth(t, cfg, func(a *asm.Assembler) {
+				// Patch "MOVI R9, n" with increasing n, executing after
+				// each patch; R7 accumulates the observed values.
+				a.MOVI(isa.R7, 0)
+				a.MOVI(isa.R3, 1) // n
+				a.LA(isa.R1, "site")
+				a.Label("loop")
+				// build encoding: MOVI R9, n  =  opcode|rd|imm
+				base := isa.Encode(isa.Inst{Op: isa.OpMOVI, Rd: isa.R9, Imm: 0})
+				a.LoadImm32(isa.R2, base)
+				a.OR(isa.R2, isa.R2, isa.R3) // imm16 = n
+				a.STW(isa.R2, isa.R1, 0)
+				a.BL("fn")
+				a.ADD(isa.R7, isa.R7, isa.R9)
+				a.ADDI(isa.R3, isa.R3, 1)
+				a.CMPI(isa.R3, 6)
+				a.B(isa.CondNE, "loop")
+				a.HALT()
+				a.Label("fn")
+				a.Label("site")
+				a.NOP()
+				a.RET()
+			})
+			if got := pd.M.CPU.Regs[isa.R7]; got != 1+2+3+4+5 {
+				t.Errorf("SMC sum = %d, want 15", got)
+			}
+		})
+	}
+}
+
+func TestChainingCounters(t *testing.T) {
+	a := asm.New()
+	a.MOVI(isa.R1, 1000)
+	a.Label("loop")
+	a.SUBI(isa.R1, isa.R1, 1)
+	a.CMPI(isa.R1, 0)
+	a.B(isa.CondNE, "loop")
+	a.HALT()
+	prog, err := a.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(cfg Config) (chains, lookups uint64) {
+		p := platform.New(machine.ProfileARM, 1<<20)
+		p.M.LoadProgram(prog)
+		p.M.Reset()
+		st, err := New(cfg).Run(p.M, 1_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.ChainFollows, st.CacheLookups
+	}
+
+	cfg := DefaultConfig()
+	chains, _ := run(cfg)
+	if chains < 900 {
+		t.Errorf("chained config should follow chains, got %d", chains)
+	}
+	cfg.Chain = ChainNone
+	chains, _ = run(cfg)
+	if chains != 0 {
+		t.Errorf("no-chain config followed %d chains", chains)
+	}
+}
+
+func TestBlockCacheReuse(t *testing.T) {
+	a := asm.New()
+	a.MOVI(isa.R1, 100)
+	a.Label("loop")
+	a.SUBI(isa.R1, isa.R1, 1)
+	a.CMPI(isa.R1, 0)
+	a.B(isa.CondNE, "loop")
+	a.HALT()
+	prog, _ := a.Assemble()
+	p := platform.New(machine.ProfileARM, 1<<20)
+	p.M.LoadProgram(prog)
+	p.M.Reset()
+	st, err := NewDefault().Run(p.M, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.BlocksTranslated > 5 {
+		t.Errorf("loop retranslated: %d blocks for a 2-block program", st.BlocksTranslated)
+	}
+	if st.BlockExecutions < 100 {
+		t.Errorf("block executions = %d", st.BlockExecutions)
+	}
+}
+
+func TestUndefinedRetiresPrecisely(t *testing.T) {
+	// An undefined instruction mid-stream must not retire, and EPC must
+	// point past it.
+	pd, _ := runBoth(t, DefaultConfig(), func(a *asm.Assembler) {
+		a.LA(isa.R1, "vectors")
+		a.MSR(isa.CtrlVBAR, isa.R1)
+		a.MOVI(isa.R2, 7) // retired before UD
+		a.UD()
+		a.MOVI(isa.R3, 9) // retired after handler returns
+		a.HALT()
+		a.Org(0x200)
+		a.Label("vectors")
+		a.HALT()
+		a.B(isa.CondAL, "u")
+		a.HALT()
+		a.HALT()
+		a.HALT()
+		a.HALT()
+		a.Label("u")
+		a.MOVI(isa.R10, 1)
+		a.ERET()
+	})
+	if pd.M.CPU.Regs[isa.R2] != 7 || pd.M.CPU.Regs[isa.R3] != 9 || pd.M.CPU.Regs[isa.R10] != 1 {
+		t.Error("undef recovery wrong")
+	}
+}

@@ -1,0 +1,278 @@
+package dbt
+
+import (
+	"simbench/internal/isa"
+)
+
+// exec runs a translated block from its first uop to an exit. It
+// returns the exit kind, the target VA (for taken/indirect exits) and
+// the exact number of guest instructions retired, which per-uop
+// cumulative retire counts make precise even on side exits.
+func (e *Engine) exec(b *block) (exitKind, uint32, uint64) {
+	m := e.m
+	cpu := &m.CPU
+	r := &cpu.Regs
+	ops := b.uops
+	for i := 0; i < len(ops); i++ {
+		u := &ops[i]
+		switch u.kind {
+		case uNop:
+		case uAdd:
+			r[u.rd] = r[u.ra] + r[u.rb]
+		case uSub:
+			r[u.rd] = r[u.ra] - r[u.rb]
+		case uAnd:
+			r[u.rd] = r[u.ra] & r[u.rb]
+		case uOr:
+			r[u.rd] = r[u.ra] | r[u.rb]
+		case uXor:
+			r[u.rd] = r[u.ra] ^ r[u.rb]
+		case uShl:
+			r[u.rd] = r[u.ra] << (r[u.rb] & 31)
+		case uShr:
+			r[u.rd] = r[u.ra] >> (r[u.rb] & 31)
+		case uSra:
+			r[u.rd] = uint32(int32(r[u.ra]) >> (r[u.rb] & 31))
+		case uMul:
+			r[u.rd] = r[u.ra] * r[u.rb]
+		case uCmp:
+			cpu.Flags = isa.Sub(r[u.ra], r[u.rb])
+		case uMov:
+			r[u.rd] = r[u.ra]
+		case uNot:
+			r[u.rd] = ^r[u.ra]
+		case uAddI:
+			r[u.rd] = r[u.ra] + u.imm
+		case uSubI:
+			r[u.rd] = r[u.ra] - u.imm
+		case uAndI:
+			r[u.rd] = r[u.ra] & u.imm
+		case uOrI:
+			r[u.rd] = r[u.ra] | u.imm
+		case uXorI:
+			r[u.rd] = r[u.ra] ^ u.imm
+		case uShlI:
+			r[u.rd] = r[u.ra] << (u.imm & 31)
+		case uShrI:
+			r[u.rd] = r[u.ra] >> (u.imm & 31)
+		case uSraI:
+			r[u.rd] = uint32(int32(r[u.ra]) >> (u.imm & 31))
+		case uMulI:
+			r[u.rd] = r[u.ra] * u.imm
+		case uCmpI:
+			cpu.Flags = isa.Sub(r[u.ra], u.imm)
+		case uMovImm32:
+			r[u.rd] = u.imm
+		case uMovT:
+			r[u.rd] = r[u.rd]&0xFFFF | u.imm<<16
+
+		case uLoadW:
+			if !e.uopLoad(b, u, r[u.ra]+u.imm, 4, false) {
+				return exitException, 0, uint64(u.retire)
+			}
+		case uLoadB:
+			if !e.uopLoad(b, u, r[u.ra]+u.imm, 1, false) {
+				return exitException, 0, uint64(u.retire)
+			}
+		case uLoadT:
+			e.st.NonPrivAccesses++
+			if !e.uopLoad(b, u, r[u.ra]+u.imm, 4, true) {
+				return exitException, 0, uint64(u.retire)
+			}
+		case uStoreW:
+			if !e.uopStore(b, u, r[u.ra]+u.imm, 4, false) {
+				return exitException, 0, uint64(u.retire)
+			}
+		case uStoreB:
+			if !e.uopStore(b, u, r[u.ra]+u.imm, 1, false) {
+				return exitException, 0, uint64(u.retire)
+			}
+		case uStoreT:
+			e.st.NonPrivAccesses++
+			if !e.uopStore(b, u, r[u.ra]+u.imm, 4, true) {
+				return exitException, 0, uint64(u.retire)
+			}
+
+		case uBranch:
+			return exitTaken, u.imm, uint64(u.retire)
+		case uBranchCond:
+			if isa.Cond(u.rd).Eval(cpu.Flags) {
+				return exitTaken, u.imm, uint64(u.retire)
+			}
+			return exitFall, 0, uint64(u.retire)
+		case uCmpBranchI:
+			cpu.Flags = isa.Sub(r[u.ra], u.aux)
+			if isa.Cond(u.rd).Eval(cpu.Flags) {
+				return exitTaken, u.imm, uint64(u.retire)
+			}
+			return exitFall, 0, uint64(u.retire)
+		case uCall:
+			r[isa.LR] = u.aux
+			return exitTaken, u.imm, uint64(u.retire)
+		case uCallCond:
+			if isa.Cond(u.rd).Eval(cpu.Flags) {
+				r[isa.LR] = u.aux
+				return exitTaken, u.imm, uint64(u.retire)
+			}
+			return exitFall, 0, uint64(u.retire)
+		case uBranchReg:
+			return exitIndirect, r[u.ra] &^ 3, uint64(u.retire)
+		case uCallReg:
+			target := r[u.ra] &^ 3
+			r[isa.LR] = u.aux
+			return exitIndirect, target, uint64(u.retire)
+
+		case uSvc:
+			e.enterExc(isa.ExcSyscall, u.aux)
+			m.Enter(isa.ExcSyscall, u.aux)
+			return exitException, 0, uint64(u.retire)
+		case uEret:
+			if !cpu.Kernel {
+				e.uopUndef(b, u)
+				return exitException, 0, uint64(u.retire)
+			}
+			m.ERET()
+			return exitIndirect, cpu.PC, uint64(u.retire)
+		case uMrs:
+			v, ok := m.ReadCtrl(isa.CtrlReg(u.imm))
+			if !ok {
+				e.uopUndef(b, u)
+				return exitException, 0, uint64(u.retire)
+			}
+			r[u.rd] = v
+		case uMsr:
+			if !m.WriteCtrl(isa.CtrlReg(u.imm), r[u.rd]) {
+				e.uopUndef(b, u)
+				return exitException, 0, uint64(u.retire)
+			}
+			// Terminal: mode or translation state may have changed.
+			return exitIndirect, b.va + uint32(u.pcOff) + 4, uint64(u.retire)
+		case uCprd:
+			e.helperCall()
+			v, ok := m.CoprocRead(u.imm>>8, u.imm&0xFF)
+			if !ok {
+				e.uopUndef(b, u)
+				return exitException, 0, uint64(u.retire)
+			}
+			e.st.CoprocAccesses++
+			r[u.rd] = v
+		case uCpwr:
+			e.helperCall()
+			if !m.CoprocWrite(u.imm>>8, u.imm&0xFF, r[u.rd]) {
+				e.uopUndef(b, u)
+				return exitException, 0, uint64(u.retire)
+			}
+			e.st.CoprocAccesses++
+		case uTlbi:
+			if !cpu.Kernel {
+				e.uopUndef(b, u)
+				return exitException, 0, uint64(u.retire)
+			}
+			e.st.TLBInvalidates++
+			m.InvalidatePageTLBs(r[u.ra])
+			return exitIndirect, b.va + uint32(u.pcOff) + 4, uint64(u.retire)
+		case uTlbiAll:
+			if !cpu.Kernel {
+				e.uopUndef(b, u)
+				return exitException, 0, uint64(u.retire)
+			}
+			e.st.TLBFlushes++
+			m.InvalidateAllTLBs()
+			return exitIndirect, b.va + uint32(u.pcOff) + 4, uint64(u.retire)
+		case uHalt:
+			if !cpu.Kernel {
+				e.uopUndef(b, u)
+				return exitException, 0, uint64(u.retire)
+			}
+			m.Halted = true
+			return exitHalt, 0, uint64(u.retire)
+		case uUndef:
+			e.uopUndef(b, u)
+			return exitException, 0, uint64(u.retire)
+		}
+	}
+	return exitFall, 0, uint64(b.insns)
+}
+
+// uopUndef raises the undefined-instruction exception for the guest
+// instruction behind u. Undefined instructions are part of the
+// translated code ("Translated" in Fig. 4), so no state recovery is
+// needed: the return address is static.
+func (e *Engine) uopUndef(b *block, u *uop) {
+	pc := b.va + uint32(u.pcOff)
+	e.enterExc(isa.ExcUndef, pc+4)
+	e.m.Enter(isa.ExcUndef, pc+4)
+}
+
+// uopLoad performs a load; false means an exception side exit.
+func (e *Engine) uopLoad(b *block, u *uop, va uint32, size int, asUser bool) bool {
+	m := e.m
+	if size == 4 {
+		va &^= 3
+	}
+	e.st.MemReads++
+	pa, isRAM, fault := e.dataAccess(va, false, asUser)
+	if fault != isa.FaultNone {
+		e.dataFault(b, u, fault, va, false)
+		return false
+	}
+	if isRAM {
+		if size == 4 {
+			m.CPU.Regs[u.rd] = m.Bus.ReadWordRAM(pa)
+		} else {
+			m.CPU.Regs[u.rd] = uint32(m.Bus.RAM[pa])
+		}
+		return true
+	}
+	e.helperCall()
+	e.st.DeviceAccesses++
+	v, f := m.Bus.ReadPhys(pa, size)
+	if f != isa.FaultNone {
+		e.dataFault(b, u, f, va, false)
+		return false
+	}
+	m.CPU.Regs[u.rd] = v
+	return true
+}
+
+// uopStore performs a store; false means an exception side exit.
+func (e *Engine) uopStore(b *block, u *uop, va uint32, size int, asUser bool) bool {
+	m := e.m
+	if size == 4 {
+		va &^= 3
+	}
+	e.st.MemWrites++
+	pa, isRAM, fault := e.dataAccess(va, true, asUser)
+	if fault != isa.FaultNone {
+		e.dataFault(b, u, fault, va, true)
+		return false
+	}
+	v := m.CPU.Regs[u.rd]
+	if isRAM {
+		if size == 4 {
+			m.Bus.WriteWordRAM(pa, v)
+		} else {
+			m.Bus.RAM[pa] = byte(v)
+		}
+		e.noteStore(pa)
+		return true
+	}
+	e.helperCall()
+	e.st.DeviceAccesses++
+	if f := m.Bus.WritePhys(pa, size, v); f != isa.FaultNone {
+		e.dataFault(b, u, f, va, true)
+		return false
+	}
+	return true
+}
+
+// dataFault enters the data-abort exception, paying the
+// translate-back state recovery unless the fast path is configured.
+func (e *Engine) dataFault(b *block, u *uop, code isa.FaultCode, va uint32, write bool) {
+	if !e.cfg.DataFaultFastPath {
+		e.restoreState(b)
+	}
+	pc := b.va + uint32(u.pcOff)
+	e.enterExc(isa.ExcDataFault, pc)
+	e.m.EnterMemFault(isa.ExcDataFault, code, va, write, pc)
+}

@@ -1,0 +1,203 @@
+package dbt
+
+import (
+	"simbench/internal/isa"
+	"simbench/internal/mmu"
+)
+
+// The softMMU: QEMU-style multi-level page caches. There is one L1
+// direct-mapped array per (MMU index, access type) pair — MMU index 0
+// is kernel, 1 is user (non-privileged LDT/STT accesses always use
+// index 1) — and an optional 8-entry fully associative victim cache
+// behind each, which is the "Multi-level Page Cache" row of the
+// paper's Fig. 4. Entries are only installed when the access they
+// describe is permitted, so a hit needs no further checks.
+
+const victimSize = 8
+
+type softTLBEntry struct {
+	tag   uint32 // (vpage << 1) | valid
+	pbase uint32
+	isRAM bool
+}
+
+const (
+	accRead   = 0
+	accWrite  = 1
+	idxKernel = 0
+	idxUser   = 1
+)
+
+type softTLB struct {
+	bits    int
+	mask    uint32
+	l1      [2][2][]softTLBEntry // [mmuIdx][accType]
+	victim  [2][2][victimSize]softTLBEntry
+	vnext   [2][2]int
+	useVict bool
+}
+
+func newSoftTLB(bits int, victim bool) *softTLB {
+	t := &softTLB{bits: bits, mask: uint32(1<<bits) - 1, useVict: victim}
+	for i := 0; i < 2; i++ {
+		for a := 0; a < 2; a++ {
+			t.l1[i][a] = make([]softTLBEntry, 1<<bits)
+		}
+	}
+	return t
+}
+
+func (t *softTLB) flushAll() {
+	for i := 0; i < 2; i++ {
+		for a := 0; a < 2; a++ {
+			for j := range t.l1[i][a] {
+				t.l1[i][a][j] = softTLBEntry{}
+			}
+			t.victim[i][a] = [victimSize]softTLBEntry{}
+		}
+	}
+}
+
+func (t *softTLB) flushPage(va uint32) {
+	vp := va >> isa.PageShift
+	tag := vp<<1 | 1
+	for i := 0; i < 2; i++ {
+		for a := 0; a < 2; a++ {
+			ent := &t.l1[i][a][vp&t.mask]
+			if ent.tag == tag {
+				*ent = softTLBEntry{}
+			}
+			for j := range t.victim[i][a] {
+				if t.victim[i][a][j].tag == tag {
+					t.victim[i][a][j] = softTLBEntry{}
+				}
+			}
+		}
+	}
+}
+
+// probe looks va up in the L1 and victim levels. On a victim hit the
+// entry is promoted to L1 (swapping with the displaced entry), QEMU's
+// exact scheme.
+func (t *softTLB) probe(mmuIdx, acc int, va uint32) (softTLBEntry, bool) {
+	vp := va >> isa.PageShift
+	tag := vp<<1 | 1
+	l1 := &t.l1[mmuIdx][acc][vp&t.mask]
+	if l1.tag == tag {
+		return *l1, true
+	}
+	if t.useVict {
+		v := &t.victim[mmuIdx][acc]
+		for j := range v {
+			if v[j].tag == tag {
+				*l1, v[j] = v[j], *l1
+				return *l1, true
+			}
+		}
+	}
+	return softTLBEntry{}, false
+}
+
+// install fills the L1 slot for va, displacing the previous occupant
+// into the victim cache when enabled.
+func (t *softTLB) install(mmuIdx, acc int, va uint32, ent softTLBEntry) {
+	vp := va >> isa.PageShift
+	ent.tag = vp<<1 | 1
+	l1 := &t.l1[mmuIdx][acc][vp&t.mask]
+	if t.useVict && l1.tag != 0 {
+		v := &t.victim[mmuIdx][acc]
+		v[t.vnext[mmuIdx][acc]] = *l1
+		t.vnext[mmuIdx][acc] = (t.vnext[mmuIdx][acc] + 1) % victimSize
+	}
+	*l1 = ent
+}
+
+// walkChecked performs the architectural page walk plus the configured
+// extra attribute computations, modelling the growing complexity of
+// QEMU's translation-table code (memory types, domains, access bits
+// for every supported architecture variant). Attribute decode only
+// happens for valid descriptors — faulting walks return early. The
+// scratch accumulator is stored on the engine so the extra work cannot
+// be optimised away.
+func (e *Engine) walkChecked(va uint32) (mmu.PTE, isa.FaultCode) {
+	pte, levels, fault := mmu.Walk(e.m.Bus, e.m.TTBR(), e.m.FormatB(), va)
+	e.st.PageWalks++
+	e.st.WalkLevels += uint64(levels)
+	if fault != isa.FaultNone {
+		return pte, fault
+	}
+	acc := e.walkScratch
+	for i := 0; i < e.cfg.WalkExtraChecks; i++ {
+		acc = acc*31 + pte.PhysPage + uint32(i)
+		acc ^= va >> (uint(i) & 7)
+	}
+	e.walkScratch = acc
+	return pte, fault
+}
+
+// dataAccess translates va for a data access of the given type,
+// filling the softMMU on miss. It returns the physical address and
+// whether it is RAM-backed.
+func (e *Engine) dataAccess(va uint32, write, asUser bool) (pa uint32, isRAM bool, fault isa.FaultCode) {
+	m := e.m
+	if !m.MMUEnabled() {
+		return va, m.Bus.IsRAM(va, 1), isa.FaultNone
+	}
+	mmuIdx := idxKernel
+	if !m.CPU.Kernel || asUser {
+		mmuIdx = idxUser
+	}
+	acc := accRead
+	if write {
+		acc = accWrite
+	}
+	if ent, ok := e.dtlb.probe(mmuIdx, acc, va); ok {
+		e.st.TLBHits++
+		return ent.pbase | va&isa.PageMask, ent.isRAM, isa.FaultNone
+	}
+	e.st.TLBMisses++
+	pte, f := e.walkChecked(va)
+	if f != isa.FaultNone {
+		return 0, false, f
+	}
+	if f := mmu.Check(pte, mmuIdx == idxKernel, write); f != isa.FaultNone {
+		return 0, false, f
+	}
+	ent := softTLBEntry{
+		pbase: pte.PhysPage,
+		isRAM: m.Bus.IsRAM(pte.PhysPage, isa.PageSize),
+	}
+	e.dtlb.install(mmuIdx, acc, va, ent)
+	return pte.PhysPage | va&isa.PageMask, ent.isRAM, isa.FaultNone
+}
+
+// codeAccess translates a fetch address through the instruction-side
+// TLB. Code must be RAM-backed.
+func (e *Engine) codeAccess(va uint32) (pa uint32, fault isa.FaultCode) {
+	m := e.m
+	if !m.MMUEnabled() {
+		if !m.Bus.IsRAM(va, isa.WordBytes) {
+			return 0, isa.FaultBus
+		}
+		return va, isa.FaultNone
+	}
+	mmuIdx := idxKernel
+	if !m.CPU.Kernel {
+		mmuIdx = idxUser
+	}
+	if ent, ok := e.itlb.probe(mmuIdx, accRead, va); ok {
+		return ent.pbase | va&isa.PageMask, isa.FaultNone
+	}
+	pte, f := e.walkChecked(va)
+	if f != isa.FaultNone {
+		return 0, f
+	}
+	if f := mmu.Check(pte, mmuIdx == idxKernel, false); f != isa.FaultNone {
+		return 0, f
+	}
+	if !m.Bus.IsRAM(pte.PhysPage, isa.PageSize) {
+		return 0, isa.FaultBus
+	}
+	e.itlb.install(mmuIdx, accRead, va, softTLBEntry{pbase: pte.PhysPage, isRAM: true})
+	return pte.PhysPage | va&isa.PageMask, isa.FaultNone
+}

@@ -1,0 +1,103 @@
+package dbt
+
+import (
+	"testing"
+)
+
+func TestSoftTLBProbeInstall(t *testing.T) {
+	tlb := newSoftTLB(4, false) // 16 entries
+	if _, ok := tlb.probe(idxKernel, accRead, 0x5000); ok {
+		t.Error("empty TLB hit")
+	}
+	tlb.install(idxKernel, accRead, 0x5000, softTLBEntry{pbase: 0x9000, isRAM: true})
+	ent, ok := tlb.probe(idxKernel, accRead, 0x5123)
+	if !ok || ent.pbase != 0x9000 || !ent.isRAM {
+		t.Errorf("probe: %+v ok=%v", ent, ok)
+	}
+	// Entries are segregated by MMU index and access type.
+	if _, ok := tlb.probe(idxUser, accRead, 0x5000); ok {
+		t.Error("user index must not see kernel entry")
+	}
+	if _, ok := tlb.probe(idxKernel, accWrite, 0x5000); ok {
+		t.Error("write type must not see read entry")
+	}
+}
+
+func TestSoftTLBVictimPromotion(t *testing.T) {
+	tlb := newSoftTLB(2, true) // 4-entry L1, alias-prone
+	// Two pages aliasing the same L1 slot (vpage differs by 4).
+	a := uint32(0x1000)
+	b := uint32(0x5000)
+	tlb.install(idxKernel, accRead, a, softTLBEntry{pbase: 0xA000})
+	tlb.install(idxKernel, accRead, b, softTLBEntry{pbase: 0xB000}) // displaces a into victim
+	if ent, ok := tlb.probe(idxKernel, accRead, a); !ok || ent.pbase != 0xA000 {
+		t.Fatalf("victim probe failed: %+v ok=%v", ent, ok)
+	}
+	// After promotion, b sits in the victim and is still reachable.
+	if ent, ok := tlb.probe(idxKernel, accRead, b); !ok || ent.pbase != 0xB000 {
+		t.Fatalf("swapped entry lost: %+v ok=%v", ent, ok)
+	}
+}
+
+func TestSoftTLBNoVictim(t *testing.T) {
+	tlb := newSoftTLB(2, false)
+	a, b := uint32(0x1000), uint32(0x5000)
+	tlb.install(idxKernel, accRead, a, softTLBEntry{pbase: 0xA000})
+	tlb.install(idxKernel, accRead, b, softTLBEntry{pbase: 0xB000})
+	if _, ok := tlb.probe(idxKernel, accRead, a); ok {
+		t.Error("without a victim cache the displaced entry must be gone")
+	}
+}
+
+func TestSoftTLBFlushPage(t *testing.T) {
+	tlb := newSoftTLB(4, true)
+	tlb.install(idxKernel, accRead, 0x1000, softTLBEntry{pbase: 0xA000})
+	tlb.install(idxUser, accWrite, 0x1000, softTLBEntry{pbase: 0xA000})
+	tlb.install(idxKernel, accRead, 0x2000, softTLBEntry{pbase: 0xB000})
+	tlb.flushPage(0x1000)
+	if _, ok := tlb.probe(idxKernel, accRead, 0x1000); ok {
+		t.Error("kernel read entry survived page flush")
+	}
+	if _, ok := tlb.probe(idxUser, accWrite, 0x1000); ok {
+		t.Error("user write entry survived page flush")
+	}
+	if _, ok := tlb.probe(idxKernel, accRead, 0x2000); !ok {
+		t.Error("unrelated entry flushed")
+	}
+	tlb.flushAll()
+	if _, ok := tlb.probe(idxKernel, accRead, 0x2000); ok {
+		t.Error("entry survived full flush")
+	}
+}
+
+func TestSoftTLBVictimFlushPage(t *testing.T) {
+	tlb := newSoftTLB(2, true)
+	a, b := uint32(0x1000), uint32(0x5000)
+	tlb.install(idxKernel, accRead, a, softTLBEntry{pbase: 0xA000})
+	tlb.install(idxKernel, accRead, b, softTLBEntry{pbase: 0xB000}) // a goes to victim
+	tlb.flushPage(a)
+	if _, ok := tlb.probe(idxKernel, accRead, a); ok {
+		t.Error("victim entry survived page flush")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	var c Config
+	c = c.withDefaults()
+	if c.BlockCap <= 0 || c.TLBBits <= 0 || c.LookupDepth <= 0 {
+		t.Errorf("withDefaults left zero fields: %+v", c)
+	}
+	if ChainNone.String() != "none" || ChainDirect.String() != "direct" || ChainChecked.String() != "checked" {
+		t.Error("chain policy names")
+	}
+	e := NewDefault()
+	if e.Name() != "dbt" {
+		t.Error("name")
+	}
+	if e.String() == "" {
+		t.Error("string")
+	}
+	if e.Config().BlockCap != 64 {
+		t.Error("config accessor")
+	}
+}

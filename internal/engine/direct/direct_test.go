@@ -1,0 +1,248 @@
+package direct
+
+import (
+	"testing"
+
+	"simbench/internal/asm"
+	"simbench/internal/device"
+	"simbench/internal/isa"
+	"simbench/internal/machine"
+	"simbench/internal/platform"
+)
+
+func runProg(t *testing.T, mode Mode, profile machine.Profile, build func(a *asm.Assembler)) (*platform.Platform, *Direct) {
+	t.Helper()
+	p := platform.New(profile, 1<<20)
+	a := asm.New()
+	build(a)
+	prog, err := a.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.M.LoadProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	p.M.Reset()
+	e := New(mode)
+	if _, err := e.Run(p.M, 5_000_000); err != nil {
+		t.Fatalf("run: %v (pc=%#x)", err, p.M.CPU.PC)
+	}
+	return p, e
+}
+
+func TestNativeNoVMExits(t *testing.T) {
+	p := platform.New(machine.ProfileARM, 1<<20)
+	a := asm.New()
+	a.LoadImm32(isa.R1, platform.SafeBase)
+	a.LDW(isa.R2, isa.R1, device.SafeID) // device access: no exit natively
+	a.HALT()
+	prog, _ := a.Assemble()
+	p.M.LoadProgram(prog)
+	p.M.Reset()
+	st, err := New(ModeNative).Run(p.M, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.VMExits != 0 {
+		t.Errorf("native mode took %d VM exits", st.VMExits)
+	}
+	if st.DeviceAccesses != 1 {
+		t.Errorf("device accesses %d", st.DeviceAccesses)
+	}
+}
+
+func TestVirtExitsOnDeviceAccess(t *testing.T) {
+	p := platform.New(machine.ProfileARM, 1<<20)
+	a := asm.New()
+	a.LoadImm32(isa.R1, platform.SafeBase)
+	a.MOVI(isa.R3, 10)
+	a.Label("l")
+	a.LDW(isa.R2, isa.R1, device.SafeID)
+	a.SUBI(isa.R3, isa.R3, 1)
+	a.CMPI(isa.R3, 0)
+	a.B(isa.CondNE, "l")
+	a.HALT()
+	prog, _ := a.Assemble()
+	p.M.LoadProgram(prog)
+	p.M.Reset()
+	st, err := New(ModeVirt).Run(p.M, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.VMExits != 10 {
+		t.Errorf("VM exits %d, want 10 (one per MMIO access)", st.VMExits)
+	}
+	if p.M.CPU.Regs[isa.R2] != device.SafeIDValue {
+		t.Error("device value wrong after exit")
+	}
+}
+
+func TestVirtExitsOnCoproc(t *testing.T) {
+	_, e := runProg(t, ModeVirt, machine.ProfileARM, func(a *asm.Assembler) {
+		a.CPRD(isa.R1, isa.CPSafe, device.CPRegDACR)
+		a.HALT()
+	})
+	if e.st.VMExits != 1 {
+		t.Errorf("VM exits %d", e.st.VMExits)
+	}
+}
+
+func TestVirtUndefHypercallOnlyOnX86(t *testing.T) {
+	build := func(a *asm.Assembler) {
+		a.LA(isa.R1, "vectors")
+		a.MSR(isa.CtrlVBAR, isa.R1)
+		a.UD()
+		a.HALT()
+		a.Org(0x200)
+		a.Label("vectors")
+		a.HALT()
+		a.B(isa.CondAL, "u")
+		a.HALT()
+		a.HALT()
+		a.HALT()
+		a.HALT()
+		a.Label("u")
+		a.ERET()
+	}
+	_, eARM := runProg(t, ModeVirt, machine.ProfileARM, build)
+	if eARM.st.VMExits != 0 {
+		t.Errorf("arm undef exits = %d, want 0 (handled in guest)", eARM.st.VMExits)
+	}
+	_, eX86 := runProg(t, ModeVirt, machine.ProfileX86, build)
+	if eX86.st.VMExits != 1 {
+		t.Errorf("x86 undef exits = %d, want 1 (hypercall)", eX86.st.VMExits)
+	}
+}
+
+func TestVirtExitsOnIRQInjection(t *testing.T) {
+	_, e := runProg(t, ModeVirt, machine.ProfileARM, func(a *asm.Assembler) {
+		a.LA(isa.R1, "vectors")
+		a.MSR(isa.CtrlVBAR, isa.R1)
+		a.LoadImm32(isa.R7, platform.ICBase)
+		a.MOVI(isa.R0, 1)
+		a.STW(isa.R0, isa.R7, device.ICEnable) // exit 1 (device)
+		a.MOVI(isa.R0, 3)
+		a.MSR(isa.CtrlPSR, isa.R0)
+		a.MOVI(isa.R6, 0)
+		a.STW(isa.R6, isa.R7, device.ICRaise) // exit 2 (device) -> IRQ -> exit 3 (inject)
+		a.NOP()
+		a.HALT()
+		a.Org(0x200)
+		a.Label("vectors")
+		a.HALT()
+		a.HALT()
+		a.HALT()
+		a.HALT()
+		a.HALT()
+		a.B(isa.CondAL, "irq")
+		a.Label("irq")
+		a.STW(isa.R6, isa.R7, device.ICClear) // exit 4 (device)
+		a.ERET()
+	})
+	if e.st.VMExits != 4 {
+		t.Errorf("VM exits = %d, want 4 (enable, raise, inject, clear)", e.st.VMExits)
+	}
+	if e.st.IRQsDelivered != 1 {
+		t.Errorf("irqs %d", e.st.IRQsDelivered)
+	}
+}
+
+func TestHardwareTLBCapacityEviction(t *testing.T) {
+	// Touch hwTLBSize+64 pages, then re-touch the first: it must walk
+	// again (FIFO eviction), proving the hardware TLB is finite.
+	p := platform.New(machine.ProfileARM, 8<<20)
+	a := asm.New()
+	a.Label("_start")
+	a.LoadImm32(isa.R1, 0x100000)
+	a.MSR(isa.CtrlTTBR, isa.R1)
+	a.MOVI(isa.R2, 1)
+	a.MSR(isa.CtrlMMU, isa.R2)
+	a.LoadImm32(isa.R3, 0x01000000)
+	a.LoadImm32(isa.R4, hwTLBSize+64)
+	a.Label("sweep")
+	a.LDW(isa.R5, isa.R3, 0)
+	a.LoadImm32(isa.R6, isa.PageSize)
+	a.ADD(isa.R3, isa.R3, isa.R6)
+	a.SUBI(isa.R4, isa.R4, 1)
+	a.CMPI(isa.R4, 0)
+	a.B(isa.CondNE, "sweep")
+	a.HALT()
+	prog, err := a.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.M.LoadProgram(prog)
+	if err := bootIdentityAndRegion(p, hwTLBSize+64); err != nil {
+		t.Fatal(err)
+	}
+	p.M.Reset()
+	e := New(ModeNative)
+	st, err := e.Run(p.M, 10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TLBMisses < hwTLBSize {
+		t.Errorf("misses %d", st.TLBMisses)
+	}
+	// The first page must have been evicted by the sweep.
+	vp := uint32(0x01000000) >> isa.PageShift
+	if e.ep[vp] == e.epoch {
+		t.Error("first page survived a full sweep; hardware TLB unbounded")
+	}
+}
+
+func TestTLBIInvalidatesEntry(t *testing.T) {
+	p := platform.New(machine.ProfileARM, 8<<20)
+	a := asm.New()
+	a.Label("_start")
+	a.LoadImm32(isa.R1, 0x100000)
+	a.MSR(isa.CtrlTTBR, isa.R1)
+	a.MOVI(isa.R2, 1)
+	a.MSR(isa.CtrlMMU, isa.R2)
+	a.LoadImm32(isa.R3, 0x01000000)
+	a.LDW(isa.R5, isa.R3, 0)
+	a.TLBI(isa.R3)
+	a.LDW(isa.R5, isa.R3, 0) // must walk again
+	a.HALT()
+	prog, _ := a.Assemble()
+	p.M.LoadProgram(prog)
+	if err := bootIdentityAndRegion(p, 4); err != nil {
+		t.Fatal(err)
+	}
+	p.M.Reset()
+	st, err := New(ModeNative).Run(p.M, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Walks: code section fetch + data page twice (pre/post TLBI).
+	if st.TLBInvalidates != 1 {
+		t.Errorf("invalidates %d", st.TLBInvalidates)
+	}
+	if st.PageWalks < 3 {
+		t.Errorf("walks %d, want >= 3 (re-walk after TLBI)", st.PageWalks)
+	}
+}
+
+func TestModeNames(t *testing.T) {
+	if New(ModeNative).Name() != "native" || New(ModeVirt).Name() != "virt" {
+		t.Error("names")
+	}
+	if New(ModeVirt).Features().UndefInsn != "Hypercall" {
+		t.Error("virt features")
+	}
+	if New(ModeNative).Features().Interrupts != "Direct" {
+		t.Error("native features")
+	}
+}
+
+// bootIdentityAndRegion builds identity + test-region page tables.
+func bootIdentityAndRegion(p *platform.Platform, pages uint32) error {
+	tb, err := newBuilderHelper(p)
+	if err != nil {
+		return err
+	}
+	if err := tb.MapSection(0, 0, true, false); err != nil {
+		return err
+	}
+	return tb.MapRange(0x01000000, 0x200000, pages*isa.PageSize, true, false)
+}

@@ -1,0 +1,12 @@
+package direct
+
+import (
+	"simbench/internal/mmu"
+	"simbench/internal/platform"
+)
+
+// newBuilderHelper constructs the standard table builder used by the
+// direct-engine tests.
+func newBuilderHelper(p *platform.Platform) (*mmu.Builder, error) {
+	return mmu.NewBuilder(p.M.Bus, 0x100000, 0x200000, false)
+}

@@ -1,0 +1,119 @@
+// Package engine defines the execution-engine interface that all five
+// simulation back-ends implement, together with the statistics they
+// report. The engines are the objects of study in the SimBench
+// methodology: each one models a row of the paper's Fig. 4 feature
+// matrix (QEMU-DBT, SimIt-ARM, Gem5, QEMU-KVM, native hardware).
+package engine
+
+import (
+	"errors"
+
+	"simbench/internal/machine"
+)
+
+// ErrLimit is returned by Run when the instruction budget is exhausted
+// before the guest halts — the harness's runaway-guest protection.
+var ErrLimit = errors.New("engine: instruction limit exceeded")
+
+// Engine executes guest code on a machine until it halts.
+type Engine interface {
+	// Name is a short identifier (dbt, interp, detailed, virt, native).
+	Name() string
+	// Features describes how the engine implements each simulated
+	// mechanism (the paper's Fig. 4 row).
+	Features() Features
+	// Run resets engine-internal caches, attaches to m, and executes
+	// from the current CPU state until HALT, returning statistics.
+	// It returns ErrLimit if more than limit instructions retire.
+	Run(m *machine.Machine, limit uint64) (Stats, error)
+}
+
+// Features is a row of the paper's Fig. 4: how a platform implements
+// each mechanism that SimBench exercises.
+type Features struct {
+	ExecutionModel string // DBT / Fast Interpreter / Interpreter / Direct
+	MemoryAccess   string // page-cache structure
+	CodeGeneration string // block-based / none
+	CtrlFlowInter  string // inter-page control flow handling
+	CtrlFlowIntra  string // intra-page control flow handling
+	Interrupts     string // delivery granularity
+	SyncExceptions string // synchronous exception mechanism
+	UndefInsn      string // undefined-instruction handling
+}
+
+// Stats are execution statistics. Engines fill the fields that apply to
+// their design; the density profiler fills the architectural-event
+// counters used for the paper's Fig. 3.
+type Stats struct {
+	Instructions uint64 // retired guest instructions
+
+	// Code generation / decode caching.
+	BlocksTranslated uint64 // DBT: translation-cache fills
+	InsnsTranslated  uint64 // DBT: instructions passed through the translator
+	PagesDecoded     uint64 // interpreters: decode-cache page fills
+	SMCInvalidations uint64 // stores that invalidated cached code
+
+	// Control flow (architectural events, classified by the profiler;
+	// the DBT engine also reports its mechanism counters below).
+	BranchDirectIntra   uint64
+	BranchDirectInter   uint64
+	BranchIndirectIntra uint64
+	BranchIndirectInter uint64
+
+	// DBT mechanism counters.
+	BlockExecutions uint64
+	ChainFollows    uint64 // chained block-to-block transitions
+	CacheLookups    uint64 // full translation-cache lookups
+
+	// Memory system.
+	MemReads        uint64
+	MemWrites       uint64
+	TLBHits         uint64
+	TLBMisses       uint64
+	PageWalks       uint64
+	WalkLevels      uint64
+	NonPrivAccesses uint64
+	TLBInvalidates  uint64 // TLBI instructions executed
+	TLBFlushes      uint64 // TLBIA instructions executed
+
+	// I/O.
+	DeviceAccesses uint64 // MMIO loads+stores reaching a device
+	CoprocAccesses uint64 // CPRD/CPWR executed
+
+	// Exceptions (also available per class from machine.ExcCount).
+	ExceptionsTaken uint64
+	IRQsDelivered   uint64
+
+	// Virtualization.
+	VMExits uint64
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(o Stats) {
+	s.Instructions += o.Instructions
+	s.BlocksTranslated += o.BlocksTranslated
+	s.InsnsTranslated += o.InsnsTranslated
+	s.PagesDecoded += o.PagesDecoded
+	s.SMCInvalidations += o.SMCInvalidations
+	s.BranchDirectIntra += o.BranchDirectIntra
+	s.BranchDirectInter += o.BranchDirectInter
+	s.BranchIndirectIntra += o.BranchIndirectIntra
+	s.BranchIndirectInter += o.BranchIndirectInter
+	s.BlockExecutions += o.BlockExecutions
+	s.ChainFollows += o.ChainFollows
+	s.CacheLookups += o.CacheLookups
+	s.MemReads += o.MemReads
+	s.MemWrites += o.MemWrites
+	s.TLBHits += o.TLBHits
+	s.TLBMisses += o.TLBMisses
+	s.PageWalks += o.PageWalks
+	s.WalkLevels += o.WalkLevels
+	s.NonPrivAccesses += o.NonPrivAccesses
+	s.TLBInvalidates += o.TLBInvalidates
+	s.TLBFlushes += o.TLBFlushes
+	s.DeviceAccesses += o.DeviceAccesses
+	s.CoprocAccesses += o.CoprocAccesses
+	s.ExceptionsTaken += o.ExceptionsTaken
+	s.IRQsDelivered += o.IRQsDelivered
+	s.VMExits += o.VMExits
+}

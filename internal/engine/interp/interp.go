@@ -1,0 +1,529 @@
+// Package interp implements the fast-interpreter engine, modelled on
+// SimIt-ARM as characterised in the paper's Fig. 4: instructions are
+// decoded on demand into a per-physical-page decode cache, data
+// accesses go through a single-level page cache, and interrupts are
+// recognised at every instruction boundary. There is no code
+// generation, so self-modifying code costs almost nothing — the
+// behaviour that makes SimIt-ARM beat QEMU on the Code Generation
+// benchmarks.
+//
+// This engine is also the reference semantics for SV32: the other
+// engines are differentially tested against it.
+package interp
+
+import (
+	"simbench/internal/engine"
+	"simbench/internal/isa"
+	"simbench/internal/machine"
+	"simbench/internal/mmu"
+)
+
+const (
+	dcacheBits = 8 // single-level data page cache: 256 entries
+	dcacheSize = 1 << dcacheBits
+	fcacheBits = 6 // fetch page cache: 64 entries
+	fcacheSize = 1 << fcacheBits
+
+	insnsPerPage = isa.PageSize / isa.WordBytes
+	tickQuantum  = 4096
+)
+
+// tlbEntry is one slot of the single-level page caches.
+type tlbEntry struct {
+	tag   uint32 // vpage | 1 (bit0 = valid; vpage low bit is always 0 after <<12 split)
+	pbase uint32 // physical page base
+	flags uint8  // permWrite | permUser | isRAM
+}
+
+const (
+	fWrite uint8 = 1 << 0
+	fUser  uint8 = 1 << 1
+	fRAM   uint8 = 1 << 2
+)
+
+// decodedPage caches lazily decoded instructions for one physical
+// page. Invalidation is O(1): bumping gen makes every stamp stale, and
+// instructions are re-decoded on demand — which is why self-modifying
+// code is nearly free on a fast interpreter, unlike on a DBT.
+type decodedPage struct {
+	insts [insnsPerPage]isa.Inst
+	stamp [insnsPerPage]uint32
+	gen   uint32
+}
+
+// Interp is the fast-interpreter engine. The zero value is not usable;
+// call New.
+type Interp struct {
+	m         *machine.Machine
+	st        engine.Stats
+	dc        [dcacheSize]tlbEntry
+	fc        [fcacheSize]tlbEntry
+	dpages    map[uint32]*decodedPage // phys page index -> decoded
+	codePages []bool                  // phys page index -> has cached decodes
+
+	// profile enables architectural-event classification (taken-branch
+	// direct/indirect × intra/inter-page counters) used by the
+	// operation-density experiment (paper Fig. 3).
+	profile bool
+}
+
+// New returns a fast-interpreter engine.
+func New() *Interp { return &Interp{} }
+
+// NewProfiling returns an interpreter that additionally classifies
+// control-flow events; it is the reference profiler behind the
+// operation-density table.
+func NewProfiling() *Interp { return &Interp{profile: true} }
+
+// classifyBranch records a taken branch for the density profile.
+func (e *Interp) classifyBranch(pc, target uint32, indirect bool) {
+	intra := pc>>isa.PageShift == target>>isa.PageShift
+	switch {
+	case indirect && intra:
+		e.st.BranchIndirectIntra++
+	case indirect:
+		e.st.BranchIndirectInter++
+	case intra:
+		e.st.BranchDirectIntra++
+	default:
+		e.st.BranchDirectInter++
+	}
+}
+
+// Name implements engine.Engine.
+func (e *Interp) Name() string { return "interp" }
+
+// Features implements engine.Engine (the paper's Fig. 4 SimIt-ARM row).
+func (e *Interp) Features() engine.Features {
+	return engine.Features{
+		ExecutionModel: "Fast Interpreter",
+		MemoryAccess:   "Single-Level Page Cache",
+		CodeGeneration: "None",
+		CtrlFlowInter:  "Interpreted",
+		CtrlFlowIntra:  "Interpreted",
+		Interrupts:     "Instruction Boundaries",
+		SyncExceptions: "Interpreted",
+		UndefInsn:      "Interpreted",
+	}
+}
+
+// InvalidatePage implements machine.TLBListener.
+func (e *Interp) InvalidatePage(va uint32) {
+	vp := va >> isa.PageShift
+	d := &e.dc[vp&(dcacheSize-1)]
+	if d.tag == vp<<1|1 {
+		d.tag = 0
+	}
+	f := &e.fc[vp&(fcacheSize-1)]
+	if f.tag == vp<<1|1 {
+		f.tag = 0
+	}
+}
+
+// InvalidateAll implements machine.TLBListener.
+func (e *Interp) InvalidateAll() {
+	e.dc = [dcacheSize]tlbEntry{}
+	e.fc = [fcacheSize]tlbEntry{}
+}
+
+func (e *Interp) reset(m *machine.Machine) {
+	e.m = m
+	e.st = engine.Stats{}
+	e.InvalidateAll()
+	e.dpages = make(map[uint32]*decodedPage)
+	e.codePages = make([]bool, (len(m.Bus.RAM)+isa.PageSize-1)/isa.PageSize)
+	m.ClearTLBListeners()
+	m.AddTLBListener(e)
+}
+
+// translate resolves va for a data access. asUser forces user-mode
+// permission checks (LDT/STT). It fills the single-level cache.
+func (e *Interp) translate(va uint32, write, asUser bool) (pa uint32, isRAM bool, fault isa.FaultCode) {
+	m := e.m
+	if !m.MMUEnabled() {
+		return va, m.Bus.IsRAM(va, 1), isa.FaultNone
+	}
+	vp := va >> isa.PageShift
+	ent := &e.dc[vp&(dcacheSize-1)]
+	if ent.tag != vp<<1|1 {
+		e.st.TLBMisses++
+		pte, levels, f := mmu.Walk(m.Bus, m.TTBR(), m.FormatB(), va)
+		e.st.PageWalks++
+		e.st.WalkLevels += uint64(levels)
+		if f != isa.FaultNone {
+			return 0, false, f
+		}
+		ent.tag = vp<<1 | 1
+		ent.pbase = pte.PhysPage
+		ent.flags = 0
+		if pte.Writable {
+			ent.flags |= fWrite
+		}
+		if pte.User {
+			ent.flags |= fUser
+		}
+		if m.Bus.IsRAM(pte.PhysPage, isa.PageSize) {
+			ent.flags |= fRAM
+		}
+	} else {
+		e.st.TLBHits++
+	}
+	kernel := m.CPU.Kernel && !asUser
+	if !kernel && ent.flags&fUser == 0 {
+		return 0, false, isa.FaultPermission
+	}
+	if write && ent.flags&fWrite == 0 {
+		return 0, false, isa.FaultPermission
+	}
+	return ent.pbase | va&isa.PageMask, ent.flags&fRAM != 0, isa.FaultNone
+}
+
+// fetchPage resolves the physical page for an instruction fetch.
+func (e *Interp) fetchPage(pc uint32) (pbase uint32, fault isa.FaultCode) {
+	m := e.m
+	if !m.MMUEnabled() {
+		if !m.Bus.IsRAM(pc, isa.WordBytes) {
+			return 0, isa.FaultBus
+		}
+		return pc &^ isa.PageMask, isa.FaultNone
+	}
+	vp := pc >> isa.PageShift
+	ent := &e.fc[vp&(fcacheSize-1)]
+	if ent.tag != vp<<1|1 {
+		pte, levels, f := mmu.Walk(m.Bus, m.TTBR(), m.FormatB(), pc)
+		e.st.PageWalks++
+		e.st.WalkLevels += uint64(levels)
+		if f != isa.FaultNone {
+			return 0, f
+		}
+		if !m.Bus.IsRAM(pte.PhysPage, isa.PageSize) {
+			return 0, isa.FaultBus
+		}
+		ent.tag = vp<<1 | 1
+		ent.pbase = pte.PhysPage
+		ent.flags = 0
+		if pte.User {
+			ent.flags |= fUser
+		}
+	}
+	if !m.CPU.Kernel && ent.flags&fUser == 0 {
+		return 0, isa.FaultPermission
+	}
+	return ent.pbase, isa.FaultNone
+}
+
+// decode returns the decoded instruction at physical address pa,
+// filling the per-page decode cache lazily.
+func (e *Interp) decode(pa uint32) isa.Inst {
+	page := pa >> isa.PageShift
+	dp := e.dpages[page]
+	if dp == nil {
+		dp = &decodedPage{gen: 1}
+		e.dpages[page] = dp
+		e.codePages[page] = true
+		e.st.PagesDecoded++
+	}
+	idx := (pa & isa.PageMask) >> 2
+	if dp.stamp[idx] != dp.gen {
+		dp.insts[idx] = isa.Decode(e.m.Bus.ReadWordRAM(pa))
+		dp.stamp[idx] = dp.gen
+	}
+	return dp.insts[idx]
+}
+
+// noteStore invalidates cached decodes when guest code is overwritten.
+// The page stays allocated; only its generation advances.
+func (e *Interp) noteStore(pa uint32) {
+	page := pa >> isa.PageShift
+	if int(page) < len(e.codePages) && e.codePages[page] {
+		if dp := e.dpages[page]; dp != nil {
+			dp.gen++
+		}
+		e.st.SMCInvalidations++
+	}
+}
+
+// Run implements engine.Engine.
+func (e *Interp) Run(m *machine.Machine, limit uint64) (engine.Stats, error) {
+	e.reset(m)
+	cpu := &m.CPU
+	var insns uint64
+	for !m.Halted {
+		if insns >= limit {
+			e.st.Instructions = insns
+			return e.st, engine.ErrLimit
+		}
+		if m.TickFn != nil && insns%tickQuantum == 0 && insns != 0 {
+			m.TickFn(tickQuantum)
+		}
+		if m.IRQPending() {
+			m.Enter(isa.ExcIRQ, cpu.PC)
+			e.st.IRQsDelivered++
+			e.st.ExceptionsTaken++
+			continue
+		}
+
+		pc := cpu.PC
+		pbase, fault := e.fetchPage(pc)
+		if fault != isa.FaultNone {
+			m.EnterMemFault(isa.ExcInstFault, fault, pc, false, pc)
+			e.st.ExceptionsTaken++
+			continue
+		}
+		in := e.decode(pbase | pc&isa.PageMask)
+		insns++
+		e.step(in, pc)
+	}
+	e.st.Instructions = insns
+	return e.st, nil
+}
+
+// undef raises the undefined-instruction exception for the instruction
+// at pc.
+func (e *Interp) undef(pc uint32) {
+	e.m.Enter(isa.ExcUndef, pc+4)
+	e.st.ExceptionsTaken++
+}
+
+// step executes one decoded instruction. It is the reference semantics
+// of SV32.
+func (e *Interp) step(in isa.Inst, pc uint32) {
+	m := e.m
+	cpu := &m.CPU
+	r := &cpu.Regs
+	next := pc + 4
+	switch in.Op {
+	case isa.OpNOP:
+	case isa.OpADD:
+		r[in.Rd] = r[in.Ra] + r[in.Rb]
+	case isa.OpSUB:
+		r[in.Rd] = r[in.Ra] - r[in.Rb]
+	case isa.OpAND:
+		r[in.Rd] = r[in.Ra] & r[in.Rb]
+	case isa.OpOR:
+		r[in.Rd] = r[in.Ra] | r[in.Rb]
+	case isa.OpXOR:
+		r[in.Rd] = r[in.Ra] ^ r[in.Rb]
+	case isa.OpSHL:
+		r[in.Rd] = r[in.Ra] << (r[in.Rb] & 31)
+	case isa.OpSHR:
+		r[in.Rd] = r[in.Ra] >> (r[in.Rb] & 31)
+	case isa.OpSRA:
+		r[in.Rd] = uint32(int32(r[in.Ra]) >> (r[in.Rb] & 31))
+	case isa.OpMUL:
+		r[in.Rd] = r[in.Ra] * r[in.Rb]
+	case isa.OpCMP:
+		cpu.Flags = isa.Sub(r[in.Ra], r[in.Rb])
+	case isa.OpMOV:
+		r[in.Rd] = r[in.Ra]
+	case isa.OpNOT:
+		r[in.Rd] = ^r[in.Ra]
+	case isa.OpADDI:
+		r[in.Rd] = r[in.Ra] + uint32(in.Imm)
+	case isa.OpSUBI:
+		r[in.Rd] = r[in.Ra] - uint32(in.Imm)
+	case isa.OpANDI:
+		r[in.Rd] = r[in.Ra] & uint32(in.Imm)
+	case isa.OpORI:
+		r[in.Rd] = r[in.Ra] | uint32(in.Imm)
+	case isa.OpXORI:
+		r[in.Rd] = r[in.Ra] ^ uint32(in.Imm)
+	case isa.OpSHLI:
+		r[in.Rd] = r[in.Ra] << (uint32(in.Imm) & 31)
+	case isa.OpSHRI:
+		r[in.Rd] = r[in.Ra] >> (uint32(in.Imm) & 31)
+	case isa.OpSRAI:
+		r[in.Rd] = uint32(int32(r[in.Ra]) >> (uint32(in.Imm) & 31))
+	case isa.OpMULI:
+		r[in.Rd] = r[in.Ra] * uint32(in.Imm)
+	case isa.OpCMPI:
+		cpu.Flags = isa.Sub(r[in.Ra], uint32(in.Imm))
+	case isa.OpMOVI:
+		r[in.Rd] = uint32(in.Imm)
+	case isa.OpMOVT:
+		r[in.Rd] = r[in.Rd]&0xFFFF | uint32(in.Imm)<<16
+	case isa.OpLDW:
+		e.load(in, pc, r[in.Ra]+uint32(in.Imm), 4, false)
+		return
+	case isa.OpSTW:
+		e.store(in, pc, r[in.Ra]+uint32(in.Imm), 4, false)
+		return
+	case isa.OpLDB:
+		e.load(in, pc, r[in.Ra]+uint32(in.Imm), 1, false)
+		return
+	case isa.OpSTB:
+		e.store(in, pc, r[in.Ra]+uint32(in.Imm), 1, false)
+		return
+	case isa.OpLDT:
+		if !m.NonPrivSupported() {
+			e.undef(pc)
+			return
+		}
+		e.st.NonPrivAccesses++
+		e.load(in, pc, r[in.Ra]+uint32(in.Imm), 4, true)
+		return
+	case isa.OpSTT:
+		if !m.NonPrivSupported() {
+			e.undef(pc)
+			return
+		}
+		e.st.NonPrivAccesses++
+		e.store(in, pc, r[in.Ra]+uint32(in.Imm), 4, true)
+		return
+	case isa.OpB:
+		if in.Cond.Eval(cpu.Flags) {
+			next = pc + 4 + uint32(in.Off)
+			if e.profile {
+				e.classifyBranch(pc, next, false)
+			}
+		}
+	case isa.OpBL:
+		if in.Cond.Eval(cpu.Flags) {
+			r[isa.LR] = pc + 4
+			next = pc + 4 + uint32(in.Off)
+			if e.profile {
+				e.classifyBranch(pc, next, false)
+			}
+		}
+	case isa.OpBR:
+		next = r[in.Ra] &^ 3
+		if e.profile {
+			e.classifyBranch(pc, next, true)
+		}
+	case isa.OpBLR:
+		target := r[in.Ra] &^ 3
+		r[isa.LR] = pc + 4
+		next = target
+		if e.profile {
+			e.classifyBranch(pc, next, true)
+		}
+	case isa.OpSVC:
+		m.Enter(isa.ExcSyscall, pc+4)
+		e.st.ExceptionsTaken++
+		return
+	case isa.OpERET:
+		if !cpu.Kernel {
+			e.undef(pc)
+			return
+		}
+		m.ERET()
+		return
+	case isa.OpMRS:
+		v, ok := m.ReadCtrl(isa.CtrlReg(in.Imm))
+		if !ok {
+			e.undef(pc)
+			return
+		}
+		r[in.Rd] = v
+	case isa.OpMSR:
+		if !m.WriteCtrl(isa.CtrlReg(in.Imm), r[in.Rd]) {
+			e.undef(pc)
+			return
+		}
+		// A PSR/MMU write may have changed mode or translation; the
+		// next fetch re-resolves, so nothing more to do here.
+	case isa.OpCPRD:
+		v, ok := m.CoprocRead(uint32(in.Imm)>>8, uint32(in.Imm)&0xFF)
+		if !ok {
+			e.undef(pc)
+			return
+		}
+		e.st.CoprocAccesses++
+		r[in.Rd] = v
+	case isa.OpCPWR:
+		if !m.CoprocWrite(uint32(in.Imm)>>8, uint32(in.Imm)&0xFF, r[in.Rd]) {
+			e.undef(pc)
+			return
+		}
+		e.st.CoprocAccesses++
+	case isa.OpTLBI:
+		if !cpu.Kernel {
+			e.undef(pc)
+			return
+		}
+		e.st.TLBInvalidates++
+		m.InvalidatePageTLBs(r[in.Ra])
+	case isa.OpTLBIA:
+		if !cpu.Kernel {
+			e.undef(pc)
+			return
+		}
+		e.st.TLBFlushes++
+		m.InvalidateAllTLBs()
+	case isa.OpHALT:
+		if !cpu.Kernel {
+			e.undef(pc)
+			return
+		}
+		m.Halted = true
+		return
+	default: // OpUD and unallocated opcodes
+		e.undef(pc)
+		return
+	}
+	cpu.PC = next
+}
+
+func (e *Interp) load(in isa.Inst, pc, va uint32, size int, asUser bool) {
+	m := e.m
+	if size == 4 {
+		va &^= 3
+	}
+	e.st.MemReads++
+	pa, isRAM, fault := e.translate(va, false, asUser)
+	if fault != isa.FaultNone {
+		m.EnterMemFault(isa.ExcDataFault, fault, va, false, pc)
+		e.st.ExceptionsTaken++
+		return
+	}
+	var v uint32
+	if isRAM {
+		if size == 4 {
+			v = m.Bus.ReadWordRAM(pa)
+		} else {
+			v = uint32(m.Bus.RAM[pa])
+		}
+	} else {
+		e.st.DeviceAccesses++
+		var f isa.FaultCode
+		v, f = m.Bus.ReadPhys(pa, size)
+		if f != isa.FaultNone {
+			m.EnterMemFault(isa.ExcDataFault, f, va, false, pc)
+			e.st.ExceptionsTaken++
+			return
+		}
+	}
+	m.CPU.Regs[in.Rd] = v
+	m.CPU.PC = pc + 4
+}
+
+func (e *Interp) store(in isa.Inst, pc, va uint32, size int, asUser bool) {
+	m := e.m
+	if size == 4 {
+		va &^= 3
+	}
+	e.st.MemWrites++
+	pa, isRAM, fault := e.translate(va, true, asUser)
+	if fault != isa.FaultNone {
+		m.EnterMemFault(isa.ExcDataFault, fault, va, true, pc)
+		e.st.ExceptionsTaken++
+		return
+	}
+	v := m.CPU.Regs[in.Rd]
+	if isRAM {
+		if size == 4 {
+			m.Bus.WriteWordRAM(pa, v)
+		} else {
+			m.Bus.RAM[pa] = byte(v)
+		}
+		e.noteStore(pa)
+	} else {
+		e.st.DeviceAccesses++
+		if f := m.Bus.WritePhys(pa, size, v); f != isa.FaultNone {
+			m.EnterMemFault(isa.ExcDataFault, f, va, true, pc)
+			e.st.ExceptionsTaken++
+			return
+		}
+	}
+	m.CPU.PC = pc + 4
+}

@@ -1,0 +1,376 @@
+package interp
+
+import (
+	"testing"
+
+	"simbench/internal/asm"
+	"simbench/internal/engine"
+	"simbench/internal/isa"
+	"simbench/internal/machine"
+	"simbench/internal/mmu"
+	"simbench/internal/platform"
+)
+
+func run(t *testing.T, build func(a *asm.Assembler)) (*platform.Platform, engine.Stats) {
+	t.Helper()
+	p := platform.New(machine.ProfileARM, 1<<20)
+	a := asm.New()
+	build(a)
+	prog, err := a.Assemble()
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	if err := p.M.LoadProgram(prog); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	p.M.Reset()
+	st, err := New().Run(p.M, 1_000_000)
+	if err != nil {
+		t.Fatalf("run: %v (pc=%#x)", err, p.M.CPU.PC)
+	}
+	return p, st
+}
+
+func TestFactorial(t *testing.T) {
+	p, st := run(t, func(a *asm.Assembler) {
+		a.MOVI(isa.R1, 10) // n
+		a.MOVI(isa.R2, 1)  // acc
+		a.Label("loop")
+		a.CMPI(isa.R1, 1)
+		a.B(isa.CondLE, "done")
+		a.MUL(isa.R2, isa.R2, isa.R1)
+		a.SUBI(isa.R1, isa.R1, 1)
+		a.B(isa.CondAL, "loop")
+		a.Label("done")
+		a.HALT()
+	})
+	if got := p.M.CPU.Regs[isa.R2]; got != 3628800 {
+		t.Errorf("10! = %d, want 3628800", got)
+	}
+	if st.Instructions == 0 {
+		t.Error("no instructions counted")
+	}
+}
+
+func TestUARTOutput(t *testing.T) {
+	p, _ := run(t, func(a *asm.Assembler) {
+		a.LoadImm32(isa.R1, platform.UARTBase)
+		for _, ch := range "hi" {
+			a.MOVI(isa.R2, int32(ch))
+			a.STW(isa.R2, isa.R1, 0)
+		}
+		a.HALT()
+	})
+	if got := p.ConsoleString(); got != "hi" {
+		t.Errorf("console = %q, want \"hi\"", got)
+	}
+}
+
+func TestSyscallException(t *testing.T) {
+	p, st := run(t, func(a *asm.Assembler) {
+		// Vector table at 0x100: syscall handler increments R5 and ERETs.
+		a.LA(isa.R1, "vectors")
+		a.MSR(isa.CtrlVBAR, isa.R1)
+		a.MOVI(isa.R5, 0)
+		a.SVC(42)
+		a.SVC(43)
+		a.HALT()
+
+		a.Org(0x100)
+		a.Label("vectors")
+		a.B(isa.CondAL, "bad") // reset
+		a.B(isa.CondAL, "bad") // undef
+		a.B(isa.CondAL, "svc") // syscall
+		a.B(isa.CondAL, "bad") // inst fault
+		a.B(isa.CondAL, "bad") // data fault
+		a.B(isa.CondAL, "bad") // irq
+		a.Label("svc")
+		a.ADDI(isa.R5, isa.R5, 1)
+		a.ERET()
+		a.Label("bad")
+		a.HALT()
+	})
+	if got := p.M.CPU.Regs[isa.R5]; got != 2 {
+		t.Errorf("handler ran %d times, want 2", got)
+	}
+	if p.M.ExcCount[isa.ExcSyscall] != 2 {
+		t.Errorf("syscall count = %d", p.M.ExcCount[isa.ExcSyscall])
+	}
+	if st.ExceptionsTaken != 2 {
+		t.Errorf("stats exceptions = %d", st.ExceptionsTaken)
+	}
+}
+
+func TestUndefinedInstruction(t *testing.T) {
+	p, _ := run(t, func(a *asm.Assembler) {
+		a.LA(isa.R1, "vectors")
+		a.MSR(isa.CtrlVBAR, isa.R1)
+		a.MOVI(isa.R5, 0)
+		a.UD()
+		a.HALT()
+		a.Org(0x100)
+		a.Label("vectors")
+		a.HALT()
+		a.B(isa.CondAL, "undef")
+		a.HALT()
+		a.HALT()
+		a.HALT()
+		a.HALT()
+		a.Label("undef")
+		a.ADDI(isa.R5, isa.R5, 1)
+		a.ERET()
+	})
+	if p.M.CPU.Regs[isa.R5] != 1 {
+		t.Errorf("undef handler ran %d times", p.M.CPU.Regs[isa.R5])
+	}
+}
+
+func TestSafeDeviceRead(t *testing.T) {
+	p, st := run(t, func(a *asm.Assembler) {
+		a.LoadImm32(isa.R1, platform.SafeBase)
+		a.LDW(isa.R2, isa.R1, 0)
+		a.HALT()
+	})
+	if got := p.M.CPU.Regs[isa.R2]; got != 0x51AFEDE5 {
+		t.Errorf("safe ID = %#x", got)
+	}
+	if st.DeviceAccesses != 1 {
+		t.Errorf("device accesses = %d", st.DeviceAccesses)
+	}
+}
+
+// TestMMUDataFault builds page tables host-side, enables the MMU, and
+// checks that an access to an unmapped page vectors to the data-abort
+// handler with the right FSR/FAR.
+func TestMMUDataFault(t *testing.T) {
+	p := platform.New(machine.ProfileARM, 1<<20)
+	a := asm.New()
+
+	a.Label("_start")
+	a.LA(isa.R1, "vectors")
+	a.MSR(isa.CtrlVBAR, isa.R1)
+	a.LoadImm32(isa.R2, 0x80000) // TTBR set below to match builder root
+	a.MSR(isa.CtrlTTBR, isa.R2)
+	a.MOVI(isa.R3, 1) // enable, format A
+	a.MSR(isa.CtrlMMU, isa.R3)
+	a.LoadImm32(isa.R4, 0x00500000) // unmapped VA
+	a.LDW(isa.R5, isa.R4, 0)        // faults
+	a.HALT()
+
+	a.Org(0x200)
+	a.Label("vectors")
+	a.HALT()
+	a.HALT()
+	a.HALT()
+	a.HALT()
+	a.B(isa.CondAL, "dabort")
+	a.HALT()
+	a.Label("dabort")
+	a.MRS(isa.R6, isa.CtrlFAR)
+	a.MRS(isa.R7, isa.CtrlFSR)
+	a.MRS(isa.R8, isa.CtrlEPC)
+	a.ADDI(isa.R8, isa.R8, 4)
+	a.MSR(isa.CtrlEPC, isa.R8)
+	a.ERET()
+
+	prog, err := a.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.M.LoadProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	// Host-side "bootloader": identity-map the first 1 MiB, leave
+	// 0x00500000 unmapped. Tables at 0x80000.
+	b, err := mmu.NewBuilder(p.M.Bus, 0x80000, 0xC0000, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Root() != 0x80000 {
+		t.Fatalf("builder root %#x", b.Root())
+	}
+	if err := b.MapRange(0, 0, 1<<20, true, false); err != nil {
+		t.Fatal(err)
+	}
+	p.M.Reset()
+	if _, err := New().Run(p.M, 100_000); err != nil {
+		t.Fatalf("run: %v (pc=%#x)", err, p.M.CPU.PC)
+	}
+	if got := p.M.CPU.Regs[isa.R6]; got != 0x00500000 {
+		t.Errorf("FAR = %#x", got)
+	}
+	if got := p.M.CPU.Regs[isa.R7]; got != uint32(isa.FaultTranslation) {
+		t.Errorf("FSR = %#x", got)
+	}
+	if p.M.ExcCount[isa.ExcDataFault] != 1 {
+		t.Errorf("data faults = %d", p.M.ExcCount[isa.ExcDataFault])
+	}
+}
+
+func TestIRQDelivery(t *testing.T) {
+	p, st := run(t, func(a *asm.Assembler) {
+		a.LA(isa.R1, "vectors")
+		a.MSR(isa.CtrlVBAR, isa.R1)
+		// Enable software interrupt line in the controller.
+		a.LoadImm32(isa.R2, platform.ICBase)
+		a.MOVI(isa.R3, 1) // line 0 mask
+		a.STW(isa.R3, isa.R2, 0x08)
+		// Enable IRQs in the PSR: kernel | irq-on.
+		a.MOVI(isa.R4, 3)
+		a.MSR(isa.CtrlPSR, isa.R4)
+		// Raise the software interrupt: write line number to ICRaise.
+		a.MOVI(isa.R5, 0)
+		a.STW(isa.R5, isa.R2, 0x0C)
+		// The IRQ is taken before the next instruction completes.
+		a.NOP()
+		a.HALT()
+
+		a.Org(0x300)
+		a.Label("vectors")
+		a.HALT()
+		a.HALT()
+		a.HALT()
+		a.HALT()
+		a.HALT()
+		a.B(isa.CondAL, "irq")
+		a.Label("irq")
+		a.ADDI(isa.R7, isa.R7, 1)
+		// Ack: clear line 0.
+		a.LoadImm32(isa.R8, platform.ICBase)
+		a.MOVI(isa.R9, 0)
+		a.STW(isa.R9, isa.R8, 0x10)
+		a.ERET()
+	})
+	if p.M.CPU.Regs[isa.R7] != 1 {
+		t.Errorf("irq handler ran %d times", p.M.CPU.Regs[isa.R7])
+	}
+	if st.IRQsDelivered != 1 {
+		t.Errorf("irqs delivered = %d", st.IRQsDelivered)
+	}
+}
+
+func TestUserModePrivilegeChecks(t *testing.T) {
+	// Drop to user mode via ERET and verify HALT raises undef.
+	p, _ := run(t, func(a *asm.Assembler) {
+		a.LA(isa.R1, "vectors")
+		a.MSR(isa.CtrlVBAR, isa.R1)
+		a.LA(isa.R2, "user")
+		a.MSR(isa.CtrlEPC, isa.R2)
+		a.MOVI(isa.R3, 0) // user mode, IRQs off
+		a.MSR(isa.CtrlEPSR, isa.R3)
+		a.ERET()
+		a.Label("user")
+		a.HALT() // privileged in user mode -> undef
+		a.Label("after")
+		a.NOP()
+		a.HALT()
+		a.Org(0x200)
+		a.Label("vectors")
+		a.HALT()
+		a.B(isa.CondAL, "undef")
+		a.HALT()
+		a.HALT()
+		a.HALT()
+		a.HALT()
+		a.Label("undef")
+		a.MOVI(isa.R10, 77)
+		a.HALT()
+	})
+	if p.M.CPU.Regs[isa.R10] != 77 {
+		t.Error("user-mode HALT did not trap to undef handler")
+	}
+}
+
+func TestSMCDecodeInvalidation(t *testing.T) {
+	// Overwrite a NOP with "MOVI R9, 5" at runtime and execute it.
+	_, st := run(t, func(a *asm.Assembler) {
+		target := isa.Encode(isa.Inst{Op: isa.OpMOVI, Rd: isa.R9, Imm: 5})
+		a.LA(isa.R1, "patch")
+		a.LoadImm32(isa.R2, target)
+		// Execute the patch site once as NOP.
+		a.BL("patch_site_call")
+		// Patch and re-execute.
+		a.STW(isa.R2, isa.R1, 0)
+		a.BL("patch_site_call")
+		a.HALT()
+		a.Label("patch_site_call")
+		a.Label("patch")
+		a.NOP()
+		a.RET()
+	})
+	_ = st
+}
+
+func TestSMCActuallyTakesEffect(t *testing.T) {
+	p, st := run(t, func(a *asm.Assembler) {
+		patched := isa.Encode(isa.Inst{Op: isa.OpMOVI, Rd: isa.R9, Imm: 5})
+		a.MOVI(isa.R9, 0)
+		a.LA(isa.R1, "site")
+		a.LoadImm32(isa.R2, patched)
+		a.BL("fn")
+		a.MOV(isa.R6, isa.R9) // should still be 0
+		a.STW(isa.R2, isa.R1, 0)
+		a.BL("fn")
+		a.MOV(isa.R7, isa.R9) // should now be 5
+		a.HALT()
+		a.Label("fn")
+		a.Label("site")
+		a.NOP()
+		a.RET()
+	})
+	if p.M.CPU.Regs[isa.R6] != 0 || p.M.CPU.Regs[isa.R7] != 5 {
+		t.Errorf("SMC not honoured: r6=%d r7=%d", p.M.CPU.Regs[isa.R6], p.M.CPU.Regs[isa.R7])
+	}
+	if st.SMCInvalidations == 0 {
+		t.Error("expected at least one SMC invalidation")
+	}
+}
+
+func TestInstructionLimit(t *testing.T) {
+	p := platform.New(machine.ProfileARM, 1<<20)
+	a := asm.New()
+	a.Label("spin")
+	a.B(isa.CondAL, "spin")
+	prog, _ := a.Assemble()
+	p.M.LoadProgram(prog)
+	p.M.Reset()
+	_, err := New().Run(p.M, 1000)
+	if err != engine.ErrLimit {
+		t.Fatalf("err = %v, want ErrLimit", err)
+	}
+}
+
+func TestNonPrivAccessX86Undefined(t *testing.T) {
+	p := platform.New(machine.ProfileX86, 1<<20)
+	a := asm.New()
+	a.LA(isa.R1, "vectors")
+	a.MSR(isa.CtrlVBAR, isa.R1)
+	a.LDT(isa.R2, isa.R3, 0) // undefined on x86 profile
+	a.HALT()
+	a.Org(0x100)
+	a.Label("vectors")
+	a.HALT()
+	a.B(isa.CondAL, "undef")
+	a.HALT()
+	a.HALT()
+	a.HALT()
+	a.HALT()
+	a.Label("undef")
+	a.MOVI(isa.R10, 1)
+	a.ERET()
+	prog, err := a.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.M.LoadProgram(prog)
+	p.M.Reset()
+	if _, err := New().Run(p.M, 10000); err != nil {
+		t.Fatal(err)
+	}
+	if p.M.CPU.Regs[isa.R10] != 1 {
+		t.Error("LDT on x86 profile did not raise undef")
+	}
+	if p.M.ExcCount[isa.ExcUndef] != 1 {
+		t.Errorf("undef count = %d", p.M.ExcCount[isa.ExcUndef])
+	}
+}

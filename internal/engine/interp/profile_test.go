@@ -1,0 +1,105 @@
+package interp
+
+import (
+	"testing"
+
+	"simbench/internal/asm"
+	"simbench/internal/isa"
+	"simbench/internal/machine"
+	"simbench/internal/platform"
+)
+
+// TestBranchClassification checks the density profiler's four-way
+// branch classification on a program with known control flow.
+func TestBranchClassification(t *testing.T) {
+	p := platform.New(machine.ProfileARM, 1<<20)
+	a := asm.New()
+	a.Label("_start")
+	a.MOVI(isa.SP, 0x8000)
+	// 10x direct intra-page branches (tight loop on one page).
+	a.MOVI(isa.R1, 10)
+	a.Label("near")
+	a.SUBI(isa.R1, isa.R1, 1)
+	a.CMPI(isa.R1, 0)
+	a.B(isa.CondNE, "near") // 9 taken
+	// 1 direct inter-page call + 1 indirect inter-page return.
+	a.BL("far")
+	// Indirect intra-page: a register branch to the next instruction's
+	// page-local target.
+	a.LA(isa.R2, "local")
+	a.BR(isa.R2)
+	a.Label("local")
+	a.HALT()
+	a.Org(0x8000)
+	a.Label("far")
+	a.RET() // indirect, back across pages
+	prog, err := a.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.M.LoadProgram(prog)
+	p.M.Reset()
+	e := NewProfiling()
+	st, err := e.Run(p.M, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.BranchDirectIntra != 9 {
+		t.Errorf("direct intra = %d, want 9", st.BranchDirectIntra)
+	}
+	if st.BranchDirectInter != 1 {
+		t.Errorf("direct inter = %d, want 1 (the BL)", st.BranchDirectInter)
+	}
+	if st.BranchIndirectInter != 1 {
+		t.Errorf("indirect inter = %d, want 1 (the RET)", st.BranchIndirectInter)
+	}
+	if st.BranchIndirectIntra != 1 {
+		t.Errorf("indirect intra = %d, want 1 (the BR)", st.BranchIndirectIntra)
+	}
+}
+
+// TestNonProfilingSkipsClassification keeps the hot path clean: the
+// plain interpreter must not fill the classification counters.
+func TestNonProfilingSkipsClassification(t *testing.T) {
+	p := platform.New(machine.ProfileARM, 1<<20)
+	a := asm.New()
+	a.MOVI(isa.R1, 5)
+	a.Label("l")
+	a.SUBI(isa.R1, isa.R1, 1)
+	a.CMPI(isa.R1, 0)
+	a.B(isa.CondNE, "l")
+	a.HALT()
+	prog, _ := a.Assemble()
+	p.M.LoadProgram(prog)
+	p.M.Reset()
+	st, err := New().Run(p.M, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.BranchDirectIntra != 0 {
+		t.Error("plain interpreter classified branches")
+	}
+}
+
+// TestNotTakenBranchesNotCounted: classification counts *taken*
+// transfers only, mirroring the paper's operation definition.
+func TestNotTakenBranchesNotCounted(t *testing.T) {
+	p := platform.New(machine.ProfileARM, 1<<20)
+	a := asm.New()
+	a.CMPI(isa.R0, 1) // R0 == 0, so EQ fails
+	a.B(isa.CondEQ, "skip")
+	a.Label("skip")
+	a.HALT()
+	prog, _ := a.Assemble()
+	p.M.LoadProgram(prog)
+	p.M.Reset()
+	st, err := NewProfiling().Run(p.M, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := st.BranchDirectIntra + st.BranchDirectInter +
+		st.BranchIndirectIntra + st.BranchIndirectInter
+	if total != 0 {
+		t.Errorf("not-taken branch was classified (%d)", total)
+	}
+}

@@ -1,0 +1,49 @@
+package engine
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestAddCoversEveryField uses reflection to verify Stats.Add
+// accumulates every numeric field — so adding a counter without
+// updating Add is caught here.
+func TestAddCoversEveryField(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	mk := func() Stats {
+		var s Stats
+		v := reflect.ValueOf(&s).Elem()
+		for i := 0; i < v.NumField(); i++ {
+			f := v.Field(i)
+			if f.Kind() == reflect.Uint64 {
+				f.SetUint(uint64(r.Intn(1000) + 1))
+			}
+		}
+		return s
+	}
+	a, b := mk(), mk()
+	sum := a
+	sum.Add(b)
+
+	va := reflect.ValueOf(a)
+	vb := reflect.ValueOf(b)
+	vs := reflect.ValueOf(sum)
+	tp := reflect.TypeOf(a)
+	for i := 0; i < tp.NumField(); i++ {
+		if tp.Field(i).Type.Kind() != reflect.Uint64 {
+			continue
+		}
+		want := va.Field(i).Uint() + vb.Field(i).Uint()
+		if got := vs.Field(i).Uint(); got != want {
+			t.Errorf("field %s: Add produced %d, want %d (field not accumulated?)",
+				tp.Field(i).Name, got, want)
+		}
+	}
+}
+
+func TestErrLimitMessage(t *testing.T) {
+	if ErrLimit.Error() == "" {
+		t.Error("empty error")
+	}
+}

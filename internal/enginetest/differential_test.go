@@ -1,0 +1,244 @@
+package enginetest
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"simbench/internal/asm"
+	"simbench/internal/isa"
+	"simbench/internal/machine"
+	"simbench/internal/platform"
+)
+
+func assemble(t *testing.T, build func(a *asm.Assembler)) *asm.Program {
+	t.Helper()
+	a := asm.New()
+	build(a)
+	prog, err := a.Assemble()
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return prog
+}
+
+func checkAll(t *testing.T, profile machine.Profile, prog *asm.Program) map[string]Outcome {
+	t.Helper()
+	outcomes, err := RunAll(profile, prog, 10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := Diff(outcomes); d != "" {
+		t.Fatal(d)
+	}
+	return outcomes
+}
+
+func TestGoldenFibonacci(t *testing.T) {
+	prog := assemble(t, func(a *asm.Assembler) {
+		a.MOVI(isa.R1, 0)
+		a.MOVI(isa.R2, 1)
+		a.MOVI(isa.R3, 30) // iterations
+		a.Label("loop")
+		a.ADD(isa.R4, isa.R1, isa.R2)
+		a.MOV(isa.R1, isa.R2)
+		a.MOV(isa.R2, isa.R4)
+		a.SUBI(isa.R3, isa.R3, 1)
+		a.CMPI(isa.R3, 0)
+		a.B(isa.CondNE, "loop")
+		a.HALT()
+	})
+	for _, profile := range []machine.Profile{machine.ProfileARM, machine.ProfileX86} {
+		t.Run(profile.String(), func(t *testing.T) {
+			out := checkAll(t, profile, prog)
+			if got := out["interp"].Regs[isa.R2]; got != 1346269 {
+				t.Errorf("fib = %d", got)
+			}
+		})
+	}
+}
+
+func TestGoldenMemcpyChecksum(t *testing.T) {
+	prog := assemble(t, func(a *asm.Assembler) {
+		// Fill src with a pattern, copy to dst, checksum dst.
+		a.LoadImm32(isa.R1, 0x9000) // src
+		a.LoadImm32(isa.R2, 0xA000) // dst
+		a.MOVI(isa.R3, 256)         // words
+		a.MOVI(isa.R4, 0x1234)      // pattern seed
+		a.MOV(isa.R5, isa.R1)
+		a.MOV(isa.R6, isa.R3)
+		a.Label("fill")
+		a.STW(isa.R4, isa.R5, 0)
+		a.MULI(isa.R4, isa.R4, 17)
+		a.ADDI(isa.R4, isa.R4, 3)
+		a.ADDI(isa.R5, isa.R5, 4)
+		a.SUBI(isa.R6, isa.R6, 1)
+		a.CMPI(isa.R6, 0)
+		a.B(isa.CondNE, "fill")
+		a.MOV(isa.R5, isa.R1)
+		a.MOV(isa.R7, isa.R2)
+		a.MOV(isa.R6, isa.R3)
+		a.Label("copy")
+		a.LDW(isa.R8, isa.R5, 0)
+		a.STW(isa.R8, isa.R7, 0)
+		a.ADDI(isa.R5, isa.R5, 4)
+		a.ADDI(isa.R7, isa.R7, 4)
+		a.SUBI(isa.R6, isa.R6, 1)
+		a.CMPI(isa.R6, 0)
+		a.B(isa.CondNE, "copy")
+		a.MOVI(isa.R9, 0)
+		a.MOV(isa.R7, isa.R2)
+		a.MOV(isa.R6, isa.R3)
+		a.Label("sum")
+		a.LDW(isa.R8, isa.R7, 0)
+		a.XOR(isa.R9, isa.R9, isa.R8)
+		a.ADDI(isa.R7, isa.R7, 4)
+		a.SUBI(isa.R6, isa.R6, 1)
+		a.CMPI(isa.R6, 0)
+		a.B(isa.CondNE, "sum")
+		a.HALT()
+	})
+	checkAll(t, machine.ProfileARM, prog)
+}
+
+func TestGoldenExceptionMix(t *testing.T) {
+	prog := assemble(t, func(a *asm.Assembler) {
+		a.LA(isa.R1, "vectors")
+		a.MSR(isa.CtrlVBAR, isa.R1)
+		a.MOVI(isa.R5, 0)
+		a.MOVI(isa.R6, 8)
+		a.Label("loop")
+		a.SVC(1)
+		a.UD()
+		a.SUBI(isa.R6, isa.R6, 1)
+		a.CMPI(isa.R6, 0)
+		a.B(isa.CondNE, "loop")
+		a.HALT()
+		a.Org(0x800)
+		a.Label("vectors")
+		a.HALT()
+		a.B(isa.CondAL, "handler")
+		a.B(isa.CondAL, "handler")
+		a.HALT()
+		a.HALT()
+		a.HALT()
+		a.Label("handler")
+		a.ADDI(isa.R5, isa.R5, 1)
+		a.ERET()
+	})
+	out := checkAll(t, machine.ProfileARM, prog)
+	if got := out["interp"].Regs[isa.R5]; got != 16 {
+		t.Errorf("handler ran %d times, want 16", got)
+	}
+}
+
+func TestGoldenConsole(t *testing.T) {
+	prog := assemble(t, func(a *asm.Assembler) {
+		a.LoadImm32(isa.R1, platform.UARTBase)
+		for _, c := range "SimBench!" {
+			a.MOVI(isa.R2, int32(c))
+			a.STW(isa.R2, isa.R1, 0)
+		}
+		a.HALT()
+	})
+	out := checkAll(t, machine.ProfileARM, prog)
+	if out["interp"].Console != "SimBench!" {
+		t.Errorf("console = %q", out["interp"].Console)
+	}
+}
+
+func TestGoldenIndirectCallTable(t *testing.T) {
+	prog := assemble(t, func(a *asm.Assembler) {
+		a.Label("_start")
+		a.MOVI(isa.SP, 0x8000)
+		a.LA(isa.R10, "table")
+		a.MOVI(isa.R9, 0)  // index
+		a.MOVI(isa.R1, 0)  // accumulator
+		a.MOVI(isa.R7, 12) // iterations
+		a.Label("loop")
+		a.ANDI(isa.R8, isa.R9, 3)
+		a.SHLI(isa.R8, isa.R8, 2)
+		a.ADD(isa.R8, isa.R10, isa.R8)
+		a.LDW(isa.R8, isa.R8, 0)
+		a.BLR(isa.R8)
+		a.ADDI(isa.R9, isa.R9, 1)
+		a.SUBI(isa.R7, isa.R7, 1)
+		a.CMPI(isa.R7, 0)
+		a.B(isa.CondNE, "loop")
+		a.HALT()
+		for i := 0; i < 4; i++ {
+			a.Label(asm.Label(fmt.Sprintf("f%d", i)))
+			a.ADDI(isa.R1, isa.R1, int32(i+1))
+			a.RET()
+		}
+		a.Align(16)
+		a.Label("table")
+		a.WordAddr("f0")
+		a.WordAddr("f1")
+		a.WordAddr("f2")
+		a.WordAddr("f3")
+	})
+	out := checkAll(t, machine.ProfileARM, prog)
+	if got := out["interp"].Regs[isa.R1]; got != 30 { // 3*(1+2+3+4)
+		t.Errorf("accumulator = %d, want 30", got)
+	}
+}
+
+func TestRandomProgramsARM(t *testing.T) {
+	testRandomPrograms(t, machine.ProfileARM, 1)
+}
+
+func TestRandomProgramsX86(t *testing.T) {
+	testRandomPrograms(t, machine.ProfileX86, 2)
+}
+
+func testRandomPrograms(t *testing.T, profile machine.Profile, seed int64) {
+	r := rand.New(rand.NewSource(seed))
+	trials := 25
+	if testing.Short() {
+		trials = 5
+	}
+	for trial := 0; trial < trials; trial++ {
+		n := 20 + r.Intn(180)
+		prog, err := RandomProgram(r, n)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		outcomes, err := RunAll(profile, prog, 10_000_000)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if d := Diff(outcomes); d != "" {
+			t.Fatalf("trial %d (n=%d, seed=%d): %s", trial, n, seed, d)
+		}
+	}
+}
+
+func TestRandomProgramsSmallBlockCap(t *testing.T) {
+	// A tiny DBT block cap stresses block-boundary handling: results
+	// must still match the reference.
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		prog, err := RandomProgram(r, 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := Run(Engines()[0], machine.ProfileARM, prog, 10_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cap := range []int{1, 2, 3, 7} {
+			cfg := dbtSmallCap(cap)
+			got, err := Run(cfg, machine.ProfileARM, prog, 10_000_000)
+			if err != nil {
+				t.Fatalf("cap %d: %v", cap, err)
+			}
+			if got.Regs != ref.Regs {
+				t.Fatalf("cap %d trial %d: registers diverge", cap, trial)
+			}
+			if got.Insns != ref.Insns {
+				t.Fatalf("cap %d trial %d: insns %d != %d", cap, trial, got.Insns, ref.Insns)
+			}
+		}
+	}
+}

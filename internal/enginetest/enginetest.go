@@ -1,0 +1,166 @@
+// Package enginetest provides cross-engine differential testing
+// helpers: the same guest program is run on every execution engine and
+// the architectural outcomes (register file, exception counts, console
+// output, memory regions) must agree. The fast interpreter is the
+// reference; any divergence is a bug in one of the engines.
+package enginetest
+
+import (
+	"fmt"
+	"math/rand"
+
+	"simbench/internal/asm"
+	"simbench/internal/engine"
+	"simbench/internal/engine/dbt"
+	"simbench/internal/engine/detailed"
+	"simbench/internal/engine/direct"
+	"simbench/internal/engine/interp"
+	"simbench/internal/isa"
+	"simbench/internal/machine"
+	"simbench/internal/platform"
+)
+
+// Engines returns one instance of every execution engine.
+func Engines() []engine.Engine {
+	return []engine.Engine{
+		interp.New(),
+		dbt.NewDefault(),
+		detailed.New(),
+		direct.New(direct.ModeVirt),
+		direct.New(direct.ModeNative),
+	}
+}
+
+// Outcome captures the architectural result of a run.
+type Outcome struct {
+	Regs    [isa.NumRegs]uint32
+	Exc     [isa.NumExcs]uint64
+	Console string
+	Insns   uint64
+	Stats   engine.Stats
+	Err     error
+	FinalPC uint32
+}
+
+// Run executes prog on eng under a fresh platform and returns the
+// outcome.
+func Run(eng engine.Engine, profile machine.Profile, prog *asm.Program, limit uint64) (Outcome, error) {
+	p := platform.New(profile, 4<<20)
+	if err := p.M.LoadProgram(prog); err != nil {
+		return Outcome{}, err
+	}
+	p.M.Reset()
+	st, err := eng.Run(p.M, limit)
+	return Outcome{
+		Regs:    p.M.CPU.Regs,
+		Exc:     p.M.ExcCount,
+		Console: p.ConsoleString(),
+		Insns:   st.Instructions,
+		Stats:   st,
+		Err:     err,
+		FinalPC: p.M.CPU.PC,
+	}, err
+}
+
+// RunAll executes prog on every engine and returns outcomes keyed by
+// engine name.
+func RunAll(profile machine.Profile, prog *asm.Program, limit uint64) (map[string]Outcome, error) {
+	out := make(map[string]Outcome)
+	for _, eng := range Engines() {
+		o, err := Run(eng, profile, prog, limit)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w (pc=%#x)", eng.Name(), err, o.FinalPC)
+		}
+		out[eng.Name()] = o
+	}
+	return out, nil
+}
+
+// Diff compares every outcome against the reference (interp) and
+// returns a description of the first divergence, or "".
+func Diff(outcomes map[string]Outcome) string {
+	ref, ok := outcomes["interp"]
+	if !ok {
+		return "no reference outcome"
+	}
+	for name, o := range outcomes {
+		if name == "interp" {
+			continue
+		}
+		if o.Regs != ref.Regs {
+			return fmt.Sprintf("%s: registers differ\n  got  %v\n  want %v", name, o.Regs, ref.Regs)
+		}
+		if o.Exc != ref.Exc {
+			return fmt.Sprintf("%s: exception counts differ: got %v want %v", name, o.Exc, ref.Exc)
+		}
+		if o.Console != ref.Console {
+			return fmt.Sprintf("%s: console differs: got %q want %q", name, o.Console, ref.Console)
+		}
+		if o.Insns != ref.Insns {
+			return fmt.Sprintf("%s: instruction count differs: got %d want %d", name, o.Insns, ref.Insns)
+		}
+	}
+	return ""
+}
+
+// dataBase is the scratch page random programs may access.
+const dataBase = 0x9000
+
+// RandomProgram generates a terminating random program exercising ALU
+// operations, flags, forward branches, calls and scratch-page memory
+// accesses. Control flow only moves forward, so termination is
+// structural.
+func RandomProgram(r *rand.Rand, n int) (*asm.Program, error) {
+	a := asm.New()
+	// Seed registers with random values; R12 is the data base, SP and
+	// LR are left for calls.
+	for reg := isa.R0; reg <= isa.R10; reg++ {
+		a.LoadImm32(reg, r.Uint32())
+	}
+	a.LoadImm32(isa.R12, dataBase)
+
+	aluR := []func(rd, ra, rb isa.Reg){a.ADD, a.SUB, a.AND, a.OR, a.XOR, a.SHL, a.SHR, a.SRA, a.MUL}
+	aluI := []func(rd, ra isa.Reg, imm int32){a.ADDI, a.SUBI, a.ANDI, a.ORI, a.XORI, a.MULI}
+	conds := []isa.Cond{isa.CondEQ, isa.CondNE, isa.CondLT, isa.CondGE, isa.CondGT,
+		isa.CondLE, isa.CondLO, isa.CondHS, isa.CondHI, isa.CondLS, isa.CondMI,
+		isa.CondPL, isa.CondVS, isa.CondVC, isa.CondAL}
+
+	reg := func() isa.Reg { return isa.Reg(r.Intn(11)) } // R0..R10
+
+	for i := 0; i < n; i++ {
+		a.Label(asm.Label(fmt.Sprintf("L%d", i)))
+		switch r.Intn(10) {
+		case 0, 1, 2:
+			aluR[r.Intn(len(aluR))](reg(), reg(), reg())
+		case 3, 4:
+			aluI[r.Intn(len(aluI))](reg(), reg(), int32(r.Intn(65536)-32768)&0x7FFF)
+		case 5:
+			if r.Intn(2) == 0 {
+				a.CMP(reg(), reg())
+			} else {
+				a.CMPI(reg(), int32(r.Intn(32768)))
+			}
+		case 6:
+			// Forward conditional branch.
+			target := i + 1 + r.Intn(n-i)
+			a.B(conds[r.Intn(len(conds))], asm.Label(fmt.Sprintf("L%d", target)))
+		case 7:
+			a.LDW(reg(), isa.R12, int32(r.Intn(256))*4)
+		case 8:
+			a.STW(reg(), isa.R12, int32(r.Intn(256))*4)
+		case 9:
+			if r.Intn(2) == 0 {
+				a.MOVI(reg(), int32(r.Intn(65536)))
+			} else {
+				a.MOVT(reg(), int32(r.Intn(65536)))
+			}
+		}
+	}
+	a.Label(asm.Label(fmt.Sprintf("L%d", n)))
+	// Fold memory into registers so stores are observable.
+	for w := 0; w < 8; w++ {
+		a.LDW(isa.Reg(w), isa.R12, int32(w*4))
+	}
+	a.HALT()
+	return a.Assemble()
+}

@@ -1,0 +1,14 @@
+package enginetest
+
+import (
+	"simbench/internal/engine"
+	"simbench/internal/engine/dbt"
+)
+
+// dbtSmallCap builds a DBT engine with a tiny block cap for
+// block-boundary stress testing.
+func dbtSmallCap(cap int) engine.Engine {
+	cfg := dbt.DefaultConfig()
+	cfg.BlockCap = cap
+	return dbt.New(cfg)
+}

@@ -1,0 +1,217 @@
+package enginetest
+
+import (
+	"math/rand"
+	"testing"
+
+	"simbench/internal/asm"
+	"simbench/internal/isa"
+	"simbench/internal/machine"
+	"simbench/internal/platform"
+)
+
+// Hand-built format-A page-table constants for the remap test. The
+// tables are assembled directly into the guest image so every engine
+// sees the identical initial state.
+const (
+	ttbrBase  = 0x80000 // L1 table (16 KiB aligned)
+	l2Base    = 0x84000 // coarse table for the test window
+	remapVA   = 0x02000000
+	codePA1   = 0x10000
+	codePA2   = 0x11000
+	entSect   = 1
+	entCoarse = 2
+	entPage   = 1
+	entW      = 1 << 2
+)
+
+// buildRemapProgram emits a program that:
+//  1. enables the MMU with VA 0x02000000 -> codePA1 (fn returns 1),
+//  2. calls through the mapping (expects 1),
+//  3. rewrites the PTE to point at codePA2 (fn returns 2) and TLBIs,
+//  4. calls again (expects 2),
+//  5. reports acc = first*16 + second.
+func buildRemapProgram(t *testing.T) *asm.Program {
+	t.Helper()
+	a := asm.New()
+	a.Label("_start")
+	a.LoadImm32(isa.SP, 0x70000)
+	a.LA(isa.R0, "vectors")
+	a.MSR(isa.CtrlVBAR, isa.R0)
+	a.LoadImm32(isa.R0, ttbrBase)
+	a.MSR(isa.CtrlTTBR, isa.R0)
+	a.MOVI(isa.R1, int32(isa.MMUEnable))
+	a.MSR(isa.CtrlMMU, isa.R1)
+
+	a.LoadImm32(isa.R10, remapVA)
+	// First call: R9 = 1.
+	a.BLR(isa.R10)
+	a.MOV(isa.R4, isa.R9)
+	// Rewrite the PTE: l2Base[0] = codePA2 | W | page, then TLBI.
+	a.LoadImm32(isa.R2, l2Base)
+	a.LoadImm32(isa.R3, codePA2|entW|entPage)
+	a.STW(isa.R3, isa.R2, 0)
+	a.TLBI(isa.R10)
+	// Second call: R9 = 2.
+	a.BLR(isa.R10)
+	// acc = first*16 + second.
+	a.SHLI(isa.R4, isa.R4, 4)
+	a.ADD(isa.R4, isa.R4, isa.R9)
+	a.HALT()
+
+	a.Org(0x400)
+	a.Label("vectors")
+	for i := 0; i < 6; i++ {
+		a.HALT()
+	}
+
+	// The two versions of the function, at their physical homes.
+	a.Org(codePA1)
+	a.MOVI(isa.R9, 1)
+	a.RET()
+	a.Org(codePA2)
+	a.MOVI(isa.R9, 2)
+	a.RET()
+
+	// Page tables, assembled as data. L1[0]: identity section for low
+	// memory (covers code, stack, tables). L1[32]: coarse -> l2Base.
+	// Remaining L1 entries stay zero (invalid) in fresh RAM.
+	a.Org(ttbrBase)
+	a.Word(0 | entSect | entW) // section 0 -> 0, writable
+	for i := 1; i < 32; i++ {
+		a.Word(0)
+	}
+	a.Word(l2Base | entCoarse) // VA 0x02000000..0x020FFFFF
+	a.Org(l2Base)
+	a.Word(codePA1 | entW | entPage) // initial mapping
+
+	return mustAssembleProg(t, a)
+}
+
+func mustAssembleProg(t *testing.T, a *asm.Assembler) *asm.Program {
+	t.Helper()
+	p, err := a.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestCodePageRemapAllEngines verifies that every engine honours a
+// guest remap of an executable page followed by TLBI: translated-code
+// caches, jump caches, chains and flat translation tables must all
+// re-resolve the virtual address to the new physical page.
+func TestCodePageRemapAllEngines(t *testing.T) {
+	prog := buildRemapProgram(t)
+	for _, eng := range Engines() {
+		t.Run(eng.Name(), func(t *testing.T) {
+			p := platform.New(machine.ProfileARM, 4<<20)
+			if err := p.M.LoadProgram(prog); err != nil {
+				t.Fatal(err)
+			}
+			p.M.Reset()
+			if _, err := eng.Run(p.M, 1_000_000); err != nil {
+				t.Fatalf("%v (pc=%#x)", err, p.M.CPU.PC)
+			}
+			if got := p.M.CPU.Regs[isa.R4]; got != 0x12 {
+				t.Errorf("acc = %#x, want 0x12 (first call 1, second call 2)", got)
+			}
+		})
+	}
+}
+
+// TestRandomExceptionPrograms extends the differential tests with
+// randomly interleaved system calls and undefined instructions under a
+// shared counting handler: trap entry/exit paths must agree everywhere.
+func TestRandomExceptionPrograms(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	trials := 10
+	if testing.Short() {
+		trials = 3
+	}
+	for trial := 0; trial < trials; trial++ {
+		a := asm.New()
+		a.Label("_start")
+		a.LA(isa.R1, "vectors")
+		a.MSR(isa.CtrlVBAR, isa.R1)
+		a.MOVI(isa.R8, 0)
+		n := 10 + r.Intn(60)
+		for i := 0; i < n; i++ {
+			switch r.Intn(4) {
+			case 0:
+				a.SVC(int32(r.Intn(100)))
+			case 1:
+				a.UD()
+			case 2:
+				a.ADDI(isa.R8, isa.R8, int32(r.Intn(100)))
+			case 3:
+				a.XORI(isa.R8, isa.R8, int32(r.Intn(65536)))
+			}
+		}
+		a.HALT()
+		a.Org(0x1000)
+		a.Label("vectors")
+		a.HALT()
+		a.B(isa.CondAL, "h_undef")
+		a.B(isa.CondAL, "h_svc")
+		a.HALT()
+		a.HALT()
+		a.HALT()
+		a.Label("h_svc")
+		a.ADDI(isa.R8, isa.R8, 1)
+		a.ERET()
+		a.Label("h_undef")
+		a.ADDI(isa.R8, isa.R8, 2)
+		a.ERET()
+
+		prog := mustAssembleProg(t, a)
+		outcomes, err := RunAll(machine.ProfileARM, prog, 1_000_000)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if d := Diff(outcomes); d != "" {
+			t.Fatalf("trial %d: %s", trial, d)
+		}
+	}
+}
+
+// TestConsoleOrderingUnderTraps checks UART output interleaved with
+// exceptions is identical across engines (device ordering is part of
+// the architectural contract).
+func TestConsoleOrderingUnderTraps(t *testing.T) {
+	a := asm.New()
+	a.Label("_start")
+	a.LA(isa.R1, "vectors")
+	a.MSR(isa.CtrlVBAR, isa.R1)
+	a.LoadImm32(isa.R2, platform.UARTBase)
+	for i := 0; i < 5; i++ {
+		a.MOVI(isa.R3, int32('a'+i))
+		a.STW(isa.R3, isa.R2, 0)
+		a.SVC(0)
+	}
+	a.HALT()
+	a.Org(0x1000)
+	a.Label("vectors")
+	a.HALT()
+	a.HALT()
+	a.B(isa.CondAL, "h")
+	a.HALT()
+	a.HALT()
+	a.HALT()
+	a.Label("h")
+	a.MOVI(isa.R4, int32('!'))
+	a.STW(isa.R4, isa.R2, 0)
+	a.ERET()
+
+	prog := mustAssembleProg(t, a)
+	outcomes, err := RunAll(machine.ProfileARM, prog, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := Diff(outcomes); d != "" {
+		t.Fatal(d)
+	}
+	if got := outcomes["interp"].Console; got != "a!b!c!d!e!" {
+		t.Errorf("console %q", got)
+	}
+}

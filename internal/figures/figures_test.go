@@ -1,0 +1,144 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+
+	"simbench/internal/bench"
+	"simbench/internal/spec"
+)
+
+// tiny returns options that make every figure run in well under a
+// second per engine-benchmark pair.
+func tiny(sb *strings.Builder) Options {
+	return Options{Out: sb, Scale: 2_000_000, SpecScale: 10_000, MinIters: 8, Repeats: 1}
+}
+
+func TestItersScaling(t *testing.T) {
+	o := Options{Scale: 1000, SpecScale: 10, MinIters: 16}
+	b, _ := bench.ByName("io.device") // 400M paper iters
+	if got := o.Iters(b); got != 400_000 {
+		t.Errorf("iters %d", got)
+	}
+	small, _ := bench.ByName("mem.tlb-evict") // 4M paper iters
+	if got := o.Iters(small); got != 4000 {
+		t.Errorf("iters %d", got)
+	}
+	w, _ := spec.ByName("spec.mcf")
+	if got := o.Iters(w); got != w.PaperIters/10 {
+		t.Errorf("spec iters %d", got)
+	}
+	// Floor applies.
+	o.Scale = 1 << 40
+	if got := o.Iters(b); got != 16 {
+		t.Errorf("floored iters %d", got)
+	}
+}
+
+func TestEngineByName(t *testing.T) {
+	for _, name := range []string{"dbt", "interp", "detailed", "virt", "native", "v2.2.0"} {
+		e, err := EngineByName(name)
+		if err != nil || e == nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if _, err := EngineByName("qemu"); err == nil {
+		t.Error("expected error for unknown engine")
+	}
+	if len(Engines()) != 5 {
+		t.Error("five platforms")
+	}
+}
+
+func TestFig4And5AreStatic(t *testing.T) {
+	var sb strings.Builder
+	if err := Fig4(tiny(&sb)); err != nil {
+		t.Fatal(err)
+	}
+	if err := Fig5(tiny(&sb)); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Block Chaining", "Hypercall", "Modelled TLB", "VexBoard", "SV32"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestFig7Tiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	var sb strings.Builder
+	if err := Fig7(tiny(&sb)); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Count(out, "Fig. 7") != 2 { // one table per guest
+		t.Error("expected two guest tables")
+	}
+	for _, want := range []string{"Small Blocks", "TLB Flush", "qemu-kvm(virt)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestFig3Tiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	var sb strings.Builder
+	if err := Fig3(tiny(&sb)); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "density(SPEC-like)") {
+		t.Error("missing SPEC density column")
+	}
+	// Every benchmark row present.
+	for _, b := range bench.Suite() {
+		if !strings.Contains(out, b.Title) {
+			t.Errorf("missing row %q", b.Title)
+		}
+	}
+}
+
+func TestFig2And8Tiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	var sb strings.Builder
+	if err := Fig2(tiny(&sb)); err != nil {
+		t.Fatal(err)
+	}
+	if err := Fig8(tiny(&sb)); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"sjeng", "mcf", "SPEC (overall)", "v2.5.0-rc2", "SimBench"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+	// Baselines are exactly 1.0.
+	if !strings.Contains(out, "1.000") {
+		t.Error("baseline row missing")
+	}
+}
+
+func TestFig6Tiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	var sb strings.Builder
+	if err := Fig6(tiny(&sb)); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	// Five categories × two guests.
+	if got := strings.Count(out, "Fig. 6"); got != 10 {
+		t.Errorf("panels = %d, want 10", got)
+	}
+}

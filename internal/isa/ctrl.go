@@ -1,0 +1,152 @@
+package isa
+
+import "fmt"
+
+// CtrlReg numbers the control registers reachable through MRS/MSR.
+// These correspond to the system-control coprocessor state of the ARM
+// profile and the MSR/CR space of the x86 profile; keeping them in one
+// flat space keeps the engines profile-independent.
+type CtrlReg uint16
+
+const (
+	CtrlVBAR    CtrlReg = 0  // exception vector table base
+	CtrlTTBR    CtrlReg = 1  // page table base (physical)
+	CtrlMMU     CtrlReg = 2  // bit0: enable; bit1: format (0=A, 1=B)
+	CtrlPSR     CtrlReg = 3  // current status (read); MSR writes mask bits
+	CtrlEPC     CtrlReg = 4  // exception return address
+	CtrlEPSR    CtrlReg = 5  // status saved at exception entry
+	CtrlFSR     CtrlReg = 6  // fault status (FaultCode | FSRWrite)
+	CtrlFAR     CtrlReg = 7  // faulting virtual address
+	CtrlSCR0    CtrlReg = 8  // kernel scratch
+	CtrlSCR1    CtrlReg = 9  // kernel scratch
+	CtrlCPUID   CtrlReg = 10 // read-only identification
+	CtrlASID    CtrlReg = 11 // address-space id (reserved for future use)
+	NumCtrlRegs         = 12
+)
+
+var ctrlNames = [NumCtrlRegs]string{
+	"VBAR", "TTBR", "MMU", "PSR", "EPC", "EPSR",
+	"FSR", "FAR", "SCR0", "SCR1", "CPUID", "ASID",
+}
+
+func (c CtrlReg) String() string {
+	if int(c) < len(ctrlNames) {
+		return ctrlNames[c]
+	}
+	return fmt.Sprintf("ctrl#%d", uint16(c))
+}
+
+// PSR layout.
+const (
+	PSRKernel uint32 = 1 << 0 // privilege: set = kernel mode
+	PSRIRQOn  uint32 = 1 << 1 // interrupts enabled
+	PSRN      uint32 = 1 << 31
+	PSRZ      uint32 = 1 << 30
+	PSRC      uint32 = 1 << 29
+	PSRV      uint32 = 1 << 28
+	PSRFlags         = PSRN | PSRZ | PSRC | PSRV
+)
+
+// PackFlags folds NZCV into PSR bit positions.
+func PackFlags(f Flags) uint32 {
+	var w uint32
+	if f.N {
+		w |= PSRN
+	}
+	if f.Z {
+		w |= PSRZ
+	}
+	if f.C {
+		w |= PSRC
+	}
+	if f.V {
+		w |= PSRV
+	}
+	return w
+}
+
+// UnpackFlags extracts NZCV from a PSR image.
+func UnpackFlags(psr uint32) Flags {
+	return Flags{
+		N: psr&PSRN != 0,
+		Z: psr&PSRZ != 0,
+		C: psr&PSRC != 0,
+		V: psr&PSRV != 0,
+	}
+}
+
+// MMU control bits.
+const (
+	MMUEnable  uint32 = 1 << 0
+	MMUFormatB uint32 = 1 << 1 // 0 = format A (section/coarse), 1 = format B (2-level 4K)
+)
+
+// Exc identifies an exception class; the value is also the word index of
+// its vector, so vector address = VBAR + 4*Exc.
+type Exc uint8
+
+const (
+	ExcReset Exc = iota
+	ExcUndef
+	ExcSyscall
+	ExcInstFault // prefetch abort: instruction fetch translation/permission fault
+	ExcDataFault // data abort
+	ExcIRQ
+	NumExcs
+)
+
+var excNames = [NumExcs]string{
+	"reset", "undef", "syscall", "inst-fault", "data-fault", "irq",
+}
+
+func (e Exc) String() string {
+	if int(e) < len(excNames) {
+		return excNames[e]
+	}
+	return fmt.Sprintf("exc#%d", uint8(e))
+}
+
+// Vector returns the vector address of e for a given VBAR.
+func (e Exc) Vector(vbar uint32) uint32 { return vbar + uint32(e)*WordBytes }
+
+// FaultCode describes why a memory access failed; stored in FSR.
+type FaultCode uint32
+
+const (
+	FaultNone        FaultCode = 0
+	FaultTranslation FaultCode = 1 // no valid mapping
+	FaultPermission  FaultCode = 2 // mapping valid, access not allowed
+	FaultBus         FaultCode = 3 // physical address not backed by RAM or device
+
+	// FSRWrite is OR-ed into FSR when the faulting access was a store.
+	FSRWrite uint32 = 1 << 8
+)
+
+func (f FaultCode) String() string {
+	switch f {
+	case FaultNone:
+		return "none"
+	case FaultTranslation:
+		return "translation"
+	case FaultPermission:
+		return "permission"
+	case FaultBus:
+		return "bus"
+	}
+	return fmt.Sprintf("fault#%d", uint32(f))
+}
+
+// Coprocessor numbers. CP0 is reserved (system control is via MRS/MSR);
+// CP1 is the "safe" benchmark coprocessor: on the arm profile it exposes
+// a Domain-Access-Control-style register, on the x86 profile register 0
+// models the maths-coprocessor reset the paper uses.
+const (
+	CPSystem = 0
+	CPSafe   = 1
+	NumCP    = 4
+)
+
+// CPUID field layout: [7:0] profile id, [15:8] major version.
+func CPUIDValue(profile uint8, version uint8) uint32 {
+	return uint32(profile) | uint32(version)<<8
+}

@@ -1,0 +1,47 @@
+package isa
+
+import "testing"
+
+func TestCtrlRegNames(t *testing.T) {
+	if CtrlVBAR.String() != "VBAR" || CtrlFAR.String() != "FAR" {
+		t.Error("control register names")
+	}
+	if CtrlReg(99).String() == "" {
+		t.Error("out-of-range name must not be empty")
+	}
+}
+
+func TestFaultCodeNames(t *testing.T) {
+	cases := map[FaultCode]string{
+		FaultNone:        "none",
+		FaultTranslation: "translation",
+		FaultPermission:  "permission",
+		FaultBus:         "bus",
+	}
+	for f, want := range cases {
+		if f.String() != want {
+			t.Errorf("%d: %q", f, f.String())
+		}
+	}
+	if FaultCode(77).String() == "" {
+		t.Error("unknown fault code")
+	}
+}
+
+func TestExcNames(t *testing.T) {
+	if ExcDataFault.String() != "data-fault" || ExcIRQ.String() != "irq" {
+		t.Error("exception names")
+	}
+	if Exc(42).String() == "" {
+		t.Error("out-of-range exception")
+	}
+}
+
+func TestMMUBits(t *testing.T) {
+	if MMUEnable&MMUFormatB != 0 {
+		t.Error("MMU control bits overlap")
+	}
+	if PSRKernel&PSRIRQOn != 0 || PSRFlags&(PSRKernel|PSRIRQOn) != 0 {
+		t.Error("PSR bits overlap")
+	}
+}

@@ -1,0 +1,373 @@
+// Package isa defines SV32, the synthetic 32-bit full-system instruction
+// set architecture that every simulation engine in this repository
+// executes. SV32 stands in for the ARM and x86 guests used in the
+// SimBench paper: it is a fixed-width RISC encoding with user/kernel
+// privilege modes, a software-visible MMU, an exception vector table,
+// coprocessor access instructions and memory-mapped I/O, which together
+// cover every mechanism the SimBench micro-benchmarks exercise.
+//
+// Instructions are 32 bits, little-endian in memory:
+//
+//	bits [31:26] opcode
+//	R-type: rd [25:22], ra [21:18], rb [17:14]
+//	I-type: rd [25:22], ra [21:18], imm16 [15:0]
+//	B-type: cond [25:22], offset22 [21:0] (signed words)
+//
+// Architecture profiles (arm-like vs x86-like) share this encoding but
+// differ in system-level behaviour; see internal/arch.
+package isa
+
+import "fmt"
+
+// Word is the unit of instruction encoding and of most data transfers.
+const (
+	WordBytes = 4
+	PageShift = 12
+	PageSize  = 1 << PageShift // 4 KiB, the unit of translation
+	PageMask  = PageSize - 1
+)
+
+// Reg names a general-purpose register. SV32 has 16: R0..R15. By
+// software convention R13 is the stack pointer and R14 the link
+// register; the hardware only treats R14 specially (BL/BLR write it).
+type Reg uint8
+
+// Conventional register roles.
+const (
+	R0 Reg = iota
+	R1
+	R2
+	R3
+	R4
+	R5
+	R6
+	R7
+	R8
+	R9
+	R10
+	R11
+	R12
+	SP // R13: stack pointer by convention
+	LR // R14: link register, written by BL/BLR
+	R15
+	NumRegs = 16
+)
+
+func (r Reg) String() string {
+	switch r {
+	case SP:
+		return "sp"
+	case LR:
+		return "lr"
+	default:
+		return fmt.Sprintf("r%d", uint8(r))
+	}
+}
+
+// Op is a 6-bit primary opcode.
+type Op uint8
+
+// Opcode space. Unallocated values decode as undefined instructions and
+// raise ExcUndef, exactly like the "architecturally undefined space" the
+// paper relies on; OpUD is the *guaranteed* undefined encoding.
+const (
+	OpNOP  Op = 0x00
+	OpHALT Op = 0x01 // privileged: stop the machine
+
+	// Register ALU (R-type): rd = ra <op> rb.
+	OpADD Op = 0x02
+	OpSUB Op = 0x03
+	OpAND Op = 0x04
+	OpOR  Op = 0x05
+	OpXOR Op = 0x06
+	OpSHL Op = 0x07
+	OpSHR Op = 0x08
+	OpSRA Op = 0x09
+	OpMUL Op = 0x0A
+	OpCMP Op = 0x0B // flags := ra - rb (NZCV); rd ignored
+	OpMOV Op = 0x0C // rd = ra
+	OpNOT Op = 0x0D // rd = ^ra
+
+	// Immediate ALU (I-type): rd = ra <op> imm.
+	OpADDI Op = 0x0E // signed imm16
+	OpSUBI Op = 0x0F // signed imm16
+	OpANDI Op = 0x10 // zero-extended imm16
+	OpORI  Op = 0x11
+	OpXORI Op = 0x12
+	OpSHLI Op = 0x13 // imm & 31
+	OpSHRI Op = 0x14
+	OpSRAI Op = 0x15
+	OpMULI Op = 0x16 // signed imm16
+	OpCMPI Op = 0x17 // flags := ra - simm16; rd ignored
+	OpMOVI Op = 0x18 // rd = zext(imm16); ra ignored
+	OpMOVT Op = 0x19 // rd = (rd & 0xFFFF) | imm16<<16
+
+	// Memory (I-type): effective address = ra + simm16.
+	OpLDW Op = 0x1A
+	OpSTW Op = 0x1B
+	OpLDB Op = 0x1C // zero-extending byte load
+	OpSTB Op = 0x1D
+	OpLDT Op = 0x1E // non-privileged load: checked as user even in kernel mode
+	OpSTT Op = 0x1F // non-privileged store
+
+	// Control flow.
+	OpB   Op = 0x20 // B-type: conditional relative branch
+	OpBL  Op = 0x21 // B-type: conditional relative call, LR = pc+4
+	OpBR  Op = 0x22 // R-type: pc = ra
+	OpBLR Op = 0x23 // R-type: LR = pc+4; pc = ra
+
+	// System.
+	OpSVC   Op = 0x24 // I-type: syscall, imm16 is the service number
+	OpERET  Op = 0x25 // privileged: return from exception
+	OpMRS   Op = 0x26 // I-type: rd = ctrl[imm16]
+	OpMSR   Op = 0x27 // I-type: ctrl[imm16] = rd (privileged)
+	OpCPRD  Op = 0x28 // I-type: rd = coproc[imm>>8].reg[imm&0xFF]
+	OpCPWR  Op = 0x29 // I-type: coproc[imm>>8].reg[imm&0xFF] = rd
+	OpTLBI  Op = 0x2A // R-type: invalidate translation for vaddr in ra
+	OpTLBIA Op = 0x2B // privileged: invalidate all translations
+	OpUD    Op = 0x3F // architecturally undefined, guaranteed to trap
+
+	// NumOps bounds the primary opcode space.
+	NumOps = 64
+)
+
+var opNames = map[Op]string{
+	OpNOP: "nop", OpHALT: "halt",
+	OpADD: "add", OpSUB: "sub", OpAND: "and", OpOR: "or", OpXOR: "xor",
+	OpSHL: "shl", OpSHR: "shr", OpSRA: "sra", OpMUL: "mul", OpCMP: "cmp",
+	OpMOV: "mov", OpNOT: "not",
+	OpADDI: "addi", OpSUBI: "subi", OpANDI: "andi", OpORI: "ori",
+	OpXORI: "xori", OpSHLI: "shli", OpSHRI: "shri", OpSRAI: "srai",
+	OpMULI: "muli", OpCMPI: "cmpi", OpMOVI: "movi", OpMOVT: "movt",
+	OpLDW: "ldw", OpSTW: "stw", OpLDB: "ldb", OpSTB: "stb",
+	OpLDT: "ldt", OpSTT: "stt",
+	OpB: "b", OpBL: "bl", OpBR: "br", OpBLR: "blr",
+	OpSVC: "svc", OpERET: "eret", OpMRS: "mrs", OpMSR: "msr",
+	OpCPRD: "cprd", OpCPWR: "cpwr", OpTLBI: "tlbi", OpTLBIA: "tlbia",
+	OpUD: "ud",
+}
+
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("op#%#02x", uint8(o))
+}
+
+// Valid reports whether o is an allocated opcode. Unallocated opcodes
+// raise the undefined-instruction exception when executed.
+func (o Op) Valid() bool {
+	_, ok := opNames[o]
+	return ok && o != OpUD
+}
+
+// Cond is a 4-bit branch condition evaluated against the NZCV flags.
+type Cond uint8
+
+// Branch conditions. CondNV never branches (a reserved, harmless
+// encoding kept for compiler-defeating padding).
+const (
+	CondAL   Cond = iota // always
+	CondEQ               // Z
+	CondNE               // !Z
+	CondLT               // N != V (signed <)
+	CondGE               // N == V
+	CondGT               // !Z && N == V
+	CondLE               // Z || N != V
+	CondLO               // !C (unsigned <)
+	CondHS               // C
+	CondHI               // C && !Z
+	CondLS               // !C || Z
+	CondMI               // N
+	CondPL               // !N
+	CondVS               // V
+	CondVC               // !V
+	CondNV               // never
+	NumConds = 16
+)
+
+var condNames = [NumConds]string{
+	"al", "eq", "ne", "lt", "ge", "gt", "le", "lo",
+	"hs", "hi", "ls", "mi", "pl", "vs", "vc", "nv",
+}
+
+func (c Cond) String() string {
+	if int(c) < len(condNames) {
+		return condNames[c]
+	}
+	return fmt.Sprintf("cond#%d", uint8(c))
+}
+
+// Flags hold the NZCV condition bits produced by CMP/CMPI.
+type Flags struct {
+	N, Z, C, V bool
+}
+
+// Sub computes the flags for a-b, matching a hardware subtract-compare:
+// C is set when there is NO borrow (ARM convention).
+func Sub(a, b uint32) Flags {
+	r := a - b
+	return Flags{
+		N: int32(r) < 0,
+		Z: r == 0,
+		C: a >= b,
+		V: (int32(a) < int32(b)) != (int32(a)-int32(b) < 0),
+	}
+}
+
+// Eval reports whether the condition holds under f.
+func (c Cond) Eval(f Flags) bool {
+	switch c {
+	case CondAL:
+		return true
+	case CondEQ:
+		return f.Z
+	case CondNE:
+		return !f.Z
+	case CondLT:
+		return f.N != f.V
+	case CondGE:
+		return f.N == f.V
+	case CondGT:
+		return !f.Z && f.N == f.V
+	case CondLE:
+		return f.Z || f.N != f.V
+	case CondLO:
+		return !f.C
+	case CondHS:
+		return f.C
+	case CondHI:
+		return f.C && !f.Z
+	case CondLS:
+		return !f.C || f.Z
+	case CondMI:
+		return f.N
+	case CondPL:
+		return !f.N
+	case CondVS:
+		return f.V
+	case CondVC:
+		return !f.V
+	default: // CondNV and out of range
+		return false
+	}
+}
+
+// Inst is a decoded instruction. A single struct covers all formats;
+// unused fields are zero. Imm holds the sign- or zero-extended immediate
+// as appropriate for Op, and Off the branch offset in bytes.
+type Inst struct {
+	Op   Op
+	Rd   Reg
+	Ra   Reg
+	Rb   Reg
+	Cond Cond
+	Imm  int32 // I-type immediate, extended per opcode
+	Off  int32 // B-type offset in bytes, relative to pc+4
+	Raw  uint32
+}
+
+func (i Inst) String() string {
+	switch i.Op {
+	case OpNOP, OpHALT, OpERET, OpTLBIA, OpUD:
+		return i.Op.String()
+	case OpB, OpBL:
+		return fmt.Sprintf("%s.%s %+d", i.Op, i.Cond, i.Off)
+	case OpBR, OpBLR, OpTLBI:
+		return fmt.Sprintf("%s %s", i.Op, i.Ra)
+	case OpCMP:
+		return fmt.Sprintf("cmp %s, %s", i.Ra, i.Rb)
+	case OpCMPI:
+		return fmt.Sprintf("cmpi %s, %d", i.Ra, i.Imm)
+	case OpMOV, OpNOT:
+		return fmt.Sprintf("%s %s, %s", i.Op, i.Rd, i.Ra)
+	case OpMOVI, OpMOVT:
+		return fmt.Sprintf("%s %s, %#x", i.Op, i.Rd, uint32(i.Imm)&0xFFFF)
+	case OpLDW, OpSTW, OpLDB, OpSTB, OpLDT, OpSTT:
+		return fmt.Sprintf("%s %s, [%s%+d]", i.Op, i.Rd, i.Ra, i.Imm)
+	case OpSVC:
+		return fmt.Sprintf("svc %d", i.Imm)
+	case OpMRS, OpMSR:
+		return fmt.Sprintf("%s %s, c%d", i.Op, i.Rd, i.Imm)
+	case OpCPRD, OpCPWR:
+		return fmt.Sprintf("%s %s, p%d.%d", i.Op, i.Rd, i.Imm>>8, i.Imm&0xFF)
+	case OpADD, OpSUB, OpAND, OpOR, OpXOR, OpSHL, OpSHR, OpSRA, OpMUL:
+		return fmt.Sprintf("%s %s, %s, %s", i.Op, i.Rd, i.Ra, i.Rb)
+	default:
+		return fmt.Sprintf("%s %s, %s, %d", i.Op, i.Rd, i.Ra, i.Imm)
+	}
+}
+
+// signedImmOps marks I-type opcodes whose imm16 is sign-extended.
+var signedImmOps = [NumOps]bool{
+	OpADDI: true, OpSUBI: true, OpMULI: true, OpCMPI: true,
+	OpLDW: true, OpSTW: true, OpLDB: true, OpSTB: true,
+	OpLDT: true, OpSTT: true,
+}
+
+// SignedImm reports whether op's 16-bit immediate is sign-extended at
+// decode time (arithmetic and addressing) rather than zero-extended
+// (logical, MOVI/MOVT, system numbers).
+func SignedImm(op Op) bool { return signedImmOps[op] }
+
+// Encode packs an instruction into its 32-bit representation. It is the
+// inverse of Decode for every well-formed Inst; the assembler and the
+// property tests rely on the round-trip.
+func Encode(i Inst) uint32 {
+	w := uint32(i.Op) << 26
+	switch i.Op {
+	case OpB, OpBL:
+		w |= uint32(i.Cond) << 22
+		off := i.Off / WordBytes
+		w |= uint32(off) & 0x3FFFFF
+	case OpBR, OpBLR, OpTLBI:
+		w |= uint32(i.Ra) << 18
+	case OpNOP, OpHALT, OpERET, OpTLBIA, OpUD:
+		// no operands
+	case OpADD, OpSUB, OpAND, OpOR, OpXOR, OpSHL, OpSHR, OpSRA, OpMUL,
+		OpCMP, OpMOV, OpNOT:
+		w |= uint32(i.Rd) << 22
+		w |= uint32(i.Ra) << 18
+		w |= uint32(i.Rb) << 14
+	default: // I-type
+		w |= uint32(i.Rd) << 22
+		w |= uint32(i.Ra) << 18
+		w |= uint32(i.Imm) & 0xFFFF
+	}
+	return w
+}
+
+// Decode unpacks a 32-bit word. It never fails: unallocated opcodes
+// decode to an Inst whose Op is not Valid(), which engines must raise as
+// an undefined-instruction exception.
+func Decode(w uint32) Inst {
+	i := Inst{
+		Op:  Op(w >> 26),
+		Raw: w,
+	}
+	switch i.Op {
+	case OpB, OpBL:
+		i.Cond = Cond((w >> 22) & 0xF)
+		off := int32(w<<10) >> 10 // sign-extend 22 bits
+		i.Off = off * WordBytes
+	case OpBR, OpBLR, OpTLBI:
+		i.Ra = Reg((w >> 18) & 0xF)
+	case OpNOP, OpHALT, OpERET, OpTLBIA, OpUD:
+		// no operands
+	case OpADD, OpSUB, OpAND, OpOR, OpXOR, OpSHL, OpSHR, OpSRA, OpMUL,
+		OpCMP, OpMOV, OpNOT:
+		i.Rd = Reg((w >> 22) & 0xF)
+		i.Ra = Reg((w >> 18) & 0xF)
+		i.Rb = Reg((w >> 14) & 0xF)
+	default:
+		i.Rd = Reg((w >> 22) & 0xF)
+		i.Ra = Reg((w >> 18) & 0xF)
+		imm := w & 0xFFFF
+		if SignedImm(i.Op) {
+			i.Imm = int32(int16(imm))
+		} else {
+			i.Imm = int32(imm)
+		}
+	}
+	return i
+}

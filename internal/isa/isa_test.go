@@ -1,0 +1,224 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// canonical builds a well-formed Inst for op from a random seed, mirroring
+// what the assembler can emit.
+func canonical(op Op, r *rand.Rand) Inst {
+	i := Inst{Op: op}
+	switch op {
+	case OpB, OpBL:
+		i.Cond = Cond(r.Intn(NumConds))
+		// 22-bit signed word offset, in bytes.
+		i.Off = (r.Int31n(1<<21) - 1<<20) * WordBytes
+	case OpBR, OpBLR, OpTLBI:
+		i.Ra = Reg(r.Intn(NumRegs))
+	case OpNOP, OpHALT, OpERET, OpTLBIA, OpUD:
+	case OpADD, OpSUB, OpAND, OpOR, OpXOR, OpSHL, OpSHR, OpSRA, OpMUL,
+		OpCMP, OpMOV, OpNOT:
+		i.Rd = Reg(r.Intn(NumRegs))
+		i.Ra = Reg(r.Intn(NumRegs))
+		i.Rb = Reg(r.Intn(NumRegs))
+	default:
+		i.Rd = Reg(r.Intn(NumRegs))
+		i.Ra = Reg(r.Intn(NumRegs))
+		if SignedImm(op) {
+			i.Imm = int32(int16(r.Uint32()))
+		} else {
+			i.Imm = int32(r.Uint32() & 0xFFFF)
+		}
+	}
+	return i
+}
+
+func allOps() []Op {
+	var ops []Op
+	for o := Op(0); o < NumOps; o++ {
+		if o.Valid() {
+			ops = append(ops, o)
+		}
+	}
+	return ops
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, op := range allOps() {
+		for trial := 0; trial < 200; trial++ {
+			in := canonical(op, r)
+			w := Encode(in)
+			out := Decode(w)
+			out.Raw = 0
+			in.Raw = 0
+			if in != out {
+				t.Fatalf("%v: encode/decode mismatch: in=%+v out=%+v word=%#x", op, in, out, w)
+			}
+		}
+	}
+}
+
+func TestDecodeNeverPanics(t *testing.T) {
+	f := func(w uint32) bool {
+		i := Decode(w)
+		_ = i.String()
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeOpcodeField(t *testing.T) {
+	f := func(w uint32) bool {
+		return Decode(w).Op == Op(w>>26)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUndefinedOpcodesInvalid(t *testing.T) {
+	valid := map[Op]bool{}
+	for _, op := range allOps() {
+		valid[op] = true
+	}
+	if valid[OpUD] {
+		t.Fatal("OpUD must not be Valid")
+	}
+	// Check that some unallocated encodings are invalid.
+	for _, o := range []Op{0x2C, 0x30, 0x3A, 0x3E} {
+		if o.Valid() {
+			t.Errorf("opcode %#x should be unallocated", uint8(o))
+		}
+	}
+}
+
+func TestBranchOffsetRange(t *testing.T) {
+	for _, off := range []int32{0, 4, -4, (1<<20 - 1) * 4, -(1 << 20) * 4} {
+		i := Inst{Op: OpB, Cond: CondNE, Off: off}
+		got := Decode(Encode(i))
+		if got.Off != off {
+			t.Errorf("offset %d round-tripped to %d", off, got.Off)
+		}
+	}
+}
+
+func TestSubFlags(t *testing.T) {
+	cases := []struct {
+		a, b uint32
+		f    Flags
+	}{
+		{5, 5, Flags{Z: true, C: true}},
+		{5, 6, Flags{N: true}},
+		{6, 5, Flags{C: true}},
+		{0, 1, Flags{N: true}},
+		{0x80000000, 1, Flags{C: true, V: true}},          // INT_MIN - 1 overflows
+		{0x7FFFFFFF, 0xFFFFFFFF, Flags{V: true, N: true}}, // MAX - (-1) overflows
+	}
+	for _, c := range cases {
+		got := Sub(c.a, c.b)
+		if got != c.f {
+			t.Errorf("Sub(%#x,%#x) = %+v, want %+v", c.a, c.b, got, c.f)
+		}
+	}
+}
+
+func TestCondEval(t *testing.T) {
+	// signed/unsigned comparison semantics via Sub.
+	check := func(a, b uint32) {
+		f := Sub(a, b)
+		sa, sb := int32(a), int32(b)
+		if CondEQ.Eval(f) != (a == b) {
+			t.Errorf("EQ(%d,%d)", a, b)
+		}
+		if CondNE.Eval(f) != (a != b) {
+			t.Errorf("NE(%d,%d)", a, b)
+		}
+		if CondLT.Eval(f) != (sa < sb) {
+			t.Errorf("LT(%d,%d): flags %+v", sa, sb, f)
+		}
+		if CondGE.Eval(f) != (sa >= sb) {
+			t.Errorf("GE(%d,%d)", sa, sb)
+		}
+		if CondGT.Eval(f) != (sa > sb) {
+			t.Errorf("GT(%d,%d)", sa, sb)
+		}
+		if CondLE.Eval(f) != (sa <= sb) {
+			t.Errorf("LE(%d,%d)", sa, sb)
+		}
+		if CondLO.Eval(f) != (a < b) {
+			t.Errorf("LO(%d,%d)", a, b)
+		}
+		if CondHS.Eval(f) != (a >= b) {
+			t.Errorf("HS(%d,%d)", a, b)
+		}
+		if CondHI.Eval(f) != (a > b) {
+			t.Errorf("HI(%d,%d)", a, b)
+		}
+		if CondLS.Eval(f) != (a <= b) {
+			t.Errorf("LS(%d,%d)", a, b)
+		}
+		if !CondAL.Eval(f) || CondNV.Eval(f) {
+			t.Error("AL/NV broken")
+		}
+	}
+	r := rand.New(rand.NewSource(2))
+	for n := 0; n < 2000; n++ {
+		check(r.Uint32(), r.Uint32())
+	}
+	check(0, 0)
+	check(0x80000000, 0x7FFFFFFF)
+	check(0x7FFFFFFF, 0x80000000)
+}
+
+func TestCondEvalProperty(t *testing.T) {
+	f := func(a, b uint32) bool {
+		fl := Sub(a, b)
+		return CondLT.Eval(fl) == (int32(a) < int32(b)) &&
+			CondLO.Eval(fl) == (a < b) &&
+			CondEQ.Eval(fl) == (a == b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPackUnpackFlags(t *testing.T) {
+	for n := 0; n < 16; n++ {
+		f := Flags{N: n&1 != 0, Z: n&2 != 0, C: n&4 != 0, V: n&8 != 0}
+		if got := UnpackFlags(PackFlags(f)); got != f {
+			t.Errorf("flags %+v round-tripped to %+v", f, got)
+		}
+	}
+}
+
+func TestVectorAddresses(t *testing.T) {
+	if ExcReset.Vector(0x1000) != 0x1000 {
+		t.Error("reset vector")
+	}
+	if ExcIRQ.Vector(0x1000) != 0x1000+4*uint32(ExcIRQ) {
+		t.Error("irq vector")
+	}
+}
+
+func TestStringsAreDistinct(t *testing.T) {
+	seen := map[string]Op{}
+	for _, op := range allOps() {
+		s := op.String()
+		if prev, dup := seen[s]; dup {
+			t.Errorf("ops %v and %v share name %q", prev, op, s)
+		}
+		seen[s] = op
+	}
+}
+
+func TestCPUID(t *testing.T) {
+	v := CPUIDValue(2, 3)
+	if v&0xFF != 2 || (v>>8)&0xFF != 3 {
+		t.Errorf("CPUID layout wrong: %#x", v)
+	}
+}

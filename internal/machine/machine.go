@@ -1,0 +1,279 @@
+// Package machine ties the SV32 CPU state, the physical memory bus,
+// coprocessors and interrupt wiring into a guest machine that the
+// execution engines drive. It owns the parts of the architecture that
+// must behave identically across engines: control registers, privilege
+// rules, exception entry/return, and TLB-maintenance broadcasting.
+package machine
+
+import (
+	"fmt"
+
+	"simbench/internal/asm"
+	"simbench/internal/isa"
+	"simbench/internal/mem"
+)
+
+// Profile selects the architecture profile, standing in for the ARM and
+// x86 guest architectures of the paper. The profiles share the SV32
+// encoding but differ in system behaviour: page-table format, whether
+// non-privileged access instructions exist, and the coprocessor style.
+type Profile uint8
+
+// Profiles.
+const (
+	ProfileARM Profile = 1 // format-A tables, LDT/STT supported, DACR-style coprocessor
+	ProfileX86 Profile = 2 // format-B tables, LDT/STT undefined, FPU-reset coprocessor
+)
+
+func (p Profile) String() string {
+	switch p {
+	case ProfileARM:
+		return "arm"
+	case ProfileX86:
+		return "x86"
+	}
+	return fmt.Sprintf("profile#%d", uint8(p))
+}
+
+// FormatB reports the page-table format implied by the profile.
+func (p Profile) FormatB() bool { return p == ProfileX86 }
+
+// Coprocessor is the interface to an attached coprocessor (CPRD/CPWR
+// targets). A false result raises an undefined-instruction exception.
+type Coprocessor interface {
+	Read(reg uint32) (uint32, bool)
+	Write(reg uint32, v uint32) bool
+}
+
+// TLBListener is notified of guest TLB-maintenance operations so engine
+// translation caches can stay coherent. VBAR/TTBR/MMU control writes
+// trigger InvalidateAll as well.
+type TLBListener interface {
+	InvalidatePage(va uint32)
+	InvalidateAll()
+}
+
+// CPU is the architectural register state.
+type CPU struct {
+	Regs   [isa.NumRegs]uint32
+	PC     uint32
+	Flags  isa.Flags
+	Kernel bool
+	IRQOn  bool
+	Ctrl   [isa.NumCtrlRegs]uint32
+}
+
+// PSR reconstructs the packed status word.
+func (c *CPU) PSR() uint32 {
+	v := isa.PackFlags(c.Flags)
+	if c.Kernel {
+		v |= isa.PSRKernel
+	}
+	if c.IRQOn {
+		v |= isa.PSRIRQOn
+	}
+	return v
+}
+
+// SetPSR unpacks a status word into the live fields.
+func (c *CPU) SetPSR(v uint32) {
+	c.Flags = isa.UnpackFlags(v)
+	c.Kernel = v&isa.PSRKernel != 0
+	c.IRQOn = v&isa.PSRIRQOn != 0
+}
+
+// Machine is a complete guest machine.
+type Machine struct {
+	CPU     CPU
+	Bus     *mem.Bus
+	Profile Profile
+	Coprocs [isa.NumCP]Coprocessor
+
+	irqLine      bool
+	Halted       bool
+	tlbListeners []TLBListener
+	entry        uint32
+
+	// TickFn, if set by the platform, is called periodically by engines
+	// with a retired-instruction delta; it drives the timer device.
+	TickFn func(uint32)
+
+	// Counters shared across engines: exceptions taken by class.
+	ExcCount [isa.NumExcs]uint64
+}
+
+// New creates a machine with the given RAM size. Devices are attached
+// by the platform package.
+func New(profile Profile, ramSize uint32) *Machine {
+	m := &Machine{Bus: mem.NewBus(ramSize), Profile: profile}
+	m.CPU.Ctrl[isa.CtrlCPUID] = isa.CPUIDValue(uint8(profile), 1)
+	return m
+}
+
+// LoadProgram copies an assembled image into RAM and records its entry
+// point for Reset.
+func (m *Machine) LoadProgram(p *asm.Program) error {
+	for _, s := range p.Segments {
+		if err := m.Bus.LoadSegment(s.Addr, s.Data); err != nil {
+			return err
+		}
+	}
+	m.entry = p.Entry
+	return nil
+}
+
+// Reset puts the CPU in the architectural reset state: kernel mode,
+// interrupts disabled, MMU off, executing at the program entry point.
+func (m *Machine) Reset() {
+	cpuid := m.CPU.Ctrl[isa.CtrlCPUID]
+	m.CPU = CPU{PC: m.entry, Kernel: true}
+	m.CPU.Ctrl[isa.CtrlCPUID] = cpuid
+	m.Halted = false
+	for i := range m.ExcCount {
+		m.ExcCount[i] = 0
+	}
+	m.InvalidateAllTLBs()
+}
+
+// AddTLBListener registers an engine translation cache for maintenance
+// broadcasts.
+func (m *Machine) AddTLBListener(l TLBListener) {
+	m.tlbListeners = append(m.tlbListeners, l)
+}
+
+// ClearTLBListeners drops all registered listeners (engines re-register
+// on Reset).
+func (m *Machine) ClearTLBListeners() { m.tlbListeners = nil }
+
+// InvalidatePageTLBs broadcasts a single-page invalidation.
+func (m *Machine) InvalidatePageTLBs(va uint32) {
+	for _, l := range m.tlbListeners {
+		l.InvalidatePage(va)
+	}
+}
+
+// InvalidateAllTLBs broadcasts a full flush.
+func (m *Machine) InvalidateAllTLBs() {
+	for _, l := range m.tlbListeners {
+		l.InvalidateAll()
+	}
+}
+
+// SetIRQLine drives the external interrupt line (from the interrupt
+// controller).
+func (m *Machine) SetIRQLine(level bool) { m.irqLine = level }
+
+// IRQLine reports the raw line level.
+func (m *Machine) IRQLine() bool { return m.irqLine }
+
+// IRQPending reports whether an interrupt should be taken now.
+func (m *Machine) IRQPending() bool { return m.irqLine && m.CPU.IRQOn }
+
+// MMUEnabled reports whether address translation is active.
+func (m *Machine) MMUEnabled() bool { return m.CPU.Ctrl[isa.CtrlMMU]&isa.MMUEnable != 0 }
+
+// FormatB reports the active page-table format.
+func (m *Machine) FormatB() bool { return m.CPU.Ctrl[isa.CtrlMMU]&isa.MMUFormatB != 0 }
+
+// TTBR returns the page-table root.
+func (m *Machine) TTBR() uint32 { return m.CPU.Ctrl[isa.CtrlTTBR] }
+
+// VBAR returns the vector table base.
+func (m *Machine) VBAR() uint32 { return m.CPU.Ctrl[isa.CtrlVBAR] }
+
+// Enter performs exception entry: saves the return address and status,
+// switches to kernel mode with interrupts masked, and vectors.
+//
+// Return-address conventions (shared by every engine):
+//   - undef, syscall: address of the following instruction
+//   - inst-fault: the faulting (target) address
+//   - data-fault: the address of the faulting instruction
+//   - irq: the address of the next unexecuted instruction
+func (m *Machine) Enter(e isa.Exc, retPC uint32) {
+	c := &m.CPU
+	c.Ctrl[isa.CtrlEPC] = retPC
+	c.Ctrl[isa.CtrlEPSR] = c.PSR()
+	c.Kernel = true
+	c.IRQOn = false
+	c.PC = e.Vector(c.Ctrl[isa.CtrlVBAR])
+	m.ExcCount[e]++
+}
+
+// EnterMemFault records fault status and enters the abort exception.
+func (m *Machine) EnterMemFault(e isa.Exc, code isa.FaultCode, va uint32, write bool, retPC uint32) {
+	fsr := uint32(code)
+	if write {
+		fsr |= isa.FSRWrite
+	}
+	m.CPU.Ctrl[isa.CtrlFSR] = fsr
+	m.CPU.Ctrl[isa.CtrlFAR] = va
+	m.Enter(e, retPC)
+}
+
+// ERET returns from an exception; it must only be executed in kernel
+// mode (engines enforce the privilege check).
+func (m *Machine) ERET() {
+	c := &m.CPU
+	c.PC = c.Ctrl[isa.CtrlEPC]
+	c.SetPSR(c.Ctrl[isa.CtrlEPSR])
+}
+
+// ReadCtrl implements MRS. The boolean reports whether the access is
+// architecturally allowed from the current privilege level.
+func (m *Machine) ReadCtrl(r isa.CtrlReg) (uint32, bool) {
+	if int(r) >= isa.NumCtrlRegs {
+		return 0, false
+	}
+	switch r {
+	case isa.CtrlPSR:
+		return m.CPU.PSR(), true
+	case isa.CtrlCPUID:
+		return m.CPU.Ctrl[r], true
+	default:
+		if !m.CPU.Kernel {
+			return 0, false
+		}
+		return m.CPU.Ctrl[r], true
+	}
+}
+
+// WriteCtrl implements MSR; privileged. Writes to translation state
+// broadcast TLB invalidations, as the architecture requires explicit
+// maintenance to be unnecessary after a root change.
+func (m *Machine) WriteCtrl(r isa.CtrlReg, v uint32) bool {
+	if int(r) >= isa.NumCtrlRegs || !m.CPU.Kernel {
+		return false
+	}
+	switch r {
+	case isa.CtrlCPUID:
+		return false // read-only
+	case isa.CtrlPSR:
+		m.CPU.SetPSR(v)
+	case isa.CtrlTTBR, isa.CtrlMMU:
+		m.CPU.Ctrl[r] = v
+		m.InvalidateAllTLBs()
+	default:
+		m.CPU.Ctrl[r] = v
+	}
+	return true
+}
+
+// CoprocRead implements CPRD; privileged.
+func (m *Machine) CoprocRead(cp, reg uint32) (uint32, bool) {
+	if !m.CPU.Kernel || cp >= isa.NumCP || m.Coprocs[cp] == nil {
+		return 0, false
+	}
+	return m.Coprocs[cp].Read(reg)
+}
+
+// CoprocWrite implements CPWR; privileged.
+func (m *Machine) CoprocWrite(cp, reg, v uint32) bool {
+	if !m.CPU.Kernel || cp >= isa.NumCP || m.Coprocs[cp] == nil {
+		return false
+	}
+	return m.Coprocs[cp].Write(reg, v)
+}
+
+// NonPrivSupported reports whether LDT/STT exist on this profile (the
+// paper: ARM has kernel-mode non-privileged accesses, x86 does not).
+func (m *Machine) NonPrivSupported() bool { return m.Profile == ProfileARM }

@@ -1,0 +1,240 @@
+package machine
+
+import (
+	"testing"
+
+	"simbench/internal/asm"
+	"simbench/internal/isa"
+)
+
+func newM(t *testing.T) *Machine {
+	t.Helper()
+	return New(ProfileARM, 1<<20)
+}
+
+func TestPSRRoundTrip(t *testing.T) {
+	var c CPU
+	for mode := 0; mode < 4; mode++ {
+		for flags := 0; flags < 16; flags++ {
+			c.Kernel = mode&1 != 0
+			c.IRQOn = mode&2 != 0
+			c.Flags = isa.Flags{N: flags&1 != 0, Z: flags&2 != 0, C: flags&4 != 0, V: flags&8 != 0}
+			psr := c.PSR()
+			var c2 CPU
+			c2.SetPSR(psr)
+			if c2.Kernel != c.Kernel || c2.IRQOn != c.IRQOn || c2.Flags != c.Flags {
+				t.Fatalf("PSR %#x did not round-trip", psr)
+			}
+		}
+	}
+}
+
+func TestExceptionEntryAndReturn(t *testing.T) {
+	m := newM(t)
+	m.CPU.Kernel = false
+	m.CPU.IRQOn = true
+	m.CPU.Flags = isa.Flags{Z: true}
+	m.CPU.Ctrl[isa.CtrlVBAR] = 0x1000
+	m.CPU.PC = 0x5000
+
+	m.Enter(isa.ExcSyscall, 0x5004)
+	if !m.CPU.Kernel || m.CPU.IRQOn {
+		t.Error("exception entry must switch to kernel with IRQs masked")
+	}
+	if m.CPU.PC != 0x1000+4*uint32(isa.ExcSyscall) {
+		t.Errorf("vectored to %#x", m.CPU.PC)
+	}
+	if m.CPU.Ctrl[isa.CtrlEPC] != 0x5004 {
+		t.Errorf("EPC %#x", m.CPU.Ctrl[isa.CtrlEPC])
+	}
+	if m.ExcCount[isa.ExcSyscall] != 1 {
+		t.Error("exception count")
+	}
+
+	m.ERET()
+	if m.CPU.PC != 0x5004 || m.CPU.Kernel || !m.CPU.IRQOn || !m.CPU.Flags.Z {
+		t.Errorf("ERET state wrong: pc=%#x kernel=%v irq=%v flags=%+v",
+			m.CPU.PC, m.CPU.Kernel, m.CPU.IRQOn, m.CPU.Flags)
+	}
+}
+
+func TestMemFaultRecordsFSRFAR(t *testing.T) {
+	m := newM(t)
+	m.EnterMemFault(isa.ExcDataFault, isa.FaultPermission, 0xABCD0, true, 0x100)
+	if m.CPU.Ctrl[isa.CtrlFAR] != 0xABCD0 {
+		t.Errorf("FAR %#x", m.CPU.Ctrl[isa.CtrlFAR])
+	}
+	want := uint32(isa.FaultPermission) | isa.FSRWrite
+	if m.CPU.Ctrl[isa.CtrlFSR] != want {
+		t.Errorf("FSR %#x want %#x", m.CPU.Ctrl[isa.CtrlFSR], want)
+	}
+}
+
+func TestCtrlRegPrivileges(t *testing.T) {
+	m := newM(t)
+	m.CPU.Kernel = false
+	// PSR and CPUID are readable from user mode.
+	if _, ok := m.ReadCtrl(isa.CtrlPSR); !ok {
+		t.Error("PSR should be user-readable")
+	}
+	if _, ok := m.ReadCtrl(isa.CtrlCPUID); !ok {
+		t.Error("CPUID should be user-readable")
+	}
+	// Others are not.
+	if _, ok := m.ReadCtrl(isa.CtrlTTBR); ok {
+		t.Error("TTBR must not be user-readable")
+	}
+	if m.WriteCtrl(isa.CtrlVBAR, 0x100) {
+		t.Error("user-mode MSR must be rejected")
+	}
+	m.CPU.Kernel = true
+	if !m.WriteCtrl(isa.CtrlVBAR, 0x100) {
+		t.Error("kernel MSR rejected")
+	}
+	if m.WriteCtrl(isa.CtrlCPUID, 1) {
+		t.Error("CPUID must be read-only")
+	}
+	if _, ok := m.ReadCtrl(isa.CtrlReg(200)); ok {
+		t.Error("out-of-range control register accepted")
+	}
+}
+
+type recordingListener struct {
+	pages []uint32
+	alls  int
+}
+
+func (l *recordingListener) InvalidatePage(va uint32) { l.pages = append(l.pages, va) }
+func (l *recordingListener) InvalidateAll()           { l.alls++ }
+
+func TestTLBMaintenanceBroadcast(t *testing.T) {
+	m := newM(t)
+	l := &recordingListener{}
+	m.AddTLBListener(l)
+
+	m.InvalidatePageTLBs(0x4000)
+	if len(l.pages) != 1 || l.pages[0] != 0x4000 {
+		t.Errorf("pages %v", l.pages)
+	}
+	// TTBR and MMU control writes broadcast full flushes.
+	m.CPU.Kernel = true
+	m.WriteCtrl(isa.CtrlTTBR, 0x100000)
+	m.WriteCtrl(isa.CtrlMMU, isa.MMUEnable)
+	if l.alls != 2 {
+		t.Errorf("alls %d", l.alls)
+	}
+	m.ClearTLBListeners()
+	m.InvalidateAllTLBs()
+	if l.alls != 2 {
+		t.Error("cleared listener still notified")
+	}
+}
+
+func TestIRQLineGating(t *testing.T) {
+	m := newM(t)
+	m.SetIRQLine(true)
+	m.CPU.IRQOn = false
+	if m.IRQPending() {
+		t.Error("masked IRQ reported pending")
+	}
+	m.CPU.IRQOn = true
+	if !m.IRQPending() {
+		t.Error("unmasked IRQ not pending")
+	}
+	m.SetIRQLine(false)
+	if m.IRQPending() {
+		t.Error("deasserted line pending")
+	}
+	if m.IRQLine() {
+		t.Error("line getter")
+	}
+}
+
+func TestCoprocAccessRules(t *testing.T) {
+	m := newM(t)
+	m.CPU.Kernel = true
+	// No coprocessor attached.
+	if _, ok := m.CoprocRead(isa.CPSafe, 0); ok {
+		t.Error("read from absent coprocessor accepted")
+	}
+	m.Coprocs[isa.CPSafe] = &stubCoproc{}
+	if v, ok := m.CoprocRead(isa.CPSafe, 0); !ok || v != 123 {
+		t.Error("coproc read failed")
+	}
+	if !m.CoprocWrite(isa.CPSafe, 0, 5) {
+		t.Error("coproc write failed")
+	}
+	m.CPU.Kernel = false
+	if _, ok := m.CoprocRead(isa.CPSafe, 0); ok {
+		t.Error("user-mode coproc read accepted")
+	}
+	if m.CoprocWrite(isa.CPSafe, 0, 5) {
+		t.Error("user-mode coproc write accepted")
+	}
+	m.CPU.Kernel = true
+	if _, ok := m.CoprocRead(99, 0); ok {
+		t.Error("out-of-range coprocessor accepted")
+	}
+}
+
+type stubCoproc struct{}
+
+func (stubCoproc) Read(reg uint32) (uint32, bool) { return 123, true }
+func (stubCoproc) Write(reg, v uint32) bool       { return true }
+
+func TestLoadProgramAndReset(t *testing.T) {
+	m := newM(t)
+	a := asm.New()
+	a.Org(0x2000)
+	a.Label("_start")
+	a.NOP()
+	prog, err := a.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.LoadProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	m.CPU.Regs[3] = 99
+	m.Halted = true
+	m.ExcCount[isa.ExcIRQ] = 5
+	m.Reset()
+	if m.CPU.PC != 0x2000 {
+		t.Errorf("reset PC %#x", m.CPU.PC)
+	}
+	if m.CPU.Regs[3] != 0 || m.Halted || m.ExcCount[isa.ExcIRQ] != 0 {
+		t.Error("reset did not clear state")
+	}
+	if !m.CPU.Kernel || m.CPU.IRQOn {
+		t.Error("reset privilege state wrong")
+	}
+	if m.CPU.Ctrl[isa.CtrlCPUID] == 0 {
+		t.Error("CPUID lost across reset")
+	}
+}
+
+func TestProfileProperties(t *testing.T) {
+	if !New(ProfileARM, 4096).NonPrivSupported() {
+		t.Error("arm profile must support non-privileged access")
+	}
+	if New(ProfileX86, 4096).NonPrivSupported() {
+		t.Error("x86 profile must not")
+	}
+	if ProfileARM.FormatB() || !ProfileX86.FormatB() {
+		t.Error("page-table formats wrong")
+	}
+	if ProfileARM.String() != "arm" || ProfileX86.String() != "x86" {
+		t.Error("profile names")
+	}
+}
+
+func TestLoadProgramTooBig(t *testing.T) {
+	m := New(ProfileARM, 4096)
+	a := asm.New()
+	a.Org(0x1000000)
+	a.NOP()
+	prog, _ := a.Assemble()
+	if err := m.LoadProgram(prog); err == nil {
+		t.Error("expected load failure beyond RAM")
+	}
+}

@@ -1,0 +1,289 @@
+// Package mmu implements the SV32 virtual memory system: page-table
+// walks for the two architecture-profile table formats, permission
+// checking, and a host-side table builder used as the "bootloader" that
+// prepares the initial address space for a benchmark (the SimBench
+// methodology allows a bootloader; all run-time remapping happens in
+// guest code through TLBI/TLBIA and table stores).
+//
+// Format A models the ARM short-descriptor scheme: a 4096-entry first
+// level where each entry either maps a 1 MiB section directly or points
+// to a 256-entry coarse second level of 4 KiB pages. Format B models
+// the classic two-level x86 scheme: 1024-entry directories of
+// 1024-entry tables, 4 KiB pages only. The difference in walk depth and
+// decode complexity is what makes the Cold Memory Access benchmark
+// sensitive to the simulated architecture, as the paper discusses.
+package mmu
+
+import (
+	"fmt"
+
+	"simbench/internal/isa"
+	"simbench/internal/mem"
+)
+
+// Entry bit assignments shared by both formats.
+const (
+	entTypeMask = 0x3
+	entInvalid  = 0x0
+	entSection  = 0x1 // format A level 1 only
+	entCoarse   = 0x2 // format A level 1 only
+	entPage     = 0x1 // leaf entries
+	entWritable = 1 << 2
+	entUser     = 1 << 3
+
+	sectionShift = 20
+	// SectionSize is the format-A section mapping granule (1 MiB).
+	SectionSize = 1 << sectionShift
+)
+
+// PTE describes one resolved translation: the physical page base for
+// the 4 KiB virtual page containing the queried address, its access
+// permissions, and how large the underlying mapping granule was (so TLB
+// models can decide what a section fill covers).
+type PTE struct {
+	PhysPage uint32 // physical base of the 4 KiB frame
+	Writable bool
+	User     bool
+	Section  bool // mapped by a format-A section entry
+}
+
+// Walk translates the page containing va using the tables rooted at
+// ttbr. It performs real physical memory reads through the bus, so
+// walk cost scales with table depth exactly as in a simulator's softMMU
+// slow path. Levels reports how many table loads were performed.
+func Walk(bus *mem.Bus, ttbr uint32, formatB bool, va uint32) (pte PTE, levels int, fault isa.FaultCode) {
+	if formatB {
+		return walkB(bus, ttbr, va)
+	}
+	return walkA(bus, ttbr, va)
+}
+
+func walkA(bus *mem.Bus, ttbr uint32, va uint32) (PTE, int, isa.FaultCode) {
+	l1Addr := (ttbr &^ 0x3FFF) + (va>>sectionShift)<<2
+	l1, f := bus.ReadPhys(l1Addr, 4)
+	if f != isa.FaultNone {
+		return PTE{}, 1, isa.FaultBus
+	}
+	switch l1 & entTypeMask {
+	case entSection:
+		base := l1 &^ (SectionSize - 1)
+		return PTE{
+			PhysPage: base + (va & (SectionSize - 1) &^ isa.PageMask),
+			Writable: l1&entWritable != 0,
+			User:     l1&entUser != 0,
+			Section:  true,
+		}, 1, isa.FaultNone
+	case entCoarse:
+		l2Addr := (l1 &^ 0x3FF) + ((va>>isa.PageShift)&0xFF)<<2
+		l2, f := bus.ReadPhys(l2Addr, 4)
+		if f != isa.FaultNone {
+			return PTE{}, 2, isa.FaultBus
+		}
+		if l2&entTypeMask != entPage {
+			return PTE{}, 2, isa.FaultTranslation
+		}
+		return PTE{
+			PhysPage: l2 &^ isa.PageMask,
+			Writable: l2&entWritable != 0,
+			User:     l2&entUser != 0,
+		}, 2, isa.FaultNone
+	default:
+		return PTE{}, 1, isa.FaultTranslation
+	}
+}
+
+func walkB(bus *mem.Bus, ttbr uint32, va uint32) (PTE, int, isa.FaultCode) {
+	l1Addr := (ttbr &^ isa.PageMask) + (va>>22)<<2
+	l1, f := bus.ReadPhys(l1Addr, 4)
+	if f != isa.FaultNone {
+		return PTE{}, 1, isa.FaultBus
+	}
+	if l1&entTypeMask != entPage {
+		return PTE{}, 1, isa.FaultTranslation
+	}
+	l2Addr := (l1 &^ isa.PageMask) + ((va>>isa.PageShift)&0x3FF)<<2
+	l2, f := bus.ReadPhys(l2Addr, 4)
+	if f != isa.FaultNone {
+		return PTE{}, 2, isa.FaultBus
+	}
+	if l2&entTypeMask != entPage {
+		return PTE{}, 2, isa.FaultTranslation
+	}
+	return PTE{
+		PhysPage: l2 &^ isa.PageMask,
+		Writable: l2&entWritable != 0,
+		User:     l2&entUser != 0,
+	}, 2, isa.FaultNone
+}
+
+// Check applies the permission rules to a resolved PTE and returns the
+// fault an access would take, or FaultNone. Kernel mode may access
+// everything the mapping allows; user mode additionally needs the User
+// bit. Writes need Writable in both modes.
+func Check(pte PTE, kernel, write bool) isa.FaultCode {
+	if !kernel && !pte.User {
+		return isa.FaultPermission
+	}
+	if write && !pte.Writable {
+		return isa.FaultPermission
+	}
+	return isa.FaultNone
+}
+
+// --- host-side table builder -------------------------------------------------
+
+// Builder constructs page tables directly in guest RAM, playing the
+// role of the bootloader. Frames for tables are allocated downward from
+// the top of a reserved region.
+type Builder struct {
+	bus     *mem.Bus
+	formatB bool
+	root    uint32
+	next    uint32 // next free table frame (allocated upward)
+	limit   uint32
+	l2      map[uint32]uint32 // L1 index -> L2 table base
+}
+
+// NewBuilder reserves [base, limit) of guest RAM for page tables and
+// initialises an empty root table there. Format A roots need 16 KiB of
+// alignment and size; format B roots need 4 KiB.
+func NewBuilder(bus *mem.Bus, base, limit uint32, formatB bool) (*Builder, error) {
+	align := uint32(0x4000)
+	if formatB {
+		align = 0x1000
+	}
+	root := (base + align - 1) &^ (align - 1)
+	if root+align > limit {
+		return nil, fmt.Errorf("mmu: table region [%#x,%#x) too small for root", base, limit)
+	}
+	b := &Builder{bus: bus, formatB: formatB, root: root, next: root + align, limit: limit,
+		l2: make(map[uint32]uint32)}
+	for a := root; a < root+align; a += 4 {
+		bus.WriteWordRAM(a, 0)
+	}
+	return b, nil
+}
+
+// Root returns the TTBR value for the built tables.
+func (b *Builder) Root() uint32 { return b.root }
+
+// FormatB reports the table format.
+func (b *Builder) FormatB() bool { return b.formatB }
+
+func (b *Builder) allocTable(size uint32) (uint32, error) {
+	base := (b.next + size - 1) &^ (size - 1)
+	if base+size > b.limit {
+		return 0, fmt.Errorf("mmu: out of page-table memory")
+	}
+	b.next = base + size
+	for a := base; a < base+size; a += 4 {
+		b.bus.WriteWordRAM(a, 0)
+	}
+	return base, nil
+}
+
+func permBits(w, u bool) uint32 {
+	var v uint32
+	if w {
+		v |= entWritable
+	}
+	if u {
+		v |= entUser
+	}
+	return v
+}
+
+// MapPage maps the 4 KiB page at va to the physical frame at pa.
+func (b *Builder) MapPage(va, pa uint32, w, u bool) error {
+	if va&isa.PageMask != 0 || pa&isa.PageMask != 0 {
+		return fmt.Errorf("mmu: unaligned mapping %#x -> %#x", va, pa)
+	}
+	if b.formatB {
+		return b.mapPageB(va, pa, w, u)
+	}
+	return b.mapPageA(va, pa, w, u)
+}
+
+func (b *Builder) mapPageA(va, pa uint32, w, u bool) error {
+	l1Index := va >> sectionShift
+	l1Addr := b.root + l1Index<<2
+	l2Base, ok := b.l2[l1Index]
+	if !ok {
+		if cur := b.bus.ReadWordRAM(l1Addr); cur&entTypeMask == entSection {
+			return fmt.Errorf("mmu: page mapping %#x collides with section", va)
+		}
+		base, err := b.allocTable(0x400) // 256 entries * 4 bytes
+		if err != nil {
+			return err
+		}
+		l2Base = base
+		b.l2[l1Index] = base
+		b.bus.WriteWordRAM(l1Addr, base|entCoarse)
+	}
+	b.bus.WriteWordRAM(l2Base+((va>>isa.PageShift)&0xFF)<<2, pa|permBits(w, u)|entPage)
+	return nil
+}
+
+func (b *Builder) mapPageB(va, pa uint32, w, u bool) error {
+	l1Index := va >> 22
+	l1Addr := b.root + l1Index<<2
+	l2Base, ok := b.l2[l1Index]
+	if !ok {
+		base, err := b.allocTable(0x1000) // 1024 entries * 4 bytes
+		if err != nil {
+			return err
+		}
+		l2Base = base
+		b.l2[l1Index] = base
+		b.bus.WriteWordRAM(l1Addr, base|entPage)
+	}
+	b.bus.WriteWordRAM(l2Base+((va>>isa.PageShift)&0x3FF)<<2, pa|permBits(w, u)|entPage)
+	return nil
+}
+
+// MapSection maps a 1 MiB section (format A only): the single-level
+// translation path the paper contrasts with two-level coarse lookups.
+func (b *Builder) MapSection(va, pa uint32, w, u bool) error {
+	if b.formatB {
+		return fmt.Errorf("mmu: sections are a format-A feature")
+	}
+	if va&(SectionSize-1) != 0 || pa&(SectionSize-1) != 0 {
+		return fmt.Errorf("mmu: unaligned section %#x -> %#x", va, pa)
+	}
+	l1Index := va >> sectionShift
+	if _, ok := b.l2[l1Index]; ok {
+		return fmt.Errorf("mmu: section %#x collides with coarse table", va)
+	}
+	b.bus.WriteWordRAM(b.root+l1Index<<2, pa|permBits(w, u)|entSection)
+	return nil
+}
+
+// MapRange maps [va, va+size) to [pa, pa+size) with 4 KiB pages.
+func (b *Builder) MapRange(va, pa, size uint32, w, u bool) error {
+	for off := uint32(0); off < size; off += isa.PageSize {
+		if err := b.MapPage(va+off, pa+off, w, u); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Unmap removes the 4 KiB page mapping at va (format-agnostic); it is
+// a no-op if nothing is mapped there.
+func (b *Builder) Unmap(va uint32) {
+	var l1Index, slot uint32
+	if b.formatB {
+		l1Index = va >> 22
+		slot = (va >> isa.PageShift) & 0x3FF
+	} else {
+		l1Index = va >> sectionShift
+		slot = (va >> isa.PageShift) & 0xFF
+	}
+	if l2Base, ok := b.l2[l1Index]; ok {
+		b.bus.WriteWordRAM(l2Base+slot<<2, 0)
+	}
+}
+
+// TablesEnd returns the first free address above the built tables, so
+// callers can place data beyond them.
+func (b *Builder) TablesEnd() uint32 { return b.next }

@@ -1,0 +1,252 @@
+package mmu
+
+import (
+	"math/rand"
+	"testing"
+
+	"simbench/internal/isa"
+	"simbench/internal/mem"
+)
+
+func newBuilder(t *testing.T, formatB bool) (*mem.Bus, *Builder) {
+	t.Helper()
+	bus := mem.NewBus(8 << 20)
+	b, err := NewBuilder(bus, 0x100000, 0x200000, formatB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bus, b
+}
+
+func TestRootAlignment(t *testing.T) {
+	bus := mem.NewBus(8 << 20)
+	// Misaligned base: the root must be aligned up.
+	b, err := NewBuilder(bus, 0x100004, 0x200000, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Root()%0x4000 != 0 {
+		t.Errorf("format-A root %#x not 16K aligned", b.Root())
+	}
+	b2, err := NewBuilder(bus, 0x300000, 0x400000, true)
+	if err == nil {
+		if b2.Root()%0x1000 != 0 {
+			t.Errorf("format-B root %#x not 4K aligned", b2.Root())
+		}
+	}
+}
+
+func TestRegionTooSmall(t *testing.T) {
+	bus := mem.NewBus(1 << 20)
+	if _, err := NewBuilder(bus, 0x100, 0x200, false); err == nil {
+		t.Error("expected too-small error")
+	}
+}
+
+func TestMapPageAndWalk(t *testing.T) {
+	for _, formatB := range []bool{false, true} {
+		bus, b := newBuilder(t, formatB)
+		if err := b.MapPage(0x40000000, 0x5000, true, false); err != nil {
+			t.Fatal(err)
+		}
+		pte, levels, fault := Walk(bus, b.Root(), formatB, 0x40000123)
+		if fault != isa.FaultNone {
+			t.Fatalf("formatB=%v fault %v", formatB, fault)
+		}
+		if pte.PhysPage != 0x5000 || !pte.Writable || pte.User {
+			t.Errorf("formatB=%v pte %+v", formatB, pte)
+		}
+		if levels != 2 {
+			t.Errorf("formatB=%v levels=%d, want 2", formatB, levels)
+		}
+	}
+}
+
+func TestUnmappedFaults(t *testing.T) {
+	for _, formatB := range []bool{false, true} {
+		bus, b := newBuilder(t, formatB)
+		_, _, fault := Walk(bus, b.Root(), formatB, 0x40000000)
+		if fault != isa.FaultTranslation {
+			t.Errorf("formatB=%v fault %v", formatB, fault)
+		}
+	}
+}
+
+func TestSectionMapping(t *testing.T) {
+	bus, b := newBuilder(t, false)
+	if err := b.MapSection(0x00000000, 0x00100000, true, true); err != nil {
+		t.Fatal(err)
+	}
+	pte, levels, fault := Walk(bus, b.Root(), false, 0x000ABCDE)
+	if fault != isa.FaultNone {
+		t.Fatal(fault)
+	}
+	if levels != 1 {
+		t.Errorf("section walk levels = %d, want 1", levels)
+	}
+	if !pte.Section || !pte.Writable || !pte.User {
+		t.Errorf("pte %+v", pte)
+	}
+	// The 4K frame of the faulting address inside the section.
+	want := uint32(0x00100000 + (0xABCDE &^ isa.PageMask))
+	if pte.PhysPage != want {
+		t.Errorf("phys %#x, want %#x", pte.PhysPage, want)
+	}
+}
+
+func TestSectionRejectedOnFormatB(t *testing.T) {
+	_, b := newBuilder(t, true)
+	if err := b.MapSection(0, 0, true, true); err == nil {
+		t.Error("format B must reject sections")
+	}
+}
+
+func TestSectionPageCollision(t *testing.T) {
+	_, b := newBuilder(t, false)
+	if err := b.MapSection(0x00100000, 0x00100000, true, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.MapPage(0x00140000, 0x5000, true, false); err == nil {
+		t.Error("page into section L1 slot must be rejected")
+	}
+	if err := b.MapPage(0x00500000, 0x5000, true, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.MapSection(0x00500000, 0x00200000, true, false); err == nil {
+		t.Error("section over coarse table must be rejected")
+	}
+}
+
+func TestUnalignedMappingRejected(t *testing.T) {
+	_, b := newBuilder(t, false)
+	if err := b.MapPage(0x1001, 0x2000, true, false); err == nil {
+		t.Error("unaligned va")
+	}
+	if err := b.MapPage(0x1000, 0x2001, true, false); err == nil {
+		t.Error("unaligned pa")
+	}
+	if err := b.MapSection(0x100, 0, true, false); err == nil {
+		t.Error("unaligned section")
+	}
+}
+
+func TestUnmap(t *testing.T) {
+	for _, formatB := range []bool{false, true} {
+		bus, b := newBuilder(t, formatB)
+		if err := b.MapPage(0x7000000, 0x3000, true, false); err != nil {
+			t.Fatal(err)
+		}
+		b.Unmap(0x7000000)
+		if _, _, fault := Walk(bus, b.Root(), formatB, 0x7000000); fault != isa.FaultTranslation {
+			t.Errorf("formatB=%v fault after unmap = %v", formatB, fault)
+		}
+		// Unmapping something never mapped is a no-op.
+		b.Unmap(0x9000000)
+	}
+}
+
+func TestMapRange(t *testing.T) {
+	bus, b := newBuilder(t, true)
+	if err := b.MapRange(0x2000000, 0x10000, 16*isa.PageSize, true, true); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint32(0); i < 16; i++ {
+		pte, _, fault := Walk(bus, b.Root(), true, 0x2000000+i*isa.PageSize)
+		if fault != isa.FaultNone || pte.PhysPage != 0x10000+i*isa.PageSize {
+			t.Fatalf("page %d: pte %+v fault %v", i, pte, fault)
+		}
+	}
+}
+
+func TestCheckPermissions(t *testing.T) {
+	cases := []struct {
+		pte    PTE
+		kernel bool
+		write  bool
+		want   isa.FaultCode
+	}{
+		{PTE{Writable: true, User: true}, false, true, isa.FaultNone},
+		{PTE{Writable: true, User: true}, true, true, isa.FaultNone},
+		{PTE{Writable: false, User: true}, false, true, isa.FaultPermission},
+		{PTE{Writable: false, User: true}, false, false, isa.FaultNone},
+		{PTE{Writable: true, User: false}, false, false, isa.FaultPermission},
+		{PTE{Writable: true, User: false}, true, false, isa.FaultNone},
+		{PTE{Writable: false, User: false}, true, true, isa.FaultPermission},
+	}
+	for i, c := range cases {
+		if got := Check(c.pte, c.kernel, c.write); got != c.want {
+			t.Errorf("case %d: got %v want %v", i, got, c.want)
+		}
+	}
+}
+
+// Property: for random page mappings, Walk(va) resolves exactly the
+// mapped frame with the mapped permissions, in both formats.
+func TestWalkMatchesMappingProperty(t *testing.T) {
+	for _, formatB := range []bool{false, true} {
+		bus, b := newBuilder(t, formatB)
+		r := rand.New(rand.NewSource(11))
+		type m struct {
+			va, pa uint32
+			w, u   bool
+		}
+		seen := map[uint32]bool{}
+		var ms []m
+		for i := 0; i < 300; i++ {
+			va := (r.Uint32() % 0x10000000) &^ isa.PageMask
+			if seen[va] {
+				continue
+			}
+			seen[va] = true
+			pa := (r.Uint32() % (4 << 20)) &^ isa.PageMask
+			w, u := r.Intn(2) == 0, r.Intn(2) == 0
+			if err := b.MapPage(va, pa, w, u); err != nil {
+				t.Fatal(err)
+			}
+			ms = append(ms, m{va, pa, w, u})
+		}
+		for _, mm := range ms {
+			off := rand.Uint32() & isa.PageMask
+			pte, _, fault := Walk(bus, b.Root(), formatB, mm.va|off)
+			if fault != isa.FaultNone {
+				t.Fatalf("formatB=%v va %#x: fault %v", formatB, mm.va, fault)
+			}
+			if pte.PhysPage != mm.pa || pte.Writable != mm.w || pte.User != mm.u {
+				t.Fatalf("formatB=%v va %#x: pte %+v, want pa %#x w=%v u=%v",
+					formatB, mm.va, pte, mm.pa, mm.w, mm.u)
+			}
+		}
+	}
+}
+
+func TestTablesEndAdvances(t *testing.T) {
+	_, b := newBuilder(t, false)
+	before := b.TablesEnd()
+	// Force several L2 allocations (distinct 1 MiB regions).
+	for i := uint32(0); i < 4; i++ {
+		if err := b.MapPage(0x10000000+i*SectionSize, 0x1000, true, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if b.TablesEnd() <= before {
+		t.Error("TablesEnd did not advance with new tables")
+	}
+}
+
+func TestOutOfTableMemory(t *testing.T) {
+	bus := mem.NewBus(8 << 20)
+	// Tiny region: the root fits, little else.
+	b, err := NewBuilder(bus, 0x100000, 0x104800, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var failed bool
+	for i := uint32(0); i < 8 && !failed; i++ {
+		if err := b.MapPage(0x20000000+i*SectionSize, 0x1000, true, false); err != nil {
+			failed = true
+		}
+	}
+	if !failed {
+		t.Error("expected table memory exhaustion")
+	}
+}

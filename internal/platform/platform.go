@@ -1,0 +1,72 @@
+// Package platform assembles a concrete simulated board — the "VexBoard"
+// — from the machine and device packages: RAM at physical 0, a UART, an
+// interrupt controller with a software-raisable line, a timer, the safe
+// benchmark device and the benchmark-control port. It is the analogue of
+// the paper's platform support package: everything a SimBench port needs
+// to know about the board (memory layout, how to raise a software
+// interrupt, where the safe device lives) is defined here.
+package platform
+
+import (
+	"bytes"
+
+	"simbench/internal/device"
+	"simbench/internal/isa"
+	"simbench/internal/machine"
+)
+
+// VexBoard physical memory map. RAM occupies [0, RAMSize); devices sit
+// high in the address space, each in its own 4 KiB page so that the MMU
+// can map them individually.
+const (
+	DefaultRAMSize = 32 << 20 // 32 MiB
+
+	UARTBase  = 0xF0000000
+	ICBase    = 0xF0010000
+	TimerBase = 0xF0020000
+	SafeBase  = 0xF0030000
+	CtlBase   = 0xF0040000
+
+	RegionSize = isa.PageSize
+)
+
+// Platform is a fully wired VexBoard.
+type Platform struct {
+	M       *machine.Machine
+	UART    *device.UART
+	IC      *device.IntController
+	Timer   *device.Timer
+	Safe    *device.SafeDev
+	Ctl     *device.BenchCtl
+	Coproc  *device.SafeCoproc
+	Console bytes.Buffer
+}
+
+// New builds a VexBoard around a new machine of the given profile.
+func New(profile machine.Profile, ramSize uint32) *Platform {
+	m := machine.New(profile, ramSize)
+	p := &Platform{M: m}
+	p.UART = &device.UART{W: &p.Console}
+	p.IC = device.NewIntController(m.SetIRQLine)
+	p.Timer = device.NewTimer(p.IC)
+	p.Safe = &device.SafeDev{}
+	p.Ctl = &device.BenchCtl{}
+	p.Coproc = &device.SafeCoproc{}
+
+	m.Bus.Map(UARTBase, RegionSize, p.UART)
+	m.Bus.Map(ICBase, RegionSize, p.IC)
+	m.Bus.Map(TimerBase, RegionSize, p.Timer)
+	m.Bus.Map(SafeBase, RegionSize, p.Safe)
+	m.Bus.Map(CtlBase, RegionSize, p.Ctl)
+	m.TickFn = p.Timer.Tick
+	m.Coprocs[isa.CPSafe] = p.Coproc
+	return p
+}
+
+// Default builds a VexBoard with the default RAM size.
+func Default(profile machine.Profile) *Platform {
+	return New(profile, DefaultRAMSize)
+}
+
+// ConsoleString returns everything the guest printed to the UART.
+func (p *Platform) ConsoleString() string { return p.Console.String() }

@@ -1,0 +1,89 @@
+package platform
+
+import (
+	"testing"
+
+	"simbench/internal/device"
+	"simbench/internal/isa"
+	"simbench/internal/machine"
+)
+
+func TestWiring(t *testing.T) {
+	p := Default(machine.ProfileARM)
+	// Every device responds at its base address through the bus.
+	if v, f := p.M.Bus.ReadPhys(SafeBase+device.SafeID, 4); f != isa.FaultNone || v != device.SafeIDValue {
+		t.Errorf("safedev read: %#x %v", v, f)
+	}
+	if v, f := p.M.Bus.ReadPhys(CtlBase+device.CtlMagic, 4); f != isa.FaultNone || v != device.CtlMagicValue {
+		t.Errorf("benchctl read: %#x %v", v, f)
+	}
+	if _, f := p.M.Bus.ReadPhys(UARTBase+device.UARTStatus, 4); f != isa.FaultNone {
+		t.Errorf("uart read: %v", f)
+	}
+	if _, f := p.M.Bus.ReadPhys(ICBase+device.ICStatus, 4); f != isa.FaultNone {
+		t.Errorf("intc read: %v", f)
+	}
+	if _, f := p.M.Bus.ReadPhys(TimerBase+device.TimerCount, 4); f != isa.FaultNone {
+		t.Errorf("timer read: %v", f)
+	}
+}
+
+func TestConsoleCapture(t *testing.T) {
+	p := New(machine.ProfileX86, 1<<20)
+	p.M.Bus.WritePhys(UARTBase+device.UARTTx, 4, 'h')
+	p.M.Bus.WritePhys(UARTBase+device.UARTTx, 4, 'i')
+	if p.ConsoleString() != "hi" {
+		t.Errorf("console %q", p.ConsoleString())
+	}
+}
+
+func TestIRQPathIntcToCPU(t *testing.T) {
+	p := Default(machine.ProfileARM)
+	p.M.CPU.IRQOn = true
+	p.M.Bus.WritePhys(ICBase+device.ICEnable, 4, 1)
+	p.M.Bus.WritePhys(ICBase+device.ICRaise, 4, device.LineSoftware)
+	if !p.M.IRQPending() {
+		t.Error("SWI raise did not reach the CPU line")
+	}
+	p.M.Bus.WritePhys(ICBase+device.ICClear, 4, device.LineSoftware)
+	if p.M.IRQPending() {
+		t.Error("clear did not drop the line")
+	}
+}
+
+func TestTimerTickWiring(t *testing.T) {
+	p := Default(machine.ProfileARM)
+	if p.M.TickFn == nil {
+		t.Fatal("TickFn not wired")
+	}
+	p.M.Bus.WritePhys(ICBase+device.ICEnable, 4, 1<<device.LineTimer)
+	p.M.Bus.WritePhys(TimerBase+device.TimerCompare, 4, 10)
+	p.M.Bus.WritePhys(TimerBase+device.TimerCtrl, 4, 1)
+	p.M.TickFn(20)
+	if !p.M.IRQLine() {
+		t.Error("timer tick did not raise the line")
+	}
+}
+
+func TestCoprocessorAttached(t *testing.T) {
+	p := Default(machine.ProfileARM)
+	p.M.CPU.Kernel = true
+	if _, ok := p.M.CoprocRead(isa.CPSafe, device.CPRegDACR); !ok {
+		t.Error("safe coprocessor not attached")
+	}
+}
+
+func TestDeviceAddressesAreDistinctPages(t *testing.T) {
+	bases := []uint32{UARTBase, ICBase, TimerBase, SafeBase, CtlBase}
+	seen := map[uint32]bool{}
+	for _, b := range bases {
+		page := b >> isa.PageShift
+		if seen[page] {
+			t.Errorf("device pages overlap at %#x", b)
+		}
+		seen[page] = true
+		if b&isa.PageMask != 0 {
+			t.Errorf("device base %#x not page aligned", b)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+// Package report provides the result-analysis and presentation layer:
+// aligned text tables, speedup series against a baseline, geometric
+// means (the paper's aggregate statistic), and result aggregation for
+// the operation-density experiment.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"simbench/internal/core"
+)
+
+// Geomean returns the geometric mean of xs, ignoring non-positive
+// values (matching how benchmark suites aggregate speedups). It
+// returns 0 for an empty input.
+func Geomean(xs []float64) float64 {
+	sum, n := 0.0, 0
+	for _, x := range xs {
+		if x > 0 {
+			sum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// Speedup returns base/measured: >1 means measured is faster than the
+// baseline, matching the paper's speedup axes.
+func Speedup(base, measured time.Duration) float64 {
+	if measured <= 0 {
+		return 0
+	}
+	return float64(base) / float64(measured)
+}
+
+// Table is a titled text table.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	if t.Title != "" {
+		fmt.Fprintln(w, t.Title)
+		fmt.Fprintln(w, strings.Repeat("-", len(t.Title)))
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	if len(t.Columns) > 0 {
+		fmt.Fprintln(tw, strings.Join(t.Columns, "\t"))
+	}
+	for _, row := range t.Rows {
+		fmt.Fprintln(tw, strings.Join(row, "\t"))
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+}
+
+// Series is one labelled line of a sweep figure (e.g. one benchmark's
+// speedup across versions).
+type Series struct {
+	Name   string
+	Points []float64
+}
+
+// FprintSeries renders a set of series over common x labels, one x per
+// row — the textual equivalent of the paper's sweep graphs.
+func FprintSeries(w io.Writer, title string, xlabels []string, series []Series) {
+	t := Table{Title: title, Columns: append([]string{"version"}, names(series)...)}
+	for i, x := range xlabels {
+		row := []string{x}
+		for _, s := range series {
+			if i < len(s.Points) {
+				row = append(row, fmt.Sprintf("%.3f", s.Points[i]))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		t.AddRow(row...)
+	}
+	t.Fprint(w)
+}
+
+func names(series []Series) []string {
+	out := make([]string, len(series))
+	for i, s := range series {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// Seconds formats a duration in seconds with three decimals, the unit
+// of the paper's Fig. 7.
+func Seconds(d time.Duration) string {
+	return fmt.Sprintf("%.3f", d.Seconds())
+}
+
+// Density formats an operation density the way Fig. 3 does: fixed
+// point when large enough, scientific otherwise, and "0" for zero.
+func Density(d float64) string {
+	switch {
+	case d == 0:
+		return "0"
+	case d >= 0.001:
+		return fmt.Sprintf("%.3f", d)
+	default:
+		return fmt.Sprintf("%.2E", d)
+	}
+}
+
+// Aggregate folds many results into one (for suite-wide operation
+// densities): statistics, exception counts and device counters are
+// summed.
+func Aggregate(results []*core.Result) *core.Result {
+	agg := &core.Result{}
+	for _, r := range results {
+		agg.Stats.Add(r.Stats)
+		for i := range agg.Exc {
+			agg.Exc[i] += r.Exc[i]
+		}
+		agg.SafeDevAccesses += r.SafeDevAccesses
+		agg.CoprocDevAccesses += r.CoprocDevAccesses
+		agg.SWIRaised += r.SWIRaised
+		agg.Iters += r.Iters
+		agg.Kernel += r.Kernel
+		agg.Total += r.Total
+	}
+	return agg
+}

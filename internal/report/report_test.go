@@ -1,0 +1,116 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"simbench/internal/core"
+	"simbench/internal/engine"
+)
+
+func TestGeomean(t *testing.T) {
+	if g := Geomean([]float64{2, 8}); math.Abs(g-4) > 1e-9 {
+		t.Errorf("geomean(2,8) = %f", g)
+	}
+	if g := Geomean([]float64{1, 1, 1}); math.Abs(g-1) > 1e-9 {
+		t.Errorf("geomean(ones) = %f", g)
+	}
+	if Geomean(nil) != 0 {
+		t.Error("empty geomean")
+	}
+	// Non-positive values are ignored, not fatal.
+	if g := Geomean([]float64{0, 4, 4}); math.Abs(g-4) > 1e-9 {
+		t.Errorf("geomean with zero = %f", g)
+	}
+}
+
+func TestGeomeanScaleInvariance(t *testing.T) {
+	f := func(a, b, c uint16) bool {
+		xs := []float64{float64(a)/100 + 0.01, float64(b)/100 + 0.01, float64(c)/100 + 0.01}
+		doubled := []float64{xs[0] * 2, xs[1] * 2, xs[2] * 2}
+		return math.Abs(Geomean(doubled)-2*Geomean(xs)) < 1e-9*Geomean(doubled)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if s := Speedup(2*time.Second, time.Second); s != 2 {
+		t.Errorf("speedup %f", s)
+	}
+	if s := Speedup(time.Second, 2*time.Second); s != 0.5 {
+		t.Errorf("slowdown %f", s)
+	}
+	if Speedup(time.Second, 0) != 0 {
+		t.Error("zero measurement")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := Table{Title: "T", Columns: []string{"a", "b"}}
+	tab.AddRow("x", "1")
+	tab.AddRow("longer", "2")
+	var sb strings.Builder
+	tab.Fprint(&sb)
+	out := sb.String()
+	for _, want := range []string{"T", "a", "b", "x", "longer", "2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestSeriesRendering(t *testing.T) {
+	var sb strings.Builder
+	FprintSeries(&sb, "S", []string{"v1", "v2"}, []Series{
+		{Name: "x", Points: []float64{1, 1.5}},
+		{Name: "y", Points: []float64{1}},
+	})
+	out := sb.String()
+	if !strings.Contains(out, "1.500") {
+		t.Errorf("points missing:\n%s", out)
+	}
+	if !strings.Contains(out, "-") {
+		t.Error("short series must render a placeholder")
+	}
+}
+
+func TestDensityFormat(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		0.909:   "0.909",
+		0.003:   "0.003",
+		8.49e-7: "8.49E-07",
+	}
+	for in, want := range cases {
+		if got := Density(in); got != want {
+			t.Errorf("Density(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSeconds(t *testing.T) {
+	if s := Seconds(1500 * time.Millisecond); s != "1.500" {
+		t.Errorf("Seconds = %q", s)
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	r1 := &core.Result{Stats: engine.Stats{Instructions: 10, TLBMisses: 1}, Iters: 5}
+	r1.Exc[2] = 3
+	r1.SafeDevAccesses = 2
+	r2 := &core.Result{Stats: engine.Stats{Instructions: 30, TLBMisses: 4}, Iters: 7}
+	r2.Exc[2] = 1
+	r2.CoprocDevAccesses = 6
+	agg := Aggregate([]*core.Result{r1, r2})
+	if agg.Stats.Instructions != 40 || agg.Stats.TLBMisses != 5 {
+		t.Errorf("stats %+v", agg.Stats)
+	}
+	if agg.Exc[2] != 4 || agg.SafeDevAccesses != 2 || agg.CoprocDevAccesses != 6 || agg.Iters != 12 {
+		t.Errorf("agg %+v", agg)
+	}
+}

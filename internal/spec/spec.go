@@ -1,0 +1,612 @@
+// Package spec provides the SPEC-like application workload suite used
+// as the comparator in the paper's evaluation (Figs. 2, 3 and 8). The
+// real SPEC CPU2006 binaries cannot be run here — there is no guest OS
+// or compiler — so each workload is a synthetic guest program with the
+// instruction-mix signature of the SPEC INT program it is named after
+// (mcf is pointer-chasing and TLB-bound, sjeng is branchy search, and
+// so on). What the experiments need from SPEC is exactly this mix
+// diversity: workloads whose performance is dominated by different
+// simulator mechanisms, plus operation densities orders of magnitude
+// below the SimBench micro-benchmarks. See DESIGN.md for the
+// substitution rationale.
+//
+// Workloads are expressed as core.Benchmark values (category
+// CatApplication) so the same runner, timing protocol and reporting
+// pipeline apply.
+package spec
+
+import (
+	"fmt"
+
+	"simbench/internal/asm"
+	"simbench/internal/core"
+	"simbench/internal/device"
+	"simbench/internal/isa"
+	"simbench/internal/platform"
+)
+
+// CatApplication marks application (SPEC-like) workloads.
+const CatApplication core.Category = "Application"
+
+// Data-region layout shared by the workloads.
+const (
+	dataVA    = 0x01000000
+	dataPages = 1024 // 4 MiB footprint
+	dataSize  = dataPages * isa.PageSize
+)
+
+// Suite returns the ten SPEC-INT-like workloads.
+func Suite() []*core.Benchmark {
+	return []*core.Benchmark{
+		MCF(),
+		Sjeng(),
+		GCC(),
+		Bzip2(),
+		Gobmk(),
+		Hmmer(),
+		Libquantum(),
+		Perlbench(),
+		Astar(),
+		Xalancbmk(),
+	}
+}
+
+// ByName returns the named workload.
+func ByName(name string) (*core.Benchmark, error) {
+	for _, w := range Suite() {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	return nil, fmt.Errorf("spec: unknown workload %q", name)
+}
+
+// preamble emits the common workload prologue: MMU on with the data
+// region mapped, an OS-like timer tick, and skip-style fault handlers
+// (so the occasional fault behaves like demand paging, not a crash).
+// R11 is loaded with the iteration count.
+func preamble(env *core.Env) {
+	a := env.A
+	env.MMU = true
+	env.Map(dataVA, core.BenchPhysBase, dataSize, true, false)
+	core.EmitPreamble(env)
+	core.EmitLoadIters(env, isa.R11)
+
+	// OS-like timer tick: fire every 50k instruction-clock ticks.
+	a.LoadImm32(isa.R0, platform.ICBase)
+	a.MOVI(isa.R1, 1<<device.LineTimer)
+	a.STW(isa.R1, isa.R0, device.ICEnable)
+	a.LoadImm32(isa.R0, platform.TimerBase)
+	a.LoadImm32(isa.R1, 50_000)
+	a.STW(isa.R1, isa.R0, device.TimerCompare)
+	a.MOVI(isa.R1, 1)
+	a.STW(isa.R1, isa.R0, device.TimerCtrl)
+	a.MOVI(isa.R0, int32(isa.PSRKernel|isa.PSRIRQOn))
+	a.MSR(isa.CtrlPSR, isa.R0)
+}
+
+// epilogue emits END, the checksum report (from reg), the halt, the
+// vector table and the common handlers.
+func epilogue(env *core.Env, checksum isa.Reg) {
+	a := env.A
+	core.EmitEnd(env, isa.R0)
+	core.EmitResult(env, checksum, isa.R0)
+	core.EmitHalt(env)
+	core.EmitVectors(env, core.Handlers{
+		Syscall:   "os_svc",
+		DataFault: "os_dfault",
+		IRQ:       "os_tick",
+	})
+	// "OS" syscall: trivial service, return.
+	a.Label("os_svc")
+	a.ERET()
+	// Demand-paging-style data fault: skip the faulting instruction.
+	// Like any real handler, it preserves the interrupted context
+	// (scratch goes to the kernel scratch control register).
+	a.Label("os_dfault")
+	a.MSR(isa.CtrlSCR0, isa.R1)
+	a.MRS(isa.R1, isa.CtrlEPC)
+	a.ADDI(isa.R1, isa.R1, 4)
+	a.MSR(isa.CtrlEPC, isa.R1)
+	a.MRS(isa.R1, isa.CtrlSCR0)
+	a.ERET()
+	// Timer tick: rearm compare = count + interval, ack the line. The
+	// handler is transparent: both temporaries are saved and restored.
+	a.Label("os_tick")
+	a.MSR(isa.CtrlSCR0, isa.R1)
+	a.MSR(isa.CtrlSCR1, isa.R2)
+	a.LoadImm32(isa.R1, platform.TimerBase)
+	a.LDW(isa.R2, isa.R1, device.TimerCount)
+	a.ADDI(isa.R2, isa.R2, 25_000)
+	a.ADDI(isa.R2, isa.R2, 25_000)
+	a.STW(isa.R2, isa.R1, device.TimerCompare)
+	a.LoadImm32(isa.R1, platform.ICBase)
+	a.MOVI(isa.R2, device.LineTimer)
+	a.STW(isa.R2, isa.R1, device.ICClear)
+	a.MRS(isa.R2, isa.CtrlSCR1)
+	a.MRS(isa.R1, isa.CtrlSCR0)
+	a.ERET()
+}
+
+func workload(name, specName, desc string, iters int64, build func(*core.Env) error) *core.Benchmark {
+	return &core.Benchmark{
+		Name:        name,
+		Title:       specName,
+		Category:    CatApplication,
+		Description: desc,
+		PaperIters:  iters,
+		TestedOps:   func(*core.Result) uint64 { return 0 },
+		Build:       build,
+	}
+}
+
+// MCF is spec.mcf: pointer chasing through a page-spanning permutation
+// — memory-latency and TLB bound, the workload the paper shows losing
+// ~30% across QEMU versions.
+func MCF() *core.Benchmark {
+	return workload("spec.mcf", "429.mcf-like", "pointer chasing over a 4 MiB permutation",
+		60_000, func(env *core.Env) error {
+			a := env.A
+			preamble(env)
+			// Init: next[i] = (i + 40503) * 65539 mod N scattered over
+			// all pages; N = dataPages*64 nodes, node stride 64 bytes.
+			const nodes = dataPages * 64
+			a.LoadImm32(isa.R9, dataVA)
+			a.MOVI(isa.R2, 0) // i
+			a.LoadImm32(isa.R5, nodes)
+			a.Label("init")
+			a.ADDI(isa.R3, isa.R2, 12345)
+			a.LoadImm32(isa.R4, 65539)
+			a.MUL(isa.R3, isa.R3, isa.R4)
+			a.LoadImm32(isa.R4, nodes-1)
+			a.AND(isa.R3, isa.R3, isa.R4) // nodes is a power of two
+			// store next-index at node i (stride 64)
+			a.SHLI(isa.R6, isa.R2, 6)
+			a.ADD(isa.R6, isa.R6, isa.R9)
+			a.STW(isa.R3, isa.R6, 0)
+			a.ADDI(isa.R2, isa.R2, 1)
+			a.CMP(isa.R2, isa.R5)
+			a.B(isa.CondLO, "init")
+
+			core.EmitBegin(env, isa.R0)
+			a.MOVI(isa.R2, 0) // current node index
+			a.MOVI(isa.R8, 0) // checksum
+			a.Label("kloop")
+			// Chase 64 links per iteration.
+			for i := 0; i < 64; i++ {
+				a.SHLI(isa.R6, isa.R2, 6)
+				a.ADD(isa.R6, isa.R6, isa.R9)
+				a.LDW(isa.R2, isa.R6, 0)
+				a.ADD(isa.R8, isa.R8, isa.R2)
+			}
+			a.SUBI(isa.R11, isa.R11, 1)
+			a.CMPI(isa.R11, 0)
+			a.B(isa.CondNE, "kloop")
+			epilogue(env, isa.R8)
+			return nil
+		})
+}
+
+// Sjeng is spec.sjeng: branchy game-tree evaluation — data-dependent
+// conditional branches over small tables, compute bound. The paper
+// shows it gaining ~10-30% from translator improvements.
+func Sjeng() *core.Benchmark {
+	return workload("spec.sjeng", "458.sjeng-like", "branchy search with data-dependent conditions",
+		120_000, func(env *core.Env) error {
+			a := env.A
+			preamble(env)
+			a.LoadImm32(isa.R9, dataVA)
+			a.LoadImm32(isa.R2, 0xACE1) // LFSR state
+			a.MOVI(isa.R8, 0)
+			core.EmitBegin(env, isa.R0)
+			a.Label("kloop")
+			for round := 0; round < 24; round++ {
+				// LFSR step.
+				a.ANDI(isa.R3, isa.R2, 1)
+				a.SHRI(isa.R2, isa.R2, 1)
+				a.CMPI(isa.R3, 0)
+				a.B(isa.CondEQ, lbl("noxor", round))
+				a.LoadImm32(isa.R4, 0xB400)
+				a.XOR(isa.R2, isa.R2, isa.R4)
+				a.Label(lbl("noxor", round))
+				// Data-dependent three-way branch.
+				a.ANDI(isa.R3, isa.R2, 7)
+				a.CMPI(isa.R3, 3)
+				a.B(isa.CondLT, lbl("low", round))
+				a.CMPI(isa.R3, 6)
+				a.B(isa.CondGE, lbl("high", round))
+				a.ADDI(isa.R8, isa.R8, 5) // mid
+				a.B(isa.CondAL, lbl("join", round))
+				a.Label(lbl("low", round))
+				a.SUBI(isa.R8, isa.R8, 1)
+				a.B(isa.CondAL, lbl("join", round))
+				a.Label(lbl("high", round))
+				a.XORI(isa.R8, isa.R8, 0x11)
+				a.Label(lbl("join", round))
+				// Small table lookup.
+				a.ANDI(isa.R5, isa.R2, 0xFF)
+				a.SHLI(isa.R5, isa.R5, 2)
+				a.ADD(isa.R5, isa.R5, isa.R9)
+				a.LDW(isa.R6, isa.R5, 0)
+				a.ADD(isa.R8, isa.R8, isa.R6)
+			}
+			a.SUBI(isa.R11, isa.R11, 1)
+			a.CMPI(isa.R11, 0)
+			a.B(isa.CondNE, "kloop")
+			epilogue(env, isa.R8)
+			return nil
+		})
+}
+
+// GCC is spec.gcc: many small functions across several pages with a
+// mix of direct and indirect calls — front-end/control-flow bound with
+// a code footprint.
+func GCC() *core.Benchmark {
+	return workload("spec.gcc", "403.gcc-like", "call-heavy pass pipeline over multi-page code",
+		50_000, func(env *core.Env) error {
+			a := env.A
+			const passes = 12
+			preamble(env)
+			a.LA(isa.R10, "passtab")
+			a.MOVI(isa.R8, 0)
+			core.EmitBegin(env, isa.R0)
+			a.Label("kloop")
+			// Direct calls to each pass...
+			for i := 0; i < passes; i++ {
+				a.BL(lbl("pass", i))
+			}
+			// ...then an indirect sweep through the pass table.
+			a.MOVI(isa.R2, 0)
+			a.Label("indir")
+			a.SHLI(isa.R3, isa.R2, 2)
+			a.ADD(isa.R3, isa.R3, isa.R10)
+			a.LDW(isa.R3, isa.R3, 0)
+			a.BLR(isa.R3)
+			a.ADDI(isa.R2, isa.R2, 1)
+			a.CMPI(isa.R2, passes)
+			a.B(isa.CondLO, "indir")
+			// An occasional "OS interaction".
+			a.SVC(3)
+			a.SUBI(isa.R11, isa.R11, 1)
+			a.CMPI(isa.R11, 0)
+			a.B(isa.CondNE, "kloop")
+			epilogue(env, isa.R8)
+
+			// Pass bodies spread over pages (2 KiB apart).
+			for i := 0; i < passes; i++ {
+				a.Org(uint32(0x10000 + i*0x800))
+				a.Label(lbl("pass", i))
+				a.ADDI(isa.R8, isa.R8, int32(i+1))
+				a.MULI(isa.R8, isa.R8, 3)
+				a.XORI(isa.R8, isa.R8, int32(i*7&0xFFFF))
+				a.RET()
+			}
+			a.Org(0x10000 + passes*0x800)
+			a.Label("passtab")
+			for i := 0; i < passes; i++ {
+				a.WordAddr(lbl("pass", i))
+			}
+			return nil
+		})
+}
+
+// Bzip2 is spec.bzip2: byte-granular compression-style processing over
+// a buffer — hot-path memory with byte accesses.
+func Bzip2() *core.Benchmark {
+	return workload("spec.bzip2", "401.bzip2-like", "byte-stream run-length processing",
+		40_000, func(env *core.Env) error {
+			a := env.A
+			preamble(env)
+			a.LoadImm32(isa.R9, dataVA)
+			// Seed a 4 KiB byte buffer.
+			a.MOVI(isa.R2, 0)
+			a.MOVI(isa.R3, 37)
+			a.Label("seed")
+			a.ADD(isa.R4, isa.R2, isa.R9)
+			a.STB(isa.R3, isa.R4, 0)
+			a.MULI(isa.R3, isa.R3, 13)
+			a.ADDI(isa.R3, isa.R3, 7)
+			a.ANDI(isa.R3, isa.R3, 0xFF)
+			a.ADDI(isa.R2, isa.R2, 1)
+			a.CMPI(isa.R2, 4096)
+			a.B(isa.CondLO, "seed")
+
+			a.MOVI(isa.R8, 0)
+			core.EmitBegin(env, isa.R0)
+			a.Label("kloop")
+			// Scan 512 bytes, counting runs and folding values.
+			a.MOVI(isa.R2, 0)
+			a.MOVI(isa.R5, 0) // previous byte
+			a.Label("scan")
+			a.ADD(isa.R4, isa.R2, isa.R9)
+			a.LDB(isa.R3, isa.R4, 0)
+			a.CMP(isa.R3, isa.R5)
+			a.B(isa.CondNE, "newrun")
+			a.ADDI(isa.R8, isa.R8, 2) // run continues
+			a.B(isa.CondAL, "cont")
+			a.Label("newrun")
+			a.ADD(isa.R8, isa.R8, isa.R3)
+			a.Label("cont")
+			a.MOV(isa.R5, isa.R3)
+			// Write a transformed byte back.
+			a.XORI(isa.R6, isa.R3, 0x5A)
+			a.ADD(isa.R4, isa.R2, isa.R9)
+			a.STB(isa.R6, isa.R4, 2048)
+			a.ADDI(isa.R2, isa.R2, 1)
+			a.CMPI(isa.R2, 512)
+			a.B(isa.CondLO, "scan")
+			a.SUBI(isa.R11, isa.R11, 1)
+			a.CMPI(isa.R11, 0)
+			a.B(isa.CondNE, "kloop")
+			epilogue(env, isa.R8)
+			return nil
+		})
+}
+
+// Gobmk is spec.gobmk: switch-style indirect dispatch over
+// pseudo-random opcodes — indirect-branch bound.
+func Gobmk() *core.Benchmark {
+	return workload("spec.gobmk", "445.gobmk-like", "jump-table dispatch over random opcodes",
+		60_000, func(env *core.Env) error {
+			a := env.A
+			const handlers = 8
+			preamble(env)
+			a.LA(isa.R10, "jmptab")
+			a.LoadImm32(isa.R2, 0xBEEF)
+			a.MOVI(isa.R8, 0)
+			core.EmitBegin(env, isa.R0)
+			a.Label("kloop")
+			for d := 0; d < 16; d++ {
+				// xorshift-ish opcode selection
+				a.SHLI(isa.R3, isa.R2, 7)
+				a.XOR(isa.R2, isa.R2, isa.R3)
+				a.SHRI(isa.R3, isa.R2, 9)
+				a.XOR(isa.R2, isa.R2, isa.R3)
+				a.ANDI(isa.R3, isa.R2, handlers-1)
+				a.SHLI(isa.R3, isa.R3, 2)
+				a.ADD(isa.R3, isa.R3, isa.R10)
+				a.LDW(isa.R3, isa.R3, 0)
+				a.BLR(isa.R3)
+			}
+			a.SUBI(isa.R11, isa.R11, 1)
+			a.CMPI(isa.R11, 0)
+			a.B(isa.CondNE, "kloop")
+			epilogue(env, isa.R8)
+
+			for i := 0; i < handlers; i++ {
+				a.Label(lbl("h", i))
+				a.ADDI(isa.R8, isa.R8, int32(i*3+1))
+				a.RET()
+			}
+			a.Align(16)
+			a.Label("jmptab")
+			for i := 0; i < handlers; i++ {
+				a.WordAddr(lbl("h", i))
+			}
+			return nil
+		})
+}
+
+// Hmmer is spec.hmmer: regular unrolled multiply-accumulate over
+// arrays — straight-line ALU throughput.
+func Hmmer() *core.Benchmark {
+	return workload("spec.hmmer", "456.hmmer-like", "unrolled multiply-accumulate sweeps",
+		80_000, func(env *core.Env) error {
+			a := env.A
+			preamble(env)
+			a.LoadImm32(isa.R9, dataVA)
+			a.MOVI(isa.R8, 1)
+			core.EmitBegin(env, isa.R0)
+			a.Label("kloop")
+			a.MOVI(isa.R2, 0)
+			a.Label("row")
+			for u := 0; u < 8; u++ {
+				a.SHLI(isa.R3, isa.R2, 2)
+				a.ADD(isa.R3, isa.R3, isa.R9)
+				a.LDW(isa.R4, isa.R3, int32(u*4))
+				a.MULI(isa.R4, isa.R4, int32(u+3))
+				a.ADD(isa.R8, isa.R8, isa.R4)
+				a.MULI(isa.R8, isa.R8, 31)
+				a.ADDI(isa.R8, isa.R8, 7)
+			}
+			a.ADDI(isa.R2, isa.R2, 8)
+			a.CMPI(isa.R2, 128)
+			a.B(isa.CondLO, "row")
+			a.SUBI(isa.R11, isa.R11, 1)
+			a.CMPI(isa.R11, 0)
+			a.B(isa.CondNE, "kloop")
+			epilogue(env, isa.R8)
+			return nil
+		})
+}
+
+// Libquantum is spec.libquantum: streaming sequential sweeps over a
+// large array — bandwidth-style access with regular page changes.
+func Libquantum() *core.Benchmark {
+	return workload("spec.libquantum", "462.libquantum-like", "streaming word sweeps over 4 MiB",
+		300, func(env *core.Env) error {
+			a := env.A
+			preamble(env)
+			a.LoadImm32(isa.R9, dataVA)
+			a.LoadImm32(isa.R12, dataVA+dataSize)
+			a.MOVI(isa.R8, 0)
+			core.EmitBegin(env, isa.R0)
+			a.Label("kloop")
+			a.MOV(isa.R2, isa.R9)
+			a.Label("sweep")
+			a.LDW(isa.R3, isa.R2, 0)
+			a.XORI(isa.R3, isa.R3, 0x40)
+			a.STW(isa.R3, isa.R2, 0)
+			a.ADD(isa.R8, isa.R8, isa.R3)
+			a.ADDI(isa.R2, isa.R2, 64) // one access per cache line
+			a.CMP(isa.R2, isa.R12)
+			a.B(isa.CondLO, "sweep")
+			a.SUBI(isa.R11, isa.R11, 1)
+			a.CMPI(isa.R11, 0)
+			a.B(isa.CondNE, "kloop")
+			epilogue(env, isa.R8)
+			return nil
+		})
+}
+
+// Perlbench is spec.perlbench: a bytecode-interpreter dispatch loop
+// with occasional system calls and rare inline-cache code patching
+// (the only SPEC-like source of self-modifying code, mirroring the
+// tiny nonzero code-generation density of real SPEC in Fig. 3).
+func Perlbench() *core.Benchmark {
+	return workload("spec.perlbench", "400.perlbench-like", "bytecode dispatch with syscalls and rare code patching",
+		40_000, func(env *core.Env) error {
+			a := env.A
+			const ops = 6
+			preamble(env)
+			a.LA(isa.R10, "optab")
+			a.LA(isa.R12, "icache_site")
+			nop := isa.Encode(isa.Inst{Op: isa.OpNOP})
+			a.LoadImm32(isa.R7, nop)
+			a.LoadImm32(isa.R2, 0x1357)
+			a.MOVI(isa.R8, 0)
+			a.MOVI(isa.R5, 0) // dispatch counter
+			core.EmitBegin(env, isa.R0)
+			a.Label("kloop")
+			for d := 0; d < 12; d++ {
+				a.MULI(isa.R2, isa.R2, 75)
+				a.ADDI(isa.R2, isa.R2, 74)
+				a.ANDI(isa.R3, isa.R2, ops-1)
+				a.SHLI(isa.R3, isa.R3, 2)
+				a.ADD(isa.R3, isa.R3, isa.R10)
+				a.LDW(isa.R3, isa.R3, 0)
+				a.BLR(isa.R3)
+				a.ADDI(isa.R5, isa.R5, 1)
+			}
+			// Every 1024 iterations: patch the inline-cache site and
+			// make a syscall (I/O flush).
+			a.ANDI(isa.R3, isa.R11, 1023)
+			a.CMPI(isa.R3, 0)
+			a.B(isa.CondNE, "nopatch")
+			a.STW(isa.R7, isa.R12, 0)
+			a.SVC(4)
+			a.Label("nopatch")
+			a.SUBI(isa.R11, isa.R11, 1)
+			a.CMPI(isa.R11, 0)
+			a.B(isa.CondNE, "kloop")
+			epilogue(env, isa.R8)
+
+			for i := 0; i < ops; i++ {
+				a.Label(lbl("op", i))
+				if i == 0 {
+					a.Label("icache_site")
+					a.NOP()
+				}
+				a.ADDI(isa.R8, isa.R8, int32(2*i+1))
+				a.XORI(isa.R8, isa.R8, int32(i))
+				a.RET()
+			}
+			a.Align(16)
+			a.Label("optab")
+			for i := 0; i < ops; i++ {
+				a.WordAddr(lbl("op", i))
+			}
+			return nil
+		})
+}
+
+// Astar is spec.astar: alternating pointer chasing and branch-heavy
+// cost comparisons — a latency/branch mix.
+func Astar() *core.Benchmark {
+	return workload("spec.astar", "473.astar-like", "pathfinding mix of chasing and comparisons",
+		50_000, func(env *core.Env) error {
+			a := env.A
+			preamble(env)
+			const nodes = 1 << 14
+			a.LoadImm32(isa.R9, dataVA)
+			a.MOVI(isa.R2, 0)
+			a.Label("init")
+			a.LoadImm32(isa.R4, 2654435)
+			a.MUL(isa.R3, isa.R2, isa.R4)
+			a.ADDI(isa.R3, isa.R3, 1013)
+			a.LoadImm32(isa.R4, nodes-1)
+			a.AND(isa.R3, isa.R3, isa.R4)
+			a.SHLI(isa.R6, isa.R2, 4) // stride 16
+			a.ADD(isa.R6, isa.R6, isa.R9)
+			a.STW(isa.R3, isa.R6, 0)
+			a.ADDI(isa.R2, isa.R2, 1)
+			a.CMPI(isa.R2, nodes)
+			a.B(isa.CondLO, "init")
+
+			a.MOVI(isa.R2, 0)
+			a.MOVI(isa.R8, 0)
+			core.EmitBegin(env, isa.R0)
+			a.Label("kloop")
+			for s := 0; s < 16; s++ {
+				a.SHLI(isa.R6, isa.R2, 4)
+				a.ADD(isa.R6, isa.R6, isa.R9)
+				a.LDW(isa.R2, isa.R6, 0)
+				// Cost comparison: branch on node parity.
+				a.ANDI(isa.R3, isa.R2, 1)
+				a.CMPI(isa.R3, 0)
+				a.B(isa.CondEQ, lbl("even", s))
+				a.ADDI(isa.R8, isa.R8, 3)
+				a.B(isa.CondAL, lbl("next", s))
+				a.Label(lbl("even", s))
+				a.SUBI(isa.R8, isa.R8, 1)
+				a.Label(lbl("next", s))
+			}
+			a.SUBI(isa.R11, isa.R11, 1)
+			a.CMPI(isa.R11, 0)
+			a.B(isa.CondNE, "kloop")
+			epilogue(env, isa.R8)
+			return nil
+		})
+}
+
+// Xalancbmk is spec.xalancbmk: byte scanning with classification
+// branches — string processing.
+func Xalancbmk() *core.Benchmark {
+	return workload("spec.xalancbmk", "483.xalancbmk-like", "byte classification scanning",
+		30_000, func(env *core.Env) error {
+			a := env.A
+			preamble(env)
+			a.LoadImm32(isa.R9, dataVA)
+			// Seed 2 KiB of "text".
+			a.MOVI(isa.R2, 0)
+			a.MOVI(isa.R3, 65)
+			a.Label("seed")
+			a.ADD(isa.R4, isa.R2, isa.R9)
+			a.STB(isa.R3, isa.R4, 0)
+			a.ADDI(isa.R3, isa.R3, 7)
+			a.ANDI(isa.R3, isa.R3, 0x7F)
+			a.ADDI(isa.R2, isa.R2, 1)
+			a.CMPI(isa.R2, 2048)
+			a.B(isa.CondLO, "seed")
+
+			a.MOVI(isa.R8, 0)
+			core.EmitBegin(env, isa.R0)
+			a.Label("kloop")
+			a.MOVI(isa.R2, 0)
+			a.Label("scan")
+			a.ADD(isa.R4, isa.R2, isa.R9)
+			a.LDB(isa.R3, isa.R4, 0)
+			a.CMPI(isa.R3, 60) // '<'
+			a.B(isa.CondEQ, "tag")
+			a.CMPI(isa.R3, 32)
+			a.B(isa.CondLO, "ctrl")
+			a.ADDI(isa.R8, isa.R8, 1) // plain text
+			a.B(isa.CondAL, "done")
+			a.Label("tag")
+			a.ADDI(isa.R8, isa.R8, 16)
+			a.B(isa.CondAL, "done")
+			a.Label("ctrl")
+			a.XORI(isa.R8, isa.R8, 0x21)
+			a.Label("done")
+			a.ADDI(isa.R2, isa.R2, 1)
+			a.CMPI(isa.R2, 512)
+			a.B(isa.CondLO, "scan")
+			a.SUBI(isa.R11, isa.R11, 1)
+			a.CMPI(isa.R11, 0)
+			a.B(isa.CondNE, "kloop")
+			epilogue(env, isa.R8)
+			return nil
+		})
+}
+
+func lbl(prefix string, i int) asm.Label { return asm.Label(fmt.Sprintf("%s%d", prefix, i)) }

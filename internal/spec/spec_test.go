@@ -1,0 +1,113 @@
+package spec
+
+import (
+	"testing"
+
+	"simbench/internal/arch"
+	"simbench/internal/core"
+	"simbench/internal/engine"
+	"simbench/internal/engine/dbt"
+	"simbench/internal/engine/detailed"
+	"simbench/internal/engine/direct"
+	"simbench/internal/engine/interp"
+)
+
+func engines() []engine.Engine {
+	return []engine.Engine{
+		interp.New(),
+		dbt.NewDefault(),
+		detailed.New(),
+		direct.New(direct.ModeVirt),
+		direct.New(direct.ModeNative),
+	}
+}
+
+// TestWorkloadsRunAndAgree runs every workload on every engine (both
+// profiles) with small iteration counts and checks that the
+// guest-reported checksum agrees across engines — the workloads' form
+// of differential validation.
+func TestWorkloadsRunAndAgree(t *testing.T) {
+	const iters = 20
+	for _, sup := range arch.All() {
+		for _, w := range Suite() {
+			var want uint32
+			var wantSet bool
+			for _, eng := range engines() {
+				r := core.NewRunner(eng, sup)
+				res, err := r.Run(w, iters)
+				if err != nil {
+					t.Fatalf("%s/%s/%s: %v", w.Name, eng.Name(), sup.Name(), err)
+				}
+				if len(res.GuestResults) == 0 {
+					t.Fatalf("%s/%s: no checksum reported", w.Name, eng.Name())
+				}
+				got := res.GuestResults[len(res.GuestResults)-1]
+				if !wantSet {
+					want, wantSet = got, true
+				} else if got != want {
+					t.Errorf("%s/%s/%s: checksum %#x, want %#x (cross-engine mismatch)",
+						w.Name, eng.Name(), sup.Name(), got, want)
+				}
+				if res.Stats.Instructions == 0 {
+					t.Errorf("%s/%s: no instructions", w.Name, eng.Name())
+				}
+			}
+		}
+	}
+}
+
+// TestSuiteComposition checks the workload list.
+func TestSuiteComposition(t *testing.T) {
+	ws := Suite()
+	if len(ws) != 10 {
+		t.Fatalf("suite has %d workloads, want 10", len(ws))
+	}
+	seen := map[string]bool{}
+	for _, w := range ws {
+		if seen[w.Name] {
+			t.Errorf("duplicate %s", w.Name)
+		}
+		seen[w.Name] = true
+		if w.Category != CatApplication {
+			t.Errorf("%s: category %s", w.Name, w.Category)
+		}
+	}
+	if _, err := ByName("spec.mcf"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByName("spec.nope"); err == nil {
+		t.Error("expected error")
+	}
+}
+
+// TestWorkloadsExerciseOSEvents checks the workloads generate the
+// OS-like background activity (timer interrupts, syscalls) that makes
+// their operation densities non-trivial.
+func TestWorkloadsExerciseOSEvents(t *testing.T) {
+	sup := arch.ARM{}
+	r := core.NewRunner(interp.NewProfiling(), sup)
+	agg := engine.Stats{}
+	var irqs, svcs uint64
+	for _, w := range Suite() {
+		res, err := r.Run(w, 30)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		agg.Add(res.Stats)
+		irqs += res.Exc[3+1+1] // isa.ExcIRQ == 5
+		svcs += res.Exc[2]
+	}
+	if agg.BranchIndirectIntra+agg.BranchIndirectInter == 0 {
+		t.Error("no indirect branches across SPEC-like suite")
+	}
+	if agg.BranchDirectIntra == 0 || agg.BranchDirectInter == 0 {
+		t.Error("missing direct branch classes")
+	}
+	if svcs == 0 {
+		t.Error("no syscalls across suite")
+	}
+	if agg.MemReads == 0 || agg.MemWrites == 0 {
+		t.Error("no memory traffic")
+	}
+	_ = irqs // timer IRQs depend on run length; not asserted at tiny scale
+}

@@ -1,0 +1,159 @@
+// Package versions models the twenty QEMU releases the paper sweeps in
+// its Figs. 2, 6 and 8 (v1.7.0 through v2.5.0-rc2) as configurations
+// of the DBT engine. Each release differs from its predecessor by
+// concrete implementation changes — optimiser level, chaining policy,
+// lookup depth, page-cache geometry, exception bookkeeping, helper
+// overhead, MMU-walk complexity — so the sweep experiments measure real
+// wall-clock consequences of design decisions, reproducing the causal
+// analysis of the paper: the v2.0.0 "TCG optimiser improvements"
+// speedup, the v2.5.0-rc0 data-fault fast path, the post-2.2 control
+// flow and exception regressions, and the v2.4 flush-path rework.
+package versions
+
+import (
+	"fmt"
+
+	"simbench/internal/engine/dbt"
+)
+
+// Release is one modelled QEMU release.
+type Release struct {
+	// Name is the release tag, e.g. "v2.0.0".
+	Name string
+	// Notes summarises the implementation deltas this release carries
+	// relative to its predecessor.
+	Notes string
+	// Config is the DBT engine configuration for the release.
+	Config dbt.Config
+}
+
+// Engine builds a DBT engine configured as this release.
+func (r Release) Engine() *dbt.Engine { return dbt.New(r.Config) }
+
+func (r Release) String() string { return r.Name }
+
+// All returns the twenty modelled releases in chronological order.
+func All() []Release {
+	mk := func(name, notes string, mut func(*dbt.Config)) Release {
+		cfg := dbt.Config{
+			Name:              name,
+			OptLevel:          0,
+			Chain:             dbt.ChainDirect,
+			LookupDepth:       1,
+			LazyFlush:         false,
+			TLBBits:           8,
+			VictimTLB:         false,
+			DataFaultFastPath: false,
+			ExcSyncWords:      8,
+			HelperSaveWords:   12,
+			WalkExtraChecks:   48,
+			BlockCap:          64,
+		}
+		if mut != nil {
+			mut(&cfg)
+		}
+		return Release{Name: name, Notes: notes, Config: cfg}
+	}
+
+	// Cumulative mutation chains: each entry applies everything its
+	// predecessors applied plus its own delta.
+	type delta struct {
+		name, notes string
+		mut         func(*dbt.Config)
+	}
+	deltas := []delta{
+		{"v1.7.0", "baseline", nil},
+		{"v1.7.1", "bug fixes only", nil},
+		{"v1.7.2", "bug fixes only", nil},
+		{"v2.0.0", "TCG optimiser improvements: constant folding + dead-op elimination",
+			func(c *dbt.Config) { c.OptLevel = 1 }},
+		{"v2.0.1", "stable branch", nil},
+		{"v2.0.2", "stable branch", nil},
+		{"v2.1.0", "more per-exception state synchronised; heavier helper prologues",
+			func(c *dbt.Config) { c.ExcSyncWords = 16; c.HelperSaveWords = 20; c.WalkExtraChecks = 56 }},
+		{"v2.1.1", "stable branch", nil},
+		{"v2.1.2", "stable branch", nil},
+		{"v2.1.3", "stable branch", nil},
+		{"v2.2.0", "compare/branch fusion in the optimiser (sjeng-class peak)",
+			func(c *dbt.Config) { c.OptLevel = 2; c.ExcSyncWords = 24; c.HelperSaveWords = 24 }},
+		{"v2.2.1", "stable branch", nil},
+		{"v2.3.0", "safer chaining (revalidated links) and a second lookup probe layer",
+			func(c *dbt.Config) {
+				c.Chain = dbt.ChainChecked
+				c.LookupDepth = 2
+				c.ExcSyncWords = 32
+				c.HelperSaveWords = 32
+				c.WalkExtraChecks = 64
+			}},
+		{"v2.3.1", "stable branch", nil},
+		{"v2.4.0", "TLB rework: smaller L1 page cache + victim cache + lazy jump-cache flush",
+			func(c *dbt.Config) {
+				c.TLBBits = 7
+				c.VictimTLB = true
+				c.LazyFlush = true
+				c.ExcSyncWords = 40
+				c.HelperSaveWords = 40
+				c.WalkExtraChecks = 72
+			}},
+		{"v2.4.0.1", "stable branch", nil},
+		{"v2.4.1", "stable branch", nil},
+		{"v2.5.0-rc0", "data-abort fast path (skip translate-back state recovery); deep lookup validation",
+			func(c *dbt.Config) {
+				c.DataFaultFastPath = true
+				c.LookupDepth = 3
+				c.ExcSyncWords = 48
+				c.HelperSaveWords = 44
+				c.WalkExtraChecks = 76
+			}},
+		{"v2.5.0-rc1", "continued state-sync growth",
+			func(c *dbt.Config) { c.ExcSyncWords = 56; c.HelperSaveWords = 46; c.WalkExtraChecks = 82 }},
+		{"v2.5.0-rc2", "continued state-sync growth",
+			func(c *dbt.Config) { c.ExcSyncWords = 64; c.HelperSaveWords = 48; c.WalkExtraChecks = 88 }},
+	}
+
+	releases := make([]Release, 0, len(deltas))
+	var muts []func(*dbt.Config)
+	for _, d := range deltas {
+		if d.mut != nil {
+			muts = append(muts, d.mut)
+		}
+		applied := make([]func(*dbt.Config), len(muts))
+		copy(applied, muts)
+		releases = append(releases, mk(d.name, d.notes, func(c *dbt.Config) {
+			for _, m := range applied {
+				m(c)
+			}
+		}))
+	}
+	return releases
+}
+
+// Baseline returns the sweep baseline release (v1.7.0).
+func Baseline() Release { return All()[0] }
+
+// Latest returns the newest modelled release (v2.5.0-rc2), the
+// configuration used for the paper's Fig. 7 measurements.
+func Latest() Release {
+	all := All()
+	return all[len(all)-1]
+}
+
+// ByName returns the named release.
+func ByName(name string) (Release, error) {
+	for _, r := range All() {
+		if r.Name == name {
+			return r, nil
+		}
+	}
+	return Release{}, fmt.Errorf("versions: unknown release %q", name)
+}
+
+// Names returns all release names in order.
+func Names() []string {
+	all := All()
+	names := make([]string, len(all))
+	for i, r := range all {
+		names[i] = r.Name
+	}
+	return names
+}

@@ -1,0 +1,87 @@
+package versions
+
+import (
+	"testing"
+
+	"simbench/internal/engine/dbt"
+)
+
+func TestTwentyReleases(t *testing.T) {
+	all := All()
+	if len(all) != 20 {
+		t.Fatalf("got %d releases, want 20", len(all))
+	}
+	seen := map[string]bool{}
+	for _, r := range all {
+		if seen[r.Name] {
+			t.Errorf("duplicate release %s", r.Name)
+		}
+		seen[r.Name] = true
+		if r.Config.Name != r.Name {
+			t.Errorf("%s: config name %q", r.Name, r.Config.Name)
+		}
+		if r.Notes == "" {
+			t.Errorf("%s: missing notes", r.Name)
+		}
+	}
+}
+
+func TestDeltasAreCumulative(t *testing.T) {
+	all := All()
+	byName := map[string]dbt.Config{}
+	for _, r := range all {
+		byName[r.Name] = r.Config
+	}
+	if byName["v1.7.2"].OptLevel != 0 || byName["v2.0.0"].OptLevel != 1 {
+		t.Error("v2.0.0 optimiser delta wrong")
+	}
+	if byName["v2.0.2"].OptLevel != 1 {
+		t.Error("v2.0.x stable releases must inherit the optimiser")
+	}
+	if byName["v2.2.0"].OptLevel != 2 {
+		t.Error("v2.2.0 fusion delta wrong")
+	}
+	if byName["v2.3.0"].Chain != dbt.ChainChecked || byName["v2.2.1"].Chain != dbt.ChainDirect {
+		t.Error("chaining policy transition wrong")
+	}
+	if byName["v2.4.1"].TLBBits != 7 || byName["v2.3.1"].TLBBits != 8 {
+		t.Error("TLB geometry transition wrong")
+	}
+	if !byName["v2.5.0-rc0"].DataFaultFastPath || byName["v2.4.1"].DataFaultFastPath {
+		t.Error("data-fault fast path transition wrong")
+	}
+	// Monotone creep.
+	prev := -1
+	for _, r := range all {
+		if r.Config.ExcSyncWords < prev {
+			t.Errorf("%s: ExcSyncWords decreased", r.Name)
+		}
+		prev = r.Config.ExcSyncWords
+	}
+}
+
+func TestLatestMatchesDefaultConfig(t *testing.T) {
+	latest := Latest().Config
+	def := dbt.DefaultConfig()
+	latest.Name = def.Name
+	if latest != def {
+		t.Errorf("Fig. 7 uses the default config, which must equal %s:\n got  %+v\n want %+v",
+			Latest().Name, def, latest)
+	}
+}
+
+func TestByName(t *testing.T) {
+	r, err := ByName("v2.2.1")
+	if err != nil || r.Name != "v2.2.1" {
+		t.Errorf("ByName: %v %v", r, err)
+	}
+	if _, err := ByName("v9.9.9"); err == nil {
+		t.Error("expected error")
+	}
+	if len(Names()) != 20 {
+		t.Error("Names length")
+	}
+	if Baseline().Name != "v1.7.0" {
+		t.Error("baseline")
+	}
+}

@@ -1,0 +1,155 @@
+// Package simbench is a Go reproduction of "SimBench: A Portable
+// Benchmarking Methodology for Full-System Simulators" (Wagstaff,
+// Bodin, Spink, Franke — ISPASS 2017).
+//
+// It provides, from scratch and on the standard library only:
+//
+//   - SV32, a synthetic 32-bit full-system guest ISA with an MMU,
+//     privilege modes, exceptions, coprocessors and memory-mapped I/O,
+//     in two architecture profiles (arm-like, x86-like);
+//   - five execution engines mirroring the paper's evaluation
+//     platforms: a QEMU-style dynamic binary translator, a SimIt-style
+//     fast interpreter, a Gem5-style detailed interpreter, and a
+//     direct-execution engine in KVM-virtualized and native-hardware
+//     modes;
+//   - the SimBench methodology: 18 targeted micro-benchmarks in five
+//     categories with the three-phase timing protocol;
+//   - a SPEC-CPU2006-INT-like synthetic application suite;
+//   - twenty modelled QEMU releases for the version-sweep experiments;
+//   - drivers that regenerate every table and figure of the paper's
+//     evaluation.
+//
+// Quick start:
+//
+//	eng, _ := simbench.NewEngine("dbt")
+//	r := simbench.NewRunner(eng, simbench.ARM())
+//	res, err := r.Run(simbench.MustBenchmark("exc.syscall"), 100_000)
+//	fmt.Println(res.Kernel, err)
+//
+// See the examples/ directory and the cmd/ tools for more.
+package simbench
+
+import (
+	"io"
+
+	"simbench/internal/arch"
+	"simbench/internal/bench"
+	"simbench/internal/core"
+	"simbench/internal/engine"
+	"simbench/internal/figures"
+	"simbench/internal/spec"
+	"simbench/internal/versions"
+)
+
+// Core methodology types.
+type (
+	// Benchmark is one SimBench micro-benchmark (or application
+	// workload) with its build function, iteration default, tested-op
+	// extractor and validator.
+	Benchmark = core.Benchmark
+	// Result is a validated run outcome: timed kernel, statistics,
+	// exception and device counters.
+	Result = core.Result
+	// Runner executes benchmarks on one engine and guest architecture.
+	Runner = core.Runner
+	// Env is the build environment a Benchmark emits guest code into.
+	Env = core.Env
+	// Category groups benchmarks as in the paper's Fig. 3.
+	Category = core.Category
+	// Engine is an execution platform under test.
+	Engine = engine.Engine
+	// Stats are engine execution statistics.
+	Stats = engine.Stats
+	// Arch is an architecture support package (the porting layer).
+	Arch = arch.Support
+	// Release is a modelled QEMU release for the sweep experiments.
+	Release = versions.Release
+	// Options configure the figure-regeneration drivers.
+	Options = figures.Options
+)
+
+// Benchmark categories.
+const (
+	CatCodeGen     = core.CatCodeGen
+	CatControlFlow = core.CatControlFlow
+	CatException   = core.CatException
+	CatIO          = core.CatIO
+	CatMemory      = core.CatMemory
+	CatApplication = spec.CatApplication
+)
+
+// Suite returns the 18 SimBench micro-benchmarks in paper order.
+func Suite() []*Benchmark { return bench.Suite() }
+
+// SpecSuite returns the ten SPEC-INT-like application workloads.
+func SpecSuite() []*Benchmark { return spec.Suite() }
+
+// ExtSuite returns the extension benchmarks beyond the paper's 18
+// (the future-work direction of the paper: additional targeted
+// benchmarks, including a direct interrupt-latency measurement).
+func ExtSuite() []*Benchmark { return bench.ExtSuite() }
+
+// BenchmarkByName finds a micro-benchmark or application workload.
+func BenchmarkByName(name string) (*Benchmark, error) {
+	if b, err := bench.ByName(name); err == nil {
+		return b, nil
+	}
+	return spec.ByName(name)
+}
+
+// MustBenchmark is BenchmarkByName, panicking on unknown names.
+func MustBenchmark(name string) *Benchmark {
+	b, err := BenchmarkByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// NewEngine builds an execution engine: "dbt", "interp", "detailed",
+// "virt", "native", or a modelled QEMU release tag such as "v2.2.0".
+func NewEngine(name string) (Engine, error) { return figures.EngineByName(name) }
+
+// Engines returns the five evaluation platforms in the paper's order.
+func Engines() []Engine { return figures.Engines() }
+
+// ARM returns the arm-like architecture support package.
+func ARM() Arch { return arch.ARM{} }
+
+// X86 returns the x86-like architecture support package.
+func X86() Arch { return arch.X86{} }
+
+// Architectures returns both guest architecture profiles.
+func Architectures() []Arch { return arch.All() }
+
+// NewRunner builds a benchmark runner with default machine sizing.
+func NewRunner(eng Engine, sup Arch) *Runner { return core.NewRunner(eng, sup) }
+
+// Releases returns the twenty modelled QEMU releases in order.
+func Releases() []Release { return versions.All() }
+
+// ReleaseByName finds a modelled release.
+func ReleaseByName(name string) (Release, error) { return versions.ByName(name) }
+
+// Figure drivers: regenerate each table/figure of the paper.
+var (
+	Fig2 = figures.Fig2
+	Fig3 = figures.Fig3
+	Fig4 = figures.Fig4
+	Fig5 = figures.Fig5
+	Fig6 = figures.Fig6
+	Fig7 = figures.Fig7
+	Fig8 = figures.Fig8
+)
+
+// RunAll regenerates every figure into w at the given scales; it is
+// the whole paper evaluation in one call.
+func RunAll(w io.Writer, scale, specScale int64) error {
+	opts := Options{Out: w, Scale: scale, SpecScale: specScale}
+	for _, f := range []func(Options) error{Fig4, Fig5, Fig3, Fig7, Fig2, Fig6, Fig8} {
+		if err := f(opts); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,93 @@
+package simbench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPublicSurface(t *testing.T) {
+	if len(Suite()) != 18 {
+		t.Errorf("suite size %d", len(Suite()))
+	}
+	if len(SpecSuite()) != 10 {
+		t.Errorf("spec size %d", len(SpecSuite()))
+	}
+	if len(Releases()) != 20 {
+		t.Errorf("releases %d", len(Releases()))
+	}
+	if len(Engines()) != 5 {
+		t.Errorf("engines %d", len(Engines()))
+	}
+	if len(Architectures()) != 2 {
+		t.Errorf("architectures %d", len(Architectures()))
+	}
+	for _, name := range []string{"dbt", "interp", "detailed", "virt", "native", "v1.7.0"} {
+		if _, err := NewEngine(name); err != nil {
+			t.Errorf("NewEngine(%s): %v", name, err)
+		}
+	}
+	if _, err := NewEngine("bogus"); err == nil {
+		t.Error("bogus engine accepted")
+	}
+	if _, err := BenchmarkByName("exc.undef"); err != nil {
+		t.Error(err)
+	}
+	if _, err := BenchmarkByName("spec.mcf"); err != nil {
+		t.Error(err)
+	}
+	if _, err := BenchmarkByName("nope"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if _, err := ReleaseByName("v2.0.0"); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMustBenchmarkPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	MustBenchmark("nope")
+}
+
+func TestEndToEndViaFacade(t *testing.T) {
+	eng, err := NewEngine("interp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := NewRunner(eng, ARM()).Run(MustBenchmark("exc.syscall"), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exc[2] != 100 {
+		t.Errorf("syscalls %d", res.Exc[2])
+	}
+}
+
+func TestRunAllTinyScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	var sb strings.Builder
+	if err := RunAll(&sb, 2_000_000, 10_000); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, fig := range []string{"Fig. 2", "Fig. 3", "Fig. 4", "Fig. 5", "Fig. 6", "Fig. 7", "Fig. 8"} {
+		if !strings.Contains(out, fig) {
+			t.Errorf("missing %s", fig)
+		}
+	}
+}
+
+func TestGuestSurfaceCompiles(t *testing.T) {
+	// The guest-programming aliases must be usable (compile-time check
+	// plus a trivial runtime assertion).
+	var r Reg = R11
+	var c Cond = CondNE
+	if r != 11 || c == CondAL {
+		t.Error("alias values wrong")
+	}
+}
