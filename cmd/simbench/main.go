@@ -1,27 +1,38 @@
 // Command simbench runs the SimBench suite — the paper's Fig. 7
 // experiment — or any subset of benchmarks, engines and guest
-// architectures.
+// architectures. Matrix cells run concurrently on a worker pool
+// (-jobs); results are collated in matrix order, so the table is
+// independent of completion order.
 //
 // Usage:
 //
 //	simbench                         # full Fig. 7 matrix at default scale
-//	simbench -scale 500              # longer runs (paper iters / 500)
+//	simbench -scale 500 -jobs 8      # longer runs, eight cells at a time
 //	simbench -bench exc.syscall -engines dbt,interp -arch arm
 //	simbench -engines v2.2.0,v2.5.0-rc2 -bench ctrl.intrapage-direct
+//	simbench -json > results.json    # machine-readable result set
 //	simbench -list                   # list benchmarks and engines
+//
+// A failed cell prints as ERR in its table position; all failures are
+// reported together at the end and the exit status is nonzero.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"simbench/internal/arch"
 	"simbench/internal/bench"
 	"simbench/internal/core"
+	"simbench/internal/engine"
 	"simbench/internal/figures"
 	"simbench/internal/report"
+	"simbench/internal/sched"
 	"simbench/internal/versions"
 )
 
@@ -32,6 +43,9 @@ func main() {
 		benchSel = flag.String("bench", "", "comma-separated benchmark names (default: all)")
 		engSel   = flag.String("engines", "", "comma-separated engines: dbt, interp, detailed, virt, native, or a release tag (default: all five platforms)")
 		archSel  = flag.String("arch", "", "guest architecture: arm or x86 (default: both)")
+		jobs     = flag.Int("jobs", 0, "matrix cells run concurrently (default GOMAXPROCS; use 1 for minimum-noise timings)")
+		repeats  = flag.Int("repeats", 0, "measurements per cell; the minimum kernel time is reported (0 = auto: 2 for the full Fig. 7 run, 1 for subsets)")
+		jsonOut  = flag.Bool("json", false, "write the result set as JSON to stdout instead of a table")
 		list     = flag.Bool("list", false, "list benchmarks, engines and releases, then exit")
 		verbose  = flag.Bool("v", false, "per-run progress output")
 	)
@@ -51,13 +65,19 @@ func main() {
 		return
 	}
 
-	opts := figures.Options{Out: os.Stdout, Scale: *scale, MinIters: *minIters}
+	// First Ctrl-C stops feeding new cells (in-flight ones finish and
+	// are reported); a second Ctrl-C kills the process.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	context.AfterFunc(ctx, stop)
+
+	opts := figures.Options{Out: os.Stdout, Scale: *scale, MinIters: *minIters, Jobs: *jobs, Repeats: *repeats, Context: ctx}
 	if *verbose {
 		opts.Progress = os.Stderr
 	}
 
 	// Default invocation: the whole Fig. 7 matrix.
-	if *benchSel == "" && *engSel == "" && *archSel == "" {
+	if *benchSel == "" && *engSel == "" && *archSel == "" && !*jsonOut {
 		if err := figures.Fig7(opts); err != nil {
 			fail(err)
 		}
@@ -75,10 +95,24 @@ func main() {
 			benches = append(benches, b)
 		}
 	}
-	engNames := []string{"dbt", "interp", "detailed", "virt", "native"}
+
+	// Resolve every engine name before any cell runs, so a typo fails
+	// fast instead of aborting a minutes-long matrix mid-run.
+	engines := figures.SchedEngines()
 	if *engSel != "" {
-		engNames = strings.Split(*engSel, ",")
+		engines = engines[:0]
+		for _, raw := range strings.Split(*engSel, ",") {
+			name := strings.TrimSpace(raw)
+			if _, err := figures.EngineByName(name); err != nil {
+				fail(err)
+			}
+			engines = append(engines, sched.Engine{
+				Name: name,
+				New:  func() engine.Engine { e, _ := figures.EngineByName(name); return e },
+			})
+		}
 	}
+
 	sups := arch.All()
 	if *archSel != "" {
 		sups = nil
@@ -96,28 +130,87 @@ func main() {
 		}
 	}
 
+	rep := *repeats
+	if rep <= 0 {
+		// Auto: the full matrix (only reachable here via -json) gets
+		// the same noise suppression as the Fig. 7 table run.
+		if *benchSel == "" && *engSel == "" && *archSel == "" {
+			rep = 2
+		} else {
+			rep = 1
+		}
+	}
+	m := sched.Matrix{
+		Arches:  sups,
+		Benches: benches,
+		Engines: engines,
+		Iters:   opts.Iters,
+		Repeats: rep,
+	}
+	s := sched.Scheduler{Workers: *jobs, Warmup: true}
+	if *verbose {
+		s.Progress = func(r sched.Result) {
+			if r.Err != nil {
+				// Execute already embeds the cell coordinates.
+				fmt.Fprintf(os.Stderr, "%v\n", r.Err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "%s %s %s: %s (%d insns)\n",
+				r.Job.Arch.Name(), r.Job.Bench.Name, r.Job.Engine.Name,
+				r.Kernel, r.Run.Stats.Instructions)
+		}
+	}
+
+	results := s.Run(ctx, m.Jobs())
+
+	if *jsonOut {
+		if err := report.FprintJSON(os.Stdout, results); err != nil {
+			fail(err)
+		}
+	} else {
+		printTables(results, sups, benches, engines, &opts, *scale)
+	}
+
+	if failed := sched.Failed(results); len(failed) > 0 {
+		fmt.Fprintf(os.Stderr, "simbench: %d of %d cells failed:\n", len(failed), len(results))
+		cancelled := 0
+		for _, r := range failed {
+			if errors.Is(r.Err, context.Canceled) || errors.Is(r.Err, context.DeadlineExceeded) {
+				cancelled++
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "  %v\n", r.Err)
+		}
+		if cancelled > 0 {
+			fmt.Fprintf(os.Stderr, "  %d cells did not run (cancelled)\n", cancelled)
+		}
+		os.Exit(1)
+	}
+}
+
+// printTables collates the result set into one table per guest
+// architecture, in matrix order; failed cells render as ERR.
+func printTables(results []sched.Result, sups []arch.Support, benches []*core.Benchmark,
+	engines []sched.Engine, opts *figures.Options, scale int64) {
+	cols := make([]string, len(engines))
+	for i, e := range engines {
+		cols[i] = e.Name
+	}
+	i := 0
 	for _, sup := range sups {
 		t := report.Table{
-			Title:   fmt.Sprintf("SimBench, %s guest (kernel seconds; scale 1/%d)", sup.Name(), *scale),
-			Columns: append([]string{"benchmark", "iters"}, engNames...),
+			Title:   fmt.Sprintf("SimBench, %s guest (kernel seconds; scale 1/%d)", sup.Name(), scale),
+			Columns: append([]string{"benchmark", "iters"}, cols...),
 		}
 		for _, b := range benches {
-			iters := opts.Iters(b)
-			row := []string{b.Name, fmt.Sprint(iters)}
-			for _, engName := range engNames {
-				eng, err := figures.EngineByName(strings.TrimSpace(engName))
-				if err != nil {
-					fail(err)
+			row := []string{b.Name, fmt.Sprint(opts.Iters(b))}
+			for range engines {
+				if results[i].Err != nil {
+					row = append(row, "ERR")
+				} else {
+					row = append(row, report.Seconds(results[i].Kernel))
 				}
-				res, err := core.NewRunner(eng, sup).Run(b, iters)
-				if err != nil {
-					fail(err)
-				}
-				row = append(row, report.Seconds(res.Kernel))
-				if *verbose {
-					fmt.Fprintf(os.Stderr, "%s %s %s: %s (%d insns)\n",
-						sup.Name(), b.Name, engName, res.Kernel, res.Stats.Instructions)
-				}
+				i++
 			}
 			t.AddRow(row...)
 		}

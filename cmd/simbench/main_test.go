@@ -1,0 +1,57 @@
+package main
+
+import (
+	"errors"
+	"os"
+	"strings"
+	"testing"
+
+	"simbench/internal/arch"
+	"simbench/internal/bench"
+	"simbench/internal/core"
+	"simbench/internal/figures"
+	"simbench/internal/sched"
+)
+
+// TestPrintTablesERRCell checks that a failed cell renders as ERR in
+// its matrix position while healthy cells keep their timings.
+func TestPrintTablesERRCell(t *testing.T) {
+	b, err := bench.ByName("exc.syscall")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sups := []arch.Support{arch.ARM{}}
+	engines := []sched.Engine{{Name: "interp"}, {Name: "dbt"}}
+	results := []sched.Result{
+		{Job: sched.Job{Bench: b, Engine: engines[0], Arch: sups[0], Iters: 8}, Run: &core.Result{}},
+		{Job: sched.Job{Bench: b, Engine: engines[1], Arch: sups[0], Iters: 8}, Err: errors.New("boom")},
+	}
+
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stdout := os.Stdout
+	os.Stdout = w
+	opts := figures.Options{Scale: 1 << 40, MinIters: 8}
+	printTables(results, sups, []*core.Benchmark{b}, engines, &opts, 2000)
+	os.Stdout = stdout
+	w.Close()
+	buf := make([]byte, 4096)
+	n, _ := r.Read(buf)
+	out := string(buf[:n])
+
+	row := ""
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "exc.syscall") {
+			row = line
+		}
+	}
+	f := strings.Fields(row)
+	if len(f) != 4 || f[2] != "0.000" || f[3] != "ERR" {
+		t.Errorf("row = %q, want timing then ERR", row)
+	}
+	if !strings.Contains(out, "interp") || !strings.Contains(out, "dbt") {
+		t.Errorf("missing engine columns:\n%s", out)
+	}
+}

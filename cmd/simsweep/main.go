@@ -1,19 +1,22 @@
 // Command simsweep runs the QEMU-version sweep experiments: the
 // paper's Fig. 2 (SPEC-like speedups per release), Fig. 6 (per-category
 // SimBench speedups per release, both guests) and Fig. 8 (geomean of
-// SPEC vs SimBench per release).
+// SPEC vs SimBench per release). The release × workload matrix runs on
+// the concurrent scheduler (-jobs).
 //
 // Usage:
 //
 //	simsweep -fig 2
-//	simsweep -fig 6 -scale 5000
+//	simsweep -fig 6 -scale 5000 -jobs 8
 //	simsweep -fig 8 -v
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"simbench/internal/figures"
 )
@@ -24,15 +27,23 @@ func main() {
 		scale     = flag.Int64("scale", 4000, "divide SimBench paper iteration counts by this")
 		specScale = flag.Int64("spec-scale", 40, "divide SPEC-like workload iteration counts by this")
 		minIters  = flag.Int64("min-iters", 2000, "minimum iterations after scaling")
+		jobs      = flag.Int("jobs", 0, "matrix cells run concurrently (default GOMAXPROCS; use 1 for minimum-noise timings)")
 		verbose   = flag.Bool("v", false, "per-run progress output")
 	)
 	flag.Parse()
+
+	// First Ctrl-C stops feeding new cells; a second kills the process.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	context.AfterFunc(ctx, stop)
 
 	opts := figures.Options{
 		Out:       os.Stdout,
 		Scale:     *scale,
 		SpecScale: *specScale,
 		MinIters:  *minIters,
+		Jobs:      *jobs,
+		Context:   ctx,
 	}
 	if *verbose {
 		opts.Progress = os.Stderr

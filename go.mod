@@ -1,0 +1,3 @@
+module simbench
+
+go 1.21

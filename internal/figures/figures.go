@@ -8,10 +8,10 @@
 package figures
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
-	"sync"
 	"time"
 
 	"simbench/internal/arch"
@@ -23,6 +23,7 @@ import (
 	"simbench/internal/engine/interp"
 	"simbench/internal/platform"
 	"simbench/internal/report"
+	"simbench/internal/sched"
 	"simbench/internal/spec"
 	"simbench/internal/versions"
 )
@@ -44,6 +45,13 @@ type Options struct {
 	Repeats int
 	// Progress, when set, receives one line per completed run.
 	Progress io.Writer
+	// Jobs is the number of matrix cells run concurrently; <=0 means
+	// GOMAXPROCS. Concurrent cells share the host, so use 1 when the
+	// absolute times themselves are the result rather than a check.
+	Jobs int
+	// Context cancels the experiment early (nil means Background);
+	// cells that never started surface the context error.
+	Context context.Context
 }
 
 func (o *Options) fill() {
@@ -118,33 +126,95 @@ func EngineByName(name string) (engine.Engine, error) {
 	return nil, fmt.Errorf("unknown engine %q (want dbt|interp|detailed|virt|native|<release>)", name)
 }
 
+// SchedEngines returns the five evaluation platforms as scheduler
+// engine factories, in paper column order.
+func SchedEngines() []sched.Engine {
+	specs := make([]sched.Engine, 0, 5)
+	for _, name := range []string{"dbt", "interp", "detailed", "virt", "native"} {
+		name := name
+		specs = append(specs, sched.Engine{
+			Name: name,
+			New:  func() engine.Engine { e, _ := EngineByName(name); return e },
+		})
+	}
+	return specs
+}
+
+// releaseEngines adapts the modelled QEMU releases to scheduler
+// engine factories.
+func releaseEngines(rels []versions.Release) []sched.Engine {
+	specs := make([]sched.Engine, len(rels))
+	for i, rel := range rels {
+		rel := rel
+		specs[i] = sched.Engine{Name: rel.Name, New: func() engine.Engine { return rel.Engine() }}
+	}
+	return specs
+}
+
+// run expands a matrix and executes it on the scheduler with the
+// Options' parallelism, wiring completed cells into the progress
+// stream. Results come back in matrix order.
+func (o *Options) run(fig string, m sched.Matrix) []sched.Result {
+	s := sched.Scheduler{Workers: o.Jobs, Warmup: true}
+	if o.Progress != nil {
+		s.Progress = func(r sched.Result) {
+			if r.Err != nil {
+				// Execute already embeds the cell coordinates.
+				o.progress("%s %v", fig, r.Err)
+				return
+			}
+			o.progress("%s %s %s %s: %s", fig, r.Job.Arch.Name(), r.Job.Bench.Name, r.Job.Engine.Name, r.Kernel)
+		}
+	}
+	ctx := o.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return s.Run(ctx, m.Jobs())
+}
+
 // Fig7 runs the full SimBench suite on every engine for both guest
 // profiles and prints the absolute-runtime matrix of the paper's
 // Fig. 7 (kernel seconds, plus the iteration count as the methodology
-// requires).
+// requires). Cells run Options.Jobs at a time; the table is collated
+// in matrix order, so parallel and sequential runs render identically
+// apart from the measured times. Failed cells render as ERR in their
+// table position and the failures come back as one aggregated error.
 func Fig7(o Options) error {
 	o.fill()
-	for _, sup := range arch.All() {
+	arches := arch.All()
+	benches := bench.Suite()
+	engs := SchedEngines()
+	results := o.run("fig7", sched.Matrix{
+		Arches:  arches,
+		Benches: benches,
+		Engines: engs,
+		Iters:   o.Iters,
+		Repeats: o.Repeats,
+	})
+	i := 0
+	for _, sup := range arches {
 		t := report.Table{
 			Title: fmt.Sprintf("Fig. 7 — SimBench runtimes, %s guest (kernel seconds; scale 1/%d)",
 				sup.Name(), o.Scale),
 			Columns: []string{"benchmark", "iters", "qemu-dbt", "simit(interp)", "gem5(detailed)", "qemu-kvm(virt)", "native"},
 		}
-		for _, b := range bench.Suite() {
-			iters := o.Iters(b)
-			row := []string{b.Title, fmt.Sprint(iters)}
-			for _, name := range []string{"dbt", "interp", "detailed", "virt", "native"} {
-				name := name
-				d, err := measure(&o, func() engine.Engine { e, _ := EngineByName(name); return e }, sup, b, iters)
-				if err != nil {
-					return fmt.Errorf("fig7: %w", err)
+		for _, b := range benches {
+			row := []string{b.Title, fmt.Sprint(o.Iters(b))}
+			for range engs {
+				if results[i].Err != nil {
+					row = append(row, "ERR")
+				} else {
+					row = append(row, report.Seconds(results[i].Kernel))
 				}
-				row = append(row, report.Seconds(d))
-				o.progress("fig7 %s %s %s: %s", sup.Name(), b.Name, name, d)
+				i++
 			}
 			t.AddRow(row...)
 		}
 		t.Fprint(o.Out)
+	}
+	if err := sched.Errors(results); err != nil {
+		return fmt.Errorf("fig7: %w", err)
 	}
 	return nil
 }
@@ -245,58 +315,29 @@ func Fig5(o Options) error {
 	return nil
 }
 
-// warmOnce performs one discarded run per process so allocator and
-// heap warm-up never lands inside the first timed measurement.
-var warmOnce sync.Once
-
-// measure executes one benchmark Repeats times on an engine and
-// returns the minimum kernel time, with a GC barrier before each run
-// so collector pauses do not land inside a timed kernel.
-func measure(o *Options, mk func() engine.Engine, sup arch.Support, b *core.Benchmark, iters int64) (time.Duration, error) {
-	warmOnce.Do(func() {
-		r := core.NewRunner(mk(), sup)
-		_, _ = r.Run(b, iters)
-	})
-	best := time.Duration(0)
-	for rep := 0; rep < o.Repeats; rep++ {
-		runtime.GC()
-		r := core.NewRunner(mk(), sup)
-		res, err := r.Run(b, iters)
-		if err != nil {
-			return 0, err
-		}
-		if rep == 0 || res.Kernel < best {
-			best = res.Kernel
-		}
-	}
-	return best, nil
-}
-
-// sweepRun executes one benchmark on one release and returns the
-// minimum kernel time across repeats.
-func sweepRun(o *Options, rel versions.Release, sup arch.Support, b *core.Benchmark, iters int64) (time.Duration, error) {
-	return measure(o, func() engine.Engine { return rel.Engine() }, sup, b, iters)
-}
-
 // Fig2 sweeps the SPEC-like suite across the modelled QEMU releases
 // (arm guest) and prints the sjeng-like, mcf-like and overall-geomean
 // speedup series relative to v1.7.0 — the paper's motivating Fig. 2.
 func Fig2(o Options) error {
 	o.fill()
 	rels := versions.All()
-	sup := arch.ARM{}
 	workloads := spec.Suite()
+	results := o.run("fig2", sched.Matrix{
+		Arches:  []arch.Support{arch.ARM{}},
+		Benches: workloads,
+		Engines: releaseEngines(rels),
+		Iters:   o.Iters,
+		Repeats: o.Repeats,
+	})
+	if err := sched.Errors(results); err != nil {
+		return fmt.Errorf("fig2: %w", err)
+	}
 
+	// Matrix order is workload-major, release-minor, so per-workload
+	// appends land in release order.
 	times := make(map[string][]time.Duration) // workload -> per release
-	for _, rel := range rels {
-		for _, w := range workloads {
-			d, err := sweepRun(&o, rel, sup, w, o.Iters(w))
-			if err != nil {
-				return fmt.Errorf("fig2 %s %s: %w", rel.Name, w.Name, err)
-			}
-			times[w.Name] = append(times[w.Name], d)
-			o.progress("fig2 %s %s: %s", rel.Name, w.Name, d)
-		}
+	for _, r := range results {
+		times[r.Job.Bench.Name] = append(times[r.Job.Bench.Name], r.Kernel)
 	}
 
 	series := []report.Series{{Name: "sjeng"}, {Name: "SPEC (overall)"}, {Name: "mcf"}}
@@ -321,17 +362,23 @@ func Fig2(o Options) error {
 func Fig6(o Options) error {
 	o.fill()
 	rels := versions.All()
-	for _, sup := range arch.All() {
+	arches := arch.All()
+	benches := bench.Suite()
+	results := o.run("fig6", sched.Matrix{
+		Arches:  arches,
+		Benches: benches,
+		Engines: releaseEngines(rels),
+		Iters:   o.Iters,
+		Repeats: o.Repeats,
+	})
+	if err := sched.Errors(results); err != nil {
+		return fmt.Errorf("fig6: %w", err)
+	}
+	block := len(benches) * len(rels)
+	for ai, sup := range arches {
 		perBench := make(map[string][]time.Duration)
-		for _, rel := range rels {
-			for _, b := range bench.Suite() {
-				d, err := sweepRun(&o, rel, sup, b, o.Iters(b))
-				if err != nil {
-					return fmt.Errorf("fig6 %s %s: %w", rel.Name, b.Name, err)
-				}
-				perBench[b.Name] = append(perBench[b.Name], d)
-				o.progress("fig6 %s %s %s: %s", sup.Name(), rel.Name, b.Name, d)
-			}
+		for _, r := range results[ai*block : (ai+1)*block] {
+			perBench[r.Job.Bench.Name] = append(perBench[r.Job.Bench.Name], r.Kernel)
 		}
 		for _, cat := range core.Categories() {
 			var series []report.Series
@@ -358,26 +405,23 @@ func Fig6(o Options) error {
 func Fig8(o Options) error {
 	o.fill()
 	rels := versions.All()
-	sup := arch.ARM{}
+	workloads := append(append([]*core.Benchmark{}, spec.Suite()...), bench.Suite()...)
+	results := o.run("fig8", sched.Matrix{
+		Arches:  []arch.Support{arch.ARM{}},
+		Benches: workloads,
+		Engines: releaseEngines(rels),
+		Iters:   o.Iters,
+		Repeats: o.Repeats,
+	})
+	if err := sched.Errors(results); err != nil {
+		return fmt.Errorf("fig8: %w", err)
+	}
 
-	specTimes := make(map[string][]time.Duration)
-	benchTimes := make(map[string][]time.Duration)
-	for _, rel := range rels {
-		for _, w := range spec.Suite() {
-			d, err := sweepRun(&o, rel, sup, w, o.Iters(w))
-			if err != nil {
-				return fmt.Errorf("fig8 %s %s: %w", rel.Name, w.Name, err)
-			}
-			specTimes[w.Name] = append(specTimes[w.Name], d)
-		}
-		for _, b := range bench.Suite() {
-			d, err := sweepRun(&o, rel, sup, b, o.Iters(b))
-			if err != nil {
-				return fmt.Errorf("fig8 %s %s: %w", rel.Name, b.Name, err)
-			}
-			benchTimes[b.Name] = append(benchTimes[b.Name], d)
-		}
-		o.progress("fig8 %s done", rel.Name)
+	// Per-workload appends land in release order (matrix order is
+	// workload-major, release-minor).
+	times := make(map[string][]time.Duration)
+	for _, r := range results {
+		times[r.Job.Bench.Name] = append(times[r.Job.Bench.Name], r.Kernel)
 	}
 
 	spec8 := report.Series{Name: "SPEC"}
@@ -385,10 +429,10 @@ func Fig8(o Options) error {
 	for i := range rels {
 		var ss, bs []float64
 		for _, w := range spec.Suite() {
-			ss = append(ss, report.Speedup(specTimes[w.Name][0], specTimes[w.Name][i]))
+			ss = append(ss, report.Speedup(times[w.Name][0], times[w.Name][i]))
 		}
 		for _, b := range bench.Suite() {
-			bs = append(bs, report.Speedup(benchTimes[b.Name][0], benchTimes[b.Name][i]))
+			bs = append(bs, report.Speedup(times[b.Name][0], times[b.Name][i]))
 		}
 		spec8.Points = append(spec8.Points, report.Geomean(ss))
 		simb8.Points = append(simb8.Points, report.Geomean(bs))

@@ -85,6 +85,41 @@ func TestFig7Tiny(t *testing.T) {
 	}
 }
 
+// TestFig7ParallelMatchesSequential runs the Fig. 7 matrix once
+// sequentially and once with four workers and requires the rendered
+// tables to be byte-identical modulo the timing cells: same titles,
+// same row order, same benchmark and iteration columns.
+func TestFig7ParallelMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	render := func(jobs int) string {
+		var sb strings.Builder
+		o := tiny(&sb)
+		o.Jobs = jobs
+		if err := Fig7(o); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	strip := func(out string) string {
+		// Drop the timing columns: everything after the iters column.
+		var kept []string
+		for _, line := range strings.Split(out, "\n") {
+			f := strings.Fields(line)
+			if len(f) > 2 && f[len(f)-1] != "native" { // data row, not header
+				f = f[:len(f)-5]
+			}
+			kept = append(kept, strings.Join(f, " "))
+		}
+		return strings.Join(kept, "\n")
+	}
+	seq, par := render(1), render(4)
+	if strip(seq) != strip(par) {
+		t.Errorf("parallel table diverges from sequential:\n--- jobs=1\n%s\n--- jobs=4\n%s", seq, par)
+	}
+}
+
 func TestFig3Tiny(t *testing.T) {
 	if testing.Short() {
 		t.Skip("long")

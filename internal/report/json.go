@@ -1,0 +1,64 @@
+package report
+
+import (
+	"encoding/json"
+	"io"
+
+	"simbench/internal/sched"
+)
+
+// Record is the machine-readable form of one matrix cell, the unit of
+// the -json output: the cell's coordinates, the measured times, the
+// retired-instruction count, and the error text for failed cells.
+type Record struct {
+	Benchmark string `json:"benchmark"`
+	Category  string `json:"category,omitempty"`
+	Engine    string `json:"engine"`
+	Arch      string `json:"arch"`
+	Iters     int64  `json:"iters"`
+	Repeats   int    `json:"repeats,omitempty"`
+
+	KernelSeconds float64 `json:"kernel_seconds"`
+	TotalSeconds  float64 `json:"total_seconds,omitempty"`
+	Instructions  uint64  `json:"instructions,omitempty"`
+	TestedOps     uint64  `json:"tested_ops,omitempty"`
+
+	Error string `json:"error,omitempty"`
+}
+
+// NewRecord flattens one scheduler result into a Record.
+func NewRecord(r sched.Result) Record {
+	rec := Record{
+		Benchmark: r.Job.Bench.Name,
+		Category:  string(r.Job.Bench.Category),
+		Engine:    r.Job.Engine.Name,
+		Arch:      r.Job.Arch.Name(),
+		Iters:     r.Job.Iters,
+		Repeats:   r.Job.Repeats,
+	}
+	if r.Err != nil {
+		rec.Error = r.Err.Error()
+		return rec
+	}
+	rec.KernelSeconds = r.Kernel.Seconds()
+	if r.Run != nil {
+		rec.TotalSeconds = r.Run.Total.Seconds()
+		rec.Instructions = r.Run.Stats.Instructions
+		rec.TestedOps = r.Run.TestedOps()
+	}
+	return rec
+}
+
+// FprintJSON writes a result set as an indented JSON array in matrix
+// order, one Record per cell. Failed cells are included with their
+// error text rather than dropped, so downstream tooling sees the whole
+// matrix.
+func FprintJSON(w io.Writer, results []sched.Result) error {
+	recs := make([]Record, len(results))
+	for i, r := range results {
+		recs[i] = NewRecord(r)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(recs)
+}

@@ -1,0 +1,72 @@
+package report
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"simbench/internal/arch"
+	"simbench/internal/core"
+	"simbench/internal/engine"
+	"simbench/internal/sched"
+)
+
+func testResult(kernel time.Duration, err error) sched.Result {
+	b := &core.Benchmark{Name: "mem.hot", Title: "Hot Memory", Category: core.CatMemory, PaperIters: 100}
+	r := sched.Result{
+		Job: sched.Job{
+			Bench:   b,
+			Engine:  sched.Engine{Name: "interp"},
+			Arch:    arch.ARM{},
+			Iters:   64,
+			Repeats: 2,
+		},
+		Kernel: kernel,
+		Err:    err,
+	}
+	if err == nil {
+		r.Run = &core.Result{
+			Benchmark: b,
+			Kernel:    kernel,
+			Total:     2 * kernel,
+			Stats:     engine.Stats{Instructions: 1234},
+		}
+	}
+	return r
+}
+
+func TestFprintJSON(t *testing.T) {
+	var sb strings.Builder
+	results := []sched.Result{
+		testResult(1500*time.Millisecond, nil),
+		testResult(0, errors.New("guest aborted")),
+	}
+	if err := FprintJSON(&sb, results); err != nil {
+		t.Fatal(err)
+	}
+	var recs []Record
+	if err := json.Unmarshal([]byte(sb.String()), &recs); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, sb.String())
+	}
+	if len(recs) != 2 {
+		t.Fatalf("%d records, want 2", len(recs))
+	}
+	ok := recs[0]
+	if ok.Benchmark != "mem.hot" || ok.Engine != "interp" || ok.Arch != "arm" ||
+		ok.Iters != 64 || ok.KernelSeconds != 1.5 || ok.Instructions != 1234 {
+		t.Errorf("record = %+v", ok)
+	}
+	if ok.Error != "" {
+		t.Errorf("healthy record has error %q", ok.Error)
+	}
+	bad := recs[1]
+	if bad.Error != "guest aborted" || bad.KernelSeconds != 0 {
+		t.Errorf("failed record = %+v", bad)
+	}
+	// Failed cells stay in matrix position, not filtered.
+	if !strings.Contains(sb.String(), `"error": "guest aborted"`) {
+		t.Errorf("error text missing from output:\n%s", sb.String())
+	}
+}

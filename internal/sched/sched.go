@@ -1,0 +1,235 @@
+// Package sched schedules experiment matrices across a worker pool.
+// An experiment is a cross product of benchmarks, engines and guest
+// architectures; each cell runs in its own fresh Platform/Runner, so
+// cells are independent and can execute concurrently. The scheduler
+// aggregates per-cell errors instead of aborting the whole matrix,
+// honours context cancellation, and collates results deterministically
+// in matrix order regardless of completion order — so a parallel run
+// renders the same table as a sequential one.
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"simbench/internal/arch"
+	"simbench/internal/core"
+	"simbench/internal/engine"
+)
+
+// Engine names an execution engine and builds fresh instances of it.
+// A factory rather than an instance, because every cell must get its
+// own engine: engines carry mutable translation and TLB state that
+// must not be shared between concurrent runs.
+type Engine struct {
+	Name string
+	New  func() engine.Engine
+}
+
+// Job is one cell of an experiment matrix: one benchmark on one engine
+// under one guest architecture, run Repeats times at a fixed iteration
+// count.
+type Job struct {
+	Bench  *core.Benchmark
+	Engine Engine
+	Arch   arch.Support
+	// Iters is the scaled iteration count; <=0 falls back to the
+	// benchmark's paper count.
+	Iters int64
+	// Repeats is how many times the cell is measured; the minimum
+	// kernel time is kept (standard noise suppression on a shared
+	// host). <=0 means 1.
+	Repeats int
+}
+
+func (j Job) String() string {
+	return fmt.Sprintf("%s/%s/%s", j.Arch.Name(), j.Bench.Name, j.Engine.Name)
+}
+
+// Result is the outcome of one job: the minimum kernel time across
+// repeats, the full run result that produced it, and the cell's error
+// if it failed. Exactly one of Run and Err is nil.
+type Result struct {
+	Job   Job
+	Index int
+
+	Kernel time.Duration
+	Run    *core.Result
+	Err    error
+}
+
+// Matrix describes a full experiment as selections per axis. Jobs
+// expands it in deterministic matrix order: architecture-major, then
+// benchmark, then engine — the row/column order of the paper's tables.
+type Matrix struct {
+	Arches  []arch.Support
+	Benches []*core.Benchmark
+	Engines []Engine
+	// Iters maps a benchmark to its scaled iteration count; nil uses
+	// each benchmark's paper count.
+	Iters   func(*core.Benchmark) int64
+	Repeats int
+}
+
+// Jobs expands the cross product in matrix order.
+func (m *Matrix) Jobs() []Job {
+	jobs := make([]Job, 0, len(m.Arches)*len(m.Benches)*len(m.Engines))
+	for _, sup := range m.Arches {
+		for _, b := range m.Benches {
+			iters := b.PaperIters
+			if m.Iters != nil {
+				iters = m.Iters(b)
+			}
+			for _, e := range m.Engines {
+				jobs = append(jobs, Job{Bench: b, Engine: e, Arch: sup, Iters: iters, Repeats: m.Repeats})
+			}
+		}
+	}
+	return jobs
+}
+
+// Execute runs a single job to completion on the calling goroutine:
+// Repeats measurements on a fresh Runner each, with a GC barrier
+// before each so collector pauses do not land inside a timed kernel.
+// Cancellation is checked between repeats; a job already running its
+// kernel finishes it.
+func Execute(ctx context.Context, j Job) Result {
+	res := Result{Job: j}
+	repeats := j.Repeats
+	if repeats <= 0 {
+		repeats = 1
+	}
+	for rep := 0; rep < repeats; rep++ {
+		if err := ctx.Err(); err != nil {
+			res.Err = err
+			return res
+		}
+		runtime.GC()
+		r := core.NewRunner(j.Engine.New(), j.Arch)
+		run, err := r.Run(j.Bench, j.Iters)
+		if err != nil {
+			res.Err = fmt.Errorf("%s: %w", j, err)
+			res.Run = nil
+			return res
+		}
+		if rep == 0 || run.Kernel < res.Kernel {
+			res.Kernel = run.Kernel
+			res.Run = run
+		}
+	}
+	return res
+}
+
+// Scheduler runs a job list on a bounded worker pool.
+type Scheduler struct {
+	// Workers is the number of cells in flight at once; <=0 means
+	// GOMAXPROCS.
+	Workers int
+	// Warmup, when set, performs one discarded run of the first job
+	// before any timed cell, so allocator and heap warm-up never land
+	// inside the first measurement.
+	Warmup bool
+	// Progress, when non-nil, is called once per completed cell, in
+	// completion order. Calls are serialized; the callback needs no
+	// locking of its own.
+	Progress func(Result)
+}
+
+// Run executes every job and returns one Result per job, index-aligned
+// with the input slice (matrix order) no matter which order cells
+// finished in. A failed cell is recorded in its Result and does not
+// stop the rest of the matrix. If ctx is cancelled, cells that never
+// started carry ctx's error.
+func (s *Scheduler) Run(ctx context.Context, jobs []Job) []Result {
+	results := make([]Result, len(jobs))
+	if len(jobs) == 0 {
+		return results
+	}
+	if s.Warmup && ctx.Err() == nil {
+		j := jobs[0]
+		r := core.NewRunner(j.Engine.New(), j.Arch)
+		_, _ = r.Run(j.Bench, j.Iters)
+	}
+
+	workers := s.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				r := Execute(ctx, jobs[i])
+				r.Index = i
+				results[i] = r
+				if s.Progress != nil {
+					mu.Lock()
+					s.Progress(r)
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+
+	next := 0
+feed:
+	for ; next < len(jobs); next++ {
+		select {
+		case idx <- next:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+	for ; next < len(jobs); next++ {
+		results[next] = Result{Job: jobs[next], Index: next, Err: ctx.Err()}
+	}
+	return results
+}
+
+// Failed filters the results down to the cells that errored.
+func Failed(results []Result) []Result {
+	var out []Result
+	for _, r := range results {
+		if r.Err != nil {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Errors joins every cell failure into one error, nil if the whole
+// matrix succeeded. Cells that were merely cancelled collapse into a
+// single summarizing error instead of one line per unstarted cell.
+func Errors(results []Result) error {
+	var errs []error
+	cancelled := 0
+	var cause error
+	for _, r := range results {
+		switch {
+		case r.Err == nil:
+		case errors.Is(r.Err, context.Canceled) || errors.Is(r.Err, context.DeadlineExceeded):
+			cancelled++
+			cause = r.Err
+		default:
+			errs = append(errs, r.Err)
+		}
+	}
+	if cancelled > 0 {
+		errs = append(errs, fmt.Errorf("%d of %d cells did not run: %w", cancelled, len(results), cause))
+	}
+	return errors.Join(errs...)
+}

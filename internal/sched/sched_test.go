@@ -1,0 +1,241 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"simbench/internal/arch"
+	"simbench/internal/bench"
+	"simbench/internal/core"
+	"simbench/internal/engine"
+	"simbench/internal/engine/direct"
+	"simbench/internal/engine/interp"
+)
+
+// testEngines returns the two cheapest engines, enough to exercise the
+// engine axis without slowing the race detector down.
+func testEngines() []Engine {
+	return []Engine{
+		{Name: "interp", New: func() engine.Engine { return interp.New() }},
+		{Name: "native", New: func() engine.Engine { return direct.New(direct.ModeNative) }},
+	}
+}
+
+func testBenches(t *testing.T, names ...string) []*core.Benchmark {
+	t.Helper()
+	var out []*core.Benchmark
+	for _, name := range names {
+		b, err := bench.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+func TestMatrixExpansionOrder(t *testing.T) {
+	m := Matrix{
+		Arches:  arch.All(),
+		Benches: testBenches(t, "ctrl.intrapage-direct", "mem.hot"),
+		Engines: testEngines(),
+		Iters:   func(*core.Benchmark) int64 { return 8 },
+		Repeats: 3,
+	}
+	jobs := m.Jobs()
+	if len(jobs) != 2*2*2 {
+		t.Fatalf("expanded %d jobs, want 8", len(jobs))
+	}
+	var got []string
+	for _, j := range jobs {
+		if j.Iters != 8 || j.Repeats != 3 {
+			t.Errorf("%s: iters=%d repeats=%d", j, j.Iters, j.Repeats)
+		}
+		got = append(got, j.String())
+	}
+	want := []string{
+		"arm/ctrl.intrapage-direct/interp", "arm/ctrl.intrapage-direct/native",
+		"arm/mem.hot/interp", "arm/mem.hot/native",
+		"x86/ctrl.intrapage-direct/interp", "x86/ctrl.intrapage-direct/native",
+		"x86/mem.hot/interp", "x86/mem.hot/native",
+	}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Errorf("order:\n got %v\nwant %v", got, want)
+	}
+}
+
+// TestDeterministicOrdering runs a real matrix wide (more workers than
+// cells need) and checks that results come back index-aligned with the
+// job list regardless of completion order, with every cell populated.
+func TestDeterministicOrdering(t *testing.T) {
+	m := Matrix{
+		Arches:  arch.All(),
+		Benches: testBenches(t, "ctrl.intrapage-direct", "exc.syscall", "mem.hot"),
+		Engines: testEngines(),
+		Iters:   func(*core.Benchmark) int64 { return 8 },
+	}
+	jobs := m.Jobs()
+	var completions atomic.Int32
+	s := Scheduler{Workers: 8, Progress: func(Result) { completions.Add(1) }}
+	results := s.Run(context.Background(), jobs)
+	if len(results) != len(jobs) {
+		t.Fatalf("%d results for %d jobs", len(results), len(jobs))
+	}
+	for i, r := range results {
+		if r.Index != i {
+			t.Errorf("result %d carries index %d", i, r.Index)
+		}
+		if r.Job.String() != jobs[i].String() {
+			t.Errorf("result %d is %s, want %s", i, r.Job, jobs[i])
+		}
+		if r.Err != nil {
+			t.Errorf("%s: %v", r.Job, r.Err)
+		}
+		if r.Run == nil || r.Run.Iters != 8 {
+			t.Errorf("%s: missing or wrong run result", r.Job)
+		}
+	}
+	if int(completions.Load()) != len(jobs) {
+		t.Errorf("progress fired %d times, want %d", completions.Load(), len(jobs))
+	}
+	if err := Errors(results); err != nil {
+		t.Errorf("unexpected matrix error: %v", err)
+	}
+}
+
+// TestErrorIsolation checks that a failing cell is reported in place
+// while every other cell still runs to completion.
+func TestErrorIsolation(t *testing.T) {
+	boom := &core.Benchmark{
+		Name:  "test.boom",
+		Title: "Boom",
+		Build: func(*core.Env) error { return errors.New("kaboom") },
+	}
+	benches := append(testBenches(t, "ctrl.intrapage-direct"), boom)
+	benches = append(benches, testBenches(t, "mem.hot")...)
+	m := Matrix{
+		Arches:  []arch.Support{arch.ARM{}},
+		Benches: benches,
+		Engines: testEngines()[:1],
+		Iters:   func(*core.Benchmark) int64 { return 8 },
+	}
+	jobs := m.Jobs()
+	s := Scheduler{Workers: 2}
+	results := s.Run(context.Background(), jobs)
+
+	if results[0].Err != nil || results[2].Err != nil {
+		t.Errorf("healthy cells failed: %v %v", results[0].Err, results[2].Err)
+	}
+	if results[1].Err == nil || !strings.Contains(results[1].Err.Error(), "kaboom") {
+		t.Errorf("failing cell error = %v", results[1].Err)
+	}
+	if !strings.Contains(results[1].Err.Error(), "arm/test.boom/interp") {
+		t.Errorf("error does not name the cell: %v", results[1].Err)
+	}
+	if got := Failed(results); len(got) != 1 || got[0].Index != 1 {
+		t.Errorf("Failed = %v", got)
+	}
+	if err := Errors(results); err == nil || !strings.Contains(err.Error(), "kaboom") {
+		t.Errorf("Errors = %v", err)
+	}
+}
+
+// TestCancellation cancels from inside the first completion callback
+// with a single worker: the first cell must carry a real result and
+// every later cell the context error.
+func TestCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	m := Matrix{
+		Arches:  []arch.Support{arch.ARM{}},
+		Benches: testBenches(t, "ctrl.intrapage-direct", "exc.syscall", "mem.hot"),
+		Engines: testEngines()[:1],
+		Iters:   func(*core.Benchmark) int64 { return 8 },
+	}
+	jobs := m.Jobs()
+	s := Scheduler{Workers: 1, Progress: func(Result) { cancel() }}
+	results := s.Run(ctx, jobs)
+
+	if results[0].Err != nil || results[0].Run == nil {
+		t.Errorf("first cell: err=%v run=%v", results[0].Err, results[0].Run)
+	}
+	for _, r := range results[1:] {
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Errorf("%s: err=%v, want context.Canceled", r.Job, r.Err)
+		}
+		if r.Run != nil {
+			t.Errorf("%s: cancelled cell carries a run result", r.Job)
+		}
+	}
+	// Cancellations collapse into one summary line, not one per cell.
+	err := Errors(results)
+	if err == nil || !strings.Contains(err.Error(), "2 of 3 cells did not run") {
+		t.Errorf("Errors = %v", err)
+	}
+	if got := strings.Count(err.Error(), "context canceled"); got != 1 {
+		t.Errorf("%d context lines, want 1: %v", got, err)
+	}
+}
+
+func TestPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	jobs := (&Matrix{
+		Arches:  []arch.Support{arch.ARM{}},
+		Benches: testBenches(t, "ctrl.intrapage-direct"),
+		Engines: testEngines(),
+		Iters:   func(*core.Benchmark) int64 { return 8 },
+	}).Jobs()
+	results := (&Scheduler{Workers: 4}).Run(ctx, jobs)
+	for _, r := range results {
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Errorf("%s: err=%v, want context.Canceled", r.Job, r.Err)
+		}
+	}
+}
+
+func TestExecuteRepeatsKeepMinimum(t *testing.T) {
+	b := testBenches(t, "ctrl.intrapage-direct")[0]
+	j := Job{Bench: b, Engine: testEngines()[0], Arch: arch.ARM{}, Iters: 8, Repeats: 3}
+	r := Execute(context.Background(), j)
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	if r.Run == nil || r.Kernel != r.Run.Kernel {
+		t.Errorf("kernel %v does not match kept run %+v", r.Kernel, r.Run)
+	}
+}
+
+func TestEmptyAndDefaults(t *testing.T) {
+	if got := (&Scheduler{}).Run(context.Background(), nil); len(got) != 0 {
+		t.Errorf("empty job list gave %d results", len(got))
+	}
+	// Workers <= 0 must still complete (defaults to GOMAXPROCS).
+	jobs := (&Matrix{
+		Arches:  []arch.Support{arch.ARM{}},
+		Benches: testBenches(t, "ctrl.intrapage-direct"),
+		Engines: testEngines()[:1],
+		Iters:   func(*core.Benchmark) int64 { return 8 },
+	}).Jobs()
+	results := (&Scheduler{Workers: -1, Warmup: true}).Run(context.Background(), jobs)
+	if err := Errors(results); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func ExampleMatrix() {
+	b, _ := bench.ByName("ctrl.intrapage-direct")
+	m := Matrix{
+		Arches:  []arch.Support{arch.ARM{}},
+		Benches: []*core.Benchmark{b},
+		Engines: []Engine{{Name: "interp", New: func() engine.Engine { return interp.New() }}},
+		Iters:   func(*core.Benchmark) int64 { return 8 },
+	}
+	results := (&Scheduler{Workers: 2}).Run(context.Background(), m.Jobs())
+	fmt.Println(results[0].Job, results[0].Err)
+	// Output: arm/ctrl.intrapage-direct/interp <nil>
+}
