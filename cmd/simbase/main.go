@@ -1,0 +1,230 @@
+// Command simbase manages the run history and baselines of a simbench
+// result cache (-cache-dir, as written by simbench, simsweep and
+// simreport): it saves a named baseline from the recorded history,
+// lists history and baselines, and diffs the latest run against a
+// baseline — flagging every cell whose kernel time regressed beyond a
+// noise threshold, with a nonzero exit status on regression so it
+// slots directly into CI.
+//
+// Usage:
+//
+//	simbase -cache-dir .simcache list
+//	simbase -cache-dir .simcache save nightly
+//	simbase -cache-dir .simcache -threshold 0.15 diff nightly
+//	simbase -cache-dir .simcache -label fig7 diff nightly
+//
+// Exit status: 0 on success (diff: no regression), 1 when diff finds
+// a regression, 2 on usage or I/O errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"simbench/internal/report"
+	"simbench/internal/store"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func usage(fs *flag.FlagSet, stderr io.Writer) {
+	fmt.Fprintln(stderr, "usage: simbase -cache-dir DIR [-threshold T] [-label L] list | save NAME | diff NAME")
+	fs.SetOutput(stderr)
+	fs.PrintDefaults()
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("simbase", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		cacheDir  = fs.String("cache-dir", "", "result cache directory (as passed to simbench/simsweep/simreport)")
+		threshold = fs.Float64("threshold", 0.10, "relative kernel-time slowdown tolerated as noise before a cell counts as regressed (0.10 = 10%)")
+		label     = fs.String("label", "", "restrict history to runs with this label (e.g. fig7, simbench)")
+	)
+	fs.Usage = func() { usage(fs, stderr) }
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *cacheDir == "" {
+		fmt.Fprintln(stderr, "simbase: -cache-dir is required")
+		return 2
+	}
+	// simbase only inspects an existing store; opening one would
+	// create the directory and mask a mistyped -cache-dir.
+	if _, err := os.Stat(*cacheDir); err != nil {
+		fmt.Fprintf(stderr, "simbase: no result cache at %s: %v\n", *cacheDir, err)
+		return 2
+	}
+	st, err := store.Open(*cacheDir)
+	if err != nil {
+		fmt.Fprintln(stderr, "simbase:", err)
+		return 2
+	}
+
+	switch verb, name := fs.Arg(0), fs.Arg(1); verb {
+	case "list":
+		if err := list(stdout, st); err != nil {
+			fmt.Fprintln(stderr, "simbase:", err)
+			return 2
+		}
+		return 0
+	case "save":
+		if name == "" {
+			fmt.Fprintln(stderr, "simbase: save needs a baseline name")
+			return 2
+		}
+		if err := save(stdout, st, name, *label); err != nil {
+			fmt.Fprintln(stderr, "simbase:", err)
+			return 2
+		}
+		return 0
+	case "diff":
+		if name == "" {
+			fmt.Fprintln(stderr, "simbase: diff needs a baseline name")
+			return 2
+		}
+		regressed, err := diff(stdout, st, name, *label, *threshold)
+		if err != nil {
+			fmt.Fprintln(stderr, "simbase:", err)
+			return 2
+		}
+		if regressed {
+			return 1
+		}
+		return 0
+	default:
+		usage(fs, stderr)
+		return 2
+	}
+}
+
+// list prints the recorded history and the saved baselines.
+func list(w io.Writer, st *store.Store) error {
+	runs, err := st.History()
+	if err != nil {
+		return err
+	}
+	t := report.Table{
+		Title:   fmt.Sprintf("Run history (%d runs)", len(runs)),
+		Columns: []string{"time", "label", "host", "cells", "errors"},
+	}
+	for _, rr := range runs {
+		errs := 0
+		for _, c := range rr.Cells {
+			if c.Error != "" {
+				errs++
+			}
+		}
+		t.AddRow(rr.Time.Format("2006-01-02T15:04:05Z"), rr.Label, rr.Host,
+			fmt.Sprint(len(rr.Cells)), fmt.Sprint(errs))
+	}
+	t.Fprint(w)
+
+	names, err := st.Baselines()
+	if err != nil {
+		return err
+	}
+	bt := report.Table{
+		Title:   fmt.Sprintf("Baselines (%d)", len(names)),
+		Columns: []string{"name", "time", "label", "cells"},
+	}
+	for _, name := range names {
+		rr, err := st.LoadBaseline(name)
+		if err != nil {
+			return err
+		}
+		bt.AddRow(name, rr.Time.Format("2006-01-02T15:04:05Z"), rr.Label, fmt.Sprint(len(rr.Cells)))
+	}
+	bt.Fprint(w)
+	return nil
+}
+
+// save stores the latest (optionally label-filtered) history run under
+// a baseline name.
+func save(w io.Writer, st *store.Store, name, label string) error {
+	rr, err := st.LatestRun(label)
+	if err != nil {
+		return err
+	}
+	if err := st.SaveBaseline(name, rr); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "saved baseline %q: %s run %q, %d cells\n",
+		name, rr.Time.Format("2006-01-02T15:04:05Z"), rr.Label, len(rr.Cells))
+	errs := 0
+	for _, c := range rr.Cells {
+		if c.Error != "" {
+			errs++
+		}
+	}
+	if errs > 0 {
+		fmt.Fprintf(w, "warning: %d of %d baseline cells are errored and will not be comparable in diffs\n", errs, len(rr.Cells))
+	}
+	return nil
+}
+
+// diff compares the latest run against a baseline and reports whether
+// anything regressed past the threshold.
+func diff(w io.Writer, st *store.Store, name, label string, threshold float64) (bool, error) {
+	base, err := st.LoadBaseline(name)
+	if err != nil {
+		return false, err
+	}
+	cur, err := st.LatestRun(label)
+	if err != nil {
+		return false, err
+	}
+	d := store.DiffRuns(base, cur, threshold)
+	if compared := d.Stable + len(d.Regressions) + len(d.Improvements) + len(d.Broken); compared == 0 {
+		// A gate that compared nothing must not pass: the latest run
+		// and the baseline describe disjoint matrices (different
+		// benchmarks, scale, or tool — use -label to pick the right
+		// history entries).
+		return false, fmt.Errorf("no cell of the latest run %q (%d cells) matches baseline %q (%d cells); nothing was compared",
+			cur.Label, len(cur.Cells), name, len(base.Cells))
+	}
+
+	fmt.Fprintf(w, "baseline %q (%s, %d cells) vs latest run %q (%s, %d cells), threshold %.0f%%\n\n",
+		name, base.Time.Format("2006-01-02T15:04:05Z"), len(base.Cells),
+		cur.Label, cur.Time.Format("2006-01-02T15:04:05Z"), len(cur.Cells), threshold*100)
+
+	printCells := func(title string, cells []store.CellDiff) {
+		t := report.Table{Title: title, Columns: []string{"cell", "baseline", "current", "delta"}}
+		for _, c := range cells {
+			t.AddRow(c.Cell(), fmt.Sprintf("%.3fs", c.BaseSeconds),
+				fmt.Sprintf("%.3fs", c.CurrentSeconds), fmt.Sprintf("%+.1f%%", c.Delta*100))
+		}
+		t.Fprint(w)
+	}
+	if len(d.Regressions) > 0 {
+		printCells(fmt.Sprintf("REGRESSED (%d cells)", len(d.Regressions)), d.Regressions)
+	}
+	if len(d.Improvements) > 0 {
+		printCells(fmt.Sprintf("Improved (%d cells)", len(d.Improvements)), d.Improvements)
+	}
+	if len(d.Broken) > 0 {
+		t := report.Table{Title: fmt.Sprintf("BROKEN (%d cells measured in baseline, errored now)", len(d.Broken)),
+			Columns: []string{"cell"}}
+		for _, id := range d.Broken {
+			t.AddRow(id)
+		}
+		t.Fprint(w)
+	}
+	fmt.Fprintf(w, "%d cells stable within ±%.0f%%", d.Stable, threshold*100)
+	if len(d.OnlyBase) > 0 || len(d.OnlyCurrent) > 0 {
+		fmt.Fprintf(w, "; %d baseline and %d current cells without a measured counterpart (not compared)",
+			len(d.OnlyBase), len(d.OnlyCurrent))
+	}
+	fmt.Fprintln(w)
+	if d.Regressed() {
+		fmt.Fprintf(w, "result: REGRESSION — %d cells slower than baseline %q allows, %d broken\n",
+			len(d.Regressions), name, len(d.Broken))
+	} else {
+		fmt.Fprintf(w, "result: ok — no cell regressed past %.0f%%\n", threshold*100)
+	}
+	return d.Regressed(), nil
+}

@@ -1,0 +1,138 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"simbench/internal/arch"
+	"simbench/internal/core"
+	"simbench/internal/engine"
+	"simbench/internal/engine/interp"
+	"simbench/internal/sched"
+	"simbench/internal/store"
+)
+
+// appendRun writes a fabricated three-cell run into the store's
+// history, with per-cell kernel times chosen by the caller.
+func appendRun(t *testing.T, dir, label string, kernel func(i int) time.Duration) {
+	appendRunIters(t, dir, label, 64, kernel)
+}
+
+func appendRunIters(t *testing.T, dir, label string, iters int64, kernel func(i int) time.Duration) {
+	t.Helper()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var results []sched.Result
+	for i := 0; i < 3; i++ {
+		j := sched.Job{
+			Bench:  &core.Benchmark{Name: []string{"mem.hot", "exc.syscall", "io.device"}[i]},
+			Engine: sched.Engine{Name: "interp", New: func() engine.Engine { return interp.New() }},
+			Arch:   arch.ARM{},
+			Iters:  iters,
+		}
+		k := kernel(i)
+		results = append(results, sched.Result{
+			Job:    j,
+			Kernel: k,
+			Run:    &core.Result{Benchmark: j.Bench, Engine: "interp", Arch: "arm", Iters: iters, Kernel: k, Total: k},
+		})
+	}
+	if err := st.AppendHistory(label, results); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSaveDiffExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	appendRun(t, dir, "simbench", func(i int) time.Duration { return 100 * time.Millisecond })
+
+	var out, errOut strings.Builder
+	if code := run([]string{"-cache-dir", dir, "save", "nightly"}, &out, &errOut); code != 0 {
+		t.Fatalf("save exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), `saved baseline "nightly"`) {
+		t.Errorf("save output: %s", out.String())
+	}
+
+	// Identical latest run: clean diff, exit 0.
+	out.Reset()
+	if code := run([]string{"-cache-dir", dir, "diff", "nightly"}, &out, &errOut); code != 0 {
+		t.Fatalf("clean diff exit %d: %s%s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "result: ok") {
+		t.Errorf("clean diff output: %s", out.String())
+	}
+
+	// One cell 50% slower: regression, exit 1, named in the output.
+	appendRun(t, dir, "simbench", func(i int) time.Duration {
+		if i == 1 {
+			return 150 * time.Millisecond
+		}
+		return 100 * time.Millisecond
+	})
+	out.Reset()
+	code := run([]string{"-cache-dir", dir, "-threshold", "0.10", "diff", "nightly"}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("regressed diff exit %d, want 1: %s%s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSED") || !strings.Contains(out.String(), "exc.syscall") {
+		t.Errorf("regressed diff output: %s", out.String())
+	}
+	if !strings.Contains(out.String(), "+50.0%") {
+		t.Errorf("missing delta in output: %s", out.String())
+	}
+
+	// A threshold above the regression: exit 0 again.
+	out.Reset()
+	if code := run([]string{"-cache-dir", dir, "-threshold", "0.60", "diff", "nightly"}, &out, &errOut); code != 0 {
+		t.Errorf("tolerant diff exit %d: %s", code, out.String())
+	}
+
+	// A latest run sharing no cell with the baseline (different scale)
+	// must not pass as a vacuous "nothing regressed": exit 2.
+	appendRunIters(t, dir, "simbench", 128, func(int) time.Duration { return 100 * time.Millisecond })
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-cache-dir", dir, "diff", "nightly"}, &out, &errOut); code != 2 {
+		t.Errorf("disjoint diff exit %d, want 2: %s", code, out.String())
+	}
+	if !strings.Contains(errOut.String(), "nothing was compared") {
+		t.Errorf("disjoint diff stderr: %s", errOut.String())
+	}
+	// Re-align history so the remaining checks see matching cells.
+	appendRun(t, dir, "simbench", func(i int) time.Duration {
+		if i == 1 {
+			return 150 * time.Millisecond
+		}
+		return 100 * time.Millisecond
+	})
+
+	// list shows both runs and the baseline.
+	out.Reset()
+	if code := run([]string{"-cache-dir", dir, "list"}, &out, &errOut); code != 0 {
+		t.Fatalf("list exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "Run history (4 runs)") || !strings.Contains(out.String(), "nightly") {
+		t.Errorf("list output: %s", out.String())
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	var out, errOut strings.Builder
+	for _, args := range [][]string{
+		{}, // no cache dir
+		{"-cache-dir", t.TempDir() + "/typo", "list"}, // nonexistent dir must not be created
+		{"-cache-dir", t.TempDir()},                   // no verb
+		{"-cache-dir", t.TempDir(), "save"},           // no name
+		{"-cache-dir", t.TempDir(), "diff"},           // no name
+		{"-cache-dir", t.TempDir(), "bogus"},          // unknown verb
+		{"-cache-dir", t.TempDir(), "diff", "absent"}, // unknown baseline
+	} {
+		if code := run(args, &out, &errOut); code != 2 {
+			t.Errorf("run(%v) = %d, want 2", args, code)
+		}
+	}
+}

@@ -11,6 +11,7 @@
 //	simbench -bench exc.syscall -engines dbt,interp -arch arm
 //	simbench -engines v2.2.0,v2.5.0-rc2 -bench ctrl.intrapage-direct
 //	simbench -json > results.json    # machine-readable result set
+//	simbench -cache-dir .simcache    # incremental: reuse identical cells
 //	simbench -list                   # list benchmarks and engines
 //
 // A failed cell prints as ERR in its table position; all failures are
@@ -19,7 +20,6 @@ package main
 
 import (
 	"context"
-	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -33,8 +33,15 @@ import (
 	"simbench/internal/figures"
 	"simbench/internal/report"
 	"simbench/internal/sched"
+	"simbench/internal/store"
 	"simbench/internal/versions"
 )
+
+// reportCache prints the store's hit/miss line to stderr; a nil store
+// prints nothing.
+func reportCache(tool string, st *store.Store) {
+	store.FprintStats(os.Stderr, tool, st)
+}
 
 func main() {
 	var (
@@ -46,6 +53,7 @@ func main() {
 		jobs     = flag.Int("jobs", 0, "matrix cells run concurrently (default GOMAXPROCS; use 1 for minimum-noise timings)")
 		repeats  = flag.Int("repeats", 0, "measurements per cell; the minimum kernel time is reported (0 = auto: 2 for the full Fig. 7 run, 1 for subsets)")
 		jsonOut  = flag.Bool("json", false, "write the result set as JSON to stdout instead of a table")
+		cacheDir = flag.String("cache-dir", "", "content-addressed result cache: identical cells are served from here instead of re-measured, and every run is appended to its history (see simbase)")
 		list     = flag.Bool("list", false, "list benchmarks, engines and releases, then exit")
 		verbose  = flag.Bool("v", false, "per-run progress output")
 	)
@@ -71,14 +79,30 @@ func main() {
 	defer stop()
 	context.AfterFunc(ctx, stop)
 
-	opts := figures.Options{Out: os.Stdout, Scale: *scale, MinIters: *minIters, Jobs: *jobs, Repeats: *repeats, Context: ctx}
+	// Every simbench invocation — including the default table run,
+	// which goes through figures.Fig7 — records history as "simbench",
+	// so `simbase -label simbench` selects by tool, not output mode.
+	opts := figures.Options{Out: os.Stdout, Scale: *scale, MinIters: *minIters, Jobs: *jobs, Repeats: *repeats, Context: ctx, HistoryLabel: "simbench"}
 	if *verbose {
 		opts.Progress = os.Stderr
+	}
+	var st *store.Store
+	if *cacheDir != "" {
+		var err error
+		if st, err = store.Open(*cacheDir); err != nil {
+			fail(err)
+		}
+		opts.Store = st
+		if n := store.IdentityNote("simbench"); n != "" {
+			fmt.Fprintln(os.Stderr, n)
+		}
 	}
 
 	// Default invocation: the whole Fig. 7 matrix.
 	if *benchSel == "" && *engSel == "" && *archSel == "" && !*jsonOut {
-		if err := figures.Fig7(opts); err != nil {
+		err := figures.Fig7(opts)
+		reportCache("simbench", st)
+		if err != nil {
 			fail(err)
 		}
 		return
@@ -148,6 +172,9 @@ func main() {
 		Repeats: rep,
 	}
 	s := sched.Scheduler{Workers: *jobs, Warmup: true}
+	if st != nil {
+		s.Store = st
+	}
 	if *verbose {
 		s.Progress = func(r sched.Result) {
 			if r.Err != nil {
@@ -155,13 +182,22 @@ func main() {
 				fmt.Fprintf(os.Stderr, "%v\n", r.Err)
 				return
 			}
-			fmt.Fprintf(os.Stderr, "%s %s %s: %s (%d insns)\n",
+			cached := ""
+			if r.Cached {
+				cached = ", cached"
+			}
+			fmt.Fprintf(os.Stderr, "%s %s %s: %s (%d insns%s)\n",
 				r.Job.Arch.Name(), r.Job.Bench.Name, r.Job.Engine.Name,
-				r.Kernel, r.Run.Stats.Instructions)
+				r.Kernel, r.Run.Stats.Instructions, cached)
 		}
 	}
 
 	results := s.Run(ctx, m.Jobs())
+	if st != nil {
+		if err := st.AppendHistory("simbench", results); err != nil {
+			fmt.Fprintln(os.Stderr, "simbench:", err)
+		}
+	}
 
 	if *jsonOut {
 		if err := report.FprintJSON(os.Stdout, results); err != nil {
@@ -170,20 +206,12 @@ func main() {
 	} else {
 		printTables(results, sups, benches, engines, &opts, *scale)
 	}
+	reportCache("simbench", st)
 
-	if failed := sched.Failed(results); len(failed) > 0 {
-		fmt.Fprintf(os.Stderr, "simbench: %d of %d cells failed:\n", len(failed), len(results))
-		cancelled := 0
-		for _, r := range failed {
-			if errors.Is(r.Err, context.Canceled) || errors.Is(r.Err, context.DeadlineExceeded) {
-				cancelled++
-				continue
-			}
-			fmt.Fprintf(os.Stderr, "  %v\n", r.Err)
-		}
-		if cancelled > 0 {
-			fmt.Fprintf(os.Stderr, "  %d cells did not run (cancelled)\n", cancelled)
-		}
+	// Errors already collapses cancelled cells into one summary line.
+	if err := sched.Errors(results); err != nil {
+		fmt.Fprintf(os.Stderr, "simbench: %d of %d cells failed:\n%v\n",
+			len(sched.Failed(results)), len(results), err)
 		os.Exit(1)
 	}
 }

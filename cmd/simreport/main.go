@@ -2,20 +2,29 @@
 // Fig. 4 (how each platform implements each mechanism, from live
 // engine metadata) and Fig. 5 (evaluation platform details). With
 // -all it regenerates every figure in sequence — the full paper
-// evaluation.
+// evaluation. The matrix figures (7 and the sweeps 2, 6, 8) run on
+// the concurrent scheduler (-jobs) and share a result store, so the
+// sweep figures reuse their overlapping cells instead of re-measuring
+// them; with -cache-dir the store persists, making repeated
+// invocations incremental. (Fig. 3 profiles operation densities on a
+// dedicated instrumented interpreter and always re-runs.)
 //
 // Usage:
 //
-//	simreport           # Fig. 4 + Fig. 5
-//	simreport -all      # Figs. 4, 5, 3, 7, 2, 6, 8 (long)
+//	simreport                          # Fig. 4 + Fig. 5
+//	simreport -all                     # Figs. 4, 5, 3, 7, 2, 6, 8 (long)
+//	simreport -all -jobs 8 -cache-dir .simcache
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"simbench/internal/figures"
+	"simbench/internal/store"
 )
 
 func main() {
@@ -24,13 +33,36 @@ func main() {
 		scale     = flag.Int64("scale", 2000, "divide SimBench paper iteration counts by this")
 		specScale = flag.Int64("spec-scale", 20, "divide SPEC-like workload iteration counts by this")
 		minIters  = flag.Int64("min-iters", 2000, "minimum iterations after scaling")
+		jobs      = flag.Int("jobs", 0, "matrix cells run concurrently (default GOMAXPROCS; use 1 for minimum-noise timings)")
+		cacheDir  = flag.String("cache-dir", "", "content-addressed result cache: identical cells are served from here instead of re-measured, and every figure run is appended to its history (see simbase)")
 		verbose   = flag.Bool("v", false, "per-run progress output")
 	)
 	flag.Parse()
 
-	opts := figures.Options{Out: os.Stdout, Scale: *scale, SpecScale: *specScale, MinIters: *minIters}
+	// First Ctrl-C stops feeding new cells (in-flight ones finish and
+	// are reported); a second Ctrl-C kills the process.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	context.AfterFunc(ctx, stop)
+
+	opts := figures.Options{Out: os.Stdout, Scale: *scale, SpecScale: *specScale, MinIters: *minIters, Jobs: *jobs, Context: ctx}
 	if *verbose {
 		opts.Progress = os.Stderr
+	}
+	if *cacheDir != "" || *all {
+		// Even without -cache-dir, an in-process store lets Figs. 2, 6
+		// and 8 share their overlapping sweep cells within this run.
+		st, err := store.Open(*cacheDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simreport:", err)
+			os.Exit(1)
+		}
+		opts.Store = st
+		if *cacheDir != "" {
+			if n := store.IdentityNote("simreport"); n != "" {
+				fmt.Fprintln(os.Stderr, n)
+			}
+		}
 	}
 
 	steps := []func(figures.Options) error{figures.Fig4, figures.Fig5}
@@ -39,8 +71,10 @@ func main() {
 	}
 	for _, step := range steps {
 		if err := step(opts); err != nil {
+			store.FprintStats(os.Stderr, "simreport", opts.Store)
 			fmt.Fprintln(os.Stderr, "simreport:", err)
 			os.Exit(1)
 		}
 	}
+	store.FprintStats(os.Stderr, "simreport", opts.Store)
 }

@@ -9,6 +9,7 @@
 //	simsweep -fig 2
 //	simsweep -fig 6 -scale 5000 -jobs 8
 //	simsweep -fig 8 -v
+//	simsweep -fig 8 -cache-dir .simcache   # reuse cells across invocations
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"os/signal"
 
 	"simbench/internal/figures"
+	"simbench/internal/store"
 )
 
 func main() {
@@ -28,6 +30,7 @@ func main() {
 		specScale = flag.Int64("spec-scale", 40, "divide SPEC-like workload iteration counts by this")
 		minIters  = flag.Int64("min-iters", 2000, "minimum iterations after scaling")
 		jobs      = flag.Int("jobs", 0, "matrix cells run concurrently (default GOMAXPROCS; use 1 for minimum-noise timings)")
+		cacheDir  = flag.String("cache-dir", "", "content-addressed result cache: identical cells are served from here instead of re-measured, and every sweep is appended to its history (see simbase)")
 		verbose   = flag.Bool("v", false, "per-run progress output")
 	)
 	flag.Parse()
@@ -48,6 +51,17 @@ func main() {
 	if *verbose {
 		opts.Progress = os.Stderr
 	}
+	if *cacheDir != "" {
+		st, err := store.Open(*cacheDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simsweep:", err)
+			os.Exit(1)
+		}
+		opts.Store = st
+		if n := store.IdentityNote("simsweep"); n != "" {
+			fmt.Fprintln(os.Stderr, n)
+		}
+	}
 
 	var err error
 	switch *fig {
@@ -60,6 +74,7 @@ func main() {
 	default:
 		err = fmt.Errorf("unknown figure %d (want 2, 6 or 8)", *fig)
 	}
+	store.FprintStats(os.Stderr, "simsweep", opts.Store)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "simsweep:", err)
 		os.Exit(1)

@@ -1,67 +1,124 @@
-// Regressionhunt reproduces the paper's §III-B3 workflow: SPEC-style
-// application results show QEMU getting slower release by release, but
-// cannot say why. Sweeping one targeted SimBench benchmark across the
-// modelled releases pinpoints the release that introduced the control
-// flow regression — and the release notes name the design change.
+// Regressionhunt reproduces the paper's §III-B3 workflow on the
+// result-store API: SPEC-style application results show QEMU getting
+// slower release by release, but cannot say why. Sweeping one targeted
+// SimBench benchmark across the modelled releases pinpoints the
+// release that introduced the control flow regression — and the
+// release notes name the design change.
+//
+// The sweep runs as a scheduler matrix backed by a content-addressed
+// result store, so re-running it is free (every cell is a cache hit),
+// and the hunt itself is phrased as the store's run-diff: the releases
+// before the change are the baseline, the sweep is the current run,
+// and DiffRuns flags the regressed cells — the same save/diff workflow
+// cmd/simbase runs in CI.
 //
 //	go run ./examples/regressionhunt
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
 
 	"simbench"
 )
 
-func main() {
-	bench := simbench.MustBenchmark("ctrl.intrapage-direct")
-	const iters = 300_000
+const iters = 300_000
 
-	fmt.Println("Sweeping", bench.Name, "across QEMU releases...")
-	fmt.Printf("%-12s %-12s %s\n", "release", "kernel", "vs previous")
-
-	type point struct {
-		rel    simbench.Release
-		kernel float64
-	}
-	var history []point
-	worst := 0
-	worstDrop := 0.0
-
+// sweep runs one benchmark across every modelled release on the
+// store-backed scheduler and returns the per-cell results in release
+// order.
+func sweep(st *simbench.ResultStore, b *simbench.Benchmark) []simbench.CellResult {
+	var engines []simbench.EngineSpec
 	for _, rel := range simbench.Releases() {
-		runner := simbench.NewRunner(rel.Engine(), simbench.ARM())
-		// Two runs, best-of, to suppress host noise.
-		best := 0.0
-		for rep := 0; rep < 2; rep++ {
-			res, err := runner.Run(bench, iters)
-			if err != nil {
-				log.Fatal(err)
-			}
-			s := res.Kernel.Seconds()
-			if rep == 0 || s < best {
-				best = s
-			}
-		}
-		history = append(history, point{rel, best})
-		n := len(history)
-		delta := "-"
-		if n > 1 {
-			change := history[n-1].kernel/history[n-2].kernel - 1
-			delta = fmt.Sprintf("%+.1f%%", change*100)
-			if change > worstDrop {
-				worstDrop = change
-				worst = n - 1
-			}
-		}
-		fmt.Printf("%-12s %-12.4fs %s\n", rel.Name, best, delta)
+		rel := rel
+		engines = append(engines, simbench.EngineSpec{
+			Name: rel.Name,
+			New:  func() simbench.Engine { return rel.Engine() },
+		})
+	}
+	m := simbench.Matrix{
+		Arches:  []simbench.Arch{simbench.ARM()},
+		Benches: []*simbench.Benchmark{b},
+		Engines: engines,
+		Iters:   func(*simbench.Benchmark) int64 { return iters },
+		Repeats: 2, // best-of-two, to suppress host noise
+	}
+	s := simbench.Scheduler{Warmup: true, Store: st}
+	results := s.Run(context.Background(), m.Jobs())
+	if err := simbench.CellErrors(results); err != nil {
+		log.Fatal(err)
+	}
+	return results
+}
+
+func main() {
+	b := simbench.MustBenchmark("ctrl.intrapage-direct")
+	st, err := simbench.OpenStore("") // in-process; pass a directory to persist
+	if err != nil {
+		log.Fatal(err)
 	}
 
-	culprit := history[worst]
-	fmt.Printf("\nLargest regression introduced by %s (%.1f%% slower).\n",
-		culprit.rel.Name, worstDrop*100)
-	fmt.Printf("Release notes: %s\n", culprit.rel.Notes)
+	fmt.Println("Sweeping", b.Name, "across QEMU releases...")
+	results := sweep(st, b)
+
+	fmt.Printf("%-12s %-12s %s\n", "release", "kernel", "vs previous")
+	for i, r := range results {
+		delta := "-"
+		if i > 0 {
+			change := r.Kernel.Seconds()/results[i-1].Kernel.Seconds() - 1
+			delta = fmt.Sprintf("%+.1f%%", change*100)
+		}
+		fmt.Printf("%-12s %-12s %s\n", r.Job.Engine.Name, fmt.Sprintf("%.4fs", r.Kernel.Seconds()), delta)
+	}
+
+	// The hunt as a store diff: pretend each release is "yesterday's
+	// baseline" for its successor — exactly what CI does with
+	// `simbase save` / `simbase diff` — and let the run-diff flag the
+	// release whose drop exceeds the noise threshold. To make the
+	// cells comparable run-to-run, both runs use the engine's stable
+	// display name ("qemu"), the way a real tree keeps its name while
+	// its code changes.
+	const threshold = 0.10
+	var culprit simbench.Release
+	var worst simbench.CellDiff
+	releases := simbench.Releases()
+	for i := 1; i < len(results); i++ {
+		base := relabelled(results[i-1])
+		cur := relabelled(results[i])
+		d := simbench.DiffRuns(base, cur, threshold)
+		if len(d.Regressions) > 0 && d.Regressions[0].Delta > worst.Delta {
+			worst = d.Regressions[0]
+			culprit = releases[i]
+		}
+	}
+	if culprit.Name == "" {
+		fmt.Printf("\nNo release-to-release regression beyond %.0f%%.\n", threshold*100)
+		os.Exit(0)
+	}
+
+	fmt.Printf("\nDiff flags %s: %s slower than %s allows (%.3fs -> %.3fs, %+.1f%%).\n",
+		culprit.Name, worst.Cell(), fmt.Sprintf("±%.0f%%", threshold*100),
+		worst.BaseSeconds, worst.CurrentSeconds, worst.Delta*100)
+	fmt.Printf("Release notes: %s\n", culprit.Notes)
+
+	// And the incremental-sweep half of the story: the same sweep
+	// again is served entirely from the store.
+	h0, m0 := st.Stats()
+	_ = sweep(st, b)
+	hits, misses := st.Stats()
+	fmt.Printf("\nRe-running the sweep: %d cache hits, %d misses — incremental sweeps are free.\n", hits-h0, misses-m0)
+
 	fmt.Println("\nThis is the paper's point: application benchmarks can show THAT")
 	fmt.Println("a simulator regressed; the targeted micro-benchmark shows WHERE,")
 	fmt.Println("and the per-release configuration deltas show WHY.")
+}
+
+// relabelled turns one cell into a single-cell run record under the
+// engine's stable display name, so successive releases diff as the
+// same cell.
+func relabelled(r simbench.CellResult) simbench.RunRecord {
+	r.Job.Engine.Name = "qemu"
+	return simbench.NewRun("hunt", []simbench.CellResult{r})
 }

@@ -11,6 +11,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"os"
 	"runtime"
 	"time"
 
@@ -25,6 +26,7 @@ import (
 	"simbench/internal/report"
 	"simbench/internal/sched"
 	"simbench/internal/spec"
+	"simbench/internal/store"
 	"simbench/internal/versions"
 )
 
@@ -49,6 +51,16 @@ type Options struct {
 	// GOMAXPROCS. Concurrent cells share the host, so use 1 when the
 	// absolute times themselves are the result rather than a check.
 	Jobs int
+	// Store, when non-nil, caches completed cells content-addressed —
+	// Figs. 2, 6 and 8 share their overlapping sweep cells within one
+	// run, and a disk-backed store makes repeated invocations
+	// incremental. Each figure's completed matrix is also appended to
+	// the store's run history.
+	Store *store.Store
+	// HistoryLabel overrides the per-figure history label ("fig7",
+	// "fig2", ...), so a CLI records every invocation under one label
+	// regardless of which driver ran the matrix.
+	HistoryLabel string
 	// Context cancels the experiment early (nil means Background);
 	// cells that never started surface the context error.
 	Context context.Context
@@ -156,6 +168,9 @@ func releaseEngines(rels []versions.Release) []sched.Engine {
 // stream. Results come back in matrix order.
 func (o *Options) run(fig string, m sched.Matrix) []sched.Result {
 	s := sched.Scheduler{Workers: o.Jobs, Warmup: true}
+	if o.Store != nil {
+		s.Store = o.Store
+	}
 	if o.Progress != nil {
 		s.Progress = func(r sched.Result) {
 			if r.Err != nil {
@@ -163,14 +178,30 @@ func (o *Options) run(fig string, m sched.Matrix) []sched.Result {
 				o.progress("%s %v", fig, r.Err)
 				return
 			}
-			o.progress("%s %s %s %s: %s", fig, r.Job.Arch.Name(), r.Job.Bench.Name, r.Job.Engine.Name, r.Kernel)
+			cached := ""
+			if r.Cached {
+				cached = " (cached)"
+			}
+			o.progress("%s %s %s %s: %s%s", fig, r.Job.Arch.Name(), r.Job.Bench.Name, r.Job.Engine.Name, r.Kernel, cached)
 		}
 	}
 	ctx := o.Context
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	return s.Run(ctx, m.Jobs())
+	results := s.Run(ctx, m.Jobs())
+	if o.Store != nil {
+		label := fig
+		if o.HistoryLabel != "" {
+			label = o.HistoryLabel
+		}
+		if err := o.Store.AppendHistory(label, results); err != nil {
+			// History loss must be visible even without -v: a silent
+			// gap here means simbase later baselines a stale run.
+			fmt.Fprintf(os.Stderr, "%s: %v\n", fig, err)
+		}
+	}
+	return results
 }
 
 // Fig7 runs the full SimBench suite on every engine for both guest

@@ -26,15 +26,20 @@ type Record struct {
 	Error string `json:"error,omitempty"`
 }
 
-// NewRecord flattens one scheduler result into a Record.
+// NewRecord flattens one scheduler result into a Record. Repeats and
+// Iters are recorded as executed (Job.Effective) — a job that leaves
+// them unset runs one measurement at the benchmark's paper count — so
+// records of equivalent cells compare equal (the store's cache keys
+// and run diffs both rely on this).
 func NewRecord(r sched.Result) Record {
+	iters, repeats := r.Job.Effective()
 	rec := Record{
 		Benchmark: r.Job.Bench.Name,
 		Category:  string(r.Job.Bench.Category),
 		Engine:    r.Job.Engine.Name,
 		Arch:      r.Job.Arch.Name(),
-		Iters:     r.Job.Iters,
-		Repeats:   r.Job.Repeats,
+		Iters:     iters,
+		Repeats:   repeats,
 	}
 	if r.Err != nil {
 		rec.Error = r.Err.Error()

@@ -50,6 +50,23 @@ func (j Job) String() string {
 	return fmt.Sprintf("%s/%s/%s", j.Arch.Name(), j.Bench.Name, j.Engine.Name)
 }
 
+// Effective returns the iteration and repeat counts the job actually
+// executes: unset values fall back to the benchmark's paper count and
+// a single measurement, mirroring Execute and Runner.Run. Cache keys
+// and records normalize through this one function, so equivalent jobs
+// stay equivalent everywhere.
+func (j Job) Effective() (iters int64, repeats int) {
+	iters = j.Iters
+	if iters <= 0 {
+		iters = j.Bench.PaperIters
+	}
+	repeats = j.Repeats
+	if repeats <= 0 {
+		repeats = 1
+	}
+	return iters, repeats
+}
+
 // Result is the outcome of one job: the minimum kernel time across
 // repeats, the full run result that produced it, and the cell's error
 // if it failed. Exactly one of Run and Err is nil.
@@ -60,6 +77,10 @@ type Result struct {
 	Kernel time.Duration
 	Run    *core.Result
 	Err    error
+
+	// Cached reports that the result was served from a Store rather
+	// than measured by this run.
+	Cached bool
 }
 
 // Matrix describes a full experiment as selections per axis. Jobs
@@ -99,13 +120,15 @@ func (m *Matrix) Jobs() []Job {
 // kernel finishes it.
 func Execute(ctx context.Context, j Job) Result {
 	res := Result{Job: j}
-	repeats := j.Repeats
-	if repeats <= 0 {
-		repeats = 1
-	}
+	_, repeats := j.Effective()
 	for rep := 0; rep < repeats; rep++ {
 		if err := ctx.Err(); err != nil {
+			// Drop any partial measurement: exactly one of Run and
+			// Err may be set, and a best-of-N cut short is not the
+			// cell's result.
 			res.Err = err
+			res.Run = nil
+			res.Kernel = 0
 			return res
 		}
 		runtime.GC()
@@ -124,19 +147,132 @@ func Execute(ctx context.Context, j Job) Result {
 	return res
 }
 
+// Store caches completed cell results across runs. A Store is keyed by
+// everything that determines a cell's outcome (see internal/store for
+// the content-addressed implementation); the scheduler only asks it to
+// round-trip Results. Implementations must be safe for concurrent use
+// by the worker pool.
+type Store interface {
+	// Get returns the cached result for j, if present. A returned
+	// result carries Cached=true and a reconstructed Run.
+	Get(j Job) (Result, bool)
+	// Put records a successfully measured result. Failed or cancelled
+	// cells are never offered.
+	Put(r Result)
+	// Has reports whether j is present without counting as a lookup;
+	// the scheduler uses it to decide which warmups are still needed.
+	Has(j Job) bool
+}
+
 // Scheduler runs a job list on a bounded worker pool.
 type Scheduler struct {
 	// Workers is the number of cells in flight at once; <=0 means
 	// GOMAXPROCS.
 	Workers int
-	// Warmup, when set, performs one discarded run of the first job
-	// before any timed cell, so allocator and heap warm-up never land
-	// inside the first measurement.
+	// Warmup, when set, performs one discarded run per distinct engine
+	// name in the job list before any timed cell, so process warm-up —
+	// allocator and heap growth, lazily initialized tables, cold
+	// instruction paths in each engine's code — never lands inside the
+	// first measurement of any engine's column. (Engine instances
+	// themselves are rebuilt per cell, so per-instance state like a
+	// translation cache never carries over; warmup is about the
+	// process, not the engine object.)
 	Warmup bool
+	// Store, when non-nil, is consulted before each cell executes and
+	// receives every successfully measured result. Cells served from
+	// the store carry Cached=true and skip execution entirely; engines
+	// whose every cell is already stored also skip their warmup run.
+	Store Store
 	// Progress, when non-nil, is called once per completed cell, in
 	// completion order. Calls are serialized; the callback needs no
 	// locking of its own.
 	Progress func(Result)
+}
+
+// execute resolves one job: from the store when possible, by running
+// it otherwise. Fresh successful measurements are offered back to the
+// store.
+func (s *Scheduler) execute(ctx context.Context, j Job) Result {
+	if s.Store != nil {
+		if r, ok := s.Store.Get(j); ok {
+			r.Job = j
+			return r
+		}
+	}
+	r := Execute(ctx, j)
+	if s.Store != nil && r.Err == nil {
+		s.Store.Put(r)
+	}
+	return r
+}
+
+// runWarmups executes the discarded per-engine warmup runs spread
+// across the worker pool, so a many-engine sweep (twenty releases)
+// does not pay one serial full-length run per engine before the first
+// timed cell is dispatched.
+func runWarmups(ctx context.Context, jobs []Job, workers int) {
+	if len(jobs) == 0 {
+		return
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	feed := make(chan Job)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range feed {
+				r := core.NewRunner(j.Engine.New(), j.Arch)
+				_, _ = r.Run(j.Bench, j.Iters)
+			}
+		}()
+	}
+feed:
+	for _, j := range jobs {
+		// Checked before the select too: with both channels ready,
+		// select picks randomly, and a cancelled run must not start
+		// another full-length warmup.
+		if ctx.Err() != nil {
+			break
+		}
+		select {
+		case feed <- j:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(feed)
+	wg.Wait()
+}
+
+// warmupJobs selects the first job of each distinct engine name, in
+// first-appearance order. With a Store attached, an engine whose every
+// job is already cached needs no warmup (nothing of it will execute)
+// and is skipped — so a fully cached matrix performs no guest runs at
+// all.
+func (s *Scheduler) warmupJobs(jobs []Job) []Job {
+	var order []string
+	first := make(map[string]Job)
+	needed := make(map[string]bool)
+	for _, j := range jobs {
+		name := j.Engine.Name
+		if _, ok := first[name]; !ok {
+			first[name] = j
+			order = append(order, name)
+		}
+		if !needed[name] && (s.Store == nil || !s.Store.Has(j)) {
+			needed[name] = true
+		}
+	}
+	var out []Job
+	for _, name := range order {
+		if needed[name] {
+			out = append(out, first[name])
+		}
+	}
+	return out
 }
 
 // Run executes every job and returns one Result per job, index-aligned
@@ -149,18 +285,15 @@ func (s *Scheduler) Run(ctx context.Context, jobs []Job) []Result {
 	if len(jobs) == 0 {
 		return results
 	}
-	if s.Warmup && ctx.Err() == nil {
-		j := jobs[0]
-		r := core.NewRunner(j.Engine.New(), j.Arch)
-		_, _ = r.Run(j.Bench, j.Iters)
-	}
-
 	workers := s.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > len(jobs) {
 		workers = len(jobs)
+	}
+	if s.Warmup && ctx.Err() == nil {
+		runWarmups(ctx, s.warmupJobs(jobs), workers)
 	}
 
 	idx := make(chan int)
@@ -171,7 +304,7 @@ func (s *Scheduler) Run(ctx context.Context, jobs []Job) []Result {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				r := Execute(ctx, jobs[i])
+				r := s.execute(ctx, jobs[i])
 				r.Index = i
 				results[i] = r
 				if s.Progress != nil {

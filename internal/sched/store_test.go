@@ -1,0 +1,185 @@
+package sched
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"simbench/internal/arch"
+	"simbench/internal/core"
+	"simbench/internal/engine"
+	"simbench/internal/engine/interp"
+)
+
+// memStore is a minimal Store for exercising the scheduler seam; the
+// content-addressed implementation lives in internal/store and has its
+// own tests.
+type memStore struct {
+	mu   sync.Mutex
+	m    map[string]Result
+	puts int
+}
+
+func newMemStore() *memStore { return &memStore{m: make(map[string]Result)} }
+
+func (s *memStore) key(j Job) string {
+	return fmt.Sprintf("%s/%d/%d", j, j.Iters, j.Repeats)
+}
+
+func (s *memStore) Get(j Job) (Result, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.m[s.key(j)]
+	if ok {
+		r.Cached = true
+	}
+	return r, ok
+}
+
+func (s *memStore) Put(r Result) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[s.key(r.Job)] = r
+	s.puts++
+}
+
+func (s *memStore) Has(j Job) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.m[s.key(j)]
+	return ok
+}
+
+// countingEngines wraps the test engines so every instantiation —
+// warmup or cell — is counted per engine name.
+func countingEngines(counts map[string]*atomic.Int32) []Engine {
+	base := testEngines()
+	out := make([]Engine, len(base))
+	for i, e := range base {
+		e := e
+		counts[e.Name] = &atomic.Int32{}
+		out[i] = Engine{Name: e.Name, New: func() engine.Engine {
+			counts[e.Name].Add(1)
+			return e.New()
+		}}
+	}
+	return out
+}
+
+// TestStoreRoundTrip runs the same matrix twice against one store: the
+// first run measures and populates, the second is served entirely from
+// the store with no execution at all (no engine is even built).
+func TestStoreRoundTrip(t *testing.T) {
+	counts := make(map[string]*atomic.Int32)
+	m := Matrix{
+		Arches:  []arch.Support{arch.ARM{}},
+		Benches: testBenches(t, "ctrl.intrapage-direct", "mem.hot"),
+		Engines: countingEngines(counts),
+		Iters:   func(*core.Benchmark) int64 { return 8 },
+	}
+	jobs := m.Jobs()
+	st := newMemStore()
+	s := Scheduler{Workers: 2, Warmup: true, Store: st}
+
+	first := s.Run(context.Background(), jobs)
+	if err := Errors(first); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range first {
+		if r.Cached {
+			t.Errorf("%s: first run served from empty store", r.Job)
+		}
+	}
+	if st.puts != len(jobs) {
+		t.Fatalf("store received %d puts, want %d", st.puts, len(jobs))
+	}
+	for name, c := range counts {
+		c.Store(0)
+		_ = name
+	}
+
+	second := s.Run(context.Background(), jobs)
+	if err := Errors(second); err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range second {
+		if !r.Cached {
+			t.Errorf("%s: second run not served from store", r.Job)
+		}
+		if r.Kernel != first[i].Kernel {
+			t.Errorf("%s: cached kernel %v != measured %v", r.Job, r.Kernel, first[i].Kernel)
+		}
+		if r.Job.String() != jobs[i].String() || r.Index != i {
+			t.Errorf("cached result %d misaligned: %s", i, r.Job)
+		}
+	}
+	if st.puts != len(jobs) {
+		t.Errorf("second run re-stored cells: %d puts", st.puts)
+	}
+	for name, c := range counts {
+		if c.Load() != 0 {
+			t.Errorf("engine %s built %d times on a fully cached run", name, c.Load())
+		}
+	}
+}
+
+// TestPerEngineWarmup checks that every distinct engine name gets its
+// own discarded warmup run, not just the first job's engine: with two
+// engines and two benchmarks each, each engine is instantiated once
+// per cell plus once for its warmup.
+func TestPerEngineWarmup(t *testing.T) {
+	counts := make(map[string]*atomic.Int32)
+	m := Matrix{
+		Arches:  []arch.Support{arch.ARM{}},
+		Benches: testBenches(t, "ctrl.intrapage-direct", "mem.hot"),
+		Engines: countingEngines(counts),
+		Iters:   func(*core.Benchmark) int64 { return 8 },
+	}
+	results := (&Scheduler{Workers: 2, Warmup: true}).Run(context.Background(), m.Jobs())
+	if err := Errors(results); err != nil {
+		t.Fatal(err)
+	}
+	for name, c := range counts {
+		// Two cells (one per benchmark, Repeats 1) + one warmup.
+		if c.Load() != 3 {
+			t.Errorf("engine %s built %d times, want 3 (2 cells + 1 warmup)", name, c.Load())
+		}
+	}
+}
+
+// TestWarmupJobsSelection exercises the selection logic directly:
+// first-appearance order, one job per engine, and store-backed
+// skipping of fully cached engines.
+func TestWarmupJobsSelection(t *testing.T) {
+	b := testBenches(t, "ctrl.intrapage-direct", "mem.hot")
+	eng := func(name string) Engine {
+		return Engine{Name: name, New: func() engine.Engine { return interp.New() }}
+	}
+	jobs := []Job{
+		{Bench: b[0], Engine: eng("a"), Arch: arch.ARM{}, Iters: 8},
+		{Bench: b[0], Engine: eng("b"), Arch: arch.ARM{}, Iters: 8},
+		{Bench: b[1], Engine: eng("a"), Arch: arch.ARM{}, Iters: 8},
+		{Bench: b[1], Engine: eng("b"), Arch: arch.ARM{}, Iters: 8},
+	}
+
+	s := &Scheduler{}
+	got := s.warmupJobs(jobs)
+	if len(got) != 2 || got[0].Engine.Name != "a" || got[1].Engine.Name != "b" {
+		t.Fatalf("warmupJobs = %v", got)
+	}
+	if got[0].Bench.Name != b[0].Name || got[1].Bench.Name != b[0].Name {
+		t.Errorf("warmup does not use each engine's first job: %v", got)
+	}
+
+	// Cache everything engine "a" will run; only "b" still needs warmup.
+	st := newMemStore()
+	st.Put(Result{Job: jobs[0]})
+	st.Put(Result{Job: jobs[2]})
+	s.Store = st
+	got = s.warmupJobs(jobs)
+	if len(got) != 1 || got[0].Engine.Name != "b" {
+		t.Errorf("warmupJobs with cached engine = %v", got)
+	}
+}

@@ -1,0 +1,149 @@
+package store
+
+import (
+	"fmt"
+	"sort"
+
+	"simbench/internal/report"
+)
+
+// CellDiff is one cell compared between two runs.
+type CellDiff struct {
+	Benchmark string
+	Engine    string
+	Arch      string
+	Iters     int64
+	Repeats   int
+
+	// BaseSeconds and CurrentSeconds are the kernel times of the two
+	// runs; Delta is CurrentSeconds/BaseSeconds - 1, so positive means
+	// the current run is slower.
+	BaseSeconds    float64
+	CurrentSeconds float64
+	Delta          float64
+}
+
+// Cell names the cell the way the scheduler does, plus its scale.
+func (c CellDiff) Cell() string {
+	return fmt.Sprintf("%s/%s/%s@%d", c.Arch, c.Benchmark, c.Engine, c.Iters)
+}
+
+// Diff is the cell-by-cell comparison of two runs.
+type Diff struct {
+	// Threshold is the relative slowdown tolerated as noise.
+	Threshold float64
+	// Regressions are common cells slower than Threshold allows,
+	// worst first; Improvements are common cells faster by more than
+	// Threshold, best first.
+	Regressions  []CellDiff
+	Improvements []CellDiff
+	// Stable counts common cells within the threshold either way.
+	Stable int
+	// Broken names cells measured in the baseline but errored (or
+	// unmeasured) in the current run — going from working to broken
+	// must fail a regression gate, so they count towards Regressed.
+	Broken []string
+	// OnlyBase and OnlyCurrent name cells without a measured
+	// counterpart in the other run — absent from it, or (for
+	// OnlyCurrent) errored in both runs; they are compared in neither
+	// direction.
+	OnlyBase    []string
+	OnlyCurrent []string
+}
+
+// Regressed reports whether any cell regressed past the threshold or
+// broke outright.
+func (d Diff) Regressed() bool { return len(d.Regressions) > 0 || len(d.Broken) > 0 }
+
+// cellID keys a record by everything that identifies a cell within a
+// run: coordinates and scale. Engine here is the display name — diffs
+// compare like-named columns across time, which is exactly what "did
+// my simulator get slower" asks.
+func cellID(r report.Record) string {
+	return fmt.Sprintf("%s|%s|%s|%d|%d", r.Arch, r.Benchmark, r.Engine, r.Iters, r.Repeats)
+}
+
+func measured(r report.Record) bool { return r.Error == "" && r.KernelSeconds > 0 }
+
+// DiffRuns compares two recorded runs cell by cell. Cells are matched
+// by (arch, benchmark, engine, iters, repeats); a matched pair counts
+// as regressed when the current kernel time exceeds the baseline by
+// more than threshold (e.g. 0.10 = 10 % slower), and as improved when
+// it undercuts it by more than threshold. A cell the baseline measured
+// but the current run could not (errored or zero-time) is Broken —
+// and fails the gate; errored cells with no measured twin are merely
+// reported as unmatched.
+func DiffRuns(base, current RunRecord, threshold float64) Diff {
+	d := Diff{Threshold: threshold}
+	baseByID := make(map[string]report.Record, len(base.Cells))
+	var baseUnmeasured []string
+	for _, r := range base.Cells {
+		if measured(r) {
+			baseByID[cellID(r)] = r
+		} else {
+			baseUnmeasured = append(baseUnmeasured, cellID(r))
+		}
+	}
+	curIDs := make(map[string]bool, len(current.Cells))
+	for _, r := range current.Cells {
+		curIDs[cellID(r)] = true
+	}
+	matched := make(map[string]bool, len(current.Cells))
+	for _, cur := range current.Cells {
+		id := cellID(cur)
+		b, ok := baseByID[id]
+		if !measured(cur) {
+			if ok {
+				// The baseline measured this cell; the current run
+				// could not.
+				matched[id] = true
+				d.Broken = append(d.Broken, id)
+			} else {
+				d.OnlyCurrent = append(d.OnlyCurrent, id)
+			}
+			continue
+		}
+		if !ok {
+			d.OnlyCurrent = append(d.OnlyCurrent, id)
+			continue
+		}
+		matched[id] = true
+		cd := CellDiff{
+			Benchmark:      cur.Benchmark,
+			Engine:         cur.Engine,
+			Arch:           cur.Arch,
+			Iters:          cur.Iters,
+			Repeats:        cur.Repeats,
+			BaseSeconds:    b.KernelSeconds,
+			CurrentSeconds: cur.KernelSeconds,
+			Delta:          cur.KernelSeconds/b.KernelSeconds - 1,
+		}
+		switch {
+		case cd.Delta > threshold:
+			d.Regressions = append(d.Regressions, cd)
+		case cd.Delta < -threshold:
+			d.Improvements = append(d.Improvements, cd)
+		default:
+			d.Stable++
+		}
+	}
+	for id := range baseByID {
+		if !matched[id] {
+			d.OnlyBase = append(d.OnlyBase, id)
+		}
+	}
+	// An errored baseline cell is OnlyBase only when the current run
+	// has no cell with that id at all; if it does, the current-run
+	// side already reported it once (as a measurement or OnlyCurrent).
+	for _, id := range baseUnmeasured {
+		if !curIDs[id] {
+			d.OnlyBase = append(d.OnlyBase, id)
+		}
+	}
+	sort.Slice(d.Regressions, func(i, j int) bool { return d.Regressions[i].Delta > d.Regressions[j].Delta })
+	sort.Slice(d.Improvements, func(i, j int) bool { return d.Improvements[i].Delta < d.Improvements[j].Delta })
+	sort.Strings(d.Broken)
+	sort.Strings(d.OnlyBase)
+	sort.Strings(d.OnlyCurrent)
+	return d
+}

@@ -1,0 +1,214 @@
+package store
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"simbench/internal/report"
+	"simbench/internal/sched"
+)
+
+// RunRecord is one completed matrix in the store's history: a
+// timestamped, labelled set of cell records in matrix order, reusing
+// the report package's machine-readable Record encoding (the same
+// shape simbench -json emits).
+type RunRecord struct {
+	Time   time.Time       `json:"time"`
+	Label  string          `json:"label"`
+	Host   string          `json:"host"`
+	Schema int             `json:"schema"`
+	Cells  []report.Record `json:"cells"`
+}
+
+// NewRun flattens a completed matrix into a history record. Failed
+// cells are included with their error text, mirroring FprintJSON, so
+// history shows the whole matrix.
+func NewRun(label string, results []sched.Result) RunRecord {
+	rr := RunRecord{
+		Time:   time.Now().UTC(),
+		Label:  label,
+		Host:   runtime.GOOS + "/" + runtime.GOARCH,
+		Schema: SchemaVersion,
+		Cells:  make([]report.Record, len(results)),
+	}
+	for i, r := range results {
+		rr.Cells[i] = report.NewRecord(r)
+	}
+	return rr
+}
+
+func (s *Store) historyPath() string { return filepath.Join(s.dir, "history.jsonl") }
+
+// AppendHistory records a completed matrix as one JSONL line. It is a
+// no-op for an in-process-only store, an empty matrix, or an aborted
+// run (any cell cancelled): an aborted run would look like the latest
+// complete run to `simbase save`, silently shrinking the baseline to
+// the few cells that happened to finish.
+func (s *Store) AppendHistory(label string, results []sched.Result) error {
+	if s.dir == "" || len(results) == 0 {
+		return nil
+	}
+	for _, r := range results {
+		if errors.Is(r.Err, context.Canceled) || errors.Is(r.Err, context.DeadlineExceeded) {
+			return nil
+		}
+	}
+	line, err := json.Marshal(NewRun(label, results))
+	if err != nil {
+		return fmt.Errorf("store: history: %w", err)
+	}
+	f, err := os.OpenFile(s.historyPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: history: %w", err)
+	}
+	_, werr := f.Write(append(line, '\n'))
+	cerr := f.Close()
+	if werr != nil || cerr != nil {
+		return fmt.Errorf("store: history: %w", errors.Join(werr, cerr))
+	}
+	return nil
+}
+
+// History returns every recorded run in append order. A missing
+// history file is an empty history, not an error; a malformed line
+// (e.g. the torn tail of a process killed mid-append) is skipped
+// rather than poisoning the whole history — unless nothing at all
+// parses, which reports the first parse error.
+func (s *Store) History() ([]RunRecord, error) {
+	if s.dir == "" {
+		return nil, nil
+	}
+	f, err := os.Open(s.historyPath())
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("store: history: %w", err)
+	}
+	defer f.Close()
+	var runs []RunRecord
+	var firstBad error
+	skipped := 0
+	sc := bufio.NewScanner(f)
+	// Full-matrix runs are large single lines; size the scanner for
+	// them (the default cap is 64 KiB).
+	sc.Buffer(make([]byte, 0, 1<<20), 64<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var rr RunRecord
+		if err := json.Unmarshal([]byte(line), &rr); err != nil {
+			if firstBad == nil {
+				firstBad = err
+			}
+			skipped++
+			continue
+		}
+		runs = append(runs, rr)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("store: history: %w", err)
+	}
+	if len(runs) == 0 && skipped > 0 {
+		return nil, fmt.Errorf("store: history: no entry parses (%d malformed): %w", skipped, firstBad)
+	}
+	return runs, nil
+}
+
+// LatestRun returns the most recent history entry, restricted to the
+// given label when label is non-empty.
+func (s *Store) LatestRun(label string) (RunRecord, error) {
+	runs, err := s.History()
+	if err != nil {
+		return RunRecord{}, err
+	}
+	for i := len(runs) - 1; i >= 0; i-- {
+		if label == "" || runs[i].Label == label {
+			return runs[i], nil
+		}
+	}
+	if label == "" {
+		return RunRecord{}, errors.New("store: history is empty")
+	}
+	return RunRecord{}, fmt.Errorf("store: no history entry labelled %q", label)
+}
+
+func (s *Store) baselinePath(name string) (string, error) {
+	if s.dir == "" {
+		return "", errors.New("store: baselines need an on-disk store (-cache-dir)")
+	}
+	if name == "" || name != filepath.Base(name) || strings.HasPrefix(name, ".") {
+		return "", fmt.Errorf("store: invalid baseline name %q", name)
+	}
+	return filepath.Join(s.dir, "baselines", name+".json"), nil
+}
+
+// SaveBaseline stores a run under a name, for later diffing.
+func (s *Store) SaveBaseline(name string, rr RunRecord) error {
+	path, err := s.baselinePath(name)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(rr, "", "  ")
+	if err != nil {
+		return fmt.Errorf("store: baseline: %w", err)
+	}
+	if err := atomicWrite(path, append(data, '\n')); err != nil {
+		return fmt.Errorf("store: baseline: %w", err)
+	}
+	return nil
+}
+
+// LoadBaseline returns a previously saved baseline.
+func (s *Store) LoadBaseline(name string) (RunRecord, error) {
+	path, err := s.baselinePath(name)
+	if err != nil {
+		return RunRecord{}, err
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return RunRecord{}, fmt.Errorf("store: unknown baseline %q", name)
+		}
+		return RunRecord{}, fmt.Errorf("store: baseline: %w", err)
+	}
+	var rr RunRecord
+	if err := json.Unmarshal(data, &rr); err != nil {
+		return RunRecord{}, fmt.Errorf("store: baseline %q: %w", name, err)
+	}
+	return rr, nil
+}
+
+// Baselines lists saved baseline names, sorted.
+func (s *Store) Baselines() ([]string, error) {
+	if s.dir == "" {
+		return nil, nil
+	}
+	entries, err := os.ReadDir(filepath.Join(s.dir, "baselines"))
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("store: baselines: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.Type().IsRegular() && strings.HasSuffix(name, ".json") && !strings.HasPrefix(name, ".") {
+			names = append(names, strings.TrimSuffix(name, ".json"))
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}

@@ -1,0 +1,256 @@
+package store
+
+import (
+	"context"
+	"errors"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"simbench/internal/report"
+	"simbench/internal/sched"
+)
+
+// fabricateRun builds a synthetic n-cell run; cell i reuses the
+// synthetic jobs of the concurrency test.
+func fabricateRun(n int, kernel func(i int) time.Duration) []sched.Result {
+	out := make([]sched.Result, n)
+	for i := range out {
+		out[i] = fabricate(syntheticJob(i), kernel(i))
+	}
+	return out
+}
+
+func TestHistoryAppendAndLoad(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs, err := s.History(); err != nil || len(runs) != 0 {
+		t.Fatalf("fresh store history = %v, %v", runs, err)
+	}
+
+	if err := s.AppendHistory("fig7", fabricateRun(3, func(i int) time.Duration { return time.Duration(i+1) * time.Millisecond })); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendHistory("simbench", fabricateRun(2, func(i int) time.Duration { return time.Second })); err != nil {
+		t.Fatal(err)
+	}
+
+	runs, err := s.History()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 2 || runs[0].Label != "fig7" || runs[1].Label != "simbench" {
+		t.Fatalf("history = %+v", runs)
+	}
+	if len(runs[0].Cells) != 3 || runs[0].Cells[0].Benchmark != "synthetic.0" {
+		t.Errorf("first run cells = %+v", runs[0].Cells)
+	}
+	if runs[0].Time.IsZero() || runs[0].Schema != SchemaVersion {
+		t.Errorf("run metadata = %+v", runs[0])
+	}
+
+	latest, err := s.LatestRun("")
+	if err != nil || latest.Label != "simbench" {
+		t.Errorf("LatestRun() = %v, %v", latest.Label, err)
+	}
+	byLabel, err := s.LatestRun("fig7")
+	if err != nil || byLabel.Label != "fig7" {
+		t.Errorf("LatestRun(fig7) = %v, %v", byLabel.Label, err)
+	}
+	if _, err := s.LatestRun("nope"); err == nil {
+		t.Error("LatestRun(nope) did not fail")
+	}
+}
+
+// TestHistorySkipsAbortedRuns: a cancelled matrix must not become the
+// "latest run" that simbase save would silently baseline.
+func TestHistorySkipsAbortedRuns(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	aborted := fabricateRun(3, func(int) time.Duration { return time.Second })
+	aborted[2] = sched.Result{Job: aborted[2].Job, Err: context.Canceled}
+	if err := s.AppendHistory("aborted", aborted); err != nil {
+		t.Fatal(err)
+	}
+	if runs, err := s.History(); err != nil || len(runs) != 0 {
+		t.Errorf("aborted run recorded: %v, %v", runs, err)
+	}
+
+	// A run with a real (non-cancellation) cell failure is history:
+	// the errored cell is part of what happened.
+	failed := fabricateRun(2, func(int) time.Duration { return time.Second })
+	failed[1] = sched.Result{Job: failed[1].Job, Err: errors.New("guest aborted")}
+	if err := s.AppendHistory("failed", failed); err != nil {
+		t.Fatal(err)
+	}
+	runs, err := s.History()
+	if err != nil || len(runs) != 1 || runs[0].Label != "failed" {
+		t.Fatalf("history = %+v, %v", runs, err)
+	}
+	if runs[0].Cells[1].Error == "" {
+		t.Error("failed cell lost its error text")
+	}
+}
+
+// TestHistoryTornLine: a process killed mid-append leaves a partial
+// JSON line; that must not poison the rest of the history.
+func TestHistoryTornLine(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendHistory("good", fabricateRun(1, func(int) time.Duration { return time.Second })); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(s.historyPath(), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"time":"2026-01-01T00:00:00Z","label":"torn","cells":[{"bench`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	runs, err := s.History()
+	if err != nil {
+		t.Fatalf("torn line poisoned history: %v", err)
+	}
+	if len(runs) != 1 || runs[0].Label != "good" {
+		t.Errorf("history = %+v", runs)
+	}
+	if _, err := s.LatestRun(""); err != nil {
+		t.Errorf("LatestRun after torn line: %v", err)
+	}
+
+	// A history that is nothing but garbage does surface the problem.
+	if err := os.WriteFile(s.historyPath(), []byte("not json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.History(); err == nil {
+		t.Error("all-garbage history did not error")
+	}
+}
+
+func TestHistoryNoopInMemory(t *testing.T) {
+	s, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendHistory("x", fabricateRun(1, func(int) time.Duration { return time.Second })); err != nil {
+		t.Fatal(err)
+	}
+	if runs, err := s.History(); err != nil || runs != nil {
+		t.Errorf("in-memory history = %v, %v", runs, err)
+	}
+	if err := s.SaveBaseline("x", RunRecord{}); err == nil {
+		t.Error("in-memory SaveBaseline did not fail")
+	}
+}
+
+func TestBaselines(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr := NewRun("fig7", fabricateRun(2, func(i int) time.Duration { return time.Duration(i+1) * time.Second }))
+	if err := s.SaveBaseline("nightly", rr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.LoadBaseline("nightly")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Label != "fig7" || len(got.Cells) != 2 || got.Cells[1].KernelSeconds != 2 {
+		t.Errorf("baseline round trip = %+v", got)
+	}
+	names, err := s.Baselines()
+	if err != nil || len(names) != 1 || names[0] != "nightly" {
+		t.Errorf("Baselines = %v, %v", names, err)
+	}
+	if _, err := s.LoadBaseline("absent"); err == nil {
+		t.Error("LoadBaseline(absent) did not fail")
+	}
+	for _, bad := range []string{"", "a/b", "..", ".hidden"} {
+		if err := s.SaveBaseline(bad, rr); err == nil {
+			t.Errorf("SaveBaseline(%q) accepted", bad)
+		}
+	}
+}
+
+func TestDiffRuns(t *testing.T) {
+	base := NewRun("base", fabricateRun(4, func(i int) time.Duration { return 100 * time.Millisecond }))
+	cur := NewRun("cur", fabricateRun(4, func(i int) time.Duration {
+		switch i {
+		case 0:
+			return 125 * time.Millisecond // +25 %: regression
+		case 1:
+			return 70 * time.Millisecond // -30 %: improvement
+		case 2:
+			return 105 * time.Millisecond // +5 %: noise
+		default:
+			return 100 * time.Millisecond
+		}
+	}))
+	// An extra measured cell on the base side, an errored cell with no
+	// measured twin on the current side, and a cell the baseline
+	// measured (synthetic.3) erroring in the current run.
+	base.Cells = append(base.Cells, report.Record{Benchmark: "only.base", Engine: "interp", Arch: "arm", Iters: 9, KernelSeconds: 1})
+	cur.Cells = append(cur.Cells, report.Record{Benchmark: "never.seen", Engine: "interp", Arch: "arm", Iters: 9, Error: "boom"})
+	cur.Cells[3].Error = "guest aborted"
+	cur.Cells[3].KernelSeconds = 0
+
+	d := DiffRuns(base, cur, 0.10)
+	if !d.Regressed() {
+		t.Fatal("no regression flagged")
+	}
+	if len(d.Regressions) != 1 || d.Regressions[0].Benchmark != "synthetic.0" {
+		t.Errorf("regressions = %+v", d.Regressions)
+	}
+	if got := d.Regressions[0].Delta; got < 0.24 || got > 0.26 {
+		t.Errorf("delta = %v, want ~0.25", got)
+	}
+	if len(d.Improvements) != 1 || d.Improvements[0].Benchmark != "synthetic.1" {
+		t.Errorf("improvements = %+v", d.Improvements)
+	}
+	if d.Stable != 1 {
+		t.Errorf("stable = %d, want 1", d.Stable)
+	}
+	if len(d.Broken) != 1 || !strings.Contains(d.Broken[0], "synthetic.3") {
+		t.Errorf("broken = %v", d.Broken)
+	}
+	if len(d.OnlyBase) != 1 || len(d.OnlyCurrent) != 1 {
+		t.Errorf("unmatched: base=%v current=%v", d.OnlyBase, d.OnlyCurrent)
+	}
+
+	// A working-to-broken cell fails the gate even with a huge
+	// threshold.
+	if !DiffRuns(base, cur, 100).Regressed() {
+		t.Error("broken cell did not fail the gate at a high threshold")
+	}
+
+	// A cell errored in the baseline but present in the current run is
+	// reported once (current side), not in both unmatched lists.
+	base2 := NewRun("base", nil)
+	base2.Cells = append(base2.Cells, report.Record{Benchmark: "flaky", Engine: "interp", Arch: "arm", Iters: 9, Error: "boom"})
+	cur2 := NewRun("cur", nil)
+	cur2.Cells = append(cur2.Cells, report.Record{Benchmark: "flaky", Engine: "interp", Arch: "arm", Iters: 9, KernelSeconds: 1})
+	d2 := DiffRuns(base2, cur2, 0.10)
+	if len(d2.OnlyBase) != 0 || len(d2.OnlyCurrent) != 1 {
+		t.Errorf("flaky cell double-listed: base=%v current=%v", d2.OnlyBase, d2.OnlyCurrent)
+	}
+	if d2.Regressed() {
+		t.Errorf("errored-baseline cell counted as regression: %+v", d2)
+	}
+
+	// Within threshold both ways: clean diff.
+	clean := DiffRuns(base, base, 0.10)
+	if clean.Regressed() || len(clean.Improvements) != 0 || len(clean.Broken) != 0 {
+		t.Errorf("self-diff not clean: %+v", clean)
+	}
+}

@@ -1,0 +1,117 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"strings"
+
+	"simbench/internal/engine/dbt"
+	"simbench/internal/sched"
+)
+
+// SchemaVersion is folded into every key and written into every blob;
+// bumping it invalidates the whole store at once (use it when the
+// meaning of a measurement changes, e.g. a timing-protocol fix).
+const SchemaVersion = 1
+
+// Key is the SHA-256 content address of one matrix cell.
+type Key [sha256.Size]byte
+
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// KeyFor returns the content address of a job: the hash of its
+// canonical fingerprint.
+func KeyFor(j sched.Job) Key { return sha256.Sum256([]byte(Fingerprint(j))) }
+
+// Fingerprint returns the canonical pre-hash encoding of everything
+// that determines a cell's outcome: schema version, host, the
+// binary's build identity, guest architecture, benchmark identity and
+// scale, and the engine's full configuration. Two jobs share a cell exactly when their fingerprints
+// are equal — so editing one release's config delta, or bumping a
+// benchmark's iteration count, invalidates exactly the affected cells
+// and nothing else.
+//
+// Note that the scheduler's display name for an engine is deliberately
+// absent: a sweep's "v2.5.0-rc2" column and the Fig. 7 "dbt" column
+// are the same configuration and therefore the same measurement, so
+// they share a cell.
+func Fingerprint(j sched.Job) string {
+	iters, repeats := j.Effective()
+	var b strings.Builder
+	fmt.Fprintf(&b, "simbench/store schema=%d\n", SchemaVersion)
+	fmt.Fprintf(&b, "host=%s/%s\n", runtime.GOOS, runtime.GOARCH)
+	fmt.Fprintf(&b, "build=%s\n", buildID)
+	fmt.Fprintf(&b, "arch=%s\n", j.Arch.Name())
+	fmt.Fprintf(&b, "bench=%s iters=%d repeats=%d\n", j.Bench.Name, iters, repeats)
+	fmt.Fprintf(&b, "engine=%s\n", engineFingerprint(j.Engine))
+	return b.String()
+}
+
+// buildID is the running binary's identity, folded into every
+// fingerprint: the engines' behaviour lives in this module's code, so
+// a new revision must not serve measurements taken by an old one (or
+// the simbase regression gate would compare a baseline to itself).
+// With VCS info — stamped into `go build` binaries made inside the
+// checkout — that is the commit hash plus the dirty flag; test and
+// `go run` builds carry no VCS stamp and fall back to the module
+// version. A dirty working tree keeps one identity across successive
+// edits, so when hand-editing engine code between runs, clear the
+// cache directory (or bump SchemaVersion).
+var buildID, buildIDNote = func() (string, string) {
+	const advice = "cached results cannot tell engine-code edits apart — clear the cache dir after changing engine code"
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown", "no build info; " + advice
+	}
+	rev, modified := "", ""
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			modified = s.Value
+		}
+	}
+	switch {
+	case rev == "":
+		return "module " + bi.Main.Version,
+			"this build has no VCS stamp (go run / go test); " + advice
+	case modified != "false":
+		// A dirty tree keeps one identity across successive edits, so
+		// the stamp cannot distinguish them either.
+		return rev + " dirty=" + modified,
+			"this build is from a dirty working tree; " + advice
+	}
+	return rev + " dirty=false", ""
+}()
+
+// IdentityNote returns a one-line warning, in the voice of a CLI
+// tool, when the running binary's cache identity cannot distinguish
+// engine-code edits: go run and go test builds carry no VCS stamp at
+// all, and a build from a dirty working tree keeps one identity
+// across successive edits. Returns "" for clean stamped builds, whose
+// identity changes with every commit.
+func IdentityNote(tool string) string {
+	if buildIDNote == "" {
+		return ""
+	}
+	return tool + ": note: " + buildIDNote
+}
+
+// engineFingerprint canonically encodes an engine's configuration by
+// building one instance and inspecting it. For the DBT engine that is
+// the full Config — every field switches a real code path, so every
+// field is key material (%+v also picks up fields added later, which
+// correctly invalidates old blobs). The other platforms carry no
+// tunables beyond their identity, so their name plus the Fig. 4
+// feature metadata is the whole configuration.
+func engineFingerprint(e sched.Engine) string {
+	inst := e.New()
+	if d, ok := inst.(*dbt.Engine); ok {
+		return fmt.Sprintf("dbt %+v", d.Config())
+	}
+	return fmt.Sprintf("%s %+v", inst.Name(), inst.Features())
+}

@@ -1,0 +1,283 @@
+// Package store is a content-addressed, persistent result store for
+// experiment matrices. A cell's key is a SHA-256 fingerprint over a
+// canonical encoding of everything that determines its outcome —
+// benchmark, iteration count, repeats, guest architecture, the
+// engine's full configuration, host, and a schema version — so a
+// stored measurement is reused exactly when re-running it would
+// measure the same thing, and editing any input invalidates exactly
+// the affected cells.
+//
+// The store is layered: an in-process map shares cells between the
+// figures of one invocation (Figs. 2, 6 and 8 overlap heavily), and
+// an optional on-disk layer makes repeated CLI invocations
+// incremental across processes. Disk blobs are JSON, written via
+// temp-file-plus-rename, so concurrent workers and concurrent
+// processes on one cache directory are safe.
+//
+// On top of the cell store sit run history (every completed matrix
+// appends a timestamped JSONL record) and named baselines, which the
+// simbase tool diffs against for regression detection.
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"simbench/internal/core"
+	"simbench/internal/engine"
+	"simbench/internal/sched"
+)
+
+// blob is the persisted form of one measured cell: the full result,
+// not just the headline number, so a cache hit reconstructs a Result
+// indistinguishable from a fresh measurement (same statistics, same
+// JSON record, same validation-relevant counters). Durations are
+// stored in nanoseconds so the round trip is exact.
+type blob struct {
+	Schema int `json:"schema"`
+
+	Benchmark string `json:"benchmark"`
+	Engine    string `json:"engine"` // engine instance name (e.g. "dbt")
+	Arch      string `json:"arch"`
+	Iters     int64  `json:"iters"`
+
+	KernelNS int64 `json:"kernel_ns"`
+	TotalNS  int64 `json:"total_ns"`
+
+	Stats engine.Stats `json:"stats"`
+	Exc   []uint64     `json:"exc,omitempty"`
+
+	SafeDevAccesses   uint64   `json:"safe_dev_accesses,omitempty"`
+	CoprocDevAccesses uint64   `json:"coproc_dev_accesses,omitempty"`
+	SWIRaised         uint64   `json:"swi_raised,omitempty"`
+	GuestResults      []uint32 `json:"guest_results,omitempty"`
+	Console           string   `json:"console,omitempty"`
+}
+
+func newBlob(r sched.Result) *blob {
+	run := r.Run
+	b := &blob{
+		Schema:            SchemaVersion,
+		Benchmark:         run.Benchmark.Name,
+		Engine:            run.Engine,
+		Arch:              run.Arch,
+		Iters:             run.Iters,
+		KernelNS:          int64(r.Kernel),
+		TotalNS:           int64(run.Total),
+		Stats:             run.Stats,
+		Exc:               append([]uint64(nil), run.Exc[:]...),
+		SafeDevAccesses:   run.SafeDevAccesses,
+		CoprocDevAccesses: run.CoprocDevAccesses,
+		SWIRaised:         run.SWIRaised,
+		GuestResults:      append([]uint32(nil), run.GuestResults...),
+		Console:           run.Console,
+	}
+	return b
+}
+
+// result reconstructs a scheduler result for j from the stored
+// measurement.
+func (b *blob) result(j sched.Job) sched.Result {
+	run := &core.Result{
+		Benchmark:         j.Bench,
+		Engine:            b.Engine,
+		Arch:              b.Arch,
+		Iters:             b.Iters,
+		Kernel:            time.Duration(b.KernelNS),
+		Total:             time.Duration(b.TotalNS),
+		Stats:             b.Stats,
+		SafeDevAccesses:   b.SafeDevAccesses,
+		CoprocDevAccesses: b.CoprocDevAccesses,
+		SWIRaised:         b.SWIRaised,
+		GuestResults:      append([]uint32(nil), b.GuestResults...),
+		Console:           b.Console,
+	}
+	copy(run.Exc[:], b.Exc)
+	return sched.Result{
+		Job:    j,
+		Kernel: time.Duration(b.KernelNS),
+		Run:    run,
+		Cached: true,
+	}
+}
+
+// Store is the content-addressed result store. It implements
+// sched.Store, so it plugs straight into a Scheduler. The zero value
+// is not usable; call Open.
+type Store struct {
+	dir string // "" = in-process layer only
+
+	mu  sync.RWMutex
+	mem map[Key]*blob
+
+	hits, misses atomic.Uint64
+
+	errMu   sync.Mutex
+	diskErr error // first disk failure, surfaced via Err
+}
+
+// Open opens (creating if needed) a store rooted at dir. An empty dir
+// yields an in-process store with no persistence — still useful for
+// sharing cells between the figures of one run.
+func Open(dir string) (*Store, error) {
+	s := &Store{mem: make(map[Key]*blob)}
+	if dir != "" {
+		if err := os.MkdirAll(filepath.Join(dir, "objects"), 0o755); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+		s.dir = dir
+	}
+	return s, nil
+}
+
+// Dir returns the on-disk root, "" for an in-process-only store.
+func (s *Store) Dir() string { return s.dir }
+
+// Get implements sched.Store: it returns the cached result for j and
+// counts the lookup as a hit or miss.
+func (s *Store) Get(j sched.Job) (sched.Result, bool) {
+	b := s.lookup(KeyFor(j))
+	if b == nil {
+		s.misses.Add(1)
+		return sched.Result{}, false
+	}
+	s.hits.Add(1)
+	return b.result(j), true
+}
+
+// Has implements sched.Store: presence without touching the hit/miss
+// counters.
+func (s *Store) Has(j sched.Job) bool { return s.lookup(KeyFor(j)) != nil }
+
+// Put implements sched.Store: it records a successfully measured
+// result in both layers. Disk failures do not interrupt the run; the
+// first one is retained and reported by Err.
+func (s *Store) Put(r sched.Result) {
+	if r.Err != nil || r.Run == nil {
+		return
+	}
+	k := KeyFor(r.Job)
+	b := newBlob(r)
+	s.mu.Lock()
+	s.mem[k] = b
+	s.mu.Unlock()
+	if s.dir == "" {
+		return
+	}
+	if err := s.writeBlob(k, b); err != nil {
+		s.errMu.Lock()
+		if s.diskErr == nil {
+			s.diskErr = err
+		}
+		s.errMu.Unlock()
+	}
+}
+
+// Stats returns the lookup counters: cells served from the store and
+// cells that had to run.
+func (s *Store) Stats() (hits, misses uint64) {
+	return s.hits.Load(), s.misses.Load()
+}
+
+// Err returns the first disk write failure, if any. Cache writes never
+// fail a run; callers check Err at the end to warn that persistence
+// was incomplete.
+func (s *Store) Err() error {
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	return s.diskErr
+}
+
+// FprintStats writes a one-line hit/miss summary in the voice of a CLI
+// tool ("tool: cache: 12 hits, 0 misses (100% hits)"), plus a warning
+// line if persistence failed. A nil store, or one that saw no lookups,
+// prints nothing — so tools can call it unconditionally.
+func FprintStats(w io.Writer, tool string, s *Store) {
+	if s == nil {
+		return
+	}
+	hits, misses := s.Stats()
+	if hits+misses > 0 {
+		fmt.Fprintf(w, "%s: cache: %d hits, %d misses (%.0f%% hits)\n",
+			tool, hits, misses, float64(hits)/float64(hits+misses)*100)
+	}
+	if err := s.Err(); err != nil {
+		fmt.Fprintf(w, "%s: cache writes incomplete: %v\n", tool, err)
+	}
+}
+
+// lookup consults the in-process layer first, then disk, promoting
+// disk hits into memory.
+func (s *Store) lookup(k Key) *blob {
+	s.mu.RLock()
+	b := s.mem[k]
+	s.mu.RUnlock()
+	if b != nil || s.dir == "" {
+		return b
+	}
+	data, err := os.ReadFile(s.blobPath(k))
+	if err != nil {
+		return nil
+	}
+	b = new(blob)
+	if err := json.Unmarshal(data, b); err != nil || b.Schema != SchemaVersion {
+		// Corrupt or foreign-schema blob: treat as a miss; a fresh
+		// measurement will overwrite it.
+		return nil
+	}
+	s.mu.Lock()
+	s.mem[k] = b
+	s.mu.Unlock()
+	return b
+}
+
+func (s *Store) blobPath(k Key) string {
+	hex := k.String()
+	return filepath.Join(s.dir, "objects", hex[:2], hex+".json")
+}
+
+// writeBlob persists one cell via temp-file-plus-rename, so concurrent
+// writers (goroutines or whole processes) on one directory never
+// expose a torn blob; the last complete write wins, and identical keys
+// hold identical measurements semantically, so "wins" is immaterial.
+func (s *Store) writeBlob(k Key, b *blob) error {
+	data, err := json.Marshal(b)
+	if err != nil {
+		return fmt.Errorf("store: encode %s: %w", k, err)
+	}
+	if err := atomicWrite(s.blobPath(k), data); err != nil {
+		return fmt.Errorf("store: write %s: %w", k, err)
+	}
+	return nil
+}
+
+// atomicWrite creates path's directory and writes data via
+// temp-file-plus-rename, so readers never observe a torn file and
+// concurrent writers cannot interleave.
+func atomicWrite(path string, data []byte) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	f, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	_, werr := f.Write(data)
+	cerr := f.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(f.Name())
+		return errors.Join(werr, cerr)
+	}
+	if err := os.Rename(f.Name(), path); err != nil {
+		os.Remove(f.Name())
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,397 @@
+package store
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"simbench/internal/arch"
+	"simbench/internal/bench"
+	"simbench/internal/core"
+	"simbench/internal/engine"
+	"simbench/internal/engine/dbt"
+	"simbench/internal/engine/detailed"
+	"simbench/internal/engine/direct"
+	"simbench/internal/engine/interp"
+	"simbench/internal/report"
+	"simbench/internal/sched"
+	"simbench/internal/versions"
+)
+
+func testJob(t *testing.T) sched.Job {
+	t.Helper()
+	b, err := bench.ByName("ctrl.intrapage-direct")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := versions.Latest()
+	return sched.Job{
+		Bench:   b,
+		Engine:  sched.Engine{Name: rel.Name, New: func() engine.Engine { return rel.Engine() }},
+		Arch:    arch.ARM{},
+		Iters:   64,
+		Repeats: 2,
+	}
+}
+
+func dbtJob(j sched.Job, cfg dbt.Config) sched.Job {
+	j.Engine = sched.Engine{Name: cfg.Name, New: func() engine.Engine { return dbt.New(cfg) }}
+	return j
+}
+
+// TestKeyDistinctness flips every input that determines a cell's
+// outcome — each dbt.Config field, iters, repeats, arch, benchmark —
+// and checks that each flip lands in a distinct cell.
+func TestKeyDistinctness(t *testing.T) {
+	base := testJob(t)
+	cfg := versions.Latest().Config
+
+	keys := map[Key]string{KeyFor(base): "base"}
+	add := func(label string, j sched.Job) {
+		t.Helper()
+		k := KeyFor(j)
+		if prev, dup := keys[k]; dup {
+			t.Errorf("%s collides with %s:\n%s", label, prev, Fingerprint(j))
+		}
+		keys[k] = label
+	}
+
+	muts := map[string]func(*dbt.Config){
+		"Name":              func(c *dbt.Config) { c.Name = "edited" },
+		"OptLevel":          func(c *dbt.Config) { c.OptLevel = 1 },
+		"Chain":             func(c *dbt.Config) { c.Chain = dbt.ChainNone },
+		"LookupDepth":       func(c *dbt.Config) { c.LookupDepth = 2 },
+		"LazyFlush":         func(c *dbt.Config) { c.LazyFlush = !c.LazyFlush },
+		"TLBBits":           func(c *dbt.Config) { c.TLBBits = 8 },
+		"VictimTLB":         func(c *dbt.Config) { c.VictimTLB = !c.VictimTLB },
+		"DataFaultFastPath": func(c *dbt.Config) { c.DataFaultFastPath = !c.DataFaultFastPath },
+		"ExcSyncWords":      func(c *dbt.Config) { c.ExcSyncWords++ },
+		"HelperSaveWords":   func(c *dbt.Config) { c.HelperSaveWords++ },
+		"WalkExtraChecks":   func(c *dbt.Config) { c.WalkExtraChecks++ },
+		"BlockCap":          func(c *dbt.Config) { c.BlockCap++ },
+	}
+	// Guard: a field added to dbt.Config must get a mutation here (the
+	// %+v fingerprint picks it up automatically, the test should too).
+	if n := reflect.TypeOf(dbt.Config{}).NumField(); n != len(muts) {
+		t.Errorf("dbt.Config has %d fields but the test mutates %d; add the new field", n, len(muts))
+	}
+	for label, mut := range muts {
+		c := cfg
+		mut(&c)
+		add("cfg."+label, dbtJob(base, c))
+	}
+
+	iters := base
+	iters.Iters = 128
+	add("iters", iters)
+	repeats := base
+	repeats.Repeats = 3
+	add("repeats", repeats)
+	x86 := base
+	x86.Arch = arch.X86{}
+	add("arch", x86)
+	other := base
+	b2, err := bench.ByName("mem.hot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	other.Bench = b2
+	add("bench", other)
+
+	// Every modelled release lands in its own cell (each carries its
+	// release tag in Config.Name, so even config-identical stable
+	// branches stay distinct).
+	relKeys := map[Key]string{}
+	for _, rel := range versions.All() {
+		rel := rel
+		j := base
+		j.Engine = sched.Engine{Name: rel.Name, New: func() engine.Engine { return rel.Engine() }}
+		k := KeyFor(j)
+		if prev, dup := relKeys[k]; dup {
+			t.Errorf("release %s collides with %s", rel.Name, prev)
+		}
+		relKeys[k] = rel.Name
+	}
+
+	// The non-DBT platforms are distinct from the DBT cells above and
+	// from each other ("dbt" itself is the base job's configuration).
+	for name, mk := range map[string]func() engine.Engine{
+		"interp":   func() engine.Engine { return interp.New() },
+		"detailed": func() engine.Engine { return detailed.New() },
+		"virt":     func() engine.Engine { return direct.New(direct.ModeVirt) },
+		"native":   func() engine.Engine { return direct.New(direct.ModeNative) },
+	} {
+		j := base
+		j.Engine = sched.Engine{Name: name, New: mk}
+		add("platform."+name, j)
+	}
+}
+
+// TestKeySharesAcrossDisplayNames pins the deliberate dedup: the
+// Fig. 7 "dbt" column and the sweep's "v2.5.0-rc2" column are the same
+// configuration, so they are the same cell regardless of the
+// scheduler-level display name.
+func TestKeySharesAcrossDisplayNames(t *testing.T) {
+	j := testJob(t) // named after the release
+	asDBT := j
+	asDBT.Engine = sched.Engine{Name: "dbt", New: func() engine.Engine { return versions.Latest().Engine() }}
+	if KeyFor(j) != KeyFor(asDBT) {
+		t.Errorf("same configuration under two display names got two keys:\n%s\n%s",
+			Fingerprint(j), Fingerprint(asDBT))
+	}
+}
+
+// TestKeyNormalization: iters<=0 means the benchmark's paper count and
+// repeats<=0 means one repeat, matching Execute's semantics.
+func TestKeyNormalization(t *testing.T) {
+	j := testJob(t)
+	j.Iters = 0
+	j.Repeats = 0
+	explicit := j
+	explicit.Iters = j.Bench.PaperIters
+	explicit.Repeats = 1
+	if KeyFor(j) != KeyFor(explicit) {
+		t.Error("defaulted iters/repeats key differs from the explicit equivalent")
+	}
+}
+
+// TestRoundTripRecord measures one real cell, stores it, reloads it
+// through a second Store on the same directory (a fresh process, in
+// effect), and checks the reconstructed result flattens to a
+// byte-identical report.Record.
+func TestRoundTripRecord(t *testing.T) {
+	dir := t.TempDir()
+	j := testJob(t)
+	r := sched.Execute(context.Background(), j)
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+
+	s1, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.Put(r)
+	if err := s1.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s2.Get(j)
+	if !ok {
+		t.Fatal("stored cell missing from a second store on the same dir")
+	}
+	if !got.Cached {
+		t.Error("reloaded result not marked Cached")
+	}
+	if got.Kernel != r.Kernel {
+		t.Errorf("kernel %v != %v", got.Kernel, r.Kernel)
+	}
+
+	var want, have bytes.Buffer
+	if err := report.FprintJSON(&want, []sched.Result{r}); err != nil {
+		t.Fatal(err)
+	}
+	if err := report.FprintJSON(&have, []sched.Result{got}); err != nil {
+		t.Fatal(err)
+	}
+	if want.String() != have.String() {
+		t.Errorf("record round trip not byte-identical:\nmeasured: %s\ncached:   %s", want.String(), have.String())
+	}
+	if got.Run.Stats != r.Run.Stats {
+		t.Errorf("stats round trip: %+v != %+v", got.Run.Stats, r.Run.Stats)
+	}
+	if got.Run.Exc != r.Run.Exc {
+		t.Errorf("exception counters round trip: %v != %v", got.Run.Exc, r.Run.Exc)
+	}
+
+	hits, misses := s2.Stats()
+	if hits != 1 || misses != 0 {
+		t.Errorf("stats = %d hits %d misses, want 1/0", hits, misses)
+	}
+	if !s2.Has(j) {
+		t.Error("Has is false for a stored job")
+	}
+	if h, m := s2.Stats(); h != hits || m != misses {
+		t.Error("Has moved the lookup counters")
+	}
+}
+
+// TestFailedCellsNotStored: error results must never populate the
+// store, or a transient failure would be replayed forever.
+func TestFailedCellsNotStored(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := testJob(t)
+	s.Put(sched.Result{Job: j, Err: fmt.Errorf("boom")})
+	if s.Has(j) {
+		t.Error("failed cell was stored")
+	}
+}
+
+// fabricate builds a synthetic successful result for concurrency and
+// history tests without running a guest.
+func fabricate(j sched.Job, kernel time.Duration) sched.Result {
+	return sched.Result{
+		Job:    j,
+		Kernel: kernel,
+		Run: &core.Result{
+			Benchmark: j.Bench,
+			Engine:    "interp",
+			Arch:      j.Arch.Name(),
+			Iters:     j.Iters,
+			Kernel:    kernel,
+			Total:     2 * kernel,
+			Stats:     engine.Stats{Instructions: uint64(j.Iters) * 10},
+		},
+	}
+}
+
+func syntheticJob(i int) sched.Job {
+	return sched.Job{
+		Bench:  &core.Benchmark{Name: fmt.Sprintf("synthetic.%d", i), PaperIters: 100},
+		Engine: sched.Engine{Name: "interp", New: func() engine.Engine { return interp.New() }},
+		Arch:   arch.ARM{},
+		Iters:  int64(i + 1),
+	}
+}
+
+// TestConcurrentAccess hammers one cache directory from two Store
+// instances (standing in for two processes) with concurrent writers
+// and readers; run under -race this is the concurrency contract.
+func TestConcurrentAccess(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const cells = 24
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st := s1
+			if w%2 == 1 {
+				st = s2
+			}
+			for i := w; i < cells; i += 4 {
+				j := syntheticJob(i)
+				st.Put(fabricate(j, time.Duration(i+1)*time.Millisecond))
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < cells; i++ {
+				j := syntheticJob(i)
+				if r, ok := s2.Get(j); ok && r.Kernel != time.Duration(i+1)*time.Millisecond {
+					t.Errorf("cell %d: kernel %v", i, r.Kernel)
+				}
+				s1.Has(j)
+			}
+		}()
+	}
+	wg.Wait()
+	if err := s1.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every cell is now visible to a third, cold store.
+	s3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < cells; i++ {
+		j := syntheticJob(i)
+		r, ok := s3.Get(j)
+		if !ok {
+			t.Fatalf("cell %d missing after concurrent writes", i)
+		}
+		if r.Kernel != time.Duration(i+1)*time.Millisecond {
+			t.Errorf("cell %d: kernel %v", i, r.Kernel)
+		}
+	}
+}
+
+// TestSchedulerIntegration runs a real matrix twice against the same
+// cache directory through separate Store instances and checks the
+// second run is 100 % hits with byte-identical records.
+func TestSchedulerIntegration(t *testing.T) {
+	dir := t.TempDir()
+	b1, err := bench.ByName("ctrl.intrapage-direct")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := bench.ByName("mem.hot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sched.Matrix{
+		Arches:  []arch.Support{arch.ARM{}},
+		Benches: []*core.Benchmark{b1, b2},
+		Engines: []sched.Engine{{Name: "interp", New: func() engine.Engine { return interp.New() }}},
+		Iters:   func(*core.Benchmark) int64 { return 8 },
+	}
+	jobs := m.Jobs()
+
+	run := func() ([]sched.Result, uint64, uint64) {
+		st, err := Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := sched.Scheduler{Workers: 2, Warmup: true, Store: st}
+		results := s.Run(context.Background(), jobs)
+		if err := sched.Errors(results); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Err(); err != nil {
+			t.Fatal(err)
+		}
+		h, m := st.Stats()
+		return results, h, m
+	}
+
+	first, h1, m1 := run()
+	if h1 != 0 || m1 != uint64(len(jobs)) {
+		t.Errorf("first run: %d hits %d misses, want 0/%d", h1, m1, len(jobs))
+	}
+	second, h2, m2 := run()
+	if h2 != uint64(len(jobs)) || m2 != 0 {
+		t.Errorf("second run: %d hits %d misses, want %d/0", h2, m2, len(jobs))
+	}
+	for _, r := range second {
+		if !r.Cached {
+			t.Errorf("%s: not cached on second run", r.Job)
+		}
+	}
+
+	var a, b bytes.Buffer
+	if err := report.FprintJSON(&a, first); err != nil {
+		t.Fatal(err)
+	}
+	if err := report.FprintJSON(&b, second); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("cached run records differ from measured run:\n%s\n%s", a.String(), b.String())
+	}
+}

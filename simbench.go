@@ -17,7 +17,9 @@
 //   - a SPEC-CPU2006-INT-like synthetic application suite;
 //   - twenty modelled QEMU releases for the version-sweep experiments;
 //   - drivers that regenerate every table and figure of the paper's
-//     evaluation.
+//     evaluation;
+//   - a concurrent experiment scheduler and a content-addressed result
+//     store with run history and baseline regression detection.
 //
 // Quick start:
 //
@@ -37,7 +39,9 @@ import (
 	"simbench/internal/core"
 	"simbench/internal/engine"
 	"simbench/internal/figures"
+	"simbench/internal/sched"
 	"simbench/internal/spec"
+	"simbench/internal/store"
 	"simbench/internal/versions"
 )
 
@@ -67,6 +71,57 @@ type (
 	// Options configure the figure-regeneration drivers.
 	Options = figures.Options
 )
+
+// Experiment scheduling: matrices of benchmark × engine × architecture
+// cells run on a worker pool, collated in matrix order.
+type (
+	// Matrix describes an experiment as selections per axis.
+	Matrix = sched.Matrix
+	// Job is one cell of an experiment matrix.
+	Job = sched.Job
+	// CellResult is the scheduler's per-cell outcome (Result is the
+	// underlying single-run outcome).
+	CellResult = sched.Result
+	// EngineSpec names an engine and builds a fresh instance per cell.
+	EngineSpec = sched.Engine
+	// Scheduler runs a job list on a bounded worker pool, optionally
+	// backed by a ResultStore.
+	Scheduler = sched.Scheduler
+)
+
+// CellErrors joins every cell failure of a matrix run into one error,
+// nil when the whole matrix succeeded; cancelled cells collapse into
+// a single summary line.
+func CellErrors(results []CellResult) error { return sched.Errors(results) }
+
+// Result store, run history and regression analysis.
+type (
+	// ResultStore is the content-addressed result store: cells are
+	// keyed by everything that determines their outcome, so repeated
+	// and overlapping experiments reuse identical measurements.
+	ResultStore = store.Store
+	// RunRecord is one timestamped matrix run in a store's history.
+	RunRecord = store.RunRecord
+	// RunDiff compares two recorded runs cell by cell.
+	RunDiff = store.Diff
+	// CellDiff is one regressed or improved cell of a RunDiff.
+	CellDiff = store.CellDiff
+)
+
+// OpenStore opens (creating if needed) a result store rooted at dir;
+// an empty dir yields an in-process store with no persistence.
+func OpenStore(dir string) (*ResultStore, error) { return store.Open(dir) }
+
+// NewRun flattens a completed matrix into a history record, the input
+// to DiffRuns and ResultStore.SaveBaseline.
+func NewRun(label string, results []CellResult) RunRecord { return store.NewRun(label, results) }
+
+// DiffRuns compares two recorded runs cell by cell, flagging cells
+// whose kernel time regressed (or improved) beyond the threshold
+// (0.10 = 10 %).
+func DiffRuns(base, current RunRecord, threshold float64) RunDiff {
+	return store.DiffRuns(base, current, threshold)
+}
 
 // Benchmark categories.
 const (
