@@ -1,0 +1,294 @@
+package main
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"simbench/internal/store"
+)
+
+// mus builds a duration from fractional milliseconds, for scripted
+// histories with sub-millisecond structure.
+func mus(msv float64) time.Duration { return time.Duration(msv * float64(time.Millisecond)) }
+
+// scriptHistory writes the canonical gate scenario into a fresh cache
+// dir: a baseline run, then five more history runs in which cell 0
+// (mem.hot) scatters ±15 %, cell 1 (exc.syscall) holds within ±1 %,
+// and cell 2 (io.device) never moves at all. Everything is scripted —
+// no clocks, no real measurements — so the gate's verdicts are exact.
+func scriptHistory(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	noisy := []float64{100, 115, 85, 112, 90, 108}
+	quiet := []float64{100, 101, 99, 100.5, 99.5, 100}
+	for r := range noisy {
+		r := r
+		appendRun(t, dir, "simbench", func(i int) time.Duration {
+			switch i {
+			case 0:
+				return mus(noisy[r])
+			case 1:
+				return mus(quiet[r])
+			default:
+				return mus(100)
+			}
+		})
+		if r == 0 {
+			var out, errOut strings.Builder
+			if code := run([]string{"-cache-dir", dir, "save", "nightly"}, &out, &errOut); code != 0 {
+				t.Fatalf("save exit %d: %s", code, errOut.String())
+			}
+		}
+	}
+	return dir
+}
+
+// TestStatGateEndToEnd is the acceptance test for -gate=stat: the
+// statistical gate passes a noisy-but-stable cell the fixed threshold
+// false-alarms on, and fails an injected regression the fixed
+// threshold misses — both against the same baseline, deterministic.
+func TestStatGateEndToEnd(t *testing.T) {
+	dir := scriptHistory(t)
+
+	// Latest run: the noisy cell lands at +12 % of baseline — outside
+	// the fixed 10 % threshold, comfortably inside its own ±15 %
+	// history.
+	appendRun(t, dir, "simbench", func(i int) time.Duration {
+		if i == 0 {
+			return mus(112)
+		}
+		return mus(100)
+	})
+
+	var out, errOut strings.Builder
+	if code := run([]string{"-cache-dir", dir, "-threshold", "0.10", "diff", "nightly"}, &out, &errOut); code != 1 {
+		t.Fatalf("fixed gate exit %d, want 1 (false alarm on the noisy cell): %s%s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "mem.hot") {
+		t.Errorf("fixed gate did not name the noisy cell: %s", out.String())
+	}
+
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-cache-dir", dir, "-gate", "stat", "diff", "nightly"}, &out, &errOut); code != 0 {
+		t.Fatalf("stat gate exit %d, want 0 (noisy-but-stable must pass): %s%s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "gate stat") || !strings.Contains(out.String(), "noise band") {
+		t.Errorf("stat diff output: %s", out.String())
+	}
+
+	// Next run: the quiet cell regresses by +5 % — invisible to the
+	// fixed 10 % threshold, far outside its ±1 % history.
+	appendRun(t, dir, "simbench", func(i int) time.Duration {
+		if i == 1 {
+			return mus(105)
+		}
+		return mus(100)
+	})
+
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-cache-dir", dir, "-threshold", "0.10", "diff", "nightly"}, &out, &errOut); code != 0 {
+		t.Fatalf("fixed gate exit %d, want 0 (a +5%% move is under its threshold): %s%s", code, out.String(), errOut.String())
+	}
+
+	out.Reset()
+	errOut.Reset()
+	code := run([]string{"-cache-dir", dir, "-gate", "stat", "diff", "nightly"}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("stat gate exit %d, want 1 (quiet cell regressed): %s%s", code, out.String(), errOut.String())
+	}
+	o := out.String()
+	if !strings.Contains(o, "REGRESSED") || !strings.Contains(o, "exc.syscall") {
+		t.Errorf("stat gate did not flag the quiet cell: %s", o)
+	}
+	if strings.Contains(o, "REGRESSED (2") || !strings.Contains(o, "REGRESSED (1 cells)") {
+		t.Errorf("stat gate flagged more than the quiet cell: %s", o)
+	}
+	if !strings.Contains(o, "n=7") {
+		t.Errorf("regression row missing its noise band: %s", o)
+	}
+
+	// Determinism: the same invocation renders byte-identical output —
+	// the bootstrap is seeded, nothing depends on the clock.
+	var again strings.Builder
+	if code := run([]string{"-cache-dir", dir, "-gate", "stat", "diff", "nightly"}, &again, &errOut); code != 1 {
+		t.Fatalf("repeat stat gate exit %d", code)
+	}
+	if again.String() != o {
+		t.Errorf("stat diff not deterministic:\n--- first\n%s\n--- second\n%s", o, again.String())
+	}
+}
+
+// TestStatGateFallsBackOnShortHistory: with too few runs, -gate=stat
+// must behave like the fixed gate and say so.
+func TestStatGateFallsBackOnShortHistory(t *testing.T) {
+	dir := t.TempDir()
+	appendRun(t, dir, "simbench", func(int) time.Duration { return mus(100) })
+	var out, errOut strings.Builder
+	if code := run([]string{"-cache-dir", dir, "save", "nightly"}, &out, &errOut); code != 0 {
+		t.Fatalf("save exit %d: %s", code, errOut.String())
+	}
+	appendRun(t, dir, "simbench", func(i int) time.Duration {
+		if i == 0 {
+			return mus(150)
+		}
+		return mus(100)
+	})
+	out.Reset()
+	code := run([]string{"-cache-dir", dir, "-gate", "stat", "diff", "nightly"}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("fallback exit %d, want 1: %s%s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "fixed (history n=") {
+		t.Errorf("fallback did not announce itself: %s", out.String())
+	}
+}
+
+// TestStatGateLabelRestrictsPool: -label restricts the gate's sample
+// pool as well as the run under test, matching show — six runs under
+// another label must not lend the labelled view a noise model it has
+// not earned.
+func TestStatGateLabelRestrictsPool(t *testing.T) {
+	dir := scriptHistory(t) // six runs labelled "simbench"
+	appendRun(t, dir, "fig7", func(int) time.Duration { return mus(100) })
+	var out, errOut strings.Builder
+	if code := run([]string{"-cache-dir", dir, "-label", "fig7", "save", "fig7base"}, &out, &errOut); code != 0 {
+		t.Fatalf("save exit %d: %s", code, errOut.String())
+	}
+	appendRun(t, dir, "fig7", func(i int) time.Duration {
+		if i == 0 {
+			return mus(150)
+		}
+		return mus(100)
+	})
+	out.Reset()
+	code := run([]string{"-cache-dir", dir, "-label", "fig7", "-gate", "stat", "diff", "fig7base"}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("labelled stat diff exit %d, want 1: %s%s", code, out.String(), errOut.String())
+	}
+	// Only one fig7 run precedes the one under test, so the gate must
+	// fall back — were the pool unfiltered, six simbench runs would
+	// have produced a statistical verdict here.
+	if !strings.Contains(out.String(), "fixed (history n=1)") {
+		t.Errorf("labelled pool not restricted: %s", out.String())
+	}
+}
+
+func TestShowCell(t *testing.T) {
+	dir := scriptHistory(t)
+	var out, errOut strings.Builder
+	if code := run([]string{"-cache-dir", dir, "show", "mem.hot"}, &out, &errOut); code != 0 {
+		t.Fatalf("show exit %d: %s", code, errOut.String())
+	}
+	o := out.String()
+	for _, want := range []string{"Cell arm/mem.hot/interp@64", "6 runs recorded", "noise: n=6", "median=0.104s", "gate: statistical"} {
+		if !strings.Contains(o, want) {
+			t.Errorf("show output missing %q:\n%s", want, o)
+		}
+	}
+
+	// The zero-spread cell reports its threshold floor.
+	out.Reset()
+	if code := run([]string{"-cache-dir", dir, "show", "io.device"}, &out, &errOut); code != 0 {
+		t.Fatalf("show exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "gate: threshold floor") {
+		t.Errorf("degenerate cell did not report its floor: %s", out.String())
+	}
+
+	// No match is a usage error, not a silent success.
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-cache-dir", dir, "show", "no.such.bench"}, &out, &errOut); code != 2 {
+		t.Errorf("show of unknown cell exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "no recorded cell") {
+		t.Errorf("show stderr: %s", errOut.String())
+	}
+}
+
+// TestGCEndToEnd: blobs referenced only by runs outside the -keep-runs
+// window are pruned; -dry-run deletes nothing.
+func TestGCEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two runs at different scales: distinct cells, distinct blobs.
+	for _, iters := range []int64{64, 128} {
+		appendRunIters(t, dir, "simbench", iters, func(int) time.Duration { return mus(100) })
+		for _, rr := range fabResults(iters, func(int) time.Duration { return mus(100) }) {
+			st.Put(rr)
+		}
+	}
+	// Backdate the blobs past gc's in-flight grace period, or nothing
+	// is old enough to prune.
+	old := time.Now().Add(-48 * time.Hour)
+	if err := filepath.WalkDir(filepath.Join(dir, "objects"), func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		return os.Chtimes(path, old, old)
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	var out, errOut strings.Builder
+	if code := run([]string{"-cache-dir", dir, "-keep-runs", "1", "-dry-run", "gc"}, &out, &errOut); code != 0 {
+		t.Fatalf("dry-run gc exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "would prune 3 blobs") {
+		t.Errorf("dry-run gc output: %s", out.String())
+	}
+
+	out.Reset()
+	if code := run([]string{"-cache-dir", dir, "-keep-runs", "1", "gc"}, &out, &errOut); code != 0 {
+		t.Fatalf("gc exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "pruned 3 blobs") || !strings.Contains(out.String(), "kept 3") {
+		t.Errorf("gc output: %s", out.String())
+	}
+
+	// Idempotent.
+	out.Reset()
+	if code := run([]string{"-cache-dir", dir, "-keep-runs", "1", "gc"}, &out, &errOut); code != 0 {
+		t.Fatalf("second gc exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "pruned 0 blobs") {
+		t.Errorf("second gc output: %s", out.String())
+	}
+}
+
+func TestGateFlagValidation(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-cache-dir", t.TempDir(), "-gate", "bayesian", "diff", "x"}, &out, &errOut); code != 2 {
+		t.Errorf("bogus -gate exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown -gate") {
+		t.Errorf("stderr: %s", errOut.String())
+	}
+	// Values the gate would silently replace with defaults are rejected
+	// up front, so show and diff can never disagree about what a flag
+	// meant.
+	for _, args := range [][]string{
+		{"-threshold", "0"},
+		{"-threshold", "-0.1"},
+		{"-min-history", "0"},
+		{"-resamples", "0"},
+		{"-keep-runs", "0"},
+		{"-window", "0"},
+		{"-window", "3"}, // below the default -min-history: gate could never engage
+	} {
+		all := append([]string{"-cache-dir", t.TempDir()}, append(args, "list")...)
+		errOut.Reset()
+		if code := run(all, &out, &errOut); code != 2 {
+			t.Errorf("run(%v) = %d, want 2 (stderr: %s)", args, code, errOut.String())
+		}
+	}
+}

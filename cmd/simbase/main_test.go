@@ -19,12 +19,9 @@ func appendRun(t *testing.T, dir, label string, kernel func(i int) time.Duration
 	appendRunIters(t, dir, label, 64, kernel)
 }
 
-func appendRunIters(t *testing.T, dir, label string, iters int64, kernel func(i int) time.Duration) {
-	t.Helper()
-	st, err := store.Open(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
+// fabResults fabricates the three-cell result set the history helpers
+// record, so tests can both append it as history and Put its blobs.
+func fabResults(iters int64, kernel func(i int) time.Duration) []sched.Result {
 	var results []sched.Result
 	for i := 0; i < 3; i++ {
 		j := sched.Job{
@@ -40,7 +37,16 @@ func appendRunIters(t *testing.T, dir, label string, iters int64, kernel func(i 
 			Run:    &core.Result{Benchmark: j.Bench, Engine: "interp", Arch: "arm", Iters: iters, Kernel: k, Total: k},
 		})
 	}
-	if err := st.AppendHistory(label, results); err != nil {
+	return results
+}
+
+func appendRunIters(t *testing.T, dir, label string, iters int64, kernel func(i int) time.Duration) {
+	t.Helper()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AppendHistory(label, fabResults(iters, kernel)); err != nil {
 		t.Fatal(err)
 	}
 }

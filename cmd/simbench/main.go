@@ -33,6 +33,7 @@ import (
 	"simbench/internal/figures"
 	"simbench/internal/report"
 	"simbench/internal/sched"
+	"simbench/internal/stats"
 	"simbench/internal/store"
 	"simbench/internal/versions"
 )
@@ -176,35 +177,34 @@ func main() {
 		s.Store = st
 	}
 	if *verbose {
-		s.Progress = func(r sched.Result) {
-			if r.Err != nil {
-				// Execute already embeds the cell coordinates.
-				fmt.Fprintf(os.Stderr, "%v\n", r.Err)
-				return
-			}
-			cached := ""
-			if r.Cached {
-				cached = ", cached"
-			}
-			fmt.Fprintf(os.Stderr, "%s %s %s: %s (%d insns%s)\n",
-				r.Job.Arch.Name(), r.Job.Bench.Name, r.Job.Engine.Name,
-				r.Kernel, r.Run.Stats.Instructions, cached)
-		}
+		s.Progress = func(r sched.Result) { sched.FprintProgress(os.Stderr, "", r) }
 	}
 
 	results := s.Run(ctx, m.Jobs())
+	// The noise lookup is built from history as it stood before this
+	// run: a measurement must not vouch for its own normality.
+	var noise func(report.Record) *stats.Band
 	if st != nil {
+		if runs, err := st.History(); err == nil && len(runs) > 0 {
+			noise = store.NoiseLookup(runs, store.StatGate{})
+		} else if err != nil {
+			// Unreadable history only costs the ± annotations, but
+			// silently is how downstream noise consumers go blind.
+			fmt.Fprintln(os.Stderr, "simbench:", err)
+		}
 		if err := st.AppendHistory("simbench", results); err != nil {
 			fmt.Fprintln(os.Stderr, "simbench:", err)
 		}
 	}
 
 	if *jsonOut {
-		if err := report.FprintJSON(os.Stdout, results); err != nil {
+		recs := report.Records(results)
+		store.Annotate(recs, noise)
+		if err := report.FprintRecords(os.Stdout, recs); err != nil {
 			fail(err)
 		}
 	} else {
-		printTables(results, sups, benches, engines, &opts, *scale)
+		printTables(results, sups, benches, engines, &opts, *scale, noise)
 	}
 	reportCache("simbench", st)
 
@@ -217,33 +217,30 @@ func main() {
 }
 
 // printTables collates the result set into one table per guest
-// architecture, in matrix order; failed cells render as ERR.
+// architecture through the shared matrix renderer, so failed,
+// cancelled, cached and noise-annotated cells read exactly as they do
+// in figures.Fig7.
 func printTables(results []sched.Result, sups []arch.Support, benches []*core.Benchmark,
-	engines []sched.Engine, opts *figures.Options, scale int64) {
+	engines []sched.Engine, opts *figures.Options, scale int64, noise func(report.Record) *stats.Band) {
 	cols := make([]string, len(engines))
 	for i, e := range engines {
 		cols[i] = e.Name
 	}
-	i := 0
-	for _, sup := range sups {
-		t := report.Table{
-			Title:   fmt.Sprintf("SimBench, %s guest (kernel seconds; scale 1/%d)", sup.Name(), scale),
-			Columns: append([]string{"benchmark", "iters"}, cols...),
-		}
-		for _, b := range benches {
-			row := []string{b.Name, fmt.Sprint(opts.Iters(b))}
-			for range engines {
-				if results[i].Err != nil {
-					row = append(row, "ERR")
-				} else {
-					row = append(row, report.Seconds(results[i].Kernel))
-				}
-				i++
-			}
-			t.AddRow(row...)
-		}
-		t.Fprint(os.Stdout)
+	archNames := make([]string, len(sups))
+	for i, sup := range sups {
+		archNames[i] = sup.Name()
 	}
+	mt := report.MatrixTable{
+		Title: func(a string) string {
+			return fmt.Sprintf("SimBench, %s guest (kernel seconds; scale 1/%d)", a, scale)
+		},
+		EngineCols: cols,
+		Arches:     archNames,
+		Benches:    benches,
+		Iters:      opts.Iters,
+		Noise:      noise,
+	}
+	mt.Fprint(os.Stdout, results)
 }
 
 func fail(err error) {

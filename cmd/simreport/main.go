@@ -6,8 +6,11 @@
 // the concurrent scheduler (-jobs) and share a result store, so the
 // sweep figures reuse their overlapping cells instead of re-measuring
 // them; with -cache-dir the store persists, making repeated
-// invocations incremental. (Fig. 3 profiles operation densities on a
-// dedicated instrumented interpreter and always re-runs.)
+// invocations incremental, and once a cell has enough recorded runs
+// the Fig. 7 table annotates its measurement with a ± noise band
+// derived from that history (see simbase -gate=stat). (Fig. 3
+// profiles operation densities on a dedicated instrumented
+// interpreter and always re-runs.)
 //
 // Usage:
 //

@@ -26,6 +26,7 @@ import (
 	"simbench/internal/report"
 	"simbench/internal/sched"
 	"simbench/internal/spec"
+	"simbench/internal/stats"
 	"simbench/internal/store"
 	"simbench/internal/versions"
 )
@@ -165,32 +166,38 @@ func releaseEngines(rels []versions.Release) []sched.Engine {
 
 // run expands a matrix and executes it on the scheduler with the
 // Options' parallelism, wiring completed cells into the progress
-// stream. Results come back in matrix order.
-func (o *Options) run(fig string, m sched.Matrix) []sched.Result {
+// stream. Results come back in matrix order, together with a per-cell
+// noise lookup over the store's prior history (nil without a store, or
+// when the caller does not render per-cell measurements) — built from
+// history as it stood before this run is appended, so a measurement
+// never vouches for its own normality. Only a figure that prints
+// absolute times per cell (Fig. 7) asks for the lookup: the sweep
+// figures print speedup ratios, and parsing history plus running the
+// per-cell bootstrap for them would be pure waste.
+func (o *Options) run(fig string, m sched.Matrix, wantNoise bool) ([]sched.Result, func(report.Record) *stats.Band) {
 	s := sched.Scheduler{Workers: o.Jobs, Warmup: true}
 	if o.Store != nil {
 		s.Store = o.Store
 	}
 	if o.Progress != nil {
-		s.Progress = func(r sched.Result) {
-			if r.Err != nil {
-				// Execute already embeds the cell coordinates.
-				o.progress("%s %v", fig, r.Err)
-				return
-			}
-			cached := ""
-			if r.Cached {
-				cached = " (cached)"
-			}
-			o.progress("%s %s %s %s: %s%s", fig, r.Job.Arch.Name(), r.Job.Bench.Name, r.Job.Engine.Name, r.Kernel, cached)
-		}
+		s.Progress = func(r sched.Result) { sched.FprintProgress(o.Progress, fig, r) }
 	}
 	ctx := o.Context
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	results := s.Run(ctx, m.Jobs())
+	var noise func(report.Record) *stats.Band
 	if o.Store != nil {
+		if wantNoise {
+			if runs, err := o.Store.History(); err == nil && len(runs) > 0 {
+				noise = store.NoiseLookup(runs, store.StatGate{})
+			} else if err != nil {
+				// Unreadable history only costs the ± annotations, but
+				// silently is how noise consumers go blind.
+				fmt.Fprintf(os.Stderr, "%s: %v\n", fig, err)
+			}
+		}
 		label := fig
 		if o.HistoryLabel != "" {
 			label = o.HistoryLabel
@@ -201,7 +208,7 @@ func (o *Options) run(fig string, m sched.Matrix) []sched.Result {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", fig, err)
 		}
 	}
-	return results
+	return results, noise
 }
 
 // Fig7 runs the full SimBench suite on every engine for both guest
@@ -209,41 +216,38 @@ func (o *Options) run(fig string, m sched.Matrix) []sched.Result {
 // Fig. 7 (kernel seconds, plus the iteration count as the methodology
 // requires). Cells run Options.Jobs at a time; the table is collated
 // in matrix order, so parallel and sequential runs render identically
-// apart from the measured times. Failed cells render as ERR in their
-// table position and the failures come back as one aggregated error.
+// apart from the measured times. With a store whose history already
+// knows a cell, its measurement prints with a ± noise band. Failed
+// cells render as ERR in their table position and the failures come
+// back as one aggregated error.
 func Fig7(o Options) error {
 	o.fill()
 	arches := arch.All()
 	benches := bench.Suite()
 	engs := SchedEngines()
-	results := o.run("fig7", sched.Matrix{
+	results, noise := o.run("fig7", sched.Matrix{
 		Arches:  arches,
 		Benches: benches,
 		Engines: engs,
 		Iters:   o.Iters,
 		Repeats: o.Repeats,
-	})
-	i := 0
-	for _, sup := range arches {
-		t := report.Table{
-			Title: fmt.Sprintf("Fig. 7 — SimBench runtimes, %s guest (kernel seconds; scale 1/%d)",
-				sup.Name(), o.Scale),
-			Columns: []string{"benchmark", "iters", "qemu-dbt", "simit(interp)", "gem5(detailed)", "qemu-kvm(virt)", "native"},
-		}
-		for _, b := range benches {
-			row := []string{b.Title, fmt.Sprint(o.Iters(b))}
-			for range engs {
-				if results[i].Err != nil {
-					row = append(row, "ERR")
-				} else {
-					row = append(row, report.Seconds(results[i].Kernel))
-				}
-				i++
-			}
-			t.AddRow(row...)
-		}
-		t.Fprint(o.Out)
+	}, true)
+	archNames := make([]string, len(arches))
+	for i, sup := range arches {
+		archNames[i] = sup.Name()
 	}
+	mt := report.MatrixTable{
+		Title: func(a string) string {
+			return fmt.Sprintf("Fig. 7 — SimBench runtimes, %s guest (kernel seconds; scale 1/%d)", a, o.Scale)
+		},
+		EngineCols: []string{"qemu-dbt", "simit(interp)", "gem5(detailed)", "qemu-kvm(virt)", "native"},
+		Arches:     archNames,
+		Benches:    benches,
+		BenchLabel: func(b *core.Benchmark) string { return b.Title },
+		Iters:      o.Iters,
+		Noise:      noise,
+	}
+	mt.Fprint(o.Out, results)
 	if err := sched.Errors(results); err != nil {
 		return fmt.Errorf("fig7: %w", err)
 	}
@@ -353,13 +357,13 @@ func Fig2(o Options) error {
 	o.fill()
 	rels := versions.All()
 	workloads := spec.Suite()
-	results := o.run("fig2", sched.Matrix{
+	results, _ := o.run("fig2", sched.Matrix{
 		Arches:  []arch.Support{arch.ARM{}},
 		Benches: workloads,
 		Engines: releaseEngines(rels),
 		Iters:   o.Iters,
 		Repeats: o.Repeats,
-	})
+	}, false)
 	if err := sched.Errors(results); err != nil {
 		return fmt.Errorf("fig2: %w", err)
 	}
@@ -395,13 +399,13 @@ func Fig6(o Options) error {
 	rels := versions.All()
 	arches := arch.All()
 	benches := bench.Suite()
-	results := o.run("fig6", sched.Matrix{
+	results, _ := o.run("fig6", sched.Matrix{
 		Arches:  arches,
 		Benches: benches,
 		Engines: releaseEngines(rels),
 		Iters:   o.Iters,
 		Repeats: o.Repeats,
-	})
+	}, false)
 	if err := sched.Errors(results); err != nil {
 		return fmt.Errorf("fig6: %w", err)
 	}
@@ -437,13 +441,13 @@ func Fig8(o Options) error {
 	o.fill()
 	rels := versions.All()
 	workloads := append(append([]*core.Benchmark{}, spec.Suite()...), bench.Suite()...)
-	results := o.run("fig8", sched.Matrix{
+	results, _ := o.run("fig8", sched.Matrix{
 		Arches:  []arch.Support{arch.ARM{}},
 		Benches: workloads,
 		Engines: releaseEngines(rels),
 		Iters:   o.Iters,
 		Repeats: o.Repeats,
-	})
+	}, false)
 	if err := sched.Errors(results); err != nil {
 		return fmt.Errorf("fig8: %w", err)
 	}

@@ -1,0 +1,94 @@
+package report
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+
+	"simbench/internal/core"
+	"simbench/internal/sched"
+	"simbench/internal/stats"
+)
+
+// MatrixTable collates a result set into one table per guest
+// architecture, in matrix order (architecture-major, then benchmark,
+// then engine) — the one rendering shared by cmd/simbench's tables and
+// figures.Fig7, so cached, cancelled, failed and noise-annotated cells
+// read identically on every path:
+//
+//   - a measured cell prints its kernel seconds; a cached cell prints
+//     exactly like a fresh one (the store round-trips full results, and
+//     incremental runs must render byte-identical tables),
+//   - a cell with enough history prints "seconds±band" — the paper's
+//     tables with confidence attached,
+//   - a failed cell prints ERR,
+//   - a cancelled cell prints "-" (it never ran; the scheduler's error
+//     summary reports the cancellation once, not per cell).
+type MatrixTable struct {
+	// Title renders each per-architecture table title.
+	Title func(archName string) string
+	// EngineCols are the engine column headers, one per engine in
+	// matrix order.
+	EngineCols []string
+	// Arches and Benches are the row axes in matrix order.
+	Arches  []string
+	Benches []*core.Benchmark
+	// BenchLabel picks the row label; nil means Benchmark.Name
+	// (figures.Fig7 uses the paper's display titles instead).
+	BenchLabel func(*core.Benchmark) string
+	// Iters reports the iteration count column; nil means PaperIters.
+	Iters func(*core.Benchmark) int64
+	// Noise, when set, annotates measured cells with their historical
+	// noise band (±half-width); cells it returns nil for print plain.
+	Noise func(Record) *stats.Band
+}
+
+// Fprint renders the tables. results must be in matrix order and hold
+// exactly len(Arches)×len(Benches)×len(EngineCols) cells.
+func (mt *MatrixTable) Fprint(w io.Writer, results []sched.Result) {
+	benchLabel := mt.BenchLabel
+	if benchLabel == nil {
+		benchLabel = func(b *core.Benchmark) string { return b.Name }
+	}
+	i := 0
+	for _, archName := range mt.Arches {
+		t := Table{
+			Title:   mt.Title(archName),
+			Columns: append([]string{"benchmark", "iters"}, mt.EngineCols...),
+		}
+		for _, b := range mt.Benches {
+			iters := b.PaperIters
+			if mt.Iters != nil {
+				iters = mt.Iters(b)
+			}
+			row := []string{benchLabel(b), fmt.Sprint(iters)}
+			for range mt.EngineCols {
+				row = append(row, mt.cell(results[i]))
+				i++
+			}
+			t.AddRow(row...)
+		}
+		t.Fprint(w)
+	}
+}
+
+// cell renders one matrix position.
+func (mt *MatrixTable) cell(r sched.Result) string {
+	switch {
+	case errors.Is(r.Err, context.Canceled) || errors.Is(r.Err, context.DeadlineExceeded):
+		return "-"
+	case r.Err != nil:
+		return "ERR"
+	}
+	s := Seconds(r.Kernel)
+	if mt.Noise != nil {
+		// A degenerate band (zero observed spread — e.g. a history of
+		// pure cache replays) annotates nothing: ±0.000 is clutter, not
+		// confidence.
+		if b := mt.Noise(NewRecord(r)); b != nil && !b.Degenerate() {
+			s += fmt.Sprintf("±%.3f", b.HalfWidth())
+		}
+	}
+	return s
+}

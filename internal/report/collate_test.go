@@ -1,0 +1,150 @@
+package report
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"simbench/internal/arch"
+	"simbench/internal/core"
+	"simbench/internal/sched"
+	"simbench/internal/stats"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// collateFixture builds a deterministic two-arch, two-bench, two-engine
+// result set exercising every cell rendering: measured, cached,
+// noise-annotated, failed, and cancelled.
+func collateFixture() (*MatrixTable, []sched.Result) {
+	benches := []*core.Benchmark{
+		{Name: "mem.hot", Title: "Hot Memory", PaperIters: 1000},
+		{Name: "exc.syscall", Title: "Syscall", PaperIters: 500},
+	}
+	engines := []string{"interp", "dbt"}
+	arches := []string{"arm", "x86"}
+
+	job := func(a int, b, e int) sched.Job {
+		return sched.Job{
+			Bench:  benches[b],
+			Engine: sched.Engine{Name: engines[e]},
+			Arch:   arch.All()[a],
+			Iters:  int64(100 * (b + 1)),
+		}
+	}
+	mk := func(a, b, e int, kernel time.Duration, cached bool) sched.Result {
+		j := job(a, b, e)
+		return sched.Result{
+			Job:    j,
+			Kernel: kernel,
+			Run:    &core.Result{Benchmark: j.Bench, Engine: j.Engine.Name, Arch: arches[a], Iters: j.Iters, Kernel: kernel},
+			Cached: cached,
+		}
+	}
+	results := []sched.Result{
+		// arm: a fresh cell, then a cached one — they must render alike.
+		mk(0, 0, 0, 1234*time.Millisecond, false),
+		mk(0, 0, 1, 250*time.Millisecond, true),
+		// arm row 2: a noise-annotated cell and a failed one.
+		mk(0, 1, 0, 500*time.Millisecond, false),
+		{Job: job(0, 1, 1), Err: errors.New("guest aborted")},
+		// x86: a cancelled cell and a plain one.
+		{Job: job(1, 0, 0), Err: context.Canceled},
+		mk(1, 0, 1, 42*time.Millisecond, false),
+		mk(1, 1, 0, 77*time.Millisecond, false),
+		{Job: job(1, 1, 1), Err: context.DeadlineExceeded},
+	}
+	noisy := &stats.Band{N: 6, Median: 0.5, MAD: 0.01, Lo: 0.455, Hi: 0.52}
+	mt := &MatrixTable{
+		Title:      func(a string) string { return fmt.Sprintf("SimBench, %s guest (kernel seconds)", a) },
+		EngineCols: engines,
+		Arches:     arches,
+		Benches:    benches,
+		Iters:      func(b *core.Benchmark) int64 { return b.PaperIters / 10 },
+		Noise: func(r Record) *stats.Band {
+			if r.Arch == "arm" && r.Benchmark == "exc.syscall" && r.Engine == "interp" {
+				return noisy
+			}
+			return nil
+		},
+	}
+	return mt, results
+}
+
+func TestMatrixTableGolden(t *testing.T) {
+	mt, results := collateFixture()
+	var sb strings.Builder
+	mt.Fprint(&sb, results)
+	got := sb.String()
+
+	golden := filepath.Join("testdata", "matrix_table.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run go test -run TestMatrixTableGolden -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("rendering diverged from %s:\n--- got\n%s\n--- want\n%s", golden, got, want)
+	}
+}
+
+// TestMatrixTableCellRendering pins each cell class individually, so a
+// golden regeneration cannot silently change the contract.
+func TestMatrixTableCellRendering(t *testing.T) {
+	mt, results := collateFixture()
+	var sb strings.Builder
+	mt.Fprint(&sb, results)
+	out := sb.String()
+
+	for _, want := range []string{
+		"1.234",       // fresh measurement
+		"0.250",       // cached measurement, rendered exactly like a fresh one
+		"0.500±0.045", // noise-annotated: seconds ± band half-width
+		"ERR",         // failed cell
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Cancelled cells render "-", once per cancelled cell.
+	if got := strings.Count(out, "\t-\t") + strings.Count(out, "  -"); got == 0 {
+		t.Errorf("no cancelled cell marker in:\n%s", out)
+	}
+	// Without a Noise hook the same cells render plain.
+	mt.Noise = nil
+	sb.Reset()
+	mt.Fprint(&sb, results)
+	if strings.Contains(sb.String(), "±") {
+		t.Errorf("± without noise hook:\n%s", sb.String())
+	}
+}
+
+// TestMatrixTableCachedIdentical is the incremental-run contract at
+// the rendering layer: flipping every cell to Cached must not move a
+// byte.
+func TestMatrixTableCachedIdentical(t *testing.T) {
+	mt, results := collateFixture()
+	var fresh strings.Builder
+	mt.Fprint(&fresh, results)
+	for i := range results {
+		results[i].Cached = !results[i].Cached
+	}
+	var cached strings.Builder
+	mt.Fprint(&cached, results)
+	if fresh.String() != cached.String() {
+		t.Errorf("cached rendering diverges:\n--- fresh\n%s\n--- cached\n%s", fresh.String(), cached.String())
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"simbench/internal/sched"
+	"simbench/internal/stats"
 )
 
 // Record is the machine-readable form of one matrix cell, the unit of
@@ -24,6 +25,24 @@ type Record struct {
 	TestedOps     uint64  `json:"tested_ops,omitempty"`
 
 	Error string `json:"error,omitempty"`
+
+	// Cached reports that this record replays a stored measurement
+	// rather than a fresh one. The noise model skips cached records:
+	// a replay duplicates a sample already in history, and pooling it
+	// would collapse the band around whichever measurement happened to
+	// be cached.
+	Cached bool `json:"cached,omitempty"`
+
+	// Key is the cell's content address in the result store, stamped
+	// by the store when the record enters run history; records built
+	// outside a store carry none. simbase gc uses these references to
+	// decide which blobs recent history still pins.
+	Key string `json:"key,omitempty"`
+
+	// Noise, when the cell has enough measurement history, is its
+	// historical noise band: the interval a new measurement must leave
+	// before it counts as a real change rather than run-to-run jitter.
+	Noise *stats.Band `json:"noise,omitempty"`
 }
 
 // NewRecord flattens one scheduler result into a Record. Repeats and
@@ -40,6 +59,7 @@ func NewRecord(r sched.Result) Record {
 		Arch:      r.Job.Arch.Name(),
 		Iters:     iters,
 		Repeats:   repeats,
+		Cached:    r.Cached,
 	}
 	if r.Err != nil {
 		rec.Error = r.Err.Error()
@@ -54,16 +74,27 @@ func NewRecord(r sched.Result) Record {
 	return rec
 }
 
-// FprintJSON writes a result set as an indented JSON array in matrix
-// order, one Record per cell. Failed cells are included with their
-// error text rather than dropped, so downstream tooling sees the whole
-// matrix.
-func FprintJSON(w io.Writer, results []sched.Result) error {
+// Records flattens a result set into one Record per cell, in matrix
+// order. Failed cells are included with their error text rather than
+// dropped, so downstream tooling sees the whole matrix.
+func Records(results []sched.Result) []Record {
 	recs := make([]Record, len(results))
 	for i, r := range results {
 		recs[i] = NewRecord(r)
 	}
+	return recs
+}
+
+// FprintRecords writes records as an indented JSON array.
+func FprintRecords(w io.Writer, recs []Record) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(recs)
+}
+
+// FprintJSON writes a result set as an indented JSON array in matrix
+// order — Records followed by FprintRecords, for callers with no
+// annotations to add in between.
+func FprintJSON(w io.Writer, results []sched.Result) error {
+	return FprintRecords(w, Records(results))
 }

@@ -12,6 +12,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"runtime"
 	"sync"
 	"time"
@@ -331,6 +332,30 @@ feed:
 		results[next] = Result{Job: jobs[next], Index: next, Err: ctx.Err()}
 	}
 	return results
+}
+
+// FprintProgress writes the standard one-line progress record for one
+// completed cell — coordinates, kernel time, retired instructions and
+// cache provenance, or the cell's error — prefixed with a tag (e.g.
+// the figure name) when non-empty. Every verbose progress stream
+// (simbench -v, the figure drivers) goes through here, so a cell reads
+// the same no matter which tool ran it.
+func FprintProgress(w io.Writer, prefix string, r Result) {
+	if prefix != "" {
+		prefix += " "
+	}
+	if r.Err != nil {
+		// Execute already embeds the cell coordinates in the error.
+		fmt.Fprintf(w, "%s%v\n", prefix, r.Err)
+		return
+	}
+	cached := ""
+	if r.Cached {
+		cached = ", cached"
+	}
+	fmt.Fprintf(w, "%s%s %s %s: %s (%d insns%s)\n",
+		prefix, r.Job.Arch.Name(), r.Job.Bench.Name, r.Job.Engine.Name,
+		r.Kernel, r.Run.Stats.Instructions, cached)
 }
 
 // Failed filters the results down to the cells that errored.

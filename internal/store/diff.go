@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"simbench/internal/report"
+	"simbench/internal/stats"
 )
 
 // CellDiff is one cell compared between two runs.
@@ -21,6 +22,17 @@ type CellDiff struct {
 	BaseSeconds    float64
 	CurrentSeconds float64
 	Delta          float64
+
+	// Noise is the cell's historical noise band when the statistical
+	// gate judged it; nil under the fixed-threshold gate.
+	Noise *stats.Band
+	// Gate names the rule that judged the cell: "fixed", "stat",
+	// "stat (floored)" for a degenerate band widened to the threshold
+	// floor, "stat (drift)" for an in-band sample whose history median
+	// has drifted beyond the threshold from the baseline, or
+	// "fixed (history n=K)" when the cell's history was too short for
+	// a statistical verdict.
+	Gate string
 }
 
 // Cell names the cell the way the scheduler does, plus its scale.
@@ -30,7 +42,12 @@ func (c CellDiff) Cell() string {
 
 // Diff is the cell-by-cell comparison of two runs.
 type Diff struct {
-	// Threshold is the relative slowdown tolerated as noise.
+	// Mode names the gate that produced the diff: "fixed" (every cell
+	// judged by Threshold) or "stat" (cells with enough history judged
+	// by their noise band, the rest by Threshold).
+	Mode string
+	// Threshold is the relative slowdown tolerated as noise by the
+	// fixed gate — and, in stat mode, by its fallback and floor.
 	Threshold float64
 	// Regressions are common cells slower than Threshold allows,
 	// worst first; Improvements are common cells faster by more than
@@ -65,6 +82,26 @@ func cellID(r report.Record) string {
 
 func measured(r report.Record) bool { return r.Error == "" && r.KernelSeconds > 0 }
 
+// judgment is one gate's ruling on a matched, measured cell pair.
+type judgment struct {
+	verdict stats.Verdict
+	noise   *stats.Band
+	gate    string
+}
+
+// fixedJudge is the classic gate: the relative delta against the
+// baseline, compared to a fixed threshold.
+func fixedJudge(threshold float64, base, cur report.Record) judgment {
+	j := judgment{gate: "fixed"}
+	switch delta := cur.KernelSeconds/base.KernelSeconds - 1; {
+	case delta > threshold:
+		j.verdict = stats.Regressed
+	case delta < -threshold:
+		j.verdict = stats.Improved
+	}
+	return j
+}
+
 // DiffRuns compares two recorded runs cell by cell. Cells are matched
 // by (arch, benchmark, engine, iters, repeats); a matched pair counts
 // as regressed when the current kernel time exceeds the baseline by
@@ -74,7 +111,86 @@ func measured(r report.Record) bool { return r.Error == "" && r.KernelSeconds > 
 // and fails the gate; errored cells with no measured twin are merely
 // reported as unmatched.
 func DiffRuns(base, current RunRecord, threshold float64) Diff {
-	d := Diff{Threshold: threshold}
+	d := diffRuns(base, current, func(b, cur report.Record) judgment {
+		return fixedJudge(threshold, b, cur)
+	})
+	d.Mode = "fixed"
+	d.Threshold = threshold
+	return d
+}
+
+// DiffRunsStat compares two recorded runs under the variance-aware
+// gate: a matched cell with at least MinHistory fresh samples in the
+// history window is judged by its noise band — flagged when the
+// current measurement falls outside what the cell's own history
+// explains — while short-history cells fall back to the fixed
+// threshold, and a degenerate band (identical history) is floored to
+// median±Threshold. The baseline still anchors the verdict: because
+// the band follows recent history, a cell whose band median has moved
+// beyond Threshold from the baseline is in drift — its band is centred
+// on the wrong level, so the sample is judged against the baseline and
+// threshold directly (otherwise a +3 %-per-run creep would re-center
+// the band each run and never fail CI, and a drifted band would grade
+// a still-regressed sample "improved"). history should exclude the
+// current run itself, or the measurement under test would vouch for
+// its own normality.
+//
+// Matching, Broken, OnlyBase and OnlyCurrent semantics are identical
+// to DiffRuns: statistics refine the verdict on comparable cells, not
+// what is comparable.
+func DiffRunsStat(base, current RunRecord, history []RunRecord, g StatGate) Diff {
+	g = g.fill()
+	samples := Samples(history)
+	d := diffRuns(base, current, func(b, cur report.Record) judgment {
+		id := cellID(cur)
+		xs := g.Pool(samples[id])
+		if len(xs) < g.MinHistory {
+			j := fixedJudge(g.Threshold, b, cur)
+			j.gate = fmt.Sprintf("fixed (history n=%d)", len(xs))
+			return j
+		}
+		band := g.Band(id, xs)
+		gate := "stat"
+		if band.Degenerate() {
+			// The floor: a history with zero spread would flag any
+			// nonzero delta; the fixed threshold bounds how strict the
+			// statistical gate may get.
+			band.Lo = band.Median * (1 - g.Threshold)
+			band.Hi = band.Median * (1 + g.Threshold)
+			gate = "stat (floored)"
+		}
+		j := judgment{noise: band, gate: gate}
+		// The band re-centers on recent history, so on its own it would
+		// let a slow drift creep past the pinned baseline one in-band
+		// step at a time — and, once drifted, would grade samples
+		// relative to the drifted level (a 115 ms sample under a
+		// 125 ms-median band reads "improved" even at +15 % over a
+		// 100 ms baseline). The baseline stays the anchor: while the
+		// cell's central tendency sits beyond the threshold from the
+		// baseline, the band is centred on the wrong level, so the
+		// sample is judged the classic way — against the baseline and
+		// threshold directly. That flags continuing drift, and lets a
+		// just-fixed cell go green immediately instead of failing until
+		// the stale median ages out of the window. Only an anchored
+		// band grades samples statistically.
+		if drift := band.Median/b.KernelSeconds - 1; drift > g.Threshold || drift < -g.Threshold {
+			j = fixedJudge(g.Threshold, b, cur)
+			j.noise = band
+			j.gate = "stat (drift)"
+		} else {
+			j.verdict = band.Verdict(cur.KernelSeconds)
+		}
+		return j
+	})
+	d.Mode = "stat"
+	d.Threshold = g.Threshold
+	return d
+}
+
+// diffRuns matches cells between two runs and applies judge to each
+// matched, measured pair.
+func diffRuns(base, current RunRecord, judge func(base, cur report.Record) judgment) Diff {
+	var d Diff
 	baseByID := make(map[string]report.Record, len(base.Cells))
 	var baseUnmeasured []string
 	for _, r := range base.Cells {
@@ -108,6 +224,7 @@ func DiffRuns(base, current RunRecord, threshold float64) Diff {
 			continue
 		}
 		matched[id] = true
+		j := judge(b, cur)
 		cd := CellDiff{
 			Benchmark:      cur.Benchmark,
 			Engine:         cur.Engine,
@@ -117,11 +234,13 @@ func DiffRuns(base, current RunRecord, threshold float64) Diff {
 			BaseSeconds:    b.KernelSeconds,
 			CurrentSeconds: cur.KernelSeconds,
 			Delta:          cur.KernelSeconds/b.KernelSeconds - 1,
+			Noise:          j.noise,
+			Gate:           j.gate,
 		}
-		switch {
-		case cd.Delta > threshold:
+		switch j.verdict {
+		case stats.Regressed:
 			d.Regressions = append(d.Regressions, cd)
-		case cd.Delta < -threshold:
+		case stats.Improved:
 			d.Improvements = append(d.Improvements, cd)
 		default:
 			d.Stable++

@@ -1,0 +1,123 @@
+package store
+
+import (
+	"testing"
+
+	"simbench/internal/arch"
+	"simbench/internal/bench"
+	"simbench/internal/engine"
+	"simbench/internal/engine/detailed"
+	"simbench/internal/engine/interp"
+	"simbench/internal/sched"
+	"simbench/internal/versions"
+)
+
+// fuzzEngine picks an engine configuration from a small pool — the
+// interpreter, the detailed model, and every modelled QEMU release —
+// under a caller-chosen display name. Distinct pool entries are
+// distinct configurations; the display name is deliberately not key
+// material.
+func fuzzEngine(sel byte, name string) sched.Engine {
+	rels := versions.All()
+	switch n := int(sel) % (2 + len(rels)); n {
+	case 0:
+		return sched.Engine{Name: name, New: func() engine.Engine { return interp.New() }}
+	case 1:
+		return sched.Engine{Name: name, New: func() engine.Engine { return detailed.New() }}
+	default:
+		rel := rels[n-2]
+		return sched.Engine{Name: name, New: func() engine.Engine { return rel.Engine() }}
+	}
+}
+
+// FuzzKeyFor fuzzes the canonicalization contract of the store's
+// content addresses: semantically equal jobs must hash equal (display
+// names and unset-vs-explicit defaults are not key material), and any
+// flip of a real field — benchmark, scale, repeats, architecture,
+// engine configuration — must move the key.
+func FuzzKeyFor(f *testing.F) {
+	f.Add(int64(64), 2, byte(0), byte(0), false, "v2.5.0-rc2")
+	f.Add(int64(0), 0, byte(3), byte(1), true, "dbt")
+	f.Add(int64(-7), 1, byte(200), byte(9), false, "")
+	f.Add(int64(1<<40), 1000, byte(17), byte(4), true, "interp")
+	f.Fuzz(func(t *testing.T, iters int64, repeats int, benchSel, engSel byte, useX86 bool, alias string) {
+		benches := bench.Suite()
+		b := benches[int(benchSel)%len(benches)]
+		var sup arch.Support = arch.ARM{}
+		var otherSup arch.Support = arch.X86{}
+		if useX86 {
+			sup, otherSup = otherSup, sup
+		}
+		j := sched.Job{
+			Bench:   b,
+			Engine:  fuzzEngine(engSel, "column-a"),
+			Arch:    sup,
+			Iters:   iters,
+			Repeats: repeats,
+		}
+		key := KeyFor(j)
+
+		// Determinism: hashing is a pure function of the job.
+		if again := KeyFor(j); again != key {
+			t.Fatalf("KeyFor not deterministic: %s vs %s", key, again)
+		}
+
+		// The engine's display name is not key material: a sweep's
+		// release tag and Fig. 7's "dbt" column share cells.
+		renamed := j
+		renamed.Engine = fuzzEngine(engSel, alias)
+		if KeyFor(renamed) != key {
+			t.Errorf("display name %q moved the key", alias)
+		}
+
+		// Unset scale fields normalize through Job.Effective: leaving
+		// Iters/Repeats at or below zero is the same cell as naming the
+		// paper count and a single measurement explicitly.
+		effIters, effRepeats := j.Effective()
+		explicit := j
+		explicit.Iters = effIters
+		explicit.Repeats = effRepeats
+		if KeyFor(explicit) != key {
+			t.Errorf("explicit effective scale (iters=%d repeats=%d) moved the key of (iters=%d repeats=%d)",
+				effIters, effRepeats, iters, repeats)
+		}
+
+		// Every real field flip must move the key.
+		flips := []struct {
+			name string
+			mut  func(sched.Job) sched.Job
+		}{
+			{"benchmark", func(j sched.Job) sched.Job {
+				j.Bench = benches[(int(benchSel)+1)%len(benches)]
+				return j
+			}},
+			{"iters", func(j sched.Job) sched.Job {
+				j.Iters = effIters + 1
+				return j
+			}},
+			{"repeats", func(j sched.Job) sched.Job {
+				j.Repeats = effRepeats + 1
+				return j
+			}},
+			{"arch", func(j sched.Job) sched.Job {
+				j.Arch = otherSup
+				return j
+			}},
+			{"engine", func(j sched.Job) sched.Job {
+				// interp and the detailed model are guaranteed-distinct
+				// configurations whatever engSel picked.
+				if j.Engine.New().Name() == "interp" {
+					j.Engine = sched.Engine{Name: "column-a", New: func() engine.Engine { return detailed.New() }}
+				} else {
+					j.Engine = sched.Engine{Name: "column-a", New: func() engine.Engine { return interp.New() }}
+				}
+				return j
+			}},
+		}
+		for _, fl := range flips {
+			if KeyFor(fl.mut(j)) == key {
+				t.Errorf("flipping %s did not move the key (job %+v)", fl.name, j)
+			}
+		}
+	})
+}

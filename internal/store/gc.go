@@ -1,0 +1,191 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+// orphanAge is how stale an atomicWrite temp file must be before gc
+// treats it as crash debris: old enough that no live writer can still
+// be about to rename it, young enough that debris never outlives two
+// gc passes.
+const orphanAge = time.Hour
+
+// blobGrace is how old an unreferenced blob must be before gc may
+// prune it. It is much longer than orphanAge because a run references
+// its blobs only when its history entry lands at run end — and a
+// paper-scale run (-scale 1) takes hours, during which every blob it
+// has written so far is unreferenced. A day covers any plausible run.
+const blobGrace = 24 * time.Hour
+
+// GCStats reports what a garbage-collection pass did (or, for a dry
+// run, would do).
+type GCStats struct {
+	// KeepRuns is the effective history window: blobs referenced by
+	// the last KeepRuns runs (any label) or by any saved baseline are
+	// kept.
+	KeepRuns int
+	// RefKeys is how many distinct blob keys that window references.
+	RefKeys int
+	// Kept and Pruned count blobs retained and removed; PrunedBytes is
+	// the disk space the pruned blobs occupied.
+	Kept, Pruned int
+	PrunedBytes  int64
+	// Orphans counts stale atomicWrite temp files reclaimed — debris
+	// of writers killed between create and rename.
+	Orphans int
+	// Young counts unreferenced blobs left alone because they are too
+	// recent to judge: a concurrent run writes blobs cell by cell and
+	// appends its history entry only at the end, so a fresh
+	// unreferenced blob is more likely a run in flight than garbage.
+	Young int
+	// DryRun records that nothing was actually deleted.
+	DryRun bool
+}
+
+func (g GCStats) String() string {
+	verb := "pruned"
+	if g.DryRun {
+		verb = "would prune"
+	}
+	s := fmt.Sprintf("%s %d blobs (%d bytes), kept %d referenced by the last %d runs and baselines (%d keys)",
+		verb, g.Pruned, g.PrunedBytes, g.Kept, g.KeepRuns, g.RefKeys)
+	if g.Orphans > 0 {
+		s += fmt.Sprintf("; %d orphaned temp files", g.Orphans)
+	}
+	if g.Young > 0 {
+		s += fmt.Sprintf("; %d unreferenced blobs too recent to judge", g.Young)
+	}
+	return s
+}
+
+// GC prunes result blobs unreferenced by recent history: a blob
+// survives only if one of the last keepRuns recorded runs, or any
+// saved baseline, names its key. Runs recorded before cells carried
+// keys pin nothing — their blobs are reclaimed once they age out of
+// every baseline. With dryRun the pass only counts; nothing is
+// deleted. keepRuns <= 0 means 10.
+//
+// GC never touches history or baselines themselves, only the object
+// store; a pruned cell simply re-measures on its next run.
+func (s *Store) GC(keepRuns int, dryRun bool) (GCStats, error) {
+	if s.dir == "" {
+		return GCStats{}, errors.New("store: gc needs an on-disk store (-cache-dir)")
+	}
+	if keepRuns <= 0 {
+		keepRuns = 10
+	}
+	st := GCStats{KeepRuns: keepRuns, DryRun: dryRun}
+
+	runs, err := s.History()
+	if err != nil {
+		return st, err
+	}
+	if len(runs) > keepRuns {
+		runs = runs[len(runs)-keepRuns:]
+	}
+	refs := make(map[string]bool)
+	for _, rr := range runs {
+		for _, c := range rr.Cells {
+			if c.Key != "" {
+				refs[c.Key] = true
+			}
+		}
+	}
+	names, err := s.Baselines()
+	if err != nil {
+		return st, err
+	}
+	for _, name := range names {
+		rr, err := s.LoadBaseline(name)
+		if err != nil {
+			return st, err
+		}
+		for _, c := range rr.Cells {
+			if c.Key != "" {
+				refs[c.Key] = true
+			}
+		}
+	}
+	st.RefKeys = len(refs)
+
+	root := filepath.Join(s.dir, "objects")
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			if errors.Is(err, os.ErrNotExist) {
+				return nil
+			}
+			return err
+		}
+		if d.IsDir() {
+			return nil
+		}
+		if strings.HasPrefix(d.Name(), ".tmp-") {
+			// A writer killed between CreateTemp and Rename leaves its
+			// temp file behind forever; reclaim it once it is clearly
+			// not a live write in progress.
+			if info, ierr := d.Info(); ierr == nil && time.Since(info.ModTime()) > orphanAge {
+				st.Orphans++
+				if !dryRun {
+					os.Remove(path)
+				}
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".json") {
+			return nil
+		}
+		key := strings.TrimSuffix(d.Name(), ".json")
+		if refs[key] {
+			st.Kept++
+			return nil
+		}
+		info, ierr := d.Info()
+		if ierr == nil && time.Since(info.ModTime()) <= blobGrace {
+			// An in-flight run's blobs are unreferenced until its
+			// history entry lands at run end; blobs younger than the
+			// longest plausible run are not yet judgeable.
+			st.Young++
+			return nil
+		}
+		if ierr == nil {
+			st.PrunedBytes += info.Size()
+		}
+		st.Pruned++
+		if dryRun {
+			return nil
+		}
+		if err := os.Remove(path); err != nil && !errors.Is(err, os.ErrNotExist) {
+			// A concurrent gc beat us to this blob; the end state —
+			// blob gone — is what this pass wanted anyway.
+			return err
+		}
+		s.dropMem(key)
+		return nil
+	})
+	if err != nil {
+		return st, fmt.Errorf("store: gc: %w", err)
+	}
+	return st, nil
+}
+
+// dropMem evicts a pruned blob from the in-process layer, so a live
+// store does not keep serving what gc just deleted from disk.
+func (s *Store) dropMem(hexKey string) {
+	raw, err := hex.DecodeString(hexKey)
+	if err != nil || len(raw) != sha256.Size {
+		return
+	}
+	var k Key
+	copy(k[:], raw)
+	s.mu.Lock()
+	delete(s.mem, k)
+	s.mu.Unlock()
+}

@@ -1,0 +1,195 @@
+package store
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// ageObjects backdates every blob under the store's objects dir past
+// the in-flight grace period, standing in for a cache written longer
+// ago than any plausible still-running sweep.
+func ageObjects(t *testing.T, dir string) {
+	t.Helper()
+	old := time.Now().Add(-2 * blobGrace)
+	err := filepath.WalkDir(filepath.Join(dir, "objects"), func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		return os.Chtimes(path, old, old)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGC: blobs referenced by the recent-history window or a baseline
+// survive; everything else is pruned, from disk and from the
+// in-process layer.
+func TestGC(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Four measured cells in the blob store...
+	results := make(map[int]bool)
+	for i := 0; i < 4; i++ {
+		s.Put(fabricate(syntheticJob(i), time.Second))
+		results[i] = true
+	}
+	// ...two runs of history: run 1 covers cells 0 and 1, run 2 covers
+	// cells 1 and 2. Cell 3 is in no run at all.
+	run1 := []int{0, 1}
+	run2 := []int{1, 2}
+	for _, cells := range [][]int{run1, run2} {
+		var rs []int = cells
+		res := fabricateRun(2, func(i int) time.Duration { return time.Second })
+		for i, c := range rs {
+			res[i] = fabricate(syntheticJob(c), time.Second)
+		}
+		if err := s.AppendHistory("simbench", res); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Freshly written unreferenced blobs are spared: they could belong
+	// to a run still in flight whose history entry has not landed yet.
+	st, err := s.GC(1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Pruned != 0 || st.Young != 2 {
+		t.Fatalf("gc on fresh blobs = %+v, want 0 pruned / 2 young", st)
+	}
+	ageObjects(t, s.Dir())
+
+	// Window of 1 run: only run 2 (cells 1, 2) pins blobs. Dry run
+	// counts cells 0 and 3 as prunable but deletes nothing.
+	st, err = s.GC(1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Pruned != 2 || st.Kept != 2 || !st.DryRun || st.PrunedBytes == 0 {
+		t.Fatalf("dry-run gc = %+v", st)
+	}
+	for i := 0; i < 4; i++ {
+		if _, ok := s.Get(syntheticJob(i)); !ok {
+			t.Fatalf("dry run deleted cell %d", i)
+		}
+	}
+
+	// Save run 1 as a baseline: its cells (0, 1) are pinned again, so
+	// only cell 3 is garbage.
+	first, err := s.History()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SaveBaseline("keep", first[0]); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err = s.GC(1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Pruned != 1 || st.Kept != 3 || st.DryRun {
+		t.Fatalf("gc = %+v", st)
+	}
+	if got := st.String(); got == "" {
+		t.Error("empty GCStats string")
+	}
+	for i := 0; i < 3; i++ {
+		if _, ok := s.Get(syntheticJob(i)); !ok {
+			t.Errorf("referenced cell %d pruned", i)
+		}
+	}
+	// The pruned blob is gone from disk and from the in-process layer.
+	if _, ok := s.Get(syntheticJob(3)); ok {
+		t.Error("unreferenced cell 3 survived gc")
+	}
+	if _, err := os.Stat(s.blobPath(KeyFor(syntheticJob(3)))); !os.IsNotExist(err) {
+		t.Errorf("blob file still on disk: %v", err)
+	}
+
+	// Idempotent: a second pass finds nothing to prune.
+	st, err = s.GC(1, false)
+	if err != nil || st.Pruned != 0 || st.Kept != 3 {
+		t.Errorf("second gc = %+v, %v", st, err)
+	}
+}
+
+// TestGCOrphanedTempFiles: temp files a killed writer left behind are
+// reclaimed once stale; a fresh temp file (a write possibly still in
+// flight) is left alone.
+func TestGCOrphanedTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := filepath.Join(dir, "objects", "ab")
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	stale := filepath.Join(sub, ".tmp-dead")
+	fresh := filepath.Join(sub, ".tmp-live")
+	for _, p := range []string{stale, fresh} {
+		if err := os.WriteFile(p, []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	old := time.Now().Add(-2 * orphanAge)
+	if err := os.Chtimes(stale, old, old); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := s.GC(10, true)
+	if err != nil || st.Orphans != 1 {
+		t.Fatalf("dry-run gc = %+v, %v (want 1 orphan)", st, err)
+	}
+	if _, err := os.Stat(stale); err != nil {
+		t.Fatal("dry run deleted the orphan")
+	}
+
+	st, err = s.GC(10, false)
+	if err != nil || st.Orphans != 1 {
+		t.Fatalf("gc = %+v, %v", st, err)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Error("stale temp file survived gc")
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Error("fresh temp file was deleted — live writes are not debris")
+	}
+}
+
+func TestGCInMemoryStoreRefuses(t *testing.T) {
+	s, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.GC(1, false); err == nil {
+		t.Error("gc on an in-process store did not fail")
+	}
+}
+
+// TestGCEmptyStore: gc on a store with no history prunes everything
+// not pinned by a baseline (here: everything).
+func TestGCEmptyStore(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put(fabricate(syntheticJob(0), time.Second))
+	ageObjects(t, s.Dir())
+	st, err := s.GC(10, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Pruned != 1 || st.Kept != 0 {
+		t.Errorf("gc = %+v", st)
+	}
+}

@@ -31,7 +31,9 @@ type RunRecord struct {
 
 // NewRun flattens a completed matrix into a history record. Failed
 // cells are included with their error text, mirroring FprintJSON, so
-// history shows the whole matrix.
+// history shows the whole matrix. Each cell is stamped with its
+// content address, so history pins the blobs it references — simbase
+// gc keeps exactly the blobs recent runs and baselines still name.
 func NewRun(label string, results []sched.Result) RunRecord {
 	rr := RunRecord{
 		Time:   time.Now().UTC(),
@@ -42,6 +44,7 @@ func NewRun(label string, results []sched.Result) RunRecord {
 	}
 	for i, r := range results {
 		rr.Cells[i] = report.NewRecord(r)
+		rr.Cells[i].Key = KeyFor(r.Job).String()
 	}
 	return rr
 }
@@ -126,6 +129,31 @@ func (s *Store) History() ([]RunRecord, error) {
 	return runs, nil
 }
 
+// LatestWithPrior splits recorded history into the most recent run
+// and everything recorded before it — the sample pool for the
+// statistical gate, which must not include the run being judged. A
+// non-empty label restricts both the latest run and the pool: the
+// caller asked for that label's history, so off-label runs contribute
+// neither the run under test nor its noise model.
+func LatestWithPrior(runs []RunRecord, label string) (RunRecord, []RunRecord, error) {
+	if label != "" {
+		var filtered []RunRecord
+		for _, rr := range runs {
+			if rr.Label == label {
+				filtered = append(filtered, rr)
+			}
+		}
+		if len(filtered) == 0 {
+			return RunRecord{}, nil, fmt.Errorf("store: no history entry labelled %q", label)
+		}
+		runs = filtered
+	}
+	if len(runs) == 0 {
+		return RunRecord{}, nil, errors.New("store: history is empty")
+	}
+	return runs[len(runs)-1], runs[:len(runs)-1], nil
+}
+
 // LatestRun returns the most recent history entry, restricted to the
 // given label when label is non-empty.
 func (s *Store) LatestRun(label string) (RunRecord, error) {
@@ -133,15 +161,8 @@ func (s *Store) LatestRun(label string) (RunRecord, error) {
 	if err != nil {
 		return RunRecord{}, err
 	}
-	for i := len(runs) - 1; i >= 0; i-- {
-		if label == "" || runs[i].Label == label {
-			return runs[i], nil
-		}
-	}
-	if label == "" {
-		return RunRecord{}, errors.New("store: history is empty")
-	}
-	return RunRecord{}, fmt.Errorf("store: no history entry labelled %q", label)
+	rr, _, err := LatestWithPrior(runs, label)
+	return rr, err
 }
 
 func (s *Store) baselinePath(name string) (string, error) {

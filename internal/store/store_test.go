@@ -162,7 +162,9 @@ func TestKeyNormalization(t *testing.T) {
 // TestRoundTripRecord measures one real cell, stores it, reloads it
 // through a second Store on the same directory (a fresh process, in
 // effect), and checks the reconstructed result flattens to a
-// byte-identical report.Record.
+// byte-identical report.Record — apart from the Cached provenance
+// flag, which a reload sets by design (the noise model relies on it
+// to keep replays out of the sample pool).
 func TestRoundTripRecord(t *testing.T) {
 	dir := t.TempDir()
 	j := testJob(t)
@@ -195,11 +197,18 @@ func TestRoundTripRecord(t *testing.T) {
 		t.Errorf("kernel %v != %v", got.Kernel, r.Kernel)
 	}
 
+	wantRecs := report.Records([]sched.Result{r})
+	haveRecs := report.Records([]sched.Result{got})
+	if !haveRecs[0].Cached {
+		t.Error("reloaded record not marked cached")
+	}
+	// Everything except provenance must round-trip exactly.
+	haveRecs[0].Cached = wantRecs[0].Cached
 	var want, have bytes.Buffer
-	if err := report.FprintJSON(&want, []sched.Result{r}); err != nil {
+	if err := report.FprintRecords(&want, wantRecs); err != nil {
 		t.Fatal(err)
 	}
-	if err := report.FprintJSON(&have, []sched.Result{got}); err != nil {
+	if err := report.FprintRecords(&have, haveRecs); err != nil {
 		t.Fatal(err)
 	}
 	if want.String() != have.String() {
@@ -384,11 +393,21 @@ func TestSchedulerIntegration(t *testing.T) {
 		}
 	}
 
+	// The measurements round-trip exactly; only the Cached provenance
+	// flag distinguishes the replayed run's records.
+	firstRecs := report.Records(first)
+	secondRecs := report.Records(second)
+	for i := range secondRecs {
+		if !secondRecs[i].Cached {
+			t.Errorf("%s: second-run record not marked cached", secondRecs[i].Benchmark)
+		}
+		secondRecs[i].Cached = firstRecs[i].Cached
+	}
 	var a, b bytes.Buffer
-	if err := report.FprintJSON(&a, first); err != nil {
+	if err := report.FprintRecords(&a, firstRecs); err != nil {
 		t.Fatal(err)
 	}
-	if err := report.FprintJSON(&b, second); err != nil {
+	if err := report.FprintRecords(&b, secondRecs); err != nil {
 		t.Fatal(err)
 	}
 	if a.String() != b.String() {
