@@ -224,7 +224,7 @@ func TestGCEndToEnd(t *testing.T) {
 	for _, iters := range []int64{64, 128} {
 		appendRunIters(t, dir, "simbench", iters, func(int) time.Duration { return mus(100) })
 		for _, rr := range fabResults(iters, func(int) time.Duration { return mus(100) }) {
-			st.Put(rr)
+			st.Put(st.Key(rr.Job), rr)
 		}
 	}
 	// Backdate the blobs past gc's in-flight grace period, or nothing

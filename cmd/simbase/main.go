@@ -25,6 +25,12 @@
 //	simbase -cache-dir .simcache -gate=stat diff nightly
 //	simbase -cache-dir .simcache show mem.hot
 //	simbase -cache-dir .simcache -keep-runs 10 gc
+//	simbase -remote http://ci-cache:8347 diff nightly   # fleet store
+//
+// With -remote, history and baselines are read from and written to a
+// simstored server — the fleet-wide view every host appends to —
+// instead of a local cache directory (gc still operates on the local
+// -cache-dir only).
 //
 // Exit status: 0 on success (diff: no regression), 1 when diff finds
 // a regression, 2 on usage or I/O errors.
@@ -47,7 +53,7 @@ func main() {
 }
 
 func usage(fs *flag.FlagSet, stderr io.Writer) {
-	fmt.Fprintln(stderr, "usage: simbase -cache-dir DIR [flags] list | save NAME | diff NAME | show CELL | gc")
+	fmt.Fprintln(stderr, "usage: simbase (-cache-dir DIR | -remote URL) [flags] list | save NAME | diff NAME | show CELL | gc")
 	fs.SetOutput(stderr)
 	fs.PrintDefaults()
 }
@@ -57,6 +63,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	var (
 		cacheDir   = fs.String("cache-dir", "", "result cache directory (as passed to simbench/simsweep/simreport)")
+		remote     = fs.String("remote", "", "simstored server URL: history and baselines are read from and written to the fleet store instead of the local cache (gc still needs -cache-dir)")
 		threshold  = fs.Float64("threshold", 0.10, "relative kernel-time slowdown tolerated as noise by the fixed gate — and by the stat gate's fallback and floor (0.10 = 10%)")
 		label      = fs.String("label", "", "restrict history to runs with this label (e.g. fig7, simbench)")
 		gate       = fs.String("gate", "fixed", "regression gate for diff: fixed (threshold) or stat (per-cell noise band from history)")
@@ -71,8 +78,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	if *cacheDir == "" {
-		fmt.Fprintln(stderr, "simbase: -cache-dir is required")
+	if *cacheDir == "" && *remote == "" {
+		fmt.Fprintln(stderr, "simbase: -cache-dir or -remote is required")
 		return 2
 	}
 	if *gate != "fixed" && *gate != "stat" {
@@ -106,14 +113,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	// simbase only inspects an existing store; opening one would
 	// create the directory and mask a mistyped -cache-dir.
-	if _, err := os.Stat(*cacheDir); err != nil {
-		fmt.Fprintf(stderr, "simbase: no result cache at %s: %v\n", *cacheDir, err)
-		return 2
+	if *cacheDir != "" {
+		if _, err := os.Stat(*cacheDir); err != nil {
+			fmt.Fprintf(stderr, "simbase: no result cache at %s: %v\n", *cacheDir, err)
+			return 2
+		}
 	}
-	st, err := store.Open(*cacheDir)
+	st, err := store.OpenTiered(*cacheDir, *remote)
 	if err != nil {
 		fmt.Fprintln(stderr, "simbase:", err)
 		return 2
+	}
+	if *remote != "" {
+		defer st.Close()
 	}
 	sg := store.StatGate{
 		Threshold:  *threshold,

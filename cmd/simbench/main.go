@@ -38,9 +38,14 @@ import (
 	"simbench/internal/versions"
 )
 
-// reportCache prints the store's hit/miss line to stderr; a nil store
-// prints nothing.
+// reportCache flushes the store (pending remote uploads must land
+// before exit, or the fleet never sees this run's cells) and prints
+// its hit/miss line to stderr; a nil store prints nothing.
 func reportCache(tool string, st *store.Store) {
+	if st == nil {
+		return
+	}
+	st.Close()
 	store.FprintStats(os.Stderr, tool, st)
 }
 
@@ -55,6 +60,7 @@ func main() {
 		repeats  = flag.Int("repeats", 0, "measurements per cell; the minimum kernel time is reported (0 = auto: 2 for the full Fig. 7 run, 1 for subsets)")
 		jsonOut  = flag.Bool("json", false, "write the result set as JSON to stdout instead of a table")
 		cacheDir = flag.String("cache-dir", "", "content-addressed result cache: identical cells are served from here instead of re-measured, and every run is appended to its history (see simbase)")
+		remote   = flag.String("remote", "", "simstored server URL (e.g. http://ci-cache:8347): a shared remote cache tier behind -cache-dir — remote hits are promoted to the local cache, fresh results upload asynchronously, and run history lands on the server")
 		list     = flag.Bool("list", false, "list benchmarks, engines and releases, then exit")
 		verbose  = flag.Bool("v", false, "per-run progress output")
 	)
@@ -88,9 +94,9 @@ func main() {
 		opts.Progress = os.Stderr
 	}
 	var st *store.Store
-	if *cacheDir != "" {
+	if *cacheDir != "" || *remote != "" {
 		var err error
-		if st, err = store.Open(*cacheDir); err != nil {
+		if st, err = store.OpenTiered(*cacheDir, *remote); err != nil {
 			fail(err)
 		}
 		opts.Store = st

@@ -38,6 +38,7 @@ func main() {
 		minIters  = flag.Int64("min-iters", 2000, "minimum iterations after scaling")
 		jobs      = flag.Int("jobs", 0, "matrix cells run concurrently (default GOMAXPROCS; use 1 for minimum-noise timings)")
 		cacheDir  = flag.String("cache-dir", "", "content-addressed result cache: identical cells are served from here instead of re-measured, and every figure run is appended to its history (see simbase)")
+		remote    = flag.String("remote", "", "simstored server URL: a shared remote cache tier behind -cache-dir (see simbench -remote)")
 		verbose   = flag.Bool("v", false, "per-run progress output")
 	)
 	flag.Parse()
@@ -52,32 +53,40 @@ func main() {
 	if *verbose {
 		opts.Progress = os.Stderr
 	}
-	if *cacheDir != "" || *all {
+	if *cacheDir != "" || *remote != "" || *all {
 		// Even without -cache-dir, an in-process store lets Figs. 2, 6
 		// and 8 share their overlapping sweep cells within this run.
-		st, err := store.Open(*cacheDir)
+		st, err := store.OpenTiered(*cacheDir, *remote)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "simreport:", err)
 			os.Exit(1)
 		}
 		opts.Store = st
-		if *cacheDir != "" {
+		if *cacheDir != "" || *remote != "" {
 			if n := store.IdentityNote("simreport"); n != "" {
 				fmt.Fprintln(os.Stderr, n)
 			}
 		}
 	}
 
+	// Flushes pending remote uploads before the stats line: the fleet
+	// can only share this run's cells once they have landed.
+	report := func() {
+		if opts.Store != nil {
+			opts.Store.Close()
+		}
+		store.FprintStats(os.Stderr, "simreport", opts.Store)
+	}
 	steps := []func(figures.Options) error{figures.Fig4, figures.Fig5}
 	if *all {
 		steps = append(steps, figures.Fig3, figures.Fig7, figures.Fig2, figures.Fig6, figures.Fig8)
 	}
 	for _, step := range steps {
 		if err := step(opts); err != nil {
-			store.FprintStats(os.Stderr, "simreport", opts.Store)
+			report()
 			fmt.Fprintln(os.Stderr, "simreport:", err)
 			os.Exit(1)
 		}
 	}
-	store.FprintStats(os.Stderr, "simreport", opts.Store)
+	report()
 }

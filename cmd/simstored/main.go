@@ -1,0 +1,78 @@
+// Command simstored serves a result store over HTTP — the remote tier
+// behind the simbench/simsweep/simreport -remote flag. One instance in
+// front of one directory turns a fleet of CI hosts into a single
+// incremental suite: a cell measured once on any host is a remote hit
+// everywhere else, run history aggregates across hosts, and simbase
+// diffs any host's latest run against fleet-wide baselines.
+//
+// Usage:
+//
+//	simstored -dir /var/cache/simbench                # default addr
+//	simstored -dir /tmp/store -addr 127.0.0.1:8347
+//
+// The directory layout is exactly a local -cache-dir, so pointing
+// simstored at an existing cache directory publishes its cells as-is.
+//
+// Caveat: the store keys cells by the client binary's build identity.
+// go test / go run builds and dirty-tree builds cannot tell engine-code
+// edits apart (see the identity note those tools print) — on a shared
+// store such a client can poison the cache for the whole fleet, not
+// just one machine. Fleets should run clean, stamped builds.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"simbench/internal/simstored"
+)
+
+func main() {
+	var (
+		addr = flag.String("addr", "127.0.0.1:8347", "listen address")
+		dir  = flag.String("dir", "", "store directory to serve (created if missing; same layout as a local -cache-dir)")
+	)
+	flag.Parse()
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "simstored: -dir is required")
+		os.Exit(2)
+	}
+
+	srv, err := simstored.New(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simstored:", err)
+		os.Exit(1)
+	}
+	srv.Logf = log.New(os.Stderr, "simstored: ", log.LstdFlags).Printf
+
+	hs := &http.Server{Addr: *addr, Handler: srv}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		hs.Shutdown(shutdownCtx)
+	}()
+
+	log.Printf("simstored: serving %s on http://%s", *dir, *addr)
+	err = hs.ListenAndServe()
+	// Shutdown makes ListenAndServe return immediately; wait for
+	// in-flight requests to drain before exiting, or the "graceful"
+	// shutdown would reset a client mid-PUT anyway.
+	stop()
+	<-drained
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "simstored:", err)
+		os.Exit(1)
+	}
+}

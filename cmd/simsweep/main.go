@@ -31,6 +31,7 @@ func main() {
 		minIters  = flag.Int64("min-iters", 2000, "minimum iterations after scaling")
 		jobs      = flag.Int("jobs", 0, "matrix cells run concurrently (default GOMAXPROCS; use 1 for minimum-noise timings)")
 		cacheDir  = flag.String("cache-dir", "", "content-addressed result cache: identical cells are served from here instead of re-measured, and every sweep is appended to its history (see simbase)")
+		remote    = flag.String("remote", "", "simstored server URL: a shared remote cache tier behind -cache-dir (see simbench -remote)")
 		verbose   = flag.Bool("v", false, "per-run progress output")
 	)
 	flag.Parse()
@@ -51,8 +52,8 @@ func main() {
 	if *verbose {
 		opts.Progress = os.Stderr
 	}
-	if *cacheDir != "" {
-		st, err := store.Open(*cacheDir)
+	if *cacheDir != "" || *remote != "" {
+		st, err := store.OpenTiered(*cacheDir, *remote)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "simsweep:", err)
 			os.Exit(1)
@@ -73,6 +74,11 @@ func main() {
 		err = figures.Fig8(opts)
 	default:
 		err = fmt.Errorf("unknown figure %d (want 2, 6 or 8)", *fig)
+	}
+	if opts.Store != nil {
+		// Flush pending remote uploads before reporting: the fleet can
+		// only share this sweep's cells once they have landed.
+		opts.Store.Close()
 	}
 	store.FprintStats(os.Stderr, "simsweep", opts.Store)
 	if err != nil {

@@ -82,6 +82,12 @@ type Result struct {
 	// Cached reports that the result was served from a Store rather
 	// than measured by this run.
 	Cached bool
+
+	// Key is the job's content address as issued by the run's Store,
+	// computed once per job and threaded through every store
+	// interaction — lookup, write-back and history stamping. Empty for
+	// runs without a Store.
+	Key string
 }
 
 // Matrix describes a full experiment as selections per axis. Jobs
@@ -153,16 +159,27 @@ func Execute(ctx context.Context, j Job) Result {
 // the content-addressed implementation); the scheduler only asks it to
 // round-trip Results. Implementations must be safe for concurrent use
 // by the worker pool.
+//
+// Computing a content address is not free (it canonicalizes the job's
+// full engine configuration), so the scheduler calls Key exactly once
+// per job and hands the result back on every subsequent Get, Put and
+// Has for that job — one key computation per cell, no matter how many
+// store interactions the cell's lifecycle involves.
 type Store interface {
+	// Key returns the opaque content address of j. The scheduler
+	// treats it as a token: computed once per job, passed back
+	// verbatim.
+	Key(j Job) string
 	// Get returns the cached result for j, if present. A returned
 	// result carries Cached=true and a reconstructed Run.
-	Get(j Job) (Result, bool)
-	// Put records a successfully measured result. Failed or cancelled
-	// cells are never offered.
-	Put(r Result)
-	// Has reports whether j is present without counting as a lookup;
-	// the scheduler uses it to decide which warmups are still needed.
-	Has(j Job) bool
+	Get(j Job, key string) (Result, bool)
+	// Put records a successfully measured result under its key. Failed
+	// or cancelled cells are never offered.
+	Put(key string, r Result)
+	// Has reports whether a key is present without counting as a
+	// lookup; the scheduler uses it to decide which warmups are still
+	// needed.
+	Has(key string) bool
 }
 
 // Scheduler runs a job list on a bounded worker pool.
@@ -192,17 +209,20 @@ type Scheduler struct {
 
 // execute resolves one job: from the store when possible, by running
 // it otherwise. Fresh successful measurements are offered back to the
-// store.
-func (s *Scheduler) execute(ctx context.Context, j Job) Result {
+// store. key is the job's content address, computed once by Run; it is
+// empty exactly when the scheduler has no Store.
+func (s *Scheduler) execute(ctx context.Context, j Job, key string) Result {
 	if s.Store != nil {
-		if r, ok := s.Store.Get(j); ok {
+		if r, ok := s.Store.Get(j, key); ok {
 			r.Job = j
+			r.Key = key
 			return r
 		}
 	}
 	r := Execute(ctx, j)
+	r.Key = key
 	if s.Store != nil && r.Err == nil {
-		s.Store.Put(r)
+		s.Store.Put(key, r)
 	}
 	return r
 }
@@ -252,8 +272,13 @@ feed:
 // first-appearance order. With a Store attached, an engine whose every
 // job is already cached needs no warmup (nothing of it will execute)
 // and is skipped — so a fully cached matrix performs no guest runs at
-// all.
-func (s *Scheduler) warmupJobs(jobs []Job) []Job {
+// all. keys is index-aligned with jobs (nil without a Store), so the
+// presence scan reuses the per-job keys Run already computed. The
+// presence checks run on the worker pool: on a store with a remote
+// tier each cold check is a network round trip, and the headline
+// fully-cached case checks every job — serialized, a large matrix
+// would pay its whole latency budget before the first cell dispatches.
+func (s *Scheduler) warmupJobs(ctx context.Context, jobs []Job, keys []string, workers int) []Job {
 	var order []string
 	first := make(map[string]Job)
 	needed := make(map[string]bool)
@@ -263,9 +288,55 @@ func (s *Scheduler) warmupJobs(jobs []Job) []Job {
 			first[name] = j
 			order = append(order, name)
 		}
-		if !needed[name] && (s.Store == nil || !s.Store.Has(j)) {
+	}
+	if s.Store == nil {
+		for name := range first {
 			needed[name] = true
 		}
+	} else {
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		idx := make(chan int)
+		if workers < 1 {
+			workers = 1
+		}
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					// Each remote presence check can cost a network
+					// round trip; a cancelled run must not sit through
+					// the rest of them.
+					if ctx.Err() != nil {
+						continue
+					}
+					name := jobs[i].Engine.Name
+					mu.Lock()
+					done := needed[name]
+					mu.Unlock()
+					// One miss settles an engine; later checks for it
+					// are skipped (the blobs its Has calls have already
+					// promoted stay promoted either way).
+					if done || s.Store.Has(keys[i]) {
+						continue
+					}
+					mu.Lock()
+					needed[name] = true
+					mu.Unlock()
+				}
+			}()
+		}
+	feed:
+		for i := range jobs {
+			select {
+			case idx <- i:
+			case <-ctx.Done():
+				break feed
+			}
+		}
+		close(idx)
+		wg.Wait()
 	}
 	var out []Job
 	for _, name := range order {
@@ -293,8 +364,20 @@ func (s *Scheduler) Run(ctx context.Context, jobs []Job) []Result {
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
+	// Each job's content address is computed exactly once, up front;
+	// the warmup scan, the store lookup, the write-back and the
+	// caller's history stamping all reuse it (computing a key
+	// canonicalizes the engine's full configuration, which is far too
+	// expensive to repeat four times per cell).
+	var keys []string
+	if s.Store != nil {
+		keys = make([]string, len(jobs))
+		for i, j := range jobs {
+			keys[i] = s.Store.Key(j)
+		}
+	}
 	if s.Warmup && ctx.Err() == nil {
-		runWarmups(ctx, s.warmupJobs(jobs), workers)
+		runWarmups(ctx, s.warmupJobs(ctx, jobs, keys, workers), workers)
 	}
 
 	idx := make(chan int)
@@ -305,7 +388,11 @@ func (s *Scheduler) Run(ctx context.Context, jobs []Job) []Result {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				r := s.execute(ctx, jobs[i])
+				key := ""
+				if keys != nil {
+					key = keys[i]
+				}
+				r := s.execute(ctx, jobs[i], key)
 				r.Index = i
 				results[i] = r
 				if s.Progress != nil {

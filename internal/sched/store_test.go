@@ -15,40 +15,46 @@ import (
 
 // memStore is a minimal Store for exercising the scheduler seam; the
 // content-addressed implementation lives in internal/store and has its
-// own tests.
+// own tests. keyCalls counts Key invocations: the scheduler's contract
+// is one key computation per job, no matter how many Get/Put/Has calls
+// the job's lifecycle involves.
 type memStore struct {
-	mu   sync.Mutex
-	m    map[string]Result
-	puts int
+	mu       sync.Mutex
+	m        map[string]Result
+	puts     int
+	keyCalls int
 }
 
 func newMemStore() *memStore { return &memStore{m: make(map[string]Result)} }
 
-func (s *memStore) key(j Job) string {
+func (s *memStore) Key(j Job) string {
+	s.mu.Lock()
+	s.keyCalls++
+	s.mu.Unlock()
 	return fmt.Sprintf("%s/%d/%d", j, j.Iters, j.Repeats)
 }
 
-func (s *memStore) Get(j Job) (Result, bool) {
+func (s *memStore) Get(j Job, key string) (Result, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	r, ok := s.m[s.key(j)]
+	r, ok := s.m[key]
 	if ok {
 		r.Cached = true
 	}
 	return r, ok
 }
 
-func (s *memStore) Put(r Result) {
+func (s *memStore) Put(key string, r Result) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.m[s.key(r.Job)] = r
+	s.m[key] = r
 	s.puts++
 }
 
-func (s *memStore) Has(j Job) bool {
+func (s *memStore) Has(key string) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	_, ok := s.m[s.key(j)]
+	_, ok := s.m[key]
 	return ok
 }
 
@@ -91,10 +97,20 @@ func TestStoreRoundTrip(t *testing.T) {
 		if r.Cached {
 			t.Errorf("%s: first run served from empty store", r.Job)
 		}
+		if r.Key == "" {
+			t.Errorf("%s: store-backed result carries no key", r.Job)
+		}
 	}
 	if st.puts != len(jobs) {
 		t.Fatalf("store received %d puts, want %d", st.puts, len(jobs))
 	}
+	// One key computation per job covers the warmup scan, the lookup
+	// and the write-back; recomputing per store call is the regression
+	// this counter guards against.
+	if st.keyCalls != len(jobs) {
+		t.Errorf("first run computed %d keys for %d jobs, want one per job", st.keyCalls, len(jobs))
+	}
+	st.keyCalls = 0
 	for name, c := range counts {
 		c.Store(0)
 		_ = name
@@ -104,9 +120,15 @@ func TestStoreRoundTrip(t *testing.T) {
 	if err := Errors(second); err != nil {
 		t.Fatal(err)
 	}
+	if st.keyCalls != len(jobs) {
+		t.Errorf("second run computed %d keys for %d jobs, want one per job", st.keyCalls, len(jobs))
+	}
 	for i, r := range second {
 		if !r.Cached {
 			t.Errorf("%s: second run not served from store", r.Job)
+		}
+		if r.Key == "" {
+			t.Errorf("%s: cached result carries no key", r.Job)
 		}
 		if r.Kernel != first[i].Kernel {
 			t.Errorf("%s: cached kernel %v != measured %v", r.Job, r.Kernel, first[i].Kernel)
@@ -165,7 +187,7 @@ func TestWarmupJobsSelection(t *testing.T) {
 	}
 
 	s := &Scheduler{}
-	got := s.warmupJobs(jobs)
+	got := s.warmupJobs(context.Background(), jobs, nil, 2)
 	if len(got) != 2 || got[0].Engine.Name != "a" || got[1].Engine.Name != "b" {
 		t.Fatalf("warmupJobs = %v", got)
 	}
@@ -175,10 +197,14 @@ func TestWarmupJobsSelection(t *testing.T) {
 
 	// Cache everything engine "a" will run; only "b" still needs warmup.
 	st := newMemStore()
-	st.Put(Result{Job: jobs[0]})
-	st.Put(Result{Job: jobs[2]})
+	st.Put(st.Key(jobs[0]), Result{Job: jobs[0]})
+	st.Put(st.Key(jobs[2]), Result{Job: jobs[2]})
 	s.Store = st
-	got = s.warmupJobs(jobs)
+	keys := make([]string, len(jobs))
+	for i, j := range jobs {
+		keys[i] = st.Key(j)
+	}
+	got = s.warmupJobs(context.Background(), jobs, keys, 2)
 	if len(got) != 1 || got[0].Engine.Name != "b" {
 		t.Errorf("warmupJobs with cached engine = %v", got)
 	}

@@ -1,0 +1,256 @@
+// Package simstored implements the HTTP server side of the result
+// store's remote tier: a content-addressed object store plus the run
+// history and baseline endpoints that let simbase gate a whole fleet
+// against one shared store.
+//
+// The on-disk layout is exactly a local -cache-dir (objects/,
+// history.jsonl, baselines/), so a server can be pointed at an
+// existing cache directory and immediately serve its blobs — and a
+// served directory can still be inspected with simbase locally.
+//
+// Protocol (all bodies JSON):
+//
+//	GET/HEAD /objects/<key>   one blob by content address; 404 on miss
+//	PUT      /objects/<key>   store one blob
+//	GET      /runs            the history stream (JSONL, possibly empty)
+//	POST     /runs            append one history line (serialized by the
+//	                          same lock local appends take)
+//	GET      /baselines       baseline names, as a JSON array
+//	GET      /baselines/<n>   one baseline; 404 when absent
+//	PUT      /baselines/<n>   save a baseline
+//	GET      /healthz         liveness probe
+//
+// Content addressing makes the server trivially consistent: a key
+// names one immutable measurement, so concurrent PUTs of one key carry
+// semantically identical bodies and last-write-wins is immaterial.
+package simstored
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"simbench/internal/store"
+)
+
+// maxBodyBytes bounds any single uploaded object, history line or
+// baseline.
+const maxBodyBytes = 1 << 28 // 256 MiB
+
+// Server serves one store directory. It is an http.Handler; wrap it in
+// whatever server (or mux prefix) the deployment wants.
+type Server struct {
+	dir string
+	// Logf, when set, receives one line per failed request; the happy
+	// path is silent.
+	Logf func(format string, args ...any)
+}
+
+// New opens (creating if needed) a server over the store directory.
+func New(dir string) (*Server, error) {
+	if dir == "" {
+		return nil, errors.New("simstored: a store directory is required")
+	}
+	for _, sub := range []string{"objects", "baselines"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("simstored: %w", err)
+		}
+	}
+	return &Server{dir: dir}, nil
+}
+
+// Dir returns the served store directory.
+func (s *Server) Dir() string { return s.dir }
+
+func (s *Server) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}
+
+func (s *Server) fail(w http.ResponseWriter, r *http.Request, code int, format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	s.logf("%s %s: %d %s", r.Method, r.URL.Path, code, msg)
+	http.Error(w, msg, code)
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.URL.Path == "/healthz":
+		io.WriteString(w, "ok\n")
+	case strings.HasPrefix(r.URL.Path, "/objects/"):
+		s.serveObject(w, r, strings.TrimPrefix(r.URL.Path, "/objects/"))
+	case r.URL.Path == "/runs":
+		s.serveRuns(w, r)
+	case r.URL.Path == "/baselines":
+		s.serveBaselineList(w, r)
+	case strings.HasPrefix(r.URL.Path, "/baselines/"):
+		s.serveBaseline(w, r, strings.TrimPrefix(r.URL.Path, "/baselines/"))
+	default:
+		s.fail(w, r, http.StatusNotFound, "unknown path %q", r.URL.Path)
+	}
+}
+
+// objectPath maps a validated key to its blob file, sharded by the
+// first two hex characters exactly like the local disk tier.
+func (s *Server) objectPath(key string) (string, bool) {
+	if _, ok := store.ParseKey(key); !ok {
+		return "", false
+	}
+	return filepath.Join(s.dir, "objects", key[:2], key+".json"), true
+}
+
+func (s *Server) serveObject(w http.ResponseWriter, r *http.Request, key string) {
+	path, ok := s.objectPath(key)
+	if !ok {
+		s.fail(w, r, http.StatusBadRequest, "malformed object key %q", key)
+		return
+	}
+	switch r.Method {
+	case http.MethodGet, http.MethodHead:
+		f, err := os.Open(path)
+		if err != nil {
+			s.fail(w, r, http.StatusNotFound, "no object %s", key)
+			return
+		}
+		defer f.Close()
+		w.Header().Set("Content-Type", "application/json")
+		if info, err := f.Stat(); err == nil {
+			w.Header().Set("Content-Length", fmt.Sprint(info.Size()))
+		}
+		if r.Method == http.MethodHead {
+			return
+		}
+		io.Copy(w, f)
+	case http.MethodPut:
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+		if err != nil {
+			s.fail(w, r, http.StatusBadRequest, "read object: %v", err)
+			return
+		}
+		if !json.Valid(body) {
+			// Reject garbage at the door: every client of this store
+			// parses blobs as JSON, and a corrupt upload would turn
+			// into a per-run warning on every fleet member.
+			s.fail(w, r, http.StatusBadRequest, "object %s is not valid JSON", key)
+			return
+		}
+		if err := store.AtomicWrite(path, body); err != nil {
+			s.fail(w, r, http.StatusInternalServerError, "write object: %v", err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		s.fail(w, r, http.StatusMethodNotAllowed, "method %s", r.Method)
+	}
+}
+
+func (s *Server) serveRuns(w http.ResponseWriter, r *http.Request) {
+	path := filepath.Join(s.dir, "history.jsonl")
+	switch r.Method {
+	case http.MethodGet:
+		f, err := os.Open(path)
+		if err != nil {
+			if errors.Is(err, os.ErrNotExist) {
+				// An empty history is a young fleet, not an error.
+				w.Header().Set("Content-Type", "application/jsonl")
+				return
+			}
+			s.fail(w, r, http.StatusInternalServerError, "open history: %v", err)
+			return
+		}
+		defer f.Close()
+		w.Header().Set("Content-Type", "application/jsonl")
+		io.Copy(w, f)
+	case http.MethodPost:
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+		if err != nil {
+			s.fail(w, r, http.StatusBadRequest, "read run: %v", err)
+			return
+		}
+		line := []byte(strings.TrimSpace(string(body)))
+		if len(line) == 0 || !json.Valid(line) || strings.ContainsRune(string(line), '\n') {
+			// One valid single-line JSON value per POST, or the
+			// append would corrupt the stream for every reader.
+			s.fail(w, r, http.StatusBadRequest, "run must be one line of valid JSON")
+			return
+		}
+		// The same exclusive lock local AppendHistory takes, so a
+		// server colocated with local writers on one directory still
+		// serializes every append.
+		if err := store.LockedAppend(path, line); err != nil {
+			s.fail(w, r, http.StatusInternalServerError, "append run: %v", err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		s.fail(w, r, http.StatusMethodNotAllowed, "method %s", r.Method)
+	}
+}
+
+func (s *Server) serveBaselineList(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.fail(w, r, http.StatusMethodNotAllowed, "method %s", r.Method)
+		return
+	}
+	entries, err := os.ReadDir(filepath.Join(s.dir, "baselines"))
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		s.fail(w, r, http.StatusInternalServerError, "list baselines: %v", err)
+		return
+	}
+	names := []string{}
+	for _, e := range entries {
+		name := e.Name()
+		if e.Type().IsRegular() && strings.HasSuffix(name, ".json") && !strings.HasPrefix(name, ".") {
+			names = append(names, strings.TrimSuffix(name, ".json"))
+		}
+	}
+	sort.Strings(names)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(names)
+}
+
+func (s *Server) serveBaseline(w http.ResponseWriter, r *http.Request, name string) {
+	if !store.ValidBaselineName(name) {
+		s.fail(w, r, http.StatusBadRequest, "invalid baseline name %q", name)
+		return
+	}
+	path := filepath.Join(s.dir, "baselines", name+".json")
+	switch r.Method {
+	case http.MethodGet, http.MethodHead:
+		f, err := os.Open(path)
+		if err != nil {
+			s.fail(w, r, http.StatusNotFound, "no baseline %q", name)
+			return
+		}
+		defer f.Close()
+		w.Header().Set("Content-Type", "application/json")
+		if r.Method == http.MethodHead {
+			return
+		}
+		io.Copy(w, f)
+	case http.MethodPut:
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+		if err != nil {
+			s.fail(w, r, http.StatusBadRequest, "read baseline: %v", err)
+			return
+		}
+		if !json.Valid(body) {
+			s.fail(w, r, http.StatusBadRequest, "baseline %q is not valid JSON", name)
+			return
+		}
+		if err := store.AtomicWrite(path, body); err != nil {
+			s.fail(w, r, http.StatusInternalServerError, "write baseline: %v", err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		s.fail(w, r, http.StatusMethodNotAllowed, "method %s", r.Method)
+	}
+}

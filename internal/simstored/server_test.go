@@ -1,0 +1,198 @@
+package simstored
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func newTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	srv, err := New(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func do(t *testing.T, method, url string, body []byte) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(method, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+// testKey is a syntactically valid content address (64 hex chars).
+var testKey = strings.Repeat("ab", 32)
+
+func TestObjectRoundTrip(t *testing.T) {
+	srv, ts := newTestServer(t)
+	blob := []byte(`{"schema":1,"benchmark":"mem.hot"}`)
+
+	// Miss before the upload, for GET and HEAD alike.
+	if resp := do(t, http.MethodGet, ts.URL+"/objects/"+testKey, nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET before PUT: %s", resp.Status)
+	}
+	if resp := do(t, http.MethodHead, ts.URL+"/objects/"+testKey, nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("HEAD before PUT: %s", resp.Status)
+	}
+
+	if resp := do(t, http.MethodPut, ts.URL+"/objects/"+testKey, blob); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("PUT: %s", resp.Status)
+	}
+
+	resp := do(t, http.MethodGet, ts.URL+"/objects/"+testKey, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET after PUT: %s", resp.Status)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	if buf.String() != string(blob) {
+		t.Errorf("object round trip: %q != %q", buf.String(), blob)
+	}
+	if resp := do(t, http.MethodHead, ts.URL+"/objects/"+testKey, nil); resp.StatusCode != http.StatusOK {
+		t.Errorf("HEAD after PUT: %s", resp.Status)
+	}
+
+	// The blob lands in the cache-dir layout: objects/<2 hex>/<key>.json.
+	if _, err := os.Stat(filepath.Join(srv.Dir(), "objects", testKey[:2], testKey+".json")); err != nil {
+		t.Errorf("blob not in cache-dir layout: %v", err)
+	}
+}
+
+func TestObjectValidation(t *testing.T) {
+	_, ts := newTestServer(t)
+	for _, bad := range []string{
+		"short",
+		strings.Repeat("zz", 32),               // not hex
+		strings.Repeat("ab", 31) + "..",        // traversal-shaped
+		"../" + strings.Repeat("ab", 31) + "x", // escapes objects/
+	} {
+		if resp := do(t, http.MethodPut, ts.URL+"/objects/"+bad, []byte("{}")); resp.StatusCode != http.StatusBadRequest &&
+			resp.StatusCode != http.StatusNotFound { // a "/" in the key changes the route
+			t.Errorf("PUT %q accepted: %s", bad, resp.Status)
+		}
+	}
+	// Garbage bodies are rejected at the door, not replayed to clients.
+	if resp := do(t, http.MethodPut, ts.URL+"/objects/"+testKey, []byte("not json")); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("garbage PUT accepted: %s", resp.Status)
+	}
+	if resp := do(t, http.MethodDelete, ts.URL+"/objects/"+testKey, nil); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("DELETE: %s", resp.Status)
+	}
+}
+
+func TestRunsAppendAndStream(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	// Empty history streams as an empty 200, not an error.
+	resp := do(t, http.MethodGet, ts.URL+"/runs", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET empty /runs: %s", resp.Status)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	if buf.Len() != 0 {
+		t.Errorf("empty history body: %q", buf.String())
+	}
+
+	for i := 0; i < 3; i++ {
+		line := fmt.Sprintf(`{"label":"run-%d","cells":[]}`, i)
+		if resp := do(t, http.MethodPost, ts.URL+"/runs", []byte(line)); resp.StatusCode != http.StatusNoContent {
+			t.Fatalf("POST run %d: %s", i, resp.Status)
+		}
+	}
+
+	resp = do(t, http.MethodGet, ts.URL+"/runs", nil)
+	buf.Reset()
+	buf.ReadFrom(resp.Body)
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("history has %d lines, want 3:\n%s", len(lines), buf.String())
+	}
+	for i, line := range lines {
+		var rr struct {
+			Label string `json:"label"`
+		}
+		if err := json.Unmarshal([]byte(line), &rr); err != nil || rr.Label != fmt.Sprintf("run-%d", i) {
+			t.Errorf("line %d: %q (%v)", i, line, err)
+		}
+	}
+
+	// A run that is not one line of valid JSON would corrupt the stream
+	// for every reader; it is rejected.
+	for _, bad := range []string{"", "not json", "{}\n{}", "{\"a\":1}\ngarbage"} {
+		if resp := do(t, http.MethodPost, ts.URL+"/runs", []byte(bad)); resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("POST %q accepted: %s", bad, resp.Status)
+		}
+	}
+}
+
+func TestBaselines(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	resp := do(t, http.MethodGet, ts.URL+"/baselines", nil)
+	var names []string
+	if err := json.NewDecoder(resp.Body).Decode(&names); err != nil || len(names) != 0 {
+		t.Fatalf("empty baseline list = %v, %v", names, err)
+	}
+
+	base := []byte(`{"label":"nightly","cells":[]}`)
+	if resp := do(t, http.MethodPut, ts.URL+"/baselines/nightly", base); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("PUT baseline: %s", resp.Status)
+	}
+	resp = do(t, http.MethodGet, ts.URL+"/baselines/nightly", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET baseline: %s", resp.Status)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	if buf.String() != string(base) {
+		t.Errorf("baseline round trip: %q", buf.String())
+	}
+
+	resp = do(t, http.MethodGet, ts.URL+"/baselines", nil)
+	if err := json.NewDecoder(resp.Body).Decode(&names); err != nil || len(names) != 1 || names[0] != "nightly" {
+		t.Errorf("baseline list = %v, %v", names, err)
+	}
+
+	if resp := do(t, http.MethodGet, ts.URL+"/baselines/absent", nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("GET absent baseline: %s", resp.Status)
+	}
+	for _, bad := range []string{".hidden", "..", "a\\b"} {
+		if resp := do(t, http.MethodPut, ts.URL+"/baselines/"+bad, base); resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("PUT baseline %q accepted: %s", bad, resp.Status)
+		}
+	}
+}
+
+func TestHealthzAndUnknownPath(t *testing.T) {
+	_, ts := newTestServer(t)
+	if resp := do(t, http.MethodGet, ts.URL+"/healthz", nil); resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz: %s", resp.Status)
+	}
+	if resp := do(t, http.MethodGet, ts.URL+"/nope", nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown path: %s", resp.Status)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(""); err == nil {
+		t.Error("New(\"\") did not fail")
+	}
+}

@@ -1,8 +1,6 @@
 package store
 
 import (
-	"crypto/sha256"
-	"encoding/hex"
 	"errors"
 	"fmt"
 	"io/fs"
@@ -84,7 +82,11 @@ func (s *Store) GC(keepRuns int, dryRun bool) (GCStats, error) {
 	}
 	st := GCStats{KeepRuns: keepRuns, DryRun: dryRun}
 
-	runs, err := s.History()
+	// GC prunes *local* blobs, so references come from *local* history
+	// and baselines even when a remote tier is attached: the fleet's
+	// shared window is dominated by other hosts' runs and would wrongly
+	// condemn this host's recently-referenced cache.
+	runs, err := s.localHistory()
 	if err != nil {
 		return st, err
 	}
@@ -99,12 +101,12 @@ func (s *Store) GC(keepRuns int, dryRun bool) (GCStats, error) {
 			}
 		}
 	}
-	names, err := s.Baselines()
+	names, err := s.localBaselines()
 	if err != nil {
 		return st, err
 	}
 	for _, name := range names {
-		rr, err := s.LoadBaseline(name)
+		rr, err := s.localLoadBaseline(name)
 		if err != nil {
 			return st, err
 		}
@@ -116,7 +118,7 @@ func (s *Store) GC(keepRuns int, dryRun bool) (GCStats, error) {
 	}
 	st.RefKeys = len(refs)
 
-	root := filepath.Join(s.dir, "objects")
+	root := filepath.Join(s.dir, objectsDirName)
 	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
 		if err != nil {
 			if errors.Is(err, os.ErrNotExist) {
@@ -179,12 +181,10 @@ func (s *Store) GC(keepRuns int, dryRun bool) (GCStats, error) {
 // dropMem evicts a pruned blob from the in-process layer, so a live
 // store does not keep serving what gc just deleted from disk.
 func (s *Store) dropMem(hexKey string) {
-	raw, err := hex.DecodeString(hexKey)
-	if err != nil || len(raw) != sha256.Size {
+	k, ok := ParseKey(hexKey)
+	if !ok {
 		return
 	}
-	var k Key
-	copy(k[:], raw)
 	s.mu.Lock()
 	delete(s.mem, k)
 	s.mu.Unlock()

@@ -2,10 +2,13 @@ package store
 
 import (
 	"io/fs"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"testing"
 	"time"
+
+	"simbench/internal/sched"
 )
 
 // ageObjects backdates every blob under the store's objects dir past
@@ -37,7 +40,7 @@ func TestGC(t *testing.T) {
 	// Four measured cells in the blob store...
 	results := make(map[int]bool)
 	for i := 0; i < 4; i++ {
-		s.Put(fabricate(syntheticJob(i), time.Second))
+		put(s, fabricate(syntheticJob(i), time.Second))
 		results[i] = true
 	}
 	// ...two runs of history: run 1 covers cells 0 and 1, run 2 covers
@@ -76,7 +79,7 @@ func TestGC(t *testing.T) {
 		t.Fatalf("dry-run gc = %+v", st)
 	}
 	for i := 0; i < 4; i++ {
-		if _, ok := s.Get(syntheticJob(i)); !ok {
+		if _, ok := get(s, syntheticJob(i)); !ok {
 			t.Fatalf("dry run deleted cell %d", i)
 		}
 	}
@@ -102,15 +105,16 @@ func TestGC(t *testing.T) {
 		t.Error("empty GCStats string")
 	}
 	for i := 0; i < 3; i++ {
-		if _, ok := s.Get(syntheticJob(i)); !ok {
+		if _, ok := get(s, syntheticJob(i)); !ok {
 			t.Errorf("referenced cell %d pruned", i)
 		}
 	}
 	// The pruned blob is gone from disk and from the in-process layer.
-	if _, ok := s.Get(syntheticJob(3)); ok {
+	if _, ok := get(s, syntheticJob(3)); ok {
 		t.Error("unreferenced cell 3 survived gc")
 	}
-	if _, err := os.Stat(s.blobPath(KeyFor(syntheticJob(3)))); !os.IsNotExist(err) {
+	gone := KeyFor(syntheticJob(3)).String()
+	if _, err := os.Stat(filepath.Join(s.Dir(), "objects", gone[:2], gone+".json")); !os.IsNotExist(err) {
 		t.Errorf("blob file still on disk: %v", err)
 	}
 
@@ -176,6 +180,55 @@ func TestGCInMemoryStoreRefuses(t *testing.T) {
 	}
 }
 
+// TestGCUsesLocalHistoryWithRemote: gc prunes local blobs, so it must
+// judge them by local history even when a remote tier is attached —
+// the fleet's shared history is dominated by other hosts' runs and
+// would wrongly condemn this host's recently-referenced cache.
+func TestGCUsesLocalHistoryWithRemote(t *testing.T) {
+	fake := newFakeRemote()
+	ts := httptest.NewServer(fake)
+	defer ts.Close()
+
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Local history references the blob; the fleet history does not
+	// (it only knows some other host's run).
+	j := syntheticJob(0)
+	put(s, fabricate(j, time.Second))
+	if err := s.AppendHistory("local", []sched.Result{fabricate(j, time.Second)}); err != nil {
+		t.Fatal(err)
+	}
+	fake.mu.Lock()
+	fake.runs = append(fake.runs, `{"label":"other-host","cells":[]}`)
+	fake.mu.Unlock()
+
+	rt, err := NewRemoteTier(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.AttachRemote(rt)
+	defer s.Close()
+	// Sanity: the store's history view is now the fleet's.
+	if runs, err := s.History(); err != nil || len(runs) != 1 || runs[0].Label != "other-host" {
+		t.Fatalf("fleet history = %v, %v", runs, err)
+	}
+
+	ageObjects(t, dir)
+	st, err := s.GC(10, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Kept != 1 || st.Pruned != 0 {
+		t.Fatalf("gc with remote attached = %+v; locally-referenced blob must survive", st)
+	}
+	if !has(s, j) {
+		t.Error("locally-referenced blob pruned under fleet history")
+	}
+}
+
 // TestGCEmptyStore: gc on a store with no history prunes everything
 // not pinned by a baseline (here: everything).
 func TestGCEmptyStore(t *testing.T) {
@@ -183,7 +236,7 @@ func TestGCEmptyStore(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s.Put(fabricate(syntheticJob(0), time.Second))
+	put(s, fabricate(syntheticJob(0), time.Second))
 	ageObjects(t, s.Dir())
 	st, err := s.GC(10, false)
 	if err != nil {

@@ -3,8 +3,11 @@ package store
 import (
 	"context"
 	"errors"
+	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -134,6 +137,126 @@ func TestHistoryTornLine(t *testing.T) {
 	}
 	if _, err := s.History(); err == nil {
 		t.Error("all-garbage history did not error")
+	}
+}
+
+// TestHistoryConcurrentAppends: appends from many goroutines (each on
+// its own file descriptor, standing in for separate processes) are
+// serialized by the append lock — every line survives, none interleave.
+// Before the lock, multi-megabyte O_APPEND writes could interleave and
+// silently lose both runs to the malformed-line skip.
+func TestHistoryConcurrentAppends(t *testing.T) {
+	dir := t.TempDir()
+	const writers = 8
+	// Pad each run well past any atomic-write guarantee POSIX gives an
+	// O_APPEND write, so unserialized appends would actually interleave.
+	pad := strings.Repeat("x", 1<<20)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s, err := Open(dir)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			res := fabricateRun(1, func(int) time.Duration { return time.Duration(w+1) * time.Millisecond })
+			res[0].Run.Console = pad
+			if err := s.AppendHistory(fmt.Sprintf("writer-%d", w), res); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs, err := s.History()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != writers {
+		t.Fatalf("history holds %d of %d concurrent runs", len(runs), writers)
+	}
+	seen := make(map[string]bool)
+	for _, rr := range runs {
+		seen[rr.Label] = true
+		if len(rr.Cells) != 1 {
+			t.Errorf("run %q corrupted: %d cells", rr.Label, len(rr.Cells))
+		}
+	}
+	if len(seen) != writers {
+		t.Errorf("labels lost: %v", seen)
+	}
+}
+
+// TestLockedAppendNewlineHandling: lines land newline-terminated
+// exactly once, whether or not the caller supplied one.
+func TestLockedAppendNewlineHandling(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "h.jsonl")
+	if err := LockedAppend(path, []byte(`{"a":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := LockedAppend(path, []byte(`{"b":2}`+"\n")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "{\"a\":1}\n{\"b\":2}\n" {
+		t.Errorf("appended file = %q", data)
+	}
+}
+
+// TestHistoryOversizedLines: the old line scanner capped entries at
+// 64 MiB and returned bufio.ErrTooLong for anything bigger — poisoning
+// the *entire* history. Streaming decode has no cap: an oversized
+// valid entry parses, and an oversized garbage line is skipped and
+// counted like any other malformed entry.
+func TestHistoryOversizedLines(t *testing.T) {
+	const oldCap = 64 << 20
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A valid run whose single line is bigger than the old cap.
+	big := fabricateRun(1, func(int) time.Duration { return time.Second })
+	big[0].Run.Console = strings.Repeat("c", oldCap+1<<20)
+	if err := s.AppendHistory("big", big); err != nil {
+		t.Fatal(err)
+	}
+	// An oversized garbage line in the middle.
+	if err := LockedAppend(s.historyPath(), []byte(strings.Repeat("g", oldCap+1<<20))); err != nil {
+		t.Fatal(err)
+	}
+	// A normal run after both.
+	if err := s.AppendHistory("after", fabricateRun(1, func(int) time.Duration { return time.Second })); err != nil {
+		t.Fatal(err)
+	}
+
+	runs, err := s.History()
+	if err != nil {
+		t.Fatalf("oversized line poisoned history: %v", err)
+	}
+	if len(runs) != 2 || runs[0].Label != "big" || runs[1].Label != "after" {
+		labels := make([]string, len(runs))
+		for i, rr := range runs {
+			labels[i] = rr.Label
+		}
+		t.Fatalf("history labels = %v, want [big after]", labels)
+	}
+	if len(runs[0].Cells) == 0 {
+		t.Error("oversized run lost its cells")
+	}
+	if latest, err := s.LatestRun(""); err != nil || latest.Label != "after" {
+		t.Errorf("LatestRun = %q, %v", latest.Label, err)
 	}
 }
 

@@ -22,6 +22,19 @@ type Key [sha256.Size]byte
 
 func (k Key) String() string { return hex.EncodeToString(k[:]) }
 
+// ParseKey parses the hex form produced by Key.String — the token the
+// store issues through its sched.Store Key method and the object name
+// the simstored protocol addresses blobs by.
+func ParseKey(s string) (Key, bool) {
+	raw, err := hex.DecodeString(s)
+	if err != nil || len(raw) != sha256.Size {
+		return Key{}, false
+	}
+	var k Key
+	copy(k[:], raw)
+	return k, true
+}
+
 // KeyFor returns the content address of a job: the hash of its
 // canonical fingerprint.
 func KeyFor(j sched.Job) Key { return sha256.Sum256([]byte(Fingerprint(j))) }

@@ -1,0 +1,59 @@
+package store
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkKeyFor measures one content-address computation. It is the
+// unit the old code path paid up to four times per scheduled job
+// (warmup Has, Get, Put, history stamping in NewRun), each call
+// constructing a throwaway engine instance just to canonicalize its
+// configuration — and the unit the scheduler now pays exactly once per
+// job, threading the result through the Store interface.
+func BenchmarkKeyFor(b *testing.B) {
+	j := syntheticJob(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = KeyFor(j)
+	}
+}
+
+// BenchmarkGetHitPrecomputedKey is the new cached-cell hot path: the
+// key was computed once up front, each lookup is a map probe.
+func BenchmarkGetHitPrecomputedKey(b *testing.B) {
+	s, err := Open("")
+	if err != nil {
+		b.Fatal(err)
+	}
+	j := syntheticJob(0)
+	key := s.Key(j)
+	s.Put(key, fabricate(j, time.Millisecond))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := s.Get(j, key); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+// BenchmarkGetHitRecomputedKey is the old cached-cell hot path: every
+// lookup recomputes the job's key first. The delta against
+// BenchmarkGetHitPrecomputedKey is what each of the (previously up to
+// four) per-job store interactions used to cost on top of the probe.
+func BenchmarkGetHitRecomputedKey(b *testing.B) {
+	s, err := Open("")
+	if err != nil {
+		b.Fatal(err)
+	}
+	j := syntheticJob(0)
+	s.Put(s.Key(j), fabricate(j, time.Millisecond))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := s.Get(j, s.Key(j)); !ok {
+			b.Fatal("miss")
+		}
+	}
+}

@@ -1,0 +1,72 @@
+//go:build !unix
+
+package store
+
+import (
+	"fmt"
+	"os"
+	"sync/atomic"
+	"time"
+)
+
+// lockStale is how old a sidecar lock file must be before it is
+// presumed abandoned by a crashed holder and broken. Appends hold the
+// lock for one write; seconds of margin is already generous.
+const lockStale = 30 * time.Second
+
+var lockSeq atomic.Uint64
+
+// lockExclusive emulates an exclusive advisory lock on platforms
+// without flock: a sidecar <name>.lock file created with O_EXCL is the
+// lock, polled until acquired, and the returned unlock removes it.
+// Unlike flock a crash leaks the sidecar, so locks older than
+// lockStale are broken. Each holder writes a unique token into its
+// sidecar and unlock removes the file only while it still carries that
+// token — a holder whose stale lock was broken must not delete the new
+// holder's lock on its way out and readmit concurrent appenders.
+func lockExclusive(f *os.File) (unlock func() error, err error) {
+	path := f.Name() + ".lock"
+	token := fmt.Sprintf("%d.%d", os.Getpid(), lockSeq.Add(1))
+	for {
+		l, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if err == nil {
+			_, werr := l.WriteString(token)
+			cerr := l.Close()
+			if werr != nil || cerr != nil {
+				os.Remove(path)
+				if werr != nil {
+					return nil, werr
+				}
+				return nil, cerr
+			}
+			return func() error {
+				// Remove the sidecar only while it verifiably still
+				// carries our token: if it is unreadable (already
+				// broken and removed) or carries another holder's
+				// token, it is not ours to delete — and a lock that is
+				// already gone is not an unlock failure.
+				data, rerr := os.ReadFile(path)
+				if rerr != nil || string(data) != token {
+					return nil
+				}
+				return os.Remove(path)
+			}, nil
+		}
+		if !os.IsExist(err) {
+			return nil, err
+		}
+		if info, serr := os.Stat(path); serr == nil && time.Since(info.ModTime()) > lockStale {
+			// Break by renaming, not removing: rename is atomic, so of
+			// several waiters that all saw the lock stale exactly one
+			// claims it — a blind remove could land *after* another
+			// breaker already recreated the lock and delete the new
+			// holder's lock, readmitting concurrent appenders.
+			claim := fmt.Sprintf("%s.stale.%s", path, token)
+			if os.Rename(path, claim) == nil {
+				os.Remove(claim)
+			}
+			continue
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

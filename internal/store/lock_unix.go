@@ -1,0 +1,26 @@
+//go:build unix
+
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+// lockExclusive takes an exclusive advisory lock on f, blocking until
+// it is available, and returns the matching unlock. flock locks follow
+// the open file description, so two processes — or two goroutines
+// holding separate descriptors — serialize against each other, and a
+// crashed holder releases its lock with its descriptors.
+func lockExclusive(f *os.File) (unlock func() error, err error) {
+	for {
+		err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX)
+		if err == syscall.EINTR {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		return func() error { return syscall.Flock(int(f.Fd()), syscall.LOCK_UN) }, nil
+	}
+}

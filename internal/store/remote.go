@@ -1,0 +1,360 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// maxRemoteBody bounds what the client will read from (or believe
+// about) a single remote object or history stream — far above any real
+// blob, small enough that a misbehaving server cannot exhaust memory.
+const maxRemoteBody = 1 << 28 // 256 MiB
+
+// remoteQueueDepth and remoteQueueBytes bound the asynchronous
+// write-back queue — by entry count and by total pending payload
+// (blobs can be megabytes of console output, so a count bound alone
+// could pin gigabytes against a slow server). Uploads must never block
+// a measurement, so past either bound the queue sheds load (and the
+// drop is surfaced via fault) instead of exerting backpressure.
+const (
+	remoteQueueDepth = 256
+	remoteQueueBytes = 256 << 20 // 256 MiB
+)
+
+// RemoteTier is the HTTP client side of a simstored server: the last
+// tier of a store's lookup chain. Reads are synchronous GETs (read
+// misses through to the server once per cold key, thanks to the
+// store's single-flight); writes are asynchronous — enqueued here,
+// uploaded by a background goroutine, flushed by Close.
+//
+// The tier degrades rather than fails: the first transport error marks
+// the server down, every subsequent load and store short-circuits
+// locally, and the reason surfaces through the store's Err. A corrupt
+// remote blob is recorded but does not mark the server down — the
+// server answered; one object is bad.
+type RemoteTier struct {
+	base   string // server URL, no trailing slash
+	client *http.Client
+
+	down atomic.Bool
+
+	errMu sync.Mutex
+	err   error // first degrade reason, surfaced via fault
+
+	qMu     sync.Mutex
+	qClosed bool
+	qBytes  int64 // serialized payload currently queued
+	queue   chan remotePut
+	drained chan struct{}
+	dropped atomic.Uint64
+}
+
+type remotePut struct {
+	k    Key
+	data []byte
+}
+
+// NewRemoteTier builds a client for the simstored server at baseURL
+// (e.g. "http://ci-cache:8347") and starts its upload goroutine.
+func NewRemoteTier(baseURL string) (*RemoteTier, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil {
+		return nil, fmt.Errorf("store: remote %q: %w", baseURL, err)
+	}
+	if (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+		return nil, fmt.Errorf("store: remote %q: want an http(s) URL like http://host:8347", baseURL)
+	}
+	rt := &RemoteTier{
+		base: strings.TrimRight(baseURL, "/"),
+		// Timeouts bound connecting and waiting for the server to start
+		// answering — the failure modes a dead or hung server actually
+		// shows — not the body transfer: a flat whole-request deadline
+		// would flag a healthy server as down the day the fleet history
+		// (or a big blob) outgrows it.
+		client: &http.Client{Transport: &http.Transport{
+			DialContext:           (&net.Dialer{Timeout: 5 * time.Second}).DialContext,
+			TLSHandshakeTimeout:   5 * time.Second,
+			ResponseHeaderTimeout: 15 * time.Second,
+		}},
+		queue:   make(chan remotePut, remoteQueueDepth),
+		drained: make(chan struct{}),
+	}
+	go rt.uploader()
+	return rt, nil
+}
+
+// URL returns the server base URL the tier talks to.
+func (rt *RemoteTier) URL() string { return rt.base }
+
+func (rt *RemoteTier) name() Provenance { return ProvRemote }
+
+func (rt *RemoteTier) objectURL(k Key) string { return rt.base + "/objects/" + k.String() }
+
+// degrade marks the server down and records why. Only the first
+// reason is kept; once down, the tier answers everything locally.
+func (rt *RemoteTier) degrade(err error) {
+	rt.down.Store(true)
+	rt.record(err)
+}
+
+func (rt *RemoteTier) record(err error) {
+	rt.errMu.Lock()
+	if rt.err == nil {
+		rt.err = err
+	}
+	rt.errMu.Unlock()
+}
+
+func (rt *RemoteTier) fault() error {
+	rt.errMu.Lock()
+	defer rt.errMu.Unlock()
+	return rt.err
+}
+
+// Down reports whether the tier has degraded to local-only operation.
+func (rt *RemoteTier) Down() bool { return rt.down.Load() }
+
+// load implements tier: a read-through GET. Any transport failure
+// degrades the tier (the run continues on local tiers alone); a blob
+// that does not parse or carries a foreign schema is recorded and
+// treated as a miss without degrading. Note that a key's blob content
+// cannot be verified against the key itself — keys hash the job's
+// fingerprint, not the measurement — so a store (local or remote) is
+// trusted to return what was put under the key; the server rejects
+// non-JSON uploads at the door.
+func (rt *RemoteTier) load(k Key) (*blob, []byte, error) {
+	if rt.down.Load() {
+		return nil, nil, nil
+	}
+	resp, err := rt.client.Get(rt.objectURL(k))
+	if err != nil {
+		err = fmt.Errorf("store: remote %s unreachable: %w", rt.base, err)
+		rt.degrade(err)
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusNotFound:
+		return nil, nil, nil
+	case resp.StatusCode != http.StatusOK:
+		err = fmt.Errorf("store: remote %s: GET object: %s", rt.base, resp.Status)
+		rt.degrade(err)
+		return nil, nil, err
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxRemoteBody))
+	if err != nil {
+		err = fmt.Errorf("store: remote %s: read object: %w", rt.base, err)
+		rt.degrade(err)
+		return nil, nil, err
+	}
+	b := new(blob)
+	if err := json.Unmarshal(data, b); err != nil || b.Schema != SchemaVersion {
+		// The server answered; this one object is unusable. Record it
+		// so the run's summary warns, measure the cell locally.
+		rt.record(fmt.Errorf("store: remote %s: corrupt blob %s (schema %d)", rt.base, k, b.Schema))
+		return nil, nil, nil
+	}
+	return b, data, nil
+}
+
+// store implements tier: an asynchronous write-back of the serialized
+// blob (marshaled once by the caller; a nil data marshals here). A
+// full queue drops the upload — the local tiers already hold the
+// result, only fleet sharing is delayed to a future run — and the
+// drop is recorded.
+func (rt *RemoteTier) store(k Key, b *blob, data []byte) {
+	if rt.down.Load() {
+		return
+	}
+	if data == nil {
+		var err error
+		if data, err = json.Marshal(b); err != nil {
+			rt.record(fmt.Errorf("store: encode %s: %w", k, err))
+			return
+		}
+	}
+	rt.qMu.Lock()
+	defer rt.qMu.Unlock()
+	if rt.qClosed {
+		return
+	}
+	if rt.qBytes+int64(len(data)) > remoteQueueBytes {
+		rt.drop()
+		return
+	}
+	select {
+	case rt.queue <- remotePut{k: k, data: data}:
+		rt.qBytes += int64(len(data))
+	default:
+		rt.drop()
+	}
+}
+
+// drop sheds one upload; the local tiers already hold the result, only
+// fleet sharing is deferred to a future run. Called with qMu held.
+func (rt *RemoteTier) drop() {
+	if rt.dropped.Add(1) == 1 {
+		rt.record(fmt.Errorf("store: remote %s: upload queue full, uploads dropped", rt.base))
+	}
+}
+
+// uploader drains the write-back queue. After the first failure the
+// tier is down and the remaining queue drains without network calls.
+func (rt *RemoteTier) uploader() {
+	defer close(rt.drained)
+	for p := range rt.queue {
+		rt.qMu.Lock()
+		rt.qBytes -= int64(len(p.data))
+		rt.qMu.Unlock()
+		if rt.down.Load() {
+			continue
+		}
+		if _, err := rt.send(http.MethodPut, "/objects/"+p.k.String(), p.data, "PUT object"); err != nil {
+			rt.degrade(err)
+		}
+	}
+}
+
+// send performs one body-bearing request against the server, drains
+// the response, and maps transport errors and non-2xx statuses to one
+// error shape — the single place the write-side protocol plumbing
+// lives (PUT object, POST run, PUT baseline). transport distinguishes
+// "server unreachable" from a delivered non-2xx status, so callers can
+// degrade on the former without marking a live server down over one
+// rejected request.
+func (rt *RemoteTier) send(method, path string, body []byte, what string) (transport bool, err error) {
+	req, err := http.NewRequest(method, rt.base+path, bytes.NewReader(body))
+	if err != nil {
+		return false, fmt.Errorf("remote %s: %w", rt.base, err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return true, fmt.Errorf("remote %s unreachable: %w", rt.base, err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode/100 != 2 {
+		return false, fmt.Errorf("remote %s: %s: %s", rt.base, what, resp.Status)
+	}
+	return false, nil
+}
+
+// Close stops accepting uploads and waits for the queue to drain. It
+// is idempotent. Callers flush before reporting cache statistics, so
+// the next host's run can share every cell this run measured.
+func (rt *RemoteTier) Close() {
+	rt.qMu.Lock()
+	if !rt.qClosed {
+		rt.qClosed = true
+		close(rt.queue)
+	}
+	rt.qMu.Unlock()
+	<-rt.drained
+}
+
+// Runs fetches the server's recorded history — the fleet-wide
+// counterpart of the local history.jsonl, parsed with the same
+// malformed-entry tolerance.
+func (rt *RemoteTier) Runs() ([]RunRecord, error) {
+	if rt.down.Load() {
+		return nil, fmt.Errorf("remote %s degraded: %w", rt.base, rt.fault())
+	}
+	resp, err := rt.client.Get(rt.base + "/runs")
+	if err != nil {
+		err = fmt.Errorf("remote %s unreachable: %w", rt.base, err)
+		rt.degrade(err)
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("remote %s: GET /runs: %s", rt.base, resp.Status)
+	}
+	runs, skipped, firstBad, err := decodeHistory(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("remote %s: read /runs: %w", rt.base, err)
+	}
+	if len(runs) == 0 && skipped > 0 {
+		return nil, fmt.Errorf("remote %s: no history entry parses (%d malformed): %w", rt.base, skipped, firstBad)
+	}
+	return runs, nil
+}
+
+// AppendRun posts one history line to the server. A transport failure
+// degrades the tier: the local history line has already landed, and
+// the caller surfaces the loss as a warning.
+func (rt *RemoteTier) AppendRun(line []byte) error {
+	if rt.down.Load() {
+		return fmt.Errorf("remote %s degraded: %w", rt.base, rt.fault())
+	}
+	if transport, err := rt.send(http.MethodPost, "/runs", line, "POST /runs"); err != nil {
+		if transport {
+			rt.degrade(err)
+		}
+		return err
+	}
+	return nil
+}
+
+// SaveBaseline uploads a serialized baseline under name. Unlike the
+// measurement path it does not consult or flip the degraded flag: a
+// baseline save is an explicit user action whose failure is reported
+// directly, not folded into run-level degradation.
+func (rt *RemoteTier) SaveBaseline(name string, data []byte) error {
+	_, err := rt.send(http.MethodPut, "/baselines/"+url.PathEscape(name), data, "PUT baseline")
+	return err
+}
+
+// LoadBaseline fetches a baseline; ok is false when the server has no
+// baseline of that name.
+func (rt *RemoteTier) LoadBaseline(name string) (rr RunRecord, ok bool, err error) {
+	resp, err := rt.client.Get(rt.base + "/baselines/" + url.PathEscape(name))
+	if err != nil {
+		return RunRecord{}, false, fmt.Errorf("remote %s unreachable: %w", rt.base, err)
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusNotFound:
+		return RunRecord{}, false, nil
+	case resp.StatusCode != http.StatusOK:
+		return RunRecord{}, false, fmt.Errorf("remote %s: GET baseline: %s", rt.base, resp.Status)
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxRemoteBody))
+	if err != nil {
+		return RunRecord{}, false, fmt.Errorf("remote %s: read baseline: %w", rt.base, err)
+	}
+	if err := json.Unmarshal(data, &rr); err != nil {
+		return RunRecord{}, false, fmt.Errorf("remote %s: baseline %q: %w", rt.base, name, err)
+	}
+	return rr, true, nil
+}
+
+// Baselines lists the server's baseline names.
+func (rt *RemoteTier) Baselines() ([]string, error) {
+	resp, err := rt.client.Get(rt.base + "/baselines")
+	if err != nil {
+		return nil, fmt.Errorf("remote %s unreachable: %w", rt.base, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("remote %s: GET /baselines: %s", rt.base, resp.Status)
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxRemoteBody))
+	if err != nil {
+		return nil, fmt.Errorf("remote %s: read /baselines: %w", rt.base, err)
+	}
+	var names []string
+	if err := json.Unmarshal(data, &names); err != nil {
+		return nil, fmt.Errorf("remote %s: /baselines: %w", rt.base, err)
+	}
+	return names, nil
+}

@@ -1,0 +1,350 @@
+package store
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"simbench/internal/sched"
+)
+
+// fakeRemote is a minimal in-memory simstored stand-in for client
+// failure-mode tests (the real server lives in internal/simstored,
+// which tests against this client from its side).
+type fakeRemote struct {
+	mu      sync.Mutex
+	objects map[string][]byte
+	runs    []string
+	corrupt bool // serve garbage object bodies
+}
+
+func newFakeRemote() *fakeRemote { return &fakeRemote{objects: make(map[string][]byte)} }
+
+func (f *fakeRemote) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	switch {
+	case strings.HasPrefix(r.URL.Path, "/objects/"):
+		key := strings.TrimPrefix(r.URL.Path, "/objects/")
+		switch r.Method {
+		case http.MethodGet:
+			if f.corrupt {
+				w.Write([]byte("not json at all"))
+				return
+			}
+			data, ok := f.objects[key]
+			if !ok {
+				http.NotFound(w, r)
+				return
+			}
+			w.Write(data)
+		case http.MethodPut:
+			var buf strings.Builder
+			b := make([]byte, 4096)
+			for {
+				n, err := r.Body.Read(b)
+				buf.Write(b[:n])
+				if err != nil {
+					break
+				}
+			}
+			f.objects[key] = []byte(buf.String())
+			w.WriteHeader(http.StatusNoContent)
+		}
+	case r.URL.Path == "/runs" && r.Method == http.MethodPost:
+		var buf strings.Builder
+		b := make([]byte, 4096)
+		for {
+			n, err := r.Body.Read(b)
+			buf.Write(b[:n])
+			if err != nil {
+				break
+			}
+		}
+		f.runs = append(f.runs, buf.String())
+		w.WriteHeader(http.StatusNoContent)
+	case r.URL.Path == "/runs" && r.Method == http.MethodGet:
+		for _, line := range f.runs {
+			w.Write([]byte(line + "\n"))
+		}
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+func (f *fakeRemote) object(key string) ([]byte, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	data, ok := f.objects[key]
+	return data, ok
+}
+
+func remoteStore(t *testing.T, dir, url string) *Store {
+	t.Helper()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := NewRemoteTier(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.AttachRemote(rt)
+	return s
+}
+
+// TestRemoteURLValidation: a remote URL that cannot work is rejected
+// at flag time, not discovered one timeout per cell later.
+func TestRemoteURLValidation(t *testing.T) {
+	for _, bad := range []string{"", "ftp://host", "host:8347", "http://"} {
+		if _, err := NewRemoteTier(bad); err == nil {
+			t.Errorf("NewRemoteTier(%q) accepted", bad)
+		}
+	}
+	if _, err := NewRemoteTier("http://localhost:8347/"); err != nil {
+		t.Errorf("valid URL rejected: %v", err)
+	}
+}
+
+// TestRemoteUnreachableAtStartup: a server that was never there
+// degrades the store to local-only on first contact — lookups miss,
+// puts and local round trips keep working, the run never fails, and
+// the degradation is visible in Err.
+func TestRemoteUnreachableAtStartup(t *testing.T) {
+	// A closed port: connection refused, instantly.
+	s := remoteStore(t, t.TempDir(), "http://127.0.0.1:1")
+
+	j := syntheticJob(0)
+	if _, ok := get(s, j); ok {
+		t.Fatal("hit against an unreachable server")
+	}
+	if err := s.Err(); err == nil || !strings.Contains(err.Error(), "unreachable") {
+		t.Fatalf("degradation not surfaced: %v", err)
+	}
+	if !s.Remote().Down() {
+		t.Error("tier not marked down after a failed lookup")
+	}
+
+	// Local operation is unaffected: put, get, provenance.
+	put(s, fabricate(j, time.Millisecond))
+	r, ok := get(s, j)
+	if !ok || r.Kernel != time.Millisecond {
+		t.Fatalf("local round trip while degraded: %v %v", r, ok)
+	}
+	ts := s.TierStats()
+	if ts.Mem != 1 || ts.Misses != 1 {
+		t.Errorf("stats while degraded = %+v", ts)
+	}
+	if err := s.Close(); err == nil {
+		t.Error("Close lost the degradation reason")
+	}
+}
+
+// TestRemoteDiesMidRun: a server that answers and then goes away
+// degrades mid-run — later lookups fall back to local measurement
+// without stalling on every cell, and uploads stop rather than error
+// the run.
+func TestRemoteDiesMidRun(t *testing.T) {
+	fake := newFakeRemote()
+	ts := httptest.NewServer(fake)
+
+	s1 := remoteStore(t, t.TempDir(), ts.URL)
+	j0, j1 := syntheticJob(0), syntheticJob(1)
+	put(s1, fabricate(j0, time.Millisecond))
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := fake.object(KeyFor(j0).String()); !ok {
+		t.Fatal("upload did not land while the server was alive")
+	}
+
+	// A second host sees the cell…
+	s2 := remoteStore(t, t.TempDir(), ts.URL)
+	if _, ok := get(s2, j0); !ok {
+		t.Fatal("no remote hit while the server was alive")
+	}
+	// …then the server dies mid-run.
+	ts.Close()
+	if _, ok := get(s2, j1); ok {
+		t.Fatal("hit from a dead server")
+	}
+	if !s2.Remote().Down() {
+		t.Error("tier not down after the server died")
+	}
+	// Measurements continue locally; Put must not panic or block.
+	put(s2, fabricate(j1, 2*time.Millisecond))
+	if r, ok := get(s2, j1); !ok || r.Kernel != 2*time.Millisecond {
+		t.Fatalf("local measurement after server death: %v %v", r, ok)
+	}
+	if err := s2.Close(); err == nil {
+		t.Error("mid-run death not surfaced in Err")
+	}
+	st := s2.TierStats()
+	if st.Remote != 1 || st.Mem != 1 {
+		t.Errorf("stats after death = %+v", st)
+	}
+}
+
+// TestRemoteCorruptBlob: a blob that does not parse is a miss plus a
+// warning — not a failed run, and not a reason to stop talking to the
+// server.
+func TestRemoteCorruptBlob(t *testing.T) {
+	fake := newFakeRemote()
+	fake.corrupt = true
+	ts := httptest.NewServer(fake)
+	defer ts.Close()
+
+	s := remoteStore(t, t.TempDir(), ts.URL)
+	j := syntheticJob(0)
+	if _, ok := get(s, j); ok {
+		t.Fatal("corrupt blob served as a hit")
+	}
+	if err := s.Err(); err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("corrupt blob not surfaced: %v", err)
+	}
+	if s.Remote().Down() {
+		t.Error("one corrupt blob marked the whole server down")
+	}
+
+	// The server recovers (stops serving garbage): the very next lookup
+	// goes back to the network and hits.
+	fake.mu.Lock()
+	fake.corrupt = false
+	fake.mu.Unlock()
+	put(s, fabricate(j, time.Millisecond))
+	if err := s.Close(); err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Fatal("Close dropped the corrupt-blob warning")
+	}
+	s2 := remoteStore(t, t.TempDir(), ts.URL)
+	defer s2.Close()
+	if r, ok := get(s2, j); !ok || r.Kernel != time.Millisecond {
+		t.Fatalf("recovered server not used: %v %v", r, ok)
+	}
+}
+
+// TestRemoteSchemaMismatch: a well-formed blob from a foreign schema
+// version is a miss, exactly like the disk tier treats it.
+func TestRemoteSchemaMismatch(t *testing.T) {
+	fake := newFakeRemote()
+	ts := httptest.NewServer(fake)
+	defer ts.Close()
+
+	j := syntheticJob(0)
+	foreign, _ := json.Marshal(blob{Schema: SchemaVersion + 1, Benchmark: j.Bench.Name})
+	fake.mu.Lock()
+	fake.objects[KeyFor(j).String()] = foreign
+	fake.mu.Unlock()
+
+	s := remoteStore(t, t.TempDir(), ts.URL)
+	defer s.Close()
+	if _, ok := get(s, j); ok {
+		t.Fatal("foreign-schema blob served as a hit")
+	}
+}
+
+// TestRemotePromotion: a remote hit is written through to the local
+// disk tier, so the next cold process on this host never goes back to
+// the network for it — and the hit keeps remote provenance even when
+// later served from memory.
+func TestRemotePromotion(t *testing.T) {
+	fake := newFakeRemote()
+	ts := httptest.NewServer(fake)
+	defer ts.Close()
+
+	j := syntheticJob(0)
+	seed := remoteStore(t, t.TempDir(), ts.URL)
+	put(seed, fabricate(j, time.Millisecond))
+	if err := seed.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	s := remoteStore(t, dir, ts.URL)
+	if _, ok := get(s, j); !ok {
+		t.Fatal("remote miss")
+	}
+	// Served again: from memory now, still attributed to remote.
+	if _, ok := get(s, j); !ok {
+		t.Fatal("promoted cell lost")
+	}
+	st := s.TierStats()
+	if st.Remote != 2 || st.Disk != 0 || st.Mem != 0 {
+		t.Errorf("provenance after promotion = %+v", st)
+	}
+	s.Close()
+
+	// A fresh store on the same dir with no remote: the blob is local.
+	local, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := get(local, j); !ok {
+		t.Error("remote hit was not promoted to disk")
+	}
+}
+
+// TestRemoteHistoryDegrades: with the server gone, History returns an
+// error (callers warn and skip annotations) and AppendHistory still
+// lands the local line — the run is never lost.
+func TestRemoteHistoryDegrades(t *testing.T) {
+	fake := newFakeRemote()
+	ts := httptest.NewServer(fake)
+
+	dir := t.TempDir()
+	s := remoteStore(t, dir, ts.URL)
+	defer s.Close()
+	res := []sched.Result{fabricate(syntheticJob(0), time.Millisecond)}
+	if err := s.AppendHistory("x", res); err != nil {
+		t.Fatal(err)
+	}
+	runs, err := s.History()
+	if err != nil || len(runs) != 1 {
+		t.Fatalf("fleet history = %v, %v", runs, err)
+	}
+
+	ts.Close()
+	s.Remote().down.Store(false) // forget the death to force a live probe
+	if err := s.AppendHistory("y", res); err == nil {
+		t.Error("remote append after death did not report")
+	}
+	if _, err := s.History(); err == nil {
+		t.Error("remote history after death did not error")
+	}
+	// The local line landed both times: nothing was lost.
+	local, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs, err = local.History()
+	if err != nil || len(runs) != 2 {
+		t.Fatalf("local fallback history = %d runs, %v", len(runs), err)
+	}
+}
+
+// TestSchedulerDegradesWithDeadRemote runs a real matrix against a
+// store whose remote died before the run: the matrix must complete
+// measured locally — never fail — with the degradation in Err.
+func TestSchedulerDegradesWithDeadRemote(t *testing.T) {
+	s := remoteStore(t, t.TempDir(), "http://127.0.0.1:1")
+	j := testJob(t)
+	sch := sched.Scheduler{Workers: 2, Warmup: true, Store: s}
+	results := sch.Run(context.Background(), []sched.Job{j})
+	if err := sched.Errors(results); err != nil {
+		t.Fatalf("matrix failed on a dead remote: %v", err)
+	}
+	if results[0].Cached {
+		t.Error("cell claims cached with an empty local store and dead remote")
+	}
+	if err := s.Close(); err == nil {
+		t.Error("dead remote not surfaced")
+	}
+	// The measurement is locally cached for the next run.
+	if r, ok := get(s, j); !ok || !r.Cached {
+		t.Error("measured cell not stored locally while degraded")
+	}
+}

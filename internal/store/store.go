@@ -7,16 +7,23 @@
 // measure the same thing, and editing any input invalidates exactly
 // the affected cells.
 //
-// The store is layered: an in-process map shares cells between the
-// figures of one invocation (Figs. 2, 6 and 8 overlap heavily), and
-// an optional on-disk layer makes repeated CLI invocations
-// incremental across processes. Disk blobs are JSON, written via
-// temp-file-plus-rename, so concurrent workers and concurrent
-// processes on one cache directory are safe.
+// The store is an explicit tier chain. An in-process map shares cells
+// between the figures of one invocation (Figs. 2, 6 and 8 overlap
+// heavily); behind it sit an optional on-disk tier (-cache-dir, which
+// makes repeated CLI invocations incremental across processes) and an
+// optional remote tier (-remote, a simstored server that lets a whole
+// CI fleet share one store). Lookups read through the chain in order,
+// promoting hits into every faster tier; fresh measurements write back
+// to every tier, with remote uploads asynchronous so a slow or dead
+// server never blocks a measurement. Tier failures degrade the store
+// to its remaining tiers and surface through Err — they never fail a
+// run.
 //
 // On top of the cell store sit run history (every completed matrix
 // appends a timestamped JSONL record) and named baselines, which the
-// simbase tool diffs against for regression detection.
+// simbase tool diffs against for regression detection. With a remote
+// tier attached, history and baselines live on the server, so simbase
+// gates a fleet, not a machine.
 package store
 
 import (
@@ -26,6 +33,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -33,6 +41,15 @@ import (
 	"simbench/internal/core"
 	"simbench/internal/engine"
 	"simbench/internal/sched"
+)
+
+// Store layout file names, shared with the simstored server (whose
+// -dir is exactly this layout, so a server can be pointed at an
+// existing cache directory and serve its blobs).
+const (
+	objectsDirName   = "objects"
+	baselinesDirName = "baselines"
+	historyFileName  = "history.jsonl"
 )
 
 // blob is the persisted form of one measured cell: the full result,
@@ -108,160 +125,325 @@ func (b *blob) result(j sched.Job) sched.Result {
 	}
 }
 
+// memEntry is one in-process cache slot: the blob plus the tier that
+// originally supplied it, so hit provenance survives promotion.
+type memEntry struct {
+	b      *blob
+	origin Provenance
+}
+
+// flight is one in-progress slow-path lookup; concurrent lookups of
+// the same key wait for it instead of each reading the same disk blob
+// (or issuing the same remote GET).
+type flight struct {
+	done   chan struct{}
+	b      *blob
+	origin Provenance
+}
+
+// TierStats breaks the store's hit counter down by where each hit's
+// measurement originally came from.
+type TierStats struct {
+	Mem, Disk, Remote, Misses uint64
+}
+
+// Hits is the total across all tiers.
+func (t TierStats) Hits() uint64 { return t.Mem + t.Disk + t.Remote }
+
 // Store is the content-addressed result store. It implements
 // sched.Store, so it plugs straight into a Scheduler. The zero value
 // is not usable; call Open.
 type Store struct {
-	dir string // "" = in-process layer only
+	dir    string // "" = no disk tier
+	chain  []tier // consulted in order behind mem: disk, then remote
+	remote *RemoteTier
 
 	mu  sync.RWMutex
-	mem map[Key]*blob
+	mem map[Key]memEntry
 
-	hits, misses atomic.Uint64
+	memHits, diskHits, remoteHits, misses atomic.Uint64
 
-	errMu   sync.Mutex
-	diskErr error // first disk failure, surfaced via Err
+	flightMu sync.Mutex
+	flight   map[Key]*flight
 }
 
 // Open opens (creating if needed) a store rooted at dir. An empty dir
 // yields an in-process store with no persistence — still useful for
-// sharing cells between the figures of one run.
+// sharing cells between the figures of one run, and as the local side
+// of a remote-only configuration (see AttachRemote).
 func Open(dir string) (*Store, error) {
-	s := &Store{mem: make(map[Key]*blob)}
+	s := &Store{
+		mem:    make(map[Key]memEntry),
+		flight: make(map[Key]*flight),
+	}
 	if dir != "" {
-		if err := os.MkdirAll(filepath.Join(dir, "objects"), 0o755); err != nil {
-			return nil, fmt.Errorf("store: %w", err)
+		d, err := newDiskTier(dir)
+		if err != nil {
+			return nil, err
 		}
 		s.dir = dir
+		s.chain = append(s.chain, d)
 	}
 	return s, nil
 }
 
-// Dir returns the on-disk root, "" for an in-process-only store.
+// AttachRemote appends a remote tier to the lookup chain: cells miss
+// through mem and disk to the server, remote hits are promoted into
+// both local tiers, and fresh measurements upload asynchronously.
+// Attach before handing the store to a Scheduler; the chain is not
+// mutable under concurrent lookups.
+func (s *Store) AttachRemote(rt *RemoteTier) {
+	s.remote = rt
+	s.chain = append(s.chain, rt)
+}
+
+// OpenTiered builds the store a CLI asked for: a disk tier when dir is
+// set, a remote tier when remoteURL is set, either alone or layered —
+// the one wiring path behind every tool's -cache-dir/-remote flags.
+func OpenTiered(dir, remoteURL string) (*Store, error) {
+	s, err := Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	if remoteURL != "" {
+		rt, err := NewRemoteTier(remoteURL)
+		if err != nil {
+			return nil, err
+		}
+		s.AttachRemote(rt)
+	}
+	return s, nil
+}
+
+// Remote returns the attached remote tier, nil if none.
+func (s *Store) Remote() *RemoteTier { return s.remote }
+
+// Dir returns the on-disk root, "" for a store without a disk tier.
 func (s *Store) Dir() string { return s.dir }
 
+// Key implements sched.Store: the job's content address in hex form.
+// The scheduler calls this once per job and threads the result through
+// Get, Put and Has, so the fingerprint — which builds a throwaway
+// engine instance to canonicalize its configuration — is computed
+// exactly once per cell.
+func (s *Store) Key(j sched.Job) string { return KeyFor(j).String() }
+
+// keyOf recovers the binary key from the hex token issued by Key,
+// recomputing it only for tokens the store did not issue (direct API
+// callers passing something else).
+func keyOf(j sched.Job, key string) Key {
+	if k, ok := ParseKey(key); ok {
+		return k
+	}
+	return KeyFor(j)
+}
+
 // Get implements sched.Store: it returns the cached result for j and
-// counts the lookup as a hit or miss.
-func (s *Store) Get(j sched.Job) (sched.Result, bool) {
-	b := s.lookup(KeyFor(j))
+// counts the lookup as a hit (attributed to the tier the measurement
+// originally came from) or a miss.
+func (s *Store) Get(j sched.Job, key string) (sched.Result, bool) {
+	b, origin := s.lookup(keyOf(j, key))
 	if b == nil {
 		s.misses.Add(1)
 		return sched.Result{}, false
 	}
-	s.hits.Add(1)
-	return b.result(j), true
+	switch origin {
+	case ProvDisk:
+		s.diskHits.Add(1)
+	case ProvRemote:
+		s.remoteHits.Add(1)
+	default:
+		s.memHits.Add(1)
+	}
+	r := b.result(j)
+	r.Key = key
+	return r, true
 }
 
 // Has implements sched.Store: presence without touching the hit/miss
 // counters.
-func (s *Store) Has(j sched.Job) bool { return s.lookup(KeyFor(j)) != nil }
+func (s *Store) Has(key string) bool {
+	k, ok := ParseKey(key)
+	if !ok {
+		return false
+	}
+	b, _ := s.lookup(k)
+	return b != nil
+}
 
 // Put implements sched.Store: it records a successfully measured
-// result in both layers. Disk failures do not interrupt the run; the
-// first one is retained and reported by Err.
-func (s *Store) Put(r sched.Result) {
+// result in every tier — mem and disk synchronously, remote as an
+// asynchronous upload. The blob is marshaled once here and the bytes
+// shared by every persistent tier (blobs can be megabytes of console
+// output and per-repeat stats; one encode per tier would double the
+// worker's critical-path cost). Tier failures do not interrupt the
+// run; the first one per tier is retained and reported by Err.
+func (s *Store) Put(key string, r sched.Result) {
 	if r.Err != nil || r.Run == nil {
 		return
 	}
-	k := KeyFor(r.Job)
+	k := keyOf(r.Job, key)
 	b := newBlob(r)
-	s.mu.Lock()
-	s.mem[k] = b
-	s.mu.Unlock()
-	if s.dir == "" {
+	s.memPut(k, b, ProvMem)
+	if len(s.chain) == 0 {
 		return
 	}
-	if err := s.writeBlob(k, b); err != nil {
-		s.errMu.Lock()
-		if s.diskErr == nil {
-			s.diskErr = err
-		}
-		s.errMu.Unlock()
+	data, err := json.Marshal(b)
+	if err != nil {
+		// Nothing a tier could do better; let each record the failure.
+		data = nil
 	}
+	for _, t := range s.chain {
+		t.store(k, b, data)
+	}
+}
+
+func (s *Store) memGet(k Key) (memEntry, bool) {
+	s.mu.RLock()
+	e, ok := s.mem[k]
+	s.mu.RUnlock()
+	return e, ok
+}
+
+func (s *Store) memPut(k Key, b *blob, origin Provenance) {
+	s.mu.Lock()
+	s.mem[k] = memEntry{b: b, origin: origin}
+	s.mu.Unlock()
+}
+
+// lookup reads through the tier chain: the in-process map first, then
+// each configured tier in order, promoting a hit into every faster
+// tier. The slow path is single-flighted per key, so a worker pool
+// racing on one cold cell performs one disk read (and at most one
+// remote GET) instead of one per worker.
+func (s *Store) lookup(k Key) (*blob, Provenance) {
+	if e, ok := s.memGet(k); ok {
+		return e.b, e.origin
+	}
+	if len(s.chain) == 0 {
+		return nil, ""
+	}
+
+	s.flightMu.Lock()
+	if f, ok := s.flight[k]; ok {
+		s.flightMu.Unlock()
+		<-f.done
+		return f.b, f.origin
+	}
+	f := &flight{done: make(chan struct{})}
+	s.flight[k] = f
+	s.flightMu.Unlock()
+
+	f.b, f.origin = s.probeChain(k)
+	close(f.done)
+
+	s.flightMu.Lock()
+	delete(s.flight, k)
+	s.flightMu.Unlock()
+	return f.b, f.origin
+}
+
+// probeChain walks the persistent tiers for k and promotes a hit into
+// the in-process map and every tier faster than the one that answered
+// (a remote hit lands on disk, so the next process never goes back to
+// the network for it). Promotion reuses the serialized bytes the
+// answering tier read off disk or the wire — no re-marshal.
+func (s *Store) probeChain(k Key) (*blob, Provenance) {
+	for i, t := range s.chain {
+		b, data, err := t.load(k)
+		if err != nil || b == nil {
+			// load errors are recorded by the tier itself (fault) and
+			// degrade to the next tier.
+			continue
+		}
+		origin := t.name()
+		s.memPut(k, b, origin)
+		for _, faster := range s.chain[:i] {
+			faster.store(k, b, data)
+		}
+		return b, origin
+	}
+	return nil, ""
 }
 
 // Stats returns the lookup counters: cells served from the store and
 // cells that had to run.
 func (s *Store) Stats() (hits, misses uint64) {
-	return s.hits.Load(), s.misses.Load()
+	t := s.TierStats()
+	return t.Hits(), t.Misses
 }
 
-// Err returns the first disk write failure, if any. Cache writes never
-// fail a run; callers check Err at the end to warn that persistence
-// was incomplete.
+// TierStats returns the lookup counters broken down by hit provenance.
+func (s *Store) TierStats() TierStats {
+	return TierStats{
+		Mem:    s.memHits.Load(),
+		Disk:   s.diskHits.Load(),
+		Remote: s.remoteHits.Load(),
+		Misses: s.misses.Load(),
+	}
+}
+
+// Err returns the first failure of each degraded tier, joined. Tier
+// failures never fail a run; callers check Err at the end to warn that
+// the store ran degraded (incomplete persistence, unreachable remote).
 func (s *Store) Err() error {
-	s.errMu.Lock()
-	defer s.errMu.Unlock()
-	return s.diskErr
+	var errs []error
+	for _, t := range s.chain {
+		if err := t.fault(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Close flushes pending asynchronous work — the remote tier's upload
+// queue — and returns Err. Call it after a run, before reporting cache
+// statistics: a fleet's next host can only share this run's cells once
+// their uploads have landed.
+func (s *Store) Close() error {
+	if s.remote != nil {
+		s.remote.Close()
+	}
+	return s.Err()
 }
 
 // FprintStats writes a one-line hit/miss summary in the voice of a CLI
-// tool ("tool: cache: 12 hits, 0 misses (100% hits)"), plus a warning
-// line if persistence failed. A nil store, or one that saw no lookups,
-// prints nothing — so tools can call it unconditionally.
+// tool ("tool: cache: 12 hits (12 remote), 0 misses (100% hits)") with
+// hits attributed to the tier that supplied them, plus a warning line
+// per degraded tier. A nil store, or one that saw no lookups, prints
+// nothing — so tools can call it unconditionally.
 func FprintStats(w io.Writer, tool string, s *Store) {
 	if s == nil {
 		return
 	}
-	hits, misses := s.Stats()
-	if hits+misses > 0 {
-		fmt.Fprintf(w, "%s: cache: %d hits, %d misses (%.0f%% hits)\n",
-			tool, hits, misses, float64(hits)/float64(hits+misses)*100)
+	t := s.TierStats()
+	if total := t.Hits() + t.Misses; total > 0 {
+		breakdown := ""
+		var parts []string
+		for _, p := range []struct {
+			name string
+			n    uint64
+		}{{"mem", t.Mem}, {"disk", t.Disk}, {"remote", t.Remote}} {
+			if p.n > 0 {
+				parts = append(parts, fmt.Sprintf("%s %d", p.name, p.n))
+			}
+		}
+		if len(parts) > 0 {
+			breakdown = " (" + strings.Join(parts, ", ") + ")"
+		}
+		fmt.Fprintf(w, "%s: cache: %d hits%s, %d misses (%.0f%% hits)\n",
+			tool, t.Hits(), breakdown, t.Misses, float64(t.Hits())/float64(total)*100)
 	}
 	if err := s.Err(); err != nil {
-		fmt.Fprintf(w, "%s: cache writes incomplete: %v\n", tool, err)
+		fmt.Fprintf(w, "%s: cache degraded: %v\n", tool, err)
 	}
 }
 
-// lookup consults the in-process layer first, then disk, promoting
-// disk hits into memory.
-func (s *Store) lookup(k Key) *blob {
-	s.mu.RLock()
-	b := s.mem[k]
-	s.mu.RUnlock()
-	if b != nil || s.dir == "" {
-		return b
-	}
-	data, err := os.ReadFile(s.blobPath(k))
-	if err != nil {
-		return nil
-	}
-	b = new(blob)
-	if err := json.Unmarshal(data, b); err != nil || b.Schema != SchemaVersion {
-		// Corrupt or foreign-schema blob: treat as a miss; a fresh
-		// measurement will overwrite it.
-		return nil
-	}
-	s.mu.Lock()
-	s.mem[k] = b
-	s.mu.Unlock()
-	return b
-}
-
-func (s *Store) blobPath(k Key) string {
-	hex := k.String()
-	return filepath.Join(s.dir, "objects", hex[:2], hex+".json")
-}
-
-// writeBlob persists one cell via temp-file-plus-rename, so concurrent
-// writers (goroutines or whole processes) on one directory never
-// expose a torn blob; the last complete write wins, and identical keys
-// hold identical measurements semantically, so "wins" is immaterial.
-func (s *Store) writeBlob(k Key, b *blob) error {
-	data, err := json.Marshal(b)
-	if err != nil {
-		return fmt.Errorf("store: encode %s: %w", k, err)
-	}
-	if err := atomicWrite(s.blobPath(k), data); err != nil {
-		return fmt.Errorf("store: write %s: %w", k, err)
-	}
-	return nil
-}
-
-// atomicWrite creates path's directory and writes data via
+// AtomicWrite creates path's directory and writes data via
 // temp-file-plus-rename, so readers never observe a torn file and
-// concurrent writers cannot interleave.
-func atomicWrite(path string, data []byte) error {
+// concurrent writers cannot interleave. Shared with the simstored
+// server, whose on-disk layout is the same as the store's.
+func AtomicWrite(path string, data []byte) error {
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return err
 	}

@@ -22,6 +22,15 @@ import (
 	"simbench/internal/versions"
 )
 
+// put, get and has are job-keyed conveniences for tests: they compute
+// the key the way a scheduler would (once, via the Store's Key method)
+// and thread it through.
+func put(s *Store, r sched.Result) { s.Put(s.Key(r.Job), r) }
+
+func get(s *Store, j sched.Job) (sched.Result, bool) { return s.Get(j, s.Key(j)) }
+
+func has(s *Store, j sched.Job) bool { return s.Has(s.Key(j)) }
+
 func testJob(t *testing.T) sched.Job {
 	t.Helper()
 	b, err := bench.ByName("ctrl.intrapage-direct")
@@ -177,7 +186,7 @@ func TestRoundTripRecord(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s1.Put(r)
+	put(s1, r)
 	if err := s1.Err(); err != nil {
 		t.Fatal(err)
 	}
@@ -186,7 +195,7 @@ func TestRoundTripRecord(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, ok := s2.Get(j)
+	got, ok := get(s2, j)
 	if !ok {
 		t.Fatal("stored cell missing from a second store on the same dir")
 	}
@@ -225,7 +234,7 @@ func TestRoundTripRecord(t *testing.T) {
 	if hits != 1 || misses != 0 {
 		t.Errorf("stats = %d hits %d misses, want 1/0", hits, misses)
 	}
-	if !s2.Has(j) {
+	if !has(s2, j) {
 		t.Error("Has is false for a stored job")
 	}
 	if h, m := s2.Stats(); h != hits || m != misses {
@@ -241,8 +250,8 @@ func TestFailedCellsNotStored(t *testing.T) {
 		t.Fatal(err)
 	}
 	j := testJob(t)
-	s.Put(sched.Result{Job: j, Err: fmt.Errorf("boom")})
-	if s.Has(j) {
+	put(s, sched.Result{Job: j, Err: fmt.Errorf("boom")})
+	if has(s, j) {
 		t.Error("failed cell was stored")
 	}
 }
@@ -301,7 +310,7 @@ func TestConcurrentAccess(t *testing.T) {
 			}
 			for i := w; i < cells; i += 4 {
 				j := syntheticJob(i)
-				st.Put(fabricate(j, time.Duration(i+1)*time.Millisecond))
+				put(st, fabricate(j, time.Duration(i+1)*time.Millisecond))
 			}
 		}()
 		wg.Add(1)
@@ -309,10 +318,10 @@ func TestConcurrentAccess(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < cells; i++ {
 				j := syntheticJob(i)
-				if r, ok := s2.Get(j); ok && r.Kernel != time.Duration(i+1)*time.Millisecond {
+				if r, ok := get(s2, j); ok && r.Kernel != time.Duration(i+1)*time.Millisecond {
 					t.Errorf("cell %d: kernel %v", i, r.Kernel)
 				}
-				s1.Has(j)
+				has(s1, j)
 			}
 		}()
 	}
@@ -331,7 +340,7 @@ func TestConcurrentAccess(t *testing.T) {
 	}
 	for i := 0; i < cells; i++ {
 		j := syntheticJob(i)
-		r, ok := s3.Get(j)
+		r, ok := get(s3, j)
 		if !ok {
 			t.Fatalf("cell %d missing after concurrent writes", i)
 		}

@@ -1,0 +1,116 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Provenance names the tier a cached result originally came from. A
+// blob promoted into a faster tier keeps its provenance: a cell fetched
+// from the remote store during the warmup scan and then served from
+// memory still counts as a remote hit, because the remote store is
+// what supplied the measurement.
+type Provenance string
+
+const (
+	// ProvMem marks results measured (or reconstructed) in this
+	// process and shared between figures of one invocation.
+	ProvMem Provenance = "mem"
+	// ProvDisk marks results read from the local -cache-dir.
+	ProvDisk Provenance = "disk"
+	// ProvRemote marks results fetched from a simstored server.
+	ProvRemote Provenance = "remote"
+)
+
+// tier is one persistent layer of the store's lookup chain, consulted
+// in order behind the in-process map: today disk then remote. Tiers
+// must be safe for concurrent use.
+type tier interface {
+	name() Provenance
+	// load fetches the blob stored under k, along with its serialized
+	// form (both tiers read bytes off disk or the wire anyway, and
+	// handing them back lets a promotion reuse them instead of
+	// re-marshaling). (nil, nil, nil) is a miss. An error means the
+	// tier failed to answer (not that the blob is absent); the store
+	// records it and treats the lookup as a miss.
+	load(k Key) (*blob, []byte, error)
+	// store persists a blob under k; data is its serialized form when
+	// the caller already has it (nil makes the tier marshal itself).
+	// It may be asynchronous; failures — including deferred ones —
+	// surface through fault rather than a return value, mirroring the
+	// policy that cache writes never interrupt a run.
+	store(k Key, b *blob, data []byte)
+	// fault returns the tier's first recorded failure, if any.
+	fault() error
+}
+
+// diskTier is the on-disk object layer: one JSON blob per cell under
+// objects/<first two hex chars>/<key>.json, written via
+// temp-file-plus-rename so concurrent writers (goroutines or whole
+// processes) on one directory never expose a torn blob.
+type diskTier struct {
+	dir string
+
+	mu  sync.Mutex
+	err error // first write failure, surfaced via fault
+}
+
+func newDiskTier(dir string) (*diskTier, error) {
+	if err := os.MkdirAll(filepath.Join(dir, objectsDirName), 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return &diskTier{dir: dir}, nil
+}
+
+func (d *diskTier) name() Provenance { return ProvDisk }
+
+func (d *diskTier) blobPath(k Key) string {
+	hex := k.String()
+	return filepath.Join(d.dir, objectsDirName, hex[:2], hex+".json")
+}
+
+func (d *diskTier) load(k Key) (*blob, []byte, error) {
+	data, err := os.ReadFile(d.blobPath(k))
+	if err != nil {
+		// Treat any read failure as a miss: a missing blob is the
+		// common case, and a fresh measurement overwrites a broken one.
+		return nil, nil, nil
+	}
+	b := new(blob)
+	if err := json.Unmarshal(data, b); err != nil || b.Schema != SchemaVersion {
+		// Corrupt or foreign-schema blob: a miss; a fresh measurement
+		// will overwrite it.
+		return nil, nil, nil
+	}
+	return b, data, nil
+}
+
+func (d *diskTier) store(k Key, b *blob, data []byte) {
+	if data == nil {
+		var err error
+		if data, err = json.Marshal(b); err != nil {
+			d.record(fmt.Errorf("store: encode %s: %w", k, err))
+			return
+		}
+	}
+	if err := AtomicWrite(d.blobPath(k), data); err != nil {
+		d.record(fmt.Errorf("store: write %s: %w", k, err))
+	}
+}
+
+func (d *diskTier) record(err error) {
+	d.mu.Lock()
+	if d.err == nil {
+		d.err = err
+	}
+	d.mu.Unlock()
+}
+
+func (d *diskTier) fault() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.err
+}

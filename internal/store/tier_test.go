@@ -1,0 +1,146 @@
+package store
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// gateTier is a tier whose load blocks until released, counting every
+// call — the instrument for proving the slow path is single-flighted.
+type gateTier struct {
+	release chan struct{}
+	loads   atomic.Int32
+	blob    *blob
+}
+
+func (g *gateTier) name() Provenance { return ProvDisk }
+
+func (g *gateTier) load(k Key) (*blob, []byte, error) {
+	g.loads.Add(1)
+	<-g.release
+	return g.blob, nil, nil
+}
+
+func (g *gateTier) store(Key, *blob, []byte) {}
+func (g *gateTier) fault() error             { return nil }
+
+// TestLookupSingleFlight: a worker pool racing on one cold key
+// performs exactly one slow-tier load; everyone else waits for it and
+// shares the answer. (Before the tier refactor every worker read the
+// same disk blob independently.)
+func TestLookupSingleFlight(t *testing.T) {
+	j := syntheticJob(0)
+	r := fabricate(j, time.Millisecond)
+	gt := &gateTier{release: make(chan struct{}), blob: newBlob(r)}
+	s := &Store{mem: make(map[Key]memEntry), flight: make(map[Key]*flight)}
+	s.chain = []tier{gt}
+
+	const workers = 8
+	var wg sync.WaitGroup
+	hits := atomic.Int32{}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, ok := get(s, j); ok {
+				hits.Add(1)
+			}
+		}()
+	}
+	// Let every worker reach the lookup while the first load is still
+	// in flight, then release it.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s.flightMu.Lock()
+		inFlight := len(s.flight)
+		s.flightMu.Unlock()
+		if inFlight == 1 && gt.loads.Load() == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no lookup ever entered the slow path")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(10 * time.Millisecond) // give the rest time to pile onto the flight
+	close(gt.release)
+	wg.Wait()
+
+	if got := gt.loads.Load(); got != 1 {
+		t.Errorf("slow tier loaded %d times for one key, want 1", got)
+	}
+	if hits.Load() != workers {
+		t.Errorf("%d of %d workers got the shared result", hits.Load(), workers)
+	}
+	// The flight table is drained; nothing leaks.
+	s.flightMu.Lock()
+	leaked := len(s.flight)
+	s.flightMu.Unlock()
+	if leaked != 0 {
+		t.Errorf("%d flights leaked", leaked)
+	}
+}
+
+// TestMissSingleFlightDoesNotCache: a single-flighted miss must not
+// poison later lookups — once the key exists, it is found.
+func TestMissSingleFlightDoesNotCache(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := syntheticJob(1)
+	if _, ok := get(s, j); ok {
+		t.Fatal("hit on empty store")
+	}
+	// Another process writes the cell.
+	other, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	put(other, fabricate(j, time.Millisecond))
+	if _, ok := get(s, j); !ok {
+		t.Error("earlier miss cached; new blob invisible")
+	}
+}
+
+// TestProvenanceCounters pins the attribution rules: fresh put = mem,
+// disk reload = disk, and Has never moves any counter even though it
+// promotes.
+func TestProvenanceCounters(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := syntheticJob(2)
+	put(s1, fabricate(j, time.Millisecond))
+	if _, ok := get(s1, j); !ok {
+		t.Fatal("miss after put")
+	}
+	if st := s1.TierStats(); st.Mem != 1 || st.Disk != 0 || st.Remote != 0 {
+		t.Errorf("in-process provenance = %+v", st)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Has promotes disk→mem but counts nothing.
+	if !has(s2, j) {
+		t.Fatal("Has missed a stored cell")
+	}
+	if st := s2.TierStats(); st.Hits()+st.Misses != 0 {
+		t.Errorf("Has moved counters: %+v", st)
+	}
+	// The Get that follows is served from memory but attributed to disk,
+	// where the measurement actually came from.
+	if _, ok := get(s2, j); !ok {
+		t.Fatal("miss after Has")
+	}
+	if st := s2.TierStats(); st.Disk != 1 || st.Mem != 0 {
+		t.Errorf("promoted provenance = %+v", st)
+	}
+}

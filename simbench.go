@@ -106,11 +106,19 @@ type (
 	RunDiff = store.Diff
 	// CellDiff is one regressed or improved cell of a RunDiff.
 	CellDiff = store.CellDiff
+	// RemoteTier is the client side of a simstored server: attach one
+	// to a ResultStore and cells read through to (and write back to)
+	// the fleet-wide store.
+	RemoteTier = store.RemoteTier
 )
 
 // OpenStore opens (creating if needed) a result store rooted at dir;
 // an empty dir yields an in-process store with no persistence.
 func OpenStore(dir string) (*ResultStore, error) { return store.Open(dir) }
+
+// NewRemoteTier builds a client for the simstored server at baseURL
+// (e.g. "http://ci-cache:8347"), for ResultStore.AttachRemote.
+func NewRemoteTier(baseURL string) (*RemoteTier, error) { return store.NewRemoteTier(baseURL) }
 
 // NewRun flattens a completed matrix into a history record, the input
 // to DiffRuns and ResultStore.SaveBaseline.
