@@ -12,6 +12,7 @@
 //	simbench -engines v2.2.0,v2.5.0-rc2 -bench ctrl.intrapage-direct
 //	simbench -json > results.json    # machine-readable result set
 //	simbench -cache-dir .simcache    # incremental: reuse identical cells
+//	simbench -spec myexp.json        # run a user-defined experiment spec
 //	simbench -list                   # list benchmarks and engines
 //
 // A failed cell prints as ERR in its table position; all failures are
@@ -30,7 +31,7 @@ import (
 	"simbench/internal/bench"
 	"simbench/internal/core"
 	"simbench/internal/engine"
-	"simbench/internal/figures"
+	"simbench/internal/experiment"
 	"simbench/internal/report"
 	"simbench/internal/sched"
 	"simbench/internal/stats"
@@ -58,6 +59,7 @@ func main() {
 		archSel  = flag.String("arch", "", "guest architecture: arm or x86 (default: both)")
 		jobs     = flag.Int("jobs", 0, "matrix cells run concurrently (default GOMAXPROCS; use 1 for minimum-noise timings)")
 		repeats  = flag.Int("repeats", 0, "measurements per cell; the minimum kernel time is reported (0 = auto: 2 for the full Fig. 7 run, 1 for subsets)")
+		specFile = flag.String("spec", "", "run this experiment spec JSON file (recorded in history under the spec's own label); excludes -bench/-engines/-arch/-json")
 		jsonOut  = flag.Bool("json", false, "write the result set as JSON to stdout instead of a table")
 		cacheDir = flag.String("cache-dir", "", "content-addressed result cache: identical cells are served from here instead of re-measured, and every run is appended to its history (see simbase)")
 		remote   = flag.String("remote", "", "simstored server URL (e.g. http://ci-cache:8347): a shared remote cache tier behind -cache-dir — remote hits are promoted to the local cache, fresh results upload asynchronously, and run history lands on the server")
@@ -75,8 +77,9 @@ func main() {
 		for _, b := range bench.ExtSuite() {
 			fmt.Printf("  %-26s %-12s %s\n", b.Name, b.Category, b.Description)
 		}
-		fmt.Println("Engines: dbt interp detailed virt native")
+		fmt.Println("Engines: dbt interp detailed virt native profile")
 		fmt.Println("Releases:", strings.Join(versions.Names(), " "))
+		fmt.Println("Specs:", strings.Join(experiment.Names(), " "))
 		return
 	}
 
@@ -86,10 +89,13 @@ func main() {
 	defer stop()
 	context.AfterFunc(ctx, stop)
 
-	// Every simbench invocation — including the default table run,
-	// which goes through figures.Fig7 — records history as "simbench",
-	// so `simbase -label simbench` selects by tool, not output mode.
-	opts := figures.Options{Out: os.Stdout, Scale: *scale, MinIters: *minIters, Jobs: *jobs, Repeats: *repeats, Context: ctx, HistoryLabel: "simbench"}
+	// Every selection-flag invocation — including the default table
+	// run, which goes through the registered fig7 spec — records
+	// history as "simbench", so `simbase -label simbench` selects by
+	// tool, not output mode. A -spec run is the exception: the spec's
+	// own label is its identity in history, so other tools (simreport
+	// -offline, simbase -label) can find it by name.
+	opts := experiment.Options{Out: os.Stdout, Scale: *scale, MinIters: *minIters, Jobs: *jobs, Repeats: *repeats, Context: ctx, HistoryLabel: "simbench"}
 	if *verbose {
 		opts.Progress = os.Stderr
 	}
@@ -105,9 +111,27 @@ func main() {
 		}
 	}
 
+	// A user-defined spec replaces the whole selection-flag surface.
+	if *specFile != "" {
+		if *benchSel != "" || *engSel != "" || *archSel != "" || *jsonOut {
+			fail(fmt.Errorf("-spec describes the whole experiment; it excludes -bench, -engines, -arch and -json"))
+		}
+		sp, err := experiment.LoadFile(*specFile)
+		if err != nil {
+			fail(err)
+		}
+		opts.HistoryLabel = ""
+		err = experiment.Run(sp, opts)
+		reportCache("simbench", st)
+		if err != nil {
+			fail(err)
+		}
+		return
+	}
+
 	// Default invocation: the whole Fig. 7 matrix.
 	if *benchSel == "" && *engSel == "" && *archSel == "" && !*jsonOut {
-		err := figures.Fig7(opts)
+		err := experiment.RunNamed("fig7", opts)
 		reportCache("simbench", st)
 		if err != nil {
 			fail(err)
@@ -129,17 +153,17 @@ func main() {
 
 	// Resolve every engine name before any cell runs, so a typo fails
 	// fast instead of aborting a minutes-long matrix mid-run.
-	engines := figures.SchedEngines()
+	engines := experiment.SchedEngines()
 	if *engSel != "" {
 		engines = engines[:0]
 		for _, raw := range strings.Split(*engSel, ",") {
 			name := strings.TrimSpace(raw)
-			if _, err := figures.EngineByName(name); err != nil {
+			if _, err := experiment.EngineByName(name); err != nil {
 				fail(err)
 			}
 			engines = append(engines, sched.Engine{
 				Name: name,
-				New:  func() engine.Engine { e, _ := figures.EngineByName(name); return e },
+				New:  func() engine.Engine { e, _ := experiment.EngineByName(name); return e },
 			})
 		}
 	}
@@ -225,9 +249,9 @@ func main() {
 // printTables collates the result set into one table per guest
 // architecture through the shared matrix renderer, so failed,
 // cancelled, cached and noise-annotated cells read exactly as they do
-// in figures.Fig7.
+// in the fig7 spec.
 func printTables(results []sched.Result, sups []arch.Support, benches []*core.Benchmark,
-	engines []sched.Engine, opts *figures.Options, scale int64, noise func(report.Record) *stats.Band) {
+	engines []sched.Engine, opts *experiment.Options, scale int64, noise func(report.Record) *stats.Band) {
 	cols := make([]string, len(engines))
 	for i, e := range engines {
 		cols[i] = e.Name

@@ -1,20 +1,26 @@
 // Command simdensity regenerates the paper's Fig. 3: the SimBench
 // benchmark table with per-benchmark operation densities, measured on
 // the profiling interpreter, against both the benchmark itself and the
-// aggregated SPEC-like application suite.
+// aggregated SPEC-like application suite. The density cells run on the
+// concurrent scheduler (-jobs), honour Ctrl-C, and cache like any
+// other cells (-cache-dir), so a repeated table costs nothing.
 //
 // Usage:
 //
 //	simdensity
 //	simdensity -scale 500 -v
+//	simdensity -jobs 8 -cache-dir .simcache
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
-	"simbench/internal/figures"
+	"simbench/internal/experiment"
+	"simbench/internal/store"
 )
 
 func main() {
@@ -22,15 +28,41 @@ func main() {
 		scale     = flag.Int64("scale", 2000, "divide SimBench paper iteration counts by this")
 		specScale = flag.Int64("spec-scale", 20, "divide SPEC-like workload iteration counts by this")
 		minIters  = flag.Int64("min-iters", 2000, "minimum iterations after scaling")
+		jobs      = flag.Int("jobs", 0, "density cells run concurrently (default GOMAXPROCS; densities are deterministic counts, so parallelism is free)")
+		cacheDir  = flag.String("cache-dir", "", "content-addressed result cache: identical cells are served from here instead of re-measured (see simbase)")
+		remote    = flag.String("remote", "", "simstored server URL: a shared remote cache tier behind -cache-dir (see simbench -remote)")
 		verbose   = flag.Bool("v", false, "per-run progress output")
 	)
 	flag.Parse()
 
-	opts := figures.Options{Out: os.Stdout, Scale: *scale, SpecScale: *specScale, MinIters: *minIters}
+	// First Ctrl-C stops feeding new cells (in-flight ones finish); a
+	// second Ctrl-C kills the process.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	context.AfterFunc(ctx, stop)
+
+	opts := experiment.Options{Out: os.Stdout, Scale: *scale, SpecScale: *specScale, MinIters: *minIters, Jobs: *jobs, Context: ctx}
 	if *verbose {
 		opts.Progress = os.Stderr
 	}
-	if err := figures.Fig3(opts); err != nil {
+	if *cacheDir != "" || *remote != "" {
+		st, err := store.OpenTiered(*cacheDir, *remote)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simdensity:", err)
+			os.Exit(1)
+		}
+		opts.Store = st
+		if n := store.IdentityNote("simdensity"); n != "" {
+			fmt.Fprintln(os.Stderr, n)
+		}
+	}
+
+	err := experiment.RunNamed("fig3", opts)
+	if opts.Store != nil {
+		opts.Store.Close()
+	}
+	store.FprintStats(os.Stderr, "simdensity", opts.Store)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "simdensity:", err)
 		os.Exit(1)
 	}

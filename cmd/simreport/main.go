@@ -1,22 +1,28 @@
 // Command simreport prints the static evaluation tables: the paper's
 // Fig. 4 (how each platform implements each mechanism, from live
 // engine metadata) and Fig. 5 (evaluation platform details). With
-// -all it regenerates every figure in sequence — the full paper
-// evaluation. The matrix figures (7 and the sweeps 2, 6, 8) run on
-// the concurrent scheduler (-jobs) and share a result store, so the
-// sweep figures reuse their overlapping cells instead of re-measuring
-// them; with -cache-dir the store persists, making repeated
-// invocations incremental, and once a cell has enough recorded runs
-// the Fig. 7 table annotates its measurement with a ± noise band
-// derived from that history (see simbase -gate=stat). (Fig. 3
-// profiles operation densities on a dedicated instrumented
-// interpreter and always re-runs.)
+// -all it additionally runs every registered experiment spec in
+// registry order — the full paper evaluation, plus any spec the build
+// registers. The matrix specs run on the concurrent scheduler (-jobs)
+// and share a result store, so overlapping cells are reused instead
+// of re-measured; with -cache-dir the store persists, making repeated
+// invocations incremental.
+//
+// With -offline nothing is measured at all: each spec renders
+// straight from the store's recorded history — byte-identical to a
+// warm online run — and a spec with cells missing from the store
+// fails with a per-cell report instead of silently measuring them.
+// -spec file.json substitutes a user-defined spec for the built-ins,
+// online or offline.
 //
 // Usage:
 //
 //	simreport                          # Fig. 4 + Fig. 5
 //	simreport -all                     # Figs. 4, 5, 3, 7, 2, 6, 8 (long)
 //	simreport -all -jobs 8 -cache-dir .simcache
+//	simreport -all -offline -cache-dir .simcache   # render, measure nothing
+//	simreport -spec myexp.json -cache-dir .simcache
+//	simreport -spec myexp.json -offline -cache-dir .simcache
 package main
 
 import (
@@ -26,22 +32,49 @@ import (
 	"os"
 	"os/signal"
 
+	"simbench/internal/experiment"
 	"simbench/internal/figures"
 	"simbench/internal/store"
 )
 
 func main() {
 	var (
-		all       = flag.Bool("all", false, "regenerate every figure (long)")
+		all       = flag.Bool("all", false, "run every registered experiment spec (long)")
+		specFile  = flag.String("spec", "", "run (or with -offline, render) this experiment spec JSON file instead of the built-ins")
+		offline   = flag.Bool("offline", false, "render specs from the store alone: no engine constructed, no cell measured; missing cells are an error (needs -cache-dir or -remote)")
 		scale     = flag.Int64("scale", 2000, "divide SimBench paper iteration counts by this")
 		specScale = flag.Int64("spec-scale", 20, "divide SPEC-like workload iteration counts by this")
 		minIters  = flag.Int64("min-iters", 2000, "minimum iterations after scaling")
+		repeats   = flag.Int("repeats", 0, "measurements per cell; the minimum kernel time is reported (0 = the spec's pin, else 2). Repeats are cell identity: offline rendering must match the measuring run's value")
 		jobs      = flag.Int("jobs", 0, "matrix cells run concurrently (default GOMAXPROCS; use 1 for minimum-noise timings)")
-		cacheDir  = flag.String("cache-dir", "", "content-addressed result cache: identical cells are served from here instead of re-measured, and every figure run is appended to its history (see simbase)")
+		cacheDir  = flag.String("cache-dir", "", "content-addressed result cache: identical cells are served from here instead of re-measured, and every spec run is appended to its history (see simbase)")
 		remote    = flag.String("remote", "", "simstored server URL: a shared remote cache tier behind -cache-dir (see simbench -remote)")
 		verbose   = flag.Bool("v", false, "per-run progress output")
 	)
 	flag.Parse()
+
+	var userSpec *experiment.Spec
+	if *specFile != "" {
+		// Mirrors simbench and simsweep rejecting -spec alongside their
+		// selection flags: silently preferring one would run a
+		// different evaluation than the command line reads.
+		if *all {
+			fail(fmt.Errorf("-spec replaces the built-in evaluation; it excludes -all"))
+		}
+		sp, err := experiment.LoadFile(*specFile)
+		if err != nil {
+			fail(err)
+		}
+		userSpec = &sp
+	}
+	if *offline {
+		if *cacheDir == "" && *remote == "" {
+			fail(fmt.Errorf("-offline renders from a store; give it -cache-dir or -remote"))
+		}
+		if !*all && userSpec == nil {
+			fail(fmt.Errorf("-offline needs -all or -spec file.json to know what to render"))
+		}
+	}
 
 	// First Ctrl-C stops feeding new cells (in-flight ones finish and
 	// are reported); a second Ctrl-C kills the process.
@@ -49,20 +82,19 @@ func main() {
 	defer stop()
 	context.AfterFunc(ctx, stop)
 
-	opts := figures.Options{Out: os.Stdout, Scale: *scale, SpecScale: *specScale, MinIters: *minIters, Jobs: *jobs, Context: ctx}
+	opts := experiment.Options{Out: os.Stdout, Scale: *scale, SpecScale: *specScale, MinIters: *minIters, Repeats: *repeats, Jobs: *jobs, Context: ctx}
 	if *verbose {
 		opts.Progress = os.Stderr
 	}
-	if *cacheDir != "" || *remote != "" || *all {
-		// Even without -cache-dir, an in-process store lets Figs. 2, 6
-		// and 8 share their overlapping sweep cells within this run.
+	if *cacheDir != "" || *remote != "" || *all || userSpec != nil {
+		// Even without -cache-dir, an in-process store lets the sweep
+		// specs share their overlapping cells within this run.
 		st, err := store.OpenTiered(*cacheDir, *remote)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "simreport:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		opts.Store = st
-		if *cacheDir != "" || *remote != "" {
+		if (*cacheDir != "" || *remote != "") && !*offline {
 			if n := store.IdentityNote("simreport"); n != "" {
 				fmt.Fprintln(os.Stderr, n)
 			}
@@ -77,16 +109,43 @@ func main() {
 		}
 		store.FprintStats(os.Stderr, "simreport", opts.Store)
 	}
-	steps := []func(figures.Options) error{figures.Fig4, figures.Fig5}
-	if *all {
-		steps = append(steps, figures.Fig3, figures.Fig7, figures.Fig2, figures.Fig6, figures.Fig8)
+
+	var specs []experiment.Spec
+	switch {
+	case userSpec != nil:
+		specs = []experiment.Spec{*userSpec}
+	case *all:
+		// The registry, in registration order: the built-in figures,
+		// then anything else the build registered.
+		specs = experiment.All()
+	}
+	var steps []func(experiment.Options) error
+	if userSpec == nil {
+		steps = append(steps, figures.Fig4, figures.Fig5)
+	}
+	if *offline {
+		// One batch: the history is fetched and parsed once for every
+		// spec's coverage (with -remote that is one fleet download,
+		// not one per spec).
+		steps = append(steps, func(o experiment.Options) error {
+			return experiment.RenderOfflineAll(specs, o)
+		})
+	} else {
+		for _, sp := range specs {
+			sp := sp
+			steps = append(steps, func(o experiment.Options) error { return experiment.Run(sp, o) })
+		}
 	}
 	for _, step := range steps {
 		if err := step(opts); err != nil {
 			report()
-			fmt.Fprintln(os.Stderr, "simreport:", err)
-			os.Exit(1)
+			fail(err)
 		}
 	}
 	report()
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "simreport:", err)
+	os.Exit(1)
 }

@@ -1,8 +1,9 @@
 // Command simsweep runs the QEMU-version sweep experiments: the
 // paper's Fig. 2 (SPEC-like speedups per release), Fig. 6 (per-category
 // SimBench speedups per release, both guests) and Fig. 8 (geomean of
-// SPEC vs SimBench per release). The release × workload matrix runs on
-// the concurrent scheduler (-jobs).
+// SPEC vs SimBench per release) — or any user-defined experiment spec
+// (-spec file.json). The release × workload matrix runs on the
+// concurrent scheduler (-jobs).
 //
 // Usage:
 //
@@ -10,6 +11,11 @@
 //	simsweep -fig 6 -scale 5000 -jobs 8
 //	simsweep -fig 8 -v
 //	simsweep -fig 8 -cache-dir .simcache   # reuse cells across invocations
+//	simsweep -spec myexp.json -cache-dir .simcache
+//
+// A spec run with -cache-dir lands in run history under the spec's
+// own label; `simreport -spec myexp.json -offline` then renders it
+// again without measuring anything.
 package main
 
 import (
@@ -19,16 +25,18 @@ import (
 	"os"
 	"os/signal"
 
-	"simbench/internal/figures"
+	"simbench/internal/experiment"
 	"simbench/internal/store"
 )
 
 func main() {
 	var (
 		fig       = flag.Int("fig", 8, "figure to regenerate: 2, 6 or 8")
+		specFile  = flag.String("spec", "", "run this experiment spec JSON file instead of a built-in figure")
 		scale     = flag.Int64("scale", 4000, "divide SimBench paper iteration counts by this")
 		specScale = flag.Int64("spec-scale", 40, "divide SPEC-like workload iteration counts by this")
 		minIters  = flag.Int64("min-iters", 2000, "minimum iterations after scaling")
+		repeats   = flag.Int("repeats", 0, "measurements per cell; the minimum kernel time is reported (0 = the spec's pin, else 2)")
 		jobs      = flag.Int("jobs", 0, "matrix cells run concurrently (default GOMAXPROCS; use 1 for minimum-noise timings)")
 		cacheDir  = flag.String("cache-dir", "", "content-addressed result cache: identical cells are served from here instead of re-measured, and every sweep is appended to its history (see simbase)")
 		remote    = flag.String("remote", "", "simstored server URL: a shared remote cache tier behind -cache-dir (see simbench -remote)")
@@ -41,11 +49,12 @@ func main() {
 	defer stop()
 	context.AfterFunc(ctx, stop)
 
-	opts := figures.Options{
+	opts := experiment.Options{
 		Out:       os.Stdout,
 		Scale:     *scale,
 		SpecScale: *specScale,
 		MinIters:  *minIters,
+		Repeats:   *repeats,
 		Jobs:      *jobs,
 		Context:   ctx,
 	}
@@ -64,16 +73,32 @@ func main() {
 		}
 	}
 
+	figSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "fig" {
+			figSet = true
+		}
+	})
 	var err error
-	switch *fig {
-	case 2:
-		err = figures.Fig2(opts)
-	case 6:
-		err = figures.Fig6(opts)
-	case 8:
-		err = figures.Fig8(opts)
-	default:
-		err = fmt.Errorf("unknown figure %d (want 2, 6 or 8)", *fig)
+	if *specFile != "" {
+		if figSet {
+			// Mirrors simbench rejecting -spec alongside its selection
+			// flags: silently preferring one would run a different
+			// experiment than the command line reads.
+			fmt.Fprintln(os.Stderr, "simsweep: -spec describes the whole experiment; it excludes -fig")
+			os.Exit(1)
+		}
+		var sp experiment.Spec
+		if sp, err = experiment.LoadFile(*specFile); err == nil {
+			err = experiment.Run(sp, opts)
+		}
+	} else {
+		switch *fig {
+		case 2, 6, 8:
+			err = experiment.RunNamed(fmt.Sprintf("fig%d", *fig), opts)
+		default:
+			err = fmt.Errorf("unknown figure %d (want 2, 6 or 8)", *fig)
+		}
 	}
 	if opts.Store != nil {
 		// Flush pending remote uploads before reporting: the fleet can

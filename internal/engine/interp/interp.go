@@ -90,8 +90,17 @@ func (e *Interp) classifyBranch(pc, target uint32, indirect bool) {
 	}
 }
 
-// Name implements engine.Engine.
-func (e *Interp) Name() string { return "interp" }
+// Name implements engine.Engine. The profiling variant names itself
+// distinctly: classification changes what a run costs, so a profiled
+// measurement must never share a content-addressed cell (whose
+// engine fingerprint is this name plus the feature metadata) with a
+// plain interpreter run.
+func (e *Interp) Name() string {
+	if e.profile {
+		return "interp-profile"
+	}
+	return "interp"
+}
 
 // Features implements engine.Engine (the paper's Fig. 4 SimIt-ARM row).
 func (e *Interp) Features() engine.Features {

@@ -1,0 +1,69 @@
+package experiment
+
+// The paper's matrix figures, as data. Registration order is the
+// order `simreport -all` and simbench.RunAll execute them in (after
+// the static Figs. 4 and 5): the operation-density table first, then
+// the full runtime matrix, then the three version sweeps — the same
+// sequence the hand-coded drivers ran.
+//
+// Everything a driver used to hard-code is a field here: the axes,
+// the renderer, the paper's display labels, the speedup baseline and
+// grouping, the history label, whether cells carry noise bands. A
+// user spec file (see the README's "Writing an experiment spec") is
+// this exact shape in JSON.
+func init() {
+	MustRegister(Spec{
+		Name:     "fig3",
+		Renderer: RenderDensity,
+		Title:    "Fig. 3 — benchmarks, iterations and operation density (scale 1/{scale})",
+		Arches:   []string{"arm"},
+		Benches:  []string{"suite:spec", "suite:simbench"},
+		Engines:  []string{"profile"},
+		// Densities are deterministic operation counts; one run per
+		// cell is the measurement.
+		Repeats: 1,
+	})
+	MustRegister(Spec{
+		Name:        "fig7",
+		Renderer:    RenderMatrix,
+		Title:       "Fig. 7 — SimBench runtimes, {arch} guest (kernel seconds; scale 1/{scale})",
+		Benches:     []string{"suite:simbench"},
+		Engines:     []string{"dbt", "interp", "detailed", "virt", "native"},
+		EngineCols:  []string{"qemu-dbt", "simit(interp)", "gem5(detailed)", "qemu-kvm(virt)", "native"},
+		BenchTitles: true,
+		Noise:       true,
+	})
+	MustRegister(Spec{
+		Name:     "fig2",
+		Renderer: RenderSeries,
+		Title:    "Fig. 2 — SPEC-like speedup across QEMU releases (baseline v1.7.0; scale 1/{specscale})",
+		Arches:   []string{"arm"},
+		Benches:  []string{"suite:spec"},
+		Engines:  []string{"releases"},
+		Series: SeriesSpec{Groups: []SeriesGroup{
+			{Name: "sjeng", Benches: []string{"spec.sjeng"}},
+			{Name: "SPEC (overall)", Benches: []string{"suite:spec"}},
+			{Name: "mcf", Benches: []string{"spec.mcf"}},
+		}},
+	})
+	MustRegister(Spec{
+		Name:     "fig6",
+		Renderer: RenderSeries,
+		Title:    "Fig. 6 — {category}, {arch} guest (speedup vs v1.7.0; scale 1/{scale})",
+		Benches:  []string{"suite:simbench"},
+		Engines:  []string{"releases"},
+		Series:   SeriesSpec{PerBench: true},
+	})
+	MustRegister(Spec{
+		Name:     "fig8",
+		Renderer: RenderSeries,
+		Title:    "Fig. 8 — geomean speedup across QEMU releases (baseline v1.7.0; scales 1/{specscale} spec, 1/{scale} simbench)",
+		Arches:   []string{"arm"},
+		Benches:  []string{"suite:spec", "suite:simbench"},
+		Engines:  []string{"releases"},
+		Series: SeriesSpec{Groups: []SeriesGroup{
+			{Name: "SPEC", Benches: []string{"suite:spec"}},
+			{Name: "SimBench", Benches: []string{"suite:simbench"}},
+		}},
+	})
+}

@@ -1,0 +1,116 @@
+package experiment
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"simbench/internal/engine"
+	"simbench/internal/engine/detailed"
+	"simbench/internal/engine/direct"
+	"simbench/internal/engine/interp"
+	"simbench/internal/sched"
+	"simbench/internal/versions"
+)
+
+// engineBuilds counts every engine instance constructed through the
+// experiment layer's factories. Offline rendering promises to build
+// none — measurements come from the store, so there is nothing for an
+// engine to do — and the tests hold it to that promise through this
+// counter.
+var engineBuilds atomic.Uint64
+
+// engineFactory resolves an engine name to a constructor WITHOUT
+// building anything: name validation must be free, because the
+// offline path resolves whole specs and never constructs an engine
+// (constructing one per cell is exactly the cost the content-address
+// fingerprint pays, and offline rendering exists to avoid it).
+func engineFactory(name string) (func() engine.Engine, error) {
+	switch name {
+	case "dbt":
+		return func() engine.Engine { return versions.Latest().Engine() }, nil
+	case "interp":
+		return func() engine.Engine { return interp.New() }, nil
+	case "profile":
+		return func() engine.Engine { return interp.NewProfiling() }, nil
+	case "detailed":
+		return func() engine.Engine { return detailed.New() }, nil
+	case "virt":
+		return func() engine.Engine { return direct.New(direct.ModeVirt) }, nil
+	case "native":
+		return func() engine.Engine { return direct.New(direct.ModeNative) }, nil
+	}
+	if r, err := versions.ByName(name); err == nil {
+		return func() engine.Engine { return r.Engine() }, nil
+	}
+	return nil, fmt.Errorf("unknown engine %q (want dbt|interp|detailed|virt|native|profile|<release>)", name)
+}
+
+// schedEngine wraps a constructor as a scheduler engine factory,
+// counting constructions.
+func schedEngine(name string, f func() engine.Engine) sched.Engine {
+	return sched.Engine{Name: name, New: func() engine.Engine {
+		engineBuilds.Add(1)
+		return f()
+	}}
+}
+
+// EngineByName builds an engine: dbt, interp, detailed, virt, native,
+// profile (the density experiment's profiling interpreter), or a QEMU
+// release tag such as v2.2.0 (a dbt engine so configured).
+func EngineByName(name string) (engine.Engine, error) {
+	f, err := engineFactory(name)
+	if err != nil {
+		return nil, err
+	}
+	return f(), nil
+}
+
+// Engines returns the five evaluation platforms in paper column order:
+// QEMU-DBT, SimIt-ARM, Gem5, QEMU-KVM, native.
+func Engines() []engine.Engine {
+	var out []engine.Engine
+	for _, name := range platformNames() {
+		e, _ := EngineByName(name)
+		out = append(out, e)
+	}
+	return out
+}
+
+// platformNames are the five evaluation platforms in paper order.
+func platformNames() []string {
+	return []string{"dbt", "interp", "detailed", "virt", "native"}
+}
+
+// SchedEngines returns the five evaluation platforms as scheduler
+// engine factories, in paper column order.
+func SchedEngines() []sched.Engine {
+	specs := make([]sched.Engine, 0, 5)
+	for _, name := range platformNames() {
+		f, _ := engineFactory(name)
+		specs = append(specs, schedEngine(name, f))
+	}
+	return specs
+}
+
+// expandEngines resolves one engine selector list in order: the
+// selector "releases" (every modelled release, chronological), or a
+// single engine/release name. Resolution builds nothing; the returned
+// factories construct lazily, per cell.
+func expandEngines(sels []string) ([]sched.Engine, error) {
+	var out []sched.Engine
+	for i, sel := range sels {
+		if sel == "releases" {
+			for _, rel := range versions.All() {
+				rel := rel
+				out = append(out, schedEngine(rel.Name, func() engine.Engine { return rel.Engine() }))
+			}
+			continue
+		}
+		f, err := engineFactory(sel)
+		if err != nil {
+			return nil, fmt.Errorf("engines[%d]: %w", i, err)
+		}
+		out = append(out, schedEngine(sel, f))
+	}
+	return out, nil
+}

@@ -1,0 +1,6 @@
+package experiment
+
+// EngineBuildCount exposes the engine-construction counter: the
+// offline tests assert that rendering from the store builds no
+// engine at all.
+func EngineBuildCount() uint64 { return engineBuilds.Load() }

@@ -1,0 +1,191 @@
+package experiment
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"simbench/internal/store"
+)
+
+func openTestStore(t *testing.T, dir string) *store.Store {
+	t.Helper()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// tinyOpts makes every cell run in well under a second.
+func tinyOpts(out *strings.Builder, st *store.Store) Options {
+	return Options{Out: out, Scale: 2_000_000, SpecScale: 10_000, MinIters: 8, Repeats: 1, Store: st}
+}
+
+const userSpecJSON = `{
+	"name": "hotpath",
+	"renderer": "series",
+	"arches": ["arm"],
+	"benches": ["mem.hot", "ctrl.intrapage-direct"],
+	"engines": ["v1.7.0", "v2.2.0", "v2.5.0-rc2"],
+	"baseline": "v1.7.0",
+	"series": {"per_bench": true},
+	"title": "Hot-path speedup across releases ({arch} guest)"
+}`
+
+// TestOfflineRoundTrip is the end-to-end contract of the declarative
+// layer: a user-defined JSON spec runs online, lands in history under
+// its own label, and then renders offline byte-identically — with no
+// engine constructed (the engine-factory call counter must not move)
+// and no new history entry. Deleting one blob must turn the render
+// into an error naming that cell and its content address.
+func TestOfflineRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	dir := t.TempDir()
+	specPath := filepath.Join(dir, "spec.json")
+	if err := os.WriteFile(specPath, []byte(userSpecJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sp, err := LoadFile(specPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cacheDir := filepath.Join(dir, "cache")
+	st := openTestStore(t, cacheDir)
+	var online strings.Builder
+	if err := Run(sp, tinyOpts(&online, st)); err != nil {
+		t.Fatal(err)
+	}
+
+	// The run is in history under the spec's own label.
+	rr, err := st.LatestRun("hotpath")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rr.Cells) != 2*3 {
+		t.Fatalf("history run has %d cells", len(rr.Cells))
+	}
+	histPath := filepath.Join(cacheDir, "history.jsonl")
+	linesBefore := historyLines(t, histPath)
+
+	// Offline, from a fresh store handle (a later process): identical
+	// bytes, zero engine constructions, zero new history entries.
+	st2 := openTestStore(t, cacheDir)
+	var offline strings.Builder
+	builds := EngineBuildCount()
+	if err := RenderOffline(sp, tinyOpts(&offline, st2)); err != nil {
+		t.Fatal(err)
+	}
+	if got := EngineBuildCount() - builds; got != 0 {
+		t.Errorf("offline render constructed %d engines, want 0", got)
+	}
+	if online.String() != offline.String() {
+		t.Errorf("offline render diverges from the online run:\n--- online\n%s\n--- offline\n%s", online.String(), offline.String())
+	}
+	if after := historyLines(t, histPath); after != linesBefore {
+		t.Errorf("offline render grew history from %d to %d entries", linesBefore, after)
+	}
+
+	// Delete one blob: the render must fail and name the cell by its
+	// content address (the only handle on which cache file is gone).
+	var blob string
+	err = filepath.WalkDir(filepath.Join(cacheDir, "objects"), func(path string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && strings.HasSuffix(path, ".json") {
+			blob = path
+		}
+		return err
+	})
+	if err != nil || blob == "" {
+		t.Fatalf("no blob found: %v", err)
+	}
+	if err := os.Remove(blob); err != nil {
+		t.Fatal(err)
+	}
+	key := strings.TrimSuffix(filepath.Base(blob), ".json")
+	st3 := openTestStore(t, cacheDir)
+	err = RenderOffline(sp, tinyOpts(&strings.Builder{}, st3))
+	var miss *MissingCellsError
+	if !errors.As(err, &miss) {
+		t.Fatalf("got %v, want MissingCellsError", err)
+	}
+	if len(miss.Missing) != 1 || !strings.Contains(err.Error(), key) {
+		t.Errorf("missing-cell report does not name blob %s:\n%v", key, err)
+	}
+
+	// A spec whose cells were never measured reports every cell.
+	fresh := sp
+	fresh.Name = "neverran"
+	fresh.Benches = []string{"exc.syscall"}
+	err = RenderOffline(fresh, tinyOpts(&strings.Builder{}, st3))
+	if !errors.As(err, &miss) {
+		t.Fatalf("got %v, want MissingCellsError", err)
+	}
+	if len(miss.Missing) != 3 || !strings.Contains(err.Error(), "no completed run in history") {
+		t.Errorf("never-run spec: %v", err)
+	}
+}
+
+// TestOfflineMatrixAndDensity: the other two renderers round-trip
+// offline the same way — the matrix table from blob-backed results,
+// the density table from the full stats the blobs preserve.
+func TestOfflineMatrixAndDensity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	matrix := Spec{
+		Name:     "minimatrix",
+		Renderer: RenderMatrix,
+		Arches:   []string{"arm"},
+		Benches:  []string{"mem.hot", "exc.syscall"},
+		Engines:  []string{"interp", "v2.2.0"},
+		Noise:    true,
+	}
+	density := Spec{
+		Name:     "minidensity",
+		Renderer: RenderDensity,
+		Arches:   []string{"arm"},
+		Benches:  []string{"spec.mcf", "spec.sjeng", "mem.hot", "exc.syscall"},
+	}
+	for _, sp := range []Spec{matrix, density} {
+		cacheDir := t.TempDir()
+		st := openTestStore(t, cacheDir)
+		var online strings.Builder
+		if err := Run(sp, tinyOpts(&online, st)); err != nil {
+			t.Fatal(err)
+		}
+		st2 := openTestStore(t, cacheDir)
+		var offline strings.Builder
+		builds := EngineBuildCount()
+		if err := RenderOffline(sp, tinyOpts(&offline, st2)); err != nil {
+			t.Fatal(err)
+		}
+		if got := EngineBuildCount() - builds; got != 0 {
+			t.Errorf("%s: offline render constructed %d engines, want 0", sp.Name, got)
+		}
+		if online.String() != offline.String() {
+			t.Errorf("%s: offline diverges:\n--- online\n%s\n--- offline\n%s", sp.Name, online.String(), offline.String())
+		}
+	}
+}
+
+func TestOfflineNeedsStore(t *testing.T) {
+	sp, _ := Lookup("fig7")
+	if err := RenderOffline(sp, Options{Out: &strings.Builder{}}); err == nil ||
+		!strings.Contains(err.Error(), "needs a store") {
+		t.Errorf("got %v", err)
+	}
+}
+
+func historyLines(t *testing.T, path string) int {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return strings.Count(string(data), "\n")
+}

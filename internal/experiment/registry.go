@@ -1,0 +1,76 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// The registry holds every known spec — the built-in paper figures
+// plus anything the embedding program registers — in registration
+// order, which is the order "run everything" tools iterate in: a
+// newly registered spec appears in simreport -all and simbench.RunAll
+// automatically, after the specs registered before it.
+var registry struct {
+	sync.Mutex
+	order []string
+	specs map[string]Spec
+}
+
+// Register validates a spec and adds it to the registry. Registering
+// a name twice is an error: a spec is an experiment's identity (its
+// history label, its -all slot), and silently replacing one would
+// silently change what recorded history means.
+func Register(sp Spec) error {
+	if err := sp.Validate(); err != nil {
+		return err
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	if registry.specs == nil {
+		registry.specs = make(map[string]Spec)
+	}
+	if _, dup := registry.specs[sp.Name]; dup {
+		return fmt.Errorf("experiment: spec %q already registered", sp.Name)
+	}
+	registry.specs[sp.Name] = sp
+	registry.order = append(registry.order, sp.Name)
+	return nil
+}
+
+// MustRegister is Register, panicking on error — for init-time
+// registration of specs that are correct by construction.
+func MustRegister(sp Spec) {
+	if err := Register(sp); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup returns a registered spec by name.
+func Lookup(name string) (Spec, bool) {
+	registry.Lock()
+	defer registry.Unlock()
+	sp, ok := registry.specs[name]
+	return sp, ok
+}
+
+// All returns every registered spec in registration order.
+func All() []Spec {
+	registry.Lock()
+	defer registry.Unlock()
+	out := make([]Spec, 0, len(registry.order))
+	for _, name := range registry.order {
+		out = append(out, registry.specs[name])
+	}
+	return out
+}
+
+// Names returns the registered spec names, sorted — for error
+// messages and listings.
+func Names() []string {
+	registry.Lock()
+	defer registry.Unlock()
+	out := append([]string(nil), registry.order...)
+	sort.Strings(out)
+	return out
+}

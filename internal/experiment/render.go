@@ -1,0 +1,228 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"simbench/internal/core"
+	"simbench/internal/report"
+	"simbench/internal/sched"
+	"simbench/internal/spec"
+	"simbench/internal/stats"
+)
+
+// title renders the spec's title template for one panel. The template
+// placeholders substitute the panel's architecture and category and
+// the effective scale divisors; a spec without a title gets a
+// renderer-appropriate default so every table stays identifiable.
+func (r *resolved) title(o *Options, archName, category string) string {
+	t := r.spec.Title
+	if t == "" {
+		switch r.spec.Renderer {
+		case RenderMatrix:
+			t = r.spec.Name + " — {arch} guest (kernel seconds; scale 1/{scale})"
+		case RenderDensity:
+			t = r.spec.Name + " — operation density (scale 1/{scale})"
+		default:
+			if r.spec.Series.PerBench {
+				t = r.spec.Name + " — {category}, {arch} guest (speedup vs " + r.engines[r.baseIdx].Name + ")"
+			} else {
+				t = r.spec.Name + " — {arch} guest (speedup vs " + r.engines[r.baseIdx].Name + ")"
+			}
+		}
+	}
+	return strings.NewReplacer(
+		"{arch}", archName,
+		"{category}", category,
+		"{scale}", fmt.Sprint(o.Scale),
+		"{specscale}", fmt.Sprint(o.SpecScale),
+	).Replace(t)
+}
+
+// render dispatches a completed (or store-served) result set, in
+// matrix order, to the spec's renderer.
+func (r *resolved) render(o *Options, results []sched.Result, noise func(report.Record) *stats.Band) error {
+	switch r.spec.Renderer {
+	case RenderMatrix:
+		return r.renderMatrix(o, results, noise)
+	case RenderSeries:
+		return r.renderSeries(o, results)
+	case RenderDensity:
+		return r.renderDensity(o, results)
+	}
+	return r.spec.errf("unknown renderer %q", r.spec.Renderer)
+}
+
+// renderMatrix prints one absolute-runtime table per guest
+// architecture through the shared matrix renderer. Failed cells
+// render as ERR in their table position and the failures come back as
+// one aggregated error after the table is printed.
+func (r *resolved) renderMatrix(o *Options, results []sched.Result, noise func(report.Record) *stats.Band) error {
+	archNames := make([]string, len(r.arches))
+	for i, sup := range r.arches {
+		archNames[i] = sup.Name()
+	}
+	mt := report.MatrixTable{
+		Title:      func(a string) string { return r.title(o, a, "") },
+		EngineCols: r.engineCols,
+		Arches:     archNames,
+		Benches:    r.benches,
+		Iters:      o.Iters,
+		Noise:      noise,
+	}
+	if r.spec.BenchTitles {
+		mt.BenchLabel = func(b *core.Benchmark) string { return b.Title }
+	}
+	mt.Fprint(o.Out, results)
+	if err := sched.Errors(results); err != nil {
+		return fmt.Errorf("%s: %w", r.spec.Name, err)
+	}
+	return nil
+}
+
+// kernelTimes collates one architecture's block of results into
+// per-benchmark kernel times in engine-axis order (matrix order is
+// benchmark-major, engine-minor within an architecture).
+func kernelTimes(block []sched.Result) map[string][]time.Duration {
+	times := make(map[string][]time.Duration)
+	for _, res := range block {
+		times[res.Job.Bench.Name] = append(times[res.Job.Bench.Name], res.Kernel)
+	}
+	return times
+}
+
+// speedups returns one benchmark's speedup against the baseline
+// engine, per engine-axis position.
+func (r *resolved) speedups(times map[string][]time.Duration, b *core.Benchmark, i int) float64 {
+	return report.Speedup(times[b.Name][r.baseIdx], times[b.Name][i])
+}
+
+// groupPoint is one series point of an explicit group: a single
+// benchmark's speedup directly, the geometric mean over the group
+// otherwise. (The single-benchmark case must bypass the geomean: a
+// log/exp round trip of one value is not always the value, and
+// cached replays must render byte-identically to their fresh runs.)
+func (r *resolved) groupPoint(times map[string][]time.Duration, g seriesGroup, i int) float64 {
+	if len(g.benches) == 1 {
+		return r.speedups(times, g.benches[0], i)
+	}
+	sp := make([]float64, 0, len(g.benches))
+	for _, b := range g.benches {
+		sp = append(sp, r.speedups(times, b, i))
+	}
+	return report.Geomean(sp)
+}
+
+// renderSeries prints the speedup-vs-baseline lines across the engine
+// axis: one panel per architecture, panelled further per category in
+// per-bench mode. The speedup math needs every cell, so a failed
+// matrix returns its aggregated error without rendering.
+func (r *resolved) renderSeries(o *Options, results []sched.Result) error {
+	if err := sched.Errors(results); err != nil {
+		return fmt.Errorf("%s: %w", r.spec.Name, err)
+	}
+	block := len(r.benches) * len(r.engines)
+	for ai, sup := range r.arches {
+		times := kernelTimes(results[ai*block : (ai+1)*block])
+		if !r.spec.Series.PerBench {
+			var series []report.Series
+			for _, g := range r.groups {
+				s := report.Series{Name: g.name}
+				for i := range r.engines {
+					s.Points = append(s.Points, r.groupPoint(times, g, i))
+				}
+				series = append(series, s)
+			}
+			report.FprintSeries(o.Out, r.title(o, sup.Name(), ""), r.engineCols, series)
+			continue
+		}
+		for _, cat := range r.categories() {
+			var series []report.Series
+			for _, b := range r.benches {
+				if b.Category != cat {
+					continue
+				}
+				name := b.Title
+				if name == "" {
+					name = b.Name
+				}
+				s := report.Series{Name: name}
+				for i := range r.engines {
+					s.Points = append(s.Points, r.speedups(times, b, i))
+				}
+				series = append(series, s)
+			}
+			report.FprintSeries(o.Out, r.title(o, sup.Name(), string(cat)), r.engineCols, series)
+		}
+	}
+	return nil
+}
+
+// categories lists the categories present on the bench axis: the
+// paper's five in paper order first, then any others (applications,
+// custom categories) in first-appearance order.
+func (r *resolved) categories() []core.Category {
+	present := make(map[core.Category]bool)
+	for _, b := range r.benches {
+		present[b.Category] = true
+	}
+	var out []core.Category
+	for _, cat := range core.Categories() {
+		if present[cat] {
+			out = append(out, cat)
+			delete(present, cat)
+		}
+	}
+	for _, b := range r.benches {
+		if present[b.Category] {
+			out = append(out, b.Category)
+			delete(present, b.Category)
+		}
+	}
+	return out
+}
+
+// renderDensity prints the operation-density table (the paper's
+// Fig. 3 shape), one per architecture: the application workloads on
+// the bench axis are aggregated into the comparator column, every
+// other benchmark is a row reporting its own density and the density
+// of its tested operation across that aggregate. Densities are
+// deterministic counts, so the table needs every cell and a failed
+// matrix returns its aggregated error without rendering.
+func (r *resolved) renderDensity(o *Options, results []sched.Result) error {
+	if err := sched.Errors(results); err != nil {
+		return fmt.Errorf("%s: %w", r.spec.Name, err)
+	}
+	block := len(r.benches) * len(r.engines)
+	for ai, sup := range r.arches {
+		runs := make(map[string]*core.Result)
+		var appResults []*core.Result
+		for _, res := range results[ai*block : (ai+1)*block] {
+			runs[res.Job.Bench.Name] = res.Run
+			if res.Job.Bench.Category == spec.CatApplication {
+				appResults = append(appResults, res.Run)
+			}
+		}
+		agg := report.Aggregate(appResults)
+		t := report.Table{
+			Title:   r.title(o, sup.Name(), ""),
+			Columns: []string{"category", "benchmark", "paper iters", "density(SimBench)", "density(SPEC-like)"},
+		}
+		for _, b := range r.benches {
+			if b.Category == spec.CatApplication {
+				continue
+			}
+			res := runs[b.Name]
+			agg.Benchmark = b
+			specDensity := 0.0
+			if agg.Stats.Instructions > 0 && b.TestedOps != nil {
+				specDensity = float64(b.TestedOps(agg)) / float64(agg.Stats.Instructions)
+			}
+			t.AddRow(string(b.Category), b.Title, fmt.Sprint(b.PaperIters),
+				report.Density(res.OpDensity()), report.Density(specDensity))
+		}
+		t.Fprint(o.Out)
+	}
+	return nil
+}

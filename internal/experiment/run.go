@@ -1,0 +1,397 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+
+	"simbench/internal/arch"
+	"simbench/internal/core"
+	"simbench/internal/report"
+	"simbench/internal/sched"
+	"simbench/internal/spec"
+	"simbench/internal/stats"
+	"simbench/internal/store"
+)
+
+// Options control experiment scale and output — the runtime knobs a
+// CLI owns, as opposed to the Spec, which describes the experiment
+// itself. (This is the figures.Options of earlier revisions, moved
+// here with the scheduler and store wiring.)
+type Options struct {
+	// Out receives the rendered tables.
+	Out io.Writer
+	// Scale divides every SimBench paper iteration count; 1 reproduces
+	// the paper's counts (hours of runtime), the CLI default is 2000.
+	Scale int64
+	// SpecScale divides the SPEC-like workload iteration counts.
+	SpecScale int64
+	// MinIters floors the scaled iteration count.
+	MinIters int64
+	// Repeats is the number of times each measurement is taken; the
+	// minimum kernel time is reported (standard noise suppression on a
+	// shared host).
+	Repeats int
+	// Progress, when set, receives one line per completed run.
+	Progress io.Writer
+	// Jobs is the number of matrix cells run concurrently; <=0 means
+	// GOMAXPROCS. Concurrent cells share the host, so use 1 when the
+	// absolute times themselves are the result rather than a check.
+	Jobs int
+	// Store, when non-nil, caches completed cells content-addressed —
+	// specs share their overlapping cells within one run, and a
+	// disk-backed store makes repeated invocations incremental. Each
+	// spec's completed matrix is also appended to the store's run
+	// history under the spec's label.
+	Store *store.Store
+	// HistoryLabel overrides the spec's history label, so a CLI can
+	// record every invocation under one label regardless of which spec
+	// ran the matrix.
+	HistoryLabel string
+	// Context cancels the experiment early (nil means Background);
+	// cells that never started surface the context error.
+	Context context.Context
+}
+
+func (o *Options) fill() {
+	if o.Scale <= 0 {
+		o.Scale = 2000
+	}
+	if o.SpecScale <= 0 {
+		o.SpecScale = 20
+	}
+	if o.MinIters <= 0 {
+		o.MinIters = 32
+	}
+	if o.Repeats <= 0 {
+		o.Repeats = 2
+	}
+}
+
+// Iters returns the scaled iteration count for a benchmark. The
+// MinIters floor applies to the micro-benchmarks, whose paper counts
+// are in the millions; application workloads have intentionally small
+// counts (their kernels do much more per iteration), so they get a
+// fixed small floor instead.
+func (o *Options) Iters(b *core.Benchmark) int64 {
+	o.fill()
+	scale, floor := o.Scale, o.MinIters
+	if b.Category == spec.CatApplication {
+		scale, floor = o.SpecScale, 8
+	}
+	n := b.PaperIters / scale
+	if n < floor {
+		n = floor
+	}
+	return n
+}
+
+// effective returns the runtime options this spec actually runs with:
+// the caller's options with the spec's pinned iteration policy and
+// repeat count applied (a pinning spec measures the same cells no
+// matter which tool or flags ran it), then defaults filled.
+func (sp *Spec) effective(o Options) Options {
+	if sp.Scale > 0 {
+		o.Scale = sp.Scale
+	}
+	if sp.SpecScale > 0 {
+		o.SpecScale = sp.SpecScale
+	}
+	if sp.MinIters > 0 {
+		o.MinIters = sp.MinIters
+	}
+	if sp.Repeats > 0 {
+		o.Repeats = sp.Repeats
+	}
+	o.fill()
+	return o
+}
+
+// resolved is a Spec with every axis entry resolved to its live
+// object: the executable (and renderable) form.
+type resolved struct {
+	spec    Spec
+	arches  []arch.Support
+	benches []*core.Benchmark
+	engines []sched.Engine
+	// engineCols are the engine column/x-axis labels: EngineCols for a
+	// matrix spec that sets them, engine names otherwise.
+	engineCols []string
+	// baseIdx indexes the series baseline on the engine axis.
+	baseIdx int
+	// groups are the expanded explicit series lines.
+	groups []seriesGroup
+}
+
+type seriesGroup struct {
+	name    string
+	benches []*core.Benchmark
+}
+
+// resolve validates the spec and expands every axis.
+func (sp *Spec) resolve() (*resolved, error) {
+	if sp.Name == "" || !specName.MatchString(sp.Name) {
+		return nil, sp.errf("name %q must match %s", sp.Name, specName)
+	}
+	if sp.HistoryLabel != "" && !specName.MatchString(sp.HistoryLabel) {
+		return nil, sp.errf("history_label %q must match %s", sp.HistoryLabel, specName)
+	}
+	switch sp.Renderer {
+	case RenderMatrix, RenderSeries, RenderDensity:
+	case "":
+		return nil, sp.errf("renderer is required (matrix, series or density)")
+	default:
+		return nil, sp.errf("unknown renderer %q (want matrix, series or density)", sp.Renderer)
+	}
+	if sp.Repeats < 0 || sp.Scale < 0 || sp.SpecScale < 0 || sp.MinIters < 0 {
+		return nil, sp.errf("repeats, scale, spec_scale and min_iters must be non-negative")
+	}
+
+	r := &resolved{spec: *sp}
+
+	// Arches: named subset, or all.
+	if len(sp.Arches) == 0 {
+		r.arches = arch.All()
+	} else {
+		seenA := make(map[string]bool)
+		for i, name := range sp.Arches {
+			if seenA[name] {
+				return nil, sp.errf("architecture %q appears twice on the arch axis", name)
+			}
+			seenA[name] = true
+			found := false
+			for _, s := range arch.All() {
+				if s.Name() == name {
+					r.arches = append(r.arches, s)
+					found = true
+				}
+			}
+			if !found {
+				return nil, sp.errf("arches[%d]: unknown architecture %q (want arm or x86)", i, name)
+			}
+		}
+	}
+
+	var err error
+	if len(sp.Benches) == 0 {
+		return nil, sp.errf("benches is required (names or suite:/cat: selectors)")
+	}
+	if r.benches, err = expandBenches(sp.Benches); err != nil {
+		return nil, sp.errf("%v", err)
+	}
+	seenB := make(map[string]bool)
+	for _, b := range r.benches {
+		if seenB[b.Name] {
+			return nil, sp.errf("benchmark %q appears twice on the bench axis", b.Name)
+		}
+		seenB[b.Name] = true
+	}
+
+	engines := sp.Engines
+	if len(engines) == 0 {
+		switch sp.Renderer {
+		case RenderMatrix:
+			engines = platformNames()
+		case RenderDensity:
+			engines = []string{"profile"}
+		default:
+			return nil, sp.errf(`a series spec needs an explicit engine axis (it is the x axis; e.g. ["releases"])`)
+		}
+	}
+	if r.engines, err = expandEngines(engines); err != nil {
+		return nil, sp.errf("%v", err)
+	}
+	seenE := make(map[string]bool)
+	for _, e := range r.engines {
+		if seenE[e.Name] {
+			return nil, sp.errf("engine %q appears twice on the engine axis", e.Name)
+		}
+		seenE[e.Name] = true
+	}
+
+	// Renderer-specific shape.
+	switch sp.Renderer {
+	case RenderMatrix:
+		if len(sp.EngineCols) > 0 && len(sp.EngineCols) != len(r.engines) {
+			return nil, sp.errf("engine_cols has %d labels for %d engines", len(sp.EngineCols), len(r.engines))
+		}
+	case RenderSeries:
+		if len(r.engines) < 2 {
+			return nil, sp.errf("a series spec needs at least two engines on its axis (the speedup x axis)")
+		}
+	case RenderDensity:
+		// Densities come from the profiling interpreter's operation
+		// classification; any other engine would measure a whole
+		// matrix and then render a table of zeros.
+		if len(r.engines) != 1 || r.engines[0].Name != "profile" {
+			return nil, sp.errf(`a density spec measures on the profiling interpreter: engines must be ["profile"] (or unset)`)
+		}
+	}
+	if sp.Renderer != RenderMatrix {
+		if len(sp.EngineCols) > 0 {
+			return nil, sp.errf("engine_cols only applies to the matrix renderer")
+		}
+		if sp.BenchTitles {
+			return nil, sp.errf("bench_titles only applies to the matrix renderer")
+		}
+		if sp.Noise {
+			return nil, sp.errf("noise only applies to the matrix renderer (the others print ratios, not absolute times)")
+		}
+	}
+
+	r.engineCols = make([]string, len(r.engines))
+	for i, e := range r.engines {
+		r.engineCols[i] = e.Name
+	}
+	if len(sp.EngineCols) > 0 {
+		copy(r.engineCols, sp.EngineCols)
+	}
+
+	// Series shape: baseline and lines.
+	if sp.Renderer == RenderSeries {
+		if sp.Baseline != "" {
+			r.baseIdx = -1
+			for i, e := range r.engines {
+				if e.Name == sp.Baseline {
+					r.baseIdx = i
+				}
+			}
+			if r.baseIdx < 0 {
+				return nil, sp.errf("baseline %q is not on the engine axis", sp.Baseline)
+			}
+		}
+		switch {
+		case sp.Series.PerBench && len(sp.Series.Groups) > 0:
+			return nil, sp.errf("series: per_bench and groups are mutually exclusive")
+		case !sp.Series.PerBench && len(sp.Series.Groups) == 0:
+			return nil, sp.errf("series: need per_bench or at least one group")
+		}
+		for gi, g := range sp.Series.Groups {
+			if g.Name == "" {
+				return nil, sp.errf("series.groups[%d]: name is required", gi)
+			}
+			gb, err := expandBenches(g.Benches)
+			if err != nil || len(gb) == 0 {
+				return nil, sp.errf("series.groups[%d] (%s): %v", gi, g.Name, orEmpty(err))
+			}
+			seenG := make(map[string]bool)
+			for _, b := range gb {
+				if !seenB[b.Name] {
+					return nil, sp.errf("series.groups[%d] (%s): benchmark %q is not on the bench axis", gi, g.Name, b.Name)
+				}
+				// A benchmark listed twice would count twice in the
+				// group's geomean — a silently skewed series.
+				if seenG[b.Name] {
+					return nil, sp.errf("series.groups[%d] (%s): benchmark %q appears twice in the group", gi, g.Name, b.Name)
+				}
+				seenG[b.Name] = true
+			}
+			r.groups = append(r.groups, seriesGroup{name: g.Name, benches: gb})
+		}
+	} else {
+		if sp.Baseline != "" {
+			return nil, sp.errf("baseline only applies to the series renderer")
+		}
+		if sp.Series.PerBench || len(sp.Series.Groups) > 0 {
+			return nil, sp.errf("series only applies to the series renderer")
+		}
+	}
+	return r, nil
+}
+
+func orEmpty(err error) error {
+	if err == nil {
+		return fmt.Errorf("expands to no benchmarks")
+	}
+	return err
+}
+
+// matrix expands the resolved axes into the scheduler's matrix form
+// under the effective options.
+func (r *resolved) matrix(o *Options) sched.Matrix {
+	return sched.Matrix{
+		Arches:  r.arches,
+		Benches: r.benches,
+		Engines: r.engines,
+		Iters:   o.Iters,
+		Repeats: o.Repeats,
+	}
+}
+
+// runMatrix executes a matrix on the scheduler with the Options'
+// parallelism, wiring completed cells into the progress stream and the
+// store (this is the scheduler/store wiring that used to live in
+// figures.Options.run). name tags progress lines and warnings (the
+// spec's identity, whoever ran it); label is what history records the
+// run under (a CLI may override it). Results come back in matrix
+// order, together with a per-cell noise lookup over the store's prior
+// history (nil without a store, or when the spec does not annotate
+// per-cell measurements) — built from history as it stood before this
+// run is appended, so a measurement never vouches for its own
+// normality.
+func runMatrix(name, label string, m sched.Matrix, o *Options, wantNoise, warmup bool) ([]sched.Result, func(report.Record) *stats.Band) {
+	s := sched.Scheduler{Workers: o.Jobs, Warmup: warmup}
+	if o.Store != nil {
+		s.Store = o.Store
+	}
+	if o.Progress != nil {
+		s.Progress = func(r sched.Result) { sched.FprintProgress(o.Progress, name, r) }
+	}
+	ctx := o.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	results := s.Run(ctx, m.Jobs())
+	var noise func(report.Record) *stats.Band
+	if o.Store != nil {
+		if wantNoise {
+			if runs, err := o.Store.History(); err == nil && len(runs) > 0 {
+				noise = store.NoiseLookup(runs, store.StatGate{})
+			} else if err != nil {
+				// Unreadable history only costs the ± annotations, but
+				// silently is how noise consumers go blind.
+				fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			}
+		}
+		if err := o.Store.AppendHistory(label, results); err != nil {
+			// History loss must be visible even without -v: a silent
+			// gap here means simbase later baselines a stale run.
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+		}
+	}
+	return results, noise
+}
+
+// Run validates and executes a spec: the whole experiment on the
+// concurrent scheduler, recorded in the store's history under the
+// spec's label, rendered to o.Out. Failed cells render as ERR in a
+// matrix table and come back as one aggregated error; the series and
+// density renderers need every cell, so they return the aggregated
+// error without rendering.
+func Run(sp Spec, o Options) error {
+	r, err := sp.resolve()
+	if err != nil {
+		return err
+	}
+	eff := sp.effective(o)
+	label := sp.Label()
+	if o.HistoryLabel != "" {
+		label = o.HistoryLabel
+	}
+	// Warmup matters when absolute times are the result; the density
+	// renderer reports deterministic operation counts, so a discarded
+	// warm-up run would be pure waste.
+	warmup := sp.Renderer != RenderDensity
+	results, noise := runMatrix(sp.Name, label, r.matrix(&eff), &eff, sp.Noise, warmup)
+	return r.render(&eff, results, noise)
+}
+
+// RunNamed runs a registered spec by name.
+func RunNamed(name string, o Options) error {
+	sp, ok := Lookup(name)
+	if !ok {
+		return fmt.Errorf("experiment: no registered spec %q (have %v)", name, Names())
+	}
+	return Run(sp, o)
+}

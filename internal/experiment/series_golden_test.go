@@ -1,0 +1,173 @@
+package experiment
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"simbench/internal/core"
+	"simbench/internal/sched"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// syntheticResults fabricates a deterministic result set for a spec's
+// expanded matrix: kernel times vary by benchmark, engine and
+// architecture position, so speedup series exercise real ratio math
+// without running a guest.
+func syntheticResults(t *testing.T, sp Spec, o *Options) []sched.Result {
+	t.Helper()
+	r, err := sp.resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := r.matrix(o)
+	jobs := m.Jobs()
+	nE, nB := len(r.engines), len(r.benches)
+	results := make([]sched.Result, len(jobs))
+	for i, j := range jobs {
+		ei := i % nE
+		bi := (i / nE) % nB
+		ai := i / (nE * nB)
+		// Slower for later benches and arches, engine effect varying
+		// non-monotonically so series go up and down like real sweeps.
+		kernel := time.Duration((bi+1)*(ai+2))*50*time.Millisecond +
+			time.Duration((ei*ei)%17)*7*time.Millisecond
+		results[i] = sched.Result{
+			Job: j, Index: i, Kernel: kernel,
+			Run: &core.Result{
+				Benchmark: j.Bench,
+				Engine:    j.Engine.Name,
+				Arch:      j.Arch.Name(),
+				Iters:     j.Iters,
+				Kernel:    kernel,
+			},
+		}
+	}
+	return results
+}
+
+// renderSpec renders a spec over a fixed result set.
+func renderSpec(t *testing.T, sp Spec, results func(*testing.T, Spec, *Options) []sched.Result) string {
+	t.Helper()
+	var sb strings.Builder
+	o := Options{Out: &sb, Scale: 1000, SpecScale: 10, MinIters: 16}
+	eff := sp.effective(o)
+	r, err := sp.resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.render(&eff, results(t, sp, &eff), nil); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s diverges from golden file:\n--- got\n%s\n--- want\n%s", name, got, want)
+	}
+}
+
+// TestSeriesGolden pins the speedup-series output of the three sweep
+// figures over synthetic results: panel titles and order, x labels,
+// group and per-bench series, geomean aggregation, the 1.000 baseline
+// column — the whole rendered byte stream.
+func TestSeriesGolden(t *testing.T) {
+	for _, name := range []string{"fig2", "fig6", "fig8"} {
+		sp, ok := Lookup(name)
+		if !ok {
+			t.Fatalf("no %s", name)
+		}
+		checkGolden(t, name+"_series.golden", renderSpec(t, sp, syntheticResults))
+	}
+}
+
+// TestSeriesBaselineColumn: every series' point at the baseline
+// engine is exactly 1.000 (speedup against itself), wherever the
+// baseline sits on the axis.
+func TestSeriesBaselineColumn(t *testing.T) {
+	sp := validSeries()
+	sp.Baseline = "v2.2.0" // second of the two engines
+	out := renderSpec(t, sp, syntheticResults)
+	rows := 0
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "v2.2.0") {
+			continue
+		}
+		rows++
+		for _, f := range strings.Fields(line)[1:] {
+			if f != "1.000" {
+				t.Errorf("baseline row %q, want all 1.000", line)
+			}
+		}
+	}
+	// Two categories on the axis → two panels, one baseline row each.
+	if rows != 2 {
+		t.Fatalf("%d baseline rows in:\n%s", rows, out)
+	}
+}
+
+// TestSeriesCachedMatchesFresh runs a tiny sweep spec twice against
+// one in-process store: the second run is served entirely from cache
+// and must render byte-identically to the fresh one — the store
+// round-trips full results, and incremental sweeps must not change a
+// figure.
+func TestSeriesCachedMatchesFresh(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	sp := Spec{
+		Name:     "cachedsweep",
+		Renderer: RenderSeries,
+		Arches:   []string{"arm"},
+		Benches:  []string{"mem.hot", "ctrl.intrapage-direct"},
+		Engines:  []string{"v1.7.0", "v2.2.0"},
+		Series: SeriesSpec{Groups: []SeriesGroup{
+			{Name: "hot", Benches: []string{"mem.hot"}},
+			{Name: "overall", Benches: []string{"mem.hot", "ctrl.intrapage-direct"}},
+		}},
+	}
+	st := openTestStore(t, "")
+	render := func() (string, uint64) {
+		var sb strings.Builder
+		builds := EngineBuildCount()
+		o := Options{Out: &sb, Scale: 2_000_000, MinIters: 8, Repeats: 1, Store: st}
+		if err := Run(sp, o); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String(), EngineBuildCount() - builds
+	}
+	fresh, freshBuilds := render()
+	cached, cachedBuilds := render()
+	if fresh != cached {
+		t.Errorf("cached sweep diverges from fresh:\n--- fresh\n%s\n--- cached\n%s", fresh, cached)
+	}
+	if freshBuilds == 0 {
+		t.Error("fresh run built no engines")
+	}
+	// The cached run still computes content addresses (one throwaway
+	// engine per cell) but must execute nothing; the offline path is
+	// the one that promises zero constructions.
+	if !strings.Contains(fresh, "1.000") {
+		t.Errorf("baseline column missing:\n%s", fresh)
+	}
+	_ = cachedBuilds
+}

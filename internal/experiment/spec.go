@@ -1,0 +1,244 @@
+// Package experiment turns the paper's hand-coded figure drivers into
+// a declarative experiment layer: a Spec names its axes (benchmarks,
+// engines or a release sweep, guest architectures), its iteration
+// policy and its renderer, and one generic Run executes any Spec on
+// the concurrent scheduler with full result-store integration. The
+// paper's own figures are registered built-in Specs (see builtin.go),
+// user-defined Specs load from JSON files, and any Spec whose cells
+// are all present in a store renders offline — straight from recorded
+// measurements, with no engine constructed and no cell measured.
+package experiment
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strings"
+
+	"simbench/internal/bench"
+	"simbench/internal/core"
+	"simbench/internal/spec"
+)
+
+// Renderer kinds. A matrix spec prints one absolute-runtime table per
+// guest architecture (the paper's Fig. 7 shape); a series spec prints
+// speedup-vs-baseline lines across the engine axis (Figs. 2, 6, 8); a
+// density spec prints the operation-density table (Fig. 3), measured
+// on the profiling interpreter.
+const (
+	RenderMatrix  = "matrix"
+	RenderSeries  = "series"
+	RenderDensity = "density"
+)
+
+// Spec is a declarative experiment description: everything the figure
+// drivers used to hard-code, as data. The zero value of every optional
+// field means "the sensible default", so small specs stay small.
+type Spec struct {
+	// Name identifies the spec in the registry and is the default
+	// history label its runs are recorded under.
+	Name string `json:"name"`
+
+	// Renderer is one of matrix, series, density.
+	Renderer string `json:"renderer"`
+
+	// Arches selects guest architectures ("arm", "x86"); empty means
+	// all of them.
+	Arches []string `json:"arches,omitempty"`
+
+	// Benches selects the benchmark axis: benchmark or workload names,
+	// or the selectors "suite:simbench", "suite:spec", "suite:ext" and
+	// "cat:<category>" (e.g. "cat:Memory System"), which expand in
+	// suite order.
+	Benches []string `json:"benches"`
+
+	// Engines selects the engine axis: dbt, interp, detailed, virt,
+	// native, profile, a modelled release tag such as "v2.2.0", or the
+	// selector "releases" (every modelled release in order). Empty
+	// defaults per renderer: the five evaluation platforms for matrix,
+	// the profiling interpreter for density; a series spec must name
+	// its axis explicitly (it is the x axis).
+	Engines []string `json:"engines,omitempty"`
+
+	// Baseline names the engine-axis entry whose time is the speedup
+	// denominator of a series spec; empty means the first entry.
+	Baseline string `json:"baseline,omitempty"`
+
+	// Series describes how a series spec derives its lines.
+	Series SeriesSpec `json:"series,omitempty"`
+
+	// Title is the rendered table/panel title. The placeholders
+	// {arch}, {category}, {scale} and {specscale} substitute the panel
+	// architecture, the panel category (per-bench series mode), and
+	// the effective iteration-scale divisors.
+	Title string `json:"title,omitempty"`
+
+	// EngineCols overrides the matrix column headers (paper display
+	// names like "simit(interp)"); empty uses the engine names.
+	EngineCols []string `json:"engine_cols,omitempty"`
+
+	// BenchTitles labels matrix rows with each benchmark's display
+	// title instead of its name.
+	BenchTitles bool `json:"bench_titles,omitempty"`
+
+	// Repeats pins the per-cell measurement count; 0 follows the
+	// runtime Options.
+	Repeats int `json:"repeats,omitempty"`
+
+	// Scale, SpecScale and MinIters pin the iteration policy; 0 fields
+	// follow the runtime Options. A spec that pins its policy measures
+	// the same cells no matter which tool or flags ran it.
+	Scale     int64 `json:"scale,omitempty"`
+	SpecScale int64 `json:"spec_scale,omitempty"`
+	MinIters  int64 `json:"min_iters,omitempty"`
+
+	// HistoryLabel overrides the label runs are recorded under in the
+	// store's history; empty means Name.
+	HistoryLabel string `json:"history_label,omitempty"`
+
+	// Noise annotates matrix cells with their historical noise band
+	// once enough history exists (matrix renderer only; the other
+	// renderers print ratios and densities, not absolute times).
+	Noise bool `json:"noise,omitempty"`
+}
+
+// SeriesSpec selects how a series spec derives its lines from the
+// benchmark axis. Exactly one mode applies: PerBench, or Groups.
+type SeriesSpec struct {
+	// PerBench renders one line per benchmark, panelled per category
+	// (the Fig. 6 shape).
+	PerBench bool `json:"per_bench,omitempty"`
+	// Groups defines each line explicitly (the Figs. 2 and 8 shape).
+	Groups []SeriesGroup `json:"groups,omitempty"`
+}
+
+// SeriesGroup is one explicit series line: a single benchmark's
+// speedup, or the geometric mean over several.
+type SeriesGroup struct {
+	// Name labels the line.
+	Name string `json:"name"`
+	// Benches selects the group's benchmarks (names or selectors, as
+	// on the spec's bench axis — and they must be on that axis, or the
+	// cells would never run). A group expanding to one benchmark plots
+	// that benchmark's speedup; more take the geometric mean.
+	Benches []string `json:"benches"`
+}
+
+// specName restricts names to history-label-safe tokens.
+var specName = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]*$`)
+
+// Label returns the history label runs of this spec are recorded
+// under: HistoryLabel if set, the spec name otherwise.
+func (sp *Spec) Label() string {
+	if sp.HistoryLabel != "" {
+		return sp.HistoryLabel
+	}
+	return sp.Name
+}
+
+// Validate checks the spec without running anything, resolving every
+// axis entry so an unknown name fails here — with the offending field
+// and value — rather than minutes into a matrix.
+func (sp *Spec) Validate() error {
+	_, err := sp.resolve()
+	return err
+}
+
+// errf prefixes a validation error with the spec's identity.
+func (sp *Spec) errf(format string, args ...any) error {
+	name := sp.Name
+	if name == "" {
+		name = "(unnamed)"
+	}
+	return fmt.Errorf("spec %s: %s", name, fmt.Sprintf(format, args...))
+}
+
+// expandBenches resolves one benchmark selector list in order:
+// suite:simbench, suite:spec, suite:ext, cat:<category>, or a single
+// benchmark/workload name.
+func expandBenches(sels []string) ([]*core.Benchmark, error) {
+	var out []*core.Benchmark
+	for i, sel := range sels {
+		switch {
+		case sel == "suite:simbench":
+			out = append(out, bench.Suite()...)
+		case sel == "suite:spec":
+			out = append(out, spec.Suite()...)
+		case sel == "suite:ext":
+			out = append(out, bench.ExtSuite()...)
+		case strings.HasPrefix(sel, "cat:"):
+			cat := core.Category(strings.TrimPrefix(sel, "cat:"))
+			n := len(out)
+			for _, b := range allBenches() {
+				if b.Category == cat {
+					out = append(out, b)
+				}
+			}
+			if len(out) == n {
+				return nil, fmt.Errorf("benches[%d]: no benchmark in category %q (have %v)", i, cat, categoryNames())
+			}
+		case strings.Contains(sel, ":"):
+			return nil, fmt.Errorf("benches[%d]: unknown selector %q (want suite:simbench, suite:spec, suite:ext or cat:<category>)", i, sel)
+		default:
+			b, err := bench.ByName(sel)
+			if err != nil {
+				if b, err = spec.ByName(sel); err != nil {
+					return nil, fmt.Errorf("benches[%d]: unknown benchmark %q (simbench -list shows names)", i, sel)
+				}
+			}
+			out = append(out, b)
+		}
+	}
+	return out, nil
+}
+
+// allBenches is every known benchmark: micro suite, extensions, and
+// the application workloads.
+func allBenches() []*core.Benchmark {
+	all := append(append([]*core.Benchmark{}, bench.Suite()...), bench.ExtSuite()...)
+	return append(all, spec.Suite()...)
+}
+
+func categoryNames() []string {
+	var names []string
+	for _, c := range core.Categories() {
+		names = append(names, string(c))
+	}
+	return append(names, string(spec.CatApplication))
+}
+
+// Parse decodes a spec from JSON, rejecting unknown fields (a typoed
+// field name must not silently revert to a default), and validates it.
+func Parse(r io.Reader) (Spec, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var sp Spec
+	if err := dec.Decode(&sp); err != nil {
+		return Spec{}, fmt.Errorf("spec: %w", err)
+	}
+	// Anything after the spec object is a malformed file, not padding.
+	var extra json.RawMessage
+	if err := dec.Decode(&extra); err != io.EOF {
+		return Spec{}, fmt.Errorf("spec: trailing data after spec object")
+	}
+	if err := sp.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return sp, nil
+}
+
+// LoadFile reads and validates a spec from a JSON file.
+func LoadFile(path string) (Spec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Spec{}, err
+	}
+	defer f.Close()
+	sp, err := Parse(f)
+	if err != nil {
+		return Spec{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return sp, nil
+}

@@ -1,0 +1,197 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+// validSeries is a minimal well-formed series spec the error tests
+// mutate one field at a time.
+func validSeries() Spec {
+	return Spec{
+		Name:     "t",
+		Renderer: RenderSeries,
+		Arches:   []string{"arm"},
+		Benches:  []string{"mem.hot", "ctrl.intrapage-direct"},
+		Engines:  []string{"v1.7.0", "v2.2.0"},
+		Series:   SeriesSpec{PerBench: true},
+	}
+}
+
+func TestValidateAcceptsBuiltinsAndMinimalSpecs(t *testing.T) {
+	for _, sp := range All() {
+		if err := sp.Validate(); err != nil {
+			t.Errorf("builtin %s: %v", sp.Name, err)
+		}
+	}
+	sp := validSeries()
+	if err := sp.Validate(); err != nil {
+		t.Error(err)
+	}
+	m := Spec{Name: "m", Renderer: RenderMatrix, Benches: []string{"suite:simbench"}}
+	if err := m.Validate(); err != nil {
+		t.Error(err)
+	}
+	d := Spec{Name: "d", Renderer: RenderDensity, Benches: []string{"suite:spec", "mem.hot"}}
+	if err := d.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestValidateErrors mutates one field at a time and requires the
+// error to name what is wrong — the "precise errors" contract a spec
+// author debugging a JSON file depends on.
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		label string
+		mut   func(*Spec)
+		want  string
+	}{
+		{"empty name", func(sp *Spec) { sp.Name = "" }, "name"},
+		{"bad name", func(sp *Spec) { sp.Name = "no spaces" }, "name"},
+		{"bad label", func(sp *Spec) { sp.HistoryLabel = "a/b" }, "history_label"},
+		{"no renderer", func(sp *Spec) { sp.Renderer = "" }, "renderer is required"},
+		{"bad renderer", func(sp *Spec) { sp.Renderer = "pie" }, `unknown renderer "pie"`},
+		{"bad arch", func(sp *Spec) { sp.Arches = []string{"sparc"} }, `arches[0]: unknown architecture "sparc"`},
+		{"dup arch", func(sp *Spec) { sp.Arches = []string{"arm", "arm"} }, `"arm" appears twice`},
+		{"no benches", func(sp *Spec) { sp.Benches = nil }, "benches is required"},
+		{"bad bench", func(sp *Spec) { sp.Benches[0] = "mem.hott" }, `benches[0]: unknown benchmark "mem.hott"`},
+		{"bad selector", func(sp *Spec) { sp.Benches[0] = "suite:qemu" }, `benches[0]: unknown selector`},
+		{"empty category", func(sp *Spec) { sp.Benches[0] = "cat:Nope" }, `no benchmark in category "Nope"`},
+		{"dup bench", func(sp *Spec) { sp.Benches = []string{"mem.hot", "mem.hot"} }, `"mem.hot" appears twice`},
+		{"bad engine", func(sp *Spec) { sp.Engines[0] = "qemu" }, `engines[0]: unknown engine "qemu"`},
+		{"dup engine", func(sp *Spec) { sp.Engines = []string{"dbt", "dbt"} }, `"dbt" appears twice`},
+		{"series without engines", func(sp *Spec) { sp.Engines = nil }, "needs an explicit engine axis"},
+		{"one-point series", func(sp *Spec) { sp.Engines = sp.Engines[:1] }, "at least two engines"},
+		{"bad baseline", func(sp *Spec) { sp.Baseline = "v2.5.0-rc2" }, `baseline "v2.5.0-rc2" is not on the engine axis`},
+		{"no series mode", func(sp *Spec) { sp.Series = SeriesSpec{} }, "per_bench or at least one group"},
+		{"both series modes", func(sp *Spec) {
+			sp.Series.Groups = []SeriesGroup{{Name: "g", Benches: []string{"mem.hot"}}}
+		}, "mutually exclusive"},
+		{"unnamed group", func(sp *Spec) {
+			sp.Series = SeriesSpec{Groups: []SeriesGroup{{Benches: []string{"mem.hot"}}}}
+		}, "groups[0]: name is required"},
+		{"group off axis", func(sp *Spec) {
+			sp.Series = SeriesSpec{Groups: []SeriesGroup{{Name: "g", Benches: []string{"exc.syscall"}}}}
+		}, `benchmark "exc.syscall" is not on the bench axis`},
+		{"dup bench in group", func(sp *Spec) {
+			sp.Series = SeriesSpec{Groups: []SeriesGroup{{Name: "g", Benches: []string{"mem.hot", "mem.hot"}}}}
+		}, `benchmark "mem.hot" appears twice in the group`},
+		{"negative repeats", func(sp *Spec) { sp.Repeats = -1 }, "non-negative"},
+	}
+	for _, tc := range cases {
+		sp := validSeries()
+		tc.mut(&sp)
+		err := sp.Validate()
+		if err == nil {
+			t.Errorf("%s: no error", tc.label)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.label, err, tc.want)
+		}
+	}
+
+	// Matrix-only fields on other renderers.
+	for _, tc := range []struct {
+		label string
+		mut   func(*Spec)
+		want  string
+	}{
+		{"engine_cols", func(sp *Spec) { sp.EngineCols = []string{"a", "b"} }, "engine_cols only applies"},
+		{"bench_titles", func(sp *Spec) { sp.BenchTitles = true }, "bench_titles only applies"},
+		{"noise", func(sp *Spec) { sp.Noise = true }, "noise only applies"},
+	} {
+		sp := validSeries()
+		tc.mut(&sp)
+		if err := sp.Validate(); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: %v", tc.label, err)
+		}
+	}
+
+	// Series-only fields on a matrix spec.
+	m := Spec{Name: "m", Renderer: RenderMatrix, Benches: []string{"mem.hot"}, Baseline: "dbt"}
+	if err := m.Validate(); err == nil || !strings.Contains(err.Error(), "baseline only applies") {
+		t.Errorf("matrix baseline: %v", err)
+	}
+	m = Spec{Name: "m", Renderer: RenderMatrix, Benches: []string{"mem.hot"}, Series: SeriesSpec{PerBench: true}}
+	if err := m.Validate(); err == nil || !strings.Contains(err.Error(), "series only applies") {
+		t.Errorf("matrix series: %v", err)
+	}
+
+	// Mis-sized engine_cols on a matrix spec.
+	m = Spec{Name: "m", Renderer: RenderMatrix, Benches: []string{"mem.hot"}, EngineCols: []string{"just-one"}}
+	if err := m.Validate(); err == nil || !strings.Contains(err.Error(), "engine_cols has 1 labels for 5 engines") {
+		t.Errorf("engine_cols arity: %v", err)
+	}
+
+	// A density spec measures on the profiling interpreter, full stop:
+	// any other engine would run the whole matrix and render zeros.
+	for _, engines := range [][]string{{"profile", "interp"}, {"dbt"}} {
+		d := Spec{Name: "d", Renderer: RenderDensity, Benches: []string{"mem.hot"}, Engines: engines}
+		if err := d.Validate(); err == nil || !strings.Contains(err.Error(), `engines must be ["profile"]`) {
+			t.Errorf("density engines %v: %v", engines, err)
+		}
+	}
+}
+
+func TestParseRejectsUnknownFieldsAndTrailingData(t *testing.T) {
+	if _, err := Parse(strings.NewReader(`{"name":"x","renderer":"matrix","benches":["mem.hot"],"bogus":1}`)); err == nil || !strings.Contains(err.Error(), "bogus") {
+		t.Errorf("unknown field: %v", err)
+	}
+	if _, err := Parse(strings.NewReader(`{"name":"x","renderer":"matrix","benches":["mem.hot"]} {"again":true}`)); err == nil || !strings.Contains(err.Error(), "trailing data") {
+		t.Errorf("trailing data: %v", err)
+	}
+	sp, err := Parse(strings.NewReader(`{
+		"name": "hotpath",
+		"renderer": "series",
+		"arches": ["arm"],
+		"benches": ["mem.hot", "mem.cold"],
+		"engines": ["v1.7.0", "v2.0.0", "v2.2.0"],
+		"baseline": "v1.7.0",
+		"series": {"per_bench": true}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Name != "hotpath" || sp.Label() != "hotpath" {
+		t.Errorf("parsed %+v", sp)
+	}
+}
+
+func TestRegistryOrderAndDuplicates(t *testing.T) {
+	all := All()
+	if len(all) < 5 {
+		t.Fatalf("registry has %d specs", len(all))
+	}
+	want := []string{"fig3", "fig7", "fig2", "fig6", "fig8"}
+	for i, name := range want {
+		if all[i].Name != name {
+			t.Fatalf("registry order %v..., want %v (the -all execution order)", all[i].Name, want)
+		}
+	}
+	if err := Register(all[0]); err == nil || !strings.Contains(err.Error(), "already registered") {
+		t.Errorf("duplicate registration: %v", err)
+	}
+	if _, ok := Lookup("fig7"); !ok {
+		t.Error("fig7 not found")
+	}
+	if _, ok := Lookup("fig9"); ok {
+		t.Error("fig9 found")
+	}
+}
+
+// TestRegisteredSpecAppearsInAll: the satellite contract — a newly
+// registered spec joins the registry iteration automatically, in
+// registration order.
+func TestRegisteredSpecAppearsInAll(t *testing.T) {
+	sp := validSeries()
+	sp.Name = "registered-by-test"
+	if err := Register(sp); err != nil {
+		t.Fatal(err)
+	}
+	all := All()
+	if got := all[len(all)-1].Name; got != sp.Name {
+		t.Errorf("last registered spec is %q, want %q", got, sp.Name)
+	}
+}

@@ -1,307 +1,58 @@
-// Package figures contains the experiment drivers that regenerate
-// every table and figure of the paper's evaluation: the full runtime
-// matrix (Fig. 7), the operation-density table (Fig. 3), the feature
-// matrix (Fig. 4), the platform table (Fig. 5) and the three
-// version-sweep figures (Figs. 2, 6, 8). Each driver runs the real
-// benchmarks on the real engines and prints the same rows or series
-// the paper reports.
+// Package figures regenerates every table and figure of the paper's
+// evaluation. The matrix figures (the runtime matrix of Fig. 7, the
+// operation-density table of Fig. 3 and the three version sweeps of
+// Figs. 2, 6 and 8) are registered declarative specs in
+// internal/experiment — this package is thin glue that runs them by
+// name, kept so every caller can still say "the paper's Fig. 7". The
+// two static tables (Figs. 4 and 5) render live engine and platform
+// metadata and stay here: they are facts about the build, not
+// experiments with a matrix to schedule.
 package figures
 
 import (
-	"context"
 	"fmt"
-	"io"
-	"os"
 	"runtime"
-	"time"
 
-	"simbench/internal/arch"
-	"simbench/internal/bench"
 	"simbench/internal/core"
 	"simbench/internal/engine"
-	"simbench/internal/engine/detailed"
-	"simbench/internal/engine/direct"
-	"simbench/internal/engine/interp"
+	"simbench/internal/experiment"
 	"simbench/internal/platform"
 	"simbench/internal/report"
 	"simbench/internal/sched"
-	"simbench/internal/spec"
-	"simbench/internal/stats"
-	"simbench/internal/store"
-	"simbench/internal/versions"
 )
 
-// Options control experiment scale and output.
-type Options struct {
-	// Out receives the rendered tables.
-	Out io.Writer
-	// Scale divides every SimBench paper iteration count; 1 reproduces
-	// the paper's counts (hours of runtime), the CLI default is 2000.
-	Scale int64
-	// SpecScale divides the SPEC-like workload iteration counts.
-	SpecScale int64
-	// MinIters floors the scaled iteration count.
-	MinIters int64
-	// Repeats is the number of times each measurement is taken; the
-	// minimum kernel time is reported (standard noise suppression on a
-	// shared host).
-	Repeats int
-	// Progress, when set, receives one line per completed run.
-	Progress io.Writer
-	// Jobs is the number of matrix cells run concurrently; <=0 means
-	// GOMAXPROCS. Concurrent cells share the host, so use 1 when the
-	// absolute times themselves are the result rather than a check.
-	Jobs int
-	// Store, when non-nil, caches completed cells content-addressed —
-	// Figs. 2, 6 and 8 share their overlapping sweep cells within one
-	// run, and a disk-backed store makes repeated invocations
-	// incremental. Each figure's completed matrix is also appended to
-	// the store's run history.
-	Store *store.Store
-	// HistoryLabel overrides the per-figure history label ("fig7",
-	// "fig2", ...), so a CLI records every invocation under one label
-	// regardless of which driver ran the matrix.
-	HistoryLabel string
-	// Context cancels the experiment early (nil means Background);
-	// cells that never started surface the context error.
-	Context context.Context
-}
-
-func (o *Options) fill() {
-	if o.Scale <= 0 {
-		o.Scale = 2000
-	}
-	if o.SpecScale <= 0 {
-		o.SpecScale = 20
-	}
-	if o.MinIters <= 0 {
-		o.MinIters = 32
-	}
-	if o.Repeats <= 0 {
-		o.Repeats = 2
-	}
-}
-
-// Iters returns the scaled iteration count for a benchmark. The
-// MinIters floor applies to the micro-benchmarks, whose paper counts
-// are in the millions; application workloads have intentionally small
-// counts (their kernels do much more per iteration), so they get a
-// fixed small floor instead.
-func (o *Options) Iters(b *core.Benchmark) int64 {
-	o.fill()
-	scale, floor := o.Scale, o.MinIters
-	if b.Category == spec.CatApplication {
-		scale, floor = o.SpecScale, 8
-	}
-	n := b.PaperIters / scale
-	if n < floor {
-		n = floor
-	}
-	return n
-}
-
-func (o *Options) progress(format string, args ...any) {
-	if o.Progress != nil {
-		fmt.Fprintf(o.Progress, format+"\n", args...)
-	}
-}
+// Options control experiment scale and output; see experiment.Options.
+type Options = experiment.Options
 
 // Engines returns the five evaluation platforms in paper column order:
 // QEMU-DBT, SimIt-ARM, Gem5, QEMU-KVM, native.
-func Engines() []engine.Engine {
-	return []engine.Engine{
-		versions.Latest().Engine(), // Fig. 7 used QEMU 2.5.0-rc2
-		interp.New(),
-		detailed.New(),
-		direct.New(direct.ModeVirt),
-		direct.New(direct.ModeNative),
-	}
-}
+func Engines() []engine.Engine { return experiment.Engines() }
 
 // EngineByName builds an engine: dbt, interp, detailed, virt, native,
-// or a QEMU release tag such as v2.2.0 (a dbt engine so configured).
-func EngineByName(name string) (engine.Engine, error) {
-	switch name {
-	case "dbt":
-		return versions.Latest().Engine(), nil
-	case "interp":
-		return interp.New(), nil
-	case "detailed":
-		return detailed.New(), nil
-	case "virt":
-		return direct.New(direct.ModeVirt), nil
-	case "native":
-		return direct.New(direct.ModeNative), nil
-	}
-	if r, err := versions.ByName(name); err == nil {
-		return r.Engine(), nil
-	}
-	return nil, fmt.Errorf("unknown engine %q (want dbt|interp|detailed|virt|native|<release>)", name)
-}
+// profile, or a QEMU release tag such as v2.2.0 (a dbt engine so
+// configured).
+func EngineByName(name string) (engine.Engine, error) { return experiment.EngineByName(name) }
 
 // SchedEngines returns the five evaluation platforms as scheduler
 // engine factories, in paper column order.
-func SchedEngines() []sched.Engine {
-	specs := make([]sched.Engine, 0, 5)
-	for _, name := range []string{"dbt", "interp", "detailed", "virt", "native"} {
-		name := name
-		specs = append(specs, sched.Engine{
-			Name: name,
-			New:  func() engine.Engine { e, _ := EngineByName(name); return e },
-		})
-	}
-	return specs
-}
+func SchedEngines() []sched.Engine { return experiment.SchedEngines() }
 
-// releaseEngines adapts the modelled QEMU releases to scheduler
-// engine factories.
-func releaseEngines(rels []versions.Release) []sched.Engine {
-	specs := make([]sched.Engine, len(rels))
-	for i, rel := range rels {
-		rel := rel
-		specs[i] = sched.Engine{Name: rel.Name, New: func() engine.Engine { return rel.Engine() }}
-	}
-	return specs
-}
-
-// run expands a matrix and executes it on the scheduler with the
-// Options' parallelism, wiring completed cells into the progress
-// stream. Results come back in matrix order, together with a per-cell
-// noise lookup over the store's prior history (nil without a store, or
-// when the caller does not render per-cell measurements) — built from
-// history as it stood before this run is appended, so a measurement
-// never vouches for its own normality. Only a figure that prints
-// absolute times per cell (Fig. 7) asks for the lookup: the sweep
-// figures print speedup ratios, and parsing history plus running the
-// per-cell bootstrap for them would be pure waste.
-func (o *Options) run(fig string, m sched.Matrix, wantNoise bool) ([]sched.Result, func(report.Record) *stats.Band) {
-	s := sched.Scheduler{Workers: o.Jobs, Warmup: true}
-	if o.Store != nil {
-		s.Store = o.Store
-	}
-	if o.Progress != nil {
-		s.Progress = func(r sched.Result) { sched.FprintProgress(o.Progress, fig, r) }
-	}
-	ctx := o.Context
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	results := s.Run(ctx, m.Jobs())
-	var noise func(report.Record) *stats.Band
-	if o.Store != nil {
-		if wantNoise {
-			if runs, err := o.Store.History(); err == nil && len(runs) > 0 {
-				noise = store.NoiseLookup(runs, store.StatGate{})
-			} else if err != nil {
-				// Unreadable history only costs the ± annotations, but
-				// silently is how noise consumers go blind.
-				fmt.Fprintf(os.Stderr, "%s: %v\n", fig, err)
-			}
-		}
-		label := fig
-		if o.HistoryLabel != "" {
-			label = o.HistoryLabel
-		}
-		if err := o.Store.AppendHistory(label, results); err != nil {
-			// History loss must be visible even without -v: a silent
-			// gap here means simbase later baselines a stale run.
-			fmt.Fprintf(os.Stderr, "%s: %v\n", fig, err)
-		}
-	}
-	return results, noise
-}
-
+// The matrix figures: each runs its registered experiment spec.
+//
 // Fig7 runs the full SimBench suite on every engine for both guest
-// profiles and prints the absolute-runtime matrix of the paper's
-// Fig. 7 (kernel seconds, plus the iteration count as the methodology
-// requires). Cells run Options.Jobs at a time; the table is collated
-// in matrix order, so parallel and sequential runs render identically
-// apart from the measured times. With a store whose history already
-// knows a cell, its measurement prints with a ± noise band. Failed
-// cells render as ERR in their table position and the failures come
-// back as one aggregated error.
-func Fig7(o Options) error {
-	o.fill()
-	arches := arch.All()
-	benches := bench.Suite()
-	engs := SchedEngines()
-	results, noise := o.run("fig7", sched.Matrix{
-		Arches:  arches,
-		Benches: benches,
-		Engines: engs,
-		Iters:   o.Iters,
-		Repeats: o.Repeats,
-	}, true)
-	archNames := make([]string, len(arches))
-	for i, sup := range arches {
-		archNames[i] = sup.Name()
-	}
-	mt := report.MatrixTable{
-		Title: func(a string) string {
-			return fmt.Sprintf("Fig. 7 — SimBench runtimes, %s guest (kernel seconds; scale 1/%d)", a, o.Scale)
-		},
-		EngineCols: []string{"qemu-dbt", "simit(interp)", "gem5(detailed)", "qemu-kvm(virt)", "native"},
-		Arches:     archNames,
-		Benches:    benches,
-		BenchLabel: func(b *core.Benchmark) string { return b.Title },
-		Iters:      o.Iters,
-		Noise:      noise,
-	}
-	mt.Fprint(o.Out, results)
-	if err := sched.Errors(results); err != nil {
-		return fmt.Errorf("fig7: %w", err)
-	}
-	return nil
-}
-
-// Fig3 measures operation densities on the profiling interpreter: for
-// each SimBench benchmark its own density, and for the SPEC-like suite
-// the density of the same tested operation across the aggregated
-// workloads — the paper's Fig. 3 table.
-func Fig3(o Options) error {
-	o.fill()
-	sup := arch.ARM{}
-
-	// Aggregate the SPEC-like suite once.
-	var specResults []*core.Result
-	for _, w := range spec.Suite() {
-		r := core.NewRunner(interp.NewProfiling(), sup)
-		res, err := r.Run(w, o.Iters(w))
-		if err != nil {
-			return fmt.Errorf("fig3 spec %s: %w", w.Name, err)
-		}
-		specResults = append(specResults, res)
-		o.progress("fig3 spec %s done", w.Name)
-	}
-	specAgg := report.Aggregate(specResults)
-
-	t := report.Table{
-		Title:   fmt.Sprintf("Fig. 3 — benchmarks, iterations and operation density (scale 1/%d)", o.Scale),
-		Columns: []string{"category", "benchmark", "paper iters", "density(SimBench)", "density(SPEC-like)"},
-	}
-	for _, b := range bench.Suite() {
-		r := core.NewRunner(interp.NewProfiling(), sup)
-		res, err := r.Run(b, o.Iters(b))
-		if err != nil {
-			return fmt.Errorf("fig3 %s: %w", b.Name, err)
-		}
-		specAgg.Benchmark = b
-		specDensity := 0.0
-		if specAgg.Stats.Instructions > 0 {
-			specDensity = float64(b.TestedOps(specAgg)) / float64(specAgg.Stats.Instructions)
-		}
-		t.AddRow(string(b.Category), b.Title, fmt.Sprint(b.PaperIters),
-			report.Density(res.OpDensity()), report.Density(specDensity))
-		o.progress("fig3 %s done", b.Name)
-	}
-	t.Fprint(o.Out)
-	return nil
-}
+// profiles and prints the absolute-runtime matrix (kernel seconds);
+// Fig3 measures operation densities on the profiling interpreter;
+// Fig2, Fig6 and Fig8 sweep the modelled QEMU releases and print
+// speedup series against v1.7.0.
+func Fig2(o Options) error { return experiment.RunNamed("fig2", o) }
+func Fig3(o Options) error { return experiment.RunNamed("fig3", o) }
+func Fig6(o Options) error { return experiment.RunNamed("fig6", o) }
+func Fig7(o Options) error { return experiment.RunNamed("fig7", o) }
+func Fig8(o Options) error { return experiment.RunNamed("fig8", o) }
 
 // Fig4 prints the feature-implementation matrix of the evaluated
 // platforms (paper Fig. 4) from live engine metadata.
 func Fig4(o Options) error {
-	o.fill()
 	engs := Engines()
 	t := report.Table{
 		Title:   "Fig. 4 — mechanism implementation per platform",
@@ -336,7 +87,6 @@ func Fig4(o Options) error {
 
 // Fig5 prints the host and simulated-platform details (paper Fig. 5).
 func Fig5(o Options) error {
-	o.fill()
 	t := report.Table{Title: "Fig. 5 — evaluation platforms", Columns: []string{"property", "value"}}
 	t.AddRow("Host OS/arch", runtime.GOOS+"/"+runtime.GOARCH)
 	t.AddRow("Host CPUs", fmt.Sprint(runtime.NumCPU()))
@@ -347,134 +97,5 @@ func Fig5(o Options) error {
 	t.AddRow("Devices", fmt.Sprintf("uart@%#x intc@%#x timer@%#x safedev@%#x benchctl@%#x",
 		platform.UARTBase, platform.ICBase, platform.TimerBase, platform.SafeBase, platform.CtlBase))
 	t.Fprint(o.Out)
-	return nil
-}
-
-// Fig2 sweeps the SPEC-like suite across the modelled QEMU releases
-// (arm guest) and prints the sjeng-like, mcf-like and overall-geomean
-// speedup series relative to v1.7.0 — the paper's motivating Fig. 2.
-func Fig2(o Options) error {
-	o.fill()
-	rels := versions.All()
-	workloads := spec.Suite()
-	results, _ := o.run("fig2", sched.Matrix{
-		Arches:  []arch.Support{arch.ARM{}},
-		Benches: workloads,
-		Engines: releaseEngines(rels),
-		Iters:   o.Iters,
-		Repeats: o.Repeats,
-	}, false)
-	if err := sched.Errors(results); err != nil {
-		return fmt.Errorf("fig2: %w", err)
-	}
-
-	// Matrix order is workload-major, release-minor, so per-workload
-	// appends land in release order.
-	times := make(map[string][]time.Duration) // workload -> per release
-	for _, r := range results {
-		times[r.Job.Bench.Name] = append(times[r.Job.Bench.Name], r.Kernel)
-	}
-
-	series := []report.Series{{Name: "sjeng"}, {Name: "SPEC (overall)"}, {Name: "mcf"}}
-	for i := range rels {
-		var speedups []float64
-		for _, w := range workloads {
-			speedups = append(speedups, report.Speedup(times[w.Name][0], times[w.Name][i]))
-		}
-		series[0].Points = append(series[0].Points, report.Speedup(times["spec.sjeng"][0], times["spec.sjeng"][i]))
-		series[1].Points = append(series[1].Points, report.Geomean(speedups))
-		series[2].Points = append(series[2].Points, report.Speedup(times["spec.mcf"][0], times["spec.mcf"][i]))
-	}
-	report.FprintSeries(o.Out,
-		fmt.Sprintf("Fig. 2 — SPEC-like speedup across QEMU releases (baseline v1.7.0; scale 1/%d)", o.SpecScale),
-		versions.Names(), series)
-	return nil
-}
-
-// Fig6 sweeps the SimBench suite across the modelled QEMU releases for
-// both guest profiles, printing one speedup series per benchmark,
-// grouped by category — the paper's Fig. 6 panels.
-func Fig6(o Options) error {
-	o.fill()
-	rels := versions.All()
-	arches := arch.All()
-	benches := bench.Suite()
-	results, _ := o.run("fig6", sched.Matrix{
-		Arches:  arches,
-		Benches: benches,
-		Engines: releaseEngines(rels),
-		Iters:   o.Iters,
-		Repeats: o.Repeats,
-	}, false)
-	if err := sched.Errors(results); err != nil {
-		return fmt.Errorf("fig6: %w", err)
-	}
-	block := len(benches) * len(rels)
-	for ai, sup := range arches {
-		perBench := make(map[string][]time.Duration)
-		for _, r := range results[ai*block : (ai+1)*block] {
-			perBench[r.Job.Bench.Name] = append(perBench[r.Job.Bench.Name], r.Kernel)
-		}
-		for _, cat := range core.Categories() {
-			var series []report.Series
-			for _, b := range bench.Suite() {
-				if b.Category != cat {
-					continue
-				}
-				s := report.Series{Name: b.Title}
-				for i := range rels {
-					s.Points = append(s.Points, report.Speedup(perBench[b.Name][0], perBench[b.Name][i]))
-				}
-				series = append(series, s)
-			}
-			report.FprintSeries(o.Out,
-				fmt.Sprintf("Fig. 6 — %s, %s guest (speedup vs v1.7.0; scale 1/%d)", cat, sup.Name(), o.Scale),
-				versions.Names(), series)
-		}
-	}
-	return nil
-}
-
-// Fig8 prints the geometric-mean speedup of the SPEC-like suite and of
-// SimBench across the modelled releases (paper Fig. 8).
-func Fig8(o Options) error {
-	o.fill()
-	rels := versions.All()
-	workloads := append(append([]*core.Benchmark{}, spec.Suite()...), bench.Suite()...)
-	results, _ := o.run("fig8", sched.Matrix{
-		Arches:  []arch.Support{arch.ARM{}},
-		Benches: workloads,
-		Engines: releaseEngines(rels),
-		Iters:   o.Iters,
-		Repeats: o.Repeats,
-	}, false)
-	if err := sched.Errors(results); err != nil {
-		return fmt.Errorf("fig8: %w", err)
-	}
-
-	// Per-workload appends land in release order (matrix order is
-	// workload-major, release-minor).
-	times := make(map[string][]time.Duration)
-	for _, r := range results {
-		times[r.Job.Bench.Name] = append(times[r.Job.Bench.Name], r.Kernel)
-	}
-
-	spec8 := report.Series{Name: "SPEC"}
-	simb8 := report.Series{Name: "SimBench"}
-	for i := range rels {
-		var ss, bs []float64
-		for _, w := range spec.Suite() {
-			ss = append(ss, report.Speedup(times[w.Name][0], times[w.Name][i]))
-		}
-		for _, b := range bench.Suite() {
-			bs = append(bs, report.Speedup(times[b.Name][0], times[b.Name][i]))
-		}
-		spec8.Points = append(spec8.Points, report.Geomean(ss))
-		simb8.Points = append(simb8.Points, report.Geomean(bs))
-	}
-	report.FprintSeries(o.Out,
-		fmt.Sprintf("Fig. 8 — geomean speedup across QEMU releases (baseline v1.7.0; scales 1/%d spec, 1/%d simbench)",
-			o.SpecScale, o.Scale),
-		versions.Names(), []report.Series{spec8, simb8})
 	return nil
 }

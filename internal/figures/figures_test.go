@@ -1,6 +1,8 @@
 package figures
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 
@@ -136,6 +138,43 @@ func TestFig3Tiny(t *testing.T) {
 	for _, b := range bench.Suite() {
 		if !strings.Contains(out, b.Title) {
 			t.Errorf("missing row %q", b.Title)
+		}
+	}
+}
+
+// TestFig3HonoursCancellation: a cancelled context must stop the
+// density experiment before it runs every serial workload (it used to
+// ignore Options.Context entirely) and surface the cancellation.
+func TestFig3HonoursCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var sb strings.Builder
+	o := tiny(&sb)
+	o.Context = ctx
+	err := Fig3(o)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if sb.Len() != 0 {
+		t.Errorf("cancelled density run still rendered:\n%s", sb.String())
+	}
+}
+
+// TestFig3SharedProgressSeam: density cells report through the same
+// one-line progress format as every other matrix cell.
+func TestFig3SharedProgressSeam(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	var sb, progress strings.Builder
+	o := tiny(&sb)
+	o.Progress = &progress
+	if err := Fig3(o); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"fig3 arm spec.mcf profile:", "fig3 arm mem.hot profile:"} {
+		if !strings.Contains(progress.String(), want) {
+			t.Errorf("progress stream missing %q:\n%s", want, progress.String())
 		}
 	}
 }

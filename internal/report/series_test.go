@@ -1,0 +1,35 @@
+package report
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSeriesGolden pins the exact bytes of the series renderer — the
+// textual sweep-figure format every speedup experiment ships in:
+// title underline, the version column, aligned per-series columns,
+// three-decimal points, and "-" for a series shorter than the x axis.
+func TestSeriesGolden(t *testing.T) {
+	var sb strings.Builder
+	FprintSeries(&sb, "Sweep — speedup vs v1.7.0", []string{"v1.7.0", "v2.0.0", "v2.5.0-rc2"}, []Series{
+		{Name: "sjeng", Points: []float64{1, 1.25, 1.125}},
+		{Name: "SPEC (overall)", Points: []float64{1, 1.0625, 0.96875}},
+		{Name: "truncated", Points: []float64{1}},
+	})
+	got := sb.String()
+	path := filepath.Join("testdata", "series.golden")
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if got != string(want) {
+		t.Errorf("series rendering diverges from golden file:\n--- got\n%s\n--- want\n%s", got, want)
+	}
+}

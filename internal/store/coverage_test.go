@@ -1,0 +1,235 @@
+package store
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"simbench/internal/bench"
+	"simbench/internal/report"
+	"simbench/internal/sched"
+)
+
+// coverageFixture stores two measured cells (two benchmarks of one
+// job shape) and records them in history, the way a scheduler run
+// would.
+func coverageFixture(t *testing.T, dir string) (*Store, []sched.Job) {
+	t.Helper()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := testJob(t)
+	other := base
+	b, err := bench.ByName("mem.hot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	other.Bench = b
+	jobs := []sched.Job{base, other}
+	results := make([]sched.Result, len(jobs))
+	for i, j := range jobs {
+		r := fabricate(j, time.Duration(i+1)*time.Second)
+		r.Key = s.Key(j)
+		s.Put(r.Key, r)
+		results[i] = r
+	}
+	if err := s.AppendHistory("cov", results); err != nil {
+		t.Fatal(err)
+	}
+	return s, jobs
+}
+
+func TestCoverageServesRecordedCells(t *testing.T) {
+	s, jobs := coverageFixture(t, t.TempDir())
+	results, missing, err := s.Coverage(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) > 0 {
+		t.Fatalf("missing = %v", missing)
+	}
+	for i, r := range results {
+		if r.Run == nil || !r.Cached {
+			t.Fatalf("cell %d not served from store: %+v", i, r)
+		}
+		if r.Index != i {
+			t.Errorf("cell %d collated at index %d", i, r.Index)
+		}
+		if want := time.Duration(i+1) * time.Second; r.Kernel != want {
+			t.Errorf("cell %d kernel %v, want %v", i, r.Kernel, want)
+		}
+	}
+}
+
+func TestCoverageReportsNeverRunCell(t *testing.T) {
+	s, jobs := coverageFixture(t, t.TempDir())
+	stranger := jobs[0]
+	stranger.Iters = jobs[0].Iters * 2 // a different cell entirely
+	_, missing, err := s.Coverage(context.Background(), append(jobs, stranger))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) != 1 {
+		t.Fatalf("missing = %v, want exactly the stranger", missing)
+	}
+	if !strings.Contains(missing[0].Reason, "no completed run") {
+		t.Errorf("reason %q", missing[0].Reason)
+	}
+	if got, want := missing[0].Ref, RefOf(stranger); got != want {
+		t.Errorf("ref %v, want %v", got, want)
+	}
+}
+
+func TestCoverageReportsGoneBlob(t *testing.T) {
+	dir := t.TempDir()
+	s, jobs := coverageFixture(t, dir)
+	key := s.Key(jobs[0])
+	path := filepath.Join(dir, "objects", key[:2], key+".json")
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh store: the in-process tier of the recording store still
+	// holds the blob, but offline rendering happens in a later
+	// process, which sees only the disk.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, missing, err := s2.Coverage(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) != 1 || missing[0].Key != key {
+		t.Fatalf("missing = %v, want exactly the deleted blob %s", missing, key)
+	}
+	// The report must name the content address: it is the only handle
+	// the operator has on which cache file disappeared.
+	if !strings.Contains(missing[0].Reason, key) {
+		t.Errorf("reason %q does not name the blob", missing[0].Reason)
+	}
+}
+
+// TestCoverageNewestRecordWins hand-crafts history so the same cell
+// appears twice with different content addresses: coverage must trust
+// the newer record. (In real history that happens when an older
+// record predates a blob rewrite; the newest measurement is the one a
+// warm online run would have replayed.)
+func TestCoverageNewestRecordWins(t *testing.T) {
+	dir := t.TempDir()
+	s, jobs := coverageFixture(t, dir)
+	j := jobs[0]
+	real := s.Key(j)
+
+	r := fabricate(j, time.Second)
+	r.Key = real
+	stale := NewRun("older", []sched.Result{r})
+	stale.Cells[0].Key = strings.Repeat("d", 64) // a blob that no longer exists
+	line, err := json.Marshal(stale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := LockedAppend(filepath.Join(dir, historyFileName), line); err != nil {
+		t.Fatal(err)
+	}
+
+	// Stale entry appended after the fixture's run: newest-wins now
+	// picks the bogus key and coverage must miss.
+	s2, _ := Open(dir)
+	_, missing, err := s2.Coverage(context.Background(), jobs[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) != 1 || missing[0].Key != stale.Cells[0].Key {
+		t.Fatalf("missing = %v, want the stale key to win by recency", missing)
+	}
+}
+
+// TestCoverageIndexSkipsUnparsableKeys: a record whose key is not a
+// valid content address must be treated as keyless — handing it to a
+// lookup would fall back to recomputing the key, which constructs an
+// engine, the one cost the offline path promises never to pay.
+func TestCoverageIndexSkipsUnparsableKeys(t *testing.T) {
+	s, jobs := coverageFixture(t, t.TempDir())
+	runs, err := s.History()
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := CoverageIndex(runs)
+	runs[0].Cells[0].Key = "not-a-key"
+	idx := CoverageIndex(runs)
+	if len(idx) != len(good)-1 {
+		t.Fatalf("index has %d entries, want %d (garbage key skipped)", len(idx), len(good)-1)
+	}
+	if _, ok := idx[RefOf(jobs[0])]; ok {
+		t.Error("garbage-keyed cell is still indexed")
+	}
+}
+
+// TestCoverageSkipsFailedCells: an errored record is not coverage,
+// even when it is the newest entry for its cell — the blob its run
+// never produced cannot be rendered.
+func TestCoverageSkipsFailedCells(t *testing.T) {
+	dir := t.TempDir()
+	_, jobs := coverageFixture(t, dir)
+	j := jobs[0]
+	failed := RunRecord{Time: time.Now().UTC(), Label: "broken", Schema: SchemaVersion,
+		Cells: []report.Record{{
+			Benchmark: j.Bench.Name, Engine: j.Engine.Name, Arch: j.Arch.Name(),
+			Iters: j.Iters, Repeats: j.Repeats, Error: "guest aborted",
+		}}}
+	line, err := json.Marshal(failed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := LockedAppend(filepath.Join(dir, historyFileName), line); err != nil {
+		t.Fatal(err)
+	}
+	s2, _ := Open(dir)
+	results, missing, err := s2.Coverage(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) > 0 {
+		t.Fatalf("missing = %v; the earlier successful record should still cover the cell", missing)
+	}
+	if results[0].Run == nil {
+		t.Fatal("cell not served")
+	}
+}
+
+// TestCoverageIgnoresForeignHostRuns: a fleet history holds other
+// machines' absolute times; offline coverage must not serve them as
+// this host's evaluation (an online run here would miss those cells —
+// content keys encode the host — and re-measure).
+func TestCoverageIgnoresForeignHostRuns(t *testing.T) {
+	s, _ := coverageFixture(t, t.TempDir())
+	runs, err := s.History()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(CoverageIndex(runs)) == 0 {
+		t.Fatal("own-host run not indexed")
+	}
+	runs[0].Host = "plan9/mips"
+	if got := len(CoverageIndex(runs)); got != 0 {
+		t.Errorf("%d foreign-host cells indexed, want 0", got)
+	}
+}
+
+// TestCoverageHonoursCancellation: a cancelled context abandons the
+// fetch pool and surfaces the context error instead of a misleading
+// missing-cell report.
+func TestCoverageHonoursCancellation(t *testing.T) {
+	s, jobs := coverageFixture(t, t.TempDir())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := s.Coverage(ctx, jobs)
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

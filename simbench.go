@@ -38,6 +38,7 @@ import (
 	"simbench/internal/bench"
 	"simbench/internal/core"
 	"simbench/internal/engine"
+	"simbench/internal/experiment"
 	"simbench/internal/figures"
 	"simbench/internal/sched"
 	"simbench/internal/spec"
@@ -68,9 +69,47 @@ type (
 	Arch = arch.Support
 	// Release is a modelled QEMU release for the sweep experiments.
 	Release = versions.Release
-	// Options configure the figure-regeneration drivers.
-	Options = figures.Options
+	// Options are the runtime knobs of an experiment run: output,
+	// scale, parallelism, store, cancellation.
+	Options = experiment.Options
 )
+
+// Declarative experiments: a Spec names its axes, iteration policy
+// and renderer; the registry holds the paper's figures as built-in
+// specs plus anything the embedding program registers.
+type (
+	// ExperimentSpec is a declarative experiment description —
+	// loadable from JSON, registrable, runnable online or offline.
+	ExperimentSpec = experiment.Spec
+	// SeriesSpec selects how a series experiment derives its lines.
+	SeriesSpec = experiment.SeriesSpec
+	// SeriesGroup is one explicit series line.
+	SeriesGroup = experiment.SeriesGroup
+)
+
+// LoadSpec reads and validates an experiment spec from a JSON file.
+func LoadSpec(path string) (ExperimentSpec, error) { return experiment.LoadFile(path) }
+
+// RegisterSpec validates a spec and adds it to the registry, where
+// RunAll and `simreport -all` will pick it up in registration order.
+func RegisterSpec(sp ExperimentSpec) error { return experiment.Register(sp) }
+
+// Specs returns every registered experiment spec in registration
+// order — the paper's figures first.
+func Specs() []ExperimentSpec { return experiment.All() }
+
+// SpecByName returns a registered spec.
+func SpecByName(name string) (ExperimentSpec, bool) { return experiment.Lookup(name) }
+
+// RunSpec executes a spec on the concurrent scheduler and renders it;
+// with a store in the Options, cells are cached and the run lands in
+// history under the spec's label.
+func RunSpec(sp ExperimentSpec, o Options) error { return experiment.Run(sp, o) }
+
+// RunSpecOffline renders a spec from the Options' store alone: no
+// engine constructed, no cell measured, byte-identical to a warm
+// online run — or an error naming every cell the store cannot serve.
+func RunSpecOffline(sp ExperimentSpec, o Options) error { return experiment.RenderOffline(sp, o) }
 
 // Experiment scheduling: matrices of benchmark × engine × architecture
 // cells run on a worker pool, collated in matrix order.
@@ -170,11 +209,12 @@ func MustBenchmark(name string) *Benchmark {
 }
 
 // NewEngine builds an execution engine: "dbt", "interp", "detailed",
-// "virt", "native", or a modelled QEMU release tag such as "v2.2.0".
-func NewEngine(name string) (Engine, error) { return figures.EngineByName(name) }
+// "virt", "native", "profile", or a modelled QEMU release tag such as
+// "v2.2.0".
+func NewEngine(name string) (Engine, error) { return experiment.EngineByName(name) }
 
 // Engines returns the five evaluation platforms in the paper's order.
-func Engines() []Engine { return figures.Engines() }
+func Engines() []Engine { return experiment.Engines() }
 
 // ARM returns the arm-like architecture support package.
 func ARM() Arch { return arch.ARM{} }
@@ -205,12 +245,19 @@ var (
 	Fig8 = figures.Fig8
 )
 
-// RunAll regenerates every figure into w at the given scales; it is
-// the whole paper evaluation in one call.
+// RunAll regenerates the whole evaluation into w at the given scales:
+// the static platform tables (Figs. 4 and 5), then every registered
+// experiment spec in registry order — so a spec added with
+// RegisterSpec appears here automatically, after the paper's figures.
 func RunAll(w io.Writer, scale, specScale int64) error {
 	opts := Options{Out: w, Scale: scale, SpecScale: specScale}
-	for _, f := range []func(Options) error{Fig4, Fig5, Fig3, Fig7, Fig2, Fig6, Fig8} {
+	for _, f := range []func(Options) error{Fig4, Fig5} {
 		if err := f(opts); err != nil {
+			return err
+		}
+	}
+	for _, sp := range experiment.All() {
+		if err := experiment.Run(sp, opts); err != nil {
 			return err
 		}
 	}
