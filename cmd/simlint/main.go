@@ -1,0 +1,88 @@
+// Command simlint machine-checks simbench's operational invariants:
+// cache-key soundness (keymaterial), byte-identical rendering
+// (determinism), cancellable dispatch (ctxflow) and serialized history
+// appends (lockedappend). It runs two ways:
+//
+//	go vet -vettool=$(which simlint) ./...   # cmd/go drives, cached per package
+//	simlint ./...                            # standalone, self-driven via go list
+//
+// The vettool form is what CI runs: cmd/go hands simlint one package
+// at a time with compiled export data and the fact files of its
+// dependencies, and caches the results like any other build step.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"simbench/internal/analysis/driver"
+	"simbench/internal/analysis/simlint"
+)
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 0 {
+		usage()
+		os.Exit(1)
+	}
+	switch {
+	case args[0] == "-V=full":
+		// cmd/go's tool-version handshake: the reported build ID keys
+		// vet's result cache, so it must change whenever the binary does.
+		fmt.Printf("simlint version devel buildID=%s\n", selfHash())
+		return
+	case args[0] == "-flags":
+		// cmd/go asks which flags the tool accepts before forwarding any.
+		fmt.Println(flagsJSON())
+		return
+	case args[0] == "-help" || args[0] == "--help" || args[0] == "help":
+		usage()
+		return
+	case strings.HasSuffix(args[len(args)-1], ".cfg"):
+		os.Exit(driver.RunVetTool(args[len(args)-1], simlint.Suite()))
+	default:
+		os.Exit(driver.RunStandalone(args, simlint.Suite()))
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: simlint <packages>   (or: go vet -vettool=simlint <packages>)")
+	fmt.Fprintln(os.Stderr, "\nanalyzers:")
+	for _, e := range simlint.Suite() {
+		fmt.Fprintf(os.Stderr, "  %-14s %s\n", e.Analyzer.Name, e.Analyzer.Doc)
+		if len(e.Scope) > 0 {
+			fmt.Fprintf(os.Stderr, "  %-14s scope: %s\n", "", strings.Join(e.Scope, ", "))
+		}
+	}
+	fmt.Fprintln(os.Stderr, "\nwaive a finding with: //simlint:allow <analyzer> -- <reason>")
+}
+
+// selfHash hashes the executable so vet's cache invalidates on rebuild.
+func selfHash() string {
+	exe, err := os.Executable()
+	if err == nil {
+		if f, err := os.Open(exe); err == nil {
+			defer f.Close()
+			h := sha256.New()
+			if _, err := io.Copy(h, f); err == nil {
+				return fmt.Sprintf("%x", h.Sum(nil)[:16])
+			}
+		}
+	}
+	// Degrade to an uncacheable-but-correct constant.
+	return "0000000000000000"
+}
+
+func flagsJSON() string {
+	type flagDef struct {
+		Name  string `json:"Name"`
+		Bool  bool   `json:"Bool"`
+		Usage string `json:"Usage"`
+	}
+	data, _ := json.Marshal([]flagDef{})
+	return string(data)
+}

@@ -1,0 +1,198 @@
+// Package analysis is a small, dependency-free analysis framework in
+// the shape of golang.org/x/tools/go/analysis: an Analyzer inspects
+// one type-checked package and reports diagnostics, and may publish
+// Facts about the package that analyzers of downstream packages
+// consume. The repo's invariants — cache-key soundness, byte-identical
+// rendering, cancellable dispatch, serialized history appends — are
+// encoded as analyzers under this package and run by cmd/simlint.
+//
+// Why not golang.org/x/tools itself: simbench builds in offline,
+// zero-dependency environments (the module deliberately has no
+// requirements), so the framework is reimplemented on the standard
+// library's go/ast, go/types and go/importer. The surface mirrors
+// x/tools closely enough that migrating the analyzers onto the real
+// framework — and bundling its standard analyzers (nilness, copylocks,
+// unusedwrite, loopclosure) into the same multichecker — is a
+// mechanical change once the dependency is permissible; until then CI
+// pairs `go vet ./...` (the toolchain's own standard suite) with
+// `go vet -vettool=simlint ./...` (this suite).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check. Run inspects the Pass's package and
+// reports findings through Pass.Report; it may also record Facts for
+// downstream packages.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, waiver directives
+	// (`//simlint:allow <name> -- reason`) and flags. Lower-case, no
+	// spaces.
+	Name string
+	// Doc is the one-paragraph description printed by `simlint -help`:
+	// what invariant the analyzer guards and why it matters.
+	Doc string
+	// Run performs the analysis.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding: a position in the analyzed package and a
+// message stating the violated invariant.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the package's parsed source files, comments included.
+	// Test files (_test.go) are excluded by every driver: the suite
+	// guards shipped behaviour.
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	// Facts receives the facts this analyzer derives from the package;
+	// the driver unions them with dependency facts and publishes the
+	// result to downstream passes.
+	Facts *Facts
+	// Dep returns the transitive facts of a package this one imports
+	// (directly or indirectly), nil when none were recorded. Drivers
+	// guarantee dependency passes ran first.
+	Dep func(path string) *Facts
+
+	// Report records one diagnostic. Waiver directives are applied by
+	// the driver, not here.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// TypeRef names a type across package boundaries — the serializable
+// identity facts use instead of *types.Named, which cannot cross a
+// process boundary (the vettool protocol runs one process per
+// package).
+type TypeRef struct {
+	Pkg  string `json:"pkg"`
+	Name string `json:"name"`
+}
+
+func (r TypeRef) String() string {
+	if r.Pkg == "" {
+		return r.Name
+	}
+	return r.Pkg + "." + r.Name
+}
+
+// RefOf returns the TypeRef of a named type.
+func RefOf(n *types.Named) TypeRef {
+	obj := n.Obj()
+	ref := TypeRef{Name: obj.Name()}
+	if obj.Pkg() != nil {
+		ref.Pkg = obj.Pkg().Path()
+	}
+	return ref
+}
+
+// Facts is everything one package publishes to downstream analysis
+// passes. It is one flat JSON-serializable struct rather than x/tools'
+// typed fact streams because the suite's analyzers need so little:
+// which types are tunable engines, and which types the store's
+// fingerprint function explicitly covers. A package's recorded facts
+// are the union of its own and all its dependencies' (so a consumer
+// only needs its direct imports' files under the vettool protocol).
+type Facts struct {
+	// TunableEngines are concrete engine types whose instances report a
+	// configuration struct — the types that must be explicitly covered
+	// by the store's fingerprint function, or fleet cache keys would
+	// silently ignore their tunables.
+	TunableEngines []TypeRef `json:"tunable_engines,omitempty"`
+	// FingerprintCases are the concrete types the fingerprint function
+	// explicitly switches on.
+	FingerprintCases []TypeRef `json:"fingerprint_cases,omitempty"`
+	// FingerprintPkgs are the packages that define a fingerprint
+	// function; their presence in a dependency closure is what arms the
+	// keymaterial coverage check.
+	FingerprintPkgs []string `json:"fingerprint_pkgs,omitempty"`
+}
+
+// Empty reports whether no facts were recorded.
+func (f *Facts) Empty() bool {
+	return f == nil || len(f.TunableEngines) == 0 && len(f.FingerprintCases) == 0 && len(f.FingerprintPkgs) == 0
+}
+
+// Merge unions other into f, deduplicating. Drivers use it to build
+// each package's transitive fact view.
+func (f *Facts) Merge(other *Facts) {
+	if other == nil {
+		return
+	}
+	f.TunableEngines = mergeRefs(f.TunableEngines, other.TunableEngines)
+	f.FingerprintCases = mergeRefs(f.FingerprintCases, other.FingerprintCases)
+	f.FingerprintPkgs = mergeStrings(f.FingerprintPkgs, other.FingerprintPkgs)
+}
+
+func mergeRefs(dst, src []TypeRef) []TypeRef {
+	seen := make(map[TypeRef]bool, len(dst))
+	for _, r := range dst {
+		seen[r] = true
+	}
+	for _, r := range src {
+		if !seen[r] {
+			seen[r] = true
+			dst = append(dst, r)
+		}
+	}
+	sort.Slice(dst, func(i, j int) bool {
+		if dst[i].Pkg != dst[j].Pkg {
+			return dst[i].Pkg < dst[j].Pkg
+		}
+		return dst[i].Name < dst[j].Name
+	})
+	return dst
+}
+
+func mergeStrings(dst, src []string) []string {
+	seen := make(map[string]bool, len(dst))
+	for _, s := range dst {
+		seen[s] = true
+	}
+	for _, s := range src {
+		if !seen[s] {
+			seen[s] = true
+			dst = append(dst, s)
+		}
+	}
+	sort.Strings(dst)
+	return dst
+}
+
+// HasFingerprintCase reports whether ref is covered by a fingerprint
+// case.
+func (f *Facts) HasFingerprintCase(ref TypeRef) bool {
+	for _, c := range f.FingerprintCases {
+		if c == ref {
+			return true
+		}
+	}
+	return false
+}
+
+// IsTestFile reports whether the position's file is a _test.go file.
+// The suite analyzes shipped behaviour; tests may freely use wall
+// clocks, unsorted maps and raw files.
+func IsTestFile(fset *token.FileSet, pos token.Pos) bool {
+	f := fset.File(pos)
+	return f != nil && strings.HasSuffix(f.Name(), "_test.go")
+}

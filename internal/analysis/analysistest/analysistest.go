@@ -1,0 +1,261 @@
+// Package analysistest runs one analyzer over source fixtures and
+// checks its diagnostics against `// want "regex"` comments, in the
+// shape of golang.org/x/tools/go/analysis/analysistest (reimplemented
+// on the standard library for the same reason the framework is — the
+// module builds offline with zero dependencies).
+//
+// Fixtures live under the calling test's testdata/src/<pkg>/. Run
+// analyzes the named fixture packages in order, so a package listed
+// after another sees its facts — list dependencies first to exercise
+// cross-package fact flow. Fixture imports resolve against sibling
+// fixtures by path, then the standard library (typechecked from GOROOT
+// source, which needs no compiled export data).
+//
+// Each diagnostic must be matched by a want comment on its line, and
+// every want comment must be matched by a diagnostic; either leftover
+// fails the test. Waiver directives (//simlint:allow) are live in
+// fixtures too — they run through the same driver — so fixtures can
+// assert both that a waiver silences a finding and that a malformed
+// waiver is itself reported.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"simbench/internal/analysis"
+	"simbench/internal/analysis/driver"
+)
+
+// Run analyzes each fixture package under testdata/src in order and
+// reports mismatches between diagnostics and want comments as test
+// errors.
+func Run(t *testing.T, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := newLoader(filepath.Join(wd, "testdata", "src"))
+	suite := []analysis.Entry{{Analyzer: a}}
+	facts := map[string]*analysis.Facts{}
+	for _, path := range pkgs {
+		lp, err := l.load(path)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", path, err)
+		}
+		pkg := &driver.Package{
+			Path:     path,
+			Fset:     l.fset,
+			Files:    lp.files,
+			Types:    lp.types,
+			Info:     lp.info,
+			DepFacts: func(p string) *analysis.Facts { return facts[p] },
+		}
+		findings, f, err := driver.Analyze(pkg, suite)
+		if err != nil {
+			t.Fatalf("analyzing fixture %s: %v", path, err)
+		}
+		facts[path] = f
+		checkWants(t, l.fset, path, lp.files, findings)
+	}
+}
+
+// checkWants matches findings against the fixture's want comments.
+func checkWants(t *testing.T, fset *token.FileSet, pkg string, files []*ast.File, findings []driver.Finding) {
+	t.Helper()
+	type key struct {
+		file string
+		line int
+	}
+	wants := map[key][]*regexp.Regexp{}
+	for _, f := range files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				tail := ""
+				if strings.HasPrefix(text, "want ") {
+					tail = text[len("want "):]
+				} else if i := strings.Index(text, `want "`); i >= 0 {
+					// A want embedded later in the comment: this is how a
+					// fixture asserts a diagnostic *about a directive
+					// comment itself* (e.g. a malformed waiver), where the
+					// directive necessarily owns the start of the comment.
+					tail = text[i+len("want "):]
+				} else {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				k := key{pos.Filename, pos.Line}
+				for _, pat := range wantPatterns(tail) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					wants[k] = append(wants[k], re)
+				}
+			}
+		}
+	}
+	for _, f := range findings {
+		k := key{f.Pos.Filename, f.Pos.Line}
+		matched := -1
+		for i, re := range wants[k] {
+			if re.MatchString(f.Message) {
+				matched = i
+				break
+			}
+		}
+		if matched < 0 {
+			t.Errorf("%s: unexpected diagnostic: %s: %s", pkg, f.Pos, f.Message)
+			continue
+		}
+		wants[k] = append(wants[k][:matched], wants[k][matched+1:]...)
+	}
+	var leftover []string
+	for k, res := range wants {
+		for _, re := range res {
+			leftover = append(leftover, fmt.Sprintf("%s:%d: no diagnostic matching %q", k.file, k.line, re))
+		}
+	}
+	sort.Strings(leftover)
+	for _, l := range leftover {
+		t.Errorf("%s: %s", pkg, l)
+	}
+}
+
+// wantPatterns extracts the double-quoted regexps from a want comment
+// tail: `"a" "b"` -> [a, b]. Escapes inside the quotes are kept
+// verbatim for the regexp compiler.
+func wantPatterns(s string) []string {
+	var out []string
+	for {
+		i := strings.IndexByte(s, '"')
+		if i < 0 {
+			return out
+		}
+		s = s[i+1:]
+		j := -1
+		for k := 0; k < len(s); k++ {
+			if s[k] == '\\' {
+				k++
+				continue
+			}
+			if s[k] == '"' {
+				j = k
+				break
+			}
+		}
+		if j < 0 {
+			return out
+		}
+		out = append(out, s[:j])
+		s = s[j+1:]
+	}
+}
+
+// loaded is one typechecked fixture package.
+type loaded struct {
+	files []*ast.File
+	types *types.Package
+	info  *types.Info
+}
+
+type loader struct {
+	srcdir string
+	fset   *token.FileSet
+	std    types.Importer
+	pkgs   map[string]*loaded
+	errs   map[string]error
+}
+
+func newLoader(srcdir string) *loader {
+	l := &loader{srcdir: srcdir, fset: token.NewFileSet(), pkgs: map[string]*loaded{}, errs: map[string]error{}}
+	// The source importer typechecks stdlib dependencies from GOROOT
+	// source; unlike the gc importer it needs no precompiled export
+	// data, which offline test environments may not have.
+	l.std = importer.ForCompiler(l.fset, "source", nil)
+	return l
+}
+
+// load parses and typechecks testdata/src/<path>, caching results so a
+// fixture imported by several others typechecks once and all importers
+// share one *types.Package identity.
+func (l *loader) load(path string) (*loaded, error) {
+	if lp, ok := l.pkgs[path]; ok {
+		return lp, nil
+	}
+	if err, ok := l.errs[path]; ok {
+		return nil, err
+	}
+	lp, err := l.loadUncached(path)
+	if err != nil {
+		l.errs[path] = err
+		return nil, err
+	}
+	l.pkgs[path] = lp
+	return lp, nil
+}
+
+func (l *loader) loadUncached(path string) (*loaded, error) {
+	dir := filepath.Join(l.srcdir, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	conf := types.Config{Importer: l, Error: func(error) {}}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typechecking %s: %w", path, err)
+	}
+	return &loaded{files: files, types: tpkg, info: info}, nil
+}
+
+// Import resolves fixture-sibling imports from testdata/src, then
+// falls back to the standard library.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if st, err := os.Stat(filepath.Join(l.srcdir, filepath.FromSlash(path))); err == nil && st.IsDir() {
+		lp, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return lp.types, nil
+	}
+	return l.std.Import(path)
+}

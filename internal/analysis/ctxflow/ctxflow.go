@@ -1,0 +1,174 @@
+// Package ctxflow guards cancellation on the dispatch surface: the
+// scheduler, store and experiment layers fan cells out over channels,
+// and a blocking send inside a loop that never consults the context
+// turns Ctrl-C into a hang — the feeder keeps offering work to workers
+// that have exited, or wedges forever on a full channel.
+//
+// The rule: inside a loop, a blocking channel send must either sit in
+// a select with a `<-ctx.Done()` case (the ctx-aware primitive), have
+// a default case (non-blocking by construction), or share the loop
+// with an explicit ctx.Err()/ctx.Done() check. Sends outside loops,
+// receives, and loops that merely compute are out of scope — the
+// analyzer targets the dispatch shape specifically, which is how
+// internal/sched's feeders are all written.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"simbench/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc: "dispatch loops with blocking channel sends must observe ctx.Done() " +
+		"or use a ctx-aware select, so cancellation actually cancels",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch l := n.(type) {
+			case *ast.ForStmt:
+				body = l.Body
+			case *ast.RangeStmt:
+				body = l.Body
+			default:
+				return true
+			}
+			checkLoop(pass, body)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkLoop inspects one loop body for unguarded blocking sends. The
+// walk does not descend into nested function literals or nested loops:
+// a goroutine launched per iteration has its own control flow (and its
+// own loops get their own visit), and an inner loop's sends are judged
+// against the inner loop's own guards.
+func checkLoop(pass *analysis.Pass, body *ast.BlockStmt) {
+	observes := loopObservesCtx(pass, body)
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.ForStmt, *ast.RangeStmt:
+			return false
+		case *ast.SelectStmt:
+			checkSelect(pass, n, observes)
+			return false // comm clauses judged as part of the select
+		case *ast.SendStmt:
+			if !observes {
+				pass.Reportf(n.Pos(),
+					"blocking send in a dispatch loop that never observes a context; on cancellation this loop cannot exit — select on the send with a <-ctx.Done() case")
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+}
+
+// checkSelect judges sends inside one select statement: fine with a
+// default case (non-blocking) or a ctx.Done receive case; otherwise
+// each send is reported unless the surrounding loop observes ctx.
+func checkSelect(pass *analysis.Pass, sel *ast.SelectStmt, loopObserves bool) {
+	hasDefault, hasDone := false, false
+	var sends []*ast.SendStmt
+	for _, clause := range sel.Body.List {
+		comm, ok := clause.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		if comm.Comm == nil {
+			hasDefault = true
+			continue
+		}
+		switch c := comm.Comm.(type) {
+		case *ast.SendStmt:
+			sends = append(sends, c)
+		case *ast.ExprStmt:
+			if recvObservesCtx(pass, c.X) {
+				hasDone = true
+			}
+		case *ast.AssignStmt:
+			for _, rhs := range c.Rhs {
+				if recvObservesCtx(pass, rhs) {
+					hasDone = true
+				}
+			}
+		}
+	}
+	if hasDefault || hasDone || loopObserves {
+		return
+	}
+	for _, s := range sends {
+		pass.Reportf(s.Pos(),
+			"blocking send in a select without a <-ctx.Done() case inside a dispatch loop; cancellation cannot interrupt it — add a ctx case or a default")
+	}
+}
+
+// loopObservesCtx reports whether the loop body itself consults a
+// context: a ctx.Err() call or a <-ctx.Done() receive anywhere in the
+// body (including inside its selects, excluding nested funcs/loops
+// which guard only themselves).
+func loopObservesCtx(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.ForStmt, *ast.RangeStmt:
+			return false
+		case *ast.CallExpr:
+			if isCtxMethod(pass, n, "Err") {
+				found = true
+			}
+		case *ast.UnaryExpr:
+			if recvObservesCtx(pass, n) {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// recvObservesCtx reports whether expr is a receive from a context's
+// Done channel: <-ctx.Done().
+func recvObservesCtx(pass *analysis.Pass, expr ast.Expr) bool {
+	u, ok := expr.(*ast.UnaryExpr)
+	if !ok || u.Op != token.ARROW {
+		return false
+	}
+	call, ok := u.X.(*ast.CallExpr)
+	return ok && isCtxMethod(pass, call, "Done")
+}
+
+// isCtxMethod reports whether call is method name on a
+// context.Context-typed receiver.
+func isCtxMethod(pass *analysis.Pass, call *ast.CallExpr, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	tv, ok := pass.Info.Types[sel.X]
+	if !ok {
+		return false
+	}
+	return isContextType(tv.Type)
+}
+
+func isContextType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}

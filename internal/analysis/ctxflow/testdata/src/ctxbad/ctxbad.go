@@ -1,0 +1,22 @@
+// Seeded cancellation violations: dispatch loops whose blocking sends
+// cannot be interrupted.
+package ctxbad
+
+import "context"
+
+// No context anywhere: cancellation cannot reach this loop at all.
+func FeedNoCtx(ch chan int, jobs []int) {
+	for _, j := range jobs {
+		ch <- j // want "never observes a context"
+	}
+}
+
+// A context is in hand but the select ignores it — the classic
+// almost-right shape.
+func FeedSelectNoDone(ctx context.Context, ch chan int, jobs []int) {
+	for _, j := range jobs {
+		select {
+		case ch <- j: // want "without a <-ctx.Done"
+		}
+	}
+}

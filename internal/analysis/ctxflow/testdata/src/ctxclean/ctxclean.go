@@ -1,0 +1,43 @@
+// Compliant twin of ctxbad: every shape internal/sched's feeders
+// actually use, all silent.
+package ctxclean
+
+import "context"
+
+// The canonical feeder: every send races a Done receive.
+func FeedSelect(ctx context.Context, ch chan int, jobs []int) {
+feed:
+	for _, j := range jobs {
+		select {
+		case ch <- j:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+}
+
+// An explicit ctx.Err() check in the loop body also counts as
+// observing cancellation.
+func FeedErrCheck(ctx context.Context, ch chan int, jobs []int) {
+	for _, j := range jobs {
+		if ctx.Err() != nil {
+			return
+		}
+		ch <- j
+	}
+}
+
+// A default case makes the send non-blocking by construction.
+func FeedNonBlocking(ch chan int, jobs []int) {
+	for _, j := range jobs {
+		select {
+		case ch <- j:
+		default:
+		}
+	}
+}
+
+// Sends outside loops are out of scope: nothing accumulates.
+func SendOnce(ch chan int) {
+	ch <- 1
+}

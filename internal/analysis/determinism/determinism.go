@@ -1,0 +1,151 @@
+// Package determinism guards the repo's byte-identity surface: the
+// packages whose rendered output CI compares byte-for-byte across
+// runs, hosts and cache states (content-address fingerprints, matrix
+// and series tables, noise annotations). Three sources of silent
+// nondeterminism are flagged:
+//
+//   - wall-clock reads (time.Now, time.Since, time.Until): a timestamp
+//     folded into a fingerprint or a rendered line makes every replay
+//     a miss or a diff;
+//   - the global math/rand source (rand.Intn and friends without an
+//     explicit seeded *rand.Rand): bootstrap confidence intervals and
+//     any sampled output must derive from per-cell seeds, or the same
+//     history renders two different tables;
+//   - map iteration that writes output from inside the loop: map order
+//     is randomized per run, so the bytes differ even when the data do
+//     not (collect into a slice and sort instead — sorting after the
+//     loop is fine and is what the analyzer's rule deliberately
+//     permits).
+//
+// Legitimately time-dependent code inside a scoped package (history
+// timestamps, gc age grace, lock staleness) carries an explicit
+// waiver: `//simlint:allow determinism -- reason`, enforced to carry a
+// reason by the driver.
+package determinism
+
+import (
+	"go/ast"
+	"go/types"
+
+	"simbench/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "determinism",
+	Doc: "no wall clocks, unseeded global rand, or map-order output in the " +
+		"byte-identity packages (fingerprints, renderers, noise model)",
+	Run: run,
+}
+
+// timeFuncs are the wall-clock reads; time.Parse etc. are pure.
+var timeFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// randExempt are the math/rand package-level functions that do not
+// touch the global source: constructors for explicitly seeded ones.
+var randExempt = map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, n)
+			case *ast.RangeStmt:
+				checkMapRange(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	// Package-level functions only: methods on an explicit *rand.Rand
+	// or a caller-supplied clock value are exactly the sanctioned
+	// alternatives.
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if timeFuncs[fn.Name()] {
+			pass.Reportf(call.Pos(),
+				"time.%s in a byte-identity package: rendered bytes and key material must not depend on the wall clock (inject a clock, or waive with //simlint:allow determinism -- reason)",
+				fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		if !randExempt[fn.Name()] {
+			pass.Reportf(call.Pos(),
+				"rand.%s uses the process-global rand source: derive a seeded rand.New(rand.NewSource(...)) so replays are byte-identical",
+				fn.Name())
+		}
+	}
+}
+
+// checkMapRange flags a range over a map whose body writes output
+// directly — fmt printing or io.Writer-style Write methods. Iteration
+// that merely collects (then sorts) is allowed.
+func checkMapRange(pass *analysis.Pass, rng *ast.RangeStmt) {
+	tv, ok := pass.Info.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	var bad ast.Node
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if bad != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if emitsOutput(pass, call) {
+			bad = call
+			return false
+		}
+		return true
+	})
+	if bad != nil {
+		pass.Reportf(rng.Pos(),
+			"map iteration writes output inside the loop; map order is randomized per process, so the bytes differ run to run — collect keys, sort, then emit")
+	}
+}
+
+// emitsOutput reports whether the call writes user-visible bytes: a
+// fmt print function or a Write/WriteString/WriteByte/WriteRune
+// method.
+func emitsOutput(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	if sig.Recv() == nil {
+		return fn.Pkg() != nil && fn.Pkg().Path() == "fmt" &&
+			(fn.Name() == "Print" || fn.Name() == "Println" || fn.Name() == "Printf" ||
+				fn.Name() == "Fprint" || fn.Name() == "Fprintln" || fn.Name() == "Fprintf")
+	}
+	switch fn.Name() {
+	case "Write", "WriteString", "WriteByte", "WriteRune":
+		return true
+	}
+	return false
+}

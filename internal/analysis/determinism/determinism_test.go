@@ -1,0 +1,12 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"simbench/internal/analysis/analysistest"
+	"simbench/internal/analysis/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, determinism.Analyzer, "detbad", "detclean")
+}

@@ -1,0 +1,27 @@
+// Seeded determinism violations: wall-clock reads, the global rand
+// source, and map-order output.
+package detbad
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+func Stamp() string {
+	return time.Now().String() // want "time.Now"
+}
+
+func Age(t time.Time) time.Duration {
+	return time.Since(t) // want "time.Since"
+}
+
+func Pick(n int) int {
+	return rand.Intn(n) // want "process-global rand source"
+}
+
+func Render(m map[string]int) {
+	for k, v := range m { // want "map iteration writes output"
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}

@@ -1,0 +1,55 @@
+// Compliant twin of detbad, plus the waiver machinery: the sanctioned
+// alternatives (seeded rand, collect-sort-emit, pure time functions)
+// are silent, a well-formed waiver silences a real finding, and
+// malformed waivers are themselves findings.
+package detclean
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Seeded rand is the sanctioned source: same seed, same bytes.
+func Seeded(seed int64, n int) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(n)
+}
+
+// Collecting inside the map loop and emitting after the sort is the
+// pattern the map-order rule deliberately permits.
+func RenderSorted(w io.Writer, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%d\n", k, m[k])
+	}
+}
+
+// time.Parse is pure; only the wall-clock reads are flagged.
+func Parse(s string) (time.Time, error) {
+	return time.Parse(time.RFC3339, s)
+}
+
+// A waiver on the preceding line silences the finding on the next.
+//
+//simlint:allow determinism -- fixture: this timestamp is operational metadata, never rendered
+func Waived() int64 { return time.Now().Unix() }
+
+// A waiver at the end of the offending line works too.
+var Started = time.Now() //simlint:allow determinism -- fixture: module init time is not key material
+
+// A waiver without a reason cannot silence anything — it is a finding.
+//
+//simlint:allow determinism want "has no reason"
+var _ = 0
+
+// Neither can one naming an analyzer that does not exist.
+//
+//simlint:allow clockwise -- sounds plausible. want "unknown analyzer"
+var _ = 1

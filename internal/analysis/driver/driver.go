@@ -1,0 +1,157 @@
+// Package driver runs the simlint analyzer suite over type-checked
+// packages. It owns the policy that analyzers stay out of: which
+// analyzers apply to which packages (scopes), which diagnostics are
+// waived (`//simlint:allow <analyzer> -- reason` directives), and the
+// exclusion of _test.go files. Two loaders feed it: the vettool
+// protocol (vettool.go, driven by `go vet -vettool`) and a standalone
+// go-list loader (standalone.go, for `simlint ./...` without vet).
+package driver
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"simbench/internal/analysis"
+)
+
+// Package is one type-checked package ready for analysis.
+type Package struct {
+	// Path is the import path, possibly carrying vet's test-variant
+	// suffix ("p [p.test]"); scope matching trims it.
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	// DepFacts returns the recorded facts of a package in this one's
+	// import closure, nil when none exist. Because every package's
+	// recorded facts union its dependencies' (see Analyze), consulting
+	// direct imports is enough to see the whole closure.
+	DepFacts func(path string) *analysis.Facts
+}
+
+// Finding is one post-filter diagnostic.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// Analyze runs every in-scope suite entry over pkg. It returns the
+// surviving findings (test files skipped, waivers applied) and the
+// facts to record for pkg: the union of what its analyzers derived and
+// everything its direct dependencies recorded, so downstream packages
+// inherit transitively.
+func Analyze(pkg *Package, suite []analysis.Entry) ([]Finding, *analysis.Facts, error) {
+	waivers, waiverFindings := parseWaivers(pkg, suite)
+
+	own := &analysis.Facts{}
+	var findings []Finding
+	findings = append(findings, waiverFindings...)
+	for _, entry := range suite {
+		if !entry.InScope(pkg.Path) {
+			continue
+		}
+		a := entry.Analyzer
+		pass := &analysis.Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			Facts:    own,
+			Dep:      pkg.DepFacts,
+			Report: func(d analysis.Diagnostic) {
+				if analysis.IsTestFile(pkg.Fset, d.Pos) {
+					return
+				}
+				pos := pkg.Fset.Position(d.Pos)
+				if waivers.covers(a.Name, pos) {
+					return
+				}
+				findings = append(findings, Finding{Pos: pos, Analyzer: a.Name, Message: d.Message})
+			},
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, nil, fmt.Errorf("%s: %s: %w", pkg.Path, a.Name, err)
+		}
+	}
+
+	recorded := &analysis.Facts{}
+	recorded.Merge(own)
+	if pkg.Types != nil && pkg.DepFacts != nil {
+		for _, imp := range pkg.Types.Imports() {
+			recorded.Merge(pkg.DepFacts(imp.Path()))
+		}
+	}
+	return findings, recorded, nil
+}
+
+// waiver is one parsed //simlint:allow directive.
+type waiver struct {
+	analyzer string
+	line     int
+}
+
+type waiverSet map[string][]waiver // file name -> directives
+
+// covers reports whether a directive for analyzer sits on the
+// diagnostic's line or the line above it.
+func (w waiverSet) covers(analyzer string, pos token.Position) bool {
+	for _, wv := range w[pos.Filename] {
+		if wv.analyzer == analyzer && (wv.line == pos.Line || wv.line == pos.Line-1) {
+			return true
+		}
+	}
+	return false
+}
+
+const waiverPrefix = "//simlint:allow"
+
+// parseWaivers scans every comment for //simlint:allow directives. A
+// well-formed directive names a known analyzer and carries a reason
+// after " -- "; malformed ones are themselves findings, so a waiver
+// can never silently rot (e.g. referencing a renamed analyzer) or
+// suppress a check without saying why.
+func parseWaivers(pkg *Package, suite []analysis.Entry) (waiverSet, []Finding) {
+	known := make(map[string]bool, len(suite))
+	for _, e := range suite {
+		known[e.Analyzer.Name] = true
+	}
+	set := waiverSet{}
+	var findings []Finding
+	for _, file := range pkg.Files {
+		for _, group := range file.Comments {
+			for _, c := range group.List {
+				if !strings.HasPrefix(c.Text, waiverPrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				if analysis.IsTestFile(pkg.Fset, c.Pos()) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, waiverPrefix)
+				name, reason, ok := strings.Cut(rest, "--")
+				name = strings.TrimSpace(name)
+				switch {
+				case !ok || strings.TrimSpace(reason) == "":
+					findings = append(findings, Finding{Pos: pos, Analyzer: "simlint",
+						Message: fmt.Sprintf("waiver for %q has no reason; write //simlint:allow <analyzer> -- <why this use is sound>", name)})
+				case !known[name]:
+					findings = append(findings, Finding{Pos: pos, Analyzer: "simlint",
+						Message: fmt.Sprintf("waiver names unknown analyzer %q", name)})
+				default:
+					set[pos.Filename] = append(set[pos.Filename], waiver{analyzer: name, line: pos.Line})
+				}
+			}
+		}
+	}
+	return set, findings
+}

@@ -1,0 +1,167 @@
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"simbench/internal/analysis"
+)
+
+// listPackage is the subset of `go list -json` output the standalone
+// loader needs.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Standard   bool
+	Export     string
+	Module     *struct{ Path string }
+	Incomplete bool
+}
+
+// RunStandalone analyzes the packages matching patterns without cmd/go
+// driving: `go list -export -deps` supplies the dependency closure in
+// dependency order plus compiled export data, each in-module package
+// is parsed and type-checked from source (so facts flow bottom-up
+// exactly as under the vettool protocol), and findings are reported
+// for the packages the patterns named. Returns a process exit code: 0
+// clean, 1 operational failure, 2 findings.
+func RunStandalone(patterns []string, suite []analysis.Entry) int {
+	targets, err := goList(patterns, false)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
+		return 1
+	}
+	wanted := map[string]bool{}
+	for _, p := range targets {
+		wanted[p.ImportPath] = true
+	}
+	closure, err := goList(patterns, true)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
+		return 1
+	}
+
+	fset := token.NewFileSet()
+	exports := map[string]string{}
+	for _, p := range closure {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	gc := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file := exports[path]
+		if file == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}).(types.ImporterFrom)
+
+	factsByPath := map[string]*analysis.Facts{}
+	depFacts := func(path string) *analysis.Facts { return factsByPath[path] }
+
+	exit := 0
+	for _, p := range closure {
+		// Dependencies outside the module contribute export data only;
+		// the suite's invariants are simbench's own.
+		if p.Standard || p.Module == nil || p.Incomplete {
+			continue
+		}
+		var files []*ast.File
+		parseFailed := false
+		for _, name := range p.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
+				parseFailed = true
+				break
+			}
+			files = append(files, f)
+		}
+		if parseFailed {
+			exit = 1
+			continue
+		}
+		info := newInfo()
+		tconf := types.Config{Importer: standaloneImporter{gc: gc, dir: p.Dir}, Error: func(error) {}}
+		tpkg, err := tconf.Check(p.ImportPath, fset, files, info)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "simlint: typechecking %s: %v\n", p.ImportPath, err)
+			exit = 1
+			continue
+		}
+		pkg := &Package{
+			Path:     p.ImportPath,
+			Fset:     fset,
+			Files:    files,
+			Types:    tpkg,
+			Info:     info,
+			DepFacts: depFacts,
+		}
+		findings, facts, err := Analyze(pkg, suite)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
+			exit = 1
+			continue
+		}
+		factsByPath[p.ImportPath] = facts
+		if !wanted[p.ImportPath] {
+			continue
+		}
+		for _, f := range findings {
+			fmt.Fprintf(os.Stderr, "%s: %s: %s\n", f.Pos, f.Analyzer, f.Message)
+			if exit == 0 {
+				exit = 2
+			}
+		}
+	}
+	return exit
+}
+
+type standaloneImporter struct {
+	gc  types.ImporterFrom
+	dir string
+}
+
+func (s standaloneImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return s.gc.ImportFrom(path, s.dir, 0)
+}
+
+func goList(patterns []string, deps bool) ([]*listPackage, error) {
+	args := []string{"list", "-e", "-export", "-json"}
+	if deps {
+		args = append(args, "-deps")
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	var out, errBuf bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errBuf
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, strings.TrimSpace(errBuf.String()))
+	}
+	var pkgs []*listPackage
+	dec := json.NewDecoder(&out)
+	for dec.More() {
+		p := new(listPackage)
+		if err := dec.Decode(p); err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}

@@ -1,0 +1,214 @@
+package driver
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"simbench/internal/analysis"
+)
+
+// vetConfig mirrors the JSON configuration cmd/go writes for each
+// package when invoking a -vettool: the file set to analyze, the
+// export data of every dependency (PackageFile, after ImportMap
+// canonicalization), and the fact files of direct dependencies
+// (PackageVetx). Field names must match cmd/go's encoding exactly.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ModuleVersion             string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	GoVersion                 string
+	SucceedOnTypecheckFailure bool
+}
+
+// RunVetTool analyzes the single package described by the vet.cfg file
+// at cfgPath and returns a process exit code: 0 clean, 1 operational
+// failure, 2 findings (printed to stderr, the convention cmd/go
+// surfaces). The facts file at VetxOutput is written in every
+// successful case — cmd/go caches it and feeds it to dependent
+// packages' invocations — so even packages with nothing to say must
+// produce one.
+func RunVetTool(cfgPath string, suite []analysis.Entry) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simlint: reading vet config: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "simlint: parsing vet config %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		// The suite guards shipped behaviour; vet's test variants
+		// re-present the package with its _test.go files, which are out
+		// of scope wholesale.
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(cfg.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return writeVetx(cfg.VetxOutput, &analysis.Facts{})
+			}
+			fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		// External test packages (pkg_test) are test files only.
+		return writeVetx(cfg.VetxOutput, &analysis.Facts{})
+	}
+
+	info := newInfo()
+	tconf := types.Config{
+		Importer: &vetImporter{cfg: &cfg, fset: fset},
+		Error:    func(error) {}, // collect via the returned error; keep going
+	}
+	if strings.HasPrefix(cfg.GoVersion, "go1") {
+		tconf.GoVersion = cfg.GoVersion
+	}
+	pkgPath := cfg.ImportPath
+	if i := strings.IndexByte(pkgPath, ' '); i >= 0 {
+		pkgPath = pkgPath[:i] // "p [p.test]" -> "p"
+	}
+	tpkg, err := tconf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return writeVetx(cfg.VetxOutput, &analysis.Facts{})
+		}
+		fmt.Fprintf(os.Stderr, "simlint: typechecking %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	factCache := map[string]*analysis.Facts{}
+	depFacts := func(path string) *analysis.Facts {
+		if f, ok := factCache[path]; ok {
+			return f
+		}
+		factCache[path] = nil
+		vetxFile := cfg.PackageVetx[path]
+		if vetxFile == "" {
+			return nil
+		}
+		data, err := os.ReadFile(vetxFile)
+		if err != nil || len(data) == 0 {
+			return nil
+		}
+		var f analysis.Facts
+		if json.Unmarshal(data, &f) != nil {
+			return nil
+		}
+		factCache[path] = &f
+		return &f
+	}
+
+	pkg := &Package{
+		Path:     cfg.ImportPath,
+		Fset:     fset,
+		Files:    files,
+		Types:    tpkg,
+		Info:     info,
+		DepFacts: depFacts,
+	}
+	findings, facts, err := Analyze(pkg, suite)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
+		return 1
+	}
+	if code := writeVetx(cfg.VetxOutput, facts); code != 0 {
+		return code
+	}
+	if cfg.VetxOnly || len(findings) == 0 {
+		return 0
+	}
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s: %s: %s\n", f.Pos, f.Analyzer, f.Message)
+	}
+	return 2
+}
+
+func writeVetx(path string, facts *analysis.Facts) int {
+	if path == "" {
+		return 0
+	}
+	data, err := json.Marshal(facts)
+	if err == nil {
+		err = os.WriteFile(path, data, 0o666)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simlint: writing facts: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// vetImporter resolves imports against the export data cmd/go staged
+// for this package: source path -> ImportMap canonical path ->
+// PackageFile export file, read by the compiler's gc importer.
+type vetImporter struct {
+	cfg        *vetConfig
+	fset       *token.FileSet
+	underlying types.ImporterFrom
+}
+
+func (v *vetImporter) Import(path string) (*types.Package, error) {
+	mapped := v.cfg.ImportMap[path]
+	if mapped == "" {
+		mapped = path
+	}
+	if mapped == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if v.underlying == nil {
+		lookup := func(p string) (io.ReadCloser, error) {
+			file := v.cfg.PackageFile[p]
+			if file == "" {
+				return nil, fmt.Errorf("no export data for %q", p)
+			}
+			return os.Open(file)
+		}
+		v.underlying = importer.ForCompiler(v.fset, "gc", lookup).(types.ImporterFrom)
+	}
+	return v.underlying.ImportFrom(mapped, v.cfg.Dir, 0)
+}
+
+// newInfo returns a types.Info with every map analyzers consult.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+}

@@ -1,0 +1,427 @@
+// Package keymaterial guards the store's content-address soundness:
+// every engine whose instances carry a configuration struct must be
+// explicitly covered by the store's engineFingerprint function, and
+// everything the fingerprint formats must format deterministically.
+//
+// The fingerprint is the fleet cache key. An engine that reports
+// tunables but falls through to the generic name+features branch would
+// fingerprint two differently-configured instances identically — every
+// host of a fleet would then serve the other's measurements for the
+// wrong configuration, silently. That is the exact bug shape the
+// upcoming external-simulator adapters (exec-driven QEMU/gem5 engines
+// with per-adapter invocation config) would ship without a mechanical
+// check, because nothing at compile time connects a new engine's
+// Config struct to the type switch in internal/store/key.go.
+//
+// Three checks:
+//
+//  1. Coverage: a concrete type implementing an Engine interface with
+//     a `Config() T` method (T a non-empty struct) must appear as a
+//     case in some visible engineFingerprint function. The check fires
+//     in packages that see both sides — the package defining the
+//     engine or directly importing it, with a fingerprint function in
+//     its dependency closure — which in this repo is internal/store
+//     (for dbt) and internal/experiment (for everything the registry
+//     wires).
+//  2. Config hygiene: the struct returned by a tunable engine's
+//     Config method must contain only deterministically-formattable
+//     fields — no maps, funcs, channels or pointers, whose %+v output
+//     depends on allocation addresses or is simply not key material.
+//  3. Fingerprint hygiene: values formatted with %v/%+v/%#v inside an
+//     engineFingerprint function must satisfy the same field rules.
+package keymaterial
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"simbench/internal/analysis"
+)
+
+// formattingFunc names the fmt functions whose format-string verbs the
+// fingerprint hygiene check inspects.
+var formattingFunc = map[string]bool{
+	"Sprintf": true, "Fprintf": true, "Printf": true,
+	"Errorf": true, "Appendf": true,
+}
+
+// FingerprintFunc is the conventional name of the fingerprint
+// function the suite anchors on. The store's canonical encoder is
+// named exactly this; a renamed encoder must keep the name (or the
+// suite updated) — the analyzer doc in README says so.
+const FingerprintFunc = "engineFingerprint"
+
+var Analyzer = &analysis.Analyzer{
+	Name: "keymaterial",
+	Doc: "engines with tunables must be covered by store.engineFingerprint, " +
+		"and fingerprinted structs must format deterministically (no maps, " +
+		"pointers, funcs or channels under %+v)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	// Fact production: tunable engines defined here, fingerprint cases
+	// declared here.
+	engines := tunableEngines(pass)
+	for _, e := range engines {
+		pass.Facts.TunableEngines = append(pass.Facts.TunableEngines, analysis.RefOf(e.named))
+	}
+	fps := fingerprintFuncs(pass)
+	if len(fps) > 0 {
+		pass.Facts.FingerprintPkgs = append(pass.Facts.FingerprintPkgs, pass.Pkg.Path())
+		for _, fd := range fps {
+			for _, ref := range caseTypes(pass, fd) {
+				pass.Facts.FingerprintCases = append(pass.Facts.FingerprintCases, ref)
+			}
+			checkFingerprintBody(pass, fd)
+		}
+	}
+
+	// Config hygiene at the defining package: the earliest point the
+	// violation exists, independent of registry wiring.
+	for _, e := range engines {
+		checkConfigStruct(pass, e)
+	}
+
+	// Coverage: union the fact views this package can see.
+	visible := &analysis.Facts{}
+	visible.Merge(pass.Facts)
+	direct := make(map[string]bool)
+	for _, imp := range pass.Pkg.Imports() {
+		direct[imp.Path()] = true
+		if f := pass.Dep(imp.Path()); f != nil {
+			visible.Merge(f)
+		}
+	}
+	if len(visible.FingerprintPkgs) == 0 {
+		return nil // no fingerprint function in sight; nothing to cover
+	}
+	for _, ref := range visible.TunableEngines {
+		if visible.HasFingerprintCase(ref) {
+			continue
+		}
+		// Report where the engine is proximate: its defining package,
+		// or a package directly importing it. Indirect importers stay
+		// silent so one violation is one finding, not one per
+		// downstream package.
+		switch {
+		case ref.Pkg == pass.Pkg.Path():
+			for _, e := range engines {
+				if analysis.RefOf(e.named) == ref {
+					pass.Reportf(e.named.Obj().Pos(),
+						"engine %s reports tunables via Config() but has no case in %s; its cells would share a cache key across configurations (add a case in internal/store/key.go)",
+						ref, FingerprintFunc)
+				}
+			}
+		case direct[ref.Pkg]:
+			pass.Reportf(importPos(pass, ref.Pkg),
+				"imported engine %s reports tunables via Config() but has no case in %s; its cells would share a cache key across configurations (add a case in internal/store/key.go)",
+				ref, FingerprintFunc)
+		}
+	}
+	return nil
+}
+
+// tunableEngine is a concrete type that implements an Engine-shaped
+// interface and reports a configuration struct.
+type tunableEngine struct {
+	named  *types.Named
+	config *types.Struct // Config() result type
+}
+
+// tunableEngines finds the package's tunable engine types: named
+// types T where T or *T implements an interface named "Engine" (of at
+// least two methods, to dodge trivial same-named interfaces) defined
+// in this package or one it imports, with a niladic Config method
+// returning a non-empty struct.
+func tunableEngines(pass *analysis.Pass) []tunableEngine {
+	ifaces := engineInterfaces(pass.Pkg)
+	if len(ifaces) == 0 {
+		return nil
+	}
+	var out []tunableEngine
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if ok && !types.IsInterface(named) {
+			if e, ok := asTunableEngine(named, ifaces); ok {
+				out = append(out, e)
+			}
+		}
+	}
+	return out
+}
+
+// engineInterfaces collects interface types named "Engine" visible to
+// the package: its own and its direct imports'.
+func engineInterfaces(pkg *types.Package) []*types.Interface {
+	var out []*types.Interface
+	consider := func(p *types.Package) {
+		obj := p.Scope().Lookup("Engine")
+		tn, ok := obj.(*types.TypeName)
+		if !ok {
+			return
+		}
+		if iface, ok := tn.Type().Underlying().(*types.Interface); ok && iface.NumMethods() >= 2 {
+			out = append(out, iface)
+		}
+	}
+	consider(pkg)
+	for _, imp := range pkg.Imports() {
+		consider(imp)
+	}
+	return out
+}
+
+func asTunableEngine(named *types.Named, ifaces []*types.Interface) (tunableEngine, bool) {
+	ptr := types.NewPointer(named)
+	implements := false
+	for _, iface := range ifaces {
+		if types.Implements(named, iface) || types.Implements(ptr, iface) {
+			implements = true
+			break
+		}
+	}
+	if !implements {
+		return tunableEngine{}, false
+	}
+	ms := types.NewMethodSet(ptr)
+	for i := 0; i < ms.Len(); i++ {
+		fn := ms.At(i).Obj().(*types.Func)
+		if fn.Name() != "Config" {
+			continue
+		}
+		sig := fn.Type().(*types.Signature)
+		if sig.Params().Len() != 0 || sig.Results().Len() != 1 {
+			continue
+		}
+		if st, ok := sig.Results().At(0).Type().Underlying().(*types.Struct); ok && st.NumFields() > 0 {
+			return tunableEngine{named: named, config: st}, true
+		}
+	}
+	return tunableEngine{}, false
+}
+
+// fingerprintFuncs returns the package's fingerprint function
+// declarations.
+func fingerprintFuncs(pass *analysis.Pass) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Name.Name == FingerprintFunc && fd.Body != nil {
+				out = append(out, fd)
+			}
+		}
+	}
+	return out
+}
+
+// caseTypes collects the concrete named types the fingerprint function
+// explicitly dispatches on: type-switch cases and type assertions,
+// through pointers.
+func caseTypes(pass *analysis.Pass, fd *ast.FuncDecl) []analysis.TypeRef {
+	var out []analysis.TypeRef
+	add := func(e ast.Expr) {
+		tv, ok := pass.Info.Types[e]
+		if !ok {
+			return
+		}
+		t := tv.Type
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if n, ok := t.(*types.Named); ok && !types.IsInterface(n) {
+			out = append(out, analysis.RefOf(n))
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.TypeAssertExpr:
+			if n.Type != nil {
+				add(n.Type)
+			}
+		case *ast.CaseClause:
+			for _, e := range n.List {
+				add(e)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// checkFingerprintBody enforces deterministic formatting inside the
+// fingerprint function: every argument matched to a %v/%+v/%#v verb of
+// a fmt call must be a deterministically-formattable type.
+func checkFingerprintBody(pass *analysis.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" || !formattingFunc[fn.Name()] {
+			return true
+		}
+		args, format := formatArgs(pass, call)
+		if format == "" || len(args) == 0 {
+			return true
+		}
+		verbs := vVerbCount(format)
+		// Conservative pairing: if the format uses any %v family verb,
+		// vet every variadic argument's type; indexing verbs to args
+		// buys little here since fingerprint lines are all-or-nothing
+		// key material.
+		if verbs == 0 {
+			return true
+		}
+		for _, a := range args {
+			tv, ok := pass.Info.Types[a]
+			if !ok {
+				continue
+			}
+			if path := nondeterministicPath(tv.Type, nil); path != "" {
+				pass.Reportf(a.Pos(),
+					"%s formats %s with a %%v-family verb, but %s is not deterministically formattable; key material must be address-free and ordered",
+					FingerprintFunc, tv.Type, path)
+			}
+		}
+		return true
+	})
+}
+
+// checkConfigStruct enforces deterministic formatting of a tunable
+// engine's Config struct at its defining package.
+func checkConfigStruct(pass *analysis.Pass, e tunableEngine) {
+	for i := 0; i < e.config.NumFields(); i++ {
+		f := e.config.Field(i)
+		if path := nondeterministicPath(f.Type(), nil); path != "" {
+			pos := e.named.Obj().Pos()
+			if f.Pkg() == pass.Pkg {
+				pos = f.Pos()
+			}
+			pass.Reportf(pos,
+				"engine %s: Config field %s (%s) is not deterministically formattable under %%+v; every config field is cache-key material and must be address-free and ordered",
+				e.named.Obj().Name(), f.Name(), path)
+		}
+	}
+}
+
+// nondeterministicPath reports the first field path within t whose %+v
+// formatting is not deterministic — maps (ordered since Go 1.12, but
+// NaN keys and reference identity still leak), pointers (addresses),
+// funcs and channels (addresses), interfaces (dynamic values of any of
+// those) — or "" if t is clean. seen guards recursion.
+func nondeterministicPath(t types.Type, seen []types.Type) string {
+	for _, s := range seen {
+		if types.Identical(s, t) {
+			return ""
+		}
+	}
+	seen = append(seen, t)
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return ""
+	case *types.Map:
+		return t.String() + " (map)"
+	case *types.Signature:
+		return t.String() + " (func)"
+	case *types.Chan:
+		return t.String() + " (chan)"
+	case *types.Pointer:
+		return t.String() + " (pointer)"
+	case *types.Interface:
+		return t.String() + " (interface)"
+	case *types.Slice:
+		if p := nondeterministicPath(u.Elem(), seen); p != "" {
+			return p
+		}
+		return ""
+	case *types.Array:
+		return nondeterministicPath(u.Elem(), seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			f := u.Field(i)
+			if p := nondeterministicPath(f.Type(), seen); p != "" {
+				return "field " + f.Name() + ": " + p
+			}
+		}
+		return ""
+	default:
+		return ""
+	}
+}
+
+// calleeFunc resolves a call's static callee, nil for dynamic calls.
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		fn, _ := pass.Info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pass.Info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// formatArgs splits a fmt call into its variadic args and the format
+// string literal, "" when the format is not a literal.
+func formatArgs(pass *analysis.Pass, call *ast.CallExpr) ([]ast.Expr, string) {
+	// Sprintf(format, ...) vs Fprintf(w, format, ...): find the first
+	// string-literal argument and treat the rest as operands.
+	for i, a := range call.Args {
+		lit, ok := a.(*ast.BasicLit)
+		if !ok || lit.Kind != token.STRING {
+			continue
+		}
+		s, err := strconv.Unquote(lit.Value)
+		if err != nil {
+			return nil, ""
+		}
+		return call.Args[i+1:], s
+	}
+	return nil, ""
+}
+
+// vVerbCount counts %v-family verbs in a format string.
+func vVerbCount(format string) int {
+	n := 0
+	for i := 0; i < len(format)-1; i++ {
+		if format[i] != '%' {
+			continue
+		}
+		j := i + 1
+		for j < len(format) && strings.ContainsRune("+-# 0123456789.", rune(format[j])) {
+			j++
+		}
+		if j < len(format) && format[j] == 'v' {
+			n++
+		}
+		i = j
+	}
+	return n
+}
+
+// importPos returns the position of the import spec for path, falling
+// back to the package clause (should not happen for direct imports).
+func importPos(pass *analysis.Pass, path string) token.Pos {
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			if p, err := strconv.Unquote(imp.Path.Value); err == nil && p == path {
+				return imp.Pos()
+			}
+		}
+	}
+	if len(pass.Files) > 0 {
+		return pass.Files[0].Name.Pos()
+	}
+	return token.NoPos
+}

@@ -1,0 +1,15 @@
+package keymaterial_test
+
+import (
+	"testing"
+
+	"simbench/internal/analysis/analysistest"
+	"simbench/internal/analysis/keymaterial"
+)
+
+// Fixture order matters: tunables' facts must be on record before the
+// packages that import it are analyzed, mirroring how cmd/go feeds
+// dependency facts under the vettool protocol.
+func TestKeymaterial(t *testing.T) {
+	analysistest.Run(t, keymaterial.Analyzer, "engine", "tunables", "storefix", "storeclean")
+}

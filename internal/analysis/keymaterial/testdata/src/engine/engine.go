@@ -1,0 +1,9 @@
+// Fixture analog of simbench/internal/engine: the interface that makes
+// a concrete type an engine. Two methods, so the analyzer's
+// trivial-interface guard does not dismiss it.
+package engine
+
+type Engine interface {
+	Name() string
+	Meta() map[string]string
+}

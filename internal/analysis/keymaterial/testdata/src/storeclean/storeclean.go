@@ -1,0 +1,23 @@
+// Compliant twin of storefix: every tunable engine has a fingerprint
+// case and nothing nondeterministic is formatted, so the analyzer must
+// stay silent here.
+package storeclean
+
+import (
+	"fmt"
+
+	"engine"
+	"tunables"
+)
+
+func engineFingerprint(e engine.Engine) string {
+	switch c := e.(type) {
+	case *tunables.Covered:
+		return fmt.Sprintf("covered %+v", c.Config())
+	case *tunables.Uncovered:
+		return fmt.Sprintf("uncovered %+v", c.Config())
+	case *tunables.DirtyEngine:
+		return fmt.Sprintf("dirty %d", c.Config().N)
+	}
+	return e.Name()
+}

@@ -1,0 +1,19 @@
+// Fixture analog of simbench/internal/store with seeded violations:
+// its fingerprint covers only tunables.Covered, so the other two
+// tunable engines are reported at the import that brings them in, and
+// its generic branch formats a map with %+v.
+package storefix
+
+import (
+	"fmt"
+
+	"engine"
+	"tunables" // want "tunables.Uncovered" "tunables.DirtyEngine"
+)
+
+func engineFingerprint(e engine.Engine) string {
+	if c, ok := e.(*tunables.Covered); ok {
+		return fmt.Sprintf("covered %+v", c.Config())
+	}
+	return fmt.Sprintf("generic %+v", e.Meta()) // want "not deterministically formattable"
+}

@@ -1,0 +1,42 @@
+// Fixture engines with configuration structs. Coverage findings for
+// the uncovered ones are reported where a fingerprint function is
+// visible (storefix), not here; the config-hygiene finding fires here,
+// at the defining package.
+package tunables
+
+import "engine"
+
+type Config struct {
+	Depth int
+	Mode  string
+}
+
+// Covered is fingerprinted by both storefix and storeclean.
+type Covered struct{ cfg Config }
+
+func (c *Covered) Name() string            { return "covered" }
+func (c *Covered) Meta() map[string]string { return nil }
+func (c *Covered) Config() Config          { return c.cfg }
+
+var _ engine.Engine = (*Covered)(nil)
+
+// Uncovered reports tunables but storefix's fingerprint has no case
+// for it — the seeded coverage violation.
+type Uncovered struct{ cfg Config }
+
+func (u *Uncovered) Name() string            { return "uncovered" }
+func (u *Uncovered) Meta() map[string]string { return nil }
+func (u *Uncovered) Config() Config          { return u.cfg }
+
+type DirtyConfig struct {
+	N       int
+	Weights map[string]int // want "not deterministically formattable"
+}
+
+// DirtyEngine's config struct carries a map field — the seeded
+// config-hygiene violation, reported on the field above.
+type DirtyEngine struct{ cfg DirtyConfig }
+
+func (d *DirtyEngine) Name() string            { return "dirty" }
+func (d *DirtyEngine) Meta() map[string]string { return nil }
+func (d *DirtyEngine) Config() DirtyConfig     { return d.cfg }

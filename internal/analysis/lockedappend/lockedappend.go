@@ -1,0 +1,197 @@
+// Package lockedappend guards history durability: history.jsonl is a
+// multi-process append-only log, and POSIX only guarantees atomic
+// appends under an exclusive lock — which store.LockedAppend takes.
+// Any other write to a history.jsonl path (os.OpenFile, os.WriteFile,
+// os.Rename over it, AtomicWrite of the whole file) can interleave
+// with a concurrent appender and tear or drop lines, which the run
+// history's corruption-tolerant reader would then silently skip.
+//
+// The analyzer taints string values that mention "history.jsonl" —
+// literals, constants (store's historyFileName), filepath.Join results
+// and single-assignment locals holding them — and reports any tainted
+// path reaching a write-capable file operation outside a function
+// named LockedAppend. Reads (os.Open, os.ReadFile) are unrestricted.
+package lockedappend
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"simbench/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "lockedappend",
+	Doc: "history.jsonl may only be written through store.LockedAppend; raw " +
+		"file writes to it race concurrent appenders and tear the log",
+	Run: run,
+}
+
+const historyName = "history.jsonl"
+
+// sinkArg maps write-capable os functions to the index of their path
+// argument. os.Rename's destination is index 1: renaming a temp file
+// over history.jsonl replaces the log wholesale, losing concurrent
+// appends.
+var sinkArg = map[string]int{
+	"OpenFile":  0,
+	"Create":    0,
+	"WriteFile": 0,
+	"Rename":    1,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			// LockedAppend is the sanctioned writer; its own OpenFile is
+			// the whole point.
+			if fn.Name.Name == "LockedAppend" {
+				continue
+			}
+			checkFunc(pass, fn.Body)
+		}
+	}
+	return nil
+}
+
+// checkFunc taints history.jsonl path values within one function body
+// and reports tainted paths reaching write sinks. Taint is a fixpoint
+// over local assignments so declaration order does not matter.
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	tainted := map[*types.Var]bool{}
+	for {
+		grew := false
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Lhs) == len(n.Rhs) {
+					for i, lhs := range n.Lhs {
+						if v := localVar(pass, lhs); v != nil && !tainted[v] && taintedExpr(pass, tainted, n.Rhs[i]) {
+							tainted[v] = true
+							grew = true
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				if len(n.Names) == len(n.Values) {
+					for i, name := range n.Names {
+						if v := localVar(pass, name); v != nil && !tainted[v] && taintedExpr(pass, tainted, n.Values[i]) {
+							tainted[v] = true
+							grew = true
+						}
+					}
+				}
+			}
+			return true
+		})
+		if !grew {
+			break
+		}
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		argIdx, isSink := sinkOf(pass, call)
+		if !isSink || argIdx >= len(call.Args) {
+			return true
+		}
+		if taintedExpr(pass, tainted, call.Args[argIdx]) {
+			pass.Reportf(call.Pos(),
+				"write to a history.jsonl path outside store.LockedAppend; unlocked writes race concurrent appenders and tear the log — route the write through LockedAppend")
+		}
+		return true
+	})
+}
+
+// sinkOf reports whether call is a write-capable file operation and
+// which argument is the path: the os functions in sinkArg, or any
+// function named AtomicWrite (whole-file replacement of the log is as
+// destructive as a raw write, whichever package defines it).
+func sinkOf(pass *analysis.Pass, call *ast.CallExpr) (int, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "AtomicWrite" {
+			return 0, true
+		}
+		return 0, false
+	}
+	if sel.Sel.Name == "AtomicWrite" {
+		return 0, true
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "os" {
+		return 0, false
+	}
+	idx, ok := sinkArg[fn.Name()]
+	return idx, ok
+}
+
+// taintedExpr reports whether expr evaluates to a history.jsonl path:
+// a constant string mentioning it (literal or named constant), a
+// filepath.Join/path.Join over a tainted component, or a local
+// variable already marked tainted.
+func taintedExpr(pass *analysis.Pass, tainted map[*types.Var]bool, expr ast.Expr) bool {
+	if tv, ok := pass.Info.Types[expr]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+		if strings.Contains(constant.StringVal(tv.Value), historyName) {
+			return true
+		}
+	}
+	switch e := expr.(type) {
+	case *ast.Ident:
+		if v := localVar(pass, e); v != nil {
+			return tainted[v]
+		}
+	case *ast.ParenExpr:
+		return taintedExpr(pass, tainted, e.X)
+	case *ast.BinaryExpr:
+		return taintedExpr(pass, tainted, e.X) || taintedExpr(pass, tainted, e.Y)
+	case *ast.CallExpr:
+		if isPathJoin(pass, e) {
+			for _, arg := range e.Args {
+				if taintedExpr(pass, tainted, arg) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func isPathJoin(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Name() != "Join" || fn.Pkg() == nil {
+		return false
+	}
+	p := fn.Pkg().Path()
+	return p == "path/filepath" || p == "path"
+}
+
+// localVar resolves expr to the *types.Var it names, nil when expr is
+// not a plain identifier for a variable (fields and indexes are not
+// tracked — the repo's history paths are all simple locals).
+func localVar(pass *analysis.Pass, expr ast.Expr) *types.Var {
+	id, ok := expr.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj, ok := pass.Info.Defs[id].(*types.Var); ok {
+		return obj
+	}
+	if obj, ok := pass.Info.Uses[id].(*types.Var); ok {
+		return obj
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package lockedappend_test
+
+import (
+	"testing"
+
+	"simbench/internal/analysis/analysistest"
+	"simbench/internal/analysis/lockedappend"
+)
+
+func TestLockedAppend(t *testing.T) {
+	analysistest.Run(t, lockedappend.Analyzer, "histbad", "histclean")
+}

@@ -1,0 +1,41 @@
+// Seeded history-durability violations: raw writes to history.jsonl
+// paths, through each sink and each taint route (literal, named
+// constant, Join, local variable).
+package histbad
+
+import (
+	"os"
+	"path/filepath"
+)
+
+const historyFile = "history.jsonl"
+
+func RawAppend(dir string, line []byte) error {
+	path := filepath.Join(dir, historyFile)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644) // want "outside store.LockedAppend"
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(line); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func Clobber(dir string, data []byte) error {
+	return os.WriteFile(filepath.Join(dir, "history.jsonl"), data, 0o644) // want "outside store.LockedAppend"
+}
+
+func Swap(dir, tmp string) error {
+	return os.Rename(tmp, filepath.Join(dir, historyFile)) // want "outside store.LockedAppend"
+}
+
+func Publish(data []byte) error {
+	p := filepath.Join("cache", historyFile)
+	return AtomicWrite(p, data) // want "outside store.LockedAppend"
+}
+
+func AtomicWrite(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}

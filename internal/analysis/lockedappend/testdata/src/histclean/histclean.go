@@ -1,0 +1,38 @@
+// Compliant twin of histbad: the sanctioned writer itself, readers,
+// callers of the sanctioned writer, and writes to other files — all
+// silent.
+package histclean
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// LockedAppend is the one function allowed to open the history for
+// writing; the exemption is by name, matching the real store's.
+func LockedAppend(dir string, line []byte) error {
+	f, err := os.OpenFile(filepath.Join(dir, "history.jsonl"), os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(line); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Reading the history is unrestricted.
+func Read(dir string) ([]byte, error) {
+	return os.ReadFile(filepath.Join(dir, "history.jsonl"))
+}
+
+// Calling the sanctioned writer with a history path is the point.
+func Append(dir string, line []byte) error {
+	return LockedAppend(dir, line)
+}
+
+// Writes to non-history files are unrestricted.
+func WriteOther(dir string, data []byte) error {
+	return os.WriteFile(filepath.Join(dir, "results.json"), data, 0o644)
+}

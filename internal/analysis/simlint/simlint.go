@@ -1,0 +1,28 @@
+// Package simlint assembles the analyzer suite cmd/simlint runs: each
+// analyzer paired with the package scope it applies to. The table
+// lives here, apart from the analyzers (which stay policy-free and
+// individually testable) and apart from the framework (which the
+// analyzers import, so the table cannot live there without a cycle).
+package simlint
+
+import (
+	"simbench/internal/analysis"
+	"simbench/internal/analysis/ctxflow"
+	"simbench/internal/analysis/determinism"
+	"simbench/internal/analysis/keymaterial"
+	"simbench/internal/analysis/lockedappend"
+)
+
+// Suite returns the full analyzer suite in reporting order. keymaterial
+// and lockedappend are global — a cache-key hole or a raw history
+// write is a bug wherever it appears — while determinism and ctxflow
+// pin to the byte-identity and dispatch surfaces where their rules are
+// invariants rather than noise.
+func Suite() []analysis.Entry {
+	return []analysis.Entry{
+		{Analyzer: keymaterial.Analyzer},
+		{Analyzer: lockedappend.Analyzer},
+		{Analyzer: determinism.Analyzer, Scope: analysis.DeterministicScope},
+		{Analyzer: ctxflow.Analyzer, Scope: analysis.CtxScope},
+	}
+}

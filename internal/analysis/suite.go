@@ -1,0 +1,57 @@
+package analysis
+
+import "strings"
+
+// Entry is one analyzer of the simlint suite together with its scope:
+// the package paths it applies to. An empty scope means every analyzed
+// package — the invariant is global (nobody may write history.jsonl
+// raw, no engine may dodge the fingerprint). A non-empty scope pins an
+// analyzer to the packages whose behaviour CI asserts byte-for-byte or
+// cancellation-for-cancellation; applying it wider would drown real
+// findings in legitimate uses (measuring wall time is the product).
+type Entry struct {
+	Analyzer *Analyzer
+	// Scope lists package import paths the analyzer runs on; empty
+	// means all. A path covers exactly that package, not its subtree.
+	Scope []string
+}
+
+// InScope reports whether the analyzer applies to a package path.
+func (e Entry) InScope(pkgPath string) bool {
+	if len(e.Scope) == 0 {
+		return true
+	}
+	// Vet IDs can carry a test-variant suffix ("p [p.test]"); match on
+	// the bare path.
+	if i := strings.IndexByte(pkgPath, ' '); i >= 0 {
+		pkgPath = pkgPath[:i]
+	}
+	for _, p := range e.Scope {
+		if p == pkgPath {
+			return true
+		}
+	}
+	return false
+}
+
+// DeterministicScope is the repo's byte-identity surface: the packages
+// whose output CI compares byte-for-byte across runs, hosts and cache
+// states (content-address fingerprints, rendered tables, noise
+// annotations). time.Now, the global rand source, and map-order output
+// in these packages break cached-replay identity.
+var DeterministicScope = []string{
+	"simbench/internal/store",
+	"simbench/internal/report",
+	"simbench/internal/experiment",
+	"simbench/internal/stats",
+	"simbench/internal/figures",
+}
+
+// CtxScope is the dispatch surface: the packages that fan work out to
+// goroutines and channels on the measurement path, where a ctx-blind
+// blocking send turns Ctrl-C into a hang.
+var CtxScope = []string{
+	"simbench/internal/sched",
+	"simbench/internal/store",
+	"simbench/internal/experiment",
+}

@@ -133,6 +133,7 @@ func (s *Store) GC(keepRuns int, dryRun bool) (GCStats, error) {
 			// A writer killed between CreateTemp and Rename leaves its
 			// temp file behind forever; reclaim it once it is clearly
 			// not a live write in progress.
+			//simlint:allow determinism -- gc age grace is operational, not rendered: orphan reclaim must compare against the real clock
 			if info, ierr := d.Info(); ierr == nil && time.Since(info.ModTime()) > orphanAge {
 				st.Orphans++
 				if !dryRun {
@@ -150,6 +151,7 @@ func (s *Store) GC(keepRuns int, dryRun bool) (GCStats, error) {
 			return nil
 		}
 		info, ierr := d.Info()
+		//simlint:allow determinism -- gc blob grace is operational, not rendered: in-flight-run detection needs the real clock
 		if ierr == nil && time.Since(info.ModTime()) <= blobGrace {
 			// An in-flight run's blobs are unreferenced until its
 			// history entry lands at run end; blobs younger than the

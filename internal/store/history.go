@@ -41,6 +41,7 @@ type RunRecord struct {
 // fresh key computation here.
 func NewRun(label string, results []sched.Result) RunRecord {
 	rr := RunRecord{
+		//simlint:allow determinism -- the run timestamp records when the measurement happened; it is metadata, never key material
 		Time:   time.Now().UTC(),
 		Label:  label,
 		Host:   runtime.GOOS + "/" + runtime.GOARCH,

@@ -1,0 +1,131 @@
+package store
+
+import (
+	"runtime/debug"
+	"strings"
+	"testing"
+
+	"simbench/internal/engine"
+	"simbench/internal/machine"
+	"simbench/internal/sched"
+)
+
+// TestParseKeyRejections: every malformed key form the store or the
+// simstored protocol could be handed is rejected, and the round trip
+// through String survives.
+func TestParseKeyRejections(t *testing.T) {
+	valid := strings.Repeat("0123456789abcdef", 4)[:64]
+	if _, ok := ParseKey(valid); !ok {
+		t.Fatalf("ParseKey rejected a valid key %q", valid)
+	}
+	cases := map[string]string{
+		"odd-length hex": valid[:63],
+		"too short":      valid[:62],
+		"too long":       valid + "ab",
+		"non-hex":        strings.Replace(valid, valid[:1], "z", 1),
+		"empty":          "",
+	}
+	for name, s := range cases {
+		if _, ok := ParseKey(s); ok {
+			t.Errorf("%s: ParseKey(%q) accepted", name, s)
+		}
+	}
+	k, ok := ParseKey(valid)
+	if !ok || k.String() != valid {
+		t.Fatalf("round trip: got %q want %q", k.String(), valid)
+	}
+}
+
+// TestBuildIdentity: each build-identity branch — no build info, no
+// VCS stamp, dirty tree, clean stamp — yields the right cache identity
+// and warning note.
+func TestBuildIdentity(t *testing.T) {
+	stamped := func(rev, modified string) *debug.BuildInfo {
+		return &debug.BuildInfo{Settings: []debug.BuildSetting{
+			{Key: "vcs.revision", Value: rev},
+			{Key: "vcs.modified", Value: modified},
+		}}
+	}
+	cases := []struct {
+		name     string
+		bi       *debug.BuildInfo
+		ok       bool
+		id       string
+		noteHint string // "" means the note must be empty
+	}{
+		{"no build info", nil, false, "unknown", "no build info"},
+		{"no vcs stamp", &debug.BuildInfo{Main: debug.Module{Version: "v1.2.3"}}, true, "module v1.2.3", "no VCS stamp"},
+		{"dirty tree", stamped("abc123", "true"), true, "abc123 dirty=true", "dirty working tree"},
+		{"clean stamp", stamped("abc123", "false"), true, "abc123 dirty=false", ""},
+	}
+	for _, tc := range cases {
+		id, note := buildIdentity(tc.bi, tc.ok)
+		if id != tc.id {
+			t.Errorf("%s: buildID = %q, want %q", tc.name, id, tc.id)
+		}
+		if tc.noteHint == "" && note != "" {
+			t.Errorf("%s: unexpected note %q", tc.name, note)
+		}
+		if tc.noteHint != "" && !strings.Contains(note, tc.noteHint) {
+			t.Errorf("%s: note %q does not mention %q", tc.name, note, tc.noteHint)
+		}
+	}
+}
+
+// TestIdentityNote: silent for clean builds, a prefixed one-liner
+// otherwise.
+func TestIdentityNote(t *testing.T) {
+	old := buildIDNote
+	defer func() { buildIDNote = old }()
+
+	buildIDNote = ""
+	if got := IdentityNote("simbase"); got != "" {
+		t.Errorf("clean build: IdentityNote = %q, want empty", got)
+	}
+	buildIDNote = "this build is special"
+	if got, want := IdentityNote("simbase"), "simbase: note: this build is special"; got != want {
+		t.Errorf("IdentityNote = %q, want %q", got, want)
+	}
+}
+
+// sneakyEngine models the exact bug the keymaterial analyzer and the
+// runtime backstop both guard against: an engine with a Config struct
+// that engineFingerprint has no case for.
+type sneakyEngine struct{}
+
+type sneakyConfig struct{ Depth int }
+
+func (sneakyEngine) Name() string              { return "sneaky" }
+func (sneakyEngine) Features() engine.Features { return engine.Features{} }
+func (sneakyEngine) Run(*machine.Machine, uint64) (engine.Stats, error) {
+	return engine.Stats{}, nil
+}
+func (sneakyEngine) Config() sneakyConfig { return sneakyConfig{} }
+
+// plainEngine has no tunables; the generic name+features branch is the
+// correct fingerprint for it.
+type plainEngine struct{ sneakyEngine }
+
+func (plainEngine) Name() string { return "plain" }
+func (plainEngine) Config()      {} // niladic void: not a tunables reporter
+
+func TestEngineFingerprintBackstop(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("engineFingerprint did not panic for an uncovered tunable engine")
+		}
+		msg, _ := r.(string)
+		if !strings.Contains(msg, "no case for") {
+			t.Fatalf("panic message %q does not explain the missing case", msg)
+		}
+	}()
+	engineFingerprint(sched.Engine{Name: "sneaky", New: func() engine.Engine { return sneakyEngine{} }})
+}
+
+func TestEngineFingerprintPlainEngine(t *testing.T) {
+	fp := engineFingerprint(sched.Engine{Name: "plain", New: func() engine.Engine { return plainEngine{} }})
+	if !strings.HasPrefix(fp, "plain ") {
+		t.Fatalf("fingerprint %q does not use the generic branch", fp)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"reflect"
 	"runtime"
 	"runtime/debug"
 	"strings"
@@ -73,9 +74,13 @@ func Fingerprint(j sched.Job) string {
 // version. A dirty working tree keeps one identity across successive
 // edits, so when hand-editing engine code between runs, clear the
 // cache directory (or bump SchemaVersion).
-var buildID, buildIDNote = func() (string, string) {
+var buildID, buildIDNote = buildIdentity(debug.ReadBuildInfo())
+
+// buildIdentity derives the (buildID, warning-note) pair from build
+// info; split from the package variable so each branch is testable
+// without faking the process's own build stamp.
+func buildIdentity(bi *debug.BuildInfo, ok bool) (string, string) {
 	const advice = "cached results cannot tell engine-code edits apart — clear the cache dir after changing engine code"
-	bi, ok := debug.ReadBuildInfo()
 	if !ok {
 		return "unknown", "no build info; " + advice
 	}
@@ -99,7 +104,7 @@ var buildID, buildIDNote = func() (string, string) {
 			"this build is from a dirty working tree; " + advice
 	}
 	return rev + " dirty=false", ""
-}()
+}
 
 // IdentityNote returns a one-line warning, in the voice of a CLI
 // tool, when the running binary's cache identity cannot distinguish
@@ -121,10 +126,25 @@ func IdentityNote(tool string) string {
 // correctly invalidates old blobs). The other platforms carry no
 // tunables beyond their identity, so their name plus the Fig. 4
 // feature metadata is the whole configuration.
+//
+// The simlint keymaterial analyzer enforces at vet time that every
+// engine type with a Config method has a case here; the reflection
+// check is the runtime backstop for binaries built without vet (an
+// engine registered through a path the analyzer cannot see would
+// otherwise silently share one cache key across all configurations).
 func engineFingerprint(e sched.Engine) string {
 	inst := e.New()
 	if d, ok := inst.(*dbt.Engine); ok {
 		return fmt.Sprintf("dbt %+v", d.Config())
+	}
+	if m := reflect.ValueOf(inst).MethodByName("Config"); m.IsValid() {
+		t := m.Type()
+		if t.NumIn() == 0 && t.NumOut() == 1 && t.Out(0).Kind() == reflect.Struct && t.Out(0).NumField() > 0 {
+			panic(fmt.Sprintf(
+				"store: engine %q reports tunables via Config() but engineFingerprint has no case for %T; "+
+					"its cells would share one cache key across configurations — add a case in internal/store/key.go",
+				inst.Name(), inst))
+		}
 	}
 	return fmt.Sprintf("%s %+v", inst.Name(), inst.Features())
 }

@@ -55,6 +55,7 @@ func lockExclusive(f *os.File) (unlock func() error, err error) {
 		if !os.IsExist(err) {
 			return nil, err
 		}
+		//simlint:allow determinism -- lock staleness is a liveness judgment about the real world; it needs the real clock
 		if info, serr := os.Stat(path); serr == nil && time.Since(info.ModTime()) > lockStale {
 			// Break by renaming, not removing: rename is atomic, so of
 			// several waiters that all saw the lock stale exactly one
