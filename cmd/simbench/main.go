@@ -32,6 +32,7 @@ import (
 	"simbench/internal/core"
 	"simbench/internal/engine"
 	"simbench/internal/experiment"
+	"simbench/internal/obs"
 	"simbench/internal/report"
 	"simbench/internal/sched"
 	"simbench/internal/stats"
@@ -63,6 +64,7 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "write the result set as JSON to stdout instead of a table")
 		cacheDir = flag.String("cache-dir", "", "content-addressed result cache: identical cells are served from here instead of re-measured, and every run is appended to its history (see simbase)")
 		remote   = flag.String("remote", "", "simstored server URL (e.g. http://ci-cache:8347): a shared remote cache tier behind -cache-dir — remote hits are promoted to the local cache, fresh results upload asynchronously, and run history lands on the server")
+		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON file (per-cell spans: key computation, store get/put, measure, remote round trips) to this path; written after the tables render, loadable in chrome://tracing or Perfetto")
 		list     = flag.Bool("list", false, "list benchmarks, engines and releases, then exit")
 		verbose  = flag.Bool("v", false, "per-run progress output")
 	)
@@ -89,6 +91,15 @@ func main() {
 	defer stop()
 	context.AfterFunc(ctx, stop)
 
+	// The tracer rides the run context into the scheduler; the
+	// experiment and report layers never see it, keeping the
+	// byte-identity surface observability-free.
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.NewTracer()
+		ctx = obs.WithTracer(ctx, tracer)
+	}
+
 	// Every selection-flag invocation — including the default table
 	// run, which goes through the registered fig7 spec — records
 	// history as "simbench", so `simbase -label simbench` selects by
@@ -106,6 +117,7 @@ func main() {
 			fail(err)
 		}
 		opts.Store = st
+		st.SetTracer(tracer)
 		if n := store.IdentityNote("simbench"); n != "" {
 			fmt.Fprintln(os.Stderr, n)
 		}
@@ -123,6 +135,7 @@ func main() {
 		opts.HistoryLabel = ""
 		err = experiment.Run(sp, opts)
 		reportCache("simbench", st)
+		writeTrace(tracer, *traceOut)
 		if err != nil {
 			fail(err)
 		}
@@ -133,6 +146,7 @@ func main() {
 	if *benchSel == "" && *engSel == "" && *archSel == "" && !*jsonOut {
 		err := experiment.RunNamed("fig7", opts)
 		reportCache("simbench", st)
+		writeTrace(tracer, *traceOut)
 		if err != nil {
 			fail(err)
 		}
@@ -237,6 +251,7 @@ func main() {
 		printTables(results, sups, benches, engines, &opts, *scale, noise)
 	}
 	reportCache("simbench", st)
+	writeTrace(tracer, *traceOut)
 
 	// Errors already collapses cancelled cells into one summary line.
 	if err := sched.Errors(results); err != nil {
@@ -271,6 +286,20 @@ func printTables(results []sched.Result, sups []arch.Support, benches []*core.Be
 		Noise:      noise,
 	}
 	mt.Fprint(os.Stdout, results)
+}
+
+// writeTrace exports the run's trace only after every table and cache
+// line has been flushed — the trace file must never sequence before
+// (or interleave with) the output it describes. A nil tracer no-ops.
+func writeTrace(tracer *obs.Tracer, path string) {
+	if tracer == nil {
+		return
+	}
+	if err := tracer.WriteFile(path); err != nil {
+		fmt.Fprintln(os.Stderr, "simbench: write trace:", err)
+		return
+	}
+	fmt.Fprintln(os.Stderr, "simbench: trace written to", path)
 }
 
 func fail(err error) {

@@ -20,6 +20,7 @@ import (
 	"os/signal"
 
 	"simbench/internal/experiment"
+	"simbench/internal/obs"
 	"simbench/internal/store"
 )
 
@@ -31,6 +32,7 @@ func main() {
 		jobs      = flag.Int("jobs", 0, "density cells run concurrently (default GOMAXPROCS; densities are deterministic counts, so parallelism is free)")
 		cacheDir  = flag.String("cache-dir", "", "content-addressed result cache: identical cells are served from here instead of re-measured (see simbase)")
 		remote    = flag.String("remote", "", "simstored server URL: a shared remote cache tier behind -cache-dir (see simbench -remote)")
+		traceOut  = flag.String("trace", "", "write a Chrome trace-event JSON file of the run's per-cell spans to this path after the table renders (see simbench -trace)")
 		verbose   = flag.Bool("v", false, "per-run progress output")
 	)
 	flag.Parse()
@@ -40,6 +42,14 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	context.AfterFunc(ctx, stop)
+
+	// The tracer rides the run context into the scheduler; the
+	// experiment layer never sees it.
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.NewTracer()
+		ctx = obs.WithTracer(ctx, tracer)
+	}
 
 	opts := experiment.Options{Out: os.Stdout, Scale: *scale, SpecScale: *specScale, MinIters: *minIters, Jobs: *jobs, Context: ctx}
 	if *verbose {
@@ -52,6 +62,7 @@ func main() {
 			os.Exit(1)
 		}
 		opts.Store = st
+		st.SetTracer(tracer)
 		if n := store.IdentityNote("simdensity"); n != "" {
 			fmt.Fprintln(os.Stderr, n)
 		}
@@ -62,6 +73,15 @@ func main() {
 		opts.Store.Close()
 	}
 	store.FprintStats(os.Stderr, "simdensity", opts.Store)
+	// After the table and cache line: the trace must never sequence
+	// before the output it describes.
+	if tracer != nil {
+		if terr := tracer.WriteFile(*traceOut); terr != nil {
+			fmt.Fprintln(os.Stderr, "simdensity: write trace:", terr)
+		} else {
+			fmt.Fprintln(os.Stderr, "simdensity: trace written to", *traceOut)
+		}
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "simdensity:", err)
 		os.Exit(1)

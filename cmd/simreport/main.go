@@ -34,6 +34,7 @@ import (
 
 	"simbench/internal/experiment"
 	"simbench/internal/figures"
+	"simbench/internal/obs"
 	"simbench/internal/store"
 )
 
@@ -49,6 +50,7 @@ func main() {
 		jobs      = flag.Int("jobs", 0, "matrix cells run concurrently (default GOMAXPROCS; use 1 for minimum-noise timings)")
 		cacheDir  = flag.String("cache-dir", "", "content-addressed result cache: identical cells are served from here instead of re-measured, and every spec run is appended to its history (see simbase)")
 		remote    = flag.String("remote", "", "simstored server URL: a shared remote cache tier behind -cache-dir (see simbench -remote)")
+		traceOut  = flag.String("trace", "", "write a Chrome trace-event JSON file of the run's per-cell spans to this path after the tables render (see simbench -trace)")
 		verbose   = flag.Bool("v", false, "per-run progress output")
 	)
 	flag.Parse()
@@ -82,6 +84,14 @@ func main() {
 	defer stop()
 	context.AfterFunc(ctx, stop)
 
+	// The tracer rides the run context into the scheduler; the
+	// experiment and figures layers never see it.
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.NewTracer()
+		ctx = obs.WithTracer(ctx, tracer)
+	}
+
 	opts := experiment.Options{Out: os.Stdout, Scale: *scale, SpecScale: *specScale, MinIters: *minIters, Repeats: *repeats, Jobs: *jobs, Context: ctx}
 	if *verbose {
 		opts.Progress = os.Stderr
@@ -94,6 +104,7 @@ func main() {
 			fail(err)
 		}
 		opts.Store = st
+		st.SetTracer(tracer)
 		if (*cacheDir != "" || *remote != "") && !*offline {
 			if n := store.IdentityNote("simreport"); n != "" {
 				fmt.Fprintln(os.Stderr, n)
@@ -101,13 +112,22 @@ func main() {
 		}
 	}
 
-	// Flushes pending remote uploads before the stats line: the fleet
-	// can only share this run's cells once they have landed.
+	// Flushes pending remote uploads before the stats line, then the
+	// trace: the fleet can only share this run's cells once they have
+	// landed, and the trace must never sequence before the tables it
+	// describes.
 	report := func() {
 		if opts.Store != nil {
 			opts.Store.Close()
 		}
 		store.FprintStats(os.Stderr, "simreport", opts.Store)
+		if tracer != nil {
+			if err := tracer.WriteFile(*traceOut); err != nil {
+				fmt.Fprintln(os.Stderr, "simreport: write trace:", err)
+			} else {
+				fmt.Fprintln(os.Stderr, "simreport: trace written to", *traceOut)
+			}
+		}
 	}
 
 	var specs []experiment.Spec

@@ -9,9 +9,17 @@
 //
 //	simstored -dir /var/cache/simbench                # default addr
 //	simstored -dir /tmp/store -addr 127.0.0.1:8347
+//	simstored -dir /tmp/store -pprof -access-log /var/log/simstored.jsonl
 //
 // The directory layout is exactly a local -cache-dir, so pointing
 // simstored at an existing cache directory publishes its cells as-is.
+//
+// Observability: every request is counted and timed on the server's
+// metric registry, scraped at GET /metrics in Prometheus text format,
+// and logged as one JSON line to -access-log ("-" for stdout, ""
+// to disable). -pprof additionally mounts net/http/pprof under
+// /debug/pprof/ on the same listener — off by default, since profile
+// endpoints on a fleet-shared cache are opt-in surface.
 //
 // Caveat: the store keys cells by the client binary's build identity.
 // go test / go run builds and dirty-tree builds cannot tell engine-code
@@ -27,6 +35,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"time"
@@ -36,8 +45,10 @@ import (
 
 func main() {
 	var (
-		addr = flag.String("addr", "127.0.0.1:8347", "listen address")
-		dir  = flag.String("dir", "", "store directory to serve (created if missing; same layout as a local -cache-dir)")
+		addr      = flag.String("addr", "127.0.0.1:8347", "listen address")
+		dir       = flag.String("dir", "", "store directory to serve (created if missing; same layout as a local -cache-dir)")
+		accessLog = flag.String("access-log", "-", `access log destination: "-" for stdout, a file path to append to, "" to disable`)
+		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the same listener")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -51,8 +62,36 @@ func main() {
 		os.Exit(1)
 	}
 	srv.Logf = log.New(os.Stderr, "simstored: ", log.LstdFlags).Printf
+	switch *accessLog {
+	case "":
+	case "-":
+		srv.AccessLog = os.Stdout
+	default:
+		f, err := os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simstored: open access log:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		srv.AccessLog = f
+	}
 
-	hs := &http.Server{Addr: *addr, Handler: srv}
+	handler := http.Handler(srv)
+	if *pprofOn {
+		// An explicit mux rather than a blank pprof import: the profile
+		// handlers must exist only when asked for, and only here — the
+		// package's DefaultServeMux registration is never served.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", srv)
+		handler = mux
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: handler}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	drained := make(chan struct{})

@@ -26,6 +26,7 @@ import (
 	"os/signal"
 
 	"simbench/internal/experiment"
+	"simbench/internal/obs"
 	"simbench/internal/store"
 )
 
@@ -40,6 +41,7 @@ func main() {
 		jobs      = flag.Int("jobs", 0, "matrix cells run concurrently (default GOMAXPROCS; use 1 for minimum-noise timings)")
 		cacheDir  = flag.String("cache-dir", "", "content-addressed result cache: identical cells are served from here instead of re-measured, and every sweep is appended to its history (see simbase)")
 		remote    = flag.String("remote", "", "simstored server URL: a shared remote cache tier behind -cache-dir (see simbench -remote)")
+		traceOut  = flag.String("trace", "", "write a Chrome trace-event JSON file of the run's per-cell spans to this path after the tables render (see simbench -trace)")
 		verbose   = flag.Bool("v", false, "per-run progress output")
 	)
 	flag.Parse()
@@ -48,6 +50,14 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	context.AfterFunc(ctx, stop)
+
+	// The tracer rides the run context into the scheduler; the
+	// experiment layer never sees it.
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.NewTracer()
+		ctx = obs.WithTracer(ctx, tracer)
+	}
 
 	opts := experiment.Options{
 		Out:       os.Stdout,
@@ -68,6 +78,7 @@ func main() {
 			os.Exit(1)
 		}
 		opts.Store = st
+		st.SetTracer(tracer)
 		if n := store.IdentityNote("simsweep"); n != "" {
 			fmt.Fprintln(os.Stderr, n)
 		}
@@ -106,6 +117,15 @@ func main() {
 		opts.Store.Close()
 	}
 	store.FprintStats(os.Stderr, "simsweep", opts.Store)
+	// After every table and cache line: the trace must never sequence
+	// before the output it describes.
+	if tracer != nil {
+		if terr := tracer.WriteFile(*traceOut); terr != nil {
+			fmt.Fprintln(os.Stderr, "simsweep: write trace:", terr)
+		} else {
+			fmt.Fprintln(os.Stderr, "simsweep: trace written to", *traceOut)
+		}
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "simsweep:", err)
 		os.Exit(1)

@@ -15,7 +15,12 @@
 //     is randomized per run, so the bytes differ even when the data do
 //     not (collect into a slice and sort instead — sorting after the
 //     loop is fine and is what the analyzer's rule deliberately
-//     permits).
+//     permits);
+//   - importing simbench/internal/obs at all: metrics and spans carry
+//     timings and counts that differ every run, so the only safe
+//     relationship a byte-identity package can have with observability
+//     is none — or a provably write-only one, centralized in a single
+//     waived file (internal/store/obs.go is the template).
 //
 // Legitimately time-dependent code inside a scoped package (history
 // timestamps, gc age grace, lock staleness) carries an explicit
@@ -26,14 +31,15 @@ package determinism
 import (
 	"go/ast"
 	"go/types"
+	"strconv"
 
 	"simbench/internal/analysis"
 )
 
 var Analyzer = &analysis.Analyzer{
 	Name: "determinism",
-	Doc: "no wall clocks, unseeded global rand, or map-order output in the " +
-		"byte-identity packages (fingerprints, renderers, noise model)",
+	Doc: "no wall clocks, unseeded global rand, map-order output, or obs " +
+		"imports in the byte-identity packages (fingerprints, renderers, noise model)",
 	Run: run,
 }
 
@@ -46,6 +52,9 @@ var randExempt = map[string]bool{"New": true, "NewSource": true, "NewZipf": true
 
 func run(pass *analysis.Pass) error {
 	for _, file := range pass.Files {
+		for _, imp := range file.Imports {
+			checkImport(pass, imp)
+		}
 		ast.Inspect(file, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.CallExpr:
@@ -57,6 +66,28 @@ func run(pass *analysis.Pass) error {
 		})
 	}
 	return nil
+}
+
+// obsPath is the observability package: metrics registries and
+// tracers. Its values are per-run by construction (timings, counts,
+// goroutine interleavings), so a byte-identity package may only import
+// it behind a waiver that argues the usage is write-only — nothing
+// read back into keys, blobs, or rendered bytes.
+const obsPath = "simbench/internal/obs"
+
+// checkImport flags any import of the obs package. The report anchors
+// on the ImportSpec so a waiver on the import line (or the line above
+// it, inside the import block) covers it — which keeps the sanctioned
+// shape honest: one waived import in one file that centralizes every
+// obs reference, not a silent package-wide exemption.
+func checkImport(pass *analysis.Pass, imp *ast.ImportSpec) {
+	path, err := strconv.Unquote(imp.Path.Value)
+	if err != nil || path != obsPath {
+		return
+	}
+	pass.Reportf(imp.Pos(),
+		"import of %s in a byte-identity package: metrics and spans are per-run values, so observability must stay out of packages whose output CI compares byte-for-byte (centralize write-only usage in one file and waive with //simlint:allow determinism -- reason)",
+		obsPath)
 }
 
 func checkCall(pass *analysis.Pass, call *ast.CallExpr) {

@@ -10,3 +10,11 @@ import (
 func TestDeterminism(t *testing.T) {
 	analysistest.Run(t, determinism.Analyzer, "detbad", "detclean")
 }
+
+// TestObsImportBan exercises the fourth rule separately: obsbad holds
+// the seeded bare import, obsclean the sanctioned centralized-and-
+// waived shape (mirroring internal/store/obs.go). Both resolve their
+// obs import against the fixture stub under testdata/src/simbench.
+func TestObsImportBan(t *testing.T) {
+	analysistest.Run(t, determinism.Analyzer, "obsbad", "obsclean")
+}

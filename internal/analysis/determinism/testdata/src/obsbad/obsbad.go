@@ -1,0 +1,15 @@
+// Seeded violation of the obs import ban: a byte-identity package
+// reaching for metrics directly, no waiver, no centralization. The
+// usage below is even "harmless" (a bare counter bump) — the ban is on
+// the import itself, because once the package can see obs nothing
+// stops a later edit from folding a timing into a rendered byte.
+package obsbad
+
+import (
+	"simbench/internal/obs" // want "import of simbench/internal/obs in a byte-identity package"
+)
+
+var lookups = obs.NewCounter()
+
+// Hit bumps a per-run counter from inside the byte-identity surface.
+func Hit() { lookups.Inc() }

@@ -1,0 +1,14 @@
+// Package obs is a fixture stub standing in for the real
+// simbench/internal/obs so the import-ban fixtures typecheck: the
+// analyzer matches the import path alone, so the stub needs only
+// enough surface for the fixtures to use plausibly.
+package obs
+
+// Counter is a write-only count, as in the real package.
+type Counter struct{ n uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.n++ }
+
+// NewCounter returns a fresh counter.
+func NewCounter() *Counter { return &Counter{} }

@@ -1,0 +1,105 @@
+package experiment
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"simbench/internal/obs"
+	"simbench/internal/store"
+)
+
+// TestTracedRunRendersIdenticalTables is the live half of the tracing
+// contract (the golden half lives in internal/sched): attaching a
+// tracer — context tracer and store tracer both, exactly as the CLIs'
+// -trace flag wires them — must not move a single rendered byte. The
+// untraced run measures fresh; the traced run replays the same cells
+// from the same store, which the byte-identity contract already pins
+// to identical output; so any divergence here is tracing leaking into
+// the render path. The trace itself must come out as valid Chrome
+// trace-event JSON with per-cell spans.
+func TestTracedRunRendersIdenticalTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	sp, err := Parse(strings.NewReader(`{
+		"name": "traceid",
+		"renderer": "series",
+		"arches": ["arm"],
+		"benches": ["mem.hot"],
+		"engines": ["v1.7.0", "v2.2.0"],
+		"baseline": "v1.7.0",
+		"series": {"per_bench": true},
+		"title": "trace identity ({arch} guest)"
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cacheDir := filepath.Join(t.TempDir(), "cache")
+	st := openTestStore(t, cacheDir)
+	var untraced strings.Builder
+	if err := Run(sp, tinyOpts(&untraced, st)); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := openTestStore(t, cacheDir)
+	tracer := obs.NewTracer()
+	st2.SetTracer(tracer)
+	var traced strings.Builder
+	opts := tinyOpts(&traced, st2)
+	opts.Context = obs.WithTracer(context.Background(), tracer)
+	if err := Run(sp, opts); err != nil {
+		t.Fatal(err)
+	}
+
+	if untraced.String() != traced.String() {
+		t.Errorf("traced render diverges from untraced:\n--- untraced ---\n%s\n--- traced ---\n%s",
+			untraced.String(), traced.String())
+	}
+	hits, misses := st2.Stats()
+	if misses != 0 || hits == 0 {
+		t.Fatalf("traced run was not a full replay: %d hits, %d misses", hits, misses)
+	}
+
+	var buf bytes.Buffer
+	if err := tracer.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatalf("trace is not valid trace-event JSON: %v", err)
+	}
+	spans := map[string]int{}
+	for _, ev := range tf.TraceEvents {
+		if ev.Ph == "X" {
+			spans[ev.Name]++
+		}
+	}
+	// One cell span and one key span per matrix cell, plus a store.get
+	// per hit.
+	if spans["cell"] == 0 || spans["key"] == 0 || spans["store.get"] == 0 {
+		t.Errorf("trace lacks per-cell spans: %v", spans)
+	}
+}
+
+// TestUntracedStoreUnaffected: SetTracer with nil (the CLIs' default)
+// leaves the store fully functional.
+func TestUntracedStoreUnaffected(t *testing.T) {
+	st, err := store.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.SetTracer(nil)
+	if _, misses := st.Stats(); misses != 0 {
+		t.Fatal("fresh store has lookups")
+	}
+}

@@ -1,0 +1,250 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteExposition renders every registered metric in Prometheus text
+// exposition format (version 0.0.4): a # HELP and # TYPE line per
+// metric, then its samples. Metrics render sorted by name and label
+// value, so two scrapes of identical state are byte-identical.
+func (r *Registry) WriteExposition(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.metrics))
+	for name := range r.metrics {
+		names = append(names, name)
+	}
+	metrics := make(map[string]metric, len(r.metrics))
+	help := make(map[string]string, len(r.help))
+	for name, m := range r.metrics {
+		metrics[name] = m
+		help[name] = r.help[name]
+	}
+	r.mu.Unlock()
+
+	sort.Strings(names)
+	var sb strings.Builder
+	for _, name := range names {
+		m := metrics[name]
+		if h := help[name]; h != "" {
+			sb.WriteString("# HELP ")
+			sb.WriteString(name)
+			sb.WriteByte(' ')
+			sb.WriteString(escapeHelp(h))
+			sb.WriteByte('\n')
+		}
+		sb.WriteString("# TYPE ")
+		sb.WriteString(name)
+		sb.WriteByte(' ')
+		sb.WriteString(m.typeName())
+		sb.WriteByte('\n')
+		m.writeSamples(&sb, name)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// ValidateExposition checks a Prometheus text-format stream for the
+// structural rules a scraper depends on: well-formed comment and
+// sample lines, valid metric and label names, parseable values, every
+// sample preceded by its family's # TYPE line (histogram samples
+// resolve through their _bucket/_sum/_count suffixes, and _bucket
+// lines must carry an le label), and no duplicate TYPE declarations.
+// It is the simple validator behind the CI metrics smoke and the
+// server's own tests — not a full parser, but strict enough that
+// output passing it scrapes cleanly.
+func ValidateExposition(r io.Reader) error {
+	types := map[string]string{} // family -> counter|gauge|histogram|summary|untyped
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	sawSample := false
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := validateComment(line, types); err != nil {
+				return fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		if err := validateSample(line, types); err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		sawSample = true
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if !sawSample {
+		return fmt.Errorf("no samples (empty exposition)")
+	}
+	return nil
+}
+
+func validateComment(line string, types map[string]string) error {
+	fields := strings.Fields(line)
+	if len(fields) < 2 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+		return nil // free-form comment, fine
+	}
+	if len(fields) < 3 {
+		return fmt.Errorf("# %s without a metric name", fields[1])
+	}
+	name := fields[2]
+	if !validMetricName(name) {
+		return fmt.Errorf("# %s names invalid metric %q", fields[1], name)
+	}
+	if fields[1] == "TYPE" {
+		if len(fields) != 4 {
+			return fmt.Errorf("# TYPE %s needs exactly one type", name)
+		}
+		switch fields[3] {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("# TYPE %s has unknown type %q", name, fields[3])
+		}
+		if _, dup := types[name]; dup {
+			return fmt.Errorf("duplicate # TYPE for %s", name)
+		}
+		types[name] = fields[3]
+	}
+	return nil
+}
+
+func validateSample(line string, types map[string]string) error {
+	name, rest, err := splitSampleName(line)
+	if err != nil {
+		return err
+	}
+	labels := ""
+	if strings.HasPrefix(rest, "{") {
+		end := labelBlockEnd(rest)
+		if end < 0 {
+			return fmt.Errorf("unterminated label block in %q", line)
+		}
+		labels = rest[1:end]
+		rest = rest[end+1:]
+	}
+	if err := validateLabels(labels); err != nil {
+		return fmt.Errorf("sample %s: %w", name, err)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return fmt.Errorf("sample %s: want `value [timestamp]`, got %q", name, strings.TrimSpace(rest))
+	}
+	if _, err := parseValue(fields[0]); err != nil {
+		return fmt.Errorf("sample %s: bad value %q", name, fields[0])
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return fmt.Errorf("sample %s: bad timestamp %q", name, fields[1])
+		}
+	}
+
+	family, suffix := name, ""
+	if _, ok := types[family]; !ok {
+		for _, s := range []string{"_bucket", "_sum", "_count"} {
+			if base := strings.TrimSuffix(name, s); base != name {
+				if t, ok := types[base]; ok && (t == "histogram" || t == "summary") {
+					family, suffix = base, s
+					break
+				}
+			}
+		}
+	}
+	t, ok := types[family]
+	if !ok {
+		return fmt.Errorf("sample %s has no preceding # TYPE line", name)
+	}
+	if suffix == "_bucket" && t == "histogram" && !strings.Contains(labels, `le="`) {
+		return fmt.Errorf("histogram sample %s lacks an le label", name)
+	}
+	return nil
+}
+
+// splitSampleName cuts the metric name off the front of a sample line.
+func splitSampleName(line string) (name, rest string, err error) {
+	i := 0
+	for i < len(line) && line[i] != '{' && line[i] != ' ' && line[i] != '\t' {
+		i++
+	}
+	name = line[:i]
+	if !validMetricName(name) {
+		return "", "", fmt.Errorf("invalid metric name %q", name)
+	}
+	return name, line[i:], nil
+}
+
+// labelBlockEnd returns the index of the closing brace of a label
+// block that starts at index 0, honouring escapes inside quoted label
+// values. -1 when unterminated.
+func labelBlockEnd(s string) int {
+	inQuote := false
+	for i := 1; i < len(s); i++ {
+		switch {
+		case inQuote && s[i] == '\\':
+			i++
+		case s[i] == '"':
+			inQuote = !inQuote
+		case !inQuote && s[i] == '}':
+			return i
+		}
+	}
+	return -1
+}
+
+func validateLabels(block string) error {
+	rest := strings.TrimSpace(block)
+	for rest != "" {
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 {
+			return fmt.Errorf("label %q has no value", rest)
+		}
+		lname := strings.TrimSpace(rest[:eq])
+		if !validLabelName(lname) {
+			return fmt.Errorf("invalid label name %q", lname)
+		}
+		rest = rest[eq+1:]
+		if !strings.HasPrefix(rest, `"`) {
+			return fmt.Errorf("label %s value is not quoted", lname)
+		}
+		end := -1
+		for i := 1; i < len(rest); i++ {
+			if rest[i] == '\\' {
+				i++
+				continue
+			}
+			if rest[i] == '"' {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			return fmt.Errorf("label %s value is unterminated", lname)
+		}
+		rest = strings.TrimSpace(rest[end+1:])
+		rest = strings.TrimPrefix(rest, ",")
+		rest = strings.TrimSpace(rest)
+	}
+	return nil
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return 0, nil
+	case "-Inf":
+		return 0, nil
+	case "NaN", "nan":
+		return 0, nil
+	}
+	return strconv.ParseFloat(s, 64)
+}

@@ -1,0 +1,429 @@
+// Package obs is the observability layer: a metrics registry rendered
+// in Prometheus text exposition format, and a span tracer exported as
+// Chrome trace-event JSON. It is stdlib-only (the module builds
+// offline with zero dependencies) and strictly output-inert: nothing
+// in this package feeds rendered tables, cache keys or history — it
+// only records what the runtime did, for scraping (simstored
+// /metrics) and post-hoc inspection (-trace). The determinism
+// analyzer enforces the inertness from the other side: the
+// byte-identity packages may not import obs without a reasoned
+// waiver.
+//
+// Metrics follow the Prometheus object model: monotonically
+// increasing Counters, settable Gauges, and Histograms with fixed
+// cumulative buckets, each optionally fanned out over a fixed label
+// set (CounterVec, GaugeVec, HistogramVec). A Registry renders its
+// metrics sorted by name and label value, so two scrapes of identical
+// state are byte-identical.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Default is the process-wide registry. The instrumented runtime
+// packages (sched, store) register their metrics here at init; a
+// server embedding them can expose the lot with one WriteExposition.
+var Default = NewRegistry()
+
+// DefBuckets are the default latency histogram bounds, in seconds —
+// the Prometheus defaults, which span sub-millisecond store lookups
+// through multi-second matrix cells.
+var DefBuckets = []float64{.005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
+
+// metric is one registered name: it knows its TYPE line and how to
+// write its samples.
+type metric interface {
+	typeName() string // "counter", "gauge", "histogram"
+	// writeSamples appends exposition sample lines for the metric
+	// under its registered name.
+	writeSamples(sb *strings.Builder, name string)
+}
+
+// Registry holds named metrics and renders them in exposition format.
+// All methods are safe for concurrent use; registration panics on a
+// duplicate or invalid name (metrics are registered once, at init or
+// construction time — a collision is a programming error).
+type Registry struct {
+	mu      sync.Mutex
+	help    map[string]string
+	metrics map[string]metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{help: map[string]string{}, metrics: map[string]metric{}}
+}
+
+func (r *Registry) register(name, help string, m metric) {
+	if !validMetricName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.metrics[name]; dup {
+		panic(fmt.Sprintf("obs: duplicate metric %q", name))
+	}
+	r.metrics[name] = m
+	r.help[name] = help
+}
+
+// Counter registers a monotonically increasing counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(name, help, c)
+	return c
+}
+
+// Gauge registers a gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.register(name, help, g)
+	return g
+}
+
+// Histogram registers a histogram with the given cumulative upper
+// bounds (ascending; the implicit +Inf bucket is added).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	h := newHistogram(buckets)
+	r.register(name, help, h)
+	return h
+}
+
+// CounterVec registers a counter family over a fixed label set.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	v := &CounterVec{vec: newVec(name, labels, func() metric { return &Counter{} })}
+	r.register(name, help, v)
+	return v
+}
+
+// GaugeVec registers a gauge family over a fixed label set.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	v := &GaugeVec{vec: newVec(name, labels, func() metric { return &Gauge{} })}
+	r.register(name, help, v)
+	return v
+}
+
+// HistogramVec registers a histogram family over a fixed label set.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	bs := append([]float64(nil), buckets...)
+	v := &HistogramVec{vec: newVec(name, labels, func() metric { return newHistogram(bs) })}
+	r.register(name, help, v)
+	return v
+}
+
+// Counter is a monotonically increasing float64. The zero value is
+// usable but unregistered; normally obtained from a Registry.
+type Counter struct {
+	bits atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds v, which must be non-negative (counters only go up).
+func (c *Counter) Add(v float64) {
+	if v < 0 || math.IsNaN(v) {
+		return
+	}
+	for {
+		old := c.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if c.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
+func (c *Counter) typeName() string { return "counter" }
+
+func (c *Counter) writeSamples(sb *strings.Builder, name string) {
+	sb.WriteString(name)
+	sb.WriteByte(' ')
+	sb.WriteString(formatValue(c.Value()))
+	sb.WriteByte('\n')
+}
+
+// Gauge is a settable float64.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds v (negative to subtract).
+func (g *Gauge) Add(v float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+func (g *Gauge) typeName() string { return "gauge" }
+
+func (g *Gauge) writeSamples(sb *strings.Builder, name string) {
+	sb.WriteString(name)
+	sb.WriteByte(' ')
+	sb.WriteString(formatValue(g.Value()))
+	sb.WriteByte('\n')
+}
+
+// Histogram counts observations into fixed cumulative buckets.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds, excluding +Inf
+
+	mu     sync.Mutex
+	counts []uint64 // per-bound (non-cumulative), len == len(bounds)+1 (+Inf last)
+	sum    float64
+	total  uint64
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	bounds := append([]float64(nil), buckets...)
+	sort.Float64s(bounds)
+	return &Histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.mu.Lock()
+	h.counts[i]++
+	h.sum += v
+	h.total++
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.total
+}
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+func (h *Histogram) typeName() string { return "histogram" }
+
+func (h *Histogram) writeSamples(sb *strings.Builder, name string) {
+	base, labels := splitLabels(name)
+	h.mu.Lock()
+	counts := append([]uint64(nil), h.counts...)
+	sum, total := h.sum, h.total
+	h.mu.Unlock()
+	cum := uint64(0)
+	for i, bound := range h.bounds {
+		cum += counts[i]
+		writeSample(sb, base+"_bucket", joinLabels(labels, `le="`+formatValue(bound)+`"`), formatValue(float64(cum)))
+	}
+	writeSample(sb, base+"_bucket", joinLabels(labels, `le="+Inf"`), formatValue(float64(total)))
+	writeSample(sb, base+"_sum", labels, formatValue(sum))
+	writeSample(sb, base+"_count", labels, formatValue(float64(total)))
+}
+
+// vec fans one metric out over a fixed label set, creating children on
+// first use. Children render sorted by label values, so exposition
+// order is deterministic.
+type vec struct {
+	name   string
+	labels []string
+	make   func() metric
+
+	mu       sync.RWMutex
+	children map[string]metric // key: exposition label block
+}
+
+func newVec(name string, labels []string, mk func() metric) *vec {
+	for _, l := range labels {
+		if !validLabelName(l) {
+			panic(fmt.Sprintf("obs: metric %q: invalid label name %q", name, l))
+		}
+	}
+	return &vec{name: name, labels: append([]string(nil), labels...), make: mk, children: map[string]metric{}}
+}
+
+// child returns (creating if needed) the metric for one label-value
+// tuple. len(values) must equal the label set.
+func (v *vec) child(values []string) metric {
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("obs: metric %q: got %d label values for %d labels", v.name, len(values), len(v.labels)))
+	}
+	parts := make([]string, len(values))
+	for i, val := range values {
+		parts[i] = v.labels[i] + `="` + escapeLabelValue(val) + `"`
+	}
+	key := strings.Join(parts, ",")
+	v.mu.RLock()
+	m, ok := v.children[key]
+	v.mu.RUnlock()
+	if ok {
+		return m
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if m, ok = v.children[key]; ok {
+		return m
+	}
+	m = v.make()
+	v.children[key] = m
+	return m
+}
+
+func (v *vec) typeName() string {
+	return v.make().typeName()
+}
+
+func (v *vec) writeSamples(sb *strings.Builder, name string) {
+	v.mu.RLock()
+	keys := make([]string, 0, len(v.children))
+	for k := range v.children {
+		keys = append(keys, k)
+	}
+	v.mu.RUnlock()
+	sort.Strings(keys)
+	for _, k := range keys {
+		v.mu.RLock()
+		m := v.children[k]
+		v.mu.RUnlock()
+		m.writeSamples(sb, name+"{"+k+"}")
+	}
+}
+
+// CounterVec is a counter family over a fixed label set.
+type CounterVec struct{ *vec }
+
+// With returns the counter for the label values, in label order.
+func (v *CounterVec) With(values ...string) *Counter { return v.child(values).(*Counter) }
+
+// GaugeVec is a gauge family over a fixed label set.
+type GaugeVec struct{ *vec }
+
+// With returns the gauge for the label values, in label order.
+func (v *GaugeVec) With(values ...string) *Gauge { return v.child(values).(*Gauge) }
+
+// HistogramVec is a histogram family over a fixed label set.
+type HistogramVec struct{ *vec }
+
+// With returns the histogram for the label values, in label order.
+func (v *HistogramVec) With(values ...string) *Histogram { return v.child(values).(*Histogram) }
+
+// splitLabels separates "name{a="b"}" into name and its label block
+// (without braces; "" when unlabeled). Histograms need this to splice
+// the le label into an already-labeled family member.
+func splitLabels(name string) (base, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i], strings.TrimSuffix(name[i+1:], "}")
+	}
+	return name, ""
+}
+
+func joinLabels(a, b string) string {
+	if a == "" {
+		return b
+	}
+	if b == "" {
+		return a
+	}
+	return a + "," + b
+}
+
+func writeSample(sb *strings.Builder, name, labels, value string) {
+	sb.WriteString(name)
+	if labels != "" {
+		sb.WriteByte('{')
+		sb.WriteString(labels)
+		sb.WriteByte('}')
+	}
+	sb.WriteByte(' ')
+	sb.WriteString(value)
+	sb.WriteByte('\n')
+}
+
+// formatValue renders a float the way Prometheus clients do: shortest
+// round-trip representation, integers without a decimal point.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeLabelValue(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" || strings.HasPrefix(s, "__") {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

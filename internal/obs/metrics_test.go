@@ -1,0 +1,206 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "a counter")
+	c.Inc()
+	c.Add(2.5)
+	c.Add(-1) // ignored: counters only go up
+	if got := c.Value(); got != 3.5 {
+		t.Fatalf("counter = %v, want 3.5", got)
+	}
+	g := r.Gauge("g", "a gauge")
+	g.Set(10)
+	g.Dec()
+	g.Add(0.5)
+	if got := g.Value(); got != 9.5 {
+		t.Fatalf("gauge = %v, want 9.5", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h_seconds", "a histogram", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	var sb strings.Builder
+	if err := r.WriteExposition(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	// Cumulative: <=0.1 holds 0.05 and 0.1 (boundary inclusive), <=1
+	// adds 0.5, <=10 adds 5, +Inf adds 50.
+	for _, want := range []string{
+		`h_seconds_bucket{le="0.1"} 2`,
+		`h_seconds_bucket{le="1"} 3`,
+		`h_seconds_bucket{le="10"} 4`,
+		`h_seconds_bucket{le="+Inf"} 5`,
+		`h_seconds_sum 55.65`,
+		`h_seconds_count 5`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestVecLabelsSortedAndEscaped(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("req_total", "requests", "route", "method")
+	v.With("/b", "GET").Inc()
+	v.With("/a", "GET").Add(2)
+	v.With(`q"uote`+"\n", "PUT").Inc()
+	var sb strings.Builder
+	if err := r.WriteExposition(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	ia := strings.Index(out, `req_total{route="/a",method="GET"} 2`)
+	ib := strings.Index(out, `req_total{route="/b",method="GET"} 1`)
+	iq := strings.Index(out, `req_total{route="q\"uote\n",method="PUT"} 1`)
+	if ia < 0 || ib < 0 || iq < 0 {
+		t.Fatalf("missing samples in:\n%s", out)
+	}
+	if !(ia < ib) {
+		t.Errorf("samples not sorted by label value:\n%s", out)
+	}
+}
+
+func TestHistogramVecCarriesLabels(t *testing.T) {
+	r := NewRegistry()
+	v := r.HistogramVec("lat_seconds", "latency", []float64{1}, "route")
+	v.With("/objects").Observe(0.5)
+	var sb strings.Builder
+	if err := r.WriteExposition(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`lat_seconds_bucket{route="/objects",le="1"} 1`,
+		`lat_seconds_bucket{route="/objects",le="+Inf"} 1`,
+		`lat_seconds_sum{route="/objects"} 0.5`,
+		`lat_seconds_count{route="/objects"} 1`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExpositionDeterministicAndValid(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", "b").Add(3)
+	r.Gauge("a", "help with\nnewline and \\ backslash").Set(1)
+	v := r.HistogramVec("c_seconds", "c", DefBuckets, "op")
+	v.With("get").Observe(0.003)
+	v.With("put").Observe(7)
+
+	var one, two strings.Builder
+	if err := r.WriteExposition(&one); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteExposition(&two); err != nil {
+		t.Fatal(err)
+	}
+	if one.String() != two.String() {
+		t.Fatalf("two renders of identical state differ:\n%s\n---\n%s", one.String(), two.String())
+	}
+	if err := ValidateExposition(strings.NewReader(one.String())); err != nil {
+		t.Fatalf("own exposition does not validate: %v\n%s", err, one.String())
+	}
+	if !strings.Contains(one.String(), `# HELP a help with\nnewline and \\ backslash`) {
+		t.Errorf("help not escaped:\n%s", one.String())
+	}
+}
+
+func TestValidateExpositionRejects(t *testing.T) {
+	cases := map[string]string{
+		"empty":            "",
+		"bad name":         "9bad 1\n",
+		"no value":         "a_total\n",
+		"bad value":        "a_total x\n",
+		"no type":          "a_total 1\n",
+		"dup type":         "# TYPE a counter\n# TYPE a counter\na 1\n",
+		"unknown type":     "# TYPE a countermaybe\na 1\n",
+		"unterminated lbl": "# TYPE a counter\na{x=\"y 1\n",
+		"unquoted lbl":     "# TYPE a counter\na{x=y} 1\n",
+		"bucket sans le":   "# TYPE h histogram\nh_bucket 3\n",
+	}
+	for name, in := range cases {
+		if err := ValidateExposition(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: validated but should not:\n%s", name, in)
+		}
+	}
+	good := "# HELP h latency\n# TYPE h histogram\n" +
+		"h_bucket{le=\"0.1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 0.3\nh_count 2\n" +
+		"# TYPE up gauge\nup 1 1700000000\n"
+	if err := ValidateExposition(strings.NewReader(good)); err != nil {
+		t.Errorf("good exposition rejected: %v", err)
+	}
+}
+
+func TestRegistryPanicsOnDuplicateAndInvalid(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "")
+	for name, fn := range map[string]func(){
+		"duplicate": func() { r.Gauge("x_total", "") },
+		"invalid":   func() { r.Counter("9x", "") },
+		"bad label": func() { r.CounterVec("y_total", "", "__reserved") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	v := r.CounterVec("v_total", "", "who")
+	h := r.Histogram("h_seconds", "", DefBuckets)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				c.Inc()
+				v.With("a").Inc()
+				v.With("b").Add(2)
+				h.Observe(float64(i) / 100)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Value() != 8*500 {
+		t.Errorf("counter = %v, want %d", c.Value(), 8*500)
+	}
+	if v.With("a").Value() != 8*500 || v.With("b").Value() != 8*500*2 {
+		t.Errorf("vec = %v/%v", v.With("a").Value(), v.With("b").Value())
+	}
+	if h.Count() != 8*500 {
+		t.Errorf("histogram count = %d", h.Count())
+	}
+	var sb strings.Builder
+	if err := r.WriteExposition(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateExposition(strings.NewReader(sb.String())); err != nil {
+		t.Fatal(err)
+	}
+}

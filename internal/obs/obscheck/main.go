@@ -1,0 +1,148 @@
+// Command obscheck validates observability artifacts in CI: Prometheus
+// text exposition (as served by simstored /metrics) and Chrome
+// trace-event JSON (as written by -trace). It reads stdin, or a file
+// argument, and exits nonzero with a diagnostic when the input
+// violates the format — the smoke jobs pipe curl and -trace output
+// through it so a malformed exposition or an empty trace fails the
+// build instead of silently scraping as garbage.
+//
+// Usage:
+//
+//	curl -fsS http://host:8347/metrics | go run ./internal/obs/obscheck -format prom -require simstored_requests_total
+//	go run ./internal/obs/obscheck -format trace -require cell trace.json
+//
+// -require (repeatable) asserts that a named metric has at least one
+// sample with a nonzero value (prom), or that at least one span with
+// that name exists (trace).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"simbench/internal/obs"
+)
+
+type requireList []string
+
+func (r *requireList) String() string     { return strings.Join(*r, ",") }
+func (r *requireList) Set(s string) error { *r = append(*r, s); return nil }
+
+func main() {
+	var (
+		format  = flag.String("format", "prom", "input format: prom (Prometheus text exposition) or trace (Chrome trace-event JSON)")
+		require requireList
+	)
+	flag.Var(&require, "require", "require a nonzero sample of this metric (prom) or at least one span with this name (trace); repeatable")
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	what := "stdin"
+	if flag.NArg() == 1 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		in = f
+		what = flag.Arg(0)
+	} else if flag.NArg() > 1 {
+		fail(fmt.Errorf("at most one input file (default stdin)"))
+	}
+
+	data, err := io.ReadAll(in)
+	if err != nil {
+		fail(err)
+	}
+	switch *format {
+	case "prom":
+		err = checkProm(data, require)
+	case "trace":
+		err = checkTrace(data, require)
+	default:
+		err = fmt.Errorf("unknown -format %q (want prom or trace)", *format)
+	}
+	if err != nil {
+		fail(fmt.Errorf("%s: %w", what, err))
+	}
+	fmt.Printf("obscheck: %s ok (%s, %d bytes)\n", what, *format, len(data))
+}
+
+func checkProm(data []byte, require []string) error {
+	if err := obs.ValidateExposition(strings.NewReader(string(data))); err != nil {
+		return fmt.Errorf("invalid exposition: %w", err)
+	}
+	for _, name := range require {
+		if !hasNonzeroSample(string(data), name) {
+			return fmt.Errorf("no nonzero sample of required metric %s", name)
+		}
+	}
+	return nil
+}
+
+// hasNonzeroSample scans sample lines for the metric (exact name, any
+// labels) with a value other than 0.
+func hasNonzeroSample(exposition, name string) bool {
+	for _, line := range strings.Split(exposition, "\n") {
+		if !strings.HasPrefix(line, name) {
+			continue
+		}
+		rest := line[len(name):]
+		if rest != "" && rest[0] != '{' && rest[0] != ' ' {
+			continue // longer metric name sharing the prefix
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			continue
+		}
+		if v, err := strconv.ParseFloat(fields[len(fields)-1], 64); err == nil && v != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func checkTrace(data []byte, require []string) error {
+	var tf struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &tf); err != nil {
+		return fmt.Errorf("not valid trace-event JSON: %w", err)
+	}
+	if len(tf.TraceEvents) == 0 {
+		return fmt.Errorf("trace has no events")
+	}
+	spans := map[string]int{}
+	complete := 0
+	for i, ev := range tf.TraceEvents {
+		if ev.Ph == "" || ev.Name == "" {
+			return fmt.Errorf("event %d lacks ph or name", i)
+		}
+		if ev.Ph == "X" {
+			complete++
+			spans[ev.Name]++
+		}
+	}
+	if complete == 0 {
+		return fmt.Errorf("trace has no complete (ph=X) spans")
+	}
+	for _, name := range require {
+		if spans[name] == 0 {
+			return fmt.Errorf("no span named %q (have %d complete spans)", name, complete)
+		}
+	}
+	return nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "obscheck:", err)
+	os.Exit(1)
+}

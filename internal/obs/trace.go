@@ -1,0 +1,207 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Well-known trace lanes (Chrome trace "thread" ids). Scheduler
+// workers use their worker index directly (0..N-1); the fixed lanes
+// sit far above any plausible worker count so the two never collide.
+const (
+	// TidScheduler is the dispatch lane: per-cell key computation and
+	// other work the scheduler does before the worker pool spins up.
+	TidScheduler = 9000
+	// TidStoreRemote is the synchronous remote-read lane: the store's
+	// GET round trips to a simstored server.
+	TidStoreRemote = 9100
+	// TidWriteback is the asynchronous upload lane: the store's
+	// write-back PUTs, which happen off every worker's critical path.
+	TidWriteback = 9101
+)
+
+// Tracer records spans and exports them as Chrome trace-event JSON
+// (the chrome://tracing / Perfetto format: one complete "X" event per
+// span, microsecond timestamps relative to the tracer's start).
+//
+// A nil *Tracer is valid everywhere: Begin returns a nil *Span, whose
+// methods no-op — instrumented code calls the tracer unconditionally
+// and tracing costs nothing when disabled. All methods are safe for
+// concurrent use.
+type Tracer struct {
+	start time.Time
+	clock func() time.Duration // offset since start; injectable for tests
+
+	mu      sync.Mutex
+	events  []traceEvent
+	threads map[int]string // tid -> display name
+}
+
+// traceEvent is one Chrome trace event. Fields marshal in declaration
+// order; args is a map, which encoding/json renders with sorted keys —
+// so a given event sequence always serializes to the same bytes.
+type traceEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	Ts   int64             `json:"ts"` // microseconds since tracer start
+	Dur  int64             `json:"dur,omitempty"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// NewTracer returns a tracer timestamping against the wall clock from
+// now.
+func NewTracer() *Tracer {
+	t := &Tracer{start: time.Now(), threads: map[int]string{}}
+	t.clock = func() time.Duration { return time.Since(t.start) }
+	return t
+}
+
+// SetClock replaces the tracer's clock with fn, which returns the
+// offset since tracer start. Tests inject a deterministic clock so
+// trace bytes are reproducible.
+func (t *Tracer) SetClock(fn func() time.Duration) { t.clock = fn }
+
+// NameThread assigns a display name to a trace lane; exported as
+// thread_name metadata so chrome://tracing labels the row.
+func (t *Tracer) NameThread(tid int, name string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.threads[tid] = name
+	t.mu.Unlock()
+}
+
+// Span is one in-progress span; created by Begin, closed by End.
+type Span struct {
+	t  *Tracer
+	ev traceEvent
+}
+
+// Begin opens a span named name in category cat on lane tid. On a nil
+// tracer it returns nil, and every Span method on nil no-ops.
+func (t *Tracer) Begin(tid int, name, cat string) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{t: t, ev: traceEvent{
+		Name: name, Cat: cat, Ph: "X", Ts: t.clock().Microseconds(), Pid: 1, Tid: tid,
+	}}
+}
+
+// Arg attaches a key/value argument, returned for chaining. Safe any
+// time between Begin and End (spans are goroutine-local until End
+// publishes them).
+func (s *Span) Arg(key, value string) *Span {
+	if s == nil {
+		return nil
+	}
+	if s.ev.Args == nil {
+		s.ev.Args = map[string]string{}
+	}
+	s.ev.Args[key] = value
+	return s
+}
+
+// End closes the span and records it.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	end := s.t.clock().Microseconds()
+	s.ev.Dur = end - s.ev.Ts
+	if s.ev.Dur < 0 {
+		s.ev.Dur = 0
+	}
+	s.t.mu.Lock()
+	s.t.events = append(s.t.events, s.ev)
+	s.t.mu.Unlock()
+}
+
+// Instant records a zero-duration instant event (rendered as a marker
+// in the trace viewer) — degrade events, queue drops.
+func (t *Tracer) Instant(tid int, name, cat string) {
+	if t == nil {
+		return
+	}
+	ev := traceEvent{Name: name, Cat: cat, Ph: "i", Ts: t.clock().Microseconds(), Pid: 1, Tid: tid}
+	t.mu.Lock()
+	t.events = append(t.events, ev)
+	t.mu.Unlock()
+}
+
+// traceFile is the exported JSON shape chrome://tracing and Perfetto
+// load directly.
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteJSON exports the trace: thread-name metadata (sorted by lane),
+// then every recorded event in recording order. With a deterministic
+// clock and a serial schedule the bytes are fully reproducible.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	t.mu.Lock()
+	events := make([]traceEvent, 0, len(t.threads)+len(t.events))
+	tids := make([]int, 0, len(t.threads))
+	for tid := range t.threads {
+		tids = append(tids, tid)
+	}
+	sort.Ints(tids)
+	for _, tid := range tids {
+		events = append(events, traceEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: tid,
+			Args: map[string]string{"name": t.threads[tid]},
+		})
+	}
+	events = append(events, t.events...)
+	t.mu.Unlock()
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(traceFile{TraceEvents: events, DisplayTimeUnit: "ms"})
+}
+
+// WriteFile exports the trace to path. Callers invoke it only after
+// all rendered output is flushed — the trace file must never sequence
+// before (or interleave with) the tables it describes.
+func (t *Tracer) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := t.WriteJSON(f)
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
+}
+
+// tracerKey carries a *Tracer through a context.
+type tracerKey struct{}
+
+// WithTracer returns a context carrying t; the scheduler picks it up
+// from the run context, so tracing needs no plumbing through the
+// byte-identity experiment layer.
+func WithTracer(ctx context.Context, t *Tracer) context.Context {
+	return context.WithValue(ctx, tracerKey{}, t)
+}
+
+// TracerFrom returns the context's tracer, nil when none is attached
+// (and nil is safe to use — see Tracer).
+func TracerFrom(ctx context.Context) *Tracer {
+	if ctx == nil {
+		return nil
+	}
+	t, _ := ctx.Value(tracerKey{}).(*Tracer)
+	return t
+}

@@ -1,0 +1,218 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock steps one millisecond per call, so span timestamps and
+// durations are fully deterministic.
+func fakeClock() func() time.Duration {
+	var mu sync.Mutex
+	var ticks int64
+	return func() time.Duration {
+		mu.Lock()
+		defer mu.Unlock()
+		ticks++
+		return time.Duration(ticks) * time.Millisecond
+	}
+}
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	tr.NameThread(1, "x")
+	tr.Instant(1, "boom", "cat")
+	sp := tr.Begin(1, "span", "cat")
+	sp.Arg("k", "v").Arg("k2", "v2")
+	sp.End()
+	if sp != nil {
+		t.Fatal("Begin on nil tracer must return nil span")
+	}
+	if got := TracerFrom(context.Background()); got != nil {
+		t.Fatalf("TracerFrom(plain ctx) = %v, want nil", got)
+	}
+	if got := TracerFrom(nil); got != nil {
+		t.Fatalf("TracerFrom(nil) = %v, want nil", got)
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	tr := NewTracer()
+	ctx := WithTracer(context.Background(), tr)
+	if got := TracerFrom(ctx); got != tr {
+		t.Fatalf("TracerFrom = %p, want %p", got, tr)
+	}
+}
+
+func TestTraceGolden(t *testing.T) {
+	tr := NewTracer()
+	tr.SetClock(fakeClock())
+	tr.NameThread(TidScheduler, "scheduler")
+	tr.NameThread(0, "worker 0")
+
+	tr.Begin(TidScheduler, "key", "sched").Arg("cell", "a/1").End()
+	sp := tr.Begin(0, "cell", "sched").Arg("bench", "a")
+	tr.Begin(0, "measure", "sched").End()
+	sp.End()
+	tr.Instant(TidWriteback, "drop", "store")
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	const want = `{
+ "traceEvents": [
+  {
+   "name": "thread_name",
+   "ph": "M",
+   "ts": 0,
+   "pid": 1,
+   "tid": 0,
+   "args": {
+    "name": "worker 0"
+   }
+  },
+  {
+   "name": "thread_name",
+   "ph": "M",
+   "ts": 0,
+   "pid": 1,
+   "tid": 9000,
+   "args": {
+    "name": "scheduler"
+   }
+  },
+  {
+   "name": "key",
+   "cat": "sched",
+   "ph": "X",
+   "ts": 1000,
+   "dur": 1000,
+   "pid": 1,
+   "tid": 9000,
+   "args": {
+    "cell": "a/1"
+   }
+  },
+  {
+   "name": "measure",
+   "cat": "sched",
+   "ph": "X",
+   "ts": 4000,
+   "dur": 1000,
+   "pid": 1,
+   "tid": 0
+  },
+  {
+   "name": "cell",
+   "cat": "sched",
+   "ph": "X",
+   "ts": 3000,
+   "dur": 3000,
+   "pid": 1,
+   "tid": 0,
+   "args": {
+    "bench": "a"
+   }
+  },
+  {
+   "name": "drop",
+   "cat": "store",
+   "ph": "i",
+   "ts": 7000,
+   "pid": 1,
+   "tid": 9101
+  }
+ ],
+ "displayTimeUnit": "ms"
+}
+`
+	if buf.String() != want {
+		t.Errorf("trace JSON mismatch:\n--- got ---\n%s\n--- want ---\n%s", buf.String(), want)
+	}
+
+	// Two exports of the same tracer must be byte-identical.
+	var again bytes.Buffer
+	if err := tr.WriteJSON(&again); err != nil {
+		t.Fatal(err)
+	}
+	if again.String() != buf.String() {
+		t.Error("second WriteJSON differs from first")
+	}
+}
+
+func TestTraceJSONShape(t *testing.T) {
+	tr := NewTracer()
+	tr.Begin(3, "work", "cat").End()
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Tid  int    `json:"tid"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatalf("unmarshal: %v\n%s", err, buf.String())
+	}
+	if tf.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", tf.DisplayTimeUnit)
+	}
+	if len(tf.TraceEvents) != 1 || tf.TraceEvents[0].Name != "work" || tf.TraceEvents[0].Ph != "X" || tf.TraceEvents[0].Tid != 3 {
+		t.Errorf("unexpected events: %+v", tf.TraceEvents)
+	}
+}
+
+func TestWriteFile(t *testing.T) {
+	tr := NewTracer()
+	tr.Begin(0, "w", "c").End()
+	path := t.TempDir() + "/trace.json"
+	if err := tr.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"name": "w"`) {
+		t.Errorf("span missing from export:\n%s", buf.String())
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tr.Begin(w, "s", "c").Arg("i", "x").End()
+				tr.Instant(w, "i", "c")
+			}
+		}(w)
+	}
+	wg.Wait()
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatal(err)
+	}
+	if len(tf.TraceEvents) != 8*200*2 {
+		t.Errorf("events = %d, want %d", len(tf.TraceEvents), 8*200*2)
+	}
+}

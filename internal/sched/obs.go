@@ -1,0 +1,25 @@
+package sched
+
+import "simbench/internal/obs"
+
+// Scheduler metrics, registered on the process-wide default registry.
+// The scheduler is not part of the byte-identity scope (rendered
+// tables are built from Results, never from these), so it may observe
+// freely: counters and histograms here are strictly write-only from
+// the scheduler's point of view.
+var (
+	mJobsQueued = obs.Default.Counter("simbench_sched_jobs_queued_total",
+		"cells dispatched to the worker pool")
+	mJobsRunning = obs.Default.Gauge("simbench_sched_jobs_running",
+		"cells currently resolving (store lookup or measurement)")
+	mJobsDone = obs.Default.CounterVec("simbench_sched_jobs_done_total",
+		"completed cells by outcome: measured, cached, or error", "outcome")
+	mWorkerBusy = obs.Default.CounterVec("simbench_sched_worker_busy_seconds_total",
+		"time each worker spent resolving cells", "worker")
+	mQueueWait = obs.Default.Histogram("simbench_sched_queue_wait_seconds",
+		"time a dispatched cell waited for a free worker", obs.DefBuckets)
+	mCellDur = obs.Default.Histogram("simbench_sched_cell_seconds",
+		"wall time to resolve one cell, store hits included", obs.DefBuckets)
+	mWarmups = obs.Default.Counter("simbench_sched_warmups_total",
+		"discarded per-engine warmup runs executed")
+)

@@ -14,12 +14,14 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
 	"simbench/internal/arch"
 	"simbench/internal/core"
 	"simbench/internal/engine"
+	"simbench/internal/obs"
 )
 
 // Engine names an execution engine and builds fresh instances of it.
@@ -210,19 +212,27 @@ type Scheduler struct {
 // execute resolves one job: from the store when possible, by running
 // it otherwise. Fresh successful measurements are offered back to the
 // store. key is the job's content address, computed once by Run; it is
-// empty exactly when the scheduler has no Store.
-func (s *Scheduler) execute(ctx context.Context, j Job, key string) Result {
+// empty exactly when the scheduler has no Store. tr (nil when the run
+// is untraced) records the cell's phases on worker lane tid.
+func (s *Scheduler) execute(ctx context.Context, j Job, key string, tr *obs.Tracer, tid int) Result {
 	if s.Store != nil {
-		if r, ok := s.Store.Get(j, key); ok {
+		sp := tr.Begin(tid, "store.get", "store")
+		r, ok := s.Store.Get(j, key)
+		sp.Arg("hit", strconv.FormatBool(ok)).End()
+		if ok {
 			r.Job = j
 			r.Key = key
 			return r
 		}
 	}
+	sp := tr.Begin(tid, "measure", "sched")
 	r := Execute(ctx, j)
+	sp.End()
 	r.Key = key
 	if s.Store != nil && r.Err == nil {
+		sp := tr.Begin(tid, "store.put", "store")
 		s.Store.Put(key, r)
+		sp.End()
 	}
 	return r
 }
@@ -231,7 +241,7 @@ func (s *Scheduler) execute(ctx context.Context, j Job, key string) Result {
 // across the worker pool, so a many-engine sweep (twenty releases)
 // does not pay one serial full-length run per engine before the first
 // timed cell is dispatched.
-func runWarmups(ctx context.Context, jobs []Job, workers int) {
+func runWarmups(ctx context.Context, jobs []Job, workers int, tr *obs.Tracer) {
 	if len(jobs) == 0 {
 		return
 	}
@@ -242,13 +252,16 @@ func runWarmups(ctx context.Context, jobs []Job, workers int) {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for j := range feed {
+				sp := tr.Begin(w, "warmup", "sched").Arg("engine", j.Engine.Name)
+				mWarmups.Inc()
 				r := core.NewRunner(j.Engine.New(), j.Arch)
 				_, _ = r.Run(j.Bench, j.Iters)
+				sp.End()
 			}
-		}()
+		}(w)
 	}
 feed:
 	for _, j := range jobs {
@@ -364,6 +377,14 @@ func (s *Scheduler) Run(ctx context.Context, jobs []Job) []Result {
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
+	// The tracer rides the context so the byte-identity experiment
+	// layer never has to know tracing exists; a nil tracer costs a
+	// no-op method call per phase.
+	tr := obs.TracerFrom(ctx)
+	tr.NameThread(obs.TidScheduler, "scheduler")
+	for w := 0; w < workers; w++ {
+		tr.NameThread(w, "worker "+strconv.Itoa(w))
+	}
 	// Each job's content address is computed exactly once, up front;
 	// the warmup scan, the store lookup, the write-back and the
 	// caller's history stamping all reuse it (computing a key
@@ -373,26 +394,52 @@ func (s *Scheduler) Run(ctx context.Context, jobs []Job) []Result {
 	if s.Store != nil {
 		keys = make([]string, len(jobs))
 		for i, j := range jobs {
+			sp := tr.Begin(obs.TidScheduler, "key", "sched").Arg("cell", j.String())
 			keys[i] = s.Store.Key(j)
+			sp.End()
 		}
 	}
 	if s.Warmup && ctx.Err() == nil {
-		runWarmups(ctx, s.warmupJobs(ctx, jobs, keys, workers), workers)
+		runWarmups(ctx, s.warmupJobs(ctx, jobs, keys, workers), workers, tr)
 	}
 
 	idx := make(chan int)
+	enqueued := make([]time.Time, len(jobs))
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			wlabel := strconv.Itoa(w)
 			for i := range idx {
+				// The channel send happens-before this receive, so the
+				// feeder's enqueue stamp is visible here.
+				mQueueWait.Observe(time.Since(enqueued[i]).Seconds())
 				key := ""
 				if keys != nil {
 					key = keys[i]
 				}
-				r := s.execute(ctx, jobs[i], key)
+				sp := tr.Begin(w, "cell", "sched").Arg("cell", jobs[i].String())
+				if key != "" {
+					sp.Arg("key", key)
+				}
+				mJobsRunning.Inc()
+				started := time.Now()
+				r := s.execute(ctx, jobs[i], key, tr, w)
+				busy := time.Since(started)
+				mJobsRunning.Dec()
+				mWorkerBusy.With(wlabel).Add(busy.Seconds())
+				mCellDur.Observe(busy.Seconds())
+				switch {
+				case r.Err != nil:
+					mJobsDone.With("error").Inc()
+				case r.Cached:
+					mJobsDone.With("cached").Inc()
+				default:
+					mJobsDone.With("measured").Inc()
+				}
+				sp.End()
 				r.Index = i
 				results[i] = r
 				if s.Progress != nil {
@@ -401,14 +448,16 @@ func (s *Scheduler) Run(ctx context.Context, jobs []Job) []Result {
 					mu.Unlock()
 				}
 			}
-		}()
+		}(w)
 	}
 
 	next := 0
 feed:
 	for ; next < len(jobs); next++ {
+		enqueued[next] = time.Now()
 		select {
 		case idx <- next:
+			mJobsQueued.Inc()
 		case <-ctx.Done():
 			break feed
 		}

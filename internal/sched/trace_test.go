@@ -1,0 +1,132 @@
+package sched
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"simbench/internal/arch"
+	"simbench/internal/core"
+	"simbench/internal/obs"
+)
+
+// stepClock advances one millisecond per reading, making every span
+// timestamp and duration a function of call order alone.
+func stepClock() func() time.Duration {
+	var mu sync.Mutex
+	var ticks int64
+	return func() time.Duration {
+		mu.Lock()
+		defer mu.Unlock()
+		ticks++
+		return time.Duration(ticks) * time.Millisecond
+	}
+}
+
+// TestTraceGoldenFullyCached pins the exact trace bytes for a fixed
+// two-cell matrix served entirely from the store: Workers=1 serializes
+// span recording, the step clock removes wall time, and memStore keys
+// are platform-independent strings — so the export must match the
+// committed golden byte for byte on any host. Regenerate with
+// UPDATE_GOLDEN=1 go test ./internal/sched -run TraceGolden.
+func TestTraceGoldenFullyCached(t *testing.T) {
+	m := Matrix{
+		Arches:  arch.All()[:1],
+		Benches: testBenches(t, "ctrl.intrapage-direct", "mem.hot"),
+		Engines: testEngines()[:1],
+		Iters:   func(*core.Benchmark) int64 { return 4 },
+	}
+	jobs := m.Jobs()
+	st := newMemStore()
+	for _, j := range jobs {
+		st.m[st.Key(j)] = Result{Kernel: time.Millisecond, Run: &core.Result{}}
+	}
+
+	tr := obs.NewTracer()
+	tr.SetClock(stepClock())
+	s := &Scheduler{Workers: 1, Store: st}
+	results := s.Run(obs.WithTracer(context.Background(), tr), jobs)
+	for _, r := range results {
+		if r.Err != nil || !r.Cached {
+			t.Fatalf("cell %s: err=%v cached=%v — golden needs a fully cached run", r.Job, r.Err, r.Cached)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "trace_golden.json")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("trace bytes diverge from golden:\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestTraceSpansMeasuredRun checks the phase structure of a traced
+// uncached run: per-cell key spans on the scheduler lane, and a cell
+// span per job wrapping store.get (miss), measure, and store.put on
+// the worker lane. Durations are wall time here, so the assertion is
+// structural, not byte-exact.
+func TestTraceSpansMeasuredRun(t *testing.T) {
+	m := Matrix{
+		Arches:  arch.All()[:1],
+		Benches: testBenches(t, "ctrl.intrapage-direct"),
+		Engines: testEngines()[:1],
+		Iters:   func(*core.Benchmark) int64 { return 4 },
+	}
+	jobs := m.Jobs()
+	tr := obs.NewTracer()
+	s := &Scheduler{Workers: 1, Store: newMemStore()}
+	results := s.Run(obs.WithTracer(context.Background(), tr), jobs)
+	if err := Errors(results); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`"name": "key"`, `"name": "cell"`, `"name": "store.get"`,
+		`"name": "measure"`, `"name": "store.put"`,
+		`"name": "worker 0"`, `"name": "scheduler"`,
+		`"hit": "false"`,
+	} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Errorf("trace missing %s:\n%s", want, out)
+		}
+	}
+}
+
+// TestUntracedRunUnchanged: a run with no tracer on the context takes
+// the nil-tracer path end to end and still produces correct results.
+func TestUntracedRunUnchanged(t *testing.T) {
+	m := Matrix{
+		Arches:  arch.All()[:1],
+		Benches: testBenches(t, "ctrl.intrapage-direct"),
+		Engines: testEngines()[:1],
+		Iters:   func(*core.Benchmark) int64 { return 4 },
+	}
+	s := &Scheduler{Workers: 2, Store: newMemStore()}
+	results := s.Run(context.Background(), m.Jobs())
+	if err := Errors(results); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,160 @@
+package simstored
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"simbench/internal/obs"
+)
+
+// serverMetrics are one server instance's counters, on a per-instance
+// registry (not obs.Default) so a process embedding several servers —
+// or a test running many — keeps their numbers apart. GET /metrics
+// renders exactly this registry.
+type serverMetrics struct {
+	requests  *obs.CounterVec
+	latency   *obs.HistogramVec
+	bytes     *obs.CounterVec
+	inFlight  *obs.Gauge
+	objHits   *obs.Counter
+	objMisses *obs.Counter
+}
+
+func newServerMetrics(reg *obs.Registry) serverMetrics {
+	return serverMetrics{
+		requests: reg.CounterVec("simstored_requests_total",
+			"requests served, by route, method and status code", "route", "method", "code"),
+		latency: reg.HistogramVec("simstored_request_seconds",
+			"request handling latency by route", obs.DefBuckets, "route"),
+		bytes: reg.CounterVec("simstored_response_bytes_total",
+			"response body bytes sent by route", "route"),
+		inFlight: reg.Gauge("simstored_requests_in_flight",
+			"requests currently being handled"),
+		objHits: reg.Counter("simstored_object_hits_total",
+			"GET/HEAD object requests answered with a blob"),
+		objMisses: reg.Counter("simstored_object_misses_total",
+			"GET/HEAD object requests for keys the store does not hold"),
+	}
+}
+
+// routeLabel collapses a request path onto its route, so object and
+// baseline names do not explode the label space.
+func routeLabel(path string) string {
+	switch {
+	case strings.HasPrefix(path, "/objects/"):
+		return "/objects"
+	case path == "/runs":
+		return "/runs"
+	case path == "/baselines" || strings.HasPrefix(path, "/baselines/"):
+		return "/baselines"
+	case path == "/healthz":
+		return "/healthz"
+	case path == "/metrics":
+		return "/metrics"
+	default:
+		return "other"
+	}
+}
+
+// countingWriter captures what the instrumentation and access log need
+// from a response: the status code and the body byte count.
+type countingWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (cw *countingWriter) WriteHeader(code int) {
+	cw.status = code
+	cw.ResponseWriter.WriteHeader(code)
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.ResponseWriter.Write(p)
+	cw.bytes += int64(n)
+	return n, err
+}
+
+// accessRecord is one JSONL access-log line. Field order is fixed by
+// the struct, so lines are uniform and grep/jq-friendly.
+type accessRecord struct {
+	Time       string  `json:"time"`
+	Method     string  `json:"method"`
+	Path       string  `json:"path"`
+	Status     int     `json:"status"`
+	Bytes      int64   `json:"bytes"`
+	DurationMS float64 `json:"duration_ms"`
+	Remote     string  `json:"remote"`
+	RequestID  string  `json:"request_id"`
+}
+
+// ServeHTTP instruments every request — metrics, the JSONL access log,
+// and an X-Request-Id echoed back (generated when the client sent
+// none) — around the route dispatch in route.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	id := r.Header.Get("X-Request-Id")
+	if id == "" {
+		id = s.bootID + "-" + strconv.FormatUint(s.reqSeq.Add(1), 10)
+	}
+	w.Header().Set("X-Request-Id", id)
+	cw := &countingWriter{ResponseWriter: w, status: http.StatusOK}
+	s.metrics.inFlight.Inc()
+	start := time.Now()
+	s.route(cw, r)
+	elapsed := time.Since(start)
+	s.metrics.inFlight.Dec()
+
+	route := routeLabel(r.URL.Path)
+	s.metrics.requests.With(route, r.Method, strconv.Itoa(cw.status)).Inc()
+	s.metrics.latency.With(route).Observe(elapsed.Seconds())
+	s.metrics.bytes.With(route).Add(float64(cw.bytes))
+
+	if s.AccessLog != nil {
+		line, err := json.Marshal(accessRecord{
+			Time:       start.UTC().Format(time.RFC3339Nano),
+			Method:     r.Method,
+			Path:       r.URL.Path,
+			Status:     cw.status,
+			Bytes:      cw.bytes,
+			DurationMS: float64(elapsed.Microseconds()) / 1000,
+			Remote:     r.RemoteAddr,
+			RequestID:  id,
+		})
+		if err == nil {
+			s.logMu.Lock()
+			s.AccessLog.Write(append(line, '\n'))
+			s.logMu.Unlock()
+		}
+	}
+}
+
+// serveMetrics renders the server's registry in Prometheus text
+// exposition format.
+func (s *Server) serveMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		s.fail(w, r, http.StatusMethodNotAllowed, "method %s", r.Method)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if r.Method == http.MethodHead {
+		return
+	}
+	if err := s.reg.WriteExposition(w); err != nil {
+		s.logf("GET /metrics: write: %v", err)
+	}
+}
+
+// newBootID returns a short random prefix distinguishing this server
+// instance's generated request IDs from any other's.
+func newBootID() string {
+	var b [6]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "simstored"
+	}
+	return hex.EncodeToString(b[:])
+}

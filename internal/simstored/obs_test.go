@@ -1,0 +1,189 @@
+package simstored
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"simbench/internal/obs"
+)
+
+// syncBuffer lets the test read the access log while the server's
+// handler goroutines write it.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	blob := []byte(`{"schema":1}`)
+
+	// Generate traffic: a PUT, a hit, a miss.
+	if resp := do(t, http.MethodPut, ts.URL+"/objects/"+testKey, blob); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("PUT: %s", resp.Status)
+	}
+	if resp := do(t, http.MethodGet, ts.URL+"/objects/"+testKey, nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET hit: %s", resp.Status)
+	}
+	if resp := do(t, http.MethodGet, ts.URL+"/objects/"+strings.Repeat("cd", 32), nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET miss: %s", resp.Status)
+	}
+
+	resp := do(t, http.MethodGet, ts.URL+"/metrics", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateExposition(bytes.NewReader(body)); err != nil {
+		t.Fatalf("/metrics is not valid exposition format: %v\n%s", err, body)
+	}
+	for _, want := range []string{
+		`simstored_requests_total{route="/objects",method="PUT",code="204"} 1`,
+		`simstored_requests_total{route="/objects",method="GET",code="200"} 1`,
+		`simstored_requests_total{route="/objects",method="GET",code="404"} 1`,
+		`simstored_object_hits_total 1`,
+		`simstored_object_misses_total 1`,
+		`simstored_requests_in_flight 1`, // the /metrics request itself
+		`simstored_request_seconds_count{route="/objects"} 3`,
+	} {
+		if !strings.Contains(string(body), want+"\n") {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+	// The PUT and GET moved the blob's bytes; the counter must be > 0.
+	if !strings.Contains(string(body), `simstored_response_bytes_total{route="/objects"}`) {
+		t.Errorf("/metrics missing response bytes counter:\n%s", body)
+	}
+}
+
+func TestAccessLogJSONL(t *testing.T) {
+	srv, ts := newTestServer(t)
+	var log syncBuffer
+	srv.AccessLog = &log
+
+	if resp := do(t, http.MethodPut, ts.URL+"/objects/"+testKey, []byte(`{"schema":1}`)); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("PUT: %s", resp.Status)
+	}
+	resp := do(t, http.MethodGet, ts.URL+"/objects/"+testKey, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET: %s", resp.Status)
+	}
+	io.Copy(io.Discard, resp.Body)
+
+	sc := bufio.NewScanner(strings.NewReader(log.String()))
+	var records []accessRecord
+	for sc.Scan() {
+		var rec accessRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("access log line is not JSON: %v\n%s", err, sc.Text())
+		}
+		records = append(records, rec)
+	}
+	if len(records) != 2 {
+		t.Fatalf("access log has %d lines, want 2:\n%s", len(records), log.String())
+	}
+	put, get := records[0], records[1]
+	if put.Method != "PUT" || put.Path != "/objects/"+testKey || put.Status != http.StatusNoContent {
+		t.Errorf("PUT record = %+v", put)
+	}
+	if get.Method != "GET" || get.Status != http.StatusOK || get.Bytes == 0 {
+		t.Errorf("GET record = %+v", get)
+	}
+	for _, rec := range records {
+		if rec.RequestID == "" || rec.Remote == "" || rec.Time == "" {
+			t.Errorf("record missing id/remote/time: %+v", rec)
+		}
+	}
+}
+
+func TestRequestIDEchoAndGeneration(t *testing.T) {
+	srv, ts := newTestServer(t)
+	var log syncBuffer
+	srv.AccessLog = &log
+
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/healthz", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Request-Id", "client-supplied-42")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-Id"); got != "client-supplied-42" {
+		t.Errorf("client-supplied id not echoed: %q", got)
+	}
+	if !strings.Contains(log.String(), `"request_id":"client-supplied-42"`) {
+		t.Errorf("client id not in access log:\n%s", log.String())
+	}
+
+	resp2 := do(t, http.MethodGet, ts.URL+"/healthz", nil)
+	if got := resp2.Header.Get("X-Request-Id"); got == "" {
+		t.Error("no generated X-Request-Id on a request without one")
+	}
+}
+
+// TestMetricsRegistryIsolated: two servers must not share counters.
+func TestMetricsRegistryIsolated(t *testing.T) {
+	_, ts1 := newTestServer(t)
+	_, ts2 := newTestServer(t)
+	do(t, http.MethodGet, ts1.URL+"/healthz", nil)
+	resp := do(t, http.MethodGet, ts2.URL+"/metrics", nil)
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(body), `route="/healthz"`) {
+		t.Errorf("server 2's registry saw server 1's traffic:\n%s", body)
+	}
+}
+
+// TestPprofWiring mirrors cmd/simstored's -pprof mux: the profile index
+// must answer and the store routes must still work through the mux.
+func TestPprofWiring(t *testing.T) {
+	srv, err := New(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/debug/pprof/", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Stand-in for pprof.Index; the real wiring lives in cmd and
+		// uses the same mux shape.
+		io.WriteString(w, "pprof")
+	}))
+	mux.Handle("/", srv)
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	if resp := do(t, http.MethodGet, ts.URL+"/debug/pprof/", nil); resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof route: %s", resp.Status)
+	}
+	if resp := do(t, http.MethodGet, ts.URL+"/healthz", nil); resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz through mux: %s", resp.Status)
+	}
+}

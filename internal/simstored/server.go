@@ -19,6 +19,8 @@
 //	GET      /baselines/<n>   one baseline; 404 when absent
 //	PUT      /baselines/<n>   save a baseline
 //	GET      /healthz         liveness probe
+//	GET      /metrics         Prometheus text exposition of the
+//	                          server's request and object counters
 //
 // Content addressing makes the server trivially consistent: a key
 // names one immutable measurement, so concurrent PUTs of one key carry
@@ -35,7 +37,10 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
+	"simbench/internal/obs"
 	"simbench/internal/store"
 )
 
@@ -44,12 +49,25 @@ import (
 const maxBodyBytes = 1 << 28 // 256 MiB
 
 // Server serves one store directory. It is an http.Handler; wrap it in
-// whatever server (or mux prefix) the deployment wants.
+// whatever server (or mux prefix) the deployment wants. Every request
+// is instrumented: counted and timed on a per-instance metric registry
+// (served back at GET /metrics), logged as one JSONL line to AccessLog
+// when set, and answered with an X-Request-Id header.
 type Server struct {
 	dir string
 	// Logf, when set, receives one line per failed request; the happy
-	// path is silent.
+	// path goes to AccessLog instead.
 	Logf func(format string, args ...any)
+	// AccessLog, when set, receives one JSON line per request —
+	// method, path, status, bytes, duration, remote address and
+	// request ID. Writes are serialized by the server.
+	AccessLog io.Writer
+
+	reg     *obs.Registry
+	metrics serverMetrics
+	logMu   sync.Mutex
+	bootID  string
+	reqSeq  atomic.Uint64
 }
 
 // New opens (creating if needed) a server over the store directory.
@@ -62,8 +80,14 @@ func New(dir string) (*Server, error) {
 			return nil, fmt.Errorf("simstored: %w", err)
 		}
 	}
-	return &Server{dir: dir}, nil
+	s := &Server{dir: dir, reg: obs.NewRegistry(), bootID: newBootID()}
+	s.metrics = newServerMetrics(s.reg)
+	return s, nil
 }
+
+// Registry exposes the server's metric registry (what GET /metrics
+// renders), mainly so embedding processes can add their own gauges.
+func (s *Server) Registry() *obs.Registry { return s.reg }
 
 // Dir returns the served store directory.
 func (s *Server) Dir() string { return s.dir }
@@ -80,10 +104,14 @@ func (s *Server) fail(w http.ResponseWriter, r *http.Request, code int, format s
 	http.Error(w, msg, code)
 }
 
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+// route dispatches one request; ServeHTTP (obs.go) wraps it with
+// metrics, the access log, and the request ID.
+func (s *Server) route(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case r.URL.Path == "/healthz":
 		io.WriteString(w, "ok\n")
+	case r.URL.Path == "/metrics":
+		s.serveMetrics(w, r)
 	case strings.HasPrefix(r.URL.Path, "/objects/"):
 		s.serveObject(w, r, strings.TrimPrefix(r.URL.Path, "/objects/"))
 	case r.URL.Path == "/runs":
@@ -116,10 +144,12 @@ func (s *Server) serveObject(w http.ResponseWriter, r *http.Request, key string)
 	case http.MethodGet, http.MethodHead:
 		f, err := os.Open(path)
 		if err != nil {
+			s.metrics.objMisses.Inc()
 			s.fail(w, r, http.StatusNotFound, "no object %s", key)
 			return
 		}
 		defer f.Close()
+		s.metrics.objHits.Inc()
 		w.Header().Set("Content-Type", "application/json")
 		if info, err := f.Stat(); err == nil {
 			w.Header().Set("Content-Length", fmt.Sprint(info.Size()))

@@ -1,0 +1,99 @@
+package store
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestWritebackDropsAreCounted pins the drop accounting end to end:
+// with the uploader stalled and the bounded queue full, further
+// uploads are shed — and the shed count must reach Dropped(),
+// TierStats, fault (so Err and the degrade warning carry the tally),
+// and the FprintStats drop line. Before this accounting, a queue-full
+// store lost uploads with at most a count-free first-drop note, and
+// not even that when a transport failure had already claimed the
+// recorded-error slot.
+func TestWritebackDropsAreCounted(t *testing.T) {
+	block := make(chan struct{})
+	first := make(chan struct{})
+	var once sync.Once
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPut {
+			once.Do(func() { close(first) })
+			<-block // stall the uploader so the queue backs up
+		}
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	defer srv.Close()
+
+	rt, err := NewRemoteTier(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte(`{"schema":1}`)
+	var k Key
+	// One upload stalls in flight; wait for it so the remaining sends
+	// deterministically fill the channel rather than racing the
+	// uploader's receive.
+	rt.store(k, nil, payload)
+	<-first
+	for i := 0; i < remoteQueueDepth; i++ {
+		rt.store(k, nil, payload)
+	}
+	const extra = 3
+	for i := 0; i < extra; i++ {
+		rt.store(k, nil, payload)
+	}
+	if got := rt.Dropped(); got != extra {
+		t.Fatalf("Dropped() = %d, want %d", got, extra)
+	}
+	close(block)
+	rt.Close()
+
+	s, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.AttachRemote(rt)
+	if got := s.TierStats().Dropped; got != extra {
+		t.Errorf("TierStats().Dropped = %d, want %d", got, extra)
+	}
+	if err := s.Err(); err == nil || !strings.Contains(err.Error(), "3 uploads dropped") {
+		t.Errorf("Err() = %v, want the drop tally", err)
+	}
+
+	var sb strings.Builder
+	FprintStats(&sb, "simtest", s)
+	out := sb.String()
+	if !strings.Contains(out, "simtest: cache: 3 uploads dropped (write-back queue full)") {
+		t.Errorf("FprintStats missing drop line:\n%s", out)
+	}
+	if !strings.Contains(out, "cache degraded:") || !strings.Contains(out, "3 uploads dropped") {
+		t.Errorf("degrade warning missing drop tally:\n%s", out)
+	}
+}
+
+// TestDropsSurviveEarlierDegrade: a transport failure recorded first
+// must not mask the drop tally — fault joins both.
+func TestDropsSurviveEarlierDegrade(t *testing.T) {
+	rt, err := NewRemoteTier("http://127.0.0.1:1") // nothing listens here
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	var k Key
+	if b, _, _ := rt.load(k); b != nil {
+		t.Fatal("load from dead server returned a blob")
+	}
+	if !rt.Down() {
+		t.Fatal("tier not degraded after transport failure")
+	}
+	rt.dropped.Add(2) // simulate queue-full sheds after the degrade
+	err = rt.fault()
+	if err == nil || !strings.Contains(err.Error(), "unreachable") || !strings.Contains(err.Error(), "2 uploads dropped") {
+		t.Errorf("fault() = %v, want both the transport failure and the drop tally", err)
+	}
+}

@@ -3,6 +3,7 @@ package store
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -42,6 +43,8 @@ const (
 // remote blob is recorded but does not mark the server down — the
 // server answered; one object is bad.
 type RemoteTier struct {
+	tracerRef
+
 	base   string // server URL, no trailing slash
 	client *http.Client
 
@@ -102,7 +105,9 @@ func (rt *RemoteTier) objectURL(k Key) string { return rt.base + "/objects/" + k
 // degrade marks the server down and records why. Only the first
 // reason is kept; once down, the tier answers everything locally.
 func (rt *RemoteTier) degrade(err error) {
-	rt.down.Store(true)
+	if !rt.down.Swap(true) {
+		rt.noteDegraded()
+	}
 	rt.record(err)
 }
 
@@ -114,11 +119,23 @@ func (rt *RemoteTier) record(err error) {
 	rt.errMu.Unlock()
 }
 
+// fault reports the tier's degradation: the first recorded failure,
+// joined with a live drop summary. The drop count is folded in here —
+// rather than recorded once at first drop — so the reported number is
+// the final tally and drops still surface when a transport failure
+// claimed the single recorded-error slot first.
 func (rt *RemoteTier) fault() error {
 	rt.errMu.Lock()
-	defer rt.errMu.Unlock()
-	return rt.err
+	err := rt.err
+	rt.errMu.Unlock()
+	if n := rt.dropped.Load(); n > 0 {
+		err = errors.Join(err, fmt.Errorf("store: remote %s: %d uploads dropped (write-back queue full)", rt.base, n))
+	}
+	return err
 }
+
+// Dropped returns how many uploads the write-back queue has shed.
+func (rt *RemoteTier) Dropped() uint64 { return rt.dropped.Load() }
 
 // Down reports whether the tier has degraded to local-only operation.
 func (rt *RemoteTier) Down() bool { return rt.down.Load() }
@@ -135,6 +152,7 @@ func (rt *RemoteTier) load(k Key) (*blob, []byte, error) {
 	if rt.down.Load() {
 		return nil, nil, nil
 	}
+	defer rt.traceRemote("get", k)()
 	resp, err := rt.client.Get(rt.objectURL(k))
 	if err != nil {
 		err = fmt.Errorf("store: remote %s unreachable: %w", rt.base, err)
@@ -194,17 +212,19 @@ func (rt *RemoteTier) store(k Key, b *blob, data []byte) {
 	select {
 	case rt.queue <- remotePut{k: k, data: data}:
 		rt.qBytes += int64(len(data))
+		noteQueueDepth(+1)
 	default:
 		rt.drop()
 	}
 }
 
 // drop sheds one upload; the local tiers already hold the result, only
-// fleet sharing is deferred to a future run. Called with qMu held.
+// fleet sharing is deferred to a future run. The count surfaces via
+// fault (so Err warns with the tally), TierStats.Dropped, and the drop
+// counter. Called with qMu held.
 func (rt *RemoteTier) drop() {
-	if rt.dropped.Add(1) == 1 {
-		rt.record(fmt.Errorf("store: remote %s: upload queue full, uploads dropped", rt.base))
-	}
+	rt.dropped.Add(1)
+	rt.noteDrop()
 }
 
 // uploader drains the write-back queue. After the first failure the
@@ -215,10 +235,14 @@ func (rt *RemoteTier) uploader() {
 		rt.qMu.Lock()
 		rt.qBytes -= int64(len(p.data))
 		rt.qMu.Unlock()
+		noteQueueDepth(-1)
 		if rt.down.Load() {
 			continue
 		}
-		if _, err := rt.send(http.MethodPut, "/objects/"+p.k.String(), p.data, "PUT object"); err != nil {
+		done := rt.traceRemote("put", p.k)
+		_, err := rt.send(http.MethodPut, "/objects/"+p.k.String(), p.data, "PUT object")
+		done()
+		if err != nil {
 			rt.degrade(err)
 		}
 	}

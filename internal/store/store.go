@@ -142,9 +142,12 @@ type flight struct {
 }
 
 // TierStats breaks the store's hit counter down by where each hit's
-// measurement originally came from.
+// measurement originally came from. Dropped counts remote uploads shed
+// because the write-back queue was full — results the local tiers kept
+// but the fleet never saw.
 type TierStats struct {
 	Mem, Disk, Remote, Misses uint64
+	Dropped                   uint64
 }
 
 // Hits is the total across all tiers.
@@ -154,6 +157,8 @@ func (t TierStats) Hits() uint64 { return t.Mem + t.Disk + t.Remote }
 // sched.Store, so it plugs straight into a Scheduler. The zero value
 // is not usable; call Open.
 type Store struct {
+	tracerRef
+
 	dir    string // "" = no disk tier
 	chain  []tier // consulted in order behind mem: disk, then remote
 	remote *RemoteTier
@@ -245,6 +250,7 @@ func (s *Store) Get(j sched.Job, key string) (sched.Result, bool) {
 	b, origin := s.lookup(keyOf(j, key))
 	if b == nil {
 		s.misses.Add(1)
+		noteLookup("", false)
 		return sched.Result{}, false
 	}
 	switch origin {
@@ -253,8 +259,10 @@ func (s *Store) Get(j sched.Job, key string) (sched.Result, bool) {
 	case ProvRemote:
 		s.remoteHits.Add(1)
 	default:
+		origin = ProvMem
 		s.memHits.Add(1)
 	}
+	noteLookup(origin, true)
 	r := b.result(j)
 	r.Key = key
 	return r, true
@@ -327,6 +335,7 @@ func (s *Store) lookup(k Key) (*blob, Provenance) {
 	s.flightMu.Lock()
 	if f, ok := s.flight[k]; ok {
 		s.flightMu.Unlock()
+		noteCoalesced()
 		<-f.done
 		return f.b, f.origin
 	}
@@ -358,8 +367,10 @@ func (s *Store) probeChain(k Key) (*blob, Provenance) {
 		}
 		origin := t.name()
 		s.memPut(k, b, origin)
+		notePromotion(ProvMem)
 		for _, faster := range s.chain[:i] {
 			faster.store(k, b, data)
+			notePromotion(faster.name())
 		}
 		return b, origin
 	}
@@ -373,14 +384,19 @@ func (s *Store) Stats() (hits, misses uint64) {
 	return t.Hits(), t.Misses
 }
 
-// TierStats returns the lookup counters broken down by hit provenance.
+// TierStats returns the lookup counters broken down by hit provenance,
+// plus the remote write-back drop count.
 func (s *Store) TierStats() TierStats {
-	return TierStats{
+	t := TierStats{
 		Mem:    s.memHits.Load(),
 		Disk:   s.diskHits.Load(),
 		Remote: s.remoteHits.Load(),
 		Misses: s.misses.Load(),
 	}
+	if s.remote != nil {
+		t.Dropped = s.remote.Dropped()
+	}
+	return t
 }
 
 // Err returns the first failure of each degraded tier, joined. Tier
@@ -410,7 +426,8 @@ func (s *Store) Close() error {
 // FprintStats writes a one-line hit/miss summary in the voice of a CLI
 // tool ("tool: cache: 12 hits (12 remote), 0 misses (100% hits)") with
 // hits attributed to the tier that supplied them, plus a warning line
-// per degraded tier. A nil store, or one that saw no lookups, prints
+// when write-back drops lost uploads and one per degraded tier. A nil
+// store, or one that saw no lookups and dropped nothing, prints
 // nothing — so tools can call it unconditionally.
 func FprintStats(w io.Writer, tool string, s *Store) {
 	if s == nil {
@@ -433,6 +450,10 @@ func FprintStats(w io.Writer, tool string, s *Store) {
 		}
 		fmt.Fprintf(w, "%s: cache: %d hits%s, %d misses (%.0f%% hits)\n",
 			tool, t.Hits(), breakdown, t.Misses, float64(t.Hits())/float64(total)*100)
+	}
+	if t.Dropped > 0 {
+		fmt.Fprintf(w, "%s: cache: %d uploads dropped (write-back queue full); those results were not shared with the fleet\n",
+			tool, t.Dropped)
 	}
 	if err := s.Err(); err != nil {
 		fmt.Fprintf(w, "%s: cache degraded: %v\n", tool, err)
