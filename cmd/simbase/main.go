@@ -64,6 +64,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var (
 		cacheDir   = fs.String("cache-dir", "", "result cache directory (as passed to simbench/simsweep/simreport)")
 		remote     = fs.String("remote", "", "simstored server URL: history and baselines are read from and written to the fleet store instead of the local cache (gc still needs -cache-dir)")
+		remoteTok  = fs.String("remote-token", os.Getenv("SIMBENCH_REMOTE_TOKEN"), "bearer token for a -remote server started with -token (default $SIMBENCH_REMOTE_TOKEN)")
 		threshold  = fs.Float64("threshold", 0.10, "relative kernel-time slowdown tolerated as noise by the fixed gate — and by the stat gate's fallback and floor (0.10 = 10%)")
 		label      = fs.String("label", "", "restrict history to runs with this label (e.g. fig7, simbench)")
 		gate       = fs.String("gate", "fixed", "regression gate for diff: fixed (threshold) or stat (per-cell noise band from history)")
@@ -119,7 +120,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 	}
-	st, err := store.OpenTiered(*cacheDir, *remote)
+	st, err := store.OpenTiered(*cacheDir, *remote, store.WithToken(*remoteTok))
 	if err != nil {
 		fmt.Fprintln(stderr, "simbase:", err)
 		return 2

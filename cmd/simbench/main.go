@@ -53,20 +53,21 @@ func reportCache(tool string, st *store.Store) {
 
 func main() {
 	var (
-		scale    = flag.Int64("scale", 2000, "divide paper iteration counts by this")
-		minIters = flag.Int64("min-iters", 32, "minimum iterations after scaling")
-		benchSel = flag.String("bench", "", "comma-separated benchmark names (default: all)")
-		engSel   = flag.String("engines", "", "comma-separated engines: dbt, interp, detailed, virt, native, or a release tag (default: all five platforms)")
-		archSel  = flag.String("arch", "", "guest architecture: arm or x86 (default: both)")
-		jobs     = flag.Int("jobs", 0, "matrix cells run concurrently (default GOMAXPROCS; use 1 for minimum-noise timings)")
-		repeats  = flag.Int("repeats", 0, "measurements per cell; the minimum kernel time is reported (0 = auto: 2 for the full Fig. 7 run, 1 for subsets)")
-		specFile = flag.String("spec", "", "run this experiment spec JSON file (recorded in history under the spec's own label); excludes -bench/-engines/-arch/-json")
-		jsonOut  = flag.Bool("json", false, "write the result set as JSON to stdout instead of a table")
-		cacheDir = flag.String("cache-dir", "", "content-addressed result cache: identical cells are served from here instead of re-measured, and every run is appended to its history (see simbase)")
-		remote   = flag.String("remote", "", "simstored server URL (e.g. http://ci-cache:8347): a shared remote cache tier behind -cache-dir — remote hits are promoted to the local cache, fresh results upload asynchronously, and run history lands on the server")
-		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON file (per-cell spans: key computation, store get/put, measure, remote round trips) to this path; written after the tables render, loadable in chrome://tracing or Perfetto")
-		list     = flag.Bool("list", false, "list benchmarks, engines and releases, then exit")
-		verbose  = flag.Bool("v", false, "per-run progress output")
+		scale     = flag.Int64("scale", 2000, "divide paper iteration counts by this")
+		minIters  = flag.Int64("min-iters", 32, "minimum iterations after scaling")
+		benchSel  = flag.String("bench", "", "comma-separated benchmark names (default: all)")
+		engSel    = flag.String("engines", "", "comma-separated engines: dbt, interp, detailed, virt, native, or a release tag (default: all five platforms)")
+		archSel   = flag.String("arch", "", "guest architecture: arm or x86 (default: both)")
+		jobs      = flag.Int("jobs", 0, "matrix cells run concurrently (default GOMAXPROCS; use 1 for minimum-noise timings)")
+		repeats   = flag.Int("repeats", 0, "measurements per cell; the minimum kernel time is reported (0 = auto: 2 for the full Fig. 7 run, 1 for subsets)")
+		specFile  = flag.String("spec", "", "run this experiment spec JSON file (recorded in history under the spec's own label); excludes -bench/-engines/-arch/-json")
+		jsonOut   = flag.Bool("json", false, "write the result set as JSON to stdout instead of a table")
+		cacheDir  = flag.String("cache-dir", "", "content-addressed result cache: identical cells are served from here instead of re-measured, and every run is appended to its history (see simbase)")
+		remote    = flag.String("remote", "", "simstored server URL (e.g. http://ci-cache:8347): a shared remote cache tier behind -cache-dir — remote hits are promoted to the local cache, fresh results upload asynchronously, and run history lands on the server")
+		remoteTok = flag.String("remote-token", os.Getenv("SIMBENCH_REMOTE_TOKEN"), "bearer token for a -remote server started with -token (default $SIMBENCH_REMOTE_TOKEN)")
+		traceOut  = flag.String("trace", "", "write a Chrome trace-event JSON file (per-cell spans: key computation, store get/put, measure, remote round trips) to this path; written after the tables render, loadable in chrome://tracing or Perfetto")
+		list      = flag.Bool("list", false, "list benchmarks, engines and releases, then exit")
+		verbose   = flag.Bool("v", false, "per-run progress output")
 	)
 	flag.Parse()
 
@@ -113,7 +114,7 @@ func main() {
 	var st *store.Store
 	if *cacheDir != "" || *remote != "" {
 		var err error
-		if st, err = store.OpenTiered(*cacheDir, *remote); err != nil {
+		if st, err = store.OpenTiered(*cacheDir, *remote, store.WithToken(*remoteTok)); err != nil {
 			fail(err)
 		}
 		opts.Store = st

@@ -32,6 +32,7 @@ func main() {
 		jobs      = flag.Int("jobs", 0, "density cells run concurrently (default GOMAXPROCS; densities are deterministic counts, so parallelism is free)")
 		cacheDir  = flag.String("cache-dir", "", "content-addressed result cache: identical cells are served from here instead of re-measured (see simbase)")
 		remote    = flag.String("remote", "", "simstored server URL: a shared remote cache tier behind -cache-dir (see simbench -remote)")
+		remoteTok = flag.String("remote-token", os.Getenv("SIMBENCH_REMOTE_TOKEN"), "bearer token for a -remote server started with -token (default $SIMBENCH_REMOTE_TOKEN)")
 		traceOut  = flag.String("trace", "", "write a Chrome trace-event JSON file of the run's per-cell spans to this path after the table renders (see simbench -trace)")
 		verbose   = flag.Bool("v", false, "per-run progress output")
 	)
@@ -56,7 +57,7 @@ func main() {
 		opts.Progress = os.Stderr
 	}
 	if *cacheDir != "" || *remote != "" {
-		st, err := store.OpenTiered(*cacheDir, *remote)
+		st, err := store.OpenTiered(*cacheDir, *remote, store.WithToken(*remoteTok))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "simdensity:", err)
 			os.Exit(1)

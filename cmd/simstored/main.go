@@ -10,6 +10,7 @@
 //	simstored -dir /var/cache/simbench                # default addr
 //	simstored -dir /tmp/store -addr 127.0.0.1:8347
 //	simstored -dir /tmp/store -pprof -access-log /var/log/simstored.jsonl
+//	simstored -dir /tmp/store -token s3cret -quota-req 200 -quota-bytes 50e6
 //
 // The directory layout is exactly a local -cache-dir, so pointing
 // simstored at an existing cache directory publishes its cells as-is.
@@ -38,6 +39,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
 	"simbench/internal/simstored"
@@ -49,6 +51,9 @@ func main() {
 		dir       = flag.String("dir", "", "store directory to serve (created if missing; same layout as a local -cache-dir)")
 		accessLog = flag.String("access-log", "-", `access log destination: "-" for stdout, a file path to append to, "" to disable`)
 		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the same listener")
+		token     = flag.String("token", os.Getenv("SIMSTORED_TOKEN"), "comma-separated bearer tokens; when set, every endpoint but /healthz requires one (default $SIMSTORED_TOKEN). Clients pass theirs via -remote-token")
+		quotaReq  = flag.Float64("quota-req", 0, "per-client request quota in requests/second (0 = unlimited); past it the server answers 429 with a Retry-After")
+		quotaBy   = flag.Float64("quota-bytes", 0, "per-client transfer quota in bytes/second across request and response bodies (0 = unlimited)")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -61,6 +66,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "simstored:", err)
 		os.Exit(1)
 	}
+	for _, t := range strings.Split(*token, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			srv.Tokens = append(srv.Tokens, t)
+		}
+	}
+	srv.ReqPerSec = *quotaReq
+	srv.BytesPerSec = *quotaBy
 	srv.Logf = log.New(os.Stderr, "simstored: ", log.LstdFlags).Printf
 	switch *accessLog {
 	case "":

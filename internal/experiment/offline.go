@@ -44,20 +44,30 @@ func RenderOffline(sp Spec, o Options) error {
 }
 
 // RenderOfflineAll renders several specs offline against one store.
-// The history — megabytes of JSONL locally, a full fleet download
-// with a remote tier — is fetched, parsed and indexed once, and every
-// spec's coverage and noise annotations are resolved from it.
-// Rendering stops at the first failing spec, whose error lists all of
-// its missing cells.
+// Coverage resolves from the store's compacted cell index — against a
+// fleet store that is one /index round trip, not a download and
+// re-parse of the whole history — built once and shared by every spec.
+// The full history stream is only fetched (once) when some spec wants
+// noise annotations, which need the complete sample pool. Rendering
+// stops at the first failing spec, whose error lists all of its
+// missing cells.
 func RenderOfflineAll(specs []Spec, o Options) error {
 	if o.Store == nil {
 		return errors.New("experiment: offline rendering needs a store (-cache-dir or -remote)")
 	}
-	runs, err := o.Store.History()
+	idx, err := o.Store.CellIndex()
 	if err != nil {
 		return err
 	}
-	idx := store.CoverageIndex(runs)
+	var runs []store.RunRecord
+	for _, sp := range specs {
+		if sp.Noise {
+			if runs, err = o.Store.History(); err != nil {
+				return err
+			}
+			break
+		}
+	}
 	for _, sp := range specs {
 		if err := renderOffline(sp, o, runs, idx); err != nil {
 			return err

@@ -1,0 +1,237 @@
+package simstored
+
+import (
+	"crypto/subtle"
+	"math"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// maxQuotaClients bounds the quota table: past it, buckets idle for a
+// minute are evicted, and if every client is hot the table is cleared
+// outright — a cleared bucket refills to burst, so the failure mode of
+// an overfull table is brief over-admission, never unbounded memory.
+const maxQuotaClients = 100_000
+
+// bearerToken extracts the request's bearer credential.
+func bearerToken(r *http.Request) (string, bool) {
+	const prefix = "Bearer "
+	auth := r.Header.Get("Authorization")
+	if len(auth) > len(prefix) && strings.EqualFold(auth[:len(prefix)], prefix) {
+		return auth[len(prefix):], true
+	}
+	return "", false
+}
+
+// authorize enforces bearer auth when the server was given tokens.
+// /healthz stays open — load balancers and the CI wait-for-ready loop
+// probe it credential-less. Comparison is constant-time per token so
+// the check leaks nothing about prefix matches.
+func (s *Server) authorize(w http.ResponseWriter, r *http.Request) bool {
+	if len(s.Tokens) == 0 || r.URL.Path == "/healthz" {
+		return true
+	}
+	if tok, ok := bearerToken(r); ok {
+		for _, want := range s.Tokens {
+			if subtle.ConstantTimeCompare([]byte(tok), []byte(want)) == 1 {
+				return true
+			}
+		}
+	}
+	s.metrics.authFailures.Inc()
+	w.Header().Set("WWW-Authenticate", `Bearer realm="simstored"`)
+	s.fail(w, r, http.StatusUnauthorized, "missing or invalid bearer token")
+	return false
+}
+
+// clientID names the quota principal: the presented bearer token when
+// auth is on (a credential is one client, however many processes share
+// it — and an invalid token never reaches the quota gate), the remote
+// host otherwise.
+func (s *Server) clientID(r *http.Request) string {
+	if len(s.Tokens) > 0 {
+		if tok, ok := bearerToken(r); ok {
+			return "tok:" + tok
+		}
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		host = r.RemoteAddr
+	}
+	return "ip:" + host
+}
+
+// quotaTable is the per-client token-bucket state behind -quota-req
+// and -quota-bytes. Request admission costs one request token and, in
+// arrears, the bytes the exchange moved.
+type quotaTable struct {
+	reqRate, reqBurst   float64
+	byteRate, byteBurst float64
+
+	mu      sync.Mutex
+	clients map[string]*clientBuckets
+}
+
+type clientBuckets struct {
+	req, bytes bucket
+	touched    time.Time
+}
+
+// bucket is one token bucket. The byte bucket's level may go negative:
+// a response's size is only known after it is sent, so bytes are
+// charged in arrears and the debt blocks the client until refill pays
+// it off — over one window a client still averages at most its rate.
+type bucket struct {
+	level float64
+	last  time.Time
+}
+
+func (b *bucket) refill(now time.Time, rate, burst float64) {
+	if b.last.IsZero() {
+		b.level = burst
+	} else if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.level = math.Min(burst, b.level+rate*dt)
+	}
+	b.last = now
+}
+
+// newQuotaTable returns nil when both rates are unlimited — the nil
+// table is the "no quotas" fast path.
+func newQuotaTable(reqPerSec, bytesPerSec float64) *quotaTable {
+	if reqPerSec <= 0 && bytesPerSec <= 0 {
+		return nil
+	}
+	qt := &quotaTable{clients: make(map[string]*clientBuckets)}
+	if reqPerSec > 0 {
+		// Burst of twice the rate: a client may front-load a second's
+		// worth of traffic (a matrix warmup does) without tripping.
+		qt.reqRate, qt.reqBurst = reqPerSec, math.Max(2*reqPerSec, 1)
+	}
+	if bytesPerSec > 0 {
+		qt.byteRate, qt.byteBurst = bytesPerSec, 2*bytesPerSec
+	}
+	return qt
+}
+
+// admit charges one request (and its declared body size) against the
+// client's buckets. A non-empty kind means rejection, with how long
+// until the tripped bucket admits again.
+func (qt *quotaTable) admit(id string, now time.Time, reqBytes int64) (kind string, wait time.Duration) {
+	qt.mu.Lock()
+	defer qt.mu.Unlock()
+	c := qt.client(id)
+	c.touched = now
+	if qt.reqRate > 0 {
+		c.req.refill(now, qt.reqRate, qt.reqBurst)
+		if c.req.level < 1 {
+			return "requests", refillWait(1-c.req.level, qt.reqRate)
+		}
+	}
+	if qt.byteRate > 0 {
+		c.bytes.refill(now, qt.byteRate, qt.byteBurst)
+		if c.bytes.level <= 0 {
+			return "bytes", refillWait(1-c.bytes.level, qt.byteRate)
+		}
+	}
+	if qt.reqRate > 0 {
+		c.req.level--
+	}
+	if qt.byteRate > 0 && reqBytes > 0 {
+		c.bytes.level -= float64(reqBytes)
+	}
+	return "", 0
+}
+
+// charge books bytes the exchange moved beyond what admit saw — the
+// response body — against the client's byte bucket.
+func (qt *quotaTable) charge(id string, now time.Time, n int64) {
+	if qt == nil || qt.byteRate <= 0 || n <= 0 {
+		return
+	}
+	qt.mu.Lock()
+	defer qt.mu.Unlock()
+	c := qt.client(id)
+	c.bytes.refill(now, qt.byteRate, qt.byteBurst)
+	c.bytes.level -= float64(n)
+}
+
+// client returns (creating if needed) one principal's buckets,
+// evicting idle ones when the table is full. Called with mu held.
+func (qt *quotaTable) client(id string) *clientBuckets {
+	c := qt.clients[id]
+	if c == nil {
+		if len(qt.clients) >= maxQuotaClients {
+			qt.evictLocked()
+		}
+		c = &clientBuckets{}
+		qt.clients[id] = c
+	}
+	return c
+}
+
+func (qt *quotaTable) evictLocked() {
+	var cutoff time.Time
+	for _, c := range qt.clients {
+		if c.touched.After(cutoff) {
+			cutoff = c.touched
+		}
+	}
+	cutoff = cutoff.Add(-time.Minute)
+	for id, c := range qt.clients {
+		if c.touched.Before(cutoff) {
+			delete(qt.clients, id)
+		}
+	}
+	if len(qt.clients) >= maxQuotaClients {
+		qt.clients = make(map[string]*clientBuckets)
+	}
+}
+
+// refillWait is how long a bucket needs to accumulate deficit tokens.
+func refillWait(deficit, rate float64) time.Duration {
+	return time.Duration(deficit / rate * float64(time.Second))
+}
+
+// quotas lazily builds the quota table from the server's exported rate
+// fields (set before serving, like Tokens).
+func (s *Server) quotas() *quotaTable {
+	s.quotaOnce.Do(func() { s.quota = newQuotaTable(s.ReqPerSec, s.BytesPerSec) })
+	return s.quota
+}
+
+// clock is the quota gate's time source, injectable for tests.
+func (s *Server) clock() time.Time {
+	if s.Now != nil {
+		return s.Now()
+	}
+	return time.Now()
+}
+
+// admit runs the quota gate for one request. /healthz and /metrics are
+// exempt: liveness probing and scraping must keep working exactly when
+// the store is saturated enough for quotas to matter. The returned id
+// is non-empty when the exchange must be byte-charged after the
+// response is written.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) (id string, ok bool) {
+	qt := s.quotas()
+	if qt == nil || r.URL.Path == "/healthz" || r.URL.Path == "/metrics" {
+		return "", true
+	}
+	id = s.clientID(r)
+	kind, wait := qt.admit(id, s.clock(), r.ContentLength)
+	if kind != "" {
+		secs := int(math.Ceil(wait.Seconds()))
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		s.metrics.quotaRejects.With(kind).Inc()
+		s.fail(w, r, http.StatusTooManyRequests, "%s quota exceeded; retry after %ds", kind, secs)
+		return "", false
+	}
+	return id, true
+}

@@ -1,0 +1,209 @@
+package simstored
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"simbench/internal/sched"
+	"simbench/internal/store"
+)
+
+// fastRetry keeps degrade-path e2e tests quick without changing the
+// client's semantics.
+var fastRetry = store.RetryPolicy{Attempts: 2, Base: time.Millisecond, Max: 2 * time.Millisecond}
+
+// TestBearerAuth: with tokens set, every endpoint but /healthz demands
+// a valid bearer; failures are 401 with a WWW-Authenticate challenge
+// and land on the auth-failure counter.
+func TestBearerAuth(t *testing.T) {
+	srv, ts := newServerWith(t, func(s *Server) { s.Tokens = []string{"s3cret", "backup"} })
+
+	resp := do(t, http.MethodGet, ts.URL+"/runs", nil)
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("tokenless GET /runs: %s, want 401", resp.Status)
+	}
+	if ch := resp.Header.Get("WWW-Authenticate"); !strings.Contains(ch, "Bearer") {
+		t.Errorf("401 challenge = %q", ch)
+	}
+	if resp := doHdr(t, http.MethodGet, ts.URL+"/runs", nil,
+		map[string]string{"Authorization": "Bearer wrong"}); resp.StatusCode != http.StatusUnauthorized {
+		t.Errorf("wrong token: %s, want 401", resp.Status)
+	}
+	for _, tok := range []string{"s3cret", "backup"} {
+		if resp := doHdr(t, http.MethodGet, ts.URL+"/runs", nil,
+			map[string]string{"Authorization": "Bearer " + tok}); resp.StatusCode != http.StatusOK {
+			t.Errorf("token %q: %s, want 200", tok, resp.Status)
+		}
+	}
+	// Liveness probing stays credential-less.
+	if resp := do(t, http.MethodGet, ts.URL+"/healthz", nil); resp.StatusCode != http.StatusOK {
+		t.Errorf("tokenless /healthz: %s, want 200", resp.Status)
+	}
+	if v := srv.metrics.authFailures.Value(); v != 2 {
+		t.Errorf("auth failure counter = %v, want 2", v)
+	}
+}
+
+// TestRequestQuota: past the burst a client is answered 429 with an
+// honest Retry-After, the rejection is counted by kind, and the bucket
+// admits again once the clock refills it.
+func TestRequestQuota(t *testing.T) {
+	now := time.Unix(1000, 0)
+	srv, ts := newServerWith(t, func(s *Server) {
+		s.ReqPerSec = 1 // burst 2
+		s.Now = func() time.Time { return now }
+	})
+
+	for i := 0; i < 2; i++ {
+		if resp := do(t, http.MethodGet, ts.URL+"/runs", nil); resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d inside burst: %s", i, resp.Status)
+		}
+	}
+	resp := do(t, http.MethodGet, ts.URL+"/runs", nil)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("request past burst: %s, want 429", resp.Status)
+	}
+	if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err != nil || ra < 1 {
+		t.Errorf("Retry-After = %q, want a positive integer", resp.Header.Get("Retry-After"))
+	}
+	if msg := bodyOf(t, resp); !strings.Contains(msg, "requests quota exceeded") {
+		t.Errorf("429 body = %q", msg)
+	}
+	if v := srv.metrics.quotaRejects.With("requests").Value(); v != 1 {
+		t.Errorf("quota rejection counter = %v, want 1", v)
+	}
+
+	// Scrapes and probes are exempt: saturation is exactly when they matter.
+	for _, path := range []string{"/metrics", "/healthz"} {
+		if resp := do(t, http.MethodGet, ts.URL+path, nil); resp.StatusCode != http.StatusOK {
+			t.Errorf("%s under exhausted quota: %s, want 200", path, resp.Status)
+		}
+	}
+
+	now = now.Add(3 * time.Second)
+	if resp := do(t, http.MethodGet, ts.URL+"/runs", nil); resp.StatusCode != http.StatusOK {
+		t.Errorf("request after refill: %s, want 200", resp.Status)
+	}
+}
+
+// TestByteQuota: response bytes are charged in arrears, so a client
+// that streamed more than its burst is blocked until the debt refills
+// — the byte kind, not the request kind, trips.
+func TestByteQuota(t *testing.T) {
+	now := time.Unix(2000, 0)
+	srv, ts := newServerWith(t, func(s *Server) {
+		s.BytesPerSec = 32 // burst 64
+		s.Now = func() time.Time { return now }
+	})
+	// Seed the stream on disk, not over the wire — an upload would
+	// charge this same client before the assertion under test.
+	line := `{"label":"` + strings.Repeat("x", 80) + `","cells":[]}` + "\n"
+	if err := os.WriteFile(filepath.Join(srv.Dir(), "history.jsonl"), []byte(line), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// The first GET streams ~100 bytes against a 64-byte burst: it is
+	// admitted (the bucket was positive) and the debt lands afterwards.
+	if resp := do(t, http.MethodGet, ts.URL+"/runs", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("first GET: %s", resp.Status)
+	}
+	resp := do(t, http.MethodGet, ts.URL+"/runs", nil)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("GET while in byte debt: %s, want 429", resp.Status)
+	}
+	if msg := bodyOf(t, resp); !strings.Contains(msg, "bytes quota exceeded") {
+		t.Errorf("429 body = %q", msg)
+	}
+	if v := srv.metrics.quotaRejects.With("bytes").Value(); v == 0 {
+		t.Error("byte rejection not counted")
+	}
+
+	ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || ra < 1 {
+		t.Fatalf("Retry-After = %q, want a positive integer", resp.Header.Get("Retry-After"))
+	}
+	now = now.Add(time.Duration(ra)*time.Second + time.Second)
+	if resp := do(t, http.MethodGet, ts.URL+"/runs", nil); resp.StatusCode != http.StatusOK {
+		t.Errorf("GET after the debt refilled: %s, want 200", resp.Status)
+	}
+}
+
+// degradedRun measures the e2e matrix against a store whose remote is
+// rejecting every request, and asserts the run's contract: every cell
+// measured locally and correct, no error escaping to the caller, the
+// degradation named on the stats line — the CLI's exit-0 path.
+func degradedRun(t *testing.T, remoteURL string, opts ...store.RemoteOption) string {
+	t.Helper()
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := store.NewRemoteTier(remoteURL, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.AttachRemote(rt)
+
+	m := e2eMatrix(t)
+	jobs := m.Jobs()
+	s := sched.Scheduler{Workers: 2, Warmup: true, Store: st}
+	results := s.Run(context.Background(), jobs)
+	if err := sched.Errors(results); err != nil {
+		t.Fatalf("cells failed under a rejecting remote: %v", err)
+	}
+	stats := st.TierStats()
+	if stats.Remote != 0 || stats.Misses != uint64(len(jobs)) {
+		t.Errorf("stats under rejecting remote = %+v, want all local misses", stats)
+	}
+	if !st.Remote().Down() {
+		t.Error("tier not down after every request was rejected")
+	}
+	st.Close()
+
+	var buf bytes.Buffer
+	store.FprintStats(&buf, "e2e", st)
+	out := buf.String()
+	if !strings.Contains(out, "cache degraded:") {
+		t.Errorf("stats line does not surface the degradation:\n%s", out)
+	}
+	return out
+}
+
+// TestAuthFailureDegradesToLocal: a client with the wrong token — the
+// fleet-store misconfiguration — still completes its run locally and
+// the stats line tells the operator what to fix.
+func TestAuthFailureDegradesToLocal(t *testing.T) {
+	_, ts := newServerWith(t, func(s *Server) { s.Tokens = []string{"s3cret"} })
+	out := degradedRun(t, ts.URL, store.WithToken("wrong"), store.WithRetry(fastRetry))
+	if !strings.Contains(out, "401") || !strings.Contains(out, "-remote-token") {
+		t.Errorf("degradation reason does not point at the token:\n%s", out)
+	}
+}
+
+// TestQuotaExhaustionDegradesToLocal: a client that outruns its quota
+// retries, then degrades to local measurement rather than failing the
+// run.
+func TestQuotaExhaustionDegradesToLocal(t *testing.T) {
+	frozen := time.Unix(3000, 0)
+	_, ts := newServerWith(t, func(s *Server) {
+		// A frozen clock never refills: after the burst, every request
+		// is 429 — the hard-exhaustion case.
+		s.ReqPerSec = 0.001
+		s.Now = func() time.Time { return frozen }
+	})
+	// Burn the burst so the run sees only 429s.
+	for i := 0; i < 2; i++ {
+		do(t, http.MethodGet, ts.URL+"/runs", nil)
+	}
+	out := degradedRun(t, ts.URL, store.WithRetry(fastRetry))
+	if !strings.Contains(out, "429") {
+		t.Errorf("degradation reason does not name the quota rejection:\n%s", out)
+	}
+}

@@ -1,0 +1,280 @@
+package simstored
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// newServerWith is newTestServer with a configuration hook that runs
+// before the listener starts — auth, quota and cap fields are read by
+// handler goroutines, so they must be set before any request exists.
+func newServerWith(t *testing.T, mut func(*Server)) (*Server, *httptest.Server) {
+	t.Helper()
+	srv, err := New(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mut != nil {
+		mut(srv)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+// doHdr is do with request headers; the conditional and range tests
+// speak raw HTTP on purpose — the wire contract is the thing under
+// test, not the client that happens to use it.
+func doHdr(t *testing.T, method, url string, body []byte, hdr map[string]string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(method, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func bodyOf(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func postRun(t *testing.T, url string, line string) {
+	t.Helper()
+	if resp := do(t, http.MethodPost, url+"/runs", []byte(line)); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("POST run: %s", resp.Status)
+	}
+}
+
+// TestRunsConditionalGet: the history stream carries a validator from
+// its very first (empty) state, answers If-None-Match with 304, and
+// issues a fresh validator the moment an append lands.
+func TestRunsConditionalGet(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	resp := do(t, http.MethodGet, ts.URL+"/runs", nil)
+	empty := resp.Header.Get("ETag")
+	if empty == "" {
+		t.Fatal("no ETag on the empty history")
+	}
+	if cl := resp.Header.Get("Content-Length"); cl != "0" {
+		t.Errorf("empty history Content-Length = %q, want 0", cl)
+	}
+	if resp := doHdr(t, http.MethodGet, ts.URL+"/runs", nil,
+		map[string]string{"If-None-Match": empty}); resp.StatusCode != http.StatusNotModified {
+		t.Errorf("empty-history revalidation: %s, want 304", resp.Status)
+	}
+
+	postRun(t, ts.URL, `{"label":"run-0","cells":[]}`)
+	postRun(t, ts.URL, `{"label":"run-1","cells":[]}`)
+
+	resp = do(t, http.MethodGet, ts.URL+"/runs", nil)
+	etag := resp.Header.Get("ETag")
+	body := bodyOf(t, resp)
+	if etag == "" || etag == empty {
+		t.Fatalf("ETag after appends = %q (empty was %q)", etag, empty)
+	}
+	if cl := resp.Header.Get("Content-Length"); cl != fmt.Sprint(len(body)) {
+		t.Errorf("Content-Length = %q, body is %d bytes", cl, len(body))
+	}
+	if resp := doHdr(t, http.MethodGet, ts.URL+"/runs", nil,
+		map[string]string{"If-None-Match": etag}); resp.StatusCode != http.StatusNotModified {
+		t.Errorf("revalidation of current etag: %s, want 304", resp.Status)
+	}
+
+	// One more append: the held validator goes stale and the stream is
+	// served again, under a new one.
+	postRun(t, ts.URL, `{"label":"run-2","cells":[]}`)
+	resp = doHdr(t, http.MethodGet, ts.URL+"/runs", nil, map[string]string{"If-None-Match": etag})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET after append with stale etag: %s, want 200", resp.Status)
+	}
+	if got := resp.Header.Get("ETag"); got == etag {
+		t.Error("append did not change the validator")
+	}
+	if lines := strings.Count(bodyOf(t, resp), "\n"); lines != 3 {
+		t.Errorf("full stream has %d lines, want 3", lines)
+	}
+}
+
+// TestRunsTailResume: "Range: bytes=N-" under a still-valid If-Range
+// transfers exactly the appended tail; a validator from another life
+// of the stream falls back to the full body; an offset beyond the end
+// is 416 with the real size.
+func TestRunsTailResume(t *testing.T) {
+	_, ts := newTestServer(t)
+	postRun(t, ts.URL, `{"label":"run-0","cells":[]}`)
+	postRun(t, ts.URL, `{"label":"run-1","cells":[]}`)
+
+	resp := do(t, http.MethodGet, ts.URL+"/runs", nil)
+	etag := resp.Header.Get("ETag")
+	seen := len(bodyOf(t, resp))
+
+	const tail = `{"label":"run-2","cells":[]}`
+	postRun(t, ts.URL, tail)
+	total := seen + len(tail) + 1
+
+	resp = doHdr(t, http.MethodGet, ts.URL+"/runs", nil, map[string]string{
+		"Range":    fmt.Sprintf("bytes=%d-", seen),
+		"If-Range": etag,
+	})
+	if resp.StatusCode != http.StatusPartialContent {
+		t.Fatalf("tail resume: %s, want 206", resp.Status)
+	}
+	if got := bodyOf(t, resp); got != tail+"\n" {
+		t.Errorf("tail body = %q, want just the appended line", got)
+	}
+	if cr, want := resp.Header.Get("Content-Range"),
+		fmt.Sprintf("bytes %d-%d/%d", seen, total-1, total); cr != want {
+		t.Errorf("Content-Range = %q, want %q", cr, want)
+	}
+	if cl := resp.Header.Get("Content-Length"); cl != fmt.Sprint(len(tail)+1) {
+		t.Errorf("tail Content-Length = %q, want %d", cl, len(tail)+1)
+	}
+	current := resp.Header.Get("ETag")
+
+	// A validator minted by some other stream: the offset means nothing
+	// here, so the server serves the whole body instead of a tail.
+	resp = doHdr(t, http.MethodGet, ts.URL+"/runs", nil, map[string]string{
+		"Range":    fmt.Sprintf("bytes=%d-", seen),
+		"If-Range": `"deadbeef.7-1f"`,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("foreign If-Range: %s, want full 200", resp.Status)
+	}
+	if got := len(bodyOf(t, resp)); got != total {
+		t.Errorf("foreign If-Range body = %d bytes, want the full %d", got, total)
+	}
+
+	// Resuming past the end names the real size, so the client can tell
+	// "nothing new" from "start over".
+	resp = doHdr(t, http.MethodGet, ts.URL+"/runs", nil, map[string]string{
+		"Range":    fmt.Sprintf("bytes=%d-", total+100),
+		"If-Range": current,
+	})
+	if resp.StatusCode != http.StatusRequestedRangeNotSatisfiable {
+		t.Fatalf("past-the-end resume: %s, want 416", resp.Status)
+	}
+	if cr, want := resp.Header.Get("Content-Range"), fmt.Sprintf("bytes */%d", total); cr != want {
+		t.Errorf("416 Content-Range = %q, want %q", cr, want)
+	}
+}
+
+// TestRunsTruncationInvalidatesResume: clearing the history file bumps
+// the stream's generation, so a client resuming with its old validator
+// gets the full fresh stream — never a garbage tail cut from unrelated
+// bytes at its stale offset.
+func TestRunsTruncationInvalidatesResume(t *testing.T) {
+	srv, ts := newTestServer(t)
+	for i := 0; i < 3; i++ {
+		postRun(t, ts.URL, fmt.Sprintf(`{"label":"run-%d","cells":[]}`, i))
+	}
+	resp := do(t, http.MethodGet, ts.URL+"/runs", nil)
+	etag := resp.Header.Get("ETag")
+	seen := len(bodyOf(t, resp))
+
+	// An operator clears the fleet history down to one fresh line.
+	const fresh = `{"label":"fresh","cells":[]}`
+	if err := os.WriteFile(filepath.Join(srv.Dir(), "history.jsonl"), []byte(fresh+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	resp = doHdr(t, http.MethodGet, ts.URL+"/runs", nil, map[string]string{
+		"If-None-Match": etag,
+		"Range":         fmt.Sprintf("bytes=%d-", seen),
+		"If-Range":      etag,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("resume across truncation: %s, want full 200", resp.Status)
+	}
+	if got := bodyOf(t, resp); got != fresh+"\n" {
+		t.Errorf("post-truncation body = %q, want the fresh stream", got)
+	}
+	if got := resp.Header.Get("ETag"); got == etag {
+		t.Error("truncation did not change the generation validator")
+	}
+}
+
+// TestOversizedBodyIs413: a body past the upload cap is "too big", not
+// "malformed" — 413 on every upload endpoint, naming the cap, while a
+// small body still lands.
+func TestOversizedBodyIs413(t *testing.T) {
+	_, ts := newServerWith(t, func(s *Server) { s.MaxBody = 64 })
+	big := []byte(`{"pad":"` + strings.Repeat("x", 100) + `"}`)
+	for _, ep := range []struct{ method, path string }{
+		{http.MethodPut, "/objects/" + testKey},
+		{http.MethodPost, "/runs"},
+		{http.MethodPut, "/baselines/nightly"},
+	} {
+		resp := do(t, ep.method, ts.URL+ep.path, big)
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Errorf("%s %s with oversized body: %s, want 413", ep.method, ep.path, resp.Status)
+		}
+		if msg := bodyOf(t, resp); !strings.Contains(msg, "64 byte upload cap") {
+			t.Errorf("%s %s 413 message %q does not name the cap", ep.method, ep.path, msg)
+		}
+	}
+	if resp := do(t, http.MethodPost, ts.URL+"/runs", []byte(`{"label":"ok","cells":[]}`)); resp.StatusCode != http.StatusNoContent {
+		t.Errorf("small body under the cap: %s, want 204", resp.Status)
+	}
+}
+
+// TestAppendRetry: a /runs POST that loses the flock race to a
+// colocated local writer is retried (and the contention counted)
+// before the client ever hears 500 — and a lock that never clears
+// still fails honestly.
+func TestAppendRetry(t *testing.T) {
+	var calls atomic.Int32
+	srv, ts := newServerWith(t, func(s *Server) {
+		real := s.appendFn
+		s.appendFn = func(path string, line []byte) error {
+			switch calls.Add(1) {
+			case 1, 2:
+				return errors.New("flock: resource temporarily unavailable")
+			case 3:
+				return real(path, line)
+			default:
+				return errors.New("flock: still held")
+			}
+		}
+	})
+
+	// Two lost races, then the lock clears: the client sees one clean 204.
+	if resp := do(t, http.MethodPost, ts.URL+"/runs", []byte(`{"label":"contended","cells":[]}`)); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("POST under brief contention: %s, want 204", resp.Status)
+	}
+	if n := calls.Load(); n != 3 {
+		t.Errorf("append attempted %d times, want 3", n)
+	}
+	if v := srv.metrics.appendRetries.Value(); v != 2 {
+		t.Errorf("append retry counter = %v, want 2", v)
+	}
+
+	// A lock held past the whole budget is a real failure.
+	if resp := do(t, http.MethodPost, ts.URL+"/runs", []byte(`{"label":"stuck","cells":[]}`)); resp.StatusCode != http.StatusInternalServerError {
+		t.Errorf("POST under persistent contention: %s, want 500", resp.Status)
+	}
+	if v := srv.metrics.appendRetries.Value(); v != 4 {
+		t.Errorf("append retry counter after exhausted budget = %v, want 4", v)
+	}
+}

@@ -1,0 +1,195 @@
+package simstored
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"io"
+	"os"
+	"sort"
+	"sync"
+
+	"simbench/internal/store"
+)
+
+// historyIndex is the server's compacted per-cell view of
+// history.jsonl: for every (host, cell) pair, the content address of
+// the newest successful record. It answers the Coverage-style lookups
+// offline rendering needs in O(cells) instead of a full-file scan and
+// re-parse per request.
+//
+// The JSONL file remains the only durable contract: the index holds no
+// state that cannot be rebuilt from it, is rebuilt on startup, and is
+// caught up incrementally from the file's appended tail — so a server
+// whose directory is also appended to directly by colocated local
+// writers (the layout is exactly a -cache-dir) converges on the same
+// answer a full scan would give.
+type historyIndex struct {
+	mu sync.Mutex
+	// off is how many bytes of the file have been folded in — always a
+	// line boundary, so a torn tail (an append in flight) is left for
+	// the next catch-up rather than misparsed.
+	off     int64
+	seq     uint64 // per-line recency counter; later lines win
+	skipped int    // malformed lines tolerated, as every decodeHistory client does
+	// resets counts rebuilds forced by a truncated or replaced file.
+	// It feeds the history stream's generation validator: within one
+	// generation the file only ever grew, which is what makes a
+	// client's byte-offset resume sound.
+	resets uint64
+	hosts  map[string]map[store.CellRef]indexEntry
+}
+
+type indexEntry struct {
+	key string
+	seq uint64
+}
+
+func newHistoryIndex() *historyIndex {
+	return &historyIndex{hosts: make(map[string]map[store.CellRef]indexEntry)}
+}
+
+// catchUp folds the file's unread tail into the index. A file smaller
+// than the consumed offset means the history was truncated or swapped
+// out from under the server; the index forgets everything and rebuilds
+// from byte zero — correctness comes from the file, never from index
+// memory.
+func (ix *historyIndex) catchUp(path string) error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	info, err := os.Stat(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			if ix.off > 0 {
+				ix.resetLocked()
+			}
+			return nil
+		}
+		return err
+	}
+	if info.Size() < ix.off {
+		ix.resetLocked()
+	}
+	if info.Size() == ix.off {
+		return nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := f.Seek(ix.off, io.SeekStart); err != nil {
+		return err
+	}
+	br := bufio.NewReaderSize(f, 1<<20)
+	for {
+		line, err := br.ReadBytes('\n')
+		if err == io.EOF {
+			// An unterminated tail: an append still in flight. Leave
+			// its bytes unconsumed; the next catch-up reads the whole
+			// line.
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		ix.off += int64(len(line))
+		ix.addLocked(line)
+	}
+}
+
+func (ix *historyIndex) resetLocked() {
+	ix.off, ix.seq, ix.skipped = 0, 0, 0
+	ix.resets++
+	ix.hosts = make(map[string]map[store.CellRef]indexEntry)
+}
+
+// generation returns the reset counter — the part of the history
+// stream's validator that survives appends but not truncations.
+func (ix *historyIndex) generation() uint64 {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return ix.resets
+}
+
+// addLocked folds one complete history line in, applying exactly the
+// record filter store.CoverageIndex applies: failed cells, keyless
+// cells and unparsable keys contribute nothing; later lines win.
+func (ix *historyIndex) addLocked(line []byte) {
+	var rr store.RunRecord
+	if err := json.Unmarshal(line, &rr); err != nil {
+		ix.skipped++
+		return
+	}
+	ix.seq++
+	bucket := ix.hosts[rr.Host]
+	if bucket == nil {
+		bucket = make(map[store.CellRef]indexEntry)
+		ix.hosts[rr.Host] = bucket
+	}
+	for _, c := range rr.Cells {
+		if c.Error != "" || c.Key == "" {
+			continue
+		}
+		if _, ok := store.ParseKey(c.Key); !ok {
+			continue
+		}
+		bucket[store.RefOfRecord(c)] = indexEntry{key: c.Key, seq: ix.seq}
+	}
+}
+
+// lookup renders the index for one host: its own bucket merged with
+// the unhosted one (records with no host stamp match any host, exactly
+// as CoverageIndex treats them), the newer record winning per cell.
+// The result is sorted so the response body is deterministic.
+func (ix *historyIndex) lookup(host string) []store.IndexCell {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	merged := make(map[store.CellRef]indexEntry)
+	for _, h := range []string{"", host} {
+		for ref, e := range ix.hosts[h] {
+			if cur, ok := merged[ref]; !ok || e.seq > cur.seq {
+				merged[ref] = e
+			}
+		}
+	}
+	out := make([]store.IndexCell, 0, len(merged))
+	for ref, e := range merged {
+		out = append(out, store.IndexCell{
+			Benchmark: ref.Benchmark,
+			Engine:    ref.Engine,
+			Arch:      ref.Arch,
+			Iters:     ref.Iters,
+			Repeats:   ref.Repeats,
+			Key:       e.key,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		switch {
+		case a.Arch != b.Arch:
+			return a.Arch < b.Arch
+		case a.Benchmark != b.Benchmark:
+			return a.Benchmark < b.Benchmark
+		case a.Engine != b.Engine:
+			return a.Engine < b.Engine
+		case a.Iters != b.Iters:
+			return a.Iters < b.Iters
+		default:
+			return a.Repeats < b.Repeats
+		}
+	})
+	return out
+}
+
+// cells counts indexed cells across all host buckets — the value of
+// the simstored_history_index_cells gauge.
+func (ix *historyIndex) cells() int {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	n := 0
+	for _, bucket := range ix.hosts {
+		n += len(bucket)
+	}
+	return n
+}

@@ -1,0 +1,272 @@
+package simstored
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"simbench/internal/sched"
+	"simbench/internal/store"
+)
+
+// loadScale sizes the storm: 100 concurrent writers by default (the
+// acceptance floor), a dozen under -short, and overridable from the
+// environment so CI can run a reduced smoke without editing code.
+func loadScale(t *testing.T) (writers, appends int) {
+	t.Helper()
+	writers, appends = 100, 2
+	if testing.Short() {
+		writers = 12
+	}
+	for _, env := range []struct {
+		name string
+		dst  *int
+	}{
+		{"SIMSTORED_LOAD_WRITERS", &writers},
+		{"SIMSTORED_LOAD_APPENDS", &appends},
+	} {
+		if v := os.Getenv(env.name); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n <= 0 {
+				t.Fatalf("%s=%q: want a positive integer", env.name, v)
+			}
+			*env.dst = n
+		}
+	}
+	return writers, appends
+}
+
+// p99 reads the q=0.99 latency bound for one route off the server's
+// own histogram exposition — the same numbers an operator's scrape
+// sees. It returns the upper edge of the bucket the percentile lands
+// in, and the sample count.
+func p99(t *testing.T, srv *Server, route string) (bound float64, count int64) {
+	t.Helper()
+	prefix := fmt.Sprintf(`simstored_request_seconds_bucket{route=%q,le="`, route)
+	type edge struct {
+		le  float64
+		cum int64
+	}
+	var edges []edge
+	for _, line := range strings.Split(exposition(t, srv), "\n") {
+		if !strings.HasPrefix(line, prefix) {
+			continue
+		}
+		rest := line[len(prefix):]
+		q := strings.Index(rest, `"}`)
+		if q < 0 {
+			continue
+		}
+		cum, err := strconv.ParseInt(strings.TrimSpace(rest[q+2:]), 10, 64)
+		if err != nil {
+			t.Fatalf("histogram sample %q: %v", line, err)
+		}
+		le := rest[:q]
+		if le == "+Inf" {
+			count = cum
+			continue
+		}
+		v, err := strconv.ParseFloat(le, 64)
+		if err != nil {
+			t.Fatalf("histogram edge %q: %v", line, err)
+		}
+		edges = append(edges, edge{v, cum})
+	}
+	if count == 0 {
+		t.Fatalf("no %s latency samples in the exposition", route)
+	}
+	need := count - count/100 // ceil-ish 99th
+	for _, e := range edges {
+		if e.cum >= need {
+			return e.le, count
+		}
+	}
+	return edges[len(edges)-1].le * 10, count // landed in +Inf
+}
+
+// TestLoadStorm: hundreds of writers hammer POST /runs while readers
+// poll the stream through the real client. Afterwards: every append is
+// in the file exactly once, the tail protocol still transfers O(one
+// line), and the server's own histograms bound the /runs p99.
+func TestLoadStorm(t *testing.T) {
+	writers, appends := loadScale(t)
+	srv, ts := newTestServer(t)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for a := 0; a < appends; a++ {
+				line := fmt.Sprintf(`{"label":"w%d-a%d","cells":[]}`, w, a)
+				req, err := http.NewRequest(http.MethodPost, ts.URL+"/runs", strings.NewReader(line))
+				if err != nil {
+					errs <- err
+					return
+				}
+				resp, err := http.DefaultClient.Do(req)
+				if err != nil {
+					errs <- err
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusNoContent {
+					errs <- fmt.Errorf("writer %d append %d: %s", w, a, resp.Status)
+					return
+				}
+			}
+		}(w)
+	}
+	// Readers ride along: incremental polls against a moving stream must
+	// only ever see whole lines, never a torn tail.
+	readerErrs := make(chan error, 4)
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st, err := store.Open("")
+			if err != nil {
+				readerErrs <- err
+				return
+			}
+			rt, err := store.NewRemoteTier(ts.URL)
+			if err != nil {
+				readerErrs <- err
+				return
+			}
+			st.AttachRemote(rt)
+			defer st.Close()
+			for i := 0; i < 8; i++ {
+				if _, err := st.History(); err != nil {
+					readerErrs <- fmt.Errorf("poll %d: %w", i, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	close(readerErrs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	for err := range readerErrs {
+		t.Fatal(err)
+	}
+
+	// Zero lost appends: every line is present exactly once.
+	resp := do(t, http.MethodGet, ts.URL+"/runs", nil)
+	etag := resp.Header.Get("ETag")
+	body := bodyOf(t, resp)
+	lines := strings.Split(strings.TrimSuffix(body, "\n"), "\n")
+	if len(lines) != writers*appends {
+		t.Fatalf("history holds %d lines, want %d", len(lines), writers*appends)
+	}
+	seen := make(map[string]bool, len(lines))
+	for _, line := range lines {
+		if seen[line] {
+			t.Fatalf("duplicated append: %q", line)
+		}
+		seen[line] = true
+	}
+	for w := 0; w < writers; w++ {
+		for a := 0; a < appends; a++ {
+			if line := fmt.Sprintf(`{"label":"w%d-a%d","cells":[]}`, w, a); !seen[line] {
+				t.Errorf("lost append: %q", line)
+			}
+		}
+	}
+
+	// After the storm, one more append still travels as one line: the
+	// incremental protocol's cost is O(appended bytes), not O(history).
+	const tail = `{"label":"after-the-storm","cells":[]}`
+	postRun(t, ts.URL, tail)
+	resp = doHdr(t, http.MethodGet, ts.URL+"/runs", nil, map[string]string{
+		"Range":    fmt.Sprintf("bytes=%d-", len(body)),
+		"If-Range": etag,
+	})
+	if resp.StatusCode != http.StatusPartialContent {
+		t.Fatalf("post-storm tail fetch: %s, want 206", resp.Status)
+	}
+	if got := bodyOf(t, resp); got != tail+"\n" {
+		t.Errorf("post-storm tail = %d bytes, want the %d appended", len(got), len(tail)+1)
+	}
+
+	// The server's own histograms bound the storm's latency. The bound
+	// is generous — CI machines under -race are slow — but it catches
+	// the failure this test exists for: appends serializing behind the
+	// flock into multi-second stalls.
+	bound, count := p99(t, srv, "/runs")
+	if count < int64(writers*appends) {
+		t.Errorf("latency histogram saw %d /runs requests, want at least %d", count, writers*appends)
+	}
+	if bound > 2.5 {
+		t.Errorf("/runs p99 landed in the ≤%gs bucket; the storm stalled", bound)
+	}
+}
+
+// TestOfflineRenderAfterStorm: a history storm must not perturb what
+// the store serves — the offline render through the server is
+// byte-identical to the live run that measured the cells.
+func TestOfflineRenderAfterStorm(t *testing.T) {
+	_, ts := newTestServer(t)
+	m := e2eMatrix(t)
+	jobs := m.Jobs()
+
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := store.NewRemoteTier(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.AttachRemote(rt)
+	s := sched.Scheduler{Workers: 2, Warmup: true, Store: st}
+	live := s.Run(context.Background(), jobs)
+	if err := sched.Errors(live); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AppendHistory("storm-e2e", live); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The storm: a pile of unrelated appends between the run and its
+	// offline replay.
+	for i := 0; i < 50; i++ {
+		postRun(t, ts.URL, fmt.Sprintf(`{"label":"noise-%d","cells":[]}`, i))
+	}
+
+	// A fresh host renders offline from the server alone: the compacted
+	// index resolves the cells, the blobs stream over, the table bytes
+	// match the live run's.
+	off, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt2, err := store.NewRemoteTier(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off.AttachRemote(rt2)
+	defer off.Close()
+	results, missing, err := off.Coverage(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) != 0 {
+		t.Fatalf("cells missing after the storm: %v", missing)
+	}
+	if a, b := renderTable(m, live), renderTable(m, results); a != b {
+		t.Errorf("offline render after the storm is not byte-identical:\n--- live\n%s\n--- offline\n%s", a, b)
+	}
+}

@@ -17,12 +17,16 @@ import (
 // or a test running many — keeps their numbers apart. GET /metrics
 // renders exactly this registry.
 type serverMetrics struct {
-	requests  *obs.CounterVec
-	latency   *obs.HistogramVec
-	bytes     *obs.CounterVec
-	inFlight  *obs.Gauge
-	objHits   *obs.Counter
-	objMisses *obs.Counter
+	requests      *obs.CounterVec
+	latency       *obs.HistogramVec
+	bytes         *obs.CounterVec
+	inFlight      *obs.Gauge
+	objHits       *obs.Counter
+	objMisses     *obs.Counter
+	authFailures  *obs.Counter
+	quotaRejects  *obs.CounterVec
+	appendRetries *obs.Counter
+	indexCells    *obs.Gauge
 }
 
 func newServerMetrics(reg *obs.Registry) serverMetrics {
@@ -39,6 +43,14 @@ func newServerMetrics(reg *obs.Registry) serverMetrics {
 			"GET/HEAD object requests answered with a blob"),
 		objMisses: reg.Counter("simstored_object_misses_total",
 			"GET/HEAD object requests for keys the store does not hold"),
+		authFailures: reg.Counter("simstored_auth_failures_total",
+			"requests rejected with 401 for a missing or invalid bearer token"),
+		quotaRejects: reg.CounterVec("simstored_quota_rejections_total",
+			"requests rejected with 429, by the quota that tripped", "kind"),
+		appendRetries: reg.Counter("simstored_history_append_retries_total",
+			"history append attempts retried after losing the flock race to a colocated writer"),
+		indexCells: reg.Gauge("simstored_history_index_cells",
+			"cells currently held by the compacted per-cell history index"),
 	}
 }
 
@@ -50,6 +62,8 @@ func routeLabel(path string) string {
 		return "/objects"
 	case path == "/runs":
 		return "/runs"
+	case path == "/index":
+		return "/index"
 	case path == "/baselines" || strings.HasPrefix(path, "/baselines/"):
 		return "/baselines"
 	case path == "/healthz":
@@ -95,7 +109,9 @@ type accessRecord struct {
 
 // ServeHTTP instruments every request — metrics, the JSONL access log,
 // and an X-Request-Id echoed back (generated when the client sent
-// none) — around the route dispatch in route.
+// none) — around the auth gate, the quota gate, and the route dispatch
+// in route. Gate rejections (401, 429) are counted and logged exactly
+// like any other response.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	id := r.Header.Get("X-Request-Id")
 	if id == "" {
@@ -105,7 +121,16 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	cw := &countingWriter{ResponseWriter: w, status: http.StatusOK}
 	s.metrics.inFlight.Inc()
 	start := time.Now()
-	s.route(cw, r)
+	if s.authorize(cw, r) {
+		if qid, ok := s.admit(cw, r); ok {
+			s.route(cw, r)
+			// Response bytes are only known now; admit already charged
+			// the request body, this books the rest in arrears.
+			if qid != "" {
+				s.quota.charge(qid, s.clock(), cw.bytes)
+			}
+		}
+	}
 	elapsed := time.Since(start)
 	s.metrics.inFlight.Dec()
 

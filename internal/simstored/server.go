@@ -12,15 +12,27 @@
 //
 //	GET/HEAD /objects/<key>   one blob by content address; 404 on miss
 //	PUT      /objects/<key>   store one blob
-//	GET      /runs            the history stream (JSONL, possibly empty)
+//	GET      /runs            the history stream (JSONL, possibly empty).
+//	                          Supports ETag/If-None-Match (304) and
+//	                          byte-offset resumption via "Range:
+//	                          bytes=N-" guarded by If-Range, so clients
+//	                          re-fetch only the appended tail
 //	POST     /runs            append one history line (serialized by the
 //	                          same lock local appends take)
+//	GET      /index?host=h    the compacted per-cell history index for
+//	                          one host: each cell's newest successful
+//	                          record, as a JSON array of IndexCell
 //	GET      /baselines       baseline names, as a JSON array
 //	GET      /baselines/<n>   one baseline; 404 when absent
 //	PUT      /baselines/<n>   save a baseline
-//	GET      /healthz         liveness probe
+//	GET      /healthz         liveness probe (never requires auth)
 //	GET      /metrics         Prometheus text exposition of the
 //	                          server's request and object counters
+//
+// When Tokens is set every endpoint except /healthz requires a bearer
+// token (401 otherwise); when ReqPerSec/BytesPerSec are set, per-client
+// token buckets answer 429 with a Retry-After once a client outruns its
+// quota.
 //
 // Content addressing makes the server trivially consistent: a key
 // names one immutable measurement, so concurrent PUTs of one key carry
@@ -36,17 +48,28 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"simbench/internal/obs"
 	"simbench/internal/store"
 )
 
-// maxBodyBytes bounds any single uploaded object, history line or
-// baseline.
-const maxBodyBytes = 1 << 28 // 256 MiB
+// defaultMaxBody bounds any single uploaded object, history line or
+// baseline when the server does not override MaxBody.
+const defaultMaxBody = 1 << 28 // 256 MiB
+
+// appendAttempts and appendDelay bound the brief retry a /runs POST
+// gives a LockedAppend that lost the flock race to a colocated local
+// writer: contention on a healthy store clears in milliseconds, so a
+// couple of short waits turn a spurious 500 into a served append.
+const (
+	appendAttempts = 3
+	appendDelay    = 10 * time.Millisecond
+)
 
 // Server serves one store directory. It is an http.Handler; wrap it in
 // whatever server (or mux prefix) the deployment wants. Every request
@@ -62,15 +85,37 @@ type Server struct {
 	// method, path, status, bytes, duration, remote address and
 	// request ID. Writes are serialized by the server.
 	AccessLog io.Writer
+	// Tokens, when non-empty, turns on bearer auth: every endpoint but
+	// /healthz answers 401 unless the request presents one of these.
+	// Set before serving, like every configuration field here.
+	Tokens []string
+	// ReqPerSec and BytesPerSec, when positive, cap each client's
+	// request and transfer rates; past the cap the server answers 429
+	// with a Retry-After. A client is a bearer token when auth is on,
+	// a remote host otherwise.
+	ReqPerSec   float64
+	BytesPerSec float64
+	// MaxBody overrides the upload size cap (defaulted by New).
+	MaxBody int64
+	// Now overrides the quota gate's clock, for tests.
+	Now func() time.Time
 
 	reg     *obs.Registry
 	metrics serverMetrics
 	logMu   sync.Mutex
 	bootID  string
 	reqSeq  atomic.Uint64
+
+	idx       *historyIndex
+	quotaOnce sync.Once
+	quota     *quotaTable
+	// appendFn is the history append seam; tests inject contention,
+	// production is store.LockedAppend.
+	appendFn func(path string, line []byte) error
 }
 
-// New opens (creating if needed) a server over the store directory.
+// New opens (creating if needed) a server over the store directory and
+// rebuilds the per-cell history index from history.jsonl.
 func New(dir string) (*Server, error) {
 	if dir == "" {
 		return nil, errors.New("simstored: a store directory is required")
@@ -80,9 +125,34 @@ func New(dir string) (*Server, error) {
 			return nil, fmt.Errorf("simstored: %w", err)
 		}
 	}
-	s := &Server{dir: dir, reg: obs.NewRegistry(), bootID: newBootID()}
+	s := &Server{
+		dir:      dir,
+		MaxBody:  defaultMaxBody,
+		reg:      obs.NewRegistry(),
+		bootID:   newBootID(),
+		idx:      newHistoryIndex(),
+		appendFn: store.LockedAppend,
+	}
 	s.metrics = newServerMetrics(s.reg)
+	if err := s.idx.catchUp(s.historyPath()); err != nil {
+		return nil, fmt.Errorf("simstored: rebuild history index: %w", err)
+	}
+	s.metrics.indexCells.Set(float64(s.idx.cells()))
 	return s, nil
+}
+
+func (s *Server) historyPath() string { return filepath.Join(s.dir, "history.jsonl") }
+
+// syncIndex folds any unread history tail into the per-cell index and
+// publishes its size. Errors are logged, not returned: the JSONL is
+// the durable contract, and a later catch-up (or a restart) rebuilds
+// whatever this pass missed.
+func (s *Server) syncIndex() {
+	if err := s.idx.catchUp(s.historyPath()); err != nil {
+		s.logf("history index: %v", err)
+		return
+	}
+	s.metrics.indexCells.Set(float64(s.idx.cells()))
 }
 
 // Registry exposes the server's metric registry (what GET /metrics
@@ -116,6 +186,8 @@ func (s *Server) route(w http.ResponseWriter, r *http.Request) {
 		s.serveObject(w, r, strings.TrimPrefix(r.URL.Path, "/objects/"))
 	case r.URL.Path == "/runs":
 		s.serveRuns(w, r)
+	case r.URL.Path == "/index":
+		s.serveIndex(w, r)
 	case r.URL.Path == "/baselines":
 		s.serveBaselineList(w, r)
 	case strings.HasPrefix(r.URL.Path, "/baselines/"):
@@ -123,6 +195,25 @@ func (s *Server) route(w http.ResponseWriter, r *http.Request) {
 	default:
 		s.fail(w, r, http.StatusNotFound, "unknown path %q", r.URL.Path)
 	}
+}
+
+// readBody reads a request body under the upload cap, distinguishing
+// the cap itself (413, so clients can tell "too big" from "malformed")
+// from any other read failure (400). ok is false when the response has
+// already been written.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request, what string) (body []byte, ok bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.MaxBody))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.fail(w, r, http.StatusRequestEntityTooLarge,
+				"%s exceeds the %d byte upload cap", what, tooBig.Limit)
+			return nil, false
+		}
+		s.fail(w, r, http.StatusBadRequest, "read %s: %v", what, err)
+		return nil, false
+	}
+	return body, true
 }
 
 // objectPath maps a validated key to its blob file, sharded by the
@@ -157,11 +248,12 @@ func (s *Server) serveObject(w http.ResponseWriter, r *http.Request, key string)
 		if r.Method == http.MethodHead {
 			return
 		}
-		io.Copy(w, f)
+		if _, err := io.Copy(w, f); err != nil {
+			s.logf("GET /objects/%s: copy: %v", key, err)
+		}
 	case http.MethodPut:
-		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
-		if err != nil {
-			s.fail(w, r, http.StatusBadRequest, "read object: %v", err)
+		body, ok := s.readBody(w, r, "object")
+		if !ok {
 			return
 		}
 		if !json.Valid(body) {
@@ -182,26 +274,13 @@ func (s *Server) serveObject(w http.ResponseWriter, r *http.Request, key string)
 }
 
 func (s *Server) serveRuns(w http.ResponseWriter, r *http.Request) {
-	path := filepath.Join(s.dir, "history.jsonl")
+	path := s.historyPath()
 	switch r.Method {
 	case http.MethodGet:
-		f, err := os.Open(path)
-		if err != nil {
-			if errors.Is(err, os.ErrNotExist) {
-				// An empty history is a young fleet, not an error.
-				w.Header().Set("Content-Type", "application/jsonl")
-				return
-			}
-			s.fail(w, r, http.StatusInternalServerError, "open history: %v", err)
-			return
-		}
-		defer f.Close()
-		w.Header().Set("Content-Type", "application/jsonl")
-		io.Copy(w, f)
+		s.serveHistory(w, r, path)
 	case http.MethodPost:
-		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
-		if err != nil {
-			s.fail(w, r, http.StatusBadRequest, "read run: %v", err)
+		body, ok := s.readBody(w, r, "run")
+		if !ok {
 			return
 		}
 		line := []byte(strings.TrimSpace(string(body)))
@@ -211,16 +290,175 @@ func (s *Server) serveRuns(w http.ResponseWriter, r *http.Request) {
 			s.fail(w, r, http.StatusBadRequest, "run must be one line of valid JSON")
 			return
 		}
-		// The same exclusive lock local AppendHistory takes, so a
-		// server colocated with local writers on one directory still
-		// serializes every append.
-		if err := store.LockedAppend(path, line); err != nil {
+		if err := s.appendRun(path, line); err != nil {
 			s.fail(w, r, http.StatusInternalServerError, "append run: %v", err)
 			return
 		}
+		// Fold the new line in while it is hot. A failure here is not
+		// a failed append: the JSONL is the durable contract and the
+		// next catch-up rebuilds.
+		s.syncIndex()
 		w.WriteHeader(http.StatusNoContent)
 	default:
 		s.fail(w, r, http.StatusMethodNotAllowed, "method %s", r.Method)
+	}
+}
+
+// appendRun takes the same exclusive lock local AppendHistory takes,
+// so a server colocated with local writers on one directory still
+// serializes every append — retrying briefly when it loses the race,
+// since contention on a healthy store clears in milliseconds and a
+// 500 would push the loss onto the client.
+func (s *Server) appendRun(path string, line []byte) error {
+	var err error
+	for attempt := 0; attempt < appendAttempts; attempt++ {
+		if attempt > 0 {
+			s.metrics.appendRetries.Inc()
+			time.Sleep(appendDelay << (attempt - 1))
+		}
+		if err = s.appendFn(path, line); err == nil {
+			return nil
+		}
+	}
+	return err
+}
+
+// historyETag is the history stream's validator: a generation (this
+// server's boot ID plus the index's truncation-reset counter) and the
+// byte size. Within one generation the file only ever grows, so equal
+// etags name identical bytes — and, unlike a per-snapshot validator
+// that changes on every append, the generation half keeps matching
+// across appends, which is exactly what lets If-Range vouch for a
+// byte-offset resume on a stream that is growing by design.
+func (s *Server) historyETag(size int64) string {
+	return fmt.Sprintf("\"%s.%d-%x\"", s.bootID, s.idx.generation(), size)
+}
+
+// sameGeneration reports whether an If-Range validator carries the
+// same generation as the current etag — i.e. the prefix the client
+// consumed is still a prefix of the file, so serving the tail from its
+// offset is sound even though the sizes differ.
+func sameGeneration(validator, etag string) bool {
+	i := strings.LastIndexByte(validator, '-')
+	j := strings.LastIndexByte(etag, '-')
+	return i > 0 && j > 0 && validator[:i] == etag[:j]
+}
+
+// ifNoneMatch reports whether the request's If-None-Match covers etag.
+func ifNoneMatch(r *http.Request, etag string) bool {
+	for _, v := range strings.Split(r.Header.Get("If-None-Match"), ",") {
+		if v = strings.TrimSpace(v); v == etag || v == "*" {
+			return true
+		}
+	}
+	return false
+}
+
+// tailRange parses the one Range form the history stream supports —
+// "bytes=N-", resume from byte N. Anything else reports false and is
+// served in full (RFC 9110 lets a server ignore Range).
+func tailRange(h string) (int64, bool) {
+	const prefix = "bytes="
+	if !strings.HasPrefix(h, prefix) || !strings.HasSuffix(h, "-") {
+		return 0, false
+	}
+	n, err := strconv.ParseInt(h[len(prefix):len(h)-1], 10, 64)
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// serveHistory is the incremental GET /runs: the generation etag
+// answers If-None-Match with 304, and "Range: bytes=N-" (guarded by
+// If-Range, so a truncated or replaced file serves the full stream
+// instead of a garbage tail) resumes a client from its last offset — a
+// fleet member polling the history transfers O(its unseen appends),
+// not O(file). Content-Length is always set and exact: the response is
+// cut from a section reader at the statted size, so a concurrent
+// append cannot leak past the promise, and a mid-stream copy failure
+// shows the client a short body against the declared length — never a
+// clean-looking EOF that the malformed-tail resync would silently
+// absorb.
+func (s *Server) serveHistory(w http.ResponseWriter, r *http.Request, path string) {
+	// Catch up first: the catch-up is what detects a truncated or
+	// replaced file and bumps the generation, invalidating every stale
+	// resume offset in the fleet.
+	s.syncIndex()
+	w.Header().Set("Content-Type", "application/jsonl")
+	var size int64
+	f, err := os.Open(path)
+	if err != nil {
+		if !errors.Is(err, os.ErrNotExist) {
+			s.fail(w, r, http.StatusInternalServerError, "open history: %v", err)
+			return
+		}
+		// An empty history is a young fleet, not an error; its etag is
+		// still cacheable, so a client holding it polls for free.
+		f = nil
+	} else {
+		defer f.Close()
+		info, err := f.Stat()
+		if err != nil {
+			s.fail(w, r, http.StatusInternalServerError, "stat history: %v", err)
+			return
+		}
+		size = info.Size()
+	}
+	etag := s.historyETag(size)
+	w.Header().Set("ETag", etag)
+	if ifNoneMatch(r, etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	var off int64
+	if n, ok := tailRange(r.Header.Get("Range")); ok {
+		if ir := r.Header.Get("If-Range"); ir == "" || sameGeneration(ir, etag) {
+			if n >= size {
+				w.Header().Set("Content-Range", fmt.Sprintf("bytes */%d", size))
+				s.fail(w, r, http.StatusRequestedRangeNotSatisfiable,
+					"resume offset %d is beyond the %d byte history", n, size)
+				return
+			}
+			off = n
+		}
+	}
+	n := size - off
+	w.Header().Set("Content-Length", strconv.FormatInt(n, 10))
+	if off > 0 {
+		w.Header().Set("Content-Range", fmt.Sprintf("bytes %d-%d/%d", off, size-1, size))
+		w.WriteHeader(http.StatusPartialContent)
+	}
+	if n > 0 {
+		if _, err := io.Copy(w, io.NewSectionReader(f, off, n)); err != nil {
+			s.logf("GET /runs: copy: %v", err)
+		}
+	}
+}
+
+// serveIndex answers the compacted per-cell lookup: for each cell the
+// requested host could render offline, the content address of its
+// newest successful record. The host is required because content keys
+// encode GOOS/GOARCH — an indexed answer for "any host" would hand a
+// client another machine's measurements.
+func (s *Server) serveIndex(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.fail(w, r, http.StatusMethodNotAllowed, "method %s", r.Method)
+		return
+	}
+	host := r.URL.Query().Get("host")
+	if host == "" {
+		s.fail(w, r, http.StatusBadRequest, "the index is per host: pass ?host=GOOS/GOARCH (the stamp run records carry)")
+		return
+	}
+	// Catch up first, so the answer reflects every append that has
+	// landed in the file — including colocated local writers that
+	// never went through POST /runs.
+	s.syncIndex()
+	cells := s.idx.lookup(host)
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(cells); err != nil {
+		s.logf("GET /index: encode: %v", err)
 	}
 }
 
@@ -264,11 +502,12 @@ func (s *Server) serveBaseline(w http.ResponseWriter, r *http.Request, name stri
 		if r.Method == http.MethodHead {
 			return
 		}
-		io.Copy(w, f)
+		if _, err := io.Copy(w, f); err != nil {
+			s.logf("GET /baselines/%s: copy: %v", name, err)
+		}
 	case http.MethodPut:
-		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
-		if err != nil {
-			s.fail(w, r, http.StatusBadRequest, "read baseline: %v", err)
+		body, ok := s.readBody(w, r, "baseline")
+		if !ok {
 			return
 		}
 		if !json.Valid(body) {

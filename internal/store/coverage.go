@@ -37,8 +37,11 @@ func RefOf(j sched.Job) CellRef {
 	}
 }
 
-// refOfRecord is RefOf for a history record.
-func refOfRecord(c report.Record) CellRef {
+// RefOfRecord is RefOf for a history record. Exported because the
+// simstored server builds its per-cell history index with exactly this
+// identity — index lookups must agree with CoverageIndex byte for
+// byte.
+func RefOfRecord(c report.Record) CellRef {
 	repeats := c.Repeats
 	if repeats <= 0 {
 		repeats = 1
@@ -84,7 +87,7 @@ func (m CellMiss) String() string { return m.Ref.String() + ": " + m.Reason }
 // their key still names the original measurement's blob. Later runs
 // win.
 func CoverageIndex(runs []RunRecord) map[CellRef]string {
-	host := runtime.GOOS + "/" + runtime.GOARCH
+	host := hostID()
 	idx := make(map[CellRef]string)
 	for _, rr := range runs {
 		if rr.Host != "" && rr.Host != host {
@@ -97,10 +100,59 @@ func CoverageIndex(runs []RunRecord) map[CellRef]string {
 			if _, ok := ParseKey(c.Key); !ok {
 				continue
 			}
-			idx[refOfRecord(c)] = c.Key
+			idx[RefOfRecord(c)] = c.Key
 		}
 	}
 	return idx
+}
+
+// hostID is the host stamp NewRun writes into history records — the
+// identity content keys encode, so coverage never serves another
+// machine's absolute times as this one's.
+func hostID() string { return runtime.GOOS + "/" + runtime.GOARCH }
+
+// IndexCell is one entry of the simstored /index response: a cell's
+// display coordinates plus the content address of its newest
+// successful measurement for the requested host. The wire shape is
+// shared by the server (which renders it from its history index) and
+// the remote tier (which consumes it into a CoverageIndex-equivalent
+// map).
+type IndexCell struct {
+	Benchmark string `json:"benchmark"`
+	Engine    string `json:"engine"`
+	Arch      string `json:"arch"`
+	Iters     int64  `json:"iters"`
+	Repeats   int    `json:"repeats"`
+	Key       string `json:"key"`
+}
+
+// Ref returns the cell's map identity.
+func (c IndexCell) Ref() CellRef {
+	return CellRef{Benchmark: c.Benchmark, Engine: c.Engine, Arch: c.Arch, Iters: c.Iters, Repeats: c.Repeats}
+}
+
+// CellIndex resolves the newest-successful-measurement map offline
+// rendering covers from. With a live remote tier attached it asks the
+// server's compacted /index endpoint — one round trip of O(cells), not
+// a download and re-parse of the whole fleet history — falling back to
+// History plus CoverageIndex when the server predates the endpoint
+// (and for local and degraded stores, where the history is all there
+// is).
+func (s *Store) CellIndex() (map[CellRef]string, error) {
+	if s.remote != nil && !s.remote.Down() {
+		idx, ok, err := s.remote.CellIndex()
+		if err != nil {
+			return nil, fmt.Errorf("store: remote index: %w", err)
+		}
+		if ok {
+			return idx, nil
+		}
+	}
+	runs, err := s.History()
+	if err != nil {
+		return nil, err
+	}
+	return CoverageIndex(runs), nil
 }
 
 // Coverage is Has over a whole matrix: it resolves every job of an
@@ -113,11 +165,11 @@ func CoverageIndex(runs []RunRecord) map[CellRef]string {
 // cell, why. No engine is constructed and nothing executes: keys come
 // from history, blobs from the tier chain.
 func (s *Store) Coverage(ctx context.Context, jobs []sched.Job) (results []sched.Result, missing []CellMiss, err error) {
-	runs, err := s.History()
+	idx, err := s.CellIndex()
 	if err != nil {
 		return nil, nil, err
 	}
-	return s.CoverageOf(ctx, CoverageIndex(runs), jobs)
+	return s.CoverageOf(ctx, idx, jobs)
 }
 
 // CoverageOf is Coverage over pre-parsed history. A caller rendering

@@ -10,7 +10,6 @@ import (
 	"io"
 	"os"
 	"path/filepath"
-	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -44,7 +43,7 @@ func NewRun(label string, results []sched.Result) RunRecord {
 		//simlint:allow determinism -- the run timestamp records when the measurement happened; it is metadata, never key material
 		Time:   time.Now().UTC(),
 		Label:  label,
-		Host:   runtime.GOOS + "/" + runtime.GOARCH,
+		Host:   hostID(),
 		Schema: SchemaVersion,
 		Cells:  make([]report.Record, len(results)),
 	}
@@ -123,6 +122,15 @@ func (s *Store) AppendHistory(label string, results []sched.Result) error {
 		}
 	}
 	return errors.Join(errs...)
+}
+
+// DecodeHistory parses a stream of newline-delimited RunRecord JSON
+// with the package's standard malformed-entry tolerance — the exported
+// face of decodeHistory, for the simstored server's index rebuild (the
+// index must skip exactly the lines every client skips).
+func DecodeHistory(r io.Reader) (runs []RunRecord, skipped int, err error) {
+	runs, skipped, _, err = decodeHistory(r)
+	return runs, skipped, err
 }
 
 // decodeHistory parses a stream of newline-delimited RunRecord JSON.

@@ -6,12 +6,15 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 )
 
@@ -31,27 +34,80 @@ const (
 	remoteQueueBytes = 256 << 20 // 256 MiB
 )
 
+// RetryPolicy bounds the remote tier's retry of transient failures:
+// up to Attempts tries per request, exponential backoff starting at
+// Base, each sleep (including a server-sent Retry-After) capped at
+// Max. The zero value disables retry (one attempt).
+type RetryPolicy struct {
+	Attempts int
+	Base     time.Duration
+	Max      time.Duration
+}
+
+// defaultRetryPolicy absorbs the transients a loaded fleet store
+// actually emits — a reset connection under accept pressure, a 429
+// from the quota gate, a 503 mid-restart — without stretching the
+// degrade path of a genuinely dead server by more than a few seconds.
+func defaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{Attempts: 3, Base: 100 * time.Millisecond, Max: 2 * time.Second}
+}
+
+// RemoteOption configures a RemoteTier at construction.
+type RemoteOption func(*RemoteTier)
+
+// WithToken sets the bearer token sent with every request, for servers
+// started with -token. An empty token sends no Authorization header.
+func WithToken(token string) RemoteOption {
+	return func(rt *RemoteTier) { rt.token = token }
+}
+
+// WithRetry overrides the tier's transient-failure retry policy.
+func WithRetry(p RetryPolicy) RemoteOption {
+	return func(rt *RemoteTier) {
+		if p.Attempts < 1 {
+			p.Attempts = 1
+		}
+		rt.retry = p
+	}
+}
+
 // RemoteTier is the HTTP client side of a simstored server: the last
 // tier of a store's lookup chain. Reads are synchronous GETs (read
 // misses through to the server once per cold key, thanks to the
 // store's single-flight); writes are asynchronous — enqueued here,
 // uploaded by a background goroutine, flushed by Close.
 //
-// The tier degrades rather than fails: the first transport error marks
-// the server down, every subsequent load and store short-circuits
-// locally, and the reason surfaces through the store's Err. A corrupt
-// remote blob is recorded but does not mark the server down — the
-// server answered; one object is bad.
+// The tier degrades rather than fails, but not on the first hiccup:
+// transient failures (a reset connection, a 5xx, a 429 quota push-back)
+// are retried with jittered exponential backoff under RetryPolicy
+// first. Only a failure that survives the retry budget marks the
+// server down; after that every load and store short-circuits locally
+// and the reason surfaces through the store's Err. A corrupt remote
+// blob is recorded but does not mark the server down — the server
+// answered; one object is bad.
 type RemoteTier struct {
 	tracerRef
 
 	base   string // server URL, no trailing slash
 	client *http.Client
+	token  string
+	retry  RetryPolicy
+
+	// rng drives backoff jitter only; seeded from the waived wall-clock
+	// read so no banned global-rand call appears in this package.
+	rngMu sync.Mutex
+	rng   *rand.Rand
 
 	down atomic.Bool
 
 	errMu sync.Mutex
 	err   error // first degrade reason, surfaced via fault
+
+	// runs is the incremental history cache: /runs is append-only, so
+	// once a prefix has been fetched and parsed only the appended tail
+	// is ever transferred again (Range), or nothing at all (ETag).
+	runsMu sync.Mutex
+	runs   runsCache
 
 	qMu     sync.Mutex
 	qClosed bool
@@ -61,6 +117,18 @@ type RemoteTier struct {
 	dropped atomic.Uint64
 }
 
+// runsCache is the parsed prefix of the server's history stream plus
+// the validators needed to extend it: the byte offset the next Range
+// request resumes from (always a line boundary) and the ETag that
+// guards that offset against a replaced file.
+type runsCache struct {
+	etag     string
+	offset   int64
+	runs     []RunRecord
+	skipped  int
+	firstBad error
+}
+
 type remotePut struct {
 	k    Key
 	data []byte
@@ -68,7 +136,7 @@ type remotePut struct {
 
 // NewRemoteTier builds a client for the simstored server at baseURL
 // (e.g. "http://ci-cache:8347") and starts its upload goroutine.
-func NewRemoteTier(baseURL string) (*RemoteTier, error) {
+func NewRemoteTier(baseURL string, opts ...RemoteOption) (*RemoteTier, error) {
 	u, err := url.Parse(baseURL)
 	if err != nil {
 		return nil, fmt.Errorf("store: remote %q: %w", baseURL, err)
@@ -88,8 +156,13 @@ func NewRemoteTier(baseURL string) (*RemoteTier, error) {
 			TLSHandshakeTimeout:   5 * time.Second,
 			ResponseHeaderTimeout: 15 * time.Second,
 		}},
+		retry:   defaultRetryPolicy(),
+		rng:     rand.New(rand.NewSource(nowMono().UnixNano())),
 		queue:   make(chan remotePut, remoteQueueDepth),
 		drained: make(chan struct{}),
+	}
+	for _, opt := range opts {
+		opt(rt)
 	}
 	go rt.uploader()
 	return rt, nil
@@ -99,8 +172,6 @@ func NewRemoteTier(baseURL string) (*RemoteTier, error) {
 func (rt *RemoteTier) URL() string { return rt.base }
 
 func (rt *RemoteTier) name() Provenance { return ProvRemote }
-
-func (rt *RemoteTier) objectURL(k Key) string { return rt.base + "/objects/" + k.String() }
 
 // degrade marks the server down and records why. Only the first
 // reason is kept; once down, the tier answers everything locally.
@@ -140,22 +211,120 @@ func (rt *RemoteTier) Dropped() uint64 { return rt.dropped.Load() }
 // Down reports whether the tier has degraded to local-only operation.
 func (rt *RemoteTier) Down() bool { return rt.down.Load() }
 
-// load implements tier: a read-through GET. Any transport failure
-// degrades the tier (the run continues on local tiers alone); a blob
-// that does not parse or carries a foreign schema is recorded and
-// treated as a miss without degrading. Note that a key's blob content
-// cannot be verified against the key itself — keys hash the job's
-// fingerprint, not the measurement — so a store (local or remote) is
-// trusted to return what was put under the key; the server rejects
-// non-JSON uploads at the door.
+// transientStatus reports whether a delivered status is worth another
+// attempt: the server (or an intermediary) signalled overload or a
+// transient internal failure, not a protocol disagreement.
+func transientStatus(code int) bool {
+	switch code {
+	case http.StatusTooManyRequests, http.StatusInternalServerError,
+		http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// transientErr reports whether a transport failure may heal within one
+// run: resets, timeouts, torn connections. A refused connection means
+// nothing is listening at all — retrying it only delays the
+// degrade-to-local every caller is waiting on.
+func transientErr(err error) bool {
+	return err != nil && !errors.Is(err, syscall.ECONNREFUSED)
+}
+
+// authHint decorates an auth rejection with the flag that fixes it.
+func authHint(code int) string {
+	if code == http.StatusUnauthorized || code == http.StatusForbidden {
+		return " (set -remote-token / $SIMBENCH_REMOTE_TOKEN to this server's -token)"
+	}
+	return ""
+}
+
+// roundTrip performs one request against the server with the tier's
+// bearer token and bounded transient-failure retry: transport errors
+// (except a refused connection) and 429/5xx statuses are retried with
+// jittered exponential backoff, honoring an integer Retry-After when
+// the server sent one. It returns the final response — possibly still
+// a non-2xx one — or the final transport error; callers decide what
+// degrades. The body is rebuilt per attempt, so retries never resend
+// a half-consumed reader.
+func (rt *RemoteTier) roundTrip(method, path string, body []byte, hdr map[string]string) (*http.Response, error) {
+	for attempt := 0; ; attempt++ {
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequest(method, rt.base+path, rd)
+		if err != nil {
+			return nil, fmt.Errorf("remote %s: %w", rt.base, err)
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		if rt.token != "" {
+			req.Header.Set("Authorization", "Bearer "+rt.token)
+		}
+		for k, v := range hdr {
+			req.Header.Set(k, v)
+		}
+		resp, err := rt.client.Do(req)
+		if err != nil {
+			if attempt+1 < rt.retry.Attempts && transientErr(err) {
+				rt.backoff(attempt, "")
+				continue
+			}
+			return nil, fmt.Errorf("remote %s unreachable: %w", rt.base, err)
+		}
+		if attempt+1 < rt.retry.Attempts && transientStatus(resp.StatusCode) {
+			after := resp.Header.Get("Retry-After")
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+			rt.backoff(attempt, after)
+			continue
+		}
+		return resp, nil
+	}
+}
+
+// backoff sleeps before retry attempt+1: exponential from Base with
+// ±50% jitter (decorrelating a fleet whose quota window reopens at one
+// instant), raised to the server's integer Retry-After when one was
+// sent, capped at Max.
+func (rt *RemoteTier) backoff(attempt int, retryAfter string) {
+	d := rt.retry.Base << attempt
+	if d <= 0 {
+		d = time.Millisecond
+	}
+	rt.rngMu.Lock()
+	jitter := time.Duration(rt.rng.Int63n(int64(d) + 1))
+	rt.rngMu.Unlock()
+	d = d/2 + jitter
+	if secs, err := strconv.Atoi(strings.TrimSpace(retryAfter)); err == nil && secs > 0 {
+		if after := time.Duration(secs) * time.Second; after > d {
+			d = after
+		}
+	}
+	if rt.retry.Max > 0 && d > rt.retry.Max {
+		d = rt.retry.Max
+	}
+	time.Sleep(d)
+}
+
+// load implements tier: a read-through GET. A transport failure that
+// survives the retry budget degrades the tier (the run continues on
+// local tiers alone); a blob that does not parse or carries a foreign
+// schema is recorded and treated as a miss without degrading. Note
+// that a key's blob content cannot be verified against the key itself
+// — keys hash the job's fingerprint, not the measurement — so a store
+// (local or remote) is trusted to return what was put under the key;
+// the server rejects non-JSON uploads at the door.
 func (rt *RemoteTier) load(k Key) (*blob, []byte, error) {
 	if rt.down.Load() {
 		return nil, nil, nil
 	}
 	defer rt.traceRemote("get", k)()
-	resp, err := rt.client.Get(rt.objectURL(k))
+	resp, err := rt.roundTrip(http.MethodGet, "/objects/"+k.String(), nil, nil)
 	if err != nil {
-		err = fmt.Errorf("store: remote %s unreachable: %w", rt.base, err)
+		err = fmt.Errorf("store: %w", err)
 		rt.degrade(err)
 		return nil, nil, err
 	}
@@ -164,7 +333,7 @@ func (rt *RemoteTier) load(k Key) (*blob, []byte, error) {
 	case resp.StatusCode == http.StatusNotFound:
 		return nil, nil, nil
 	case resp.StatusCode != http.StatusOK:
-		err = fmt.Errorf("store: remote %s: GET object: %s", rt.base, resp.Status)
+		err = fmt.Errorf("store: remote %s: GET object: %s%s", rt.base, resp.Status, authHint(resp.StatusCode))
 		rt.degrade(err)
 		return nil, nil, err
 	}
@@ -256,19 +425,14 @@ func (rt *RemoteTier) uploader() {
 // degrade on the former without marking a live server down over one
 // rejected request.
 func (rt *RemoteTier) send(method, path string, body []byte, what string) (transport bool, err error) {
-	req, err := http.NewRequest(method, rt.base+path, bytes.NewReader(body))
+	resp, err := rt.roundTrip(method, path, body, nil)
 	if err != nil {
-		return false, fmt.Errorf("remote %s: %w", rt.base, err)
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := rt.client.Do(req)
-	if err != nil {
-		return true, fmt.Errorf("remote %s unreachable: %w", rt.base, err)
+		return true, err
 	}
 	defer resp.Body.Close()
 	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
 	if resp.StatusCode/100 != 2 {
-		return false, fmt.Errorf("remote %s: %s: %s", rt.base, what, resp.Status)
+		return false, fmt.Errorf("remote %s: %s: %s%s", rt.base, what, resp.Status, authHint(resp.StatusCode))
 	}
 	return false, nil
 }
@@ -288,29 +452,139 @@ func (rt *RemoteTier) Close() {
 
 // Runs fetches the server's recorded history — the fleet-wide
 // counterpart of the local history.jsonl, parsed with the same
-// malformed-entry tolerance.
+// malformed-entry tolerance. The stream is fetched incrementally: the
+// tier remembers how many bytes it has already parsed and asks the
+// server for just the appended tail (Range, guarded by If-Range), or
+// for nothing at all when the validator still matches (ETag /
+// If-None-Match → 304), so repeated history reads against a large
+// fleet store transfer O(new appends), not O(file).
 func (rt *RemoteTier) Runs() ([]RunRecord, error) {
 	if rt.down.Load() {
 		return nil, fmt.Errorf("remote %s degraded: %w", rt.base, rt.fault())
 	}
-	resp, err := rt.client.Get(rt.base + "/runs")
-	if err != nil {
-		err = fmt.Errorf("remote %s unreachable: %w", rt.base, err)
-		rt.degrade(err)
+	rt.runsMu.Lock()
+	defer rt.runsMu.Unlock()
+	if err := rt.refreshRuns(true); err != nil {
 		return nil, err
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("remote %s: GET /runs: %s", rt.base, resp.Status)
+	rc := &rt.runs
+	if len(rc.runs) == 0 && rc.skipped > 0 {
+		return nil, fmt.Errorf("remote %s: no history entry parses (%d malformed): %w", rt.base, rc.skipped, rc.firstBad)
 	}
-	runs, skipped, firstBad, err := decodeHistory(resp.Body)
+	// Callers sort, filter and re-slice histories; hand each its own
+	// top-level slice so the cache's spine stays untouched.
+	return append([]RunRecord(nil), rc.runs...), nil
+}
+
+// refreshRuns brings the cached history prefix up to date. cond=false
+// forces an unconditional full fetch (the recovery path after the
+// server reports our resume offset unsatisfiable — a truncated or
+// replaced history file). Called with runsMu held.
+func (rt *RemoteTier) refreshRuns(cond bool) error {
+	rc := &rt.runs
+	hdr := map[string]string{}
+	if cond && rc.etag != "" {
+		hdr["If-None-Match"] = rc.etag
+		if rc.offset > 0 {
+			hdr["Range"] = fmt.Sprintf("bytes=%d-", rc.offset)
+			hdr["If-Range"] = rc.etag
+		}
+	}
+	resp, err := rt.roundTrip(http.MethodGet, "/runs", nil, hdr)
 	if err != nil {
-		return nil, fmt.Errorf("remote %s: read /runs: %w", rt.base, err)
+		rt.degrade(err)
+		return err
 	}
-	if len(runs) == 0 && skipped > 0 {
-		return nil, fmt.Errorf("remote %s: no history entry parses (%d malformed): %w", rt.base, skipped, firstBad)
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusNotModified:
+		return nil
+	case http.StatusOK:
+		// The full stream: either our first fetch, or the server chose
+		// (or had — If-Range mismatch, an old server) to ignore the
+		// Range. Start the cache over.
+		*rc = runsCache{}
+		return rt.consumeRuns(resp)
+	case http.StatusPartialContent:
+		return rt.consumeRuns(resp)
+	case http.StatusRequestedRangeNotSatisfiable:
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		*rc = runsCache{}
+		if !cond {
+			return fmt.Errorf("remote %s: GET /runs: %s for an unconditional fetch", rt.base, resp.Status)
+		}
+		return rt.refreshRuns(false)
+	default:
+		return fmt.Errorf("remote %s: GET /runs: %s%s", rt.base, resp.Status, authHint(resp.StatusCode))
 	}
-	return runs, nil
+}
+
+// consumeRuns parses a (full or tail) history response into the cache.
+// Only complete lines advance the resume offset: the final line may be
+// torn — an append in flight on the server — and will be re-fetched
+// whole next time. Called with runsMu held.
+func (rt *RemoteTier) consumeRuns(resp *http.Response) error {
+	rc := &rt.runs
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxRemoteBody))
+	if err != nil {
+		return fmt.Errorf("remote %s: read /runs: %w", rt.base, err)
+	}
+	n := bytes.LastIndexByte(data, '\n') + 1
+	runs, skipped, firstBad, err := decodeHistory(bytes.NewReader(data[:n]))
+	if err != nil {
+		return fmt.Errorf("remote %s: read /runs: %w", rt.base, err)
+	}
+	rc.runs = append(rc.runs, runs...)
+	rc.skipped += skipped
+	if rc.firstBad == nil {
+		rc.firstBad = firstBad
+	}
+	rc.offset += int64(n)
+	rc.etag = resp.Header.Get("ETag")
+	return nil
+}
+
+// CellIndex fetches the server's compacted newest-successful-record
+// index for this host — the Coverage-style map offline rendering needs
+// — without transferring or parsing the history stream. ok is false
+// when the server predates the /index endpoint; callers fall back to
+// Runs plus CoverageIndex.
+func (rt *RemoteTier) CellIndex() (idx map[CellRef]string, ok bool, err error) {
+	if rt.down.Load() {
+		return nil, false, fmt.Errorf("remote %s degraded: %w", rt.base, rt.fault())
+	}
+	resp, err := rt.roundTrip(http.MethodGet, "/index?host="+url.QueryEscape(hostID()), nil, nil)
+	if err != nil {
+		rt.degrade(err)
+		return nil, false, err
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusNotFound:
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return nil, false, nil
+	case resp.StatusCode != http.StatusOK:
+		return nil, false, fmt.Errorf("remote %s: GET /index: %s%s", rt.base, resp.Status, authHint(resp.StatusCode))
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxRemoteBody))
+	if err != nil {
+		return nil, false, fmt.Errorf("remote %s: read /index: %w", rt.base, err)
+	}
+	var cells []IndexCell
+	if err := json.Unmarshal(data, &cells); err != nil {
+		return nil, false, fmt.Errorf("remote %s: /index: %w", rt.base, err)
+	}
+	idx = make(map[CellRef]string, len(cells))
+	for _, c := range cells {
+		// The same guard CoverageIndex applies: a key that does not
+		// parse would send Get down the recompute path, the one cost
+		// the offline contract promises never to pay.
+		if _, ok := ParseKey(c.Key); !ok {
+			continue
+		}
+		idx[c.Ref()] = c.Key
+	}
+	return idx, true, nil
 }
 
 // AppendRun posts one history line to the server. A transport failure
@@ -341,16 +615,16 @@ func (rt *RemoteTier) SaveBaseline(name string, data []byte) error {
 // LoadBaseline fetches a baseline; ok is false when the server has no
 // baseline of that name.
 func (rt *RemoteTier) LoadBaseline(name string) (rr RunRecord, ok bool, err error) {
-	resp, err := rt.client.Get(rt.base + "/baselines/" + url.PathEscape(name))
+	resp, err := rt.roundTrip(http.MethodGet, "/baselines/"+url.PathEscape(name), nil, nil)
 	if err != nil {
-		return RunRecord{}, false, fmt.Errorf("remote %s unreachable: %w", rt.base, err)
+		return RunRecord{}, false, err
 	}
 	defer resp.Body.Close()
 	switch {
 	case resp.StatusCode == http.StatusNotFound:
 		return RunRecord{}, false, nil
 	case resp.StatusCode != http.StatusOK:
-		return RunRecord{}, false, fmt.Errorf("remote %s: GET baseline: %s", rt.base, resp.Status)
+		return RunRecord{}, false, fmt.Errorf("remote %s: GET baseline: %s%s", rt.base, resp.Status, authHint(resp.StatusCode))
 	}
 	data, err := io.ReadAll(io.LimitReader(resp.Body, maxRemoteBody))
 	if err != nil {
@@ -364,13 +638,13 @@ func (rt *RemoteTier) LoadBaseline(name string) (rr RunRecord, ok bool, err erro
 
 // Baselines lists the server's baseline names.
 func (rt *RemoteTier) Baselines() ([]string, error) {
-	resp, err := rt.client.Get(rt.base + "/baselines")
+	resp, err := rt.roundTrip(http.MethodGet, "/baselines", nil, nil)
 	if err != nil {
-		return nil, fmt.Errorf("remote %s unreachable: %w", rt.base, err)
+		return nil, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("remote %s: GET /baselines: %s", rt.base, resp.Status)
+		return nil, fmt.Errorf("remote %s: GET /baselines: %s%s", rt.base, resp.Status, authHint(resp.StatusCode))
 	}
 	data, err := io.ReadAll(io.LimitReader(resp.Body, maxRemoteBody))
 	if err != nil {

@@ -84,13 +84,13 @@ func (f *fakeRemote) object(key string) ([]byte, bool) {
 	return data, ok
 }
 
-func remoteStore(t *testing.T, dir, url string) *Store {
+func remoteStore(t *testing.T, dir, url string, opts ...RemoteOption) *Store {
 	t.Helper()
 	s, err := Open(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rt, err := NewRemoteTier(url)
+	rt, err := NewRemoteTier(url, opts...)
 	if err != nil {
 		t.Fatal(err)
 	}

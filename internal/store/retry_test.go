@@ -1,0 +1,125 @@
+package store
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fastRetry keeps retry tests quick: millisecond backoff, same attempt
+// budget as production.
+var fastRetry = RetryPolicy{Attempts: 3, Base: time.Millisecond, Max: 4 * time.Millisecond}
+
+// flakyRemote answers 503 for the first fails requests, then delegates
+// to the wrapped fakeRemote — a server mid-restart or briefly
+// overloaded, as seen from one client.
+type flakyRemote struct {
+	fake  *fakeRemote
+	mu    sync.Mutex
+	fails int
+	seen  int // total requests, including the failed ones
+}
+
+func (f *flakyRemote) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	f.mu.Lock()
+	f.seen++
+	failing := f.fails > 0
+	if failing {
+		f.fails--
+	}
+	f.mu.Unlock()
+	if failing {
+		w.Header().Set("Retry-After", "0")
+		http.Error(w, "busy", http.StatusServiceUnavailable)
+		return
+	}
+	f.fake.ServeHTTP(w, r)
+}
+
+// TestRemoteRetryThenSuccess: a transient 503 is retried, the lookup
+// hits, and the recovered attempt is indistinguishable from a clean
+// one — exactly one remote hit in TierStats, no degradation warning,
+// tier not down.
+func TestRemoteRetryThenSuccess(t *testing.T) {
+	fake := newFakeRemote()
+	flaky := &flakyRemote{fake: fake}
+	ts := httptest.NewServer(flaky)
+	defer ts.Close()
+
+	j := syntheticJob(0)
+	seed := remoteStore(t, t.TempDir(), ts.URL)
+	put(seed, fabricate(j, time.Millisecond))
+	if err := seed.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	flaky.mu.Lock()
+	flaky.fails = 2 // two 503s, then healthy: inside the attempt budget
+	flaky.mu.Unlock()
+
+	s := remoteStore(t, t.TempDir(), ts.URL, WithRetry(fastRetry))
+	defer s.Close()
+	r, ok := get(s, j)
+	if !ok || r.Kernel != time.Millisecond {
+		t.Fatalf("retried lookup = %v %v, want hit", r, ok)
+	}
+	st := s.TierStats()
+	if st.Remote != 1 || st.Misses != 0 {
+		t.Errorf("retry-then-success stats = %+v, want exactly one remote hit", st)
+	}
+	if err := s.Err(); err != nil {
+		t.Errorf("transient failure leaked into Err: %v", err)
+	}
+	if s.Remote().Down() {
+		t.Error("tier down after a recovered transient")
+	}
+}
+
+// TestRemoteRetryExhausted: a persistently failing server exhausts the
+// attempt budget, the store degrades exactly as an unreachable server
+// does, and the attempt count proves the retries happened.
+func TestRemoteRetryExhausted(t *testing.T) {
+	flaky := &flakyRemote{fake: newFakeRemote(), fails: 1 << 30}
+	ts := httptest.NewServer(flaky)
+	defer ts.Close()
+
+	s := remoteStore(t, t.TempDir(), ts.URL, WithRetry(fastRetry))
+	j := syntheticJob(0)
+	if _, ok := get(s, j); ok {
+		t.Fatal("hit from a server that only serves 503")
+	}
+	flaky.mu.Lock()
+	seen := flaky.seen
+	flaky.mu.Unlock()
+	if seen != fastRetry.Attempts {
+		t.Errorf("server saw %d attempts, want %d", seen, fastRetry.Attempts)
+	}
+	if !s.Remote().Down() {
+		t.Error("tier not down after exhausting retries")
+	}
+	if err := s.Close(); err == nil || !strings.Contains(err.Error(), "503") {
+		t.Errorf("exhausted retries not surfaced as degradation: %v", err)
+	}
+}
+
+// TestRemoteRefusedNoRetry: connection refused is not transient — the
+// server process is gone, not busy — so degradation is immediate: one
+// attempt, no backoff stalls on every subsequent cell.
+func TestRemoteRefusedNoRetry(t *testing.T) {
+	start := time.Now()
+	s := remoteStore(t, t.TempDir(), "http://127.0.0.1:1",
+		WithRetry(RetryPolicy{Attempts: 5, Base: 200 * time.Millisecond, Max: time.Second}))
+	if _, ok := get(s, syntheticJob(0)); ok {
+		t.Fatal("hit against a closed port")
+	}
+	if d := time.Since(start); d > 150*time.Millisecond {
+		t.Errorf("refused connection took %v; a non-transient failure must not back off", d)
+	}
+	if !s.Remote().Down() {
+		t.Error("tier not down after connection refused")
+	}
+	s.Close()
+}

@@ -205,13 +205,15 @@ func (s *Store) AttachRemote(rt *RemoteTier) {
 // OpenTiered builds the store a CLI asked for: a disk tier when dir is
 // set, a remote tier when remoteURL is set, either alone or layered —
 // the one wiring path behind every tool's -cache-dir/-remote flags.
-func OpenTiered(dir, remoteURL string) (*Store, error) {
+// opts configure the remote tier (bearer token, retry policy) and are
+// ignored without a remote URL.
+func OpenTiered(dir, remoteURL string, opts ...RemoteOption) (*Store, error) {
 	s, err := Open(dir)
 	if err != nil {
 		return nil, err
 	}
 	if remoteURL != "" {
-		rt, err := NewRemoteTier(remoteURL)
+		rt, err := NewRemoteTier(remoteURL, opts...)
 		if err != nil {
 			return nil, err
 		}
