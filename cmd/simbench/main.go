@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 
 	"simbench/internal/arch"
@@ -32,6 +33,7 @@ import (
 	"simbench/internal/core"
 	"simbench/internal/engine"
 	"simbench/internal/experiment"
+	"simbench/internal/machine"
 	"simbench/internal/obs"
 	"simbench/internal/report"
 	"simbench/internal/sched"
@@ -55,9 +57,10 @@ func main() {
 	var (
 		scale     = flag.Int64("scale", 2000, "divide paper iteration counts by this")
 		minIters  = flag.Int64("min-iters", 32, "minimum iterations after scaling")
-		benchSel  = flag.String("bench", "", "comma-separated benchmark names (default: all)")
+		benchSel  = flag.String("bench", "", "comma-separated benchmark names or selectors (suite:simbench, suite:spec, suite:ext, suite:smp, cat:<category>; default: all)")
 		engSel    = flag.String("engines", "", "comma-separated engines: dbt, interp, detailed, virt, native, or a release tag (default: all five platforms)")
 		archSel   = flag.String("arch", "", "guest architecture: arm or x86 (default: both)")
+		coresSel  = flag.String("cores", "", "comma-separated guest core counts, e.g. 1,2,4 (default: 1)")
 		jobs      = flag.Int("jobs", 0, "matrix cells run concurrently (default GOMAXPROCS; use 1 for minimum-noise timings)")
 		repeats   = flag.Int("repeats", 0, "measurements per cell; the minimum kernel time is reported (0 = auto: 2 for the full Fig. 7 run, 1 for subsets)")
 		specFile  = flag.String("spec", "", "run this experiment spec JSON file (recorded in history under the spec's own label); excludes -bench/-engines/-arch/-json")
@@ -78,6 +81,10 @@ func main() {
 		}
 		fmt.Println("Extensions:")
 		for _, b := range bench.ExtSuite() {
+			fmt.Printf("  %-26s %-12s %s\n", b.Name, b.Category, b.Description)
+		}
+		fmt.Println("SMP:")
+		for _, b := range bench.SMPSuite() {
 			fmt.Printf("  %-26s %-12s %s\n", b.Name, b.Category, b.Description)
 		}
 		fmt.Println("Engines: dbt interp detailed virt native profile")
@@ -126,8 +133,8 @@ func main() {
 
 	// A user-defined spec replaces the whole selection-flag surface.
 	if *specFile != "" {
-		if *benchSel != "" || *engSel != "" || *archSel != "" || *jsonOut {
-			fail(fmt.Errorf("-spec describes the whole experiment; it excludes -bench, -engines, -arch and -json"))
+		if *benchSel != "" || *engSel != "" || *archSel != "" || *coresSel != "" || *jsonOut {
+			fail(fmt.Errorf("-spec describes the whole experiment; it excludes -bench, -engines, -arch, -cores and -json"))
 		}
 		sp, err := experiment.LoadFile(*specFile)
 		if err != nil {
@@ -144,7 +151,7 @@ func main() {
 	}
 
 	// Default invocation: the whole Fig. 7 matrix.
-	if *benchSel == "" && *engSel == "" && *archSel == "" && !*jsonOut {
+	if *benchSel == "" && *engSel == "" && *archSel == "" && *coresSel == "" && !*jsonOut {
 		err := experiment.RunNamed("fig7", opts)
 		reportCache("simbench", st)
 		writeTrace(tracer, *traceOut)
@@ -156,13 +163,16 @@ func main() {
 
 	benches := bench.Suite()
 	if *benchSel != "" {
-		benches = benches[:0]
+		// The spec file's selector grammar, verbatim: names expand
+		// through the same resolver, so suite:smp or cat:SMP select a
+		// family here exactly as they would on a benches axis.
+		var sels []string
 		for _, name := range strings.Split(*benchSel, ",") {
-			b, err := bench.ByName(strings.TrimSpace(name))
-			if err != nil {
-				fail(err)
-			}
-			benches = append(benches, b)
+			sels = append(sels, strings.TrimSpace(name))
+		}
+		var err error
+		if benches, err = experiment.ExpandBenches(sels); err != nil {
+			fail(err)
 		}
 	}
 
@@ -180,6 +190,27 @@ func main() {
 				Name: name,
 				New:  func() engine.Engine { e, _ := experiment.EngineByName(name); return e },
 			})
+		}
+	}
+
+	// Core counts must be valid before any cell runs; the empty axis
+	// means single-core and keeps every existing cell identity.
+	var coreCounts []int
+	if *coresSel != "" {
+		for i, raw := range strings.Split(*coresSel, ",") {
+			c, err := strconv.Atoi(strings.TrimSpace(raw))
+			if err != nil {
+				fail(fmt.Errorf("-cores[%d]: %q is not a core count", i, strings.TrimSpace(raw)))
+			}
+			switch {
+			case c < 1:
+				fail(fmt.Errorf("-cores[%d]: core count %d must be >= 1", i, c))
+			case c > machine.MaxHarts:
+				fail(fmt.Errorf("-cores[%d]: core count %d exceeds the platform maximum %d", i, c, machine.MaxHarts))
+			case len(coreCounts) > 0 && c <= coreCounts[len(coreCounts)-1]:
+				fail(fmt.Errorf("-cores[%d]: core count %d must be strictly increasing (follows %d)", i, c, coreCounts[len(coreCounts)-1]))
+			}
+			coreCounts = append(coreCounts, c)
 		}
 	}
 
@@ -204,7 +235,7 @@ func main() {
 	if rep <= 0 {
 		// Auto: the full matrix (only reachable here via -json) gets
 		// the same noise suppression as the Fig. 7 table run.
-		if *benchSel == "" && *engSel == "" && *archSel == "" {
+		if *benchSel == "" && *engSel == "" && *archSel == "" && *coresSel == "" {
 			rep = 2
 		} else {
 			rep = 1
@@ -214,6 +245,7 @@ func main() {
 		Arches:  sups,
 		Benches: benches,
 		Engines: engines,
+		Cores:   coreCounts,
 		Iters:   opts.Iters,
 		Repeats: rep,
 	}
@@ -249,7 +281,7 @@ func main() {
 			fail(err)
 		}
 	} else {
-		printTables(results, sups, benches, engines, &opts, *scale, noise)
+		printTables(results, sups, benches, engines, coreCounts, &opts, *scale, noise)
 	}
 	reportCache("simbench", st)
 	writeTrace(tracer, *traceOut)
@@ -267,7 +299,7 @@ func main() {
 // cancelled, cached and noise-annotated cells read exactly as they do
 // in the fig7 spec.
 func printTables(results []sched.Result, sups []arch.Support, benches []*core.Benchmark,
-	engines []sched.Engine, opts *experiment.Options, scale int64, noise func(report.Record) *stats.Band) {
+	engines []sched.Engine, cores []int, opts *experiment.Options, scale int64, noise func(report.Record) *stats.Band) {
 	cols := make([]string, len(engines))
 	for i, e := range engines {
 		cols[i] = e.Name
@@ -283,6 +315,7 @@ func printTables(results []sched.Result, sups []arch.Support, benches []*core.Be
 		EngineCols: cols,
 		Arches:     archNames,
 		Benches:    benches,
+		Cores:      cores,
 		Iters:      opts.Iters,
 		Noise:      noise,
 	}

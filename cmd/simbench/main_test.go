@@ -34,7 +34,7 @@ func TestPrintTablesERRCell(t *testing.T) {
 	stdout := os.Stdout
 	os.Stdout = w
 	opts := figures.Options{Scale: 1 << 40, MinIters: 8}
-	printTables(results, sups, []*core.Benchmark{b}, engines, &opts, 2000, nil)
+	printTables(results, sups, []*core.Benchmark{b}, engines, nil, &opts, 2000, nil)
 	os.Stdout = stdout
 	w.Close()
 	buf := make([]byte, 4096)

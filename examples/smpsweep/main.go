@@ -1,0 +1,73 @@
+// Smpsweep: the cores axis as data. One JSON spec sweeps the cat:smp
+// contention benchmarks across guest core counts and engines — one
+// table row per benchmark × core count, one column per engine — and
+// renders the same sweep twice: online (measuring every cell into a
+// store) and offline (straight from the store, byte-identical, no
+// engine constructed). The 1-core rows reuse pre-SMP cache cells: a
+// single-core cell's content address does not mention cores at all.
+//
+// The same file works on the CLIs:
+//
+//	simsweep -spec examples/smpsweep/spec.json -cache-dir /tmp/c
+//	simreport -spec examples/smpsweep/spec.json -offline -cache-dir /tmp/c
+//
+//	go run ./examples/smpsweep
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"simbench"
+)
+
+func main() {
+	spec, err := simbench.LoadSpec(filepath.Join("examples", "smpsweep", "spec.json"))
+	if err != nil {
+		// Running from inside the example directory instead.
+		if spec, err = simbench.LoadSpec("spec.json"); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	cacheDir, err := os.MkdirTemp("", "smpsweep-cache-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(cacheDir)
+	store, err := simbench.OpenStore(cacheDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Online: measure the cores × engines matrix (the spec pins its own
+	// tiny iteration policy) and cache every cell.
+	var online bytes.Buffer
+	opts := simbench.Options{Out: &online, Store: store}
+	if err := simbench.RunSpec(spec, opts); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(online.String())
+
+	// Offline: a fresh store handle renders the same sweep without
+	// booting a single guest core.
+	store2, err := simbench.OpenStore(cacheDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var offline bytes.Buffer
+	opts.Out = &offline
+	opts.Store = store2
+	if err := simbench.RunSpecOffline(spec, opts); err != nil {
+		log.Fatal(err)
+	}
+
+	if bytes.Equal(online.Bytes(), offline.Bytes()) {
+		fmt.Println("offline render from the store is byte-identical to the measured run")
+	} else {
+		log.Fatal("offline render diverged from the measured run")
+	}
+}

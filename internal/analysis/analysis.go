@@ -105,6 +105,16 @@ func RefOf(n *types.Named) TypeRef {
 	return ref
 }
 
+// AxisRef names one cache-key axis of a job type across package
+// boundaries: the named type carrying the axis and the accessor (field
+// or method name) whose value is key material.
+type AxisRef struct {
+	Type     TypeRef `json:"type"`
+	Accessor string  `json:"accessor"`
+}
+
+func (a AxisRef) String() string { return a.Type.String() + "." + a.Accessor }
+
 // Facts is everything one package publishes to downstream analysis
 // passes. It is one flat JSON-serializable struct rather than x/tools'
 // typed fact streams because the suite's analyzers need so little:
@@ -125,11 +135,17 @@ type Facts struct {
 	// function; their presence in a dependency closure is what arms the
 	// keymaterial coverage check.
 	FingerprintPkgs []string `json:"fingerprint_pkgs,omitempty"`
+	// JobKeyAxes are the job accessors marked //simlint:keyaxis at
+	// their defining package — the axes every visible job fingerprint
+	// function must read, or cells differing on that axis would share
+	// one content address.
+	JobKeyAxes []AxisRef `json:"job_key_axes,omitempty"`
 }
 
 // Empty reports whether no facts were recorded.
 func (f *Facts) Empty() bool {
-	return f == nil || len(f.TunableEngines) == 0 && len(f.FingerprintCases) == 0 && len(f.FingerprintPkgs) == 0
+	return f == nil || len(f.TunableEngines) == 0 && len(f.FingerprintCases) == 0 &&
+		len(f.FingerprintPkgs) == 0 && len(f.JobKeyAxes) == 0
 }
 
 // Merge unions other into f, deduplicating. Drivers use it to build
@@ -141,6 +157,30 @@ func (f *Facts) Merge(other *Facts) {
 	f.TunableEngines = mergeRefs(f.TunableEngines, other.TunableEngines)
 	f.FingerprintCases = mergeRefs(f.FingerprintCases, other.FingerprintCases)
 	f.FingerprintPkgs = mergeStrings(f.FingerprintPkgs, other.FingerprintPkgs)
+	f.JobKeyAxes = mergeAxes(f.JobKeyAxes, other.JobKeyAxes)
+}
+
+func mergeAxes(dst, src []AxisRef) []AxisRef {
+	seen := make(map[AxisRef]bool, len(dst))
+	for _, a := range dst {
+		seen[a] = true
+	}
+	for _, a := range src {
+		if !seen[a] {
+			seen[a] = true
+			dst = append(dst, a)
+		}
+	}
+	sort.Slice(dst, func(i, j int) bool {
+		if dst[i].Type != dst[j].Type {
+			if dst[i].Type.Pkg != dst[j].Type.Pkg {
+				return dst[i].Type.Pkg < dst[j].Type.Pkg
+			}
+			return dst[i].Type.Name < dst[j].Type.Name
+		}
+		return dst[i].Accessor < dst[j].Accessor
+	})
+	return dst
 }
 
 func mergeRefs(dst, src []TypeRef) []TypeRef {

@@ -1,0 +1,114 @@
+package driver
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"simbench/internal/analysis"
+	"simbench/internal/analysis/simlint"
+)
+
+// TestJobAxisFactFlowsToStore proves the core-count axis is cache-key
+// covered in the real repo, not just in fixtures: analyzing the actual
+// dependency closure of internal/store must (1) record the
+// //simlint:keyaxis fact for sched.Job.EffectiveCores at its defining
+// package, (2) propagate it into store's visible facts — which is what
+// arms the coverage check there — and (3) report nothing in store,
+// because its Fingerprint reads the axis. Deleting the
+// j.EffectiveCores() read from store.Fingerprint flips (3) into a
+// finding (the keymaterial jobfpbad fixture pins the message).
+func TestJobAxisFactFlowsToStore(t *testing.T) {
+	const (
+		schedPath = "simbench/internal/sched"
+		storePath = "simbench/internal/store"
+	)
+	closure, err := goList([]string{storePath}, true)
+	if err != nil {
+		t.Skipf("go list unavailable: %v", err)
+	}
+
+	fset := token.NewFileSet()
+	exports := map[string]string{}
+	for _, p := range closure {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	gc := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		if exports[path] == "" {
+			return nil, os.ErrNotExist
+		}
+		return os.Open(exports[path])
+	}).(types.ImporterFrom)
+
+	// The full suite, so the store's existing waiver directives resolve
+	// (a waiver naming an analyzer absent from the suite is itself a
+	// finding).
+	suite := simlint.Suite()
+	factsByPath := map[string]*analysis.Facts{}
+	axis := analysis.AxisRef{
+		Type:     analysis.TypeRef{Pkg: schedPath, Name: "Job"},
+		Accessor: "EffectiveCores",
+	}
+	for _, p := range closure {
+		if p.Standard || p.Module == nil || p.Incomplete {
+			continue
+		}
+		var files []*ast.File
+		for _, name := range p.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				t.Fatalf("parsing %s: %v", p.ImportPath, err)
+			}
+			files = append(files, f)
+		}
+		info := newInfo()
+		tconf := types.Config{Importer: standaloneImporter{gc: gc, dir: p.Dir}, Error: func(error) {}}
+		tpkg, err := tconf.Check(p.ImportPath, fset, files, info)
+		if err != nil {
+			t.Fatalf("typechecking %s: %v", p.ImportPath, err)
+		}
+		findings, facts, err := Analyze(&Package{
+			Path:     p.ImportPath,
+			Fset:     fset,
+			Files:    files,
+			Types:    tpkg,
+			Info:     info,
+			DepFacts: func(path string) *analysis.Facts { return factsByPath[path] },
+		}, suite)
+		if err != nil {
+			t.Fatalf("analyzing %s: %v", p.ImportPath, err)
+		}
+		factsByPath[p.ImportPath] = facts
+		if p.ImportPath == storePath {
+			for _, f := range findings {
+				t.Errorf("store must be axis-covered, got finding: %s", f)
+			}
+		}
+	}
+
+	hasAxis := func(f *analysis.Facts) bool {
+		if f == nil {
+			return false
+		}
+		for _, a := range f.JobKeyAxes {
+			if a == axis {
+				return true
+			}
+		}
+		return false
+	}
+	if !hasAxis(factsByPath[schedPath]) {
+		t.Errorf("%s must publish the %s key-axis fact (is the //simlint:keyaxis directive still on EffectiveCores?)", schedPath, axis)
+	}
+	if !hasAxis(factsByPath[storePath]) {
+		t.Errorf("the %s fact must propagate into %s's recorded facts; without it the coverage check is disarmed there", axis, storePath)
+	}
+}

@@ -54,11 +54,24 @@ var formattingFunc = map[string]bool{
 // suite updated) — the analyzer doc in README says so.
 const FingerprintFunc = "engineFingerprint"
 
+// JobFingerprintFunc is the conventional name of the job fingerprint
+// function — the full-cell content-address encoder whose parameter is
+// the scheduler's Job. The job-axis coverage check anchors on it.
+const JobFingerprintFunc = "Fingerprint"
+
+// KeyAxisDirective marks a job accessor (method or struct field) as
+// cache-key material at its defining package. The defining package
+// publishes the marked accessors as facts; every visible
+// JobFingerprintFunc taking that job type must read each one, or cells
+// differing on that axis would share one content address.
+const KeyAxisDirective = "//simlint:keyaxis"
+
 var Analyzer = &analysis.Analyzer{
 	Name: "keymaterial",
 	Doc: "engines with tunables must be covered by store.engineFingerprint, " +
-		"and fingerprinted structs must format deterministically (no maps, " +
-		"pointers, funcs or channels under %+v)",
+		"fingerprinted structs must format deterministically (no maps, " +
+		"pointers, funcs or channels under %+v), and job axes marked " +
+		"//simlint:keyaxis must be read by the job Fingerprint function",
 	Run: run,
 }
 
@@ -79,6 +92,8 @@ func run(pass *analysis.Pass) error {
 			checkFingerprintBody(pass, fd)
 		}
 	}
+	pass.Facts.JobKeyAxes = append(pass.Facts.JobKeyAxes, keyAxes(pass)...)
+	checkJobFingerprints(pass)
 
 	// Config hygiene at the defining package: the earliest point the
 	// violation exists, independent of registry wiring.
@@ -207,6 +222,142 @@ func asTunableEngine(named *types.Named, ifaces []*types.Interface) (tunableEngi
 		}
 	}
 	return tunableEngine{}, false
+}
+
+// keyAxes collects the package's //simlint:keyaxis-marked accessors:
+// methods whose doc carries the directive (the axis type is the
+// receiver's), and struct fields whose doc or line comment does (the
+// axis type is the enclosing named struct's).
+func keyAxes(pass *analysis.Pass) []analysis.AxisRef {
+	var out []analysis.AxisRef
+	hasDirective := func(groups ...*ast.CommentGroup) bool {
+		for _, g := range groups {
+			if g == nil {
+				continue
+			}
+			for _, c := range g.List {
+				if c.Text == KeyAxisDirective || strings.HasPrefix(c.Text, KeyAxisDirective+" ") {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Recv == nil || len(d.Recv.List) != 1 || !hasDirective(d.Doc) {
+					continue
+				}
+				if n := namedOf(pass.Info.Types[d.Recv.List[0].Type].Type); n != nil {
+					out = append(out, analysis.AxisRef{Type: analysis.RefOf(n), Accessor: d.Name.Name})
+				}
+			case *ast.GenDecl:
+				for _, sp := range d.Specs {
+					ts, ok := sp.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					named, _ := pass.Info.Defs[ts.Name].Type().(*types.Named)
+					if named == nil {
+						continue
+					}
+					for _, field := range st.Fields.List {
+						if !hasDirective(field.Doc, field.Comment) {
+							continue
+						}
+						for _, name := range field.Names {
+							out = append(out, analysis.AxisRef{Type: analysis.RefOf(named), Accessor: name.Name})
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// namedOf unwraps a (possibly pointer) type expression to its named
+// type, nil otherwise.
+func namedOf(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok && !types.IsInterface(n) {
+		return n
+	}
+	return nil
+}
+
+// checkJobFingerprints enforces job-axis coverage: every function in
+// this package named JobFingerprintFunc whose parameter is a job type
+// with visible //simlint:keyaxis facts must read each marked accessor
+// of that type somewhere in its body.
+func checkJobFingerprints(pass *analysis.Pass) {
+	visible := &analysis.Facts{}
+	visible.Merge(pass.Facts)
+	for _, imp := range pass.Pkg.Imports() {
+		if f := pass.Dep(imp.Path()); f != nil {
+			visible.Merge(f)
+		}
+	}
+	if len(visible.JobKeyAxes) == 0 {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv != nil || fd.Name.Name != JobFingerprintFunc || fd.Body == nil {
+				continue
+			}
+			params := map[analysis.TypeRef]bool{}
+			for _, p := range fd.Type.Params.List {
+				if n := namedOf(pass.Info.Types[p.Type].Type); n != nil {
+					params[analysis.RefOf(n)] = true
+				}
+			}
+			for _, axis := range visible.JobKeyAxes {
+				if !params[axis.Type] {
+					continue
+				}
+				if !readsAxis(pass, fd, axis) {
+					pass.Reportf(fd.Name.Pos(),
+						"%s does not read %s, which is marked cache-key material (%s); cells differing on that axis would share one content address",
+						JobFingerprintFunc, axis, KeyAxisDirective)
+				}
+			}
+		}
+	}
+}
+
+// readsAxis reports whether fd's body selects axis.Accessor on an
+// expression of the axis type (directly or through a pointer).
+func readsAxis(pass *analysis.Pass, fd *ast.FuncDecl, axis analysis.AxisRef) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != axis.Accessor {
+			return true
+		}
+		tv, ok := pass.Info.Types[sel.X]
+		if !ok {
+			return true
+		}
+		if named := namedOf(tv.Type); named != nil && analysis.RefOf(named) == axis.Type {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
 }
 
 // fingerprintFuncs returns the package's fingerprint function

@@ -13,3 +13,11 @@ import (
 func TestKeymaterial(t *testing.T) {
 	analysistest.Run(t, keymaterial.Analyzer, "engine", "tunables", "storefix", "storeclean")
 }
+
+// TestJobAxisCoverage exercises the //simlint:keyaxis loop across
+// packages: jobdef publishes its marked axes as facts, jobfp reads
+// them all (silent), and jobfpbad omits the core-count axis from its
+// Fingerprint — the exact removal that must fail simlint.
+func TestJobAxisCoverage(t *testing.T) {
+	analysistest.Run(t, keymaterial.Analyzer, "jobdef", "jobfp", "jobfpbad")
+}

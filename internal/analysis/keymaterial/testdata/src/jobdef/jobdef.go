@@ -1,0 +1,22 @@
+// Fixture analog of simbench/internal/sched: the Job type whose
+// marked axes the fingerprint coverage check protects. The directives
+// publish JobKeyAxes facts from here; the jobfp/jobfpbad fixtures
+// consume them across the package boundary.
+package jobdef
+
+type Job struct {
+	Name string
+	// Cores is the guest core count; <=0 means 1.
+	//simlint:keyaxis
+	Cores int
+}
+
+// EffectiveCores normalizes the core-count axis.
+//
+//simlint:keyaxis
+func (j Job) EffectiveCores() int {
+	if j.Cores < 1 {
+		return 1
+	}
+	return j.Cores
+}

@@ -1,0 +1,14 @@
+// Job fingerprint with the seeded violation: the core-count axis is
+// marked cache-key material at jobdef but never read here, so two
+// cells at different core counts would share one content address.
+package jobfpbad
+
+import (
+	"fmt"
+
+	"jobdef"
+)
+
+func Fingerprint(j jobdef.Job) string { // want "does not read jobdef.Job.Cores" "does not read jobdef.Job.EffectiveCores"
+	return fmt.Sprintf("job=%s", j.Name)
+}

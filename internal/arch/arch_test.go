@@ -113,7 +113,7 @@ func TestFaultingCallConventions(t *testing.T) {
 				t.Fatal(err)
 			}
 			p.M.Reset()
-			if _, err := interp.New().Run(p.M, 100_000); err != nil {
+			if _, err := interp.New().Run(p.Harts(), 100_000); err != nil {
 				t.Fatalf("%v (pc=%#x)", err, p.M.CPU.PC)
 			}
 			if got := p.M.CPU.Regs[isa.R8]; got != 3 {
@@ -140,7 +140,7 @@ func TestCoprocStyles(t *testing.T) {
 		}
 		p.M.LoadProgram(prog)
 		p.M.Reset()
-		st, err := interp.New().Run(p.M, 1000)
+		st, err := interp.New().Run(p.Harts(), 1000)
 		if err != nil {
 			t.Fatalf("%s: %v", sup.Name(), err)
 		}

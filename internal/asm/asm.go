@@ -188,6 +188,8 @@ func (a *Assembler) MRS(rd isa.Reg, c isa.CtrlReg)  { a.itype(isa.OpMRS, rd, 0, 
 func (a *Assembler) MSR(c isa.CtrlReg, rd isa.Reg)  { a.itype(isa.OpMSR, rd, 0, int32(c)) }
 func (a *Assembler) CPRD(rd isa.Reg, cp, reg int32) { a.itype(isa.OpCPRD, rd, 0, cp<<8|reg) }
 func (a *Assembler) CPWR(cp, reg int32, rd isa.Reg) { a.itype(isa.OpCPWR, rd, 0, cp<<8|reg) }
+func (a *Assembler) LDX(rd, ra isa.Reg)             { a.rtype(isa.OpLDX, rd, ra, 0) }
+func (a *Assembler) STX(rd, rb, ra isa.Reg)         { a.rtype(isa.OpSTX, rd, ra, rb) }
 func (a *Assembler) TLBI(ra isa.Reg)                { a.rtype(isa.OpTLBI, 0, ra, 0) }
 func (a *Assembler) TLBIA()                         { a.Inst(isa.Inst{Op: isa.OpTLBIA}) }
 func (a *Assembler) UD()                            { a.Inst(isa.Inst{Op: isa.OpUD}) }

@@ -52,7 +52,7 @@ func Suite() []*core.Benchmark {
 // ByName returns the named benchmark (core suite or extensions) or an
 // error listing valid names.
 func ByName(name string) (*core.Benchmark, error) {
-	all := append(Suite(), ExtSuite()...)
+	all := append(append(Suite(), ExtSuite()...), SMPSuite()...)
 	for _, b := range all {
 		if b.Name == name {
 			return b, nil

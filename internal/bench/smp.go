@@ -1,0 +1,338 @@
+package bench
+
+import (
+	"fmt"
+
+	"simbench/internal/asm"
+	"simbench/internal/core"
+	"simbench/internal/isa"
+)
+
+// SMP benchmarks. The paper's methodology is single-core; these
+// benchmarks extend it to N-core guests, isolating the three mechanisms
+// a simulator's SMP support pays for: cross-core synchronisation
+// latency (pingpong), atomic contention on one word (lockcontend), and
+// write sharing of one line without contention (falseshare). Secondary
+// harts boot through the standard preamble dispatch and the three-phase
+// protocol is driven by hart 0 alone: it brackets the timed kernel and
+// joins the secondaries (via completion flags) before writing END, so
+// every secondary's work lands inside the kernel window.
+//
+// All three degrade gracefully to one core — the build environment
+// reports the core count, and the single-core variants run both roles
+// sequentially — so the cores axis can include 1 and the same
+// benchmark names validate everywhere.
+
+// Shared-memory layout (physical; SMP benchmarks run translation-off).
+// Everything lives below IdentityLimit and above the data the core
+// suite uses.
+const (
+	smpBase = 0x00050000
+	smpPing = smpBase + 0x00  // pingpong: producer's token
+	smpPong = smpBase + 0x40  // pingpong: consumer's ack (separate line)
+	smpLock = smpBase + 0x80  // lockcontend: the lock word
+	smpCtr  = smpBase + 0xC0  // lockcontend: the protected counter
+	smpGo   = smpBase + 0x100 // start barrier written by hart 0 after BEGIN
+	smpSlot = smpBase + 0x140 // falseshare: per-hart slots, one shared line
+	smpDone = smpBase + 0x180 // per-hart completion flags
+)
+
+// SMPSuite returns the SMP benchmark family (category cat:SMP).
+func SMPSuite() []*core.Benchmark {
+	return []*core.Benchmark{
+		PingPong(),
+		LockContend(),
+		FalseShare(),
+	}
+}
+
+// expectSMPChecksum validates the guest-reported result word against
+// f(iters, cores).
+func expectSMPChecksum(f func(iters int64, cores int) uint32) func(*core.Result) error {
+	return func(r *core.Result) error {
+		if len(r.GuestResults) == 0 {
+			return fmt.Errorf("guest reported no result word")
+		}
+		cores := r.Cores
+		if cores < 1 {
+			cores = 1
+		}
+		got := r.GuestResults[len(r.GuestResults)-1]
+		want := f(r.Iters, cores)
+		if got != want {
+			return fmt.Errorf("guest checksum %#x, want %#x (%d cores)", got, want, cores)
+		}
+		return nil
+	}
+}
+
+// emitSecondaryProlog emits the common entry code for a secondary
+// worker: the hart ID arrives in R0 (preamble contract); it is used to
+// compute the hart's done-flag address into R12, then the iteration
+// count is loaded and the start barrier awaited. Clobbers R1.
+func emitSecondaryProlog(env *core.Env, wait asm.Label) {
+	a := env.A
+	a.MOVI(isa.R1, 4)
+	a.MUL(isa.R12, isa.R0, isa.R1)
+	a.LoadImm32(isa.R1, smpDone)
+	a.ADD(isa.R12, isa.R12, isa.R1)
+	core.EmitLoadIters(env, isa.R11)
+	a.LoadImm32(isa.R2, smpGo)
+	a.Label(wait)
+	a.LDW(isa.R1, isa.R2, 0)
+	a.CMPI(isa.R1, 1)
+	a.B(isa.CondNE, wait)
+}
+
+// emitSecondaryEpilog raises the hart's done flag (address in R12) and
+// parks. Clobbers R1.
+func emitSecondaryEpilog(env *core.Env) {
+	a := env.A
+	a.MOVI(isa.R1, 1)
+	a.STW(isa.R1, isa.R12, 0)
+	a.HALT()
+}
+
+// emitReleaseWorkers opens the start barrier. Clobbers R1 and R2.
+func emitReleaseWorkers(env *core.Env) {
+	a := env.A
+	a.LoadImm32(isa.R2, smpGo)
+	a.MOVI(isa.R1, 1)
+	a.STW(isa.R1, isa.R2, 0)
+}
+
+// emitJoinSecondaries spin-waits for every secondary's done flag. The
+// spin is bounded: the round-robin scheduler guarantees every runnable
+// hart a quantum, so a worker always makes progress while hart 0
+// waits. Clobbers R1 and R2.
+func emitJoinSecondaries(env *core.Env, tag string) {
+	a := env.A
+	for h := 1; h < env.EffectiveCores(); h++ {
+		l := asm.Label(fmt.Sprintf("%s_join%d", tag, h))
+		a.LoadImm32(isa.R2, uint32(smpDone+4*h))
+		a.Label(l)
+		a.LDW(isa.R1, isa.R2, 0)
+		a.CMPI(isa.R1, 1)
+		a.B(isa.CondNE, l)
+	}
+}
+
+// PingPong measures cross-core synchronisation latency: hart 0 posts a
+// token to one line and spins on an ack line; hart 1 mirrors it. One
+// iteration is one full round trip, so the kernel time divided by the
+// iteration count is the guest-visible core-to-core handoff cost —
+// dominated, on a deterministic round-robin engine, by the scheduling
+// quantum. Harts beyond the first two park.
+func PingPong() *core.Benchmark {
+	return &core.Benchmark{
+		Name:        "smp.pingpong",
+		Title:       "Ping-Pong",
+		Category:    core.CatSMP,
+		Description: "producer/consumer token round trips between two cores",
+		PaperIters:  20_000,
+		TestedOps:   func(r *core.Result) uint64 { return uint64(r.Iters) },
+		Validate:    expectSMPChecksum(func(iters int64, _ int) uint32 { return uint32(iters) }),
+		Build: func(env *core.Env) error {
+			a := env.A
+			smp := env.EffectiveCores() > 1
+			if smp {
+				env.SecondaryEntry = "pp_secondary"
+			}
+			core.EmitPreamble(env)
+			core.EmitLoadIters(env, isa.R11)
+			a.LoadImm32(isa.R9, smpPing)
+			a.LoadImm32(isa.R10, smpPong)
+			a.MOVI(isa.R8, 0)
+			core.EmitBegin(env, isa.R0)
+
+			// Tokens are the countdown values iters..1 — never zero, so
+			// the zero-initialised mailboxes cannot satisfy a wait early.
+			emitCountdownHead(env)
+			a.STW(isa.R11, isa.R9, 0) // post token
+			if smp {
+				a.Label("pp_wait")
+				a.LDW(isa.R1, isa.R10, 0)
+				a.CMP(isa.R1, isa.R11)
+				a.B(isa.CondNE, "pp_wait") // spin for the ack
+			} else {
+				// Single-core: play both roles back to back.
+				a.LDW(isa.R1, isa.R9, 0)
+				a.STW(isa.R1, isa.R10, 0)
+				a.LDW(isa.R1, isa.R10, 0)
+			}
+			a.ADDI(isa.R8, isa.R8, 1)
+			emitCountdownTail(env)
+
+			core.EmitEnd(env, isa.R0)
+			core.EmitResult(env, isa.R8, isa.R0)
+			core.EmitHalt(env)
+			core.EmitVectors(env, core.Handlers{})
+			if smp {
+				// Hart 1 consumes; higher harts have no partner and park.
+				a.Label("pp_secondary")
+				a.CMPI(isa.R0, 1)
+				a.B(isa.CondNE, "pp_park")
+				core.EmitLoadIters(env, isa.R11)
+				a.LoadImm32(isa.R9, smpPing)
+				a.LoadImm32(isa.R10, smpPong)
+				a.Label("pp_consume")
+				a.Label("pp_cwait")
+				a.LDW(isa.R1, isa.R9, 0)
+				a.CMP(isa.R1, isa.R11)
+				a.B(isa.CondNE, "pp_cwait") // spin for the token
+				a.STW(isa.R11, isa.R10, 0)  // ack it
+				a.SUBI(isa.R11, isa.R11, 1)
+				a.CMPI(isa.R11, 0)
+				a.B(isa.CondNE, "pp_consume")
+				a.Label("pp_park")
+				a.HALT()
+			}
+			return nil
+		},
+	}
+}
+
+// LockContend measures atomic contention: every hart increments one
+// shared counter under an LDX/STX spinlock, iters times each. The
+// exclusive-operation and failed-store counters expose how much of the
+// run was spent arbitrating rather than progressing.
+func LockContend() *core.Benchmark {
+	return &core.Benchmark{
+		Name:        "smp.lockcontend",
+		Title:       "Lock Contention",
+		Category:    core.CatSMP,
+		Description: "all cores increment one counter under an exclusive-pair spinlock",
+		PaperIters:  100_000,
+		TestedOps:   func(r *core.Result) uint64 { return r.Stats.ExclusiveOps },
+		Validate: expectSMPChecksum(func(iters int64, cores int) uint32 {
+			return uint32(int64(cores) * iters)
+		}),
+		Build: func(env *core.Env) error {
+			a := env.A
+			smp := env.EffectiveCores() > 1
+			if smp {
+				env.SecondaryEntry = "lc_secondary"
+			}
+			core.EmitPreamble(env)
+			core.EmitLoadIters(env, isa.R11)
+			a.LoadImm32(isa.R9, smpLock)
+			a.LoadImm32(isa.R10, smpCtr)
+			core.EmitBegin(env, isa.R0)
+			emitReleaseWorkers(env)
+			a.BL("lc_work")
+			emitJoinSecondaries(env, "lc")
+			core.EmitEnd(env, isa.R0)
+			a.LoadImm32(isa.R1, smpCtr)
+			a.LDW(isa.R8, isa.R1, 0)
+			core.EmitResult(env, isa.R8, isa.R0)
+			core.EmitHalt(env)
+			core.EmitVectors(env, core.Handlers{})
+
+			// Worker: iters × (acquire, increment, release). Expects R9 =
+			// &lock, R10 = &counter, R11 = iters; clobbers R1/R2.
+			a.Label("lc_work")
+			a.Label("lc_loop")
+			a.Label("lc_acq")
+			a.LDX(isa.R1, isa.R9)
+			a.CMPI(isa.R1, 0)
+			a.B(isa.CondNE, "lc_acq") // held: spin
+			a.MOVI(isa.R1, 1)
+			a.STX(isa.R2, isa.R1, isa.R9)
+			a.CMPI(isa.R2, 0)
+			a.B(isa.CondNE, "lc_acq") // reservation lost: retry
+			a.LDW(isa.R1, isa.R10, 0)
+			a.ADDI(isa.R1, isa.R1, 1)
+			a.STW(isa.R1, isa.R10, 0)
+			a.MOVI(isa.R1, 0)
+			a.STW(isa.R1, isa.R9, 0) // release
+			a.SUBI(isa.R11, isa.R11, 1)
+			a.CMPI(isa.R11, 0)
+			a.B(isa.CondNE, "lc_loop")
+			a.RET()
+
+			if smp {
+				a.Label("lc_secondary")
+				emitSecondaryProlog(env, "lc_go")
+				a.LoadImm32(isa.R9, smpLock)
+				a.LoadImm32(isa.R10, smpCtr)
+				a.BL("lc_work")
+				emitSecondaryEpilog(env)
+			}
+			return nil
+		},
+	}
+}
+
+// FalseShare measures write sharing without data sharing: every hart
+// increments its own word of one cache line, iters times. There is no
+// synchronisation in the loop — any cost beyond N independent counters
+// is the simulator's (or, for detailed models, the modelled
+// hierarchy's) line-granular accounting.
+func FalseShare() *core.Benchmark {
+	return &core.Benchmark{
+		Name:        "smp.falseshare",
+		Title:       "False Sharing",
+		Category:    core.CatSMP,
+		Description: "each core increments a private word of one shared line",
+		PaperIters:  200_000,
+		TestedOps: func(r *core.Result) uint64 {
+			cores := r.Cores
+			if cores < 1 {
+				cores = 1
+			}
+			return uint64(r.Iters) * uint64(cores)
+		},
+		Validate: expectSMPChecksum(func(iters int64, cores int) uint32 {
+			return uint32(int64(cores) * iters)
+		}),
+		Build: func(env *core.Env) error {
+			a := env.A
+			cores := env.EffectiveCores()
+			smp := cores > 1
+			if smp {
+				env.SecondaryEntry = "fs_secondary"
+			}
+			core.EmitPreamble(env)
+			core.EmitLoadIters(env, isa.R11)
+			a.LoadImm32(isa.R9, smpSlot) // hart 0's slot
+			core.EmitBegin(env, isa.R0)
+			emitReleaseWorkers(env)
+			a.BL("fs_work")
+			emitJoinSecondaries(env, "fs")
+			core.EmitEnd(env, isa.R0)
+			// Sum the slots: total increments across all harts.
+			a.MOVI(isa.R8, 0)
+			a.LoadImm32(isa.R2, smpSlot)
+			for h := 0; h < cores; h++ {
+				a.LDW(isa.R1, isa.R2, int32(4*h))
+				a.ADD(isa.R8, isa.R8, isa.R1)
+			}
+			core.EmitResult(env, isa.R8, isa.R0)
+			core.EmitHalt(env)
+			core.EmitVectors(env, core.Handlers{})
+
+			// Worker: iters increments of the word at R9; clobbers R1.
+			a.Label("fs_work")
+			a.Label("fs_loop")
+			a.LDW(isa.R1, isa.R9, 0)
+			a.ADDI(isa.R1, isa.R1, 1)
+			a.STW(isa.R1, isa.R9, 0)
+			a.SUBI(isa.R11, isa.R11, 1)
+			a.CMPI(isa.R11, 0)
+			a.B(isa.CondNE, "fs_loop")
+			a.RET()
+
+			if smp {
+				a.Label("fs_secondary")
+				emitSecondaryProlog(env, "fs_go")
+				a.MOVI(isa.R1, 4)
+				a.MUL(isa.R9, isa.R0, isa.R1)
+				a.LoadImm32(isa.R1, smpSlot)
+				a.ADD(isa.R9, isa.R9, isa.R1) // &slot[hart]
+				a.BL("fs_work")
+				emitSecondaryEpilog(env)
+			}
+			return nil
+		},
+	}
+}

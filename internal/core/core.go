@@ -23,18 +23,20 @@ import (
 // Category groups benchmarks as in the paper's Fig. 3.
 type Category string
 
-// The five SimBench categories.
+// The five SimBench categories, plus the SMP extension family.
 const (
 	CatCodeGen     Category = "Code Generation"
 	CatControlFlow Category = "Control Flow"
 	CatException   Category = "Exception Handling"
 	CatIO          Category = "I/O"
 	CatMemory      Category = "Memory System"
+	CatSMP         Category = "SMP"
 )
 
-// Categories lists all categories in paper order.
+// Categories lists all categories in paper order, with the SMP
+// extension family last.
 func Categories() []Category {
-	return []Category{CatCodeGen, CatControlFlow, CatException, CatIO, CatMemory}
+	return []Category{CatCodeGen, CatControlFlow, CatException, CatIO, CatMemory, CatSMP}
 }
 
 // Benchmark is one SimBench micro-benchmark.
@@ -75,10 +77,28 @@ type Env struct {
 	Arch  arch.Support
 	Iters int64
 
+	// Cores is the number of harts the platform will boot (0 and 1
+	// both mean single-core). At one core the preamble is exactly the
+	// single-core preamble, so existing images are bit-identical.
+	Cores int
+
+	// SecondaryEntry is the label secondary harts branch to out of the
+	// preamble. Empty means secondaries park (HALT) immediately, which
+	// lets any benchmark run unchanged on a multi-core platform.
+	SecondaryEntry asm.Label
+
 	// MMU requests that translation be enabled at boot (the preamble
 	// emits the enable sequence; the bootloader builds the tables).
 	MMU      bool
 	mappings []Mapping
+}
+
+// EffectiveCores returns the hart count, treating 0 as 1.
+func (e *Env) EffectiveCores() int {
+	if e.Cores < 1 {
+		return 1
+	}
+	return e.Cores
 }
 
 // Map requests a page-granular mapping.
@@ -96,6 +116,7 @@ type Result struct {
 	Engine    string
 	Arch      string
 	Iters     int64
+	Cores     int // harts the platform booted (1 = single-core)
 
 	// Kernel is the timed-kernel duration (between the guest's BEGIN
 	// and END writes); Total is the whole run including setup,

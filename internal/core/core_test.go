@@ -170,8 +170,8 @@ func TestEnvMappings(t *testing.T) {
 }
 
 func TestCategories(t *testing.T) {
-	if len(Categories()) != 5 {
-		t.Error("five categories")
+	if len(Categories()) != 6 {
+		t.Error("six categories")
 	}
 }
 

@@ -22,6 +22,10 @@ const (
 	// IdentityLimit is the extent of the identity mapping the
 	// bootloader always establishes for code, data and stack.
 	IdentityLimit = 0x00080000
+	// SecondaryStackStride separates the per-hart stacks that the SMP
+	// preamble carves out below StackTop (hart N's SP starts at
+	// StackTop - N*stride).
+	SecondaryStackStride = 0x1000
 )
 
 // Guest-code emission helpers. These are the runtime library that the
@@ -48,9 +52,37 @@ func orAbort(l asm.Label) asm.Label {
 
 // EmitPreamble emits _start: stack setup, vector installation and —
 // when the environment requests it — MMU enablement. Clobbers R0/R1.
+//
+// With Cores > 1 a hart-dispatch sequence comes first: every hart reads
+// its ID out of CPUID; hart 0 falls through to the usual single-core
+// boot, secondaries get a private stack below StackTop plus the shared
+// vector table, then branch to SecondaryEntry with their hart ID still
+// in R0 — or park immediately when the benchmark declares no entry, so
+// any benchmark runs unchanged on a multi-core platform. Secondaries
+// never enable the MMU; SMP benchmarks run translation-off. At one core
+// nothing extra is emitted, keeping single-core images bit-identical.
 func EmitPreamble(env *Env) {
 	a := env.A
 	a.Label("_start")
+	if env.EffectiveCores() > 1 {
+		a.MRS(isa.R0, isa.CtrlCPUID)
+		a.SHRI(isa.R0, isa.R0, isa.CPUIDHartShift)
+		a.ANDI(isa.R0, isa.R0, 0xFF)
+		a.CMPI(isa.R0, 0)
+		a.B(isa.CondEQ, "smp_primary")
+		if env.SecondaryEntry == "" {
+			a.HALT()
+		} else {
+			a.LoadImm32(isa.SP, StackTop)
+			a.MOVI(isa.R1, SecondaryStackStride)
+			a.MUL(isa.R1, isa.R0, isa.R1)
+			a.SUB(isa.SP, isa.SP, isa.R1)
+			a.LA(isa.R1, "vectors")
+			a.MSR(isa.CtrlVBAR, isa.R1)
+			a.B(isa.CondAL, env.SecondaryEntry)
+		}
+		a.Label("smp_primary")
+	}
 	a.LoadImm32(isa.SP, StackTop)
 	a.LA(isa.R0, "vectors")
 	a.MSR(isa.CtrlVBAR, isa.R0)

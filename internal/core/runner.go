@@ -23,6 +23,10 @@ type Runner struct {
 	Engine engine.Engine
 	Arch   arch.Support
 
+	// Cores is the number of harts the platform boots (0 and 1 both
+	// mean single-core, the default).
+	Cores int
+
 	// RAMSize defaults to 32 MiB, InsnLimit to 4e9 retired guest
 	// instructions (runaway protection).
 	RAMSize   uint32
@@ -41,7 +45,11 @@ func (r *Runner) Run(b *Benchmark, iters int64) (*Result, error) {
 	if iters <= 0 {
 		iters = b.PaperIters
 	}
-	env := &Env{A: asm.New(), Arch: r.Arch, Iters: iters}
+	cores := r.Cores
+	if cores < 1 {
+		cores = 1
+	}
+	env := &Env{A: asm.New(), Arch: r.Arch, Iters: iters, Cores: cores}
 	if err := b.Build(env); err != nil {
 		return nil, fmt.Errorf("%s: build: %w", b.Name, err)
 	}
@@ -58,8 +66,8 @@ func (r *Runner) Run(b *Benchmark, iters int64) (*Result, error) {
 	if limit == 0 {
 		limit = DefaultInsnLimit
 	}
-	p := platform.New(r.Arch.Profile(), ram)
-	if err := p.M.LoadProgram(prog); err != nil {
+	p := platform.NewSMP(r.Arch.Profile(), ram, cores)
+	if err := p.LoadProgram(prog); err != nil {
 		return nil, fmt.Errorf("%s: load: %w", b.Name, err)
 	}
 	if env.MMU {
@@ -68,10 +76,10 @@ func (r *Runner) Run(b *Benchmark, iters int64) (*Result, error) {
 		}
 	}
 	p.Ctl.Iters = uint64(iters)
-	p.M.Reset()
+	p.Reset()
 
 	start := time.Now()
-	st, runErr := r.Engine.Run(p.M, limit)
+	st, runErr := r.Engine.Run(p.Harts(), limit)
 	total := time.Since(start)
 
 	res := &Result{
@@ -79,6 +87,7 @@ func (r *Runner) Run(b *Benchmark, iters int64) (*Result, error) {
 		Engine:            r.Engine.Name(),
 		Arch:              r.Arch.Name(),
 		Iters:             iters,
+		Cores:             cores,
 		Kernel:            p.Ctl.KernelTime(),
 		Total:             total,
 		Stats:             st,

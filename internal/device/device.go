@@ -65,11 +65,13 @@ func (u *UART) BytesWritten() int { return u.n }
 
 // Interrupt controller register offsets.
 const (
-	ICStatus = 0x00 // read: pending & enabled
-	ICRaw    = 0x04 // read: pending
-	ICEnable = 0x08 // read/write: enable mask
-	ICRaise  = 0x0C // write: raise line (value = line number), the SWI mechanism
-	ICClear  = 0x10 // write: clear line (value = line number)
+	ICStatus   = 0x00 // read: pending & enabled
+	ICRaw      = 0x04 // read: pending
+	ICEnable   = 0x08 // read/write: enable mask
+	ICRaise    = 0x0C // write: raise line (value = line number), the SWI mechanism
+	ICClear    = 0x10 // write: clear line (value = line number)
+	ICIPISet   = 0x14 // write: assert the IPI doorbell for cores in mask; read: pending mask
+	ICIPIClear = 0x18 // write: clear the IPI doorbell for cores in mask
 )
 
 // Lines on the interrupt controller.
@@ -81,25 +83,48 @@ const (
 
 // IntController is a simple 32-line interrupt controller. Software can
 // raise any line by writing its number to ICRaise — the mechanism the
-// External Software Interrupt benchmark uses. The controller drives a
-// single IRQ output computed as (pending & enabled) != 0.
+// External Software Interrupt benchmark uses. Shared device lines are
+// routed to core 0 as (pending & enabled) != 0, exactly the pre-SMP
+// single-output behaviour; each additional core's IRQ line is driven
+// by its bit in the software IPI doorbell (ICIPISet/ICIPIClear), which
+// also reaches core 0.
 type IntController struct {
 	pending uint32
 	enabled uint32
-	out     func(bool) // IRQ line to the CPU
+	ipi     uint32       // per-core IPI doorbell bits
+	outs    []func(bool) // per-core IRQ lines to the CPUs; index = core
 	raised  uint64
+	ipis    uint64
 }
 
-// NewIntController creates a controller that drives the given IRQ line.
+// NewIntController creates a controller that drives the given IRQ line
+// (core 0's).
 func NewIntController(out func(bool)) *IntController {
-	return &IntController{out: out}
+	return &IntController{outs: []func(bool){out}}
 }
+
+// AddOutput attaches one more per-core IRQ line and returns its core
+// index. The platform calls it once per secondary hart, in hart order.
+func (ic *IntController) AddOutput(out func(bool)) int {
+	ic.outs = append(ic.outs, out)
+	return len(ic.outs) - 1
+}
+
+// IPICount reports how many doorbell raises have occurred.
+func (ic *IntController) IPICount() uint64 { return ic.ipis }
 
 func (ic *IntController) Name() string { return "intc" }
 
 func (ic *IntController) update() {
-	if ic.out != nil {
-		ic.out(ic.pending&ic.enabled != 0)
+	for core, out := range ic.outs {
+		if out == nil {
+			continue
+		}
+		level := ic.ipi&(1<<uint(core)) != 0
+		if core == 0 {
+			level = level || ic.pending&ic.enabled != 0
+		}
+		out(level)
 	}
 }
 
@@ -125,6 +150,8 @@ func (ic *IntController) Read(off uint32, size int) (uint32, bool) {
 		return ic.pending, true
 	case ICEnable:
 		return ic.enabled, true
+	case ICIPISet:
+		return ic.ipi, true
 	}
 	return 0, false
 }
@@ -139,6 +166,13 @@ func (ic *IntController) Write(off uint32, size int, v uint32) bool {
 		ic.Raise(v)
 	case ICClear:
 		ic.pending &^= 1 << (v % NumLines)
+		ic.update()
+	case ICIPISet:
+		ic.ipi |= v
+		ic.ipis++
+		ic.update()
+	case ICIPIClear:
+		ic.ipi &^= v
 		ic.update()
 	default:
 		return false

@@ -27,9 +27,27 @@ const (
 
 // Engine is the DBT engine. Create one with New.
 type Engine struct {
-	cfg Config
-	m   *machine.Machine
-	st  engine.Stats
+	cfg   Config
+	m     *machine.Machine // current hart's machine
+	h     *hart            // current hart
+	harts []*hart
+	st    engine.Stats
+
+	walkScratch  uint32
+	checkScratch uint32
+	syncBuf      []uint32
+	helperBuf    []uint32
+	stateWords   [64]uint32
+	tcgCtx       [256]uint64 // translation context (temp pools, op and label buffers), reset per block
+	relocBuf     []uint32    // relocation worklist, reused across translations
+}
+
+// hart is the per-core slice of engine state: translation cache, jump
+// caches, chain epochs and softMMU mirror QEMU's per-vCPU structures,
+// so each simulated core translates and chains independently.
+type hart struct {
+	e *Engine
+	m *machine.Machine
 
 	blocks     map[uint32]*block // physical start address -> block
 	jmpCache   [jmpSize]*block   // virtually indexed, first probe
@@ -44,13 +62,13 @@ type Engine struct {
 	dtlb *softTLB
 	itlb *softTLB
 
-	walkScratch  uint32
-	checkScratch uint32
-	syncBuf      []uint32
-	helperBuf    []uint32
-	stateWords   [64]uint32
-	tcgCtx       [256]uint64 // translation context (temp pools, op and label buffers), reset per block
-	relocBuf     []uint32    // relocation worklist, reused across translations
+	insns    uint64 // retired instructions on this hart
+	lastTick uint64 // retired count at the last timer tick
+
+	// Dispatch state carried across scheduling slices, so rotation at
+	// a block boundary resumes exactly where the hart left off.
+	b  *block
+	ok bool
 }
 
 // New returns a DBT engine with the given configuration.
@@ -82,65 +100,71 @@ func (e *Engine) Features() engine.Features {
 }
 
 // InvalidatePage implements machine.TLBListener.
-func (e *Engine) InvalidatePage(va uint32) {
-	e.dtlb.flushPage(va)
-	e.itlb.flushPage(va)
-	h := jmpHash(va)
-	if b := e.jmpCache[h]; b != nil && b.va == va {
-		e.jmpCache[h] = nil
+func (h *hart) InvalidatePage(va uint32) {
+	h.dtlb.flushPage(va)
+	h.itlb.flushPage(va)
+	hs := jmpHash(va)
+	if b := h.jmpCache[hs]; b != nil && b.va == va {
+		h.jmpCache[hs] = nil
 	}
-	if b := e.jmpCache2[jmpHash2(va)]; b != nil && b.va == va {
-		e.jmpCache2[jmpHash2(va)] = nil
+	if b := h.jmpCache2[jmpHash2(va)]; b != nil && b.va == va {
+		h.jmpCache2[jmpHash2(va)] = nil
 	}
 	// A mapping change can redirect a chained target, so chains must be
 	// re-established through full lookups.
-	e.chainEpoch++
+	h.chainEpoch++
 }
 
 // InvalidateAll implements machine.TLBListener. The jump caches are
 // either zeroed eagerly or, with LazyFlush, invalidated by an epoch
 // bump with per-slot revalidation at probe time.
-func (e *Engine) InvalidateAll() {
-	if e.dtlb == nil {
+func (h *hart) InvalidateAll() {
+	if h.dtlb == nil {
 		return
 	}
-	e.dtlb.flushAll()
-	e.itlb.flushAll()
-	if e.cfg.LazyFlush {
-		e.flushEpoch++
+	h.dtlb.flushAll()
+	h.itlb.flushAll()
+	if h.e.cfg.LazyFlush {
+		h.flushEpoch++
 	} else {
-		e.jmpCache = [jmpSize]*block{}
-		e.jmpCache2 = [jmpSize]*block{}
+		h.jmpCache = [jmpSize]*block{}
+		h.jmpCache2 = [jmpSize]*block{}
 	}
-	e.chainEpoch++
+	h.chainEpoch++
 }
 
 func jmpHash(va uint32) uint32  { return (va >> 2) & (jmpSize - 1) }
 func jmpHash2(va uint32) uint32 { return (va * 2654435761) >> (32 - jmpBits) }
 
-func (e *Engine) reset(m *machine.Machine) {
-	e.m = m
+func (e *Engine) reset(harts []*machine.Machine) {
 	e.st = engine.Stats{}
-	e.blocks = make(map[uint32]*block)
-	pages := (len(m.Bus.RAM) + isa.PageSize - 1) / isa.PageSize
-	e.pageGen = make([]uint32, pages)
-	e.codePages = make([]bool, pages)
-	e.dtlb = newSoftTLB(e.cfg.TLBBits, e.cfg.VictimTLB)
-	e.itlb = newSoftTLB(e.cfg.TLBBits, false)
-	e.jmpCache = [jmpSize]*block{}
-	e.jmpCache2 = [jmpSize]*block{}
-	e.jmpEpoch = [jmpSize]uint32{}
-	e.jmpEpoch2 = [jmpSize]uint32{}
-	e.flushEpoch = 0
 	e.syncBuf = make([]uint32, e.cfg.ExcSyncWords)
 	e.helperBuf = make([]uint32, e.cfg.HelperSaveWords)
-	m.ClearTLBListeners()
-	m.AddTLBListener(e)
+	e.harts = e.harts[:0]
+	for _, m := range harts {
+		h := &hart{e: e, m: m}
+		h.blocks = make(map[uint32]*block)
+		pages := (len(m.Bus.RAM) + isa.PageSize - 1) / isa.PageSize
+		h.pageGen = make([]uint32, pages)
+		h.codePages = make([]bool, pages)
+		h.dtlb = newSoftTLB(e.cfg.TLBBits, e.cfg.VictimTLB)
+		h.itlb = newSoftTLB(e.cfg.TLBBits, false)
+		m.ClearTLBListeners()
+		m.AddTLBListener(h)
+		e.harts = append(e.harts, h)
+	}
+	e.attach(e.harts[0])
+}
+
+// attach makes h the current hart for the dispatch and memory paths.
+func (e *Engine) attach(h *hart) {
+	e.h = h
+	e.m = h.m
 }
 
 // valid reports whether a block's translation is still current.
 func (e *Engine) valid(b *block) bool {
-	return b.gen == e.pageGen[b.physPage]
+	return b.gen == e.h.pageGen[b.physPage]
 }
 
 // lookup finds or translates the block at va. ok is false if the fetch
@@ -152,6 +176,7 @@ func (e *Engine) valid(b *block) bool {
 // cpu_get_tb_cpu_state + tb field comparison). This is the per-
 // transition cost that block chaining exists to avoid.
 func (e *Engine) lookup(va uint32) (b *block, ok bool) {
+	ht := e.h
 	cpu := &e.m.CPU
 	flags := uint32(0)
 	if cpu.Kernel {
@@ -163,7 +188,7 @@ func (e *Engine) lookup(va uint32) (b *block, ok bool) {
 	flags |= e.m.CPU.Ctrl[isa.CtrlMMU] << 2
 	stateHash := (va >> 2) * 2654435761
 	stateHash ^= flags * 0x9E3779B9
-	stateHash ^= e.chainEpoch
+	stateHash ^= ht.chainEpoch
 
 	validate := func(b *block) bool {
 		// Field-by-field comparison, as the translation-cache probe
@@ -185,16 +210,16 @@ func (e *Engine) lookup(va uint32) (b *block, ok bool) {
 		return true
 	}
 
-	h := jmpHash(va)
-	if b := e.jmpCache[h]; b != nil && e.jmpEpoch[h] == e.flushEpoch && validate(b) {
+	hs := jmpHash(va)
+	if b := ht.jmpCache[hs]; b != nil && ht.jmpEpoch[hs] == ht.flushEpoch && validate(b) {
 		return b, true
 	}
 	var h2 uint32
 	if e.cfg.LookupDepth >= 2 {
 		h2 = jmpHash2(va)
-		if b := e.jmpCache2[h2]; b != nil && e.jmpEpoch2[h2] == e.flushEpoch && validate(b) {
-			e.jmpCache[h] = b // promote
-			e.jmpEpoch[h] = e.flushEpoch
+		if b := ht.jmpCache2[h2]; b != nil && ht.jmpEpoch2[h2] == ht.flushEpoch && validate(b) {
+			ht.jmpCache[hs] = b // promote
+			ht.jmpEpoch[hs] = ht.flushEpoch
 			return b, true
 		}
 	}
@@ -205,15 +230,15 @@ func (e *Engine) lookup(va uint32) (b *block, ok bool) {
 		e.m.EnterMemFault(isa.ExcInstFault, fault, va, false, va)
 		return nil, false
 	}
-	b = e.blocks[pa]
+	b = ht.blocks[pa]
 	if b == nil || !e.valid(b) || b.va != va {
 		b = e.translate(va, pa)
 	}
-	e.jmpCache[h] = b
-	e.jmpEpoch[h] = e.flushEpoch
+	ht.jmpCache[hs] = b
+	ht.jmpEpoch[hs] = ht.flushEpoch
 	if e.cfg.LookupDepth >= 2 {
-		e.jmpCache2[h2] = b
-		e.jmpEpoch2[h2] = e.flushEpoch
+		ht.jmpCache2[h2] = b
+		ht.jmpEpoch2[h2] = ht.flushEpoch
 	}
 	return b, true
 }
@@ -279,72 +304,113 @@ func (e *Engine) helperCall() {
 // re-enter through the dispatcher and observe the invalidation.
 func (e *Engine) noteStore(pa uint32) {
 	page := pa >> isa.PageShift
-	if int(page) < len(e.codePages) && e.codePages[page] {
-		e.pageGen[page]++
-		e.codePages[page] = false
+	if len(e.harts) > 1 {
+		// RAM is shared: a store from any hart invalidates translated
+		// code on every hart that holds blocks from that page.
+		for _, h := range e.harts {
+			if int(page) < len(h.codePages) && h.codePages[page] {
+				h.pageGen[page]++
+				h.codePages[page] = false
+				e.st.SMCInvalidations++
+			}
+		}
+		return
+	}
+	h := e.h
+	if int(page) < len(h.codePages) && h.codePages[page] {
+		h.pageGen[page]++
+		h.codePages[page] = false
 		e.st.SMCInvalidations++
 	}
 }
 
 // Run implements engine.Engine.
-func (e *Engine) Run(m *machine.Machine, limit uint64) (engine.Stats, error) {
-	e.reset(m)
-	cpu := &m.CPU
-	var insns, lastTick uint64
-
-	b, ok := e.lookup(cpu.PC)
-	for !m.Halted {
-		if insns >= limit {
-			e.st.Instructions = insns
-			return e.st, engine.ErrLimit
+func (e *Engine) Run(harts []*machine.Machine, limit uint64) (engine.Stats, error) {
+	e.reset(harts)
+	var total uint64
+	for {
+		running := false
+		for _, h := range e.harts {
+			if h.m.Halted {
+				continue
+			}
+			running = true
+			if err := e.runSlice(h, &total, limit); err != nil {
+				e.st.Instructions = total
+				return e.st, err
+			}
 		}
-		if m.TickFn != nil && insns-lastTick >= tickQuantum {
-			m.TickFn(uint32(insns - lastTick))
-			lastTick = insns
+		if !running {
+			break
+		}
+	}
+	e.st.Instructions = total
+	return e.st, nil
+}
+
+// runSlice executes roughly one scheduling quantum on h: whole blocks
+// run to completion, so the slice ends at the first block boundary at
+// or past the quantum — the block-granular interleaving a DBT
+// naturally has. Tick and limit checks key off the hart's own retired
+// count, so at one core the instruction stream is bit-identical to the
+// pre-SMP engine.
+func (e *Engine) runSlice(h *hart, total *uint64, limit uint64) error {
+	e.attach(h)
+	m := h.m
+	cpu := &m.CPU
+	stop := h.insns + engine.SchedQuantum
+	for !m.Halted && h.insns < stop {
+		if *total >= limit {
+			return engine.ErrLimit
+		}
+		if m.TickFn != nil && h.insns-h.lastTick >= tickQuantum {
+			m.TickFn(uint32(h.insns - h.lastTick))
+			h.lastTick = h.insns
 		}
 		// Interrupts are recognised at block boundaries only.
 		if m.IRQPending() {
 			e.enterExc(isa.ExcIRQ, cpu.PC)
 			m.Enter(isa.ExcIRQ, cpu.PC)
 			e.st.IRQsDelivered++
-			b, ok = e.lookup(cpu.PC)
+			h.b, h.ok = e.lookup(cpu.PC)
 			continue
 		}
-		if !ok {
-			b, ok = e.lookup(cpu.PC)
+		if !h.ok {
+			h.b, h.ok = e.lookup(cpu.PC)
 			continue
 		}
+		b := h.b
 		if !e.valid(b) {
-			b, ok = e.lookup(b.va)
+			h.b, h.ok = e.lookup(b.va)
 			continue
 		}
 		e.st.BlockExecutions++
 
 		kind, target, retired := e.exec(b)
-		insns += retired
+		h.insns += retired
+		*total += retired
 
 		switch kind {
 		case exitFall:
 			cpu.PC = b.fallVA
-			b, ok = e.follow(b, &b.nextFall, &b.fallEpoch, b.fallVA)
+			h.b, h.ok = e.follow(b, &b.nextFall, &b.fallEpoch, b.fallVA)
 		case exitTaken:
 			cpu.PC = target
 			if target == b.takenVA {
-				b, ok = e.follow(b, &b.nextTaken, &b.takenEpoch, target)
+				h.b, h.ok = e.follow(b, &b.nextTaken, &b.takenEpoch, target)
 			} else {
-				b, ok = e.lookup(target)
+				h.b, h.ok = e.lookup(target)
 			}
 		case exitIndirect:
 			cpu.PC = target
-			b, ok = e.lookup(target)
+			h.b, h.ok = e.lookup(target)
 		case exitException:
-			b, ok = e.lookup(cpu.PC)
+			h.b, h.ok = e.lookup(cpu.PC)
 		case exitHalt:
 			// loop exits via m.Halted
 		}
 	}
-	e.st.Instructions = insns
-	return e.st, nil
+	return nil
 }
 
 // follow takes a (potentially chained) transition to va. The chain slot
@@ -352,7 +418,7 @@ func (e *Engine) Run(m *machine.Machine, limit uint64) (engine.Stats, error) {
 // otherwise a full lookup runs and, for same-page targets, re-establishes
 // the link.
 func (e *Engine) follow(b *block, slot **block, epoch *uint32, va uint32) (*block, bool) {
-	if nb := *slot; nb != nil && e.cfg.Chain != ChainNone && *epoch == e.chainEpoch {
+	if nb := *slot; nb != nil && e.cfg.Chain != ChainNone && *epoch == e.h.chainEpoch {
 		switch e.cfg.Chain {
 		case ChainDirect:
 			if e.valid(nb) {
@@ -377,7 +443,7 @@ func (e *Engine) follow(b *block, slot **block, epoch *uint32, va uint32) (*bloc
 	nb, ok := e.lookup(va)
 	if ok && e.cfg.Chain != ChainNone && samePage(b.va, va) {
 		*slot = nb
-		*epoch = e.chainEpoch
+		*epoch = e.h.chainEpoch
 	}
 	return nb, ok
 }

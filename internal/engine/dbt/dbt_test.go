@@ -27,7 +27,7 @@ func runBoth(t *testing.T, cfg Config, build func(a *asm.Assembler)) (*platform.
 		t.Fatal(err)
 	}
 	pd.M.Reset()
-	dstats, err := New(cfg).Run(pd.M, 5_000_000)
+	dstats, err := New(cfg).Run(pd.Harts(), 5_000_000)
 	if err != nil {
 		t.Fatalf("dbt run: %v (pc=%#x)", err, pd.M.CPU.PC)
 	}
@@ -37,7 +37,7 @@ func runBoth(t *testing.T, cfg Config, build func(a *asm.Assembler)) (*platform.
 		t.Fatal(err)
 	}
 	pi.M.Reset()
-	istats, err := interp.New().Run(pi.M, 5_000_000)
+	istats, err := interp.New().Run(pi.Harts(), 5_000_000)
 	if err != nil {
 		t.Fatalf("interp run: %v (pc=%#x)", err, pi.M.CPU.PC)
 	}
@@ -200,7 +200,7 @@ func TestChainingCounters(t *testing.T) {
 		p := platform.New(machine.ProfileARM, 1<<20)
 		p.M.LoadProgram(prog)
 		p.M.Reset()
-		st, err := New(cfg).Run(p.M, 1_000_000)
+		st, err := New(cfg).Run(p.Harts(), 1_000_000)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -231,7 +231,7 @@ func TestBlockCacheReuse(t *testing.T) {
 	p := platform.New(machine.ProfileARM, 1<<20)
 	p.M.LoadProgram(prog)
 	p.M.Reset()
-	st, err := NewDefault().Run(p.M, 1_000_000)
+	st, err := NewDefault().Run(p.Harts(), 1_000_000)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -92,6 +92,14 @@ func (e *Engine) exec(b *block) (exitKind, uint32, uint64) {
 			if !e.uopStore(b, u, r[u.ra]+u.imm, 4, true) {
 				return exitException, 0, uint64(u.retire)
 			}
+		case uLoadX:
+			if !e.uopLoadX(b, u, r[u.ra]) {
+				return exitException, 0, uint64(u.retire)
+			}
+		case uStoreX:
+			if !e.uopStoreX(b, u, r[u.ra]) {
+				return exitException, 0, uint64(u.retire)
+			}
 
 		case uBranch:
 			return exitTaken, u.imm, uint64(u.retire)
@@ -169,7 +177,7 @@ func (e *Engine) exec(b *block) (exitKind, uint32, uint64) {
 				return exitException, 0, uint64(u.retire)
 			}
 			e.st.TLBInvalidates++
-			m.InvalidatePageTLBs(r[u.ra])
+			m.ShootdownPage(r[u.ra])
 			return exitIndirect, b.va + uint32(u.pcOff) + 4, uint64(u.retire)
 		case uTlbiAll:
 			if !cpu.Kernel {
@@ -177,7 +185,7 @@ func (e *Engine) exec(b *block) (exitKind, uint32, uint64) {
 				return exitException, 0, uint64(u.retire)
 			}
 			e.st.TLBFlushes++
-			m.InvalidateAllTLBs()
+			m.ShootdownAll()
 			return exitIndirect, b.va + uint32(u.pcOff) + 4, uint64(u.retire)
 		case uHalt:
 			if !cpu.Kernel {
@@ -254,6 +262,9 @@ func (e *Engine) uopStore(b *block, u *uop, va uint32, size int, asUser bool) bo
 		} else {
 			m.Bus.RAM[pa] = byte(v)
 		}
+		if m.Mon.Armed() {
+			m.Mon.NoteStore(pa)
+		}
 		e.noteStore(pa)
 		return true
 	}
@@ -262,6 +273,55 @@ func (e *Engine) uopStore(b *block, u *uop, va uint32, size int, asUser bool) bo
 	if f := m.Bus.WritePhys(pa, size, v); f != isa.FaultNone {
 		e.dataFault(b, u, f, va, true)
 		return false
+	}
+	return true
+}
+
+// uopLoadX performs an exclusive load: the word is read and this
+// hart's reservation armed. Exclusives are RAM-only; false means an
+// exception side exit.
+func (e *Engine) uopLoadX(b *block, u *uop, va uint32) bool {
+	m := e.m
+	va &^= 3
+	e.st.MemReads++
+	e.st.ExclusiveOps++
+	pa, isRAM, fault := e.dataAccess(va, false, false)
+	if fault == isa.FaultNone && !isRAM {
+		fault = isa.FaultBus
+	}
+	if fault != isa.FaultNone {
+		e.dataFault(b, u, fault, va, false)
+		return false
+	}
+	m.Mon.Arm(m.HartID, pa)
+	m.CPU.Regs[u.rd] = m.Bus.ReadWordRAM(pa)
+	return true
+}
+
+// uopStoreX performs an exclusive store: it succeeds (rd=0) only if
+// the hart's reservation survived; otherwise rd=1 and memory is
+// untouched. False means an exception side exit.
+func (e *Engine) uopStoreX(b *block, u *uop, va uint32) bool {
+	m := e.m
+	va &^= 3
+	e.st.ExclusiveOps++
+	pa, isRAM, fault := e.dataAccess(va, true, false)
+	if fault == isa.FaultNone && !isRAM {
+		fault = isa.FaultBus
+	}
+	if fault != isa.FaultNone {
+		e.dataFault(b, u, fault, va, true)
+		return false
+	}
+	if m.Mon.Exclusive(m.HartID, pa) {
+		e.st.MemWrites++
+		m.Bus.WriteWordRAM(pa, m.CPU.Regs[u.rb])
+		m.Mon.NoteStore(pa)
+		e.noteStore(pa)
+		m.CPU.Regs[u.rd] = 0
+	} else {
+		e.st.ExclusiveFails++
+		m.CPU.Regs[u.rd] = 1
 	}
 	return true
 }

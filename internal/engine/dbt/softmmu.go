@@ -151,7 +151,7 @@ func (e *Engine) dataAccess(va uint32, write, asUser bool) (pa uint32, isRAM boo
 	if write {
 		acc = accWrite
 	}
-	if ent, ok := e.dtlb.probe(mmuIdx, acc, va); ok {
+	if ent, ok := e.h.dtlb.probe(mmuIdx, acc, va); ok {
 		e.st.TLBHits++
 		return ent.pbase | va&isa.PageMask, ent.isRAM, isa.FaultNone
 	}
@@ -167,7 +167,7 @@ func (e *Engine) dataAccess(va uint32, write, asUser bool) (pa uint32, isRAM boo
 		pbase: pte.PhysPage,
 		isRAM: m.Bus.IsRAM(pte.PhysPage, isa.PageSize),
 	}
-	e.dtlb.install(mmuIdx, acc, va, ent)
+	e.h.dtlb.install(mmuIdx, acc, va, ent)
 	return pte.PhysPage | va&isa.PageMask, ent.isRAM, isa.FaultNone
 }
 
@@ -185,7 +185,7 @@ func (e *Engine) codeAccess(va uint32) (pa uint32, fault isa.FaultCode) {
 	if !m.CPU.Kernel {
 		mmuIdx = idxUser
 	}
-	if ent, ok := e.itlb.probe(mmuIdx, accRead, va); ok {
+	if ent, ok := e.h.itlb.probe(mmuIdx, accRead, va); ok {
 		return ent.pbase | va&isa.PageMask, isa.FaultNone
 	}
 	pte, f := e.walkChecked(va)
@@ -198,6 +198,6 @@ func (e *Engine) codeAccess(va uint32) (pa uint32, fault isa.FaultCode) {
 	if !m.Bus.IsRAM(pte.PhysPage, isa.PageSize) {
 		return 0, isa.FaultBus
 	}
-	e.itlb.install(mmuIdx, accRead, va, softTLBEntry{pbase: pte.PhysPage, isRAM: true})
+	e.h.itlb.install(mmuIdx, accRead, va, softTLBEntry{pbase: pte.PhysPage, isRAM: true})
 	return pte.PhysPage | va&isa.PageMask, isa.FaultNone
 }

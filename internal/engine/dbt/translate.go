@@ -18,7 +18,7 @@ func (e *Engine) translate(va, pa uint32) *block {
 		e.tcgCtx[i] = 0
 	}
 	page := pa >> isa.PageShift
-	b := &block{va: va, physPage: page, gen: e.pageGen[page]}
+	b := &block{va: va, physPage: page, gen: e.h.pageGen[page]}
 	off := uint32(0)
 	for n := 0; n < e.cfg.BlockCap; n++ {
 		if (pa+off)>>isa.PageShift != page {
@@ -46,10 +46,10 @@ func (e *Engine) translate(va, pa uint32) *block {
 
 	e.st.BlocksTranslated++
 	e.st.InsnsTranslated += uint64(b.insns)
-	if int(page) < len(e.codePages) {
-		e.codePages[page] = true
+	if int(page) < len(e.h.codePages) {
+		e.h.codePages[page] = true
 	}
-	e.blocks[pa] = b
+	e.h.blocks[pa] = b
 	return b
 }
 
@@ -129,6 +129,10 @@ func (e *Engine) lower(b *block, in isa.Inst, off uint32) bool {
 		alui(uLoadB)
 	case isa.OpSTB:
 		alui(uStoreB)
+	case isa.OpLDX:
+		push(uop{kind: uLoadX, rd: uint8(in.Rd), ra: uint8(in.Ra)})
+	case isa.OpSTX:
+		push(uop{kind: uStoreX, rd: uint8(in.Rd), ra: uint8(in.Ra), rb: uint8(in.Rb)})
 	case isa.OpLDT:
 		if !e.m.NonPrivSupported() {
 			push(uop{kind: uUndef})
@@ -263,10 +267,12 @@ func regReads(u *uop) uint32 {
 		return 1<<u.ra | 1<<u.rb
 	case uMov, uNot, uAddI, uSubI, uAndI, uOrI, uXorI, uShlI, uShrI,
 		uSraI, uMulI, uCmpI, uCmpBranchI, uLoadW, uLoadB, uLoadT,
-		uBranchReg, uCallReg, uTlbi:
+		uLoadX, uBranchReg, uCallReg, uTlbi:
 		return 1 << u.ra
 	case uStoreW, uStoreB, uStoreT:
 		return 1<<u.ra | 1<<u.rd
+	case uStoreX:
+		return 1<<u.ra | 1<<u.rb
 	case uMovT:
 		return 1 << u.rd
 	case uMsr, uCpwr:
@@ -287,7 +293,7 @@ func (e *Engine) analyseLiveness(b *block) {
 		case uAdd, uSub, uAnd, uOr, uXor, uShl, uShr, uSra, uMul,
 			uMov, uNot, uAddI, uSubI, uAndI, uOrI, uXorI, uShlI,
 			uShrI, uSraI, uMulI, uMovImm32, uLoadW, uLoadB, uLoadT,
-			uMrs, uCprd:
+			uLoadX, uStoreX, uMrs, uCprd:
 			live &^= 1 << u.rd
 		}
 		live |= regReads(u)

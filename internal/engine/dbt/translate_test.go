@@ -24,7 +24,7 @@ func translateProg(t *testing.T, cfg Config, build func(a *asm.Assembler)) *bloc
 		t.Fatal(err)
 	}
 	e := New(cfg)
-	e.reset(p.M)
+	e.reset(p.Harts())
 	return e.translate(0, 0)
 }
 
@@ -79,7 +79,7 @@ func TestBlockNeverCrossesPage(t *testing.T) {
 	}
 	p.M.LoadProgram(prog)
 	e := NewDefault()
-	e.reset(p.M)
+	e.reset(p.Harts())
 	b := e.translate(isa.PageSize-8, isa.PageSize-8)
 	if b.insns != 2 {
 		t.Errorf("block crossed page: %d insns", b.insns)
@@ -194,7 +194,7 @@ func TestLDTLoweringPerProfile(t *testing.T) {
 	prog, _ := a.Assemble()
 	p.M.LoadProgram(prog)
 	e := NewDefault()
-	e.reset(p.M)
+	e.reset(p.Harts())
 	b := e.translate(0, 0)
 	if b.uops[0].kind != uUndef {
 		t.Errorf("x86 LDT lowered to %v, want undef", b.uops[0].kind)

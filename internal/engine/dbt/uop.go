@@ -46,6 +46,8 @@ const (
 	uStoreB
 	uLoadT  // non-privileged
 	uStoreT // non-privileged
+	uLoadX  // exclusive load: rd = mem[ra], arm reservation
+	uStoreX // exclusive store: mem[ra] = rb if reserved, rd = 0/1
 
 	// Terminals.
 	uBranch     // unconditional direct: target in imm

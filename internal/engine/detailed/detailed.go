@@ -107,13 +107,33 @@ type traceRec struct {
 	op          uint8
 }
 
+// hart is the per-core slice of engine state: each simulated core
+// models its own instruction and data TLBs, as on real hardware.
+type hart struct {
+	m     *machine.Machine
+	itlb  modelTLB
+	dtlb  modelTLB
+	insns uint64 // retired instructions on this hart
+}
+
+// InvalidatePage implements machine.TLBListener.
+func (h *hart) InvalidatePage(va uint32) {
+	h.itlb.flushPage(va)
+	h.dtlb.flushPage(va)
+}
+
+// InvalidateAll implements machine.TLBListener.
+func (h *hart) InvalidateAll() {
+	h.itlb.flushAll()
+	h.dtlb.flushAll()
+}
+
 // Detailed is the detailed-interpreter engine.
 type Detailed struct {
-	m  *machine.Machine
-	st engine.Stats
-
-	itlb modelTLB
-	dtlb modelTLB
+	m     *machine.Machine // current hart's machine
+	h     *hart            // current hart
+	harts []*hart
+	st    engine.Stats
 
 	tick                        uint64
 	stageTicks                  [numStages]uint64
@@ -148,18 +168,6 @@ func (e *Detailed) Features() engine.Features {
 	}
 }
 
-// InvalidatePage implements machine.TLBListener.
-func (e *Detailed) InvalidatePage(va uint32) {
-	e.itlb.flushPage(va)
-	e.dtlb.flushPage(va)
-}
-
-// InvalidateAll implements machine.TLBListener.
-func (e *Detailed) InvalidateAll() {
-	e.itlb.flushAll()
-	e.dtlb.flushAll()
-}
-
 // Tick returns the modelled tick counter (one per pipeline event).
 func (e *Detailed) Tick() uint64 { return e.tick }
 
@@ -168,7 +176,8 @@ func latency(op isa.Op) uint64 {
 	switch op {
 	case isa.OpMUL, isa.OpMULI:
 		return 3
-	case isa.OpLDW, isa.OpSTW, isa.OpLDB, isa.OpSTB, isa.OpLDT, isa.OpSTT:
+	case isa.OpLDW, isa.OpSTW, isa.OpLDB, isa.OpSTB, isa.OpLDT, isa.OpSTT,
+		isa.OpLDX, isa.OpSTX:
 		return 2
 	default:
 		return 1
@@ -258,11 +267,8 @@ func (e *Detailed) popEvent() event {
 	return top
 }
 
-func (e *Detailed) reset(m *machine.Machine) {
-	e.m = m
+func (e *Detailed) reset(harts []*machine.Machine) {
 	e.st = engine.Stats{}
-	e.itlb = modelTLB{}
-	e.dtlb = modelTLB{}
 	e.tick = 0
 	e.opHist = [isa.NumOps]uint64{}
 	if e.mem == nil {
@@ -270,8 +276,20 @@ func (e *Detailed) reset(m *machine.Machine) {
 	}
 	e.mem.reset()
 	e.bp.reset()
-	m.ClearTLBListeners()
-	m.AddTLBListener(e)
+	e.harts = e.harts[:0]
+	for _, m := range harts {
+		h := &hart{m: m}
+		m.ClearTLBListeners()
+		m.AddTLBListener(h)
+		e.harts = append(e.harts, h)
+	}
+	e.attach(e.harts[0])
+}
+
+// attach makes h the current hart for the step/translate fast paths.
+func (e *Detailed) attach(h *hart) {
+	e.h = h
+	e.m = h.m
 }
 
 // translate resolves a data access through the modelled TLB, walking
@@ -282,7 +300,8 @@ func (e *Detailed) translate(va uint32, write, asUser bool) (pa uint32, isRAM bo
 		return va, m.Bus.IsRAM(va, 1), isa.FaultNone
 	}
 	vpage := va >> isa.PageShift
-	ent, hit := e.dtlb.lookup(vpage)
+	dtlb := &e.h.dtlb
+	ent, hit := dtlb.lookup(vpage)
 	if !hit {
 		e.st.TLBMisses++
 		pte, levels, f := mmu.Walk(m.Bus, m.TTBR(), m.FormatB(), va)
@@ -302,8 +321,8 @@ func (e *Detailed) translate(va uint32, write, asUser bool) (pa uint32, isRAM bo
 		if m.Bus.IsRAM(pte.PhysPage, isa.PageSize) {
 			ne.flags |= fRAM
 		}
-		e.dtlb.fill(vpage, ne)
-		ent, _ = e.dtlb.lookup(vpage)
+		dtlb.fill(vpage, ne)
+		ent, _ = dtlb.lookup(vpage)
 	} else {
 		e.st.TLBHits++
 	}
@@ -327,7 +346,8 @@ func (e *Detailed) fetch(pc uint32) (pa uint32, fault isa.FaultCode) {
 		return pc, isa.FaultNone
 	}
 	vpage := pc >> isa.PageShift
-	ent, hit := e.itlb.lookup(vpage)
+	itlb := &e.h.itlb
+	ent, hit := itlb.lookup(vpage)
 	if !hit {
 		pte, levels, f := mmu.Walk(m.Bus, m.TTBR(), m.FormatB(), pc)
 		e.st.PageWalks++
@@ -343,8 +363,8 @@ func (e *Detailed) fetch(pc uint32) (pa uint32, fault isa.FaultCode) {
 		if m.Bus.IsRAM(pte.PhysPage, isa.PageSize) {
 			ne.flags |= fRAM
 		}
-		e.itlb.fill(vpage, ne)
-		ent, _ = e.itlb.lookup(vpage)
+		itlb.fill(vpage, ne)
+		ent, _ = itlb.lookup(vpage)
 	}
 	if !m.CPU.Kernel && ent.flags&fUser == 0 {
 		return 0, isa.FaultPermission
@@ -356,16 +376,42 @@ func (e *Detailed) fetch(pc uint32) (pa uint32, fault isa.FaultCode) {
 }
 
 // Run implements engine.Engine.
-func (e *Detailed) Run(m *machine.Machine, limit uint64) (engine.Stats, error) {
-	e.reset(m)
-	cpu := &m.CPU
-	var insns uint64
-	for !m.Halted {
-		if insns >= limit {
-			e.st.Instructions = insns
-			return e.st, engine.ErrLimit
+func (e *Detailed) Run(harts []*machine.Machine, limit uint64) (engine.Stats, error) {
+	e.reset(harts)
+	var total uint64
+	for {
+		running := false
+		for _, h := range e.harts {
+			if h.m.Halted {
+				continue
+			}
+			running = true
+			if err := e.runSlice(h, &total, limit); err != nil {
+				e.st.Instructions = total
+				return e.st, err
+			}
 		}
-		if m.TickFn != nil && insns%tickQuantum == 0 && insns != 0 {
+		if !running {
+			break
+		}
+	}
+	e.st.Instructions = total
+	return e.st, nil
+}
+
+// runSlice executes one scheduling quantum on h. The tick and limit
+// checks key off the hart's own retired count, so at one core the
+// instruction stream is bit-identical to the pre-SMP engine.
+func (e *Detailed) runSlice(h *hart, total *uint64, limit uint64) error {
+	e.attach(h)
+	m := h.m
+	cpu := &m.CPU
+	stop := h.insns + engine.SchedQuantum
+	for !m.Halted && h.insns < stop {
+		if *total >= limit {
+			return engine.ErrLimit
+		}
+		if m.TickFn != nil && h.insns%tickQuantum == 0 && h.insns != 0 {
 			m.TickFn(tickQuantum)
 		}
 		if m.IRQPending() {
@@ -384,11 +430,11 @@ func (e *Detailed) Run(m *machine.Machine, limit uint64) (engine.Stats, error) {
 		e.tick += e.mem.fetchAccess(pa)
 		// No decode cache: a fresh decode of the raw word every time.
 		in := isa.Decode(m.Bus.ReadWordRAM(pa))
-		insns++
+		h.insns++
+		*total++
 		e.step(in, pc)
 	}
-	e.st.Instructions = insns
-	return e.st, nil
+	return nil
 }
 
 func (e *Detailed) undef(pc uint32) {
@@ -488,6 +534,12 @@ func (e *Detailed) step(in isa.Inst, pc uint32) {
 	case isa.OpSTB:
 		e.store(in, pc, r[in.Ra]+uint32(in.Imm), 1, false)
 		return
+	case isa.OpLDX:
+		e.loadExclusive(in, pc, r[in.Ra])
+		return
+	case isa.OpSTX:
+		e.storeExclusive(in, pc, r[in.Ra])
+		return
 	case isa.OpLDT:
 		if !m.NonPrivSupported() {
 			e.undef(pc)
@@ -580,14 +632,14 @@ func (e *Detailed) step(in isa.Inst, pc uint32) {
 			return
 		}
 		e.st.TLBInvalidates++
-		m.InvalidatePageTLBs(r[in.Ra])
+		m.ShootdownPage(r[in.Ra])
 	case isa.OpTLBIA:
 		if !cpu.Kernel {
 			e.undef(pc)
 			return
 		}
 		e.st.TLBFlushes++
-		m.InvalidateAllTLBs()
+		m.ShootdownAll()
 	case isa.OpHALT:
 		if !cpu.Kernel {
 			e.undef(pc)
@@ -639,6 +691,61 @@ func (e *Detailed) load(in isa.Inst, pc, va uint32, size int, asUser bool) {
 	m.CPU.PC = pc + 4
 }
 
+// loadExclusive implements LDX: a word load that arms this hart's
+// reservation on the line. Exclusives are RAM-only.
+func (e *Detailed) loadExclusive(in isa.Inst, pc, va uint32) {
+	m := e.m
+	va &^= 3
+	e.st.MemReads++
+	e.st.ExclusiveOps++
+	pa, isRAM, fault := e.translate(va, false, false)
+	if fault == isa.FaultNone && !isRAM {
+		fault = isa.FaultBus
+	}
+	if fault != isa.FaultNone {
+		m.EnterMemFault(isa.ExcDataFault, fault, va, false, pc)
+		e.st.ExceptionsTaken++
+		return
+	}
+	e.tick += e.mem.dataAccess(pa, false)
+	m.Mon.Arm(m.HartID, pa)
+	v := m.Bus.ReadWordRAM(pa)
+	m.CPU.Regs[in.Rd] = v
+	e.record(pc, in, va, v)
+	m.CPU.PC = pc + 4
+}
+
+// storeExclusive implements STX: the store succeeds (rd=0) only if the
+// hart's reservation survived; otherwise rd=1 and memory is untouched.
+func (e *Detailed) storeExclusive(in isa.Inst, pc, va uint32) {
+	m := e.m
+	va &^= 3
+	e.st.ExclusiveOps++
+	pa, isRAM, fault := e.translate(va, true, false)
+	if fault == isa.FaultNone && !isRAM {
+		fault = isa.FaultBus
+	}
+	if fault != isa.FaultNone {
+		m.EnterMemFault(isa.ExcDataFault, fault, va, true, pc)
+		e.st.ExceptionsTaken++
+		return
+	}
+	e.tick += e.mem.dataAccess(pa, true)
+	if m.Mon.Exclusive(m.HartID, pa) {
+		e.st.MemWrites++
+		v := m.CPU.Regs[in.Rb]
+		m.Bus.WriteWordRAM(pa, v)
+		m.Mon.NoteStore(pa)
+		e.record(pc, in, va, v)
+		m.CPU.Regs[in.Rd] = 0
+	} else {
+		e.st.ExclusiveFails++
+		e.record(pc, in, va, 1)
+		m.CPU.Regs[in.Rd] = 1
+	}
+	m.CPU.PC = pc + 4
+}
+
 func (e *Detailed) store(in isa.Inst, pc, va uint32, size int, asUser bool) {
 	m := e.m
 	if size == 4 {
@@ -658,6 +765,9 @@ func (e *Detailed) store(in isa.Inst, pc, va uint32, size int, asUser bool) {
 			m.Bus.WriteWordRAM(pa, v)
 		} else {
 			m.Bus.RAM[pa] = byte(v)
+		}
+		if m.Mon.Armed() {
+			m.Mon.NoteStore(pa)
 		}
 	} else {
 		e.st.DeviceAccesses++

@@ -24,7 +24,7 @@ func runProg(t *testing.T, build func(a *asm.Assembler)) (*platform.Platform, *D
 	}
 	p.M.Reset()
 	e := New()
-	if _, err := e.Run(p.M, 5_000_000); err != nil {
+	if _, err := e.Run(p.Harts(), 5_000_000); err != nil {
 		t.Fatalf("run: %v (pc=%#x)", err, p.M.CPU.PC)
 	}
 	return p, e
@@ -165,7 +165,7 @@ func TestDetailedCountsWalksThroughModelTLB(t *testing.T) {
 	}
 	p.M.Reset()
 	e := New()
-	st, err := e.Run(p.M, 1_000_000)
+	st, err := e.Run(p.Harts(), 1_000_000)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -61,11 +61,11 @@ type decodedPage struct {
 	gen   uint32
 }
 
-// Direct is the direct-execution engine.
-type Direct struct {
-	mode Mode
-	m    *machine.Machine
-	st   engine.Stats
+// hart is the per-core slice of engine state: each simulated core has
+// its own hardware TLB, decode cache and fetch fast path, mirroring
+// the per-CPU structures of real hardware.
+type hart struct {
+	m *machine.Machine
 
 	// Flat hardware translation table: entry valid iff ep matches the
 	// current epoch; a full flush is a single epoch increment.
@@ -90,7 +90,19 @@ type Direct struct {
 	lastDP      *decodedPage
 	lastKernel  bool // privilege level the fast path was validated for
 
-	// VM-exit machinery (virt mode).
+	insns uint64 // retired instructions on this hart
+}
+
+// Direct is the direct-execution engine.
+type Direct struct {
+	mode  Mode
+	m     *machine.Machine // current hart's machine
+	h     *hart            // current hart
+	harts []*hart
+	st    engine.Stats
+
+	// VM-exit machinery (virt mode); scratch shared across harts, as a
+	// single hypervisor instance serves the whole VM.
 	exitFrame struct {
 		regs       [isa.NumRegs]uint32
 		ctrl       [isa.NumCtrlRegs]uint32
@@ -136,40 +148,49 @@ func (e *Direct) Features() engine.Features {
 }
 
 // InvalidatePage implements machine.TLBListener.
-func (e *Direct) InvalidatePage(va uint32) {
-	e.ep[va>>isa.PageShift] = 0
-	if va>>isa.PageShift+1 == e.lastFetchVP {
-		e.lastFetchVP = 0
+func (h *hart) InvalidatePage(va uint32) {
+	h.ep[va>>isa.PageShift] = 0
+	if va>>isa.PageShift+1 == h.lastFetchVP {
+		h.lastFetchVP = 0
 	}
 }
 
 // InvalidateAll implements machine.TLBListener. A hardware-wide flush
 // is a single epoch bump.
-func (e *Direct) InvalidateAll() {
-	e.epoch++
-	if e.epoch == 0 { // epoch wrapped: really clear
-		for i := range e.ep {
-			e.ep[i] = 0
+func (h *hart) InvalidateAll() {
+	h.epoch++
+	if h.epoch == 0 { // epoch wrapped: really clear
+		for i := range h.ep {
+			h.ep[i] = 0
 		}
-		e.epoch = 1
+		h.epoch = 1
 	}
-	e.lastFetchVP = 0
+	h.lastFetchVP = 0
 }
 
-func (e *Direct) reset(m *machine.Machine) {
-	e.m = m
+func (e *Direct) reset(harts []*machine.Machine) {
 	e.st = engine.Stats{}
-	if e.off == nil {
-		e.off = make([]uint32, vaPages)
-		e.ep = make([]uint32, vaPages)
+	e.harts = e.harts[:0]
+	for _, m := range harts {
+		h := &hart{m: m}
+		h.off = make([]uint32, vaPages)
+		h.ep = make([]uint32, vaPages)
+		// The epoch starts above zero so no stale entry from the
+		// zero-valued table can appear valid.
+		h.InvalidateAll()
+		h.dpages = make(map[uint32]*decodedPage)
+		h.codePages = make([]bool, (len(m.Bus.RAM)+isa.PageSize-1)/isa.PageSize)
+		m.ClearTLBListeners()
+		m.AddTLBListener(h)
+		e.harts = append(e.harts, h)
 	}
-	// The epoch is monotonic across runs so stale entries from a
-	// previous attachment can never appear valid.
-	e.InvalidateAll()
-	e.dpages = make(map[uint32]*decodedPage)
-	e.codePages = make([]bool, (len(m.Bus.RAM)+isa.PageSize-1)/isa.PageSize)
-	m.ClearTLBListeners()
-	m.AddTLBListener(e)
+	e.attach(e.harts[0])
+}
+
+// attach makes h the current hart for the step/translate fast paths.
+func (e *Direct) attach(h *hart) {
+	e.h = h
+	e.m = h.m
 }
 
 // vmExit models a hardware VM exit: the world switch saves the
@@ -215,6 +236,7 @@ func (e *Direct) vmExit(reason uint32) {
 // translate resolves a data access through the flat hardware table.
 func (e *Direct) translate(va uint32, write, asUser bool) (pa uint32, flags uint32, fault isa.FaultCode) {
 	m := e.m
+	h := e.h
 	if !m.MMUEnabled() {
 		flags = fWrite | fUser
 		if m.Bus.IsRAM(va, 1) {
@@ -223,7 +245,7 @@ func (e *Direct) translate(va uint32, write, asUser bool) (pa uint32, flags uint
 		return va, flags, isa.FaultNone
 	}
 	vp := va >> isa.PageShift
-	if e.ep[vp] != e.epoch {
+	if h.ep[vp] != h.epoch {
 		pte, levels, f := mmu.Walk(m.Bus, m.TTBR(), m.FormatB(), va)
 		e.st.PageWalks++
 		e.st.WalkLevels += uint64(levels)
@@ -240,20 +262,20 @@ func (e *Direct) translate(va uint32, write, asUser bool) (pa uint32, flags uint
 		if m.Bus.IsRAM(pte.PhysPage, isa.PageSize) {
 			ent |= fRAM
 		}
-		e.off[vp] = ent
-		e.ep[vp] = e.epoch
+		h.off[vp] = ent
+		h.ep[vp] = h.epoch
 		// Evict the oldest live entry once the hardware TLB is full.
 		// Ring slots hold vpage+1 so zero means empty.
-		if old := e.ring[e.ringNext]; old != 0 && old-1 != vp && e.ep[old-1] == e.epoch {
-			e.ep[old-1] = 0
+		if old := h.ring[h.ringNext]; old != 0 && old-1 != vp && h.ep[old-1] == h.epoch {
+			h.ep[old-1] = 0
 		}
-		e.ring[e.ringNext] = vp + 1
-		e.ringNext = (e.ringNext + 1) % hwTLBSize
+		h.ring[h.ringNext] = vp + 1
+		h.ringNext = (h.ringNext + 1) % hwTLBSize
 		e.st.TLBMisses++
 	} else {
 		e.st.TLBHits++
 	}
-	ent := e.off[vp]
+	ent := h.off[vp]
 	kernel := m.CPU.Kernel && !asUser
 	if !kernel && ent&fUser == 0 {
 		return 0, 0, isa.FaultPermission
@@ -283,12 +305,13 @@ func (e *Direct) fetch(pc uint32) (pa uint32, fault isa.FaultCode) {
 }
 
 func (e *Direct) decode(pa uint32) isa.Inst {
+	h := e.h
 	page := pa >> isa.PageShift
-	dp := e.dpages[page]
+	dp := h.dpages[page]
 	if dp == nil {
 		dp = &decodedPage{gen: 1}
-		e.dpages[page] = dp
-		e.codePages[page] = true
+		h.dpages[page] = dp
+		h.codePages[page] = true
 		e.st.PagesDecoded++
 	}
 	idx := (pa & isa.PageMask) >> 2
@@ -301,8 +324,22 @@ func (e *Direct) decode(pa uint32) isa.Inst {
 
 func (e *Direct) noteStore(pa uint32) {
 	page := pa >> isa.PageShift
-	if int(page) < len(e.codePages) && e.codePages[page] {
-		if dp := e.dpages[page]; dp != nil {
+	if len(e.harts) > 1 {
+		// RAM is shared: a store from any hart stales cached code on
+		// every hart that decoded that page.
+		for _, h := range e.harts {
+			if int(page) < len(h.codePages) && h.codePages[page] {
+				if dp := h.dpages[page]; dp != nil {
+					dp.gen++
+				}
+				e.st.SMCInvalidations++
+			}
+		}
+		return
+	}
+	h := e.h
+	if int(page) < len(h.codePages) && h.codePages[page] {
+		if dp := h.dpages[page]; dp != nil {
 			dp.gen++
 		}
 		e.st.SMCInvalidations++
@@ -310,16 +347,42 @@ func (e *Direct) noteStore(pa uint32) {
 }
 
 // Run implements engine.Engine.
-func (e *Direct) Run(m *machine.Machine, limit uint64) (engine.Stats, error) {
-	e.reset(m)
-	cpu := &m.CPU
-	var insns uint64
-	for !m.Halted {
-		if insns >= limit {
-			e.st.Instructions = insns
-			return e.st, engine.ErrLimit
+func (e *Direct) Run(harts []*machine.Machine, limit uint64) (engine.Stats, error) {
+	e.reset(harts)
+	var total uint64
+	for {
+		running := false
+		for _, h := range e.harts {
+			if h.m.Halted {
+				continue
+			}
+			running = true
+			if err := e.runSlice(h, &total, limit); err != nil {
+				e.st.Instructions = total
+				return e.st, err
+			}
 		}
-		if m.TickFn != nil && insns%tickQuantum == 0 && insns != 0 {
+		if !running {
+			break
+		}
+	}
+	e.st.Instructions = total
+	return e.st, nil
+}
+
+// runSlice executes one scheduling quantum on h. The tick and limit
+// checks key off the hart's own retired count, so at one core the
+// instruction stream is bit-identical to the pre-SMP engine.
+func (e *Direct) runSlice(h *hart, total *uint64, limit uint64) error {
+	e.attach(h)
+	m := h.m
+	cpu := &m.CPU
+	stop := h.insns + engine.SchedQuantum
+	for !m.Halted && h.insns < stop {
+		if *total >= limit {
+			return engine.ErrLimit
+		}
+		if m.TickFn != nil && h.insns%tickQuantum == 0 && h.insns != 0 {
 			m.TickFn(tickQuantum)
 		}
 		if m.IRQPending() {
@@ -335,12 +398,12 @@ func (e *Direct) Run(m *machine.Machine, limit uint64) (engine.Stats, error) {
 		}
 		pc := cpu.PC
 		var in isa.Inst
-		if pc>>isa.PageShift+1 == e.lastFetchVP && cpu.Kernel == e.lastKernel {
+		if pc>>isa.PageShift+1 == h.lastFetchVP && cpu.Kernel == h.lastKernel {
 			// Same-page fetch: the hardware fast path.
-			dp := e.lastDP
+			dp := h.lastDP
 			idx := (pc & isa.PageMask) >> 2
 			if dp.stamp[idx] != dp.gen {
-				dp.insts[idx] = isa.Decode(m.Bus.ReadWordRAM(e.lastFetchPA | pc&isa.PageMask))
+				dp.insts[idx] = isa.Decode(m.Bus.ReadWordRAM(h.lastFetchPA | pc&isa.PageMask))
 				dp.stamp[idx] = dp.gen
 			}
 			in = dp.insts[idx]
@@ -354,16 +417,16 @@ func (e *Direct) Run(m *machine.Machine, limit uint64) (engine.Stats, error) {
 				continue
 			}
 			in = e.decode(pa)
-			e.lastFetchVP = pc>>isa.PageShift + 1
-			e.lastFetchPA = pa &^ isa.PageMask
-			e.lastDP = e.dpages[pa>>isa.PageShift]
-			e.lastKernel = cpu.Kernel
+			h.lastFetchVP = pc>>isa.PageShift + 1
+			h.lastFetchPA = pa &^ isa.PageMask
+			h.lastDP = h.dpages[pa>>isa.PageShift]
+			h.lastKernel = cpu.Kernel
 		}
-		insns++
+		h.insns++
+		*total++
 		e.step(in, pc)
 	}
-	e.st.Instructions = insns
-	return e.st, nil
+	return nil
 }
 
 func (e *Direct) undef(pc uint32) {
@@ -442,6 +505,12 @@ func (e *Direct) step(in isa.Inst, pc uint32) {
 		return
 	case isa.OpSTB:
 		e.store(in, pc, r[in.Ra]+uint32(in.Imm), 1, false)
+		return
+	case isa.OpLDX:
+		e.loadExclusive(in, pc, r[in.Ra])
+		return
+	case isa.OpSTX:
+		e.storeExclusive(in, pc, r[in.Ra])
 		return
 	case isa.OpLDT:
 		if !m.NonPrivSupported() {
@@ -524,14 +593,14 @@ func (e *Direct) step(in isa.Inst, pc uint32) {
 			return
 		}
 		e.st.TLBInvalidates++
-		m.InvalidatePageTLBs(r[in.Ra])
+		m.ShootdownPage(r[in.Ra])
 	case isa.OpTLBIA:
 		if !cpu.Kernel {
 			e.undef(pc)
 			return
 		}
 		e.st.TLBFlushes++
-		m.InvalidateAllTLBs()
+		m.ShootdownAll()
 	case isa.OpHALT:
 		if !cpu.Kernel {
 			e.undef(pc)
@@ -603,6 +672,9 @@ func (e *Direct) store(in isa.Inst, pc, va uint32, size int, asUser bool) {
 		} else {
 			m.Bus.RAM[pa] = byte(v)
 		}
+		if m.Mon.Armed() {
+			m.Mon.NoteStore(pa)
+		}
 		e.noteStore(pa)
 	} else {
 		if e.mode == ModeVirt {
@@ -614,6 +686,55 @@ func (e *Direct) store(in isa.Inst, pc, va uint32, size int, asUser bool) {
 			e.st.ExceptionsTaken++
 			return
 		}
+	}
+	m.CPU.PC = pc + 4
+}
+
+// loadExclusive implements LDX: a word load that arms this hart's
+// reservation on the line. Exclusives are RAM-only.
+func (e *Direct) loadExclusive(in isa.Inst, pc, va uint32) {
+	m := e.m
+	va &^= 3
+	e.st.MemReads++
+	e.st.ExclusiveOps++
+	pa, flags, fault := e.translate(va, false, false)
+	if fault == isa.FaultNone && flags&fRAM == 0 {
+		fault = isa.FaultBus
+	}
+	if fault != isa.FaultNone {
+		m.EnterMemFault(isa.ExcDataFault, fault, va, false, pc)
+		e.st.ExceptionsTaken++
+		return
+	}
+	m.Mon.Arm(m.HartID, pa)
+	m.CPU.Regs[in.Rd] = m.Bus.ReadWordRAM(pa)
+	m.CPU.PC = pc + 4
+}
+
+// storeExclusive implements STX: the store succeeds (rd=0) only if the
+// hart's reservation survived; otherwise rd=1 and memory is untouched.
+func (e *Direct) storeExclusive(in isa.Inst, pc, va uint32) {
+	m := e.m
+	va &^= 3
+	e.st.ExclusiveOps++
+	pa, flags, fault := e.translate(va, true, false)
+	if fault == isa.FaultNone && flags&fRAM == 0 {
+		fault = isa.FaultBus
+	}
+	if fault != isa.FaultNone {
+		m.EnterMemFault(isa.ExcDataFault, fault, va, true, pc)
+		e.st.ExceptionsTaken++
+		return
+	}
+	if m.Mon.Exclusive(m.HartID, pa) {
+		e.st.MemWrites++
+		m.Bus.WriteWordRAM(pa, m.CPU.Regs[in.Rb])
+		m.Mon.NoteStore(pa)
+		e.noteStore(pa)
+		m.CPU.Regs[in.Rd] = 0
+	} else {
+		e.st.ExclusiveFails++
+		m.CPU.Regs[in.Rd] = 1
 	}
 	m.CPU.PC = pc + 4
 }

@@ -24,7 +24,7 @@ func runProg(t *testing.T, mode Mode, profile machine.Profile, build func(a *asm
 	}
 	p.M.Reset()
 	e := New(mode)
-	if _, err := e.Run(p.M, 5_000_000); err != nil {
+	if _, err := e.Run(p.Harts(), 5_000_000); err != nil {
 		t.Fatalf("run: %v (pc=%#x)", err, p.M.CPU.PC)
 	}
 	return p, e
@@ -39,7 +39,7 @@ func TestNativeNoVMExits(t *testing.T) {
 	prog, _ := a.Assemble()
 	p.M.LoadProgram(prog)
 	p.M.Reset()
-	st, err := New(ModeNative).Run(p.M, 100_000)
+	st, err := New(ModeNative).Run(p.Harts(), 100_000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +65,7 @@ func TestVirtExitsOnDeviceAccess(t *testing.T) {
 	prog, _ := a.Assemble()
 	p.M.LoadProgram(prog)
 	p.M.Reset()
-	st, err := New(ModeVirt).Run(p.M, 100_000)
+	st, err := New(ModeVirt).Run(p.Harts(), 100_000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +177,7 @@ func TestHardwareTLBCapacityEviction(t *testing.T) {
 	}
 	p.M.Reset()
 	e := New(ModeNative)
-	st, err := e.Run(p.M, 10_000_000)
+	st, err := e.Run(p.Harts(), 10_000_000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,7 +186,7 @@ func TestHardwareTLBCapacityEviction(t *testing.T) {
 	}
 	// The first page must have been evicted by the sweep.
 	vp := uint32(0x01000000) >> isa.PageShift
-	if e.ep[vp] == e.epoch {
+	if e.harts[0].ep[vp] == e.harts[0].epoch {
 		t.Error("first page survived a full sweep; hardware TLB unbounded")
 	}
 }
@@ -210,7 +210,7 @@ func TestTLBIInvalidatesEntry(t *testing.T) {
 		t.Fatal(err)
 	}
 	p.M.Reset()
-	st, err := New(ModeNative).Run(p.M, 100_000)
+	st, err := New(ModeNative).Run(p.Harts(), 100_000)
 	if err != nil {
 		t.Fatal(err)
 	}

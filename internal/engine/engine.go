@@ -15,17 +15,29 @@ import (
 // before the guest halts — the harness's runaway-guest protection.
 var ErrLimit = errors.New("engine: instruction limit exceeded")
 
-// Engine executes guest code on a machine until it halts.
+// SchedQuantum is the round-robin hart-scheduling quantum, in retired
+// instructions: an engine runs one hart for up to this many
+// instructions before advancing to the next runnable hart. It equals
+// the engines' timer-tick quantum, so on a single-core platform the
+// quantum boundaries coincide with the tick checks the engines always
+// performed and the executed instruction stream is bit-identical to
+// the pre-SMP engines. The rotation order is fixed (hart 0, 1, ...),
+// which is what keeps multi-core runs byte-reproducible.
+const SchedQuantum = 4096
+
+// Engine executes guest code on a set of harts until all halt.
 type Engine interface {
 	// Name is a short identifier (dbt, interp, detailed, virt, native).
 	Name() string
 	// Features describes how the engine implements each simulated
 	// mechanism (the paper's Fig. 4 row).
 	Features() Features
-	// Run resets engine-internal caches, attaches to m, and executes
-	// from the current CPU state until HALT, returning statistics.
-	// It returns ErrLimit if more than limit instructions retire.
-	Run(m *machine.Machine, limit uint64) (Stats, error)
+	// Run resets engine-internal caches, attaches to every hart, and
+	// executes from the current CPU states until every hart halts,
+	// returning aggregate statistics. Harts are scheduled round-robin
+	// in SchedQuantum slices, deterministically. It returns ErrLimit
+	// if more than limit instructions retire in total.
+	Run(harts []*machine.Machine, limit uint64) (Stats, error)
 }
 
 // Features is a row of the paper's Fig. 4: how a platform implements
@@ -80,6 +92,10 @@ type Stats struct {
 	DeviceAccesses uint64 // MMIO loads+stores reaching a device
 	CoprocAccesses uint64 // CPRD/CPWR executed
 
+	// Exclusive accesses (LDX/STX, the SMP lock primitives).
+	ExclusiveOps   uint64 // LDX+STX executed
+	ExclusiveFails uint64 // STX that lost the reservation
+
 	// Exceptions (also available per class from machine.ExcCount).
 	ExceptionsTaken uint64
 	IRQsDelivered   uint64
@@ -113,6 +129,8 @@ func (s *Stats) Add(o Stats) {
 	s.TLBFlushes += o.TLBFlushes
 	s.DeviceAccesses += o.DeviceAccesses
 	s.CoprocAccesses += o.CoprocAccesses
+	s.ExclusiveOps += o.ExclusiveOps
+	s.ExclusiveFails += o.ExclusiveFails
 	s.ExceptionsTaken += o.ExceptionsTaken
 	s.IRQsDelivered += o.IRQsDelivered
 	s.VMExits += o.VMExits

@@ -51,15 +51,45 @@ type decodedPage struct {
 	gen   uint32
 }
 
-// Interp is the fast-interpreter engine. The zero value is not usable;
-// call New.
-type Interp struct {
+// hart is the per-core interpreter state: the machine it drives plus
+// the translation and decode caches that must stay private to one
+// core. It registers itself as that core's TLB listener, so cross-core
+// shootdowns invalidate exactly the caches of the harts they target.
+type hart struct {
 	m         *machine.Machine
-	st        engine.Stats
 	dc        [dcacheSize]tlbEntry
 	fc        [fcacheSize]tlbEntry
 	dpages    map[uint32]*decodedPage // phys page index -> decoded
 	codePages []bool                  // phys page index -> has cached decodes
+	insns     uint64                  // retired on this hart
+}
+
+// InvalidatePage implements machine.TLBListener.
+func (h *hart) InvalidatePage(va uint32) {
+	vp := va >> isa.PageShift
+	d := &h.dc[vp&(dcacheSize-1)]
+	if d.tag == vp<<1|1 {
+		d.tag = 0
+	}
+	f := &h.fc[vp&(fcacheSize-1)]
+	if f.tag == vp<<1|1 {
+		f.tag = 0
+	}
+}
+
+// InvalidateAll implements machine.TLBListener.
+func (h *hart) InvalidateAll() {
+	h.dc = [dcacheSize]tlbEntry{}
+	h.fc = [fcacheSize]tlbEntry{}
+}
+
+// Interp is the fast-interpreter engine. The zero value is not usable;
+// call New.
+type Interp struct {
+	m     *machine.Machine // current hart's machine
+	h     *hart            // current hart's caches
+	harts []*hart
+	st    engine.Stats
 
 	// profile enables architectural-event classification (taken-branch
 	// direct/indirect × intra/inter-page counters) used by the
@@ -116,33 +146,28 @@ func (e *Interp) Features() engine.Features {
 	}
 }
 
-// InvalidatePage implements machine.TLBListener.
-func (e *Interp) InvalidatePage(va uint32) {
-	vp := va >> isa.PageShift
-	d := &e.dc[vp&(dcacheSize-1)]
-	if d.tag == vp<<1|1 {
-		d.tag = 0
-	}
-	f := &e.fc[vp&(fcacheSize-1)]
-	if f.tag == vp<<1|1 {
-		f.tag = 0
-	}
-}
-
-// InvalidateAll implements machine.TLBListener.
-func (e *Interp) InvalidateAll() {
-	e.dc = [dcacheSize]tlbEntry{}
-	e.fc = [fcacheSize]tlbEntry{}
-}
-
-func (e *Interp) reset(m *machine.Machine) {
-	e.m = m
+// reset builds one hart context per machine and registers each as its
+// core's TLB listener.
+func (e *Interp) reset(harts []*machine.Machine) {
 	e.st = engine.Stats{}
-	e.InvalidateAll()
-	e.dpages = make(map[uint32]*decodedPage)
-	e.codePages = make([]bool, (len(m.Bus.RAM)+isa.PageSize-1)/isa.PageSize)
-	m.ClearTLBListeners()
-	m.AddTLBListener(e)
+	e.harts = make([]*hart, len(harts))
+	for i, m := range harts {
+		h := &hart{
+			m:         m,
+			dpages:    make(map[uint32]*decodedPage),
+			codePages: make([]bool, (len(m.Bus.RAM)+isa.PageSize-1)/isa.PageSize),
+		}
+		m.ClearTLBListeners()
+		m.AddTLBListener(h)
+		e.harts[i] = h
+	}
+	e.attach(e.harts[0])
+}
+
+// attach makes h the current hart.
+func (e *Interp) attach(h *hart) {
+	e.h = h
+	e.m = h.m
 }
 
 // translate resolves va for a data access. asUser forces user-mode
@@ -153,7 +178,7 @@ func (e *Interp) translate(va uint32, write, asUser bool) (pa uint32, isRAM bool
 		return va, m.Bus.IsRAM(va, 1), isa.FaultNone
 	}
 	vp := va >> isa.PageShift
-	ent := &e.dc[vp&(dcacheSize-1)]
+	ent := &e.h.dc[vp&(dcacheSize-1)]
 	if ent.tag != vp<<1|1 {
 		e.st.TLBMisses++
 		pte, levels, f := mmu.Walk(m.Bus, m.TTBR(), m.FormatB(), va)
@@ -197,7 +222,7 @@ func (e *Interp) fetchPage(pc uint32) (pbase uint32, fault isa.FaultCode) {
 		return pc &^ isa.PageMask, isa.FaultNone
 	}
 	vp := pc >> isa.PageShift
-	ent := &e.fc[vp&(fcacheSize-1)]
+	ent := &e.h.fc[vp&(fcacheSize-1)]
 	if ent.tag != vp<<1|1 {
 		pte, levels, f := mmu.Walk(m.Bus, m.TTBR(), m.FormatB(), pc)
 		e.st.PageWalks++
@@ -225,11 +250,11 @@ func (e *Interp) fetchPage(pc uint32) (pbase uint32, fault isa.FaultCode) {
 // filling the per-page decode cache lazily.
 func (e *Interp) decode(pa uint32) isa.Inst {
 	page := pa >> isa.PageShift
-	dp := e.dpages[page]
+	dp := e.h.dpages[page]
 	if dp == nil {
 		dp = &decodedPage{gen: 1}
-		e.dpages[page] = dp
-		e.codePages[page] = true
+		e.h.dpages[page] = dp
+		e.h.codePages[page] = true
 		e.st.PagesDecoded++
 	}
 	idx := (pa & isa.PageMask) >> 2
@@ -244,25 +269,65 @@ func (e *Interp) decode(pa uint32) isa.Inst {
 // The page stays allocated; only its generation advances.
 func (e *Interp) noteStore(pa uint32) {
 	page := pa >> isa.PageShift
-	if int(page) < len(e.codePages) && e.codePages[page] {
-		if dp := e.dpages[page]; dp != nil {
+	if len(e.harts) > 1 {
+		// RAM is shared: a store by any hart must stale every hart's
+		// cached decodes of that page.
+		for _, h := range e.harts {
+			if int(page) < len(h.codePages) && h.codePages[page] {
+				if dp := h.dpages[page]; dp != nil {
+					dp.gen++
+				}
+				e.st.SMCInvalidations++
+			}
+		}
+		return
+	}
+	if int(page) < len(e.h.codePages) && e.h.codePages[page] {
+		if dp := e.h.dpages[page]; dp != nil {
 			dp.gen++
 		}
 		e.st.SMCInvalidations++
 	}
 }
 
-// Run implements engine.Engine.
-func (e *Interp) Run(m *machine.Machine, limit uint64) (engine.Stats, error) {
-	e.reset(m)
-	cpu := &m.CPU
-	var insns uint64
-	for !m.Halted {
-		if insns >= limit {
-			e.st.Instructions = insns
-			return e.st, engine.ErrLimit
+// Run implements engine.Engine: round-robin over runnable harts in
+// SchedQuantum slices. The tick and interrupt checks key off each
+// hart's own retired count, so a single-hart run executes exactly the
+// instruction stream the pre-SMP engine did.
+func (e *Interp) Run(harts []*machine.Machine, limit uint64) (engine.Stats, error) {
+	e.reset(harts)
+	var total uint64
+	for {
+		running := false
+		for _, h := range e.harts {
+			if h.m.Halted {
+				continue
+			}
+			running = true
+			if err := e.runSlice(h, &total, limit); err != nil {
+				e.st.Instructions = total
+				return e.st, err
+			}
 		}
-		if m.TickFn != nil && insns%tickQuantum == 0 && insns != 0 {
+		if !running {
+			break
+		}
+	}
+	e.st.Instructions = total
+	return e.st, nil
+}
+
+// runSlice executes up to SchedQuantum instructions on h.
+func (e *Interp) runSlice(h *hart, total *uint64, limit uint64) error {
+	e.attach(h)
+	m := h.m
+	cpu := &m.CPU
+	stop := h.insns + engine.SchedQuantum
+	for !m.Halted && h.insns < stop {
+		if *total >= limit {
+			return engine.ErrLimit
+		}
+		if m.TickFn != nil && h.insns%tickQuantum == 0 && h.insns != 0 {
 			m.TickFn(tickQuantum)
 		}
 		if m.IRQPending() {
@@ -280,11 +345,11 @@ func (e *Interp) Run(m *machine.Machine, limit uint64) (engine.Stats, error) {
 			continue
 		}
 		in := e.decode(pbase | pc&isa.PageMask)
-		insns++
+		h.insns++
+		*total++
 		e.step(in, pc)
 	}
-	e.st.Instructions = insns
-	return e.st, nil
+	return nil
 }
 
 // undef raises the undefined-instruction exception for the instruction
@@ -362,6 +427,12 @@ func (e *Interp) step(in isa.Inst, pc uint32) {
 		return
 	case isa.OpSTB:
 		e.store(in, pc, r[in.Ra]+uint32(in.Imm), 1, false)
+		return
+	case isa.OpLDX:
+		e.loadExclusive(in, pc, r[in.Ra])
+		return
+	case isa.OpSTX:
+		e.storeExclusive(in, pc, r[in.Ra])
 		return
 	case isa.OpLDT:
 		if !m.NonPrivSupported() {
@@ -451,14 +522,14 @@ func (e *Interp) step(in isa.Inst, pc uint32) {
 			return
 		}
 		e.st.TLBInvalidates++
-		m.InvalidatePageTLBs(r[in.Ra])
+		m.ShootdownPage(r[in.Ra])
 	case isa.OpTLBIA:
 		if !cpu.Kernel {
 			e.undef(pc)
 			return
 		}
 		e.st.TLBFlushes++
-		m.InvalidateAllTLBs()
+		m.ShootdownAll()
 	case isa.OpHALT:
 		if !cpu.Kernel {
 			e.undef(pc)
@@ -506,6 +577,56 @@ func (e *Interp) load(in isa.Inst, pc, va uint32, size int, asUser bool) {
 	m.CPU.PC = pc + 4
 }
 
+// loadExclusive implements LDX: a word load that arms this hart's
+// exclusive monitor on the loaded address. Exclusives are RAM-only;
+// an MMIO target raises a bus data fault.
+func (e *Interp) loadExclusive(in isa.Inst, pc, va uint32) {
+	m := e.m
+	va &^= 3
+	e.st.MemReads++
+	e.st.ExclusiveOps++
+	pa, isRAM, fault := e.translate(va, false, false)
+	if fault == isa.FaultNone && !isRAM {
+		fault = isa.FaultBus
+	}
+	if fault != isa.FaultNone {
+		m.EnterMemFault(isa.ExcDataFault, fault, va, false, pc)
+		e.st.ExceptionsTaken++
+		return
+	}
+	m.Mon.Arm(m.HartID, pa)
+	m.CPU.Regs[in.Rd] = m.Bus.ReadWordRAM(pa)
+	m.CPU.PC = pc + 4
+}
+
+// storeExclusive implements STX: store rb to [ra] iff this hart still
+// holds the reservation, writing 0 (success) or 1 (failure) to rd.
+func (e *Interp) storeExclusive(in isa.Inst, pc, va uint32) {
+	m := e.m
+	va &^= 3
+	e.st.ExclusiveOps++
+	pa, isRAM, fault := e.translate(va, true, false)
+	if fault == isa.FaultNone && !isRAM {
+		fault = isa.FaultBus
+	}
+	if fault != isa.FaultNone {
+		m.EnterMemFault(isa.ExcDataFault, fault, va, true, pc)
+		e.st.ExceptionsTaken++
+		return
+	}
+	if m.Mon.Exclusive(m.HartID, pa) {
+		e.st.MemWrites++
+		m.Bus.WriteWordRAM(pa, m.CPU.Regs[in.Rb])
+		m.Mon.NoteStore(pa) // break other harts' reservations
+		e.noteStore(pa)
+		m.CPU.Regs[in.Rd] = 0
+	} else {
+		e.st.ExclusiveFails++
+		m.CPU.Regs[in.Rd] = 1
+	}
+	m.CPU.PC = pc + 4
+}
+
 func (e *Interp) store(in isa.Inst, pc, va uint32, size int, asUser bool) {
 	m := e.m
 	if size == 4 {
@@ -524,6 +645,9 @@ func (e *Interp) store(in isa.Inst, pc, va uint32, size int, asUser bool) {
 			m.Bus.WriteWordRAM(pa, v)
 		} else {
 			m.Bus.RAM[pa] = byte(v)
+		}
+		if m.Mon.Armed() {
+			m.Mon.NoteStore(pa)
 		}
 		e.noteStore(pa)
 	} else {

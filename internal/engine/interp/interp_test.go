@@ -24,7 +24,7 @@ func run(t *testing.T, build func(a *asm.Assembler)) (*platform.Platform, engine
 		t.Fatalf("load: %v", err)
 	}
 	p.M.Reset()
-	st, err := New().Run(p.M, 1_000_000)
+	st, err := New().Run(p.Harts(), 1_000_000)
 	if err != nil {
 		t.Fatalf("run: %v (pc=%#x)", err, p.M.CPU.PC)
 	}
@@ -193,7 +193,7 @@ func TestMMUDataFault(t *testing.T) {
 		t.Fatal(err)
 	}
 	p.M.Reset()
-	if _, err := New().Run(p.M, 100_000); err != nil {
+	if _, err := New().Run(p.Harts(), 100_000); err != nil {
 		t.Fatalf("run: %v (pc=%#x)", err, p.M.CPU.PC)
 	}
 	if got := p.M.CPU.Regs[isa.R6]; got != 0x00500000 {
@@ -334,7 +334,7 @@ func TestInstructionLimit(t *testing.T) {
 	prog, _ := a.Assemble()
 	p.M.LoadProgram(prog)
 	p.M.Reset()
-	_, err := New().Run(p.M, 1000)
+	_, err := New().Run(p.Harts(), 1000)
 	if err != engine.ErrLimit {
 		t.Fatalf("err = %v, want ErrLimit", err)
 	}
@@ -364,7 +364,7 @@ func TestNonPrivAccessX86Undefined(t *testing.T) {
 	}
 	p.M.LoadProgram(prog)
 	p.M.Reset()
-	if _, err := New().Run(p.M, 10000); err != nil {
+	if _, err := New().Run(p.Harts(), 10000); err != nil {
 		t.Fatal(err)
 	}
 	if p.M.CPU.Regs[isa.R10] != 1 {

@@ -40,7 +40,7 @@ func TestBranchClassification(t *testing.T) {
 	p.M.LoadProgram(prog)
 	p.M.Reset()
 	e := NewProfiling()
-	st, err := e.Run(p.M, 100_000)
+	st, err := e.Run(p.Harts(), 100_000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +72,7 @@ func TestNonProfilingSkipsClassification(t *testing.T) {
 	prog, _ := a.Assemble()
 	p.M.LoadProgram(prog)
 	p.M.Reset()
-	st, err := New().Run(p.M, 1000)
+	st, err := New().Run(p.Harts(), 1000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +93,7 @@ func TestNotTakenBranchesNotCounted(t *testing.T) {
 	prog, _ := a.Assemble()
 	p.M.LoadProgram(prog)
 	p.M.Reset()
-	st, err := NewProfiling().Run(p.M, 1000)
+	st, err := NewProfiling().Run(p.Harts(), 1000)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -40,18 +40,29 @@ type Outcome struct {
 	Stats   engine.Stats
 	Err     error
 	FinalPC uint32
+
+	// HartRegs holds every hart's register file (index = hart ID);
+	// Regs aliases hart 0's for single-core compatibility.
+	HartRegs [][isa.NumRegs]uint32
 }
 
-// Run executes prog on eng under a fresh platform and returns the
-// outcome.
+// Run executes prog on eng under a fresh single-core platform and
+// returns the outcome.
 func Run(eng engine.Engine, profile machine.Profile, prog *asm.Program, limit uint64) (Outcome, error) {
-	p := platform.New(profile, 4<<20)
-	if err := p.M.LoadProgram(prog); err != nil {
+	return RunSMP(eng, profile, prog, limit, 1)
+}
+
+// RunSMP executes prog on eng under a fresh N-core platform. Scalar
+// outcome fields (Regs, Exc, FinalPC) describe hart 0; HartRegs has
+// every hart's register file.
+func RunSMP(eng engine.Engine, profile machine.Profile, prog *asm.Program, limit uint64, cores int) (Outcome, error) {
+	p := platform.NewSMP(profile, 4<<20, cores)
+	if err := p.LoadProgram(prog); err != nil {
 		return Outcome{}, err
 	}
-	p.M.Reset()
-	st, err := eng.Run(p.M, limit)
-	return Outcome{
+	p.Reset()
+	st, err := eng.Run(p.Harts(), limit)
+	o := Outcome{
 		Regs:    p.M.CPU.Regs,
 		Exc:     p.M.ExcCount,
 		Console: p.ConsoleString(),
@@ -59,7 +70,11 @@ func Run(eng engine.Engine, profile machine.Profile, prog *asm.Program, limit ui
 		Stats:   st,
 		Err:     err,
 		FinalPC: p.M.CPU.PC,
-	}, err
+	}
+	for _, h := range p.Harts() {
+		o.HartRegs = append(o.HartRegs, h.CPU.Regs)
+	}
+	return o, err
 }
 
 // RunAll executes prog on every engine and returns outcomes keyed by

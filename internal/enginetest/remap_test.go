@@ -110,7 +110,7 @@ func TestCodePageRemapAllEngines(t *testing.T) {
 				t.Fatal(err)
 			}
 			p.M.Reset()
-			if _, err := eng.Run(p.M, 1_000_000); err != nil {
+			if _, err := eng.Run(p.Harts(), 1_000_000); err != nil {
 				t.Fatalf("%v (pc=%#x)", err, p.M.CPU.PC)
 			}
 			if got := p.M.CPU.Regs[isa.R4]; got != 0x12 {

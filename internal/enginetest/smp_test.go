@@ -1,0 +1,257 @@
+package enginetest
+
+import (
+	"fmt"
+	"testing"
+
+	"simbench/internal/asm"
+	"simbench/internal/isa"
+	"simbench/internal/machine"
+)
+
+// SMP differential tests: the same multi-hart guest program runs on
+// every engine and the interleaving-robust outcome must agree — every
+// hart's final register file, the console, and the exception counts.
+// Instruction counts are deliberately NOT compared at N>1: the DBT
+// interleaves harts at block boundaries (overshooting the quantum), so
+// spin loops legitimately retire different totals per engine. The
+// programs below are written so that every hart's final registers are
+// deterministic regardless of interleaving (scratch registers are
+// zeroed before HALT, spin reads end on the deterministic final
+// value).
+
+const (
+	smpLockAddr = 0x9000
+	smpCtrAddr  = 0x9004
+	smpGoAddr   = 0x9008
+	smpSlotBase = 0x9040 // one word per hart
+	smpDoneBase = 0x9080 // one word per hart
+)
+
+// runSMPAll executes prog on every engine under an N-core platform.
+func runSMPAll(t *testing.T, prog *asm.Program, cores int) map[string]Outcome {
+	t.Helper()
+	out := make(map[string]Outcome)
+	for _, eng := range Engines() {
+		o, err := RunSMP(eng, machine.ProfileARM, prog, 50_000_000, cores)
+		if err != nil {
+			t.Fatalf("%s: %v (pc=%#x)", eng.Name(), err, o.FinalPC)
+		}
+		out[eng.Name()] = o
+	}
+	return out
+}
+
+// diffSMP compares the interleaving-robust outcome fields against the
+// interp reference and returns the first divergence, or "".
+func diffSMP(outcomes map[string]Outcome) string {
+	ref, ok := outcomes["interp"]
+	if !ok {
+		return "no reference outcome"
+	}
+	for name, o := range outcomes {
+		if name == "interp" {
+			continue
+		}
+		if len(o.HartRegs) != len(ref.HartRegs) {
+			return fmt.Sprintf("%s: hart count %d != %d", name, len(o.HartRegs), len(ref.HartRegs))
+		}
+		for h := range ref.HartRegs {
+			if o.HartRegs[h] != ref.HartRegs[h] {
+				return fmt.Sprintf("%s: hart %d registers differ\n  got  %v\n  want %v",
+					name, h, o.HartRegs[h], ref.HartRegs[h])
+			}
+		}
+		if o.Exc != ref.Exc {
+			return fmt.Sprintf("%s: exception counts differ: got %v want %v", name, o.Exc, ref.Exc)
+		}
+		if o.Console != ref.Console {
+			return fmt.Sprintf("%s: console differs: got %q want %q", name, o.Console, ref.Console)
+		}
+	}
+	return ""
+}
+
+// emitHartDispatch emits the common SMP prologue: hart ID into R0,
+// per-hart stacks, primary falls through and secondaries spin on the
+// start barrier before joining the shared body at "work".
+func emitHartDispatch(a *asm.Assembler) {
+	a.MRS(isa.R0, isa.CtrlCPUID)
+	a.SHRI(isa.R0, isa.R0, isa.CPUIDHartShift)
+	a.ANDI(isa.R0, isa.R0, 0xFF)
+	a.LoadImm32(isa.SP, 0x8000)
+	a.MOVI(isa.R1, 0x400)
+	a.MUL(isa.R1, isa.R0, isa.R1)
+	a.SUB(isa.SP, isa.SP, isa.R1)
+	a.CMPI(isa.R0, 0)
+	a.B(isa.CondEQ, "primary")
+	// Secondary: wait for the primary's start barrier.
+	a.LoadImm32(isa.R1, smpGoAddr)
+	a.Label("wait_go")
+	a.LDW(isa.R2, isa.R1, 0)
+	a.CMPI(isa.R2, 0)
+	a.B(isa.CondEQ, "wait_go")
+	a.B(isa.CondAL, "work")
+	// Primary: release the workers, then do its own share.
+	a.Label("primary")
+	a.LoadImm32(isa.R1, smpGoAddr)
+	a.MOVI(isa.R2, 1)
+	a.STW(isa.R2, isa.R1, 0)
+}
+
+// emitHartEpilogue emits the common SMP ending after "work" returns to
+// the label "done_split": scratch registers are zeroed so every hart's
+// final register file is interleaving-independent, secondaries raise
+// their done flag and HALT, and the primary joins every secondary
+// before running tail (which ends in HALT).
+func emitHartEpilogue(a *asm.Assembler, cores int, tail func()) {
+	for _, r := range []isa.Reg{isa.R1, isa.R2, isa.R3, isa.R9, isa.R10, isa.R11} {
+		a.MOVI(r, 0)
+	}
+	a.CMPI(isa.R0, 0)
+	a.B(isa.CondEQ, "join")
+	// Secondary: done flag at smpDoneBase + 4*hart, then park.
+	a.LoadImm32(isa.R1, smpDoneBase)
+	a.MOVI(isa.R2, 4)
+	a.MUL(isa.R2, isa.R0, isa.R2)
+	a.ADD(isa.R1, isa.R1, isa.R2)
+	a.MOVI(isa.R2, 1)
+	a.STW(isa.R2, isa.R1, 0)
+	a.MOVI(isa.R1, 0)
+	a.MOVI(isa.R2, 0)
+	a.HALT()
+	a.Label("join")
+	for h := 1; h < cores; h++ {
+		a.LoadImm32(isa.R1, uint32(smpDoneBase+4*h))
+		a.Label(asm.Label(fmt.Sprintf("join%d", h)))
+		a.LDW(isa.R2, isa.R1, 0)
+		a.CMPI(isa.R2, 0)
+		a.B(isa.CondEQ, asm.Label(fmt.Sprintf("join%d", h)))
+	}
+	a.MOVI(isa.R1, 0)
+	a.MOVI(isa.R2, 0)
+	tail()
+	a.HALT()
+}
+
+// lockCounterProg builds the LDX/STX differential program: every hart
+// increments one shared counter iters times under an exclusive-pair
+// spinlock; the primary joins and loads the total into R8. The final
+// counter is iters*cores on every legal interleaving.
+func lockCounterProg(t *testing.T, cores int, iters int32) *asm.Program {
+	return assemble(t, func(a *asm.Assembler) {
+		emitHartDispatch(a)
+		a.Label("work")
+		a.LoadImm32(isa.R9, smpLockAddr)
+		a.LoadImm32(isa.R10, smpCtrAddr)
+		a.MOVI(isa.R11, iters)
+		a.Label("loop")
+		a.Label("acq")
+		a.LDX(isa.R1, isa.R9)
+		a.CMPI(isa.R1, 0)
+		a.B(isa.CondNE, "acq")
+		a.MOVI(isa.R1, 1)
+		a.STX(isa.R2, isa.R1, isa.R9)
+		a.CMPI(isa.R2, 0)
+		a.B(isa.CondNE, "acq")
+		a.LDW(isa.R3, isa.R10, 0)
+		a.ADDI(isa.R3, isa.R3, 1)
+		a.STW(isa.R3, isa.R10, 0)
+		a.MOVI(isa.R2, 0)
+		a.STW(isa.R2, isa.R9, 0) // release
+		a.SUBI(isa.R11, isa.R11, 1)
+		a.CMPI(isa.R11, 0)
+		a.B(isa.CondNE, "loop")
+		emitHartEpilogue(a, cores, func() {
+			a.LoadImm32(isa.R9, smpCtrAddr)
+			a.LDW(isa.R8, isa.R9, 0)
+			a.MOVI(isa.R9, 0)
+		})
+	})
+}
+
+// slotSumProg builds the plain-store differential program: hart i adds
+// (i+1) to its private slot iters times; the primary joins and sums the
+// slots into R8 = iters * cores*(cores+1)/2.
+func slotSumProg(t *testing.T, cores int, iters int32) *asm.Program {
+	return assemble(t, func(a *asm.Assembler) {
+		emitHartDispatch(a)
+		a.Label("work")
+		a.LoadImm32(isa.R9, smpSlotBase)
+		a.MOVI(isa.R1, 4)
+		a.MUL(isa.R1, isa.R0, isa.R1)
+		a.ADD(isa.R9, isa.R9, isa.R1) // slot address
+		a.ADDI(isa.R10, isa.R0, 1)    // per-hart increment
+		a.MOVI(isa.R11, iters)
+		a.Label("loop")
+		a.LDW(isa.R3, isa.R9, 0)
+		a.ADD(isa.R3, isa.R3, isa.R10)
+		a.STW(isa.R3, isa.R9, 0)
+		a.SUBI(isa.R11, isa.R11, 1)
+		a.CMPI(isa.R11, 0)
+		a.B(isa.CondNE, "loop")
+		emitHartEpilogue(a, cores, func() {
+			a.LoadImm32(isa.R9, smpSlotBase)
+			a.MOVI(isa.R8, 0)
+			for h := 0; h < cores; h++ {
+				a.LDW(isa.R3, isa.R9, int32(4*h))
+				a.ADD(isa.R8, isa.R8, isa.R3)
+			}
+			a.MOVI(isa.R3, 0)
+			a.MOVI(isa.R9, 0)
+		})
+	})
+}
+
+func TestSMPDifferentialLockCounter(t *testing.T) {
+	const iters = 200
+	for _, cores := range []int{2, 4} {
+		t.Run(fmt.Sprintf("%dcores", cores), func(t *testing.T) {
+			out := runSMPAll(t, lockCounterProg(t, cores, iters), cores)
+			if d := diffSMP(out); d != "" {
+				t.Fatal(d)
+			}
+			want := uint32(iters * cores)
+			if got := out["interp"].HartRegs[0][isa.R8]; got != want {
+				t.Errorf("counter = %d, want %d", got, want)
+			}
+		})
+	}
+}
+
+func TestSMPDifferentialSlotSum(t *testing.T) {
+	const iters = 300
+	for _, cores := range []int{2, 4} {
+		t.Run(fmt.Sprintf("%dcores", cores), func(t *testing.T) {
+			out := runSMPAll(t, slotSumProg(t, cores, iters), cores)
+			if d := diffSMP(out); d != "" {
+				t.Fatal(d)
+			}
+			want := uint32(iters * cores * (cores + 1) / 2)
+			if got := out["interp"].HartRegs[0][isa.R8]; got != want {
+				t.Errorf("slot sum = %d, want %d", got, want)
+			}
+		})
+	}
+}
+
+// TestSMPSingleCoreMatchesRun pins the compatibility contract: a
+// 1-core RunSMP is exactly Run — same registers, same instruction
+// count (the scheduler quantum must not perturb single-core retire
+// streams).
+func TestSMPSingleCoreMatchesRun(t *testing.T) {
+	prog := lockCounterProg(t, 1, 100)
+	for _, eng := range Engines() {
+		single, err := Run(eng, machine.ProfileARM, prog, 50_000_000)
+		if err != nil {
+			t.Fatalf("%s: %v", eng.Name(), err)
+		}
+		smp, err := RunSMP(eng, machine.ProfileARM, prog, 50_000_000, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", eng.Name(), err)
+		}
+		if single.Regs != smp.Regs || single.Insns != smp.Insns {
+			t.Errorf("%s: 1-core RunSMP diverges from Run", eng.Name())
+		}
+	}
+}

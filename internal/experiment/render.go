@@ -68,6 +68,7 @@ func (r *resolved) renderMatrix(o *Options, results []sched.Result, noise func(r
 		EngineCols: r.engineCols,
 		Arches:     archNames,
 		Benches:    r.benches,
+		Cores:      r.cores,
 		Iters:      o.Iters,
 		Noise:      noise,
 	}

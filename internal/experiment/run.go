@@ -8,6 +8,7 @@ import (
 
 	"simbench/internal/arch"
 	"simbench/internal/core"
+	"simbench/internal/machine"
 	"simbench/internal/report"
 	"simbench/internal/sched"
 	"simbench/internal/spec"
@@ -115,6 +116,8 @@ type resolved struct {
 	arches  []arch.Support
 	benches []*core.Benchmark
 	engines []sched.Engine
+	// cores is the validated core-count axis; empty means single-core.
+	cores []int
 	// engineCols are the engine column/x-axis labels: EngineCols for a
 	// matrix spec that sets them, engine names otherwise.
 	engineCols []string
@@ -209,6 +212,24 @@ func (sp *Spec) resolve() (*resolved, error) {
 		}
 		seenE[e.Name] = true
 	}
+
+	// Cores: validated values, strictly increasing so the axis has one
+	// canonical spelling (a reordered or duplicated axis would change
+	// the matrix without changing any cell).
+	if len(sp.Cores) > 0 && sp.Renderer != RenderMatrix {
+		return nil, sp.errf("cores only applies to the matrix renderer")
+	}
+	for i, c := range sp.Cores {
+		switch {
+		case c < 1:
+			return nil, sp.errf("cores[%d]: core count %d must be >= 1", i, c)
+		case c > machine.MaxHarts:
+			return nil, sp.errf("cores[%d]: core count %d exceeds the platform maximum %d", i, c, machine.MaxHarts)
+		case i > 0 && c <= sp.Cores[i-1]:
+			return nil, sp.errf("cores[%d]: core count %d must be strictly increasing (follows %d)", i, c, sp.Cores[i-1])
+		}
+	}
+	r.cores = sp.Cores
 
 	// Renderer-specific shape.
 	switch sp.Renderer {
@@ -314,6 +335,7 @@ func (r *resolved) matrix(o *Options) sched.Matrix {
 		Arches:  r.arches,
 		Benches: r.benches,
 		Engines: r.engines,
+		Cores:   r.cores,
 		Iters:   o.Iters,
 		Repeats: o.Repeats,
 	}

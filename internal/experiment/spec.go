@@ -62,6 +62,12 @@ type Spec struct {
 	// its axis explicitly (it is the x axis).
 	Engines []string `json:"engines,omitempty"`
 
+	// Cores selects guest core counts (matrix renderer only); empty
+	// means single-core, which keeps every pre-SMP spec, cell key and
+	// rendered table unchanged. Values must be >= 1 and strictly
+	// increasing.
+	Cores []int `json:"cores,omitempty"`
+
 	// Baseline names the engine-axis entry whose time is the speedup
 	// denominator of a series spec; empty means the first entry.
 	Baseline string `json:"baseline,omitempty"`
@@ -168,11 +174,15 @@ func expandBenches(sels []string) ([]*core.Benchmark, error) {
 			out = append(out, spec.Suite()...)
 		case sel == "suite:ext":
 			out = append(out, bench.ExtSuite()...)
+		case sel == "suite:smp":
+			out = append(out, bench.SMPSuite()...)
 		case strings.HasPrefix(sel, "cat:"):
-			cat := core.Category(strings.TrimPrefix(sel, "cat:"))
+			// Case-insensitive: categories are display strings ("Memory
+			// System", "SMP"), and cat:smp should not be a typo.
+			cat := strings.TrimPrefix(sel, "cat:")
 			n := len(out)
 			for _, b := range allBenches() {
-				if b.Category == cat {
+				if strings.EqualFold(string(b.Category), cat) {
 					out = append(out, b)
 				}
 			}
@@ -180,7 +190,7 @@ func expandBenches(sels []string) ([]*core.Benchmark, error) {
 				return nil, fmt.Errorf("benches[%d]: no benchmark in category %q (have %v)", i, cat, categoryNames())
 			}
 		case strings.Contains(sel, ":"):
-			return nil, fmt.Errorf("benches[%d]: unknown selector %q (want suite:simbench, suite:spec, suite:ext or cat:<category>)", i, sel)
+			return nil, fmt.Errorf("benches[%d]: unknown selector %q (want suite:simbench, suite:spec, suite:ext, suite:smp or cat:<category>)", i, sel)
 		default:
 			b, err := bench.ByName(sel)
 			if err != nil {
@@ -196,8 +206,17 @@ func expandBenches(sels []string) ([]*core.Benchmark, error) {
 
 // allBenches is every known benchmark: micro suite, extensions, and
 // the application workloads.
+// ExpandBenches resolves a benchmark selector list the way a spec's
+// benches axis does — names, suite:simbench, suite:spec, suite:ext,
+// suite:smp, cat:<category> — so the CLI -bench flag and the spec
+// file share one selector grammar.
+func ExpandBenches(sels []string) ([]*core.Benchmark, error) {
+	return expandBenches(sels)
+}
+
 func allBenches() []*core.Benchmark {
 	all := append(append([]*core.Benchmark{}, bench.Suite()...), bench.ExtSuite()...)
+	all = append(all, bench.SMPSuite()...)
 	return append(all, spec.Suite()...)
 }
 

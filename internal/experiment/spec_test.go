@@ -109,6 +109,35 @@ func TestValidateErrors(t *testing.T) {
 		}
 	}
 
+	// The cores axis: matrix-only, every count >= 1 and within the
+	// platform limit, strictly increasing (so no duplicates), each
+	// violation named with its index and value.
+	for _, tc := range []struct {
+		label string
+		cores []int
+		want  string
+	}{
+		{"zero", []int{1, 0}, "cores[1]: core count 0 must be >= 1"},
+		{"negative", []int{-2}, "cores[0]: core count -2 must be >= 1"},
+		{"too many", []int{1, 512}, "cores[1]: core count 512 exceeds the platform maximum"},
+		{"duplicate", []int{2, 2}, "cores[1]: core count 2 must be strictly increasing (follows 2)"},
+		{"decreasing", []int{4, 2}, "cores[1]: core count 2 must be strictly increasing (follows 4)"},
+	} {
+		m := Spec{Name: "m", Renderer: RenderMatrix, Benches: []string{"suite:smp"}, Cores: tc.cores}
+		if err := m.Validate(); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("cores %s: error %v does not mention %q", tc.label, err, tc.want)
+		}
+	}
+	s := validSeries()
+	s.Cores = []int{1, 2}
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "cores only applies") {
+		t.Errorf("series cores: %v", err)
+	}
+	valid := Spec{Name: "m", Renderer: RenderMatrix, Benches: []string{"suite:smp"}, Cores: []int{1, 2, 4}}
+	if err := valid.Validate(); err != nil {
+		t.Errorf("valid cores axis: %v", err)
+	}
+
 	// Series-only fields on a matrix spec.
 	m := Spec{Name: "m", Renderer: RenderMatrix, Benches: []string{"mem.hot"}, Baseline: "dbt"}
 	if err := m.Validate(); err == nil || !strings.Contains(err.Error(), "baseline only applies") {

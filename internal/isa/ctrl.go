@@ -146,7 +146,21 @@ const (
 	NumCP    = 4
 )
 
-// CPUID field layout: [7:0] profile id, [15:8] major version.
+// CPUID field layout: [7:0] profile id, [15:8] major version,
+// [23:16] hart id. Hart 0's CPUID therefore equals the pre-SMP value,
+// so single-core guest images are bit-identical to what they were
+// before multi-core support existed.
 func CPUIDValue(profile uint8, version uint8) uint32 {
 	return uint32(profile) | uint32(version)<<8
 }
+
+// CPUIDHartShift positions the hart-id field inside CPUID.
+const CPUIDHartShift = 16
+
+// CPUIDWithHart folds a hart id into a CPUID value.
+func CPUIDWithHart(cpuid uint32, hart int) uint32 {
+	return cpuid&^uint32(0xFF<<CPUIDHartShift) | uint32(hart&0xFF)<<CPUIDHartShift
+}
+
+// HartID extracts the hart-id field from a CPUID value.
+func HartID(cpuid uint32) int { return int(cpuid>>CPUIDHartShift) & 0xFF }

@@ -125,7 +125,18 @@ const (
 	OpCPWR  Op = 0x29 // I-type: coproc[imm>>8].reg[imm&0xFF] = rd
 	OpTLBI  Op = 0x2A // R-type: invalidate translation for vaddr in ra
 	OpTLBIA Op = 0x2B // privileged: invalidate all translations
-	OpUD    Op = 0x3F // architecturally undefined, guaranteed to trap
+
+	// Exclusive accesses (R-type), the LDREX/STREX-style pair the SMP
+	// benchmarks build locks from. LDX loads the word at [ra] into rd
+	// and arms this hart's exclusive monitor on the address; STX stores
+	// rb to [ra] iff the monitor is still armed for that address and
+	// writes 0 (success) or 1 (lost the reservation) to rd. Any
+	// intervening store to the monitored word — by any hart — clears
+	// the reservation.
+	OpLDX Op = 0x2C
+	OpSTX Op = 0x2D
+
+	OpUD Op = 0x3F // architecturally undefined, guaranteed to trap
 
 	// NumOps bounds the primary opcode space.
 	NumOps = 64
@@ -144,6 +155,7 @@ var opNames = map[Op]string{
 	OpB: "b", OpBL: "bl", OpBR: "br", OpBLR: "blr",
 	OpSVC: "svc", OpERET: "eret", OpMRS: "mrs", OpMSR: "msr",
 	OpCPRD: "cprd", OpCPWR: "cpwr", OpTLBI: "tlbi", OpTLBIA: "tlbia",
+	OpLDX: "ldx", OpSTX: "stx",
 	OpUD: "ud",
 }
 
@@ -285,6 +297,10 @@ func (i Inst) String() string {
 		return fmt.Sprintf("%s %s, %#x", i.Op, i.Rd, uint32(i.Imm)&0xFFFF)
 	case OpLDW, OpSTW, OpLDB, OpSTB, OpLDT, OpSTT:
 		return fmt.Sprintf("%s %s, [%s%+d]", i.Op, i.Rd, i.Ra, i.Imm)
+	case OpLDX:
+		return fmt.Sprintf("ldx %s, [%s]", i.Rd, i.Ra)
+	case OpSTX:
+		return fmt.Sprintf("stx %s, %s, [%s]", i.Rd, i.Rb, i.Ra)
 	case OpSVC:
 		return fmt.Sprintf("svc %d", i.Imm)
 	case OpMRS, OpMSR:
@@ -325,7 +341,7 @@ func Encode(i Inst) uint32 {
 	case OpNOP, OpHALT, OpERET, OpTLBIA, OpUD:
 		// no operands
 	case OpADD, OpSUB, OpAND, OpOR, OpXOR, OpSHL, OpSHR, OpSRA, OpMUL,
-		OpCMP, OpMOV, OpNOT:
+		OpCMP, OpMOV, OpNOT, OpLDX, OpSTX:
 		w |= uint32(i.Rd) << 22
 		w |= uint32(i.Ra) << 18
 		w |= uint32(i.Rb) << 14
@@ -355,7 +371,7 @@ func Decode(w uint32) Inst {
 	case OpNOP, OpHALT, OpERET, OpTLBIA, OpUD:
 		// no operands
 	case OpADD, OpSUB, OpAND, OpOR, OpXOR, OpSHL, OpSHR, OpSRA, OpMUL,
-		OpCMP, OpMOV, OpNOT:
+		OpCMP, OpMOV, OpNOT, OpLDX, OpSTX:
 		i.Rd = Reg((w >> 22) & 0xF)
 		i.Ra = Reg((w >> 18) & 0xF)
 		i.Rb = Reg((w >> 14) & 0xF)

@@ -19,10 +19,13 @@ func canonical(op Op, r *rand.Rand) Inst {
 		i.Ra = Reg(r.Intn(NumRegs))
 	case OpNOP, OpHALT, OpERET, OpTLBIA, OpUD:
 	case OpADD, OpSUB, OpAND, OpOR, OpXOR, OpSHL, OpSHR, OpSRA, OpMUL,
-		OpCMP, OpMOV, OpNOT:
+		OpCMP, OpMOV, OpNOT, OpSTX:
 		i.Rd = Reg(r.Intn(NumRegs))
 		i.Ra = Reg(r.Intn(NumRegs))
 		i.Rb = Reg(r.Intn(NumRegs))
+	case OpLDX:
+		i.Rd = Reg(r.Intn(NumRegs))
+		i.Ra = Reg(r.Intn(NumRegs))
 	default:
 		i.Rd = Reg(r.Intn(NumRegs))
 		i.Ra = Reg(r.Intn(NumRegs))
@@ -90,7 +93,7 @@ func TestUndefinedOpcodesInvalid(t *testing.T) {
 		t.Fatal("OpUD must not be Valid")
 	}
 	// Check that some unallocated encodings are invalid.
-	for _, o := range []Op{0x2C, 0x30, 0x3A, 0x3E} {
+	for _, o := range []Op{0x2E, 0x30, 0x3A, 0x3E} {
 		if o.Valid() {
 			t.Errorf("opcode %#x should be unallocated", uint8(o))
 		}

@@ -82,17 +82,81 @@ func (c *CPU) SetPSR(v uint32) {
 	c.IRQOn = v&isa.PSRIRQOn != 0
 }
 
-// Machine is a complete guest machine.
+// MaxHarts bounds the number of cores a platform may host; the
+// exclusive monitor tracks one reservation per hart in a fixed array.
+const MaxHarts = 8
+
+// Monitor is the global exclusive monitor shared by every hart on a
+// bus: one word-granular reservation per hart, armed by LDX and
+// consumed by STX. Any store to a monitored word — by any hart —
+// clears the covering reservations, which is what makes STX-built
+// spinlocks correct. Engines guard the per-store check with Armed, so
+// a guest that never executes LDX pays one predictable branch.
+type Monitor struct {
+	armed uint32 // bitmask of harts holding a reservation
+	addr  [MaxHarts]uint32
+}
+
+// Armed reports whether any hart holds a reservation.
+func (mo *Monitor) Armed() bool { return mo.armed != 0 }
+
+// Arm records a reservation for hart on the word containing pa.
+func (mo *Monitor) Arm(hart int, pa uint32) {
+	mo.addr[hart] = pa &^ 3
+	mo.armed |= 1 << uint(hart)
+}
+
+// Clear drops hart's reservation, if any.
+func (mo *Monitor) Clear(hart int) { mo.armed &^= 1 << uint(hart) }
+
+// Exclusive reports whether hart's reservation covers pa, consuming
+// the reservation either way (STX semantics: one shot per LDX).
+func (mo *Monitor) Exclusive(hart int, pa uint32) bool {
+	bit := uint32(1) << uint(hart)
+	ok := mo.armed&bit != 0 && mo.addr[hart] == pa&^3
+	mo.armed &^= bit
+	return ok
+}
+
+// NoteStore clears every reservation covering the stored word.
+func (mo *Monitor) NoteStore(pa uint32) {
+	if mo.armed == 0 {
+		return
+	}
+	pa &^= 3
+	for h := 0; h < MaxHarts; h++ {
+		if mo.armed&(1<<uint(h)) != 0 && mo.addr[h] == pa {
+			mo.armed &^= 1 << uint(h)
+		}
+	}
+}
+
+// Machine is one hart of a guest machine: private architectural state
+// (registers, control state, TLB listeners, interrupt line) over a
+// physical memory bus that may be shared with other harts.
 type Machine struct {
 	CPU     CPU
 	Bus     *mem.Bus
 	Profile Profile
 	Coprocs [isa.NumCP]Coprocessor
 
+	// HartID is this core's index on the platform; hart 0 is the boot
+	// hart. Guests read it from CPUID bits [23:16].
+	HartID int
+
+	// Mon is the exclusive monitor, shared by every hart on the bus.
+	Mon *Monitor
+
 	irqLine      bool
 	Halted       bool
 	tlbListeners []TLBListener
 	entry        uint32
+
+	// shootPage/shootAll, when wired by the platform, broadcast guest
+	// TLB maintenance to every hart's listeners; unwired machines (the
+	// single-core default) invalidate locally.
+	shootPage func(uint32)
+	shootAll  func()
 
 	// TickFn, if set by the platform, is called periodically by engines
 	// with a retired-instruction delta; it drives the timer device.
@@ -105,10 +169,37 @@ type Machine struct {
 // New creates a machine with the given RAM size. Devices are attached
 // by the platform package.
 func New(profile Profile, ramSize uint32) *Machine {
-	m := &Machine{Bus: mem.NewBus(ramSize), Profile: profile}
+	m := &Machine{Bus: mem.NewBus(ramSize), Profile: profile, Mon: &Monitor{}}
 	m.CPU.Ctrl[isa.CtrlCPUID] = isa.CPUIDValue(uint8(profile), 1)
 	return m
 }
+
+// NewSecondary creates hart number hart on the primary's bus: it
+// shares physical memory, the device map, the coprocessors and the
+// exclusive monitor, but has its own architectural state. CPUID
+// carries the hart id so guest code can dispatch per core.
+func NewSecondary(primary *Machine, hart int) *Machine {
+	if hart <= 0 || hart >= MaxHarts {
+		panic(fmt.Sprintf("machine: secondary hart id %d out of range [1,%d)", hart, MaxHarts))
+	}
+	m := &Machine{
+		Bus:     primary.Bus,
+		Profile: primary.Profile,
+		Coprocs: primary.Coprocs,
+		Mon:     primary.Mon,
+		HartID:  hart,
+	}
+	m.CPU.Ctrl[isa.CtrlCPUID] = isa.CPUIDWithHart(
+		isa.CPUIDValue(uint8(primary.Profile), 1), hart)
+	return m
+}
+
+// SetEntry records the reset entry point; LoadProgram does this on the
+// loading hart, and the platform copies it to secondaries.
+func (m *Machine) SetEntry(pc uint32) { m.entry = pc }
+
+// Entry returns the recorded reset entry point.
+func (m *Machine) Entry() uint32 { return m.entry }
 
 // LoadProgram copies an assembled image into RAM and records its entry
 // point for Reset.
@@ -131,6 +222,37 @@ func (m *Machine) Reset() {
 	m.Halted = false
 	for i := range m.ExcCount {
 		m.ExcCount[i] = 0
+	}
+	if m.Mon != nil {
+		m.Mon.Clear(m.HartID)
+	}
+	m.InvalidateAllTLBs()
+}
+
+// SetShootdown wires cross-hart TLB-shootdown broadcast; the platform
+// points every hart's hooks at a loop over all harts' listeners.
+func (m *Machine) SetShootdown(page func(uint32), all func()) {
+	m.shootPage = page
+	m.shootAll = all
+}
+
+// ShootdownPage broadcasts a guest TLBI: to every hart when the
+// platform wired shootdown, locally otherwise. Engines call this (not
+// InvalidatePageTLBs) for guest-initiated maintenance; host-side root
+// changes (TTBR/MMU writes) stay hart-local.
+func (m *Machine) ShootdownPage(va uint32) {
+	if m.shootPage != nil {
+		m.shootPage(va)
+		return
+	}
+	m.InvalidatePageTLBs(va)
+}
+
+// ShootdownAll broadcasts a guest TLBIA; see ShootdownPage.
+func (m *Machine) ShootdownAll() {
+	if m.shootAll != nil {
+		m.shootAll()
+		return
 	}
 	m.InvalidateAllTLBs()
 }

@@ -34,6 +34,10 @@ type MatrixTable struct {
 	// Arches and Benches are the row axes in matrix order.
 	Arches  []string
 	Benches []*core.Benchmark
+	// Cores is the guest core-count axis; empty means single-core. A
+	// multi-valued axis renders one row per benchmark×count, labelled
+	// "name @Nc", matching the scheduler's benchmark-major expansion.
+	Cores []int
 	// BenchLabel picks the row label; nil means Benchmark.Name
 	// (figures.Fig7 uses the paper's display titles instead).
 	BenchLabel func(*core.Benchmark) string
@@ -51,6 +55,19 @@ func (mt *MatrixTable) Fprint(w io.Writer, results []sched.Result) {
 	if benchLabel == nil {
 		benchLabel = func(b *core.Benchmark) string { return b.Name }
 	}
+	cores := mt.Cores
+	if len(cores) == 0 {
+		cores = []int{1}
+	}
+	// The core count only reaches the row label when the axis is
+	// multi-valued: a single-core table must render byte-identically to
+	// its pre-SMP form.
+	rowLabel := func(b *core.Benchmark, c int) string {
+		if len(cores) == 1 {
+			return benchLabel(b)
+		}
+		return fmt.Sprintf("%s @%dc", benchLabel(b), c)
+	}
 	i := 0
 	for _, archName := range mt.Arches {
 		t := Table{
@@ -62,12 +79,14 @@ func (mt *MatrixTable) Fprint(w io.Writer, results []sched.Result) {
 			if mt.Iters != nil {
 				iters = mt.Iters(b)
 			}
-			row := []string{benchLabel(b), fmt.Sprint(iters)}
-			for range mt.EngineCols {
-				row = append(row, mt.cell(results[i]))
-				i++
+			for _, c := range cores {
+				row := []string{rowLabel(b, c), fmt.Sprint(iters)}
+				for range mt.EngineCols {
+					row = append(row, mt.cell(results[i]))
+					i++
+				}
+				t.AddRow(row...)
 			}
-			t.AddRow(row...)
 		}
 		t.Fprint(w)
 	}

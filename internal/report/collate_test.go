@@ -132,6 +132,126 @@ func TestMatrixTableCellRendering(t *testing.T) {
 	}
 }
 
+// coresFixture builds a one-arch result set over a multi-valued cores
+// axis in matrix order (benchmark-major, cores, then engines), so each
+// benchmark's core counts land as adjacent rows.
+func coresFixture() (*MatrixTable, []sched.Result) {
+	benches := []*core.Benchmark{
+		{Name: "smp.pingpong", PaperIters: 1000},
+		{Name: "smp.falseshare", PaperIters: 2000},
+	}
+	engines := []string{"interp", "dbt"}
+	cores := []int{1, 2, 4}
+	var results []sched.Result
+	for b, bench := range benches {
+		for c, n := range cores {
+			for e, eng := range engines {
+				j := sched.Job{
+					Bench:  bench,
+					Engine: sched.Engine{Name: eng},
+					Arch:   arch.All()[0],
+					Iters:  bench.PaperIters,
+					Cores:  n,
+				}
+				kernel := time.Duration(100*(b+1)+10*(c+1)+e) * time.Millisecond
+				results = append(results, sched.Result{
+					Job:    j,
+					Kernel: kernel,
+					Run:    &core.Result{Benchmark: bench, Engine: eng, Arch: "arm", Iters: j.Iters, Cores: n, Kernel: kernel},
+				})
+			}
+		}
+	}
+	mt := &MatrixTable{
+		Title:      func(a string) string { return fmt.Sprintf("SMP sweep, %s guest (kernel seconds)", a) },
+		EngineCols: engines,
+		Arches:     []string{"arm"},
+		Benches:    benches,
+		Cores:      cores,
+	}
+	return mt, results
+}
+
+// TestMatrixTableCoresGolden pins the multi-core axis rendering: rows
+// labelled "name @Nc" per benchmark×count in scheduler expansion
+// order.
+func TestMatrixTableCoresGolden(t *testing.T) {
+	mt, results := coresFixture()
+	var sb strings.Builder
+	mt.Fprint(&sb, results)
+	got := sb.String()
+
+	golden := filepath.Join("testdata", "matrix_table_cores.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run go test -run TestMatrixTableCoresGolden -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("rendering diverged from %s:\n--- got\n%s\n--- want\n%s", golden, got, want)
+	}
+}
+
+// TestMatrixTableCoresLabels pins the labelling contract directly, so
+// a golden regeneration cannot silently change it: every bench×count
+// row is present with the "@Nc" suffix, in benchmark-major order, and
+// a single-valued axis renders no suffix at all (byte-compat with the
+// pre-SMP form).
+func TestMatrixTableCoresLabels(t *testing.T) {
+	mt, results := coresFixture()
+	var sb strings.Builder
+	mt.Fprint(&sb, results)
+	out := sb.String()
+
+	var rows []string
+	for _, b := range []string{"smp.pingpong", "smp.falseshare"} {
+		for _, c := range []int{1, 2, 4} {
+			rows = append(rows, fmt.Sprintf("%s @%dc", b, c))
+		}
+	}
+	last := -1
+	for _, row := range rows {
+		i := strings.Index(out, row)
+		if i < 0 {
+			t.Errorf("missing row %q in:\n%s", row, out)
+			continue
+		}
+		if i < last {
+			t.Errorf("row %q out of order", row)
+		}
+		last = i
+	}
+
+	// A single-valued axis keeps the plain label.
+	mt.Cores = []int{1}
+	sb.Reset()
+	mt.Fprint(&sb, results[:4])
+	if strings.Contains(sb.String(), "@") {
+		t.Errorf("single-valued cores axis must not label rows:\n%s", sb.String())
+	}
+}
+
+// TestMatrixTableCoresCachedIdentical extends the incremental-run
+// contract to the cores axis: a fully cached replay of an SMP sweep
+// renders byte-identically.
+func TestMatrixTableCoresCachedIdentical(t *testing.T) {
+	mt, results := coresFixture()
+	var fresh strings.Builder
+	mt.Fprint(&fresh, results)
+	for i := range results {
+		results[i].Cached = true
+	}
+	var cached strings.Builder
+	mt.Fprint(&cached, results)
+	if fresh.String() != cached.String() {
+		t.Errorf("cached SMP rendering diverges:\n--- fresh\n%s\n--- cached\n%s", fresh.String(), cached.String())
+	}
+}
+
 // TestMatrixTableCachedIdentical is the incremental-run contract at
 // the rendering layer: flipping every cell to Cached must not move a
 // byte.

@@ -18,6 +18,9 @@ type Record struct {
 	Arch      string `json:"arch"`
 	Iters     int64  `json:"iters"`
 	Repeats   int    `json:"repeats,omitempty"`
+	// Cores is the guest core count; omitted (and meaning 1) for
+	// single-core cells, so pre-SMP records keep their exact encoding.
+	Cores int `json:"cores,omitempty"`
 
 	KernelSeconds float64 `json:"kernel_seconds"`
 	TotalSeconds  float64 `json:"total_seconds,omitempty"`
@@ -60,6 +63,9 @@ func NewRecord(r sched.Result) Record {
 		Iters:     iters,
 		Repeats:   repeats,
 		Cached:    r.Cached,
+	}
+	if c := r.Job.EffectiveCores(); c > 1 {
+		rec.Cores = c
 	}
 	if r.Err != nil {
 		rec.Error = r.Err.Error()

@@ -47,10 +47,29 @@ type Job struct {
 	// kernel time is kept (standard noise suppression on a shared
 	// host). <=0 means 1.
 	Repeats int
+	// Cores is the guest core count; <=0 means 1. Single-core jobs
+	// keep their pre-SMP identity everywhere (String, cache keys).
+	Cores int
 }
 
 func (j Job) String() string {
-	return fmt.Sprintf("%s/%s/%s", j.Arch.Name(), j.Bench.Name, j.Engine.Name)
+	s := fmt.Sprintf("%s/%s/%s", j.Arch.Name(), j.Bench.Name, j.Engine.Name)
+	if c := j.EffectiveCores(); c > 1 {
+		s += fmt.Sprintf("/%dc", c)
+	}
+	return s
+}
+
+// EffectiveCores returns the guest core count the job actually boots:
+// unset (<=0) means 1. Cache keys and records normalize through this,
+// like Effective for iterations.
+//
+//simlint:keyaxis
+func (j Job) EffectiveCores() int {
+	if j.Cores < 1 {
+		return 1
+	}
+	return j.Cores
 }
 
 // Effective returns the iteration and repeat counts the job actually
@@ -58,6 +77,8 @@ func (j Job) String() string {
 // a single measurement, mirroring Execute and Runner.Run. Cache keys
 // and records normalize through this one function, so equivalent jobs
 // stay equivalent everywhere.
+//
+//simlint:keyaxis
 func (j Job) Effective() (iters int64, repeats int) {
 	iters = j.Iters
 	if iters <= 0 {
@@ -99,6 +120,10 @@ type Matrix struct {
 	Arches  []arch.Support
 	Benches []*core.Benchmark
 	Engines []Engine
+	// Cores selects guest core counts; empty means single-core. A
+	// multi-valued axis expands per benchmark (benchmark-major, cores,
+	// then engines), so a bench's core counts render as adjacent rows.
+	Cores []int
 	// Iters maps a benchmark to its scaled iteration count; nil uses
 	// each benchmark's paper count.
 	Iters   func(*core.Benchmark) int64
@@ -107,15 +132,21 @@ type Matrix struct {
 
 // Jobs expands the cross product in matrix order.
 func (m *Matrix) Jobs() []Job {
-	jobs := make([]Job, 0, len(m.Arches)*len(m.Benches)*len(m.Engines))
+	cores := m.Cores
+	if len(cores) == 0 {
+		cores = []int{1}
+	}
+	jobs := make([]Job, 0, len(m.Arches)*len(m.Benches)*len(cores)*len(m.Engines))
 	for _, sup := range m.Arches {
 		for _, b := range m.Benches {
 			iters := b.PaperIters
 			if m.Iters != nil {
 				iters = m.Iters(b)
 			}
-			for _, e := range m.Engines {
-				jobs = append(jobs, Job{Bench: b, Engine: e, Arch: sup, Iters: iters, Repeats: m.Repeats})
+			for _, c := range cores {
+				for _, e := range m.Engines {
+					jobs = append(jobs, Job{Bench: b, Engine: e, Arch: sup, Iters: iters, Repeats: m.Repeats, Cores: c})
+				}
 			}
 		}
 	}
@@ -142,6 +173,7 @@ func Execute(ctx context.Context, j Job) Result {
 		}
 		runtime.GC()
 		r := core.NewRunner(j.Engine.New(), j.Arch)
+		r.Cores = j.EffectiveCores()
 		run, err := r.Run(j.Bench, j.Iters)
 		if err != nil {
 			res.Err = fmt.Errorf("%s: %w", j, err)
@@ -258,6 +290,7 @@ func runWarmups(ctx context.Context, jobs []Job, workers int, tr *obs.Tracer) {
 				sp := tr.Begin(w, "warmup", "sched").Arg("engine", j.Engine.Name)
 				mWarmups.Inc()
 				r := core.NewRunner(j.Engine.New(), j.Arch)
+				r.Cores = j.EffectiveCores()
 				_, _ = r.Run(j.Bench, j.Iters)
 				sp.End()
 			}

@@ -155,14 +155,20 @@ func (ix *historyIndex) lookup(host string) []store.IndexCell {
 	}
 	out := make([]store.IndexCell, 0, len(merged))
 	for ref, e := range merged {
-		out = append(out, store.IndexCell{
+		cell := store.IndexCell{
 			Benchmark: ref.Benchmark,
 			Engine:    ref.Engine,
 			Arch:      ref.Arch,
 			Iters:     ref.Iters,
 			Repeats:   ref.Repeats,
 			Key:       e.key,
-		})
+		}
+		// Single-core cells omit the count on the wire (IndexCell's
+		// omitempty), matching history records and old servers.
+		if ref.Cores > 1 {
+			cell.Cores = ref.Cores
+		}
+		out = append(out, cell)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
@@ -175,6 +181,8 @@ func (ix *historyIndex) lookup(host string) []store.IndexCell {
 			return a.Engine < b.Engine
 		case a.Iters != b.Iters:
 			return a.Iters < b.Iters
+		case a.Cores != b.Cores:
+			return a.Cores < b.Cores
 		default:
 			return a.Repeats < b.Repeats
 		}

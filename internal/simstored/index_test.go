@@ -68,14 +68,19 @@ func TestIndexEndpoint(t *testing.T) {
 		t.Errorf("empty index body = %q, want []", body)
 	}
 
-	a1, a2, b1, c1 := keyN(1), keyN(2), keyN(3), keyN(4)
+	a1, a2, b1, c1, s2 := keyN(1), keyN(2), keyN(3), keyN(4), keyN(6)
 	failed := idxCell("mem.cold", keyN(5))
 	failed.Error = "boom"
+	// The same benchmark at a different guest core count is a distinct
+	// cell: it must neither shadow nor be shadowed by the 1-core entry.
+	smp := idxCell("mem.hot", s2)
+	smp.Cores = 2
 	for _, line := range [][]byte{
 		runLine(t, "", idxCell("mem.hot", a1)),                              // unhosted: any host's
 		runLine(t, me, idxCell("mem.hot", a2), idxCell("mem.cold", b1)),     // newer run wins mem.hot
 		runLine(t, "other/host", idxCell("mem.streaming", c1)),              // foreign host: invisible
 		runLine(t, me, idxCell("exc.syscall", "not-a-content-key"), failed), // unparsable key, failed cell
+		runLine(t, me, smp), // 2-core cell: own entry
 	} {
 		if resp := do(t, http.MethodPost, ts.URL+"/runs", line); resp.StatusCode != http.StatusNoContent {
 			t.Fatalf("POST run: %s", resp.Status)
@@ -95,9 +100,10 @@ func TestIndexEndpoint(t *testing.T) {
 	if want := store.CoverageIndex(runs); !reflect.DeepEqual(got, want) {
 		t.Errorf("index disagrees with CoverageIndex:\n got %v\nwant %v", got, want)
 	}
-	if len(got) != 2 || got[store.RefOfRecord(idxCell("mem.hot", ""))] != a2 ||
-		got[store.RefOfRecord(idxCell("mem.cold", ""))] != b1 {
-		t.Errorf("index = %v, want mem.hot→newest key and mem.cold→%s", got, b1)
+	if len(got) != 3 || got[store.RefOfRecord(idxCell("mem.hot", ""))] != a2 ||
+		got[store.RefOfRecord(idxCell("mem.cold", ""))] != b1 ||
+		got[store.RefOfRecord(smp)] != s2 {
+		t.Errorf("index = %v, want mem.hot→newest key, mem.cold→%s, and the 2-core cell→%s", got, b1, s2)
 	}
 
 	// The foreign host's view merges its own records with the unhosted

@@ -22,10 +22,15 @@ type CellRef struct {
 	Arch      string
 	Iters     int64
 	Repeats   int
+	// Cores is the guest core count, normalized to >=1 — a cores
+	// sweep measures the same benchmark at several counts, and those
+	// are distinct cells (history records omit the field at 1, so
+	// normalization keeps old single-core records addressable).
+	Cores int
 }
 
-// RefOf returns the cell reference of a job, with iteration and
-// repeat counts normalized the way records and cache keys are.
+// RefOf returns the cell reference of a job, with iteration, repeat,
+// and core counts normalized the way records and cache keys are.
 func RefOf(j sched.Job) CellRef {
 	iters, repeats := j.Effective()
 	return CellRef{
@@ -34,6 +39,7 @@ func RefOf(j sched.Job) CellRef {
 		Arch:      j.Arch.Name(),
 		Iters:     iters,
 		Repeats:   repeats,
+		Cores:     j.EffectiveCores(),
 	}
 }
 
@@ -46,12 +52,20 @@ func RefOfRecord(c report.Record) CellRef {
 	if repeats <= 0 {
 		repeats = 1
 	}
-	return CellRef{Benchmark: c.Benchmark, Engine: c.Engine, Arch: c.Arch, Iters: c.Iters, Repeats: repeats}
+	cores := c.Cores
+	if cores <= 0 {
+		cores = 1
+	}
+	return CellRef{Benchmark: c.Benchmark, Engine: c.Engine, Arch: c.Arch, Iters: c.Iters, Repeats: repeats, Cores: cores}
 }
 
 // String renders the reference the way diff output names cells.
 func (c CellRef) String() string {
-	s := fmt.Sprintf("%s/%s/%s@%d", c.Arch, c.Benchmark, c.Engine, c.Iters)
+	s := fmt.Sprintf("%s/%s", c.Arch, c.Benchmark)
+	if c.Cores > 1 {
+		s += fmt.Sprintf(" @%dc", c.Cores)
+	}
+	s += fmt.Sprintf("/%s@%d", c.Engine, c.Iters)
 	if c.Repeats > 1 {
 		s += fmt.Sprintf("x%d", c.Repeats)
 	}
@@ -123,12 +137,20 @@ type IndexCell struct {
 	Arch      string `json:"arch"`
 	Iters     int64  `json:"iters"`
 	Repeats   int    `json:"repeats"`
-	Key       string `json:"key"`
+	// Cores is omitted for single-core cells, so servers predating the
+	// cores axis keep serving the same bytes.
+	Cores int    `json:"cores,omitempty"`
+	Key   string `json:"key"`
 }
 
-// Ref returns the cell's map identity.
+// Ref returns the cell's map identity, normalizing the omitted
+// single-core count the way RefOfRecord does.
 func (c IndexCell) Ref() CellRef {
-	return CellRef{Benchmark: c.Benchmark, Engine: c.Engine, Arch: c.Arch, Iters: c.Iters, Repeats: c.Repeats}
+	cores := c.Cores
+	if cores <= 0 {
+		cores = 1
+	}
+	return CellRef{Benchmark: c.Benchmark, Engine: c.Engine, Arch: c.Arch, Iters: c.Iters, Repeats: c.Repeats, Cores: cores}
 }
 
 // CellIndex resolves the newest-successful-measurement map offline

@@ -85,6 +85,63 @@ func TestCoverageReportsNeverRunCell(t *testing.T) {
 	}
 }
 
+// TestCoverageDistinguishesCoreCounts is the cores-axis regression
+// for offline rendering: the same benchmark measured at several guest
+// core counts is several distinct cells, and coverage must serve each
+// row its own measurement — not whichever count history recorded
+// last.
+func TestCoverageDistinguishesCoreCounts(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := testJob(t)
+	var jobs []sched.Job
+	var results []sched.Result
+	for i, c := range []int{1, 2, 4} {
+		j := base
+		j.Cores = c
+		r := fabricate(j, time.Duration(i+1)*time.Second)
+		r.Key = s.Key(j)
+		s.Put(r.Key, r)
+		jobs = append(jobs, j)
+		results = append(results, r)
+	}
+	if err := s.AppendHistory("smp", results); err != nil {
+		t.Fatal(err)
+	}
+	got, missing, err := s.Coverage(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) > 0 {
+		t.Fatalf("missing = %v", missing)
+	}
+	for i, r := range got {
+		if want := time.Duration(i+1) * time.Second; r.Kernel != want {
+			t.Errorf("cores=%d served kernel %v, want %v", jobs[i].EffectiveCores(), r.Kernel, want)
+		}
+	}
+
+	// An unset count and an explicit 1 are the same cell — matching
+	// the content address and history records that omit the field.
+	one := base
+	one.Cores = 1
+	if RefOf(base) != RefOf(one) {
+		t.Errorf("unset cores ref %v != explicit 1-core ref %v", RefOf(base), RefOf(one))
+	}
+	if rec := report.NewRecord(fabricate(base, time.Second)); RefOfRecord(rec) != RefOf(one) {
+		t.Errorf("record ref %v != job ref %v", RefOfRecord(rec), RefOf(one))
+	}
+	smp := RefOf(jobs[1])
+	if !strings.Contains(smp.String(), "@2c") {
+		t.Errorf("multi-core ref renders %q without its core count", smp.String())
+	}
+	if s := RefOf(one).String(); strings.Contains(s, "@1c") {
+		t.Errorf("single-core ref %q must render like the pre-SMP form", s)
+	}
+}
+
 func TestCoverageReportsGoneBlob(t *testing.T) {
 	dir := t.TempDir()
 	s, jobs := coverageFixture(t, dir)

@@ -97,7 +97,7 @@ type sneakyConfig struct{ Depth int }
 
 func (sneakyEngine) Name() string              { return "sneaky" }
 func (sneakyEngine) Features() engine.Features { return engine.Features{} }
-func (sneakyEngine) Run(*machine.Machine, uint64) (engine.Stats, error) {
+func (sneakyEngine) Run([]*machine.Machine, uint64) (engine.Stats, error) {
 	return engine.Stats{}, nil
 }
 func (sneakyEngine) Config() sneakyConfig { return sneakyConfig{} }

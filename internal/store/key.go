@@ -61,6 +61,13 @@ func Fingerprint(j sched.Job) string {
 	fmt.Fprintf(&b, "arch=%s\n", j.Arch.Name())
 	fmt.Fprintf(&b, "bench=%s iters=%d repeats=%d\n", j.Bench.Name, iters, repeats)
 	fmt.Fprintf(&b, "engine=%s\n", engineFingerprint(j.Engine))
+	// The core count is key material: the same cell at a different
+	// count is a different measurement. Single-core jobs omit the line
+	// entirely so every pre-SMP key — and every blob stored under one —
+	// stays valid verbatim.
+	if cores := j.EffectiveCores(); cores > 1 {
+		fmt.Fprintf(&b, "cores=%d\n", cores)
+	}
 	return b.String()
 }
 

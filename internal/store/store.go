@@ -103,10 +103,14 @@ func newBlob(r sched.Result) *blob {
 // measurement.
 func (b *blob) result(j sched.Job) sched.Result {
 	run := &core.Result{
-		Benchmark:         j.Bench,
-		Engine:            b.Engine,
-		Arch:              b.Arch,
-		Iters:             b.Iters,
+		Benchmark: j.Bench,
+		Engine:    b.Engine,
+		Arch:      b.Arch,
+		Iters:     b.Iters,
+		// The core count is key material (Fingerprint), so the job that
+		// hit this blob booted exactly this many cores; no blob field
+		// needed — pre-SMP blobs replay unchanged.
+		Cores:             j.EffectiveCores(),
 		Kernel:            time.Duration(b.KernelNS),
 		Total:             time.Duration(b.TotalNS),
 		Stats:             b.Stats,

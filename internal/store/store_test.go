@@ -5,6 +5,7 @@ import (
 	"context"
 	"fmt"
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -110,6 +111,11 @@ func TestKeyDistinctness(t *testing.T) {
 	}
 	other.Bench = b2
 	add("bench", other)
+	for _, c := range []int{2, 4} {
+		smp := base
+		smp.Cores = c
+		add(fmt.Sprintf("cores=%d", c), smp)
+	}
 
 	// Every modelled release lands in its own cell (each carries its
 	// release tag in Config.Name, so even config-identical stable
@@ -165,6 +171,31 @@ func TestKeyNormalization(t *testing.T) {
 	explicit.Repeats = 1
 	if KeyFor(j) != KeyFor(explicit) {
 		t.Error("defaulted iters/repeats key differs from the explicit equivalent")
+	}
+}
+
+// TestKeySingleCoreUnchanged pins the SMP compatibility contract:
+// unset and explicit single-core jobs share one cell, and their
+// fingerprints carry no cores line at all — so every pre-SMP key, and
+// every blob stored under one, stays valid verbatim. A multi-core job
+// gets the line and a distinct cell.
+func TestKeySingleCoreUnchanged(t *testing.T) {
+	j := testJob(t)
+	one := j
+	one.Cores = 1
+	if KeyFor(j) != KeyFor(one) {
+		t.Error("explicit Cores=1 key differs from the unset equivalent")
+	}
+	if strings.Contains(Fingerprint(one), "cores=") {
+		t.Errorf("single-core fingerprint must omit the cores line:\n%s", Fingerprint(one))
+	}
+	smp := j
+	smp.Cores = 2
+	if !strings.Contains(Fingerprint(smp), "cores=2\n") {
+		t.Errorf("2-core fingerprint must carry cores=2:\n%s", Fingerprint(smp))
+	}
+	if KeyFor(smp) == KeyFor(j) {
+		t.Error("2-core job shares a cell with the single-core job")
 	}
 }
 
