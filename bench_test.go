@@ -177,6 +177,18 @@ func BenchmarkAblationLazyFlushOff(b *testing.B) {
 	benchmarkDBTConfig(b, cfg, "mem.tlb-flush", 5_000)
 }
 
+func BenchmarkAblationSuperblockOn(b *testing.B) {
+	cfg := dbt.DefaultConfig()
+	cfg.Superblock = 8
+	benchmarkDBTConfig(b, cfg, "ctrl.intrapage-direct", 100_000)
+}
+
+func BenchmarkAblationSuperblockOff(b *testing.B) {
+	cfg := dbt.DefaultConfig()
+	cfg.Superblock = 1
+	benchmarkDBTConfig(b, cfg, "ctrl.intrapage-direct", 100_000)
+}
+
 func BenchmarkAblationDataFaultFastPathOn(b *testing.B) {
 	cfg := dbt.DefaultConfig()
 	cfg.DataFaultFastPath = true

@@ -25,6 +25,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -69,6 +71,8 @@ func main() {
 		remote    = flag.String("remote", "", "simstored server URL (e.g. http://ci-cache:8347): a shared remote cache tier behind -cache-dir — remote hits are promoted to the local cache, fresh results upload asynchronously, and run history lands on the server")
 		remoteTok = flag.String("remote-token", os.Getenv("SIMBENCH_REMOTE_TOKEN"), "bearer token for a -remote server started with -token (default $SIMBENCH_REMOTE_TOKEN)")
 		traceOut  = flag.String("trace", "", "write a Chrome trace-event JSON file (per-cell spans: key computation, store get/put, measure, remote round trips) to this path; written after the tables render, loadable in chrome://tracing or Perfetto")
+		cpuOut    = flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this path; pair with -jobs 1 so engine hot paths dominate the samples instead of scheduler contention")
+		memOut    = flag.String("memprofile", "", "write a pprof heap profile (after a final GC) to this path; written after the tables render, like -trace")
 		list      = flag.Bool("list", false, "list benchmarks, engines and releases, then exit")
 		verbose   = flag.Bool("v", false, "per-run progress output")
 	)
@@ -98,6 +102,16 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	context.AfterFunc(ctx, stop)
+
+	// Profiling brackets the whole run — cell scheduling included — so
+	// a -cpuprofile of a hot-path campaign shows engine exec loops next
+	// to the harness cost they amortise. Both writers run on every
+	// return path, after the tables render, like -trace.
+	stopCPU := startCPUProfile(*cpuOut)
+	writeProfiles := func() {
+		stopCPU()
+		writeMemProfile(*memOut)
+	}
 
 	// The tracer rides the run context into the scheduler; the
 	// experiment and report layers never see it, keeping the
@@ -144,6 +158,7 @@ func main() {
 		err = experiment.Run(sp, opts)
 		reportCache("simbench", st)
 		writeTrace(tracer, *traceOut)
+		writeProfiles()
 		if err != nil {
 			fail(err)
 		}
@@ -155,6 +170,7 @@ func main() {
 		err := experiment.RunNamed("fig7", opts)
 		reportCache("simbench", st)
 		writeTrace(tracer, *traceOut)
+		writeProfiles()
 		if err != nil {
 			fail(err)
 		}
@@ -285,6 +301,7 @@ func main() {
 	}
 	reportCache("simbench", st)
 	writeTrace(tracer, *traceOut)
+	writeProfiles()
 
 	// Errors already collapses cancelled cells into one summary line.
 	if err := sched.Errors(results); err != nil {
@@ -334,6 +351,52 @@ func writeTrace(tracer *obs.Tracer, path string) {
 		return
 	}
 	fmt.Fprintln(os.Stderr, "simbench: trace written to", path)
+}
+
+// startCPUProfile begins a CPU profile and returns the stop function;
+// both are no-ops for an empty path. A profile that cannot be opened
+// aborts the run up front — discovering it after a minutes-long matrix
+// would waste the measurement.
+func startCPUProfile(path string) func() {
+	if path == "" {
+		return func() {}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fail(err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		fail(err)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "simbench: write cpu profile:", err)
+			return
+		}
+		fmt.Fprintln(os.Stderr, "simbench: cpu profile written to", path)
+	}
+}
+
+// writeMemProfile snapshots the heap after a final GC, so the profile
+// shows live retention (translation caches, store indexes) rather than
+// garbage awaiting collection.
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simbench: write mem profile:", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, "simbench: write mem profile:", err)
+		return
+	}
+	fmt.Fprintln(os.Stderr, "simbench: mem profile written to", path)
 }
 
 func fail(err error) {

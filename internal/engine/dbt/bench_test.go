@@ -1,0 +1,164 @@
+package dbt
+
+// Hot-path microbenchmarks for the DBT engine. These isolate the two
+// costs the engine pays per retired instruction once translation has
+// warmed up: the dispatch loop around exec (BenchmarkExecLoop) and the
+// softMMU lookup on every load and store (BenchmarkSoftTLBHit). The
+// superblock variants run the identical guest workload with block
+// chaining across basic-block boundaries enabled, so the delta is the
+// dispatch returns saved — nothing else changes.
+//
+// Recorded runs of these benchmarks form the perf trajectory in the
+// repo's BENCH_*.json files; see README "Performance trajectory".
+
+import (
+	"testing"
+
+	"simbench/internal/asm"
+	"simbench/internal/isa"
+	"simbench/internal/machine"
+	"simbench/internal/platform"
+)
+
+// benchAssemble assembles build or fails the benchmark.
+func benchAssemble(b *testing.B, build func(a *asm.Assembler)) *asm.Program {
+	b.Helper()
+	a := asm.New()
+	build(a)
+	prog, err := a.Assemble()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return prog
+}
+
+// benchRun measures running prog to completion under cfg, reporting
+// retired guest Mips. The platform is rebuilt per iteration so every
+// run translates from a cold code cache — the steady-state loop still
+// dominates at the iteration counts used here.
+func benchRun(b *testing.B, cfg Config, prog *asm.Program) {
+	b.Helper()
+	var insns uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		p := platform.New(machine.ProfileARM, 1<<20)
+		if err := p.M.LoadProgram(prog); err != nil {
+			b.Fatal(err)
+		}
+		p.M.Reset()
+		b.StartTimer()
+		st, err := New(cfg).Run(p.Harts(), 500_000_000)
+		if err != nil {
+			b.Fatalf("%v (pc=%#x)", err, p.M.CPU.PC)
+		}
+		insns += st.Instructions
+	}
+	b.ReportMetric(float64(insns)/b.Elapsed().Seconds()/1e6, "Mips")
+}
+
+// execLoopProg is a hot ALU loop: one basic block of straight-line
+// compute ending in a backward conditional branch, the shape where
+// dispatch overhead per block transition is most visible.
+func execLoopProg(b *testing.B, iters int32) *asm.Program {
+	return benchAssemble(b, func(a *asm.Assembler) {
+		a.LoadImm32(isa.R1, uint32(iters))
+		a.MOVI(isa.R2, 0)
+		a.MOVI(isa.R3, 7)
+		a.Label("loop")
+		a.ADD(isa.R2, isa.R2, isa.R3)
+		a.XOR(isa.R4, isa.R2, isa.R1)
+		a.SHLI(isa.R5, isa.R4, 3)
+		a.SUB(isa.R2, isa.R2, isa.R5)
+		a.ORI(isa.R6, isa.R2, 0x55)
+		a.AND(isa.R2, isa.R2, isa.R6)
+		a.SUBI(isa.R1, isa.R1, 1)
+		a.CMPI(isa.R1, 0)
+		a.B(isa.CondNE, "loop")
+		a.HALT()
+	})
+}
+
+// chainLoopProg splits the loop body across several basic blocks
+// joined by unconditional branches — the straight-line-chain shape
+// superblock translation collapses into one dispatch unit.
+func chainLoopProg(b *testing.B, iters int32) *asm.Program {
+	return benchAssemble(b, func(a *asm.Assembler) {
+		a.LoadImm32(isa.R1, uint32(iters))
+		a.MOVI(isa.R2, 0)
+		a.Label("loop")
+		a.ADDI(isa.R2, isa.R2, 3)
+		a.B(isa.CondAL, "seg2")
+		a.Label("seg2")
+		a.XORI(isa.R3, isa.R2, 0x1F)
+		a.B(isa.CondAL, "seg3")
+		a.Label("seg3")
+		a.ADD(isa.R2, isa.R2, isa.R3)
+		a.B(isa.CondAL, "seg4")
+		a.Label("seg4")
+		a.SUBI(isa.R1, isa.R1, 1)
+		a.CMPI(isa.R1, 0)
+		a.B(isa.CondNE, "loop")
+		a.HALT()
+	})
+}
+
+// tlbLoopProg enables the MMU over an identity section mapping and
+// hammers loads and stores on one data page: after the first walk,
+// every access is a softMMU L1 hit.
+func tlbLoopProg(b *testing.B, iters int32) *asm.Program {
+	const ttbr = 0x80000
+	return benchAssemble(b, func(a *asm.Assembler) {
+		a.LoadImm32(isa.R0, ttbr)
+		a.MSR(isa.CtrlTTBR, isa.R0)
+		a.MOVI(isa.R1, int32(isa.MMUEnable))
+		a.MSR(isa.CtrlMMU, isa.R1)
+
+		a.LoadImm32(isa.R1, uint32(iters))
+		a.LoadImm32(isa.R9, 0x9000) // data page
+		a.MOVI(isa.R2, 0)
+		a.Label("loop")
+		a.LDW(isa.R3, isa.R9, 0)
+		a.ADD(isa.R2, isa.R2, isa.R3)
+		a.LDW(isa.R4, isa.R9, 8)
+		a.STW(isa.R2, isa.R9, 16)
+		a.LDW(isa.R5, isa.R9, 24)
+		a.STW(isa.R5, isa.R9, 32)
+		a.SUBI(isa.R1, isa.R1, 1)
+		a.CMPI(isa.R1, 0)
+		a.B(isa.CondNE, "loop")
+		a.HALT()
+
+		// Identity section mapping for the first megabyte: code, data
+		// and the tables themselves.
+		a.Org(ttbr)
+		a.Word(0 | 1 | 1<<2)
+	})
+}
+
+// BenchmarkExecLoop measures the dispatch + exec hot loop on a single
+// conditional-branch-terminated block, default configuration.
+func BenchmarkExecLoop(b *testing.B) {
+	benchRun(b, DefaultConfig(), execLoopProg(b, 50_000))
+}
+
+// BenchmarkExecLoopChain measures the same dispatch cost on a loop
+// body fragmented into unconditional-branch-joined blocks.
+func BenchmarkExecLoopChain(b *testing.B) {
+	benchRun(b, DefaultConfig(), chainLoopProg(b, 50_000))
+}
+
+// BenchmarkExecLoopSuperblock is BenchmarkExecLoopChain with
+// superblock translation enabled: the fragments fuse into one
+// translation unit, eliminating the interior dispatch returns.
+func BenchmarkExecLoopSuperblock(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.Superblock = 8
+	benchRun(b, cfg, chainLoopProg(b, 50_000))
+}
+
+// BenchmarkSoftTLBHit measures the softMMU hit path: MMU on, all
+// accesses landing on one warmed data page.
+func BenchmarkSoftTLBHit(b *testing.B) {
+	benchRun(b, DefaultConfig(), tlbLoopProg(b, 50_000))
+}

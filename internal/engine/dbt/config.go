@@ -90,6 +90,21 @@ type Config struct {
 
 	// BlockCap is the maximum guest instructions per translated block.
 	BlockCap int
+
+	// Superblock, when greater than 1, lets the translator chain
+	// straight-line successors across basic-block boundaries into one
+	// translation unit: an unconditional same-page direct branch (or a
+	// fall-through at BlockCap) is followed at translate time instead
+	// of returning to the dispatcher, up to Superblock basic blocks per
+	// unit. A backward branch to an already-translated address unrolls
+	// the loop into the unit. 0 or 1 disables superblocks — the default,
+	// so every pre-superblock content key stays valid verbatim.
+	Superblock int
+
+	// ChainLimit caps the total guest instructions one superblock may
+	// cover. 0 means Superblock*BlockCap. It only takes effect when
+	// Superblock enables chaining.
+	ChainLimit int
 }
 
 // DefaultConfig is a modern, fully featured configuration, matching the
@@ -122,4 +137,22 @@ func (c Config) withDefaults() Config {
 		c.LookupDepth = 1
 	}
 	return c
+}
+
+// superblockCap returns the effective (segments, instructions) budget
+// for one translation unit: (1, BlockCap) when superblocks are off.
+func (c Config) superblockCap() (segs, insns int) {
+	if c.Superblock <= 1 {
+		return 1, c.BlockCap
+	}
+	insns = c.ChainLimit
+	if insns <= 0 {
+		insns = c.Superblock * c.BlockCap
+	}
+	// The per-uop retire counter is 16-bit; budgets beyond it could
+	// not account instructions exactly.
+	if insns > 0xFFFF {
+		insns = 0xFFFF
+	}
+	return c.Superblock, insns
 }

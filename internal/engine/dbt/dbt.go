@@ -452,7 +452,11 @@ func samePage(a, b uint32) bool { return a>>isa.PageShift == b>>isa.PageShift }
 
 // String describes the engine and its configuration.
 func (e *Engine) String() string {
-	return fmt.Sprintf("dbt(%s: opt=%d chain=%s lookup=%d tlb=2^%d victim=%v dfp=%v)",
+	s := fmt.Sprintf("dbt(%s: opt=%d chain=%s lookup=%d tlb=2^%d victim=%v dfp=%v",
 		e.cfg.Name, e.cfg.OptLevel, e.cfg.Chain, e.cfg.LookupDepth,
 		e.cfg.TLBBits, e.cfg.VictimTLB, e.cfg.DataFaultFastPath)
+	if segs, insns := e.cfg.superblockCap(); segs > 1 {
+		s += fmt.Sprintf(" sb=%dx%d", segs, insns)
+	}
+	return s + ")"
 }

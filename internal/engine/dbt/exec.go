@@ -101,6 +101,16 @@ func (e *Engine) exec(b *block) (exitKind, uint32, uint64) {
 				return exitException, 0, uint64(u.retire)
 			}
 
+		case uChainFollow:
+			// Superblock boundary fused at translate time: one page-
+			// generation compare instead of a dispatcher round trip. A
+			// store earlier in this unit may have invalidated the page,
+			// in which case the remaining segments are stale and the
+			// dispatcher must retranslate from the successor VA.
+			if !e.valid(b) {
+				return exitTaken, u.imm, uint64(u.retire)
+			}
+			e.st.SuperblockFollows++
 		case uBranch:
 			return exitTaken, u.imm, uint64(u.retire)
 		case uBranchCond:
@@ -213,12 +223,51 @@ func (e *Engine) uopUndef(b *block, u *uop) {
 }
 
 // uopLoad performs a load; false means an exception side exit.
+//
+// The hot path is inlined here: one direct-mapped L1 tag compare and a
+// pbase add, with no call into the softMMU — QEMU's fast-path/slow-path
+// split. Entries are installed only when the access they describe is
+// permitted, so a hit needs no further checks. Misses, device pages and
+// permission faults fall into uopLoadSlow.
 func (e *Engine) uopLoad(b *block, u *uop, va uint32, size int, asUser bool) bool {
 	m := e.m
 	if size == 4 {
 		va &^= 3
 	}
 	e.st.MemReads++
+	if m.MMUEnabled() {
+		mmuIdx := idxKernel
+		if !m.CPU.Kernel || asUser {
+			mmuIdx = idxUser
+		}
+		t := e.h.dtlb
+		vp := va >> isa.PageShift
+		if ent := &t.l1[mmuIdx][accRead][vp&t.mask]; ent.tag == vp<<1|1 && ent.isRAM {
+			e.st.TLBHits++
+			pa := ent.pbase | va&isa.PageMask
+			if size == 4 {
+				m.CPU.Regs[u.rd] = m.Bus.ReadWordRAM(pa)
+			} else {
+				m.CPU.Regs[u.rd] = uint32(m.Bus.RAM[pa])
+			}
+			return true
+		}
+	} else if m.Bus.IsRAM(va, 1) {
+		if size == 4 {
+			m.CPU.Regs[u.rd] = m.Bus.ReadWordRAM(va)
+		} else {
+			m.CPU.Regs[u.rd] = uint32(m.Bus.RAM[va])
+		}
+		return true
+	}
+	return e.uopLoadSlow(b, u, va, size, asUser)
+}
+
+// uopLoadSlow is the full load path: multi-level softMMU lookup, page
+// walks, device access via helper call. va is already aligned and the
+// read already counted.
+func (e *Engine) uopLoadSlow(b *block, u *uop, va uint32, size int, asUser bool) bool {
+	m := e.m
 	pa, isRAM, fault := e.dataAccess(va, false, asUser)
 	if fault != isa.FaultNone {
 		e.dataFault(b, u, fault, va, false)
@@ -243,13 +292,58 @@ func (e *Engine) uopLoad(b *block, u *uop, va uint32, size int, asUser bool) boo
 	return true
 }
 
-// uopStore performs a store; false means an exception side exit.
+// uopStore performs a store; false means an exception side exit. Like
+// uopLoad it carries the inlined L1 fast path; the RAM store epilogue
+// (monitor and SMC bookkeeping) is identical to the slow path's.
 func (e *Engine) uopStore(b *block, u *uop, va uint32, size int, asUser bool) bool {
 	m := e.m
 	if size == 4 {
 		va &^= 3
 	}
 	e.st.MemWrites++
+	if m.MMUEnabled() {
+		mmuIdx := idxKernel
+		if !m.CPU.Kernel || asUser {
+			mmuIdx = idxUser
+		}
+		t := e.h.dtlb
+		vp := va >> isa.PageShift
+		if ent := &t.l1[mmuIdx][accWrite][vp&t.mask]; ent.tag == vp<<1|1 && ent.isRAM {
+			e.st.TLBHits++
+			pa := ent.pbase | va&isa.PageMask
+			v := m.CPU.Regs[u.rd]
+			if size == 4 {
+				m.Bus.WriteWordRAM(pa, v)
+			} else {
+				m.Bus.RAM[pa] = byte(v)
+			}
+			if m.Mon.Armed() {
+				m.Mon.NoteStore(pa)
+			}
+			e.noteStore(pa)
+			return true
+		}
+	} else if m.Bus.IsRAM(va, 1) {
+		v := m.CPU.Regs[u.rd]
+		if size == 4 {
+			m.Bus.WriteWordRAM(va, v)
+		} else {
+			m.Bus.RAM[va] = byte(v)
+		}
+		if m.Mon.Armed() {
+			m.Mon.NoteStore(va)
+		}
+		e.noteStore(va)
+		return true
+	}
+	return e.uopStoreSlow(b, u, va, size, asUser)
+}
+
+// uopStoreSlow is the full store path: multi-level softMMU lookup, page
+// walks, device access via helper call. va is already aligned and the
+// write already counted.
+func (e *Engine) uopStoreSlow(b *block, u *uop, va uint32, size int, asUser bool) bool {
+	m := e.m
 	pa, isRAM, fault := e.dataAccess(va, true, asUser)
 	if fault != isa.FaultNone {
 		e.dataFault(b, u, fault, va, true)

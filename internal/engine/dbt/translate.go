@@ -11,6 +11,16 @@ import (
 // and host-code emission, so translation cost scales with both block
 // length and OptLevel — the trade-off the Code Generation benchmarks
 // measure.
+//
+// With Config.Superblock > 1 the translator keeps going past two kinds
+// of basic-block exit instead of returning to the dispatcher: an
+// unconditional same-page direct branch (replaced by a uChainFollow
+// boundary uop and followed, forward or unrolling backward to a
+// target at or after va), and the fall-through when a segment fills
+// BlockCap. Each followed exit consumes one segment of the Superblock
+// budget; superblockCap bounds the total instructions per unit. The
+// unit never leaves its physical page, so one page generation still
+// covers all of it.
 func (e *Engine) translate(va, pa uint32) *block {
 	// Reset the translation context, as TCG does before every block:
 	// temp pools, label tables and the op buffer all start clean.
@@ -19,21 +29,52 @@ func (e *Engine) translate(va, pa uint32) *block {
 	}
 	page := pa >> isa.PageShift
 	b := &block{va: va, physPage: page, gen: e.h.pageGen[page]}
-	off := uint32(0)
-	for n := 0; n < e.cfg.BlockCap; n++ {
-		if (pa+off)>>isa.PageShift != page {
-			break // never cross a page: invalidation is page-granular
+	segs, budget := e.cfg.superblockCap()
+	cur, curPA := va, pa
+	for seg := 0; ; seg++ {
+		segStart := b.insns
+		terminal := false
+		for int(b.insns-segStart) < e.cfg.BlockCap && int(b.insns) < budget {
+			if curPA>>isa.PageShift != page {
+				break // never cross a page: invalidation is page-granular
+			}
+			in := isa.Decode(e.m.Bus.ReadWordRAM(curPA))
+			terminal = e.lower(b, in, cur-b.va)
+			b.insns++
+			b.uops[len(b.uops)-1].retire = b.insns
+			cur += isa.WordBytes
+			curPA += isa.WordBytes
+			if terminal {
+				break
+			}
 		}
-		in := isa.Decode(e.m.Bus.ReadWordRAM(pa + off))
-		terminal := e.lower(b, in, off)
-		b.insns++
-		b.uops[len(b.uops)-1].retire = b.insns
-		off += isa.WordBytes
-		if terminal {
+		if seg+1 >= segs || int(b.insns) >= budget {
 			break
 		}
+		if terminal {
+			// Follow an unconditional direct branch that stays on the
+			// page at a non-negative offset from va (pcOff is relative
+			// to va; a target below cur unrolls already-translated code).
+			last := &b.uops[len(b.uops)-1]
+			t := last.imm
+			if last.kind != uBranch || t>>isa.PageShift != va>>isa.PageShift || t < va {
+				break
+			}
+			*last = uop{kind: uChainFollow, imm: t, pcOff: last.pcOff, retire: last.retire}
+			cur = t
+			curPA = page<<isa.PageShift | t&isa.PageMask
+			continue
+		}
+		// Fall-through: only the block-cap case is followable — a page
+		// crossing or an exhausted budget ends the unit.
+		if int(b.insns-segStart) < e.cfg.BlockCap || curPA>>isa.PageShift != page {
+			break
+		}
+		b.uops = append(b.uops, uop{
+			kind: uChainFollow, imm: cur, pcOff: uint16(cur - va), retire: b.insns,
+		})
 	}
-	b.end = va + off
+	b.end = cur
 	b.fallVA = b.end
 	if e.cfg.OptLevel >= 1 {
 		e.foldConstants(b)

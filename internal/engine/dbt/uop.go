@@ -69,6 +69,17 @@ const (
 	uMrs  // rd = ctrl[imm]
 	uCprd // rd = coproc; imm = cp<<8|reg
 	uCpwr
+
+	// uChainFollow marks a basic-block boundary the superblock
+	// translator followed at translate time (an unconditional same-page
+	// direct branch, or the fall-through at BlockCap). imm holds the
+	// successor VA. At exec time it costs one page-generation compare:
+	// if the translation is still current, execution falls straight
+	// through into the next segment's uops; if a store has invalidated
+	// the page mid-superblock, it side-exits to imm so the dispatcher
+	// retranslates — the check that keeps self-modifying code exactly as
+	// sound as dispatcher-mediated transitions.
+	uChainFollow
 )
 
 // uop is one micro-operation. Fields are overloaded per kind; pcOff is
@@ -98,7 +109,9 @@ const (
 )
 
 // block is one translated unit: straight-line guest code ending at a
-// terminal instruction, a page boundary, or the block cap.
+// terminal instruction, a page boundary, or the block cap. With
+// Config.Superblock > 1 one unit may cover several basic blocks of the
+// same page, joined by uChainFollow boundary uops.
 type block struct {
 	va       uint32 // guest virtual start
 	physPage uint32 // physical page of the code (blocks never cross pages)

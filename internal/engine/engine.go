@@ -73,9 +73,10 @@ type Stats struct {
 	BranchIndirectInter uint64
 
 	// DBT mechanism counters.
-	BlockExecutions uint64
-	ChainFollows    uint64 // chained block-to-block transitions
-	CacheLookups    uint64 // full translation-cache lookups
+	BlockExecutions   uint64
+	ChainFollows      uint64 // chained block-to-block transitions
+	CacheLookups      uint64 // full translation-cache lookups
+	SuperblockFollows uint64 // translate-time-fused boundaries crossed in exec
 
 	// Memory system.
 	MemReads        uint64
@@ -118,6 +119,7 @@ func (s *Stats) Add(o Stats) {
 	s.BlockExecutions += o.BlockExecutions
 	s.ChainFollows += o.ChainFollows
 	s.CacheLookups += o.CacheLookups
+	s.SuperblockFollows += o.SuperblockFollows
 	s.MemReads += o.MemReads
 	s.MemWrites += o.MemWrites
 	s.TLBHits += o.TLBHits

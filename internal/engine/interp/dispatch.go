@@ -1,0 +1,395 @@
+package interp
+
+// Threaded dispatch for the fast interpreter: one handler function per
+// primary opcode, selected by indexing a table with the decoded 6-bit
+// opcode instead of walking a 40-case switch. The handlers are the
+// reference semantics of SV32, moved verbatim from the old step switch;
+// each one fully updates the CPU state including the PC.
+
+import (
+	"simbench/internal/isa"
+)
+
+// opFn executes one decoded instruction whose fetch address was pc.
+type opFn func(e *Interp, in isa.Inst, pc uint32)
+
+// dispatch is indexed by the full uint8 opcode value, so the lookup
+// compiles without a bounds check. Decode never produces opcodes
+// >= isa.NumOps, but every slot holds a handler anyway: unallocated
+// encodings raise ExcUndef, exactly as the old switch default did.
+var dispatch [256]opFn
+
+func init() {
+	for i := range dispatch {
+		dispatch[i] = opUndef
+	}
+	for op, fn := range map[isa.Op]opFn{
+		isa.OpNOP:   opNOP,
+		isa.OpADD:   opADD,
+		isa.OpSUB:   opSUB,
+		isa.OpAND:   opAND,
+		isa.OpOR:    opOR,
+		isa.OpXOR:   opXOR,
+		isa.OpSHL:   opSHL,
+		isa.OpSHR:   opSHR,
+		isa.OpSRA:   opSRA,
+		isa.OpMUL:   opMUL,
+		isa.OpCMP:   opCMP,
+		isa.OpMOV:   opMOV,
+		isa.OpNOT:   opNOT,
+		isa.OpADDI:  opADDI,
+		isa.OpSUBI:  opSUBI,
+		isa.OpANDI:  opANDI,
+		isa.OpORI:   opORI,
+		isa.OpXORI:  opXORI,
+		isa.OpSHLI:  opSHLI,
+		isa.OpSHRI:  opSHRI,
+		isa.OpSRAI:  opSRAI,
+		isa.OpMULI:  opMULI,
+		isa.OpCMPI:  opCMPI,
+		isa.OpMOVI:  opMOVI,
+		isa.OpMOVT:  opMOVT,
+		isa.OpLDW:   opLDW,
+		isa.OpSTW:   opSTW,
+		isa.OpLDB:   opLDB,
+		isa.OpSTB:   opSTB,
+		isa.OpLDX:   opLDX,
+		isa.OpSTX:   opSTX,
+		isa.OpLDT:   opLDT,
+		isa.OpSTT:   opSTT,
+		isa.OpB:     opB,
+		isa.OpBL:    opBL,
+		isa.OpBR:    opBR,
+		isa.OpBLR:   opBLR,
+		isa.OpSVC:   opSVC,
+		isa.OpERET:  opERET,
+		isa.OpMRS:   opMRS,
+		isa.OpMSR:   opMSR,
+		isa.OpCPRD:  opCPRD,
+		isa.OpCPWR:  opCPWR,
+		isa.OpTLBI:  opTLBI,
+		isa.OpTLBIA: opTLBIA,
+		isa.OpHALT:  opHALT,
+	} {
+		dispatch[op] = fn
+	}
+}
+
+func opNOP(e *Interp, _ isa.Inst, pc uint32) {
+	e.m.CPU.PC = pc + 4
+}
+
+func opADD(e *Interp, in isa.Inst, pc uint32) {
+	cpu := &e.m.CPU
+	cpu.Regs[in.Rd] = cpu.Regs[in.Ra] + cpu.Regs[in.Rb]
+	cpu.PC = pc + 4
+}
+
+func opSUB(e *Interp, in isa.Inst, pc uint32) {
+	cpu := &e.m.CPU
+	cpu.Regs[in.Rd] = cpu.Regs[in.Ra] - cpu.Regs[in.Rb]
+	cpu.PC = pc + 4
+}
+
+func opAND(e *Interp, in isa.Inst, pc uint32) {
+	cpu := &e.m.CPU
+	cpu.Regs[in.Rd] = cpu.Regs[in.Ra] & cpu.Regs[in.Rb]
+	cpu.PC = pc + 4
+}
+
+func opOR(e *Interp, in isa.Inst, pc uint32) {
+	cpu := &e.m.CPU
+	cpu.Regs[in.Rd] = cpu.Regs[in.Ra] | cpu.Regs[in.Rb]
+	cpu.PC = pc + 4
+}
+
+func opXOR(e *Interp, in isa.Inst, pc uint32) {
+	cpu := &e.m.CPU
+	cpu.Regs[in.Rd] = cpu.Regs[in.Ra] ^ cpu.Regs[in.Rb]
+	cpu.PC = pc + 4
+}
+
+func opSHL(e *Interp, in isa.Inst, pc uint32) {
+	cpu := &e.m.CPU
+	cpu.Regs[in.Rd] = cpu.Regs[in.Ra] << (cpu.Regs[in.Rb] & 31)
+	cpu.PC = pc + 4
+}
+
+func opSHR(e *Interp, in isa.Inst, pc uint32) {
+	cpu := &e.m.CPU
+	cpu.Regs[in.Rd] = cpu.Regs[in.Ra] >> (cpu.Regs[in.Rb] & 31)
+	cpu.PC = pc + 4
+}
+
+func opSRA(e *Interp, in isa.Inst, pc uint32) {
+	cpu := &e.m.CPU
+	cpu.Regs[in.Rd] = uint32(int32(cpu.Regs[in.Ra]) >> (cpu.Regs[in.Rb] & 31))
+	cpu.PC = pc + 4
+}
+
+func opMUL(e *Interp, in isa.Inst, pc uint32) {
+	cpu := &e.m.CPU
+	cpu.Regs[in.Rd] = cpu.Regs[in.Ra] * cpu.Regs[in.Rb]
+	cpu.PC = pc + 4
+}
+
+func opCMP(e *Interp, in isa.Inst, pc uint32) {
+	cpu := &e.m.CPU
+	cpu.Flags = isa.Sub(cpu.Regs[in.Ra], cpu.Regs[in.Rb])
+	cpu.PC = pc + 4
+}
+
+func opMOV(e *Interp, in isa.Inst, pc uint32) {
+	cpu := &e.m.CPU
+	cpu.Regs[in.Rd] = cpu.Regs[in.Ra]
+	cpu.PC = pc + 4
+}
+
+func opNOT(e *Interp, in isa.Inst, pc uint32) {
+	cpu := &e.m.CPU
+	cpu.Regs[in.Rd] = ^cpu.Regs[in.Ra]
+	cpu.PC = pc + 4
+}
+
+func opADDI(e *Interp, in isa.Inst, pc uint32) {
+	cpu := &e.m.CPU
+	cpu.Regs[in.Rd] = cpu.Regs[in.Ra] + uint32(in.Imm)
+	cpu.PC = pc + 4
+}
+
+func opSUBI(e *Interp, in isa.Inst, pc uint32) {
+	cpu := &e.m.CPU
+	cpu.Regs[in.Rd] = cpu.Regs[in.Ra] - uint32(in.Imm)
+	cpu.PC = pc + 4
+}
+
+func opANDI(e *Interp, in isa.Inst, pc uint32) {
+	cpu := &e.m.CPU
+	cpu.Regs[in.Rd] = cpu.Regs[in.Ra] & uint32(in.Imm)
+	cpu.PC = pc + 4
+}
+
+func opORI(e *Interp, in isa.Inst, pc uint32) {
+	cpu := &e.m.CPU
+	cpu.Regs[in.Rd] = cpu.Regs[in.Ra] | uint32(in.Imm)
+	cpu.PC = pc + 4
+}
+
+func opXORI(e *Interp, in isa.Inst, pc uint32) {
+	cpu := &e.m.CPU
+	cpu.Regs[in.Rd] = cpu.Regs[in.Ra] ^ uint32(in.Imm)
+	cpu.PC = pc + 4
+}
+
+func opSHLI(e *Interp, in isa.Inst, pc uint32) {
+	cpu := &e.m.CPU
+	cpu.Regs[in.Rd] = cpu.Regs[in.Ra] << (uint32(in.Imm) & 31)
+	cpu.PC = pc + 4
+}
+
+func opSHRI(e *Interp, in isa.Inst, pc uint32) {
+	cpu := &e.m.CPU
+	cpu.Regs[in.Rd] = cpu.Regs[in.Ra] >> (uint32(in.Imm) & 31)
+	cpu.PC = pc + 4
+}
+
+func opSRAI(e *Interp, in isa.Inst, pc uint32) {
+	cpu := &e.m.CPU
+	cpu.Regs[in.Rd] = uint32(int32(cpu.Regs[in.Ra]) >> (uint32(in.Imm) & 31))
+	cpu.PC = pc + 4
+}
+
+func opMULI(e *Interp, in isa.Inst, pc uint32) {
+	cpu := &e.m.CPU
+	cpu.Regs[in.Rd] = cpu.Regs[in.Ra] * uint32(in.Imm)
+	cpu.PC = pc + 4
+}
+
+func opCMPI(e *Interp, in isa.Inst, pc uint32) {
+	cpu := &e.m.CPU
+	cpu.Flags = isa.Sub(cpu.Regs[in.Ra], uint32(in.Imm))
+	cpu.PC = pc + 4
+}
+
+func opMOVI(e *Interp, in isa.Inst, pc uint32) {
+	cpu := &e.m.CPU
+	cpu.Regs[in.Rd] = uint32(in.Imm)
+	cpu.PC = pc + 4
+}
+
+func opMOVT(e *Interp, in isa.Inst, pc uint32) {
+	cpu := &e.m.CPU
+	cpu.Regs[in.Rd] = cpu.Regs[in.Rd]&0xFFFF | uint32(in.Imm)<<16
+	cpu.PC = pc + 4
+}
+
+func opLDW(e *Interp, in isa.Inst, pc uint32) {
+	e.load(in, pc, e.m.CPU.Regs[in.Ra]+uint32(in.Imm), 4, false)
+}
+
+func opSTW(e *Interp, in isa.Inst, pc uint32) {
+	e.store(in, pc, e.m.CPU.Regs[in.Ra]+uint32(in.Imm), 4, false)
+}
+
+func opLDB(e *Interp, in isa.Inst, pc uint32) {
+	e.load(in, pc, e.m.CPU.Regs[in.Ra]+uint32(in.Imm), 1, false)
+}
+
+func opSTB(e *Interp, in isa.Inst, pc uint32) {
+	e.store(in, pc, e.m.CPU.Regs[in.Ra]+uint32(in.Imm), 1, false)
+}
+
+func opLDX(e *Interp, in isa.Inst, pc uint32) {
+	e.loadExclusive(in, pc, e.m.CPU.Regs[in.Ra])
+}
+
+func opSTX(e *Interp, in isa.Inst, pc uint32) {
+	e.storeExclusive(in, pc, e.m.CPU.Regs[in.Ra])
+}
+
+func opLDT(e *Interp, in isa.Inst, pc uint32) {
+	if !e.m.NonPrivSupported() {
+		e.undef(pc)
+		return
+	}
+	e.st.NonPrivAccesses++
+	e.load(in, pc, e.m.CPU.Regs[in.Ra]+uint32(in.Imm), 4, true)
+}
+
+func opSTT(e *Interp, in isa.Inst, pc uint32) {
+	if !e.m.NonPrivSupported() {
+		e.undef(pc)
+		return
+	}
+	e.st.NonPrivAccesses++
+	e.store(in, pc, e.m.CPU.Regs[in.Ra]+uint32(in.Imm), 4, true)
+}
+
+func opB(e *Interp, in isa.Inst, pc uint32) {
+	cpu := &e.m.CPU
+	next := pc + 4
+	if in.Cond.Eval(cpu.Flags) {
+		next = pc + 4 + uint32(in.Off)
+		if e.profile {
+			e.classifyBranch(pc, next, false)
+		}
+	}
+	cpu.PC = next
+}
+
+func opBL(e *Interp, in isa.Inst, pc uint32) {
+	cpu := &e.m.CPU
+	next := pc + 4
+	if in.Cond.Eval(cpu.Flags) {
+		cpu.Regs[isa.LR] = pc + 4
+		next = pc + 4 + uint32(in.Off)
+		if e.profile {
+			e.classifyBranch(pc, next, false)
+		}
+	}
+	cpu.PC = next
+}
+
+func opBR(e *Interp, in isa.Inst, pc uint32) {
+	cpu := &e.m.CPU
+	next := cpu.Regs[in.Ra] &^ 3
+	if e.profile {
+		e.classifyBranch(pc, next, true)
+	}
+	cpu.PC = next
+}
+
+func opBLR(e *Interp, in isa.Inst, pc uint32) {
+	cpu := &e.m.CPU
+	next := cpu.Regs[in.Ra] &^ 3
+	cpu.Regs[isa.LR] = pc + 4
+	if e.profile {
+		e.classifyBranch(pc, next, true)
+	}
+	cpu.PC = next
+}
+
+func opSVC(e *Interp, _ isa.Inst, pc uint32) {
+	e.m.Enter(isa.ExcSyscall, pc+4)
+	e.st.ExceptionsTaken++
+}
+
+func opERET(e *Interp, _ isa.Inst, pc uint32) {
+	if !e.m.CPU.Kernel {
+		e.undef(pc)
+		return
+	}
+	e.m.ERET()
+}
+
+func opMRS(e *Interp, in isa.Inst, pc uint32) {
+	v, ok := e.m.ReadCtrl(isa.CtrlReg(in.Imm))
+	if !ok {
+		e.undef(pc)
+		return
+	}
+	e.m.CPU.Regs[in.Rd] = v
+	e.m.CPU.PC = pc + 4
+}
+
+func opMSR(e *Interp, in isa.Inst, pc uint32) {
+	if !e.m.WriteCtrl(isa.CtrlReg(in.Imm), e.m.CPU.Regs[in.Rd]) {
+		e.undef(pc)
+		return
+	}
+	// A PSR/MMU write may have changed mode or translation; the next
+	// fetch re-resolves, so nothing more to do here.
+	e.m.CPU.PC = pc + 4
+}
+
+func opCPRD(e *Interp, in isa.Inst, pc uint32) {
+	v, ok := e.m.CoprocRead(uint32(in.Imm)>>8, uint32(in.Imm)&0xFF)
+	if !ok {
+		e.undef(pc)
+		return
+	}
+	e.st.CoprocAccesses++
+	e.m.CPU.Regs[in.Rd] = v
+	e.m.CPU.PC = pc + 4
+}
+
+func opCPWR(e *Interp, in isa.Inst, pc uint32) {
+	if !e.m.CoprocWrite(uint32(in.Imm)>>8, uint32(in.Imm)&0xFF, e.m.CPU.Regs[in.Rd]) {
+		e.undef(pc)
+		return
+	}
+	e.st.CoprocAccesses++
+	e.m.CPU.PC = pc + 4
+}
+
+func opTLBI(e *Interp, in isa.Inst, pc uint32) {
+	if !e.m.CPU.Kernel {
+		e.undef(pc)
+		return
+	}
+	e.st.TLBInvalidates++
+	e.m.ShootdownPage(e.m.CPU.Regs[in.Ra])
+	e.m.CPU.PC = pc + 4
+}
+
+func opTLBIA(e *Interp, _ isa.Inst, pc uint32) {
+	if !e.m.CPU.Kernel {
+		e.undef(pc)
+		return
+	}
+	e.st.TLBFlushes++
+	e.m.ShootdownAll()
+	e.m.CPU.PC = pc + 4
+}
+
+func opHALT(e *Interp, _ isa.Inst, pc uint32) {
+	if !e.m.CPU.Kernel {
+		e.undef(pc)
+		return
+	}
+	e.m.Halted = true
+}
+
+func opUndef(e *Interp, _ isa.Inst, pc uint32) {
+	e.undef(pc)
+}

@@ -62,6 +62,13 @@ type hart struct {
 	dpages    map[uint32]*decodedPage // phys page index -> decoded
 	codePages []bool                  // phys page index -> has cached decodes
 	insns     uint64                  // retired on this hart
+
+	// fetchEpoch advances on every TLB invalidation that reaches this
+	// hart. runSlice keeps a one-entry fetch-translation micro-cache in
+	// locals; comparing its epoch snapshot against this counter is what
+	// lets a shootdown (TLBI on this hart or a cross-core broadcast)
+	// kill the cached translation without runSlice polling the fc array.
+	fetchEpoch uint32
 }
 
 // InvalidatePage implements machine.TLBListener.
@@ -75,12 +82,14 @@ func (h *hart) InvalidatePage(va uint32) {
 	if f.tag == vp<<1|1 {
 		f.tag = 0
 	}
+	h.fetchEpoch++
 }
 
 // InvalidateAll implements machine.TLBListener.
 func (h *hart) InvalidateAll() {
 	h.dc = [dcacheSize]tlbEntry{}
 	h.fc = [fcacheSize]tlbEntry{}
+	h.fetchEpoch++
 }
 
 // Interp is the fast-interpreter engine. The zero value is not usable;
@@ -317,17 +326,56 @@ func (e *Interp) Run(harts []*machine.Machine, limit uint64) (engine.Stats, erro
 	return e.st, nil
 }
 
-// runSlice executes up to SchedQuantum instructions on h.
+// runSlice executes up to SchedQuantum instructions on h. The loop
+// body is the interpreter's hottest code, so two pieces of work that
+// the straightforward form repays every instruction are hoisted out:
+//
+//   - The tick check. Instead of a modulo per instruction, tickAt
+//     holds the next retired-count boundary at which TickFn fires; the
+//     loop compares against it and advances it by tickQuantum when an
+//     instruction retires past it. Non-retiring iterations (IRQ
+//     delivery, fetch faults) leave insns — and therefore a boundary
+//     that is due — unchanged, exactly like the modulo form.
+//
+//   - The fetch translation. A one-entry micro-cache in locals keeps
+//     the last fetch page's physical base and decoded-page pointer;
+//     straight-line and intra-page code skips fetchPage and the dpages
+//     map lookup entirely. The guard re-checks everything the full
+//     path would consult: virtual page, privilege mode (fetchPage does
+//     a per-call user-permission check), MMU enable, and the hart's
+//     invalidation epoch. Self-modifying code needs no guard because
+//     the per-instruction stamp/gen recheck below is the same one
+//     decode performs. Pre-PR, a fetch-cache hit counted no stats, so
+//     serving hits from the micro-cache changes no counter.
 func (e *Interp) runSlice(h *hart, total *uint64, limit uint64) error {
 	e.attach(h)
 	m := h.m
 	cpu := &m.CPU
 	stop := h.insns + engine.SchedQuantum
+
+	tickAt := ^uint64(0) // never fires while TickFn is nil
+	if m.TickFn != nil {
+		if h.insns%tickQuantum == 0 && h.insns != 0 {
+			tickAt = h.insns // slice starts on a due boundary
+		} else {
+			tickAt = h.insns + tickQuantum - h.insns%tickQuantum
+		}
+	}
+
+	var (
+		fetchVP     = ^uint32(0) // virtual page of the cached fetch (^0 = none)
+		fetchPB     uint32       // its physical page base
+		fetchDP     *decodedPage // its decode cache
+		fetchKernel bool         // privilege mode it was resolved under
+		fetchMMU    bool         // MMU enable it was resolved under
+		fetchEpoch  = h.fetchEpoch
+	)
+
 	for !m.Halted && h.insns < stop {
 		if *total >= limit {
 			return engine.ErrLimit
 		}
-		if m.TickFn != nil && h.insns%tickQuantum == 0 && h.insns != 0 {
+		if h.insns == tickAt {
 			m.TickFn(tickQuantum)
 		}
 		if m.IRQPending() {
@@ -338,16 +386,47 @@ func (e *Interp) runSlice(h *hart, total *uint64, limit uint64) error {
 		}
 
 		pc := cpu.PC
-		pbase, fault := e.fetchPage(pc)
-		if fault != isa.FaultNone {
-			m.EnterMemFault(isa.ExcInstFault, fault, pc, false, pc)
-			e.st.ExceptionsTaken++
-			continue
+		var in isa.Inst
+		if pc>>isa.PageShift == fetchVP && cpu.Kernel == fetchKernel &&
+			m.MMUEnabled() == fetchMMU && h.fetchEpoch == fetchEpoch {
+			idx := (pc & isa.PageMask) >> 2
+			if fetchDP.stamp[idx] != fetchDP.gen {
+				fetchDP.insts[idx] = isa.Decode(m.Bus.ReadWordRAM(fetchPB | pc&isa.PageMask))
+				fetchDP.stamp[idx] = fetchDP.gen
+			}
+			in = fetchDP.insts[idx]
+		} else {
+			pbase, fault := e.fetchPage(pc)
+			if fault != isa.FaultNone {
+				m.EnterMemFault(isa.ExcInstFault, fault, pc, false, pc)
+				e.st.ExceptionsTaken++
+				fetchVP = ^uint32(0)
+				continue
+			}
+			in = e.decode(pbase | pc&isa.PageMask)
+			// Cache the translation only when every word of the page is
+			// RAM: always true under the MMU (fetchPage requires it when
+			// filling the fc), and checked explicitly for the physical
+			// tail page when the MMU is off — fetchPage validates
+			// IsRAM(pc, WordBytes) per call there, which the fast path
+			// must not weaken mid-page.
+			if m.MMUEnabled() || m.Bus.IsRAM(pbase, isa.PageSize) {
+				fetchVP = pc >> isa.PageShift
+				fetchPB = pbase
+				fetchDP = h.dpages[pbase>>isa.PageShift]
+				fetchKernel = cpu.Kernel
+				fetchMMU = m.MMUEnabled()
+				fetchEpoch = h.fetchEpoch
+			} else {
+				fetchVP = ^uint32(0)
+			}
 		}
-		in := e.decode(pbase | pc&isa.PageMask)
 		h.insns++
 		*total++
-		e.step(in, pc)
+		if h.insns > tickAt {
+			tickAt += tickQuantum
+		}
+		dispatch[in.Op](e, in, pc)
 	}
 	return nil
 }
@@ -357,191 +436,6 @@ func (e *Interp) runSlice(h *hart, total *uint64, limit uint64) error {
 func (e *Interp) undef(pc uint32) {
 	e.m.Enter(isa.ExcUndef, pc+4)
 	e.st.ExceptionsTaken++
-}
-
-// step executes one decoded instruction. It is the reference semantics
-// of SV32.
-func (e *Interp) step(in isa.Inst, pc uint32) {
-	m := e.m
-	cpu := &m.CPU
-	r := &cpu.Regs
-	next := pc + 4
-	switch in.Op {
-	case isa.OpNOP:
-	case isa.OpADD:
-		r[in.Rd] = r[in.Ra] + r[in.Rb]
-	case isa.OpSUB:
-		r[in.Rd] = r[in.Ra] - r[in.Rb]
-	case isa.OpAND:
-		r[in.Rd] = r[in.Ra] & r[in.Rb]
-	case isa.OpOR:
-		r[in.Rd] = r[in.Ra] | r[in.Rb]
-	case isa.OpXOR:
-		r[in.Rd] = r[in.Ra] ^ r[in.Rb]
-	case isa.OpSHL:
-		r[in.Rd] = r[in.Ra] << (r[in.Rb] & 31)
-	case isa.OpSHR:
-		r[in.Rd] = r[in.Ra] >> (r[in.Rb] & 31)
-	case isa.OpSRA:
-		r[in.Rd] = uint32(int32(r[in.Ra]) >> (r[in.Rb] & 31))
-	case isa.OpMUL:
-		r[in.Rd] = r[in.Ra] * r[in.Rb]
-	case isa.OpCMP:
-		cpu.Flags = isa.Sub(r[in.Ra], r[in.Rb])
-	case isa.OpMOV:
-		r[in.Rd] = r[in.Ra]
-	case isa.OpNOT:
-		r[in.Rd] = ^r[in.Ra]
-	case isa.OpADDI:
-		r[in.Rd] = r[in.Ra] + uint32(in.Imm)
-	case isa.OpSUBI:
-		r[in.Rd] = r[in.Ra] - uint32(in.Imm)
-	case isa.OpANDI:
-		r[in.Rd] = r[in.Ra] & uint32(in.Imm)
-	case isa.OpORI:
-		r[in.Rd] = r[in.Ra] | uint32(in.Imm)
-	case isa.OpXORI:
-		r[in.Rd] = r[in.Ra] ^ uint32(in.Imm)
-	case isa.OpSHLI:
-		r[in.Rd] = r[in.Ra] << (uint32(in.Imm) & 31)
-	case isa.OpSHRI:
-		r[in.Rd] = r[in.Ra] >> (uint32(in.Imm) & 31)
-	case isa.OpSRAI:
-		r[in.Rd] = uint32(int32(r[in.Ra]) >> (uint32(in.Imm) & 31))
-	case isa.OpMULI:
-		r[in.Rd] = r[in.Ra] * uint32(in.Imm)
-	case isa.OpCMPI:
-		cpu.Flags = isa.Sub(r[in.Ra], uint32(in.Imm))
-	case isa.OpMOVI:
-		r[in.Rd] = uint32(in.Imm)
-	case isa.OpMOVT:
-		r[in.Rd] = r[in.Rd]&0xFFFF | uint32(in.Imm)<<16
-	case isa.OpLDW:
-		e.load(in, pc, r[in.Ra]+uint32(in.Imm), 4, false)
-		return
-	case isa.OpSTW:
-		e.store(in, pc, r[in.Ra]+uint32(in.Imm), 4, false)
-		return
-	case isa.OpLDB:
-		e.load(in, pc, r[in.Ra]+uint32(in.Imm), 1, false)
-		return
-	case isa.OpSTB:
-		e.store(in, pc, r[in.Ra]+uint32(in.Imm), 1, false)
-		return
-	case isa.OpLDX:
-		e.loadExclusive(in, pc, r[in.Ra])
-		return
-	case isa.OpSTX:
-		e.storeExclusive(in, pc, r[in.Ra])
-		return
-	case isa.OpLDT:
-		if !m.NonPrivSupported() {
-			e.undef(pc)
-			return
-		}
-		e.st.NonPrivAccesses++
-		e.load(in, pc, r[in.Ra]+uint32(in.Imm), 4, true)
-		return
-	case isa.OpSTT:
-		if !m.NonPrivSupported() {
-			e.undef(pc)
-			return
-		}
-		e.st.NonPrivAccesses++
-		e.store(in, pc, r[in.Ra]+uint32(in.Imm), 4, true)
-		return
-	case isa.OpB:
-		if in.Cond.Eval(cpu.Flags) {
-			next = pc + 4 + uint32(in.Off)
-			if e.profile {
-				e.classifyBranch(pc, next, false)
-			}
-		}
-	case isa.OpBL:
-		if in.Cond.Eval(cpu.Flags) {
-			r[isa.LR] = pc + 4
-			next = pc + 4 + uint32(in.Off)
-			if e.profile {
-				e.classifyBranch(pc, next, false)
-			}
-		}
-	case isa.OpBR:
-		next = r[in.Ra] &^ 3
-		if e.profile {
-			e.classifyBranch(pc, next, true)
-		}
-	case isa.OpBLR:
-		target := r[in.Ra] &^ 3
-		r[isa.LR] = pc + 4
-		next = target
-		if e.profile {
-			e.classifyBranch(pc, next, true)
-		}
-	case isa.OpSVC:
-		m.Enter(isa.ExcSyscall, pc+4)
-		e.st.ExceptionsTaken++
-		return
-	case isa.OpERET:
-		if !cpu.Kernel {
-			e.undef(pc)
-			return
-		}
-		m.ERET()
-		return
-	case isa.OpMRS:
-		v, ok := m.ReadCtrl(isa.CtrlReg(in.Imm))
-		if !ok {
-			e.undef(pc)
-			return
-		}
-		r[in.Rd] = v
-	case isa.OpMSR:
-		if !m.WriteCtrl(isa.CtrlReg(in.Imm), r[in.Rd]) {
-			e.undef(pc)
-			return
-		}
-		// A PSR/MMU write may have changed mode or translation; the
-		// next fetch re-resolves, so nothing more to do here.
-	case isa.OpCPRD:
-		v, ok := m.CoprocRead(uint32(in.Imm)>>8, uint32(in.Imm)&0xFF)
-		if !ok {
-			e.undef(pc)
-			return
-		}
-		e.st.CoprocAccesses++
-		r[in.Rd] = v
-	case isa.OpCPWR:
-		if !m.CoprocWrite(uint32(in.Imm)>>8, uint32(in.Imm)&0xFF, r[in.Rd]) {
-			e.undef(pc)
-			return
-		}
-		e.st.CoprocAccesses++
-	case isa.OpTLBI:
-		if !cpu.Kernel {
-			e.undef(pc)
-			return
-		}
-		e.st.TLBInvalidates++
-		m.ShootdownPage(r[in.Ra])
-	case isa.OpTLBIA:
-		if !cpu.Kernel {
-			e.undef(pc)
-			return
-		}
-		e.st.TLBFlushes++
-		m.ShootdownAll()
-	case isa.OpHALT:
-		if !cpu.Kernel {
-			e.undef(pc)
-			return
-		}
-		m.Halted = true
-		return
-	default: // OpUD and unallocated opcodes
-		e.undef(pc)
-		return
-	}
-	cpu.PC = next
 }
 
 func (e *Interp) load(in isa.Inst, pc, va uint32, size int, asUser bool) {

@@ -1,0 +1,215 @@
+package enginetest
+
+// Differential coverage for superblock-enabled DBT configurations: the
+// same guest programs run on the interp reference, the default DBT and
+// several superblock variants, and every architectural outcome must
+// agree. Single-core runs also compare retired-instruction counts, so
+// the translate-time-followed boundaries must account instructions
+// exactly — including on exception side exits and on self-modifying
+// code that invalidates the tail of the currently executing unit.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"simbench/internal/asm"
+	"simbench/internal/engine/dbt"
+	"simbench/internal/isa"
+	"simbench/internal/machine"
+)
+
+// superblockConfigs returns the DBT variants under test: chaining off
+// and on, small and large segment budgets, and a tight instruction
+// limit that truncates units mid-chain.
+func superblockConfigs() []dbt.Config {
+	mk := func(name string, sb, lim int) dbt.Config {
+		c := dbt.DefaultConfig()
+		c.Name = name
+		c.Superblock = sb
+		c.ChainLimit = lim
+		return c
+	}
+	noChain := mk("sb4-nochain", 4, 0)
+	noChain.Chain = dbt.ChainNone
+	return []dbt.Config{
+		mk("sb2", 2, 0),
+		mk("sb8", 8, 0),
+		mk("sb8-lim96", 8, 96),
+		noChain,
+	}
+}
+
+// chainHeavyProg fragments a loop body into unconditional-branch-joined
+// segments and follows them with a straight-line run longer than the
+// default BlockCap, so both followable exit kinds (direct branch and
+// block-cap fall-through) occur in one program.
+func chainHeavyProg(t *testing.T) *asm.Program {
+	return assemble(t, func(a *asm.Assembler) {
+		a.LoadImm32(isa.R1, 2_000)
+		a.MOVI(isa.R2, 0)
+		a.Label("loop")
+		a.ADDI(isa.R2, isa.R2, 3)
+		a.B(isa.CondAL, "seg2")
+		a.Label("seg2")
+		a.XORI(isa.R3, isa.R2, 0x1F)
+		a.B(isa.CondAL, "seg3")
+		a.Label("seg3")
+		a.ADD(isa.R2, isa.R2, isa.R3)
+		for i := 0; i < 100; i++ { // spans the 64-insn BlockCap
+			a.ADDI(isa.R2, isa.R2, 1)
+		}
+		a.SUBI(isa.R1, isa.R1, 1)
+		a.CMPI(isa.R1, 0)
+		a.B(isa.CondNE, "loop")
+		a.HALT()
+	})
+}
+
+// excInChainProg raises syscalls and undefined instructions from inside
+// followed segments, checking that cumulative retire counts stay exact
+// across dropped boundary branches when a side exit cuts a unit short.
+func excInChainProg(t *testing.T) *asm.Program {
+	return assemble(t, func(a *asm.Assembler) {
+		a.LA(isa.R1, "vectors")
+		a.MSR(isa.CtrlVBAR, isa.R1)
+		a.MOVI(isa.R5, 0)
+		a.MOVI(isa.R6, 12)
+		a.Label("loop")
+		a.ADDI(isa.R5, isa.R5, 1)
+		a.B(isa.CondAL, "mid")
+		a.Label("mid")
+		a.SVC(1)
+		a.UD()
+		a.B(isa.CondAL, "tail")
+		a.Label("tail")
+		a.SUBI(isa.R6, isa.R6, 1)
+		a.CMPI(isa.R6, 0)
+		a.B(isa.CondNE, "loop")
+		a.HALT()
+		a.Org(0x800)
+		a.Label("vectors")
+		a.HALT()                   // reset
+		a.B(isa.CondAL, "handler") // undef
+		a.B(isa.CondAL, "handler") // svc
+		a.B(isa.CondAL, "handler") // irq
+		a.B(isa.CondAL, "handler") // inst fault
+		a.B(isa.CondAL, "handler") // data fault
+		a.Label("handler")
+		a.ADDI(isa.R7, isa.R7, 1)
+		a.ERET()
+	})
+}
+
+// smcIntoChainProg patches an instruction and then branches into it
+// with an unconditional same-page branch — exactly the shape the
+// superblock translator fuses. The store invalidates the page while the
+// unit holding the stale tail is executing, so the boundary check must
+// side-exit and retranslate or the patch would be missed.
+func smcIntoChainProg(t *testing.T) *asm.Program {
+	return assemble(t, func(a *asm.Assembler) {
+		a.MOVI(isa.R7, 0)
+		a.MOVI(isa.R3, 1) // n
+		a.LA(isa.R1, "site")
+		a.Label("loop")
+		// Build "MOVI R9, n" and store it over the site.
+		a.LoadImm32(isa.R2, isa.Encode(isa.Inst{Op: isa.OpMOVI, Rd: isa.R9, Imm: 0}))
+		a.OR(isa.R2, isa.R2, isa.R3)
+		a.STW(isa.R2, isa.R1, 0)
+		a.B(isa.CondAL, "site") // followable: same page, forward
+		a.Label("site")
+		a.NOP() // becomes MOVI R9, n
+		a.ADD(isa.R7, isa.R7, isa.R9)
+		a.ADDI(isa.R3, isa.R3, 1)
+		a.CMPI(isa.R3, 6)
+		a.B(isa.CondNE, "loop")
+		a.HALT()
+	})
+}
+
+// checkSuperblock runs prog on interp, the default DBT and every
+// superblock variant, and diffs the full single-core outcome — retired
+// counts included.
+func checkSuperblock(t *testing.T, prog *asm.Program) {
+	t.Helper()
+	outcomes := make(map[string]Outcome)
+	ref, err := Run(Engines()[0], machine.ProfileARM, prog, 10_000_000)
+	if err != nil {
+		t.Fatalf("interp: %v (pc=%#x)", err, ref.FinalPC)
+	}
+	outcomes["interp"] = ref
+	cfgs := append([]dbt.Config{dbt.DefaultConfig()}, superblockConfigs()...)
+	for _, cfg := range cfgs {
+		o, err := Run(dbt.New(cfg), machine.ProfileARM, prog, 10_000_000)
+		if err != nil {
+			t.Fatalf("dbt/%s: %v (pc=%#x)", cfg.Name, err, o.FinalPC)
+		}
+		outcomes["dbt/"+cfg.Name] = o
+	}
+	if d := Diff(outcomes); d != "" {
+		t.Fatal(d)
+	}
+}
+
+func TestSuperblockDifferentialChainHeavy(t *testing.T) {
+	checkSuperblock(t, chainHeavyProg(t))
+}
+
+func TestSuperblockDifferentialExceptions(t *testing.T) {
+	checkSuperblock(t, excInChainProg(t))
+}
+
+func TestSuperblockDifferentialSMC(t *testing.T) {
+	prog := smcIntoChainProg(t)
+	checkSuperblock(t, prog)
+	// The patched values must actually have been observed (1+..+5).
+	o, err := Run(dbt.New(superblockConfigs()[1]), machine.ProfileARM, prog, 10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := o.Regs[isa.R7]; got != 15 {
+		t.Errorf("SMC sum under superblocks = %d, want 15", got)
+	}
+}
+
+func TestSuperblockDifferentialRandom(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		prog, err := RandomProgram(rand.New(rand.NewSource(seed)), 400)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkSuperblock(t, prog)
+	}
+}
+
+// TestSuperblockDifferentialSMP runs the exclusive-pair lock counter
+// and the plain-store slot sum at 2 and 4 cores on every superblock
+// variant, comparing the interleaving-robust outcome against interp.
+func TestSuperblockDifferentialSMP(t *testing.T) {
+	for _, cores := range []int{1, 2, 4} {
+		for _, mkProg := range []func(*testing.T, int, int32) *asm.Program{
+			lockCounterProg, slotSumProg,
+		} {
+			prog := mkProg(t, cores, 100)
+			ref, err := RunSMP(Engines()[0], machine.ProfileARM, prog, 50_000_000, cores)
+			if err != nil {
+				t.Fatalf("interp/%dcores: %v", cores, err)
+			}
+			for _, cfg := range superblockConfigs() {
+				t.Run(fmt.Sprintf("%s/%dcores", cfg.Name, cores), func(t *testing.T) {
+					o, err := RunSMP(dbt.New(cfg), machine.ProfileARM, prog, 50_000_000, cores)
+					if err != nil {
+						t.Fatalf("%v (pc=%#x)", err, o.FinalPC)
+					}
+					out := map[string]Outcome{"interp": ref, "dbt/" + cfg.Name: o}
+					if d := diffSMP(out); d != "" {
+						t.Fatal(d)
+					}
+					if cores == 1 && o.Insns != ref.Insns {
+						t.Fatalf("1-core retired count %d != interp %d", o.Insns, ref.Insns)
+					}
+				})
+			}
+		}
+	}
+}

@@ -142,7 +142,7 @@ func IdentityNote(tool string) string {
 func engineFingerprint(e sched.Engine) string {
 	inst := e.New()
 	if d, ok := inst.(*dbt.Engine); ok {
-		return fmt.Sprintf("dbt %+v", d.Config())
+		return dbtFingerprint(d.Config())
 	}
 	if m := reflect.ValueOf(inst).MethodByName("Config"); m.IsValid() {
 		t := m.Type()
@@ -154,4 +154,54 @@ func engineFingerprint(e sched.Engine) string {
 		}
 	}
 	return fmt.Sprintf("%s %+v", inst.Name(), inst.Features())
+}
+
+// dbtLegacyConfig mirrors the dbt.Config fields that existed before
+// superblock chaining, in their original order: %+v over it reproduces
+// the pre-superblock fingerprint encoding byte-for-byte, so every key
+// minted by earlier binaries — and every blob stored under one — stays
+// valid verbatim. The same compatibility contract as the cores= line
+// in Fingerprint: new key material is appended only when non-default.
+type dbtLegacyConfig struct {
+	Name              string
+	OptLevel          int
+	Chain             dbt.ChainPolicy
+	LookupDepth       int
+	LazyFlush         bool
+	TLBBits           int
+	VictimTLB         bool
+	DataFaultFastPath bool
+	ExcSyncWords      int
+	HelperSaveWords   int
+	WalkExtraChecks   int
+	BlockCap          int
+}
+
+// dbtFingerprint canonically encodes a dbt configuration. Fields added
+// to dbt.Config after the store's first release are appended textually
+// and only when they change engine behaviour, so default configurations
+// keep their historical keys while every effective superblock setting
+// gets its own cell. Superblock <= 1 and Superblock > 1 with the same
+// ChainLimit-resolved budget are still distinct keys on purpose:
+// distinctness errs toward re-measuring, never toward sharing a cell
+// across behaviours.
+func dbtFingerprint(c dbt.Config) string {
+	fp := fmt.Sprintf("dbt %+v", dbtLegacyConfig{
+		Name:              c.Name,
+		OptLevel:          c.OptLevel,
+		Chain:             c.Chain,
+		LookupDepth:       c.LookupDepth,
+		LazyFlush:         c.LazyFlush,
+		TLBBits:           c.TLBBits,
+		VictimTLB:         c.VictimTLB,
+		DataFaultFastPath: c.DataFaultFastPath,
+		ExcSyncWords:      c.ExcSyncWords,
+		HelperSaveWords:   c.HelperSaveWords,
+		WalkExtraChecks:   c.WalkExtraChecks,
+		BlockCap:          c.BlockCap,
+	})
+	if c.Superblock > 1 || c.ChainLimit != 0 {
+		fp += fmt.Sprintf(" superblock=%d chainlimit=%d", c.Superblock, c.ChainLimit)
+	}
+	return fp
 }

@@ -83,6 +83,8 @@ func TestKeyDistinctness(t *testing.T) {
 		"HelperSaveWords":   func(c *dbt.Config) { c.HelperSaveWords++ },
 		"WalkExtraChecks":   func(c *dbt.Config) { c.WalkExtraChecks++ },
 		"BlockCap":          func(c *dbt.Config) { c.BlockCap++ },
+		"Superblock":        func(c *dbt.Config) { c.Superblock = 8 },
+		"ChainLimit":        func(c *dbt.Config) { c.ChainLimit = 512 },
 	}
 	// Guard: a field added to dbt.Config must get a mutation here (the
 	// %+v fingerprint picks it up automatically, the test should too).
@@ -196,6 +198,41 @@ func TestKeySingleCoreUnchanged(t *testing.T) {
 	}
 	if KeyFor(smp) == KeyFor(j) {
 		t.Error("2-core job shares a cell with the single-core job")
+	}
+}
+
+// TestKeySuperblockUnchanged pins the superblock compatibility
+// contract, the same shape as the cores line: a config that leaves
+// superblocks off keeps the exact pre-superblock fingerprint encoding
+// (pinned here as a literal, so a refactor cannot silently move every
+// existing key), while any effective superblock setting appends new key
+// material and lands in a distinct cell.
+func TestKeySuperblockUnchanged(t *testing.T) {
+	base := testJob(t)
+	j := dbtJob(base, dbt.DefaultConfig())
+	const legacy = "engine=dbt {Name:default OptLevel:2 Chain:checked LookupDepth:3" +
+		" LazyFlush:true TLBBits:7 VictimTLB:true DataFaultFastPath:true" +
+		" ExcSyncWords:64 HelperSaveWords:48 WalkExtraChecks:88 BlockCap:64}\n"
+	if fp := Fingerprint(j); !strings.Contains(fp, legacy) {
+		t.Errorf("default dbt fingerprint no longer matches the pre-superblock encoding:\n%s", fp)
+	}
+
+	// Superblock<=1 is off (the translator builds plain basic blocks),
+	// so it must share the default cell, not invalidate it.
+	off := dbt.DefaultConfig()
+	off.Superblock = 1
+	if KeyFor(dbtJob(base, off)) != KeyFor(j) {
+		t.Error("Superblock=1 (off) moved the default-config key")
+	}
+
+	on := dbt.DefaultConfig()
+	on.Superblock = 8
+	fp := Fingerprint(dbtJob(base, on))
+	if !strings.Contains(fp, " superblock=8 chainlimit=0") {
+		t.Errorf("superblock config fingerprint is missing the new key material:\n%s", fp)
+	}
+	if KeyFor(dbtJob(base, on)) == KeyFor(j) {
+		t.Error("superblock config shares a cell with the default config")
 	}
 }
 

@@ -1,0 +1,82 @@
+package simbench
+
+// The committed BENCH_*.json files are the repo's recorded performance
+// trajectory (see README "Performance trajectory"). They are read by
+// humans and diffed by tools, so this test keeps every one of them
+// loadable: a valid report.Record array whose coordinates still name
+// benchmarks and engines this tree can run.
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"simbench/internal/report"
+)
+
+func TestCommittedBenchRecords(t *testing.T) {
+	paths, err := filepath.Glob("BENCH_*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no committed BENCH_*.json files; the performance trajectory is gone")
+	}
+	for _, path := range paths {
+		t.Run(path, func(t *testing.T) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var recs []report.Record
+			if err := json.Unmarshal(data, &recs); err != nil {
+				t.Fatalf("not a report.Record array: %v", err)
+			}
+			if len(recs) == 0 {
+				t.Fatal("empty record set")
+			}
+			for i, r := range recs {
+				if _, err := BenchmarkByName(r.Benchmark); err != nil {
+					t.Errorf("record %d: %v", i, err)
+				}
+				if _, err := NewEngine(r.Engine); err != nil {
+					t.Errorf("record %d: %v", i, err)
+				}
+				if r.Arch != "arm" && r.Arch != "x86" {
+					t.Errorf("record %d: unknown arch %q", i, r.Arch)
+				}
+				if r.Error == "" && r.KernelSeconds <= 0 {
+					t.Errorf("record %d (%s/%s): kernel_seconds %v", i, r.Benchmark, r.Engine, r.KernelSeconds)
+				}
+			}
+		})
+	}
+}
+
+// TestHotpathTrajectoryPaired pins the structure of the PR 10 hot-path
+// record set: a before/after pair, so every cell coordinate appears
+// exactly twice — first the pre-optimization measurement, then the
+// post-optimization one taken by the same invocation on the same host.
+func TestHotpathTrajectoryPaired(t *testing.T) {
+	data, err := os.ReadFile("BENCH_hotpath_pr10.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []report.Record
+	if err := json.Unmarshal(data, &recs); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]int{}
+	for _, r := range recs {
+		seen[r.Arch+"/"+r.Benchmark+"/"+r.Engine]++
+	}
+	if len(seen) == 0 {
+		t.Fatal("no cells")
+	}
+	for cell, n := range seen {
+		if n != 2 {
+			t.Errorf("cell %s has %d records, want a before/after pair", cell, n)
+		}
+	}
+}
